@@ -1,0 +1,267 @@
+// Benchmarks regenerating the paper's evaluation artifacts.
+//
+// Table 1 benches measure this implementation's real Go-level costs of the
+// same primitives the paper times (begin/commit transaction, cursor-style
+// one-tuple update, lock acquisition). Figure benches replay the
+// tiny-scale PTA workload per configuration and report the paper's metrics
+// (CPU utilization in virtual µs, N_r, recompute transaction length) via
+// b.ReportMetric; run `cmd/stripbench -scale paper` for the full-scale
+// sweep. Ablation benches cover design choices DESIGN.md calls out (the
+// §6.1 pointer-based temporary tables, rule processing cost, unique-merge
+// cost).
+package strip_test
+
+import (
+	"fmt"
+	"testing"
+
+	strip "github.com/stripdb/strip"
+
+	"github.com/stripdb/strip/internal/catalog"
+	"github.com/stripdb/strip/internal/feed"
+	"github.com/stripdb/strip/internal/ptabench"
+	"github.com/stripdb/strip/internal/query"
+	"github.com/stripdb/strip/internal/storage"
+	"github.com/stripdb/strip/internal/types"
+)
+
+// --- Table 1: measured costs of STRIP primitives --------------------------
+
+func benchDB(b *testing.B) *strip.DB {
+	b.Helper()
+	db := strip.Open(strip.Config{Virtual: true, Cost: &strip.CostModel{}}) // zero cost model: measure real time
+	db.MustExec(`create table stocks (symbol text, price float)`)
+	db.MustExec(`create index on stocks (symbol)`)
+	for i := 0; i < 1000; i++ {
+		db.MustExec(fmt.Sprintf(`insert into stocks values ('S%04d', %d)`, i, i))
+	}
+	return db
+}
+
+// BenchmarkTable1_BeginCommit measures the empty transaction shell.
+func BenchmarkTable1_BeginCommit(b *testing.B) {
+	db := benchDB(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := db.Begin()
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1_SimpleUpdate is the paper's headline number: one-tuple
+// cursor update through lock, index lookup, copy-on-update, and commit
+// (paper: 172 µs on the HP-735).
+func BenchmarkTable1_SimpleUpdate(b *testing.B) {
+	db := benchDB(b)
+	sym := strip.Str("S0001")
+	row := []strip.Value{sym, strip.Float(1)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := db.Begin()
+		tbl, err := tx.WriteTable("stocks")
+		if err != nil {
+			b.Fatal(err)
+		}
+		recs, _ := tbl.IndexLookup("symbol", sym)
+		row[1] = strip.Float(float64(i))
+		if _, err := tx.Update("stocks", recs[0], row); err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1_Insert measures a one-tuple insert transaction.
+func BenchmarkTable1_Insert(b *testing.B) {
+	db := benchDB(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := db.Begin()
+		if _, err := tx.Insert("stocks", []strip.Value{strip.Str(fmt.Sprintf("N%08d", i)), strip.Float(1)}); err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1_IndexLookup measures a hash-index point read.
+func BenchmarkTable1_IndexLookup(b *testing.B) {
+	db := benchDB(b)
+	tbl, _ := db.Txns().Store.Get("stocks")
+	sym := strip.Str("S0500")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if recs, _ := tbl.IndexLookup("symbol", sym); len(recs) != 1 {
+			b.Fatal("lookup failed")
+		}
+	}
+}
+
+// --- Figures 9–14: PTA experiment points ----------------------------------
+
+// figureBench replays the tiny-scale trace for one (variant, delay) and
+// reports the paper's metrics. Each b.N iteration is one full replay.
+func figureBench(b *testing.B, v ptabench.Variant, delay float64) {
+	cfg := ptabench.TinyScale()
+	tr, err := feed.Generate(cfg.Feed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var last ptabench.RunResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		last, err = ptabench.Run(cfg, tr, v, delay)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(last.CPUUtil*100, "util%")
+	b.ReportMetric(float64(last.Nr), "N_r")
+	b.ReportMetric(last.MeanRecomputeMicros/1000, "txn_ms")
+}
+
+// Figures 9–11 (comp_prices maintenance).
+func BenchmarkFig9_CompNonUnique(b *testing.B)       { figureBench(b, ptabench.CompNonUnique, 0) }
+func BenchmarkFig9_CompUnique_1s(b *testing.B)       { figureBench(b, ptabench.CompUnique, 1) }
+func BenchmarkFig9_CompUnique_3s(b *testing.B)       { figureBench(b, ptabench.CompUnique, 3) }
+func BenchmarkFig9_CompUniqueSymbol_3s(b *testing.B) { figureBench(b, ptabench.CompUniqueSymbol, 3) }
+func BenchmarkFig9_CompUniqueComp_05s(b *testing.B)  { figureBench(b, ptabench.CompUniqueComp, 0.5) }
+func BenchmarkFig9_CompUniqueComp_3s(b *testing.B)   { figureBench(b, ptabench.CompUniqueComp, 3) }
+
+// Figures 12–14 (option_prices maintenance).
+func BenchmarkFig12_OptNonUnique(b *testing.B)       { figureBench(b, ptabench.OptNonUnique, 0) }
+func BenchmarkFig12_OptUnique_3s(b *testing.B)       { figureBench(b, ptabench.OptUnique, 3) }
+func BenchmarkFig12_OptUniqueSymbol_1s(b *testing.B) { figureBench(b, ptabench.OptUniqueSymbol, 1) }
+func BenchmarkFig12_OptUniqueSymbol_3s(b *testing.B) { figureBench(b, ptabench.OptUniqueSymbol, 3) }
+
+// --- Ablations -------------------------------------------------------------
+
+// BenchmarkBoundTablePointerScheme vs ...ValueCopy: the §6.1 design choice.
+// The pointer scheme stores one pointer per contributing record; the value
+// alternative copies every column. -benchmem shows the allocation gap.
+func BenchmarkBoundTablePointerScheme(b *testing.B) {
+	recs, schema, srcMap := boundTableFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tt, err := storage.NewTempTable(schema, srcMap, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range recs {
+			if err := tt.AppendRow([]*storage.Record{r}, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		tt.Retire()
+	}
+}
+
+func BenchmarkBoundTableValueCopy(b *testing.B) {
+	recs, schema, _ := boundTableFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tt := storage.NewValueTempTable(schema)
+		for _, r := range recs {
+			if err := tt.AppendValues(r.Values()...); err != nil {
+				b.Fatal(err)
+			}
+		}
+		tt.Retire()
+	}
+}
+
+func boundTableFixture(b *testing.B) ([]*storage.Record, *catalog.Schema, []storage.ColSource) {
+	b.Helper()
+	schema := catalog.MustSchema("rows",
+		catalog.Column{Name: "symbol", Kind: types.KindString},
+		catalog.Column{Name: "a", Kind: types.KindFloat},
+		catalog.Column{Name: "b", Kind: types.KindFloat},
+		catalog.Column{Name: "c", Kind: types.KindFloat},
+		catalog.Column{Name: "d", Kind: types.KindFloat},
+	)
+	tbl := storage.NewTable(schema)
+	recs := make([]*storage.Record, 256)
+	for i := range recs {
+		r, err := tbl.Insert([]types.Value{
+			types.Str(fmt.Sprintf("S%03d", i)), types.Float(1), types.Float(2), types.Float(3), types.Float(4)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		recs[i] = r
+	}
+	srcMap := make([]storage.ColSource, schema.NumCols())
+	for i := range srcMap {
+		srcMap[i] = storage.FromRecord(0, i)
+	}
+	return recs, schema.Rename("bound"), srcMap
+}
+
+// BenchmarkRuleProcessingOverhead measures commit cost with a triggered
+// rule (condition query + bind + enqueue) versus BenchmarkTable1_SimpleUpdate.
+func BenchmarkRuleProcessingOverhead(b *testing.B) {
+	db := benchDB(b)
+	if err := db.RegisterFunc("noop", func(ctx *strip.ActionContext) error { return nil }); err != nil {
+		b.Fatal(err)
+	}
+	db.MustExec(`
+	  create rule r on stocks when updated price
+	  if select symbol, price from new bind as changes
+	  then execute noop unique on symbol after 1000 seconds`)
+	sym := strip.Str("S0001")
+	row := []strip.Value{sym, strip.Float(1)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := db.Begin()
+		tbl, _ := tx.WriteTable("stocks")
+		recs, _ := tbl.IndexLookup("symbol", sym)
+		row[1] = strip.Float(float64(i))
+		if _, err := tx.Update("stocks", recs[0], row); err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUniqueMerge measures appending one firing into a queued unique
+// transaction (the batching hot path).
+func BenchmarkUniqueMerge(b *testing.B) {
+	// The rule above with a huge delay means every commit after the first
+	// merges; measured together with the update it bounds merge cost.
+	BenchmarkRuleProcessingOverhead(b)
+}
+
+// BenchmarkQueryIndexJoin measures the Figure 3 condition-query shape.
+func BenchmarkQueryIndexJoin(b *testing.B) {
+	db := benchDB(b)
+	db.MustExec(`create table memberships (comp text, symbol text, weight float)`)
+	db.MustExec(`create index on memberships (symbol)`)
+	for i := 0; i < 1000; i++ {
+		db.MustExec(fmt.Sprintf(`insert into memberships values ('C%02d', 'S%04d', 0.1)`, i%50, i))
+	}
+	q := &strip.Select{
+		Items: []query.SelectItem{
+			query.Item(query.QCol("memberships", "comp"), ""),
+			query.Item(query.QCol("stocks", "price"), ""),
+		},
+		From:  []string{"stocks", "memberships"},
+		Where: []query.Pred{query.Eq(query.QCol("memberships", "symbol"), query.QCol("stocks", "symbol"))},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, _, err := db.Query(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 1000 {
+			b.Fatalf("join rows = %d", len(rows))
+		}
+	}
+}

@@ -1,0 +1,106 @@
+// Command strip-cli is an interactive shell over an in-process STRIP
+// engine: type SQL (including CREATE RULE) and inspect rule activity.
+//
+// Because rule actions are Go functions, the CLI registers a generic
+// `print_changes` action that dumps its bound tables, so rule batching can
+// be explored interactively:
+//
+//	strip> create table t (k text, v float)
+//	strip> create rule r on t when inserted
+//	       if select * from inserted bind as rows
+//	       then execute print_changes unique after 1 seconds
+//	strip> insert into t values ('a', 1)
+//	strip> insert into t values ('b', 2)
+//	...
+//	[print_changes] rows: 2 row(s)
+//
+// Meta commands: \tables, \stats <function>, \quit.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+
+	strip "github.com/stripdb/strip"
+)
+
+func main() {
+	db := strip.Open(strip.Config{Workers: 2})
+	defer db.Close()
+
+	if err := db.RegisterFunc("print_changes", func(ctx *strip.ActionContext) error {
+		for _, name := range ctx.BoundNames() {
+			tt, _ := ctx.Bound(name)
+			fmt.Printf("[print_changes] %s: %d row(s)\n", name, tt.Len())
+			for i := 0; i < tt.Len() && i < 10; i++ {
+				fmt.Printf("  %v\n", tt.Row(i))
+			}
+		}
+		return nil
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Println("STRIP shell — SQL statements end at newline; \\help for meta commands.")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("strip> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case line == `\quit` || line == `\q`:
+			return
+		case line == `\help`:
+			fmt.Println(`meta commands: \tables  \stats <function> (incl. pending unique txns)  \quit`)
+			continue
+		case line == `\tables`:
+			for _, name := range db.Txns().Catalog.Names() {
+				schema, _ := db.Txns().Catalog.Lookup(name)
+				cols := make([]string, schema.NumCols())
+				for i := range cols {
+					c := schema.Col(i)
+					cols[i] = c.Name + " " + c.Kind.String()
+				}
+				fmt.Printf("  %s (%s)\n", name, strings.Join(cols, ", "))
+			}
+			continue
+		case strings.HasPrefix(line, `\stats`):
+			fn := strings.TrimSpace(strings.TrimPrefix(line, `\stats`))
+			st := db.Stats(fn)
+			fmt.Printf("  fired=%d created=%d merged=%d run=%d errors=%d pending=%d\n",
+				st.Fired, st.TasksCreated, st.TasksMerged, st.TasksRun, st.TaskErrors,
+				db.Engine().PendingUnique(fn))
+			continue
+		}
+		res, err := db.Exec(line)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		switch {
+		case res.Rows != nil:
+			fmt.Println(strings.Join(res.Columns, " | "))
+			for _, row := range res.Rows {
+				parts := make([]string, len(row))
+				for i, v := range row {
+					parts[i] = v.String()
+				}
+				fmt.Println(strings.Join(parts, " | "))
+			}
+			fmt.Printf("(%d rows)\n", len(res.Rows))
+		case res.Affected > 0:
+			fmt.Printf("ok (%d rows)\n", res.Affected)
+		default:
+			fmt.Println("ok")
+		}
+	}
+}

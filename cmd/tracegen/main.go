@@ -1,0 +1,85 @@
+// Command tracegen generates synthetic market-quote traces (the TAQ
+// substitute described in DESIGN.md) and writes them as CSV.
+//
+// Usage:
+//
+//	tracegen -out trace.csv                     # paper scale
+//	tracegen -stocks 660 -minutes 2 -updates 4000 -seed 7 -out small.csv
+//	tracegen -stats trace.csv                   # summarize an existing trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/stripdb/strip/internal/clock"
+	"github.com/stripdb/strip/internal/feed"
+)
+
+func main() {
+	out := flag.String("out", "", "output CSV path (default stdout)")
+	stocks := flag.Int("stocks", 6600, "number of stocks")
+	minutes := flag.Float64("minutes", 30, "trace duration in minutes")
+	updates := flag.Int("updates", 60000, "target number of quotes")
+	skew := flag.Float64("skew", 0.3, "activity power-law exponent")
+	burst := flag.Float64("burst", 0.26, "burst-follower probability")
+	gapMs := flag.Int("gap-ms", 900, "mean intra-burst gap in ms")
+	seed := flag.Int64("seed", 1, "random seed")
+	stats := flag.String("stats", "", "summarize an existing trace CSV instead of generating")
+	flag.Parse()
+
+	if *stats != "" {
+		f, err := os.Open(*stats)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		tr, err := feed.ReadCSV(f)
+		if err != nil {
+			fail(err)
+		}
+		printStats(tr)
+		return
+	}
+
+	cfg := feed.Config{
+		NumStocks:        *stocks,
+		Duration:         clock.FromSeconds(*minutes * 60),
+		TargetUpdates:    *updates,
+		ActivityExponent: *skew,
+		BurstFollowProb:  *burst,
+		BurstGap:         clock.Micros(*gapMs) * 1000,
+		Seed:             *seed,
+	}
+	tr, err := feed.Generate(cfg)
+	if err != nil {
+		fail(err)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tr.WriteCSV(w); err != nil {
+		fail(err)
+	}
+	if *out != "" {
+		printStats(tr)
+	}
+}
+
+func printStats(tr *feed.Trace) {
+	st := tr.Stats()
+	fmt.Fprintf(os.Stderr, "quotes: %d  stocks traded: %d  rate: %.1f/s  burst fraction: %.2f\n",
+		st.Updates, st.DistinctStocks, st.MeanRate, st.BurstFraction)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

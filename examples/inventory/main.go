@@ -1,0 +1,138 @@
+// Inventory: derived data over insert events — a warehouse order stream
+// maintains per-SKU stock levels and a per-warehouse valuation summary.
+//
+// Unlike the trading examples (update events), this one exercises the
+// `inserted` transition predicate, the audit-trail semantics (no net-effect
+// reduction: every movement row is seen, in execute_order), and the
+// commit_time bound-table column for ordering batched movements across
+// transactions.
+//
+// Run with: go run ./examples/inventory
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	strip "github.com/stripdb/strip"
+)
+
+func main() {
+	db := strip.Open(strip.Config{Workers: 2})
+	defer db.Close()
+
+	db.MustExec(`create table movements (sku text, warehouse text, qty int, unit_cost float)`)
+	db.MustExec(`create table stock_levels (sku text, on_hand int)`)
+	db.MustExec(`create index on stock_levels (sku)`)
+	db.MustExec(`create table warehouse_value (warehouse text, value float)`)
+	db.MustExec(`create index on warehouse_value (warehouse)`)
+
+	for _, sku := range []string{"WIDGET", "GADGET", "SPROCKET"} {
+		db.MustExec(fmt.Sprintf(`insert into stock_levels values ('%s', 0)`, sku))
+	}
+	for _, wh := range []string{"EAST", "WEST"} {
+		db.MustExec(fmt.Sprintf(`insert into warehouse_value values ('%s', 0)`, wh))
+	}
+
+	// Per-SKU stock maintenance, batched per SKU over a 100 ms window.
+	// The bound table carries commit_time so the action can audit ordering
+	// across the batched transactions.
+	if err := db.RegisterFunc("apply_movements", func(ctx *strip.ActionContext) error {
+		moves, _ := ctx.Bound("moves")
+		if moves.Len() == 0 {
+			return nil
+		}
+		sch := moves.Schema()
+		si, qi := sch.ColIndex("sku"), sch.ColIndex("qty")
+		ct := sch.ColIndex("commit_time")
+		total := int64(0)
+		lastCommit := int64(-1)
+		for i := 0; i < moves.Len(); i++ {
+			total += moves.Value(i, qi).Int()
+			// commit_time is non-decreasing across batched transactions.
+			if t := moves.Value(i, ct).Micros(); t < lastCommit {
+				return fmt.Errorf("commit_time went backwards")
+			} else {
+				lastCommit = t
+			}
+		}
+		_, err := strip.ExecAction(ctx, fmt.Sprintf(
+			`update stock_levels set on_hand += %d where sku = '%v'`, total, moves.Value(0, si)))
+		return err
+	}); err != nil {
+		log.Fatal(err)
+	}
+	db.MustExec(`
+	  create rule stock on movements
+	  when inserted
+	  if select sku, qty from inserted bind as moves
+	  then execute apply_movements
+	  unique on sku
+	  after 100 ms
+	  with commit_time`)
+
+	// Warehouse valuation: a second rule over the same events, coarsely
+	// batched (all warehouses in one recompute).
+	if err := db.RegisterFunc("revalue", func(ctx *strip.ActionContext) error {
+		moves, _ := ctx.Bound("valued")
+		sch := moves.Schema()
+		wi, qi, ci := sch.ColIndex("warehouse"), sch.ColIndex("qty"), sch.ColIndex("unit_cost")
+		deltas := map[string]float64{}
+		for i := 0; i < moves.Len(); i++ {
+			deltas[moves.Value(i, wi).Str()] += float64(moves.Value(i, qi).Int()) * moves.Value(i, ci).Float()
+		}
+		for wh, d := range deltas {
+			if _, err := strip.ExecAction(ctx, fmt.Sprintf(
+				`update warehouse_value set value += %g where warehouse = '%s'`, d, wh)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+	db.MustExec(`
+	  create rule valuation on movements
+	  when inserted
+	  if select warehouse, qty, unit_cost from inserted bind as valued
+	  then execute revalue
+	  unique
+	  after 150 ms`)
+
+	// Order stream: receipts (+) and shipments (−), bursty per SKU.
+	fmt.Println("streaming movements...")
+	stream := []struct {
+		sku, wh string
+		qty     int
+		cost    float64
+	}{
+		{"WIDGET", "EAST", 100, 2.5},
+		{"WIDGET", "EAST", -20, 2.5},
+		{"GADGET", "WEST", 50, 10},
+		{"WIDGET", "WEST", 30, 2.5},
+		{"SPROCKET", "EAST", 500, 0.1},
+		{"GADGET", "WEST", -5, 10},
+		{"WIDGET", "EAST", -10, 2.5},
+	}
+	for _, m := range stream {
+		db.MustExec(fmt.Sprintf(`insert into movements values ('%s', '%s', %d, %g)`,
+			m.sku, m.wh, m.qty, m.cost))
+	}
+	time.Sleep(400 * time.Millisecond)
+	db.WaitIdle()
+
+	res := db.MustExec(`select sku, on_hand from stock_levels`)
+	for _, r := range res.Rows {
+		fmt.Printf("stock %v: %v on hand\n", r[0], r[1])
+	}
+	res = db.MustExec(`select warehouse, value from warehouse_value`)
+	for _, r := range res.Rows {
+		fmt.Printf("warehouse %v: $%.2f\n", r[0], r[1].Float())
+	}
+	for _, fn := range []string{"apply_movements", "revalue"} {
+		st := db.Stats(fn)
+		fmt.Printf("%s: %d firings -> %d transactions (%d merged)\n",
+			fn, st.Fired, st.TasksRun, st.TasksMerged)
+	}
+}

@@ -1,0 +1,77 @@
+// Quickstart: define a table, attach a STRIP rule with a unique (batched)
+// transaction, stream some updates, and watch the batching.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	strip "github.com/stripdb/strip"
+)
+
+func main() {
+	// A live engine: rule actions run on a worker pool on the real clock.
+	db := strip.Open(strip.Config{Workers: 2})
+	defer db.Close()
+
+	db.MustExec(`create table stocks (symbol text, price float)`)
+	db.MustExec(`create index on stocks (symbol)`)
+	db.MustExec(`create table tickers (symbol text, last float, changes int)`)
+	db.MustExec(`create index on tickers (symbol)`)
+	db.MustExec(`insert into stocks values ('IBM', 30), ('HP', 40)`)
+	db.MustExec(`insert into tickers values ('IBM', 30, 0), ('HP', 40, 0)`)
+
+	// The action: a user function, invoked in a new transaction, sees every
+	// change that was batched into its window through the bound table.
+	err := db.RegisterFunc("refresh_ticker", func(ctx *strip.ActionContext) error {
+		changes, _ := ctx.Bound("changes")
+		if changes.Len() == 0 {
+			return nil
+		}
+		sch := changes.Schema()
+		si, pi := sch.ColIndex("symbol"), sch.ColIndex("price")
+		last := changes.Value(changes.Len()-1, pi)
+		symbol := changes.Value(0, si)
+		fmt.Printf("  refresh_ticker(%v): %d batched changes, last price %v\n",
+			symbol, changes.Len(), last)
+		_, err := strip.ExecAction(ctx, fmt.Sprintf(
+			`update tickers set last = %v, changes = changes + %d where symbol = '%v'`,
+			last, changes.Len(), symbol))
+		return err
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The rule (paper Figure 2 syntax): on price updates, bind the new
+	// images and run refresh_ticker at most once per symbol per 100 ms
+	// window — additional changes inside the window are appended to the
+	// queued transaction instead of spawning new ones.
+	db.MustExec(`
+	  create rule watch_prices on stocks
+	  when updated price
+	  if select symbol, price from new bind as changes
+	  then execute refresh_ticker
+	  unique on symbol
+	  after 100 ms`)
+
+	fmt.Println("streaming a burst of IBM quotes and one HP quote...")
+	for _, p := range []float64{30.125, 30.25, 30.125, 30.375} {
+		db.MustExec(fmt.Sprintf(`update stocks set price = %g where symbol = 'IBM'`, p))
+	}
+	db.MustExec(`update stocks set price = 40.5 where symbol = 'HP'`)
+
+	time.Sleep(300 * time.Millisecond) // let the delay windows expire
+	db.WaitIdle()
+
+	st := db.Stats("refresh_ticker")
+	fmt.Printf("firings: %d, tasks created: %d, firings merged into queued tasks: %d\n",
+		st.Fired, st.TasksCreated, st.TasksMerged)
+	res := db.MustExec(`select symbol, last, changes from tickers`)
+	for _, row := range res.Rows {
+		fmt.Printf("ticker %v: last=%v (from %v batched changes)\n", row[0], row[1], row[2])
+	}
+}

@@ -1,0 +1,125 @@
+// Sensors: the paper's robot-arm motivation (§1) — rapidly changing base
+// data from sensors, with derived data estimating the weight of the object
+// the arm is lifting.
+//
+// Each arm has several strain sensors reporting in bursts (base data). The
+// derived estimate is a weighted average over the arm's sensors; a rule
+// batched `unique on arm` with a 50 ms delay window collapses each sensor
+// burst into one recomputation per arm — and an alert rule (a second,
+// cascading rule on the derived table) fires when an estimate crosses a
+// threshold.
+//
+// Run with: go run ./examples/sensors
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"time"
+
+	strip "github.com/stripdb/strip"
+)
+
+func main() {
+	db := strip.Open(strip.Config{Workers: 2})
+	defer db.Close()
+
+	db.MustExec(`create table sensors (sensor text, arm text, calib float, reading float)`)
+	db.MustExec(`create index on sensors (sensor)`)
+	db.MustExec(`create table weight_estimates (arm text, kg float)`)
+	db.MustExec(`create index on weight_estimates (arm)`)
+	db.MustExec(`create table alerts (arm text, kg float, at int)`)
+
+	const sensorsPerArm = 4
+	arms := []string{"armA", "armB"}
+	for _, arm := range arms {
+		for s := 0; s < sensorsPerArm; s++ {
+			db.MustExec(fmt.Sprintf(`insert into sensors values ('%s_s%d', '%s', %g, 0)`,
+				arm, s, arm, 1.0/sensorsPerArm))
+		}
+		db.MustExec(fmt.Sprintf(`insert into weight_estimates values ('%s', 0)`, arm))
+	}
+
+	// Derived-data rule: recompute an arm's estimate from the full sensor
+	// set at most once per 50 ms, regardless of how many sensor readings
+	// arrived (unique on arm batches them).
+	if err := db.RegisterFunc("estimate_weight", func(ctx *strip.ActionContext) error {
+		changed, _ := ctx.Bound("changed")
+		if changed.Len() == 0 {
+			return nil
+		}
+		arm := changed.Value(0, changed.Schema().ColIndex("arm"))
+		rows, _, err := strip.QueryAction(ctx, fmt.Sprintf(
+			`select sum(calib * reading) as kg from sensors where arm = '%v'`, arm))
+		if err != nil {
+			return err
+		}
+		kg := rows[0][0].Float()
+		_, err = strip.ExecAction(ctx, fmt.Sprintf(
+			`update weight_estimates set kg = %g where arm = '%v'`, kg, arm))
+		return err
+	}); err != nil {
+		log.Fatal(err)
+	}
+	db.MustExec(`
+	  create rule estimate on sensors
+	  when updated reading
+	  if select arm from new bind as changed
+	  then execute estimate_weight
+	  unique on arm
+	  after 50 ms`)
+
+	// Alert rule: cascades off the derived table.
+	if err := db.RegisterFunc("raise_alert", func(ctx *strip.ActionContext) error {
+		heavy, _ := ctx.Bound("heavy")
+		sch := heavy.Schema()
+		ai, ki := sch.ColIndex("arm"), sch.ColIndex("kg")
+		for i := 0; i < heavy.Len(); i++ {
+			fmt.Printf("  ALERT: %v estimates %.2f kg (over 9 kg limit)\n",
+				heavy.Value(i, ai), heavy.Value(i, ki).Float())
+			if _, err := strip.ExecAction(ctx, fmt.Sprintf(
+				`insert into alerts values ('%v', %v, 0)`,
+				heavy.Value(i, ai), heavy.Value(i, ki))); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+	db.MustExec(`
+	  create rule overweight on weight_estimates
+	  when updated kg
+	  if select arm, kg from new where kg > 9.0 bind as heavy
+	  then execute raise_alert`)
+
+	// Simulate: armA lifts a ~10 kg object (sensor readings ramp up in a
+	// burst), armB stays idle with noise.
+	fmt.Println("streaming sensor bursts...")
+	rng := rand.New(rand.NewSource(1))
+	for step := 0; step < 20; step++ {
+		target := 10.0 * math.Min(1, float64(step)/12)
+		for s := 0; s < sensorsPerArm; s++ {
+			reading := target + rng.NormFloat64()*0.2
+			db.MustExec(fmt.Sprintf(
+				`update sensors set reading = %g where sensor = 'armA_s%d'`, reading, s))
+		}
+		db.MustExec(fmt.Sprintf(
+			`update sensors set reading = %g where sensor = 'armB_s0'`, rng.NormFloat64()*0.05))
+		time.Sleep(10 * time.Millisecond)
+	}
+	time.Sleep(200 * time.Millisecond)
+	db.WaitIdle()
+
+	res := db.MustExec(`select arm, kg from weight_estimates`)
+	for _, r := range res.Rows {
+		fmt.Printf("estimate %v: %.2f kg\n", r[0], r[1].Float())
+	}
+	st := db.Stats("estimate_weight")
+	fmt.Printf("sensor updates fired %d times; %d recomputations ran (%d batched away)\n",
+		st.Fired, st.TasksRun, st.TasksMerged)
+	alerts := db.MustExec(`select arm from alerts`)
+	fmt.Printf("%d alerts recorded\n", len(alerts.Rows))
+}

@@ -1,0 +1,210 @@
+// Trading: the paper's program trading application (§3) running live.
+//
+// A synthetic market feed streams quotes in accelerated real time; STRIP
+// rules with unique transactions maintain a materialized composite index
+// (incrementally) and theoretical Black-Scholes option prices
+// (non-incrementally), batching the burst updates within each rule's delay
+// window.
+//
+// Run with: go run ./examples/trading
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	strip "github.com/stripdb/strip"
+	"github.com/stripdb/strip/internal/feed"
+	"github.com/stripdb/strip/internal/finance"
+)
+
+const speedup = 20 // replay the trace 20x faster than real time
+
+func main() {
+	db := strip.Open(strip.Config{Workers: 4})
+	defer db.Close()
+
+	// Schema: the PTA's six tables (paper §3).
+	for _, stmt := range []string{
+		`create table stocks (symbol text, price float)`,
+		`create index on stocks (symbol)`,
+		`create table stock_stdev (symbol text, stdev float)`,
+		`create index on stock_stdev (symbol)`,
+		`create table comps_list (comp text, symbol text, weight float)`,
+		`create index on comps_list (symbol)`,
+		`create table comp_prices (comp text, price float)`,
+		`create index on comp_prices (comp)`,
+		`create table options_list (option_symbol text, stock_symbol text, strike float, expiration float)`,
+		`create index on options_list (stock_symbol)`,
+		`create table option_prices (option_symbol text, price float)`,
+		`create index on option_prices (option_symbol)`,
+	} {
+		db.MustExec(stmt)
+	}
+
+	// A small market: 30 stocks, one composite over the first 10, a call
+	// option on each of the first 5.
+	cfg := feed.Config{
+		NumStocks: 30, Duration: 60_000_000, TargetUpdates: 600,
+		ActivityExponent: 0.5, BurstFollowProb: 0.4, BurstGap: 2_000_000, Seed: 3,
+	}
+	trace, err := feed.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < cfg.NumStocks; i++ {
+		db.MustExec(fmt.Sprintf(`insert into stocks values ('%s', %g)`, feed.Symbol(i), trace.Initial[i]))
+		db.MustExec(fmt.Sprintf(`insert into stock_stdev values ('%s', 0.25)`, feed.Symbol(i)))
+	}
+	indexPrice := 0.0
+	for i := 0; i < 10; i++ {
+		db.MustExec(fmt.Sprintf(`insert into comps_list values ('TECH10', '%s', 0.1)`, feed.Symbol(i)))
+		indexPrice += 0.1 * trace.Initial[i]
+	}
+	db.MustExec(fmt.Sprintf(`insert into comp_prices values ('TECH10', %g)`, indexPrice))
+	for i := 0; i < 5; i++ {
+		strike := trace.Initial[i]
+		p, err := finance.BlackScholesCall(trace.Initial[i], strike, finance.RisklessRate, 0.5, 0.25)
+		if err != nil {
+			log.Fatal(err)
+		}
+		db.MustExec(fmt.Sprintf(`insert into options_list values ('OPT%d', '%s', %g, 0.5)`,
+			i, feed.Symbol(i), strike))
+		db.MustExec(fmt.Sprintf(`insert into option_prices values ('OPT%d', %g)`, i, p))
+	}
+
+	// Rule 1: incremental composite maintenance, batched per composite
+	// (the paper's do_comps3, Figure 7).
+	if err := db.RegisterFunc("compute_comps", computeComps); err != nil {
+		log.Fatal(err)
+	}
+	db.MustExec(`
+	  create rule do_comps on stocks
+	  when updated price
+	  if select comp, comps_list.symbol as symbol, weight,
+	            old.price as old_price, new.price as new_price
+	     from new, old, comps_list
+	     where comps_list.symbol = new.symbol
+	       and new.execute_order = old.execute_order
+	     bind as matches
+	  then execute compute_comps
+	  unique on comp
+	  after 100 ms`)
+
+	// Rule 2: option repricing, batched per underlying stock (the paper's
+	// §5.2 winner).
+	if err := db.RegisterFunc("compute_options", computeOptions); err != nil {
+		log.Fatal(err)
+	}
+	db.MustExec(`
+	  create rule do_options on stocks
+	  when updated price
+	  if select option_symbol, stock_symbol, strike, expiration,
+	            new.price as new_price
+	     from new, options_list
+	     where options_list.stock_symbol = new.symbol
+	     bind as matches
+	  then execute compute_options
+	  unique on stock_symbol
+	  after 100 ms`)
+
+	// Replay the trace, accelerated.
+	fmt.Printf("replaying %d quotes (%.0fs of market time at %dx)...\n",
+		len(trace.Quotes), float64(cfg.Duration)/1e6, speedup)
+	start := time.Now()
+	for _, q := range trace.Quotes {
+		target := time.Duration(q.Time/speedup) * time.Microsecond
+		if wait := target - time.Since(start); wait > 0 {
+			time.Sleep(wait)
+		}
+		db.MustExec(fmt.Sprintf(`update stocks set price = %g where symbol = '%s'`,
+			q.Price, feed.Symbol(q.Stock)))
+	}
+	time.Sleep(300 * time.Millisecond)
+	db.WaitIdle()
+
+	res := db.MustExec(`select comp, price from comp_prices`)
+	fmt.Printf("\n%-8s %10s\n", "index", "price")
+	for _, r := range res.Rows {
+		fmt.Printf("%-8v %10.3f\n", r[0], r[1].Float())
+	}
+	res = db.MustExec(`select option_symbol, price from option_prices`)
+	fmt.Printf("\n%-8s %10s\n", "option", "theo")
+	for _, r := range res.Rows {
+		fmt.Printf("%-8v %10.3f\n", r[0], r[1].Float())
+	}
+	for _, fn := range []string{"compute_comps", "compute_options"} {
+		st := db.Stats(fn)
+		fmt.Printf("\n%s: fired %d, ran %d recompute transactions (%d firings batched)",
+			fn, st.Fired, st.TasksRun, st.TasksMerged)
+	}
+	fmt.Println()
+}
+
+// computeComps accumulates the batched weighted deltas for one composite
+// and applies them with a single incremental update (Figure 7).
+func computeComps(ctx *strip.ActionContext) error {
+	m, ok := ctx.Bound("matches")
+	if !ok || m.Len() == 0 {
+		return nil
+	}
+	sch := m.Schema()
+	ci, wi := sch.ColIndex("comp"), sch.ColIndex("weight")
+	oi, ni := sch.ColIndex("old_price"), sch.ColIndex("new_price")
+	diff := 0.0
+	for i := 0; i < m.Len(); i++ {
+		diff += m.Value(i, wi).Float() * (m.Value(i, ni).Float() - m.Value(i, oi).Float())
+	}
+	_, err := strip.ExecAction(ctx, fmt.Sprintf(
+		`update comp_prices set price += %g where comp = '%v'`, diff, m.Value(0, ci)))
+	return err
+}
+
+// computeOptions reprices every option of one stock from the latest
+// underlying price in the batch (non-incremental maintenance).
+func computeOptions(ctx *strip.ActionContext) error {
+	m, ok := ctx.Bound("matches")
+	if !ok || m.Len() == 0 {
+		return nil
+	}
+	sch := m.Schema()
+	oi, si := sch.ColIndex("option_symbol"), sch.ColIndex("stock_symbol")
+	ki, ei := sch.ColIndex("strike"), sch.ColIndex("expiration")
+	pi := sch.ColIndex("new_price")
+
+	rows, _, err := strip.QueryAction(ctx, fmt.Sprintf(
+		`select stdev from stock_stdev where symbol = '%v'`, m.Value(0, si)))
+	if err != nil || len(rows) == 0 {
+		return fmt.Errorf("stdev lookup: %v", err)
+	}
+	sigma := rows[0][0].Float()
+
+	// Last image per option: bound rows arrive in commit order.
+	type img struct{ price, strike, exp float64 }
+	latest := map[string]img{}
+	var order []string
+	for i := 0; i < m.Len(); i++ {
+		opt := m.Value(i, oi).Str()
+		if _, seen := latest[opt]; !seen {
+			order = append(order, opt)
+		}
+		latest[opt] = img{
+			price:  m.Value(i, pi).Float(),
+			strike: m.Value(i, ki).Float(),
+			exp:    m.Value(i, ei).Float(),
+		}
+	}
+	for _, opt := range order {
+		g := latest[opt]
+		theo, err := finance.BlackScholesCall(g.price, g.strike, finance.RisklessRate, g.exp, sigma)
+		if err != nil {
+			return err
+		}
+		if _, err := strip.ExecAction(ctx, fmt.Sprintf(
+			`update option_prices set price = %g where option_symbol = '%s'`, theo, opt)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

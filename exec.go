@@ -1,0 +1,191 @@
+package strip
+
+import (
+	"fmt"
+
+	"github.com/stripdb/strip/internal/query"
+	"github.com/stripdb/strip/internal/sqlparse"
+)
+
+// Result reports what a statement did.
+type Result struct {
+	// Rows holds select output (nil for non-queries).
+	Rows [][]Value
+	// Columns names select output columns.
+	Columns []string
+	// Affected counts rows changed by INSERT/UPDATE/DELETE.
+	Affected int
+}
+
+// Exec parses and executes one SQL statement. DML runs in its own
+// transaction (firing rules at commit); DDL takes effect immediately.
+//
+// Supported statements: CREATE TABLE / CREATE INDEX / CREATE RULE (the
+// paper's Figure 2 grammar) / DROP TABLE / DROP RULE / SELECT / INSERT /
+// UPDATE / DELETE.
+func (db *DB) Exec(sql string) (*Result, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	switch s := stmt.(type) {
+	case *sqlparse.CreateTable:
+		cols := make([]Column, len(s.Cols))
+		for i, c := range s.Cols {
+			cols[i] = Column{Name: c.Name, Type: c.Type}
+		}
+		return &Result{}, db.CreateTable(s.Name, cols...)
+	case *sqlparse.CreateIndex:
+		return &Result{}, db.CreateIndex(s.Table, s.Column, s.Kind)
+	case *sqlparse.CreateRule:
+		return &Result{}, db.CreateRule(s.Rule)
+	case *sqlparse.CreateView:
+		_, err := db.CreateMaterializedView(s.Name, s.Query, ViewOptions{})
+		return &Result{}, err
+	case *sqlparse.DropTable:
+		if err := db.txns.Catalog.Drop(s.Name); err != nil {
+			return nil, err
+		}
+		return &Result{}, db.txns.Store.Drop(s.Name)
+	case *sqlparse.DropRule:
+		return &Result{}, db.DropRule(s.Name)
+	case *sqlparse.SelectStmt:
+		rows, cols, err := db.Query(s.Query)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Rows: rows, Columns: cols}, nil
+	case *sqlparse.InsertStmt:
+		return db.runDML(func(tx *Txn) (int, error) { return s.Stmt.Run(tx) })
+	case *sqlparse.UpdateStmt:
+		return db.runDML(func(tx *Txn) (int, error) { return s.Stmt.Run(tx) })
+	case *sqlparse.DeleteStmt:
+		return db.runDML(func(tx *Txn) (int, error) { return s.Stmt.Run(tx) })
+	default:
+		return nil, fmt.Errorf("strip: unsupported statement %T", stmt)
+	}
+}
+
+func (db *DB) runDML(run func(*Txn) (int, error)) (*Result, error) {
+	tx := db.Begin()
+	n, err := run(tx)
+	if err != nil {
+		tx.Abort() //nolint:errcheck
+		return nil, err
+	}
+	if err := tx.Commit(); err != nil {
+		return nil, err
+	}
+	return &Result{Affected: n}, nil
+}
+
+// MustExec is Exec that panics on error; for setup code and examples.
+func (db *DB) MustExec(sql string) *Result {
+	r, err := db.Exec(sql)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// ExecAction parses and executes one INSERT/UPDATE/DELETE inside a rule
+// action's transaction, returning the number of rows affected. Rule action
+// functions use this to write SQL without depending on engine internals.
+func ExecAction(ctx *ActionContext, sql string) (int, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return 0, err
+	}
+	switch s := stmt.(type) {
+	case *sqlparse.InsertStmt:
+		return ctx.ExecInsert(s.Stmt)
+	case *sqlparse.UpdateStmt:
+		return ctx.ExecUpdate(s.Stmt)
+	case *sqlparse.DeleteStmt:
+		return ctx.ExecDelete(s.Stmt)
+	default:
+		return 0, fmt.Errorf("strip: statement %T is not DML", stmt)
+	}
+}
+
+// QueryAction parses and runs one SELECT inside a rule action's
+// transaction; the firing's bound tables shadow database tables of the
+// same name, exactly as for programmatic ActionContext.Query.
+func QueryAction(ctx *ActionContext, sql string) ([][]Value, []string, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	s, ok := stmt.(*sqlparse.SelectStmt)
+	if !ok {
+		return nil, nil, fmt.Errorf("strip: statement %T is not a SELECT", stmt)
+	}
+	res, err := ctx.Query(s.Query)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer res.Retire()
+	rows := make([][]Value, res.Len())
+	for i := range rows {
+		rows[i] = res.Row(i)
+	}
+	names := make([]string, res.Schema().NumCols())
+	for i := range names {
+		names[i] = res.Schema().Col(i).Name
+	}
+	return rows, names, nil
+}
+
+// parseSelect parses a SELECT statement into its programmatic form, for
+// APIs that take *Select (e.g. CreateMaterializedView).
+func parseSelect(sql string) (*Select, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	s, ok := stmt.(*sqlparse.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("strip: statement %T is not a SELECT", stmt)
+	}
+	return s.Query, nil
+}
+
+// ParseSelect parses a SELECT statement into its programmatic form.
+func ParseSelect(sql string) (*Select, error) { return parseSelect(sql) }
+
+// ExecIn parses and executes one DML statement inside an existing
+// transaction, letting callers group several statements into one triggering
+// transaction.
+func (db *DB) ExecIn(tx *Txn, sql string) (*Result, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	switch s := stmt.(type) {
+	case *sqlparse.SelectStmt:
+		res, err := s.Query.Run(tx, query.TxnResolver{})
+		if err != nil {
+			return nil, err
+		}
+		defer res.Retire()
+		out := &Result{}
+		for i := 0; i < res.Len(); i++ {
+			out.Rows = append(out.Rows, res.Row(i))
+		}
+		for i := 0; i < res.Schema().NumCols(); i++ {
+			out.Columns = append(out.Columns, res.Schema().Col(i).Name)
+		}
+		return out, nil
+	case *sqlparse.InsertStmt:
+		n, err := s.Stmt.Run(tx)
+		return &Result{Affected: n}, err
+	case *sqlparse.UpdateStmt:
+		n, err := s.Stmt.Run(tx)
+		return &Result{Affected: n}, err
+	case *sqlparse.DeleteStmt:
+		n, err := s.Stmt.Run(tx)
+		return &Result{Affected: n}, err
+	default:
+		return nil, fmt.Errorf("strip: statement %T is not valid inside a transaction", stmt)
+	}
+}

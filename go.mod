@@ -1,0 +1,3 @@
+module github.com/stripdb/strip
+
+go 1.22

@@ -1,0 +1,195 @@
+// Package catalog holds table schemas and the system catalog.
+//
+// STRIP distinguishes standard tables (created with CREATE TABLE) from
+// temporary tables created by the engine for intermediate results,
+// transition tables, and bound tables (paper §6.1). The catalog tracks only
+// standard tables; triggered tasks consult their bound-table list first and
+// then fall back to the catalog (paper §6.3), which the query layer
+// implements via Resolver.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/stripdb/strip/internal/types"
+)
+
+// Column describes one fixed-width column of a schema.
+type Column struct {
+	Name string
+	Kind types.Kind
+}
+
+// Schema is an immutable ordered set of columns.
+type Schema struct {
+	name string
+	cols []Column
+	pos  map[string]int
+}
+
+// NewSchema builds a schema. Column names must be unique (case-sensitive;
+// the parser lowercases identifiers before reaching here).
+func NewSchema(name string, cols []Column) (*Schema, error) {
+	if name == "" {
+		return nil, fmt.Errorf("catalog: empty schema name")
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("catalog: schema %q has no columns", name)
+	}
+	s := &Schema{name: name, cols: make([]Column, len(cols)), pos: make(map[string]int, len(cols))}
+	copy(s.cols, cols)
+	for i, c := range cols {
+		if c.Name == "" {
+			return nil, fmt.Errorf("catalog: schema %q column %d unnamed", name, i)
+		}
+		if _, dup := s.pos[c.Name]; dup {
+			return nil, fmt.Errorf("catalog: schema %q duplicate column %q", name, c.Name)
+		}
+		s.pos[c.Name] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error, for static schemas.
+func MustSchema(name string, cols ...Column) *Schema {
+	s, err := NewSchema(name, cols)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Name returns the schema (table) name.
+func (s *Schema) Name() string { return s.name }
+
+// NumCols returns the number of columns.
+func (s *Schema) NumCols() int { return len(s.cols) }
+
+// Col returns the i-th column.
+func (s *Schema) Col(i int) Column { return s.cols[i] }
+
+// Columns returns a copy of the column list.
+func (s *Schema) Columns() []Column {
+	out := make([]Column, len(s.cols))
+	copy(out, s.cols)
+	return out
+}
+
+// ColIndex returns the position of the named column, or -1.
+func (s *Schema) ColIndex(name string) int {
+	if i, ok := s.pos[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// HasCol reports whether the schema contains the named column.
+func (s *Schema) HasCol(name string) bool { return s.ColIndex(name) >= 0 }
+
+// Rename returns a schema with identical columns under a new table name.
+// Bound tables use this to rename transition/query results (bind as).
+func (s *Schema) Rename(name string) *Schema {
+	return &Schema{name: name, cols: s.cols, pos: s.pos}
+}
+
+// WithColumns returns a schema extended by extra columns (e.g. the
+// automatic execute_order and commit_time columns).
+func (s *Schema) WithColumns(extra ...Column) (*Schema, error) {
+	cols := append(s.Columns(), extra...)
+	return NewSchema(s.name, cols)
+}
+
+// Equal reports whether two schemas have identical column names and kinds
+// (table name excluded). Rules executing the same user function must define
+// their bound tables identically (paper §2); this is the check.
+func (s *Schema) Equal(o *Schema) bool {
+	if len(s.cols) != len(o.cols) {
+		return false
+	}
+	for i := range s.cols {
+		if s.cols[i] != o.cols[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckRow verifies that a row's values conform to the schema; NULL is
+// accepted in any column.
+func (s *Schema) CheckRow(row []types.Value) error {
+	if len(row) != len(s.cols) {
+		return fmt.Errorf("catalog: table %s: row has %d values, schema has %d columns",
+			s.name, len(row), len(s.cols))
+	}
+	for i, v := range row {
+		if v.IsNull() {
+			continue
+		}
+		want := s.cols[i].Kind
+		if v.Kind() == want {
+			continue
+		}
+		// INT is acceptable for FLOAT columns (widening), mirroring SQL.
+		if want == types.KindFloat && v.Kind() == types.KindInt {
+			continue
+		}
+		return fmt.Errorf("catalog: table %s column %s: value %s has kind %s, want %s",
+			s.name, s.cols[i].Name, v, v.Kind(), want)
+	}
+	return nil
+}
+
+// Catalog is the thread-safe registry of standard table schemas.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Schema
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{tables: make(map[string]*Schema)}
+}
+
+// Define registers a schema; it fails if the name is taken.
+func (c *Catalog) Define(s *Schema) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[s.Name()]; ok {
+		return fmt.Errorf("catalog: table %q already exists", s.Name())
+	}
+	c.tables[s.Name()] = s
+	return nil
+}
+
+// Drop removes a table definition.
+func (c *Catalog) Drop(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[name]; !ok {
+		return fmt.Errorf("catalog: table %q does not exist", name)
+	}
+	delete(c.tables, name)
+	return nil
+}
+
+// Lookup returns the schema for a table name.
+func (c *Catalog) Lookup(name string) (*Schema, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s, ok := c.tables[name]
+	return s, ok
+}
+
+// Names returns the sorted list of defined table names.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

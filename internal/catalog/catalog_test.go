@@ -1,0 +1,152 @@
+package catalog
+
+import (
+	"testing"
+
+	"github.com/stripdb/strip/internal/types"
+)
+
+func stockSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema("stocks", []Column{
+		{Name: "symbol", Kind: types.KindString},
+		{Name: "price", Kind: types.KindFloat},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSchemaValidation(t *testing.T) {
+	if _, err := NewSchema("", []Column{{Name: "a", Kind: types.KindInt}}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := NewSchema("t", nil); err == nil {
+		t.Error("no columns accepted")
+	}
+	if _, err := NewSchema("t", []Column{{Name: "", Kind: types.KindInt}}); err == nil {
+		t.Error("unnamed column accepted")
+	}
+	if _, err := NewSchema("t", []Column{
+		{Name: "a", Kind: types.KindInt}, {Name: "a", Kind: types.KindFloat},
+	}); err == nil {
+		t.Error("duplicate column accepted")
+	}
+}
+
+func TestSchemaAccessors(t *testing.T) {
+	s := stockSchema(t)
+	if s.Name() != "stocks" || s.NumCols() != 2 {
+		t.Fatalf("name/numcols = %s/%d", s.Name(), s.NumCols())
+	}
+	if s.Col(1).Name != "price" {
+		t.Errorf("Col(1) = %v", s.Col(1))
+	}
+	if s.ColIndex("symbol") != 0 || s.ColIndex("price") != 1 || s.ColIndex("x") != -1 {
+		t.Error("ColIndex wrong")
+	}
+	if !s.HasCol("symbol") || s.HasCol("nope") {
+		t.Error("HasCol wrong")
+	}
+	cols := s.Columns()
+	cols[0].Name = "mutated"
+	if s.Col(0).Name != "symbol" {
+		t.Error("Columns() aliases internal storage")
+	}
+}
+
+func TestSchemaRenameAndExtend(t *testing.T) {
+	s := stockSchema(t)
+	r := s.Rename("my_inserted")
+	if r.Name() != "my_inserted" || r.ColIndex("price") != 1 {
+		t.Error("Rename broke columns")
+	}
+	ext, err := s.WithColumns(Column{Name: "execute_order", Kind: types.KindInt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.NumCols() != 3 || ext.ColIndex("execute_order") != 2 {
+		t.Error("WithColumns wrong")
+	}
+	if _, err := s.WithColumns(Column{Name: "price", Kind: types.KindInt}); err == nil {
+		t.Error("WithColumns allowed duplicate")
+	}
+}
+
+func TestSchemaEqual(t *testing.T) {
+	a := stockSchema(t)
+	b := a.Rename("other") // same columns, different name
+	if !a.Equal(b) {
+		t.Error("renamed schema should be Equal")
+	}
+	c := MustSchema("c", Column{Name: "symbol", Kind: types.KindString})
+	if a.Equal(c) {
+		t.Error("different arity equal")
+	}
+	d := MustSchema("d",
+		Column{Name: "symbol", Kind: types.KindString},
+		Column{Name: "price", Kind: types.KindInt})
+	if a.Equal(d) {
+		t.Error("different kind equal")
+	}
+}
+
+func TestCheckRow(t *testing.T) {
+	s := stockSchema(t)
+	if err := s.CheckRow([]types.Value{types.Str("IBM"), types.Float(42)}); err != nil {
+		t.Errorf("valid row rejected: %v", err)
+	}
+	if err := s.CheckRow([]types.Value{types.Str("IBM"), types.Int(42)}); err != nil {
+		t.Errorf("int in float column rejected: %v", err)
+	}
+	if err := s.CheckRow([]types.Value{types.Null(), types.Null()}); err != nil {
+		t.Errorf("nulls rejected: %v", err)
+	}
+	if err := s.CheckRow([]types.Value{types.Str("IBM")}); err == nil {
+		t.Error("short row accepted")
+	}
+	if err := s.CheckRow([]types.Value{types.Int(1), types.Float(2)}); err == nil {
+		t.Error("kind mismatch accepted")
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	c := New()
+	s := stockSchema(t)
+	if err := c.Define(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Define(s); err == nil {
+		t.Error("duplicate Define accepted")
+	}
+	got, ok := c.Lookup("stocks")
+	if !ok || got != s {
+		t.Error("Lookup failed")
+	}
+	if _, ok := c.Lookup("nope"); ok {
+		t.Error("Lookup found missing table")
+	}
+	if err := c.Define(MustSchema("aaa", Column{Name: "x", Kind: types.KindInt})); err != nil {
+		t.Fatal(err)
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "aaa" || names[1] != "stocks" {
+		t.Errorf("Names = %v", names)
+	}
+	if err := c.Drop("stocks"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Drop("stocks"); err == nil {
+		t.Error("double Drop accepted")
+	}
+}
+
+func TestMustSchemaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSchema did not panic")
+		}
+	}()
+	MustSchema("")
+}

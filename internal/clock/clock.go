@@ -1,0 +1,78 @@
+// Package clock abstracts the engine's notion of time.
+//
+// STRIP's experiments replay a 30-minute market trace (paper §4.1). The
+// live engine uses Real; the experiment driver uses Virtual, whose time
+// advances only when the discrete-event loop says so, letting a 30-minute
+// experiment complete in seconds while preserving all delay-window and
+// release-time semantics.
+//
+// Engine time is expressed in microseconds from an arbitrary epoch (the
+// clock's creation for Real, zero for Virtual).
+package clock
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Micros is engine time: microseconds from the clock's epoch.
+type Micros = int64
+
+// Clock provides engine time.
+type Clock interface {
+	Now() Micros
+}
+
+// Real is a monotonic wall clock anchored at its creation.
+type Real struct {
+	start time.Time
+}
+
+// NewReal returns a real clock whose epoch is now.
+func NewReal() *Real { return &Real{start: time.Now()} }
+
+// Now implements Clock.
+func (r *Real) Now() Micros { return time.Since(r.start).Microseconds() }
+
+// Virtual is a manually advanced clock for discrete-event simulation.
+// The zero value is ready to use at time 0.
+type Virtual struct {
+	now atomic.Int64
+}
+
+// NewVirtual returns a virtual clock at time 0.
+func NewVirtual() *Virtual { return &Virtual{} }
+
+// Now implements Clock.
+func (v *Virtual) Now() Micros { return v.now.Load() }
+
+// AdvanceTo moves the clock forward to t; it panics on retrograde motion,
+// which would indicate a broken event loop.
+func (v *Virtual) AdvanceTo(t Micros) {
+	for {
+		cur := v.now.Load()
+		if t < cur {
+			panic("clock: virtual time moved backwards")
+		}
+		if v.now.CompareAndSwap(cur, t) {
+			return
+		}
+	}
+}
+
+// Advance moves the clock forward by d microseconds.
+func (v *Virtual) Advance(d Micros) {
+	if d < 0 {
+		panic("clock: negative advance")
+	}
+	v.now.Add(d)
+}
+
+// Seconds converts engine micros to float seconds (for reporting).
+func Seconds(m Micros) float64 { return float64(m) / 1e6 }
+
+// FromSeconds converts float seconds to engine micros.
+func FromSeconds(s float64) Micros { return Micros(s * 1e6) }
+
+// FromDuration converts a time.Duration to engine micros.
+func FromDuration(d time.Duration) Micros { return d.Microseconds() }

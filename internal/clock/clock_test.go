@@ -1,0 +1,87 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRealMonotonic(t *testing.T) {
+	c := NewReal()
+	a := c.Now()
+	time.Sleep(2 * time.Millisecond)
+	b := c.Now()
+	if b <= a {
+		t.Errorf("real clock not advancing: %d -> %d", a, b)
+	}
+}
+
+func TestVirtualAdvance(t *testing.T) {
+	v := NewVirtual()
+	if v.Now() != 0 {
+		t.Fatal("virtual clock does not start at 0")
+	}
+	v.AdvanceTo(1000)
+	if v.Now() != 1000 {
+		t.Errorf("Now = %d", v.Now())
+	}
+	v.Advance(500)
+	if v.Now() != 1500 {
+		t.Errorf("Now = %d", v.Now())
+	}
+	v.AdvanceTo(1500) // advancing to the current time is allowed
+}
+
+func TestVirtualRetrogradePanics(t *testing.T) {
+	v := NewVirtual()
+	v.AdvanceTo(100)
+	defer func() {
+		if recover() == nil {
+			t.Error("retrograde AdvanceTo did not panic")
+		}
+	}()
+	v.AdvanceTo(50)
+}
+
+func TestVirtualNegativeAdvancePanics(t *testing.T) {
+	v := NewVirtual()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative Advance did not panic")
+		}
+	}()
+	v.Advance(-1)
+}
+
+func TestVirtualConcurrentReads(t *testing.T) {
+	v := NewVirtual()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				_ = v.Now()
+			}
+		}()
+	}
+	for j := 0; j < 1000; j++ {
+		v.Advance(1)
+	}
+	wg.Wait()
+	if v.Now() != 1000 {
+		t.Errorf("Now = %d after 1000 advances", v.Now())
+	}
+}
+
+func TestConversions(t *testing.T) {
+	if Seconds(1_500_000) != 1.5 {
+		t.Error("Seconds wrong")
+	}
+	if FromSeconds(2.5) != 2_500_000 {
+		t.Error("FromSeconds wrong")
+	}
+	if FromDuration(3*time.Millisecond) != 3000 {
+		t.Error("FromDuration wrong")
+	}
+}

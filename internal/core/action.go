@@ -1,0 +1,213 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/stripdb/strip/internal/clock"
+	"github.com/stripdb/strip/internal/cost"
+	"github.com/stripdb/strip/internal/query"
+	"github.com/stripdb/strip/internal/sched"
+	"github.com/stripdb/strip/internal/storage"
+	"github.com/stripdb/strip/internal/txn"
+	"github.com/stripdb/strip/internal/types"
+)
+
+// ActionFunc is a rule action: an application-provided function executed in
+// a new transaction. It receives no parameters beyond the context; data
+// flows in through bound tables (paper §2).
+type ActionFunc func(ctx *ActionContext) error
+
+// ActionContext is the environment a rule action runs in: a fresh
+// transaction plus read-only access to the firing's bound tables, which
+// shadow database tables of the same name (paper §6.3: "whenever a
+// triggered task tries to access a table, its bound table list must be
+// checked as well as the database catalog").
+type ActionContext struct {
+	engine *Engine
+	task   *sched.Task
+	tx     *txn.Txn
+	bound  map[string]*storage.TempTable
+}
+
+// Txn returns the action's transaction.
+func (c *ActionContext) Txn() *txn.Txn { return c.tx }
+
+// Task returns the scheduler task running the action.
+func (c *ActionContext) Task() *sched.Task { return c.task }
+
+// Bound returns a bound table by name.
+func (c *ActionContext) Bound(name string) (*storage.TempTable, bool) {
+	tt, ok := c.bound[name]
+	return tt, ok
+}
+
+// BoundNames lists the firing's bound tables.
+func (c *ActionContext) BoundNames() []string {
+	out := make([]string, 0, len(c.bound))
+	for n := range c.bound {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Query runs a select inside the action's transaction; bound tables shadow
+// database tables.
+func (c *ActionContext) Query(q *query.Select) (*storage.TempTable, error) {
+	return q.Run(c.tx, boundResolver{bound: c.bound})
+}
+
+// ExecUpdate runs an UPDATE statement inside the action's transaction.
+func (c *ActionContext) ExecUpdate(s *query.UpdateStmt) (int, error) { return s.Run(c.tx) }
+
+// ExecInsert runs an INSERT statement inside the action's transaction.
+func (c *ActionContext) ExecInsert(s *query.InsertStmt) (int, error) { return s.Run(c.tx) }
+
+// ExecDelete runs a DELETE statement inside the action's transaction.
+func (c *ActionContext) ExecDelete(s *query.DeleteStmt) (int, error) { return s.Run(c.tx) }
+
+// Charge adds user-function virtual CPU (e.g. Black-Scholes evaluations).
+func (c *ActionContext) Charge(micros float64) { c.tx.Charge(micros) }
+
+// Model exposes the engine cost model to user functions.
+func (c *ActionContext) Model() cost.Model { return c.engine.model }
+
+// Now returns the engine time.
+func (c *ActionContext) Now() clock.Micros { return c.engine.clk.Now() }
+
+// boundResolver resolves bound tables first, then the database.
+type boundResolver struct {
+	bound map[string]*storage.TempTable
+}
+
+// Resolve implements query.Resolver.
+func (r boundResolver) Resolve(tx *txn.Txn, name string) (*storage.Table, *storage.TempTable, error) {
+	if tt, ok := r.bound[name]; ok {
+		return nil, tt, nil
+	}
+	return query.TxnResolver{}.Resolve(tx, name)
+}
+
+// actionPayload is the rule-task TCB content (paper §6.3): bound table
+// schemas + data, the user function, and uniqueness bookkeeping.
+type actionPayload struct {
+	engine   *Engine
+	rule     string
+	fnName   string
+	fn       ActionFunc
+	stats    *ActionStats
+	bound    map[string]*storage.TempTable
+	key      types.Key
+	set      *uniqueSet // nil for non-unique actions
+	restarts int
+}
+
+// merge appends another firing's bound rows into this payload's tables.
+// Caller holds the uniqueness set lock; the task has not started.
+func (p *actionPayload) merge(incoming map[string]*storage.TempTable) error {
+	if len(incoming) != len(p.bound) {
+		return fmt.Errorf("core: merge table-count mismatch: %d vs %d", len(incoming), len(p.bound))
+	}
+	for name, tt := range incoming {
+		dst, ok := p.bound[name]
+		if !ok {
+			return fmt.Errorf("core: merge: no queued bound table %q", name)
+		}
+		if err := dst.AppendFrom(tt, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// newActionTask builds the scheduler task for a firing.
+func (e *Engine) newActionTask(rule *Rule, fn ActionFunc, stats *ActionStats,
+	bound map[string]*storage.TempTable, key types.Key, set *uniqueSet, release clock.Micros) *sched.Task {
+
+	payload := &actionPayload{
+		engine: e,
+		rule:   rule.Name,
+		fnName: rule.Action,
+		fn:     fn,
+		stats:  stats,
+		bound:  bound,
+		key:    key,
+		set:    set,
+	}
+	task := &sched.Task{
+		Name:    rule.Action,
+		Release: release,
+		Value:   rule.Value,
+		Payload: payload,
+	}
+	if rule.Deadline > 0 {
+		task.Deadline = release + rule.Deadline
+	}
+	// When the task is dequeued its bound tables freeze: remove it from the
+	// uniqueness hash so subsequent firings start a new task (paper §2).
+	if set != nil {
+		task.OnStart = func(t *sched.Task) {
+			set.mu.Lock()
+			if set.pending[key] == t {
+				delete(set.pending, key)
+			}
+			set.mu.Unlock()
+		}
+	}
+	task.Fn = e.runAction
+	return task
+}
+
+// runAction executes a rule action task: new transaction, user function,
+// commit; deadlock victims are resubmitted (restart) up to
+// maxActionRestarts times. Bound tables are reclaimed when the task
+// finishes for good (paper §6.3).
+func (e *Engine) runAction(task *sched.Task) error {
+	p := task.Payload.(*actionPayload)
+	startWork := e.meter.Micros()
+	queued := task.QueueTime()
+
+	tx := e.Txns.Begin()
+	ctx := &ActionContext{engine: e, task: task, tx: tx, bound: p.bound}
+	err := p.fn(ctx)
+	if err == nil {
+		err = tx.Commit()
+	} else if tx.Status() == txn.Active {
+		if abortErr := tx.Abort(); abortErr != nil {
+			err = fmt.Errorf("%w; abort failed: %v", err, abortErr)
+		}
+	}
+
+	work := e.meter.Micros() - startWork
+
+	if err != nil && IsDeadlock(err) && p.restarts < maxActionRestarts {
+		// Restart: resubmit immediately as a fresh task with the same
+		// payload (paper §3: real-time transactions may be restarted).
+		p.restarts++
+		e.bump(p.stats, func(s *ActionStats) {
+			s.Restarts++
+			s.WorkMicros += work
+			s.QueueMicros += queued
+		})
+		retry := &sched.Task{
+			Name:    task.Name,
+			Value:   task.Value,
+			Payload: p,
+			Fn:      e.runAction,
+		}
+		e.Sched.Submit(retry)
+		return nil
+	}
+
+	e.bump(p.stats, func(s *ActionStats) {
+		s.TasksRun++
+		s.WorkMicros += work
+		s.QueueMicros += queued
+		if err != nil {
+			s.TaskErrors++
+		}
+	})
+	for _, tt := range p.bound {
+		tt.Retire()
+	}
+	return err
+}

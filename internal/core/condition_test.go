@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/stripdb/strip/internal/query"
+	"github.com/stripdb/strip/internal/types"
+)
+
+// The condition is a conjunction of queries: every query must return rows
+// (paper §2). When a later query is empty, earlier bound results must be
+// discarded and no task created.
+func TestConditionMultipleQueriesAllMustMatch(t *testing.T) {
+	db := newTestDB(t)
+	db.register("f", func(ctx *ActionContext) error { return nil })
+	db.mustCreate(&Rule{
+		Name:   "r",
+		Table:  "stocks",
+		Events: []EventSpec{{Kind: Updated}},
+		Condition: []*query.Select{
+			{
+				Items: []query.SelectItem{query.Item(query.QCol("new", "symbol"), "")},
+				From:  []string{"new"},
+				Bind:  "b1",
+			},
+			{
+				// Empty: no stock is priced above 10000.
+				Items: []query.SelectItem{query.Item(query.Col("symbol"), "")},
+				From:  []string{"stocks"},
+				Where: []query.Pred{query.Cmp(query.Col("price"), query.GT, query.Const(types.Float(10000)))},
+			},
+		},
+		Action: "f",
+	})
+	db.setPrice("S1", 31)
+	st := db.engine.Stats("f")
+	if st.Fired != 0 || st.TasksCreated != 0 {
+		t.Errorf("stats = %+v; second empty query should veto the firing", st)
+	}
+	// No pins leaked from the discarded first bound table.
+	stocks, _ := db.txns.Store.Get("stocks")
+	if held := stocks.Stats().RetiredHeld; held != 0 {
+		t.Errorf("RetiredHeld = %d after vetoed firing", held)
+	}
+}
+
+// A rule with no condition queries fires on any matching event.
+func TestConditionVacuouslyTrue(t *testing.T) {
+	db := newTestDB(t)
+	db.register("f", func(ctx *ActionContext) error {
+		if names := ctx.BoundNames(); len(names) != 0 {
+			t.Errorf("unexpected bound tables %v", names)
+		}
+		return nil
+	})
+	db.mustCreate(&Rule{
+		Name:   "r",
+		Table:  "stocks",
+		Events: []EventSpec{{Kind: Updated}},
+		Action: "f",
+	})
+	db.setPrice("S1", 31)
+	db.drain()
+	if st := db.engine.Stats("f"); st.TasksRun != 1 {
+		t.Errorf("TasksRun = %d", st.TasksRun)
+	}
+}
+
+// Evaluate-clause queries do not affect the condition: an empty evaluate
+// result still fires the action (paper §2: "these queries do not affect
+// the rule condition").
+func TestEvaluateClauseDoesNotVeto(t *testing.T) {
+	db := newTestDB(t)
+	var extraLen = -1
+	db.register("f", func(ctx *ActionContext) error {
+		extra, ok := ctx.Bound("extra")
+		if ok {
+			extraLen = extra.Len()
+		}
+		return nil
+	})
+	db.mustCreate(&Rule{
+		Name:   "r",
+		Table:  "stocks",
+		Events: []EventSpec{{Kind: Updated}},
+		Evaluate: []*query.Select{{
+			Items: []query.SelectItem{query.Item(query.Col("symbol"), "")},
+			From:  []string{"stocks"},
+			Where: []query.Pred{query.Cmp(query.Col("price"), query.GT, query.Const(types.Float(10000)))},
+			Bind:  "extra",
+		}},
+		Action: "f",
+	})
+	db.setPrice("S1", 31)
+	db.drain()
+	st := db.engine.Stats("f")
+	if st.TasksRun != 1 {
+		t.Fatalf("TasksRun = %d", st.TasksRun)
+	}
+	if extraLen != 0 {
+		t.Errorf("extra bound table length = %d, want 0 (empty but present)", extraLen)
+	}
+}
+
+func TestPendingUnique(t *testing.T) {
+	db := newTestDB(t)
+	db.register("f", func(ctx *ActionContext) error { return nil })
+	db.mustCreate(&Rule{
+		Name:      "r",
+		Table:     "stocks",
+		Events:    []EventSpec{{Kind: Updated}},
+		Condition: []*query.Select{matchesQuery()},
+		Action:    "f",
+		Unique:    true,
+		UniqueOn:  []string{"comp"},
+		Delay:     1_000_000,
+	})
+	if got := db.engine.PendingUnique("f"); got != 0 {
+		t.Fatalf("initial pending = %d", got)
+	}
+	db.setPrice("S1", 31) // touches C1 and C2
+	if got := db.engine.PendingUnique("f"); got != 2 {
+		t.Fatalf("pending after firing = %d, want 2", got)
+	}
+	db.clk.AdvanceTo(2_000_000)
+	db.drain()
+	if got := db.engine.PendingUnique("f"); got != 0 {
+		t.Errorf("pending after drain = %d", got)
+	}
+	if got := db.engine.PendingUnique("unknown_fn"); got != 0 {
+		t.Errorf("pending for unknown function = %d", got)
+	}
+}

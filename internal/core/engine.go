@@ -1,0 +1,772 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/stripdb/strip/internal/catalog"
+	"github.com/stripdb/strip/internal/clock"
+	"github.com/stripdb/strip/internal/cost"
+	"github.com/stripdb/strip/internal/lock"
+	"github.com/stripdb/strip/internal/query"
+	"github.com/stripdb/strip/internal/sched"
+	"github.com/stripdb/strip/internal/storage"
+	"github.com/stripdb/strip/internal/txn"
+	"github.com/stripdb/strip/internal/types"
+)
+
+// maxActionRestarts bounds deadlock-victim retries of rule action tasks
+// (paper §3: in a real-time system transactions may be restarted).
+const maxActionRestarts = 3
+
+// ActionStats summarizes one user function's rule activity. N_r in the
+// paper's figures is TasksRun; WorkMicros/TasksRun is the mean recompute
+// transaction length excluding queueing (Figures 11 and 14).
+type ActionStats struct {
+	Fired        int64   // rule firings with a true condition
+	TasksCreated int64   // new tasks enqueued
+	TasksMerged  int64   // firings absorbed into queued unique tasks
+	RowsMerged   int64   // bound rows appended by merges
+	TasksRun     int64   // tasks executed (N_r)
+	TaskErrors   int64   // tasks that failed after retries
+	Restarts     int64   // deadlock-victim restarts
+	WorkMicros   float64 // charged virtual CPU across runs
+	QueueMicros  int64   // total time between release and start
+}
+
+// Engine is the rule system: it owns rule definitions, user functions,
+// uniqueness hash tables, and rule processing at commit.
+type Engine struct {
+	Txns  *txn.Manager
+	Sched *sched.Scheduler
+
+	clk   clock.Clock
+	meter *cost.Meter
+	model cost.Model
+
+	mu      sync.RWMutex
+	rules   map[string]*Rule
+	byTable map[string][]*Rule
+	funcs   map[string]ActionFunc
+	// sets holds one uniqueness hash table per user function, created when
+	// the first rule executing that function is defined (paper §6.3).
+	sets map[string]*uniqueSet
+	// bindSig records each function's bound-table definitions; rules
+	// executing the same function must define them identically (paper §2).
+	bindSig map[string]map[string]*catalog.Schema
+
+	statsMu sync.Mutex
+	stats   map[string]*ActionStats
+
+	// periodic holds recurring recomputation tasks (paper §3).
+	periodic map[string]*periodicTask
+}
+
+// NewEngine builds a rule engine over the transaction manager and scheduler
+// and registers itself as the commit hook.
+func NewEngine(txns *txn.Manager, scheduler *sched.Scheduler) *Engine {
+	e := &Engine{
+		Txns:    txns,
+		Sched:   scheduler,
+		clk:     txns.Clock,
+		meter:   txns.Meter,
+		model:   txns.Model,
+		rules:   make(map[string]*Rule),
+		byTable: make(map[string][]*Rule),
+		funcs:   make(map[string]ActionFunc),
+		sets:    make(map[string]*uniqueSet),
+		bindSig: make(map[string]map[string]*catalog.Schema),
+		stats:   make(map[string]*ActionStats),
+	}
+	txns.SetCommitHook(e.ProcessCommit)
+	return e
+}
+
+// RegisterFunc installs a user function under a name. Rule actions are
+// executed by application-provided functions treated as black boxes
+// (paper §2); in this implementation they are Go closures.
+func (e *Engine) RegisterFunc(name string, fn ActionFunc) error {
+	if name == "" || fn == nil {
+		return fmt.Errorf("core: invalid function registration")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.funcs[name]; dup {
+		return fmt.Errorf("core: function %q already registered", name)
+	}
+	e.funcs[name] = fn
+	return nil
+}
+
+// CreateRule validates and installs a rule. The uniqueness hash table for
+// the rule's function is created on first use.
+func (e *Engine) CreateRule(r *Rule) error {
+	if err := r.validate(); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.rules[r.Name]; dup {
+		return fmt.Errorf("core: rule %q already exists", r.Name)
+	}
+	if _, ok := e.funcs[r.Action]; !ok {
+		return fmt.Errorf("core: rule %s executes unregistered function %q", r.Name, r.Action)
+	}
+	if _, ok := e.Txns.Catalog.Lookup(r.Table); !ok {
+		return fmt.Errorf("core: rule %s on unknown table %q", r.Name, r.Table)
+	}
+	e.rules[r.Name] = r
+	e.byTable[r.Table] = append(e.byTable[r.Table], r)
+	if r.Unique {
+		if _, ok := e.sets[r.Action]; !ok {
+			e.sets[r.Action] = newUniqueSet()
+		}
+	}
+	if _, ok := e.stats[r.Action]; !ok {
+		e.stats[r.Action] = &ActionStats{}
+	}
+	return nil
+}
+
+// DropRule removes a rule.
+func (e *Engine) DropRule(name string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	r, ok := e.rules[name]
+	if !ok {
+		return fmt.Errorf("core: rule %q does not exist", name)
+	}
+	delete(e.rules, name)
+	list := e.byTable[r.Table]
+	for i, x := range list {
+		if x == r {
+			e.byTable[r.Table] = append(list[:i:i], list[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Rules returns the installed rules for a table (nil-safe copy).
+func (e *Engine) Rules(table string) []*Rule {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return append([]*Rule(nil), e.byTable[table]...)
+}
+
+// Stats returns a snapshot of a function's action statistics.
+func (e *Engine) Stats(function string) ActionStats {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	if s, ok := e.stats[function]; ok {
+		return *s
+	}
+	return ActionStats{}
+}
+
+// bump mutates a function's stats under the stats lock.
+func (e *Engine) bump(s *ActionStats, fn func(*ActionStats)) {
+	e.statsMu.Lock()
+	fn(s)
+	e.statsMu.Unlock()
+}
+
+// ResetStats zeroes all action statistics (between experiment runs).
+func (e *Engine) ResetStats() {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	for k := range e.stats {
+		*e.stats[k] = ActionStats{}
+	}
+}
+
+// ProcessCommit is the commit hook: event detection over the write log,
+// transition-table construction, condition evaluation, binding, and task
+// creation/merging (paper §6.3).
+func (e *Engine) ProcessCommit(tx *txn.Txn) error {
+	log := tx.Log()
+	if len(log) == 0 {
+		return nil
+	}
+	// Group the log by table, preserving execution order.
+	byTable := map[string][]txn.LogRec{}
+	var tableOrder []string
+	for _, rec := range log {
+		if _, seen := byTable[rec.Table]; !seen {
+			tableOrder = append(tableOrder, rec.Table)
+		}
+		byTable[rec.Table] = append(byTable[rec.Table], rec)
+	}
+
+	for _, table := range tableOrder {
+		e.mu.RLock()
+		rules := append([]*Rule(nil), e.byTable[table]...)
+		e.mu.RUnlock()
+		if len(rules) == 0 {
+			continue
+		}
+		recs := byTable[table]
+		trans, err := buildTransitions(table, e.Txns, recs)
+		if err != nil {
+			return err
+		}
+		for _, rule := range rules {
+			e.meter.Charge(e.model.EventCheck)
+			if !triggered(rule, recs) {
+				continue
+			}
+			if err := e.evaluateRule(tx, rule, trans); err != nil {
+				trans.retire()
+				return err
+			}
+		}
+		trans.retire()
+	}
+	return nil
+}
+
+// transitions holds the four transition tables for one table's changes.
+type transitions struct {
+	inserted, deleted, new, old *storage.TempTable
+}
+
+func (tr *transitions) retire() {
+	tr.inserted.Retire()
+	tr.deleted.Retire()
+	tr.new.Retire()
+	tr.old.Retire()
+}
+
+func (tr *transitions) lookup(name string) (*storage.TempTable, bool) {
+	switch name {
+	case transInserted:
+		return tr.inserted, true
+	case transDeleted:
+		return tr.deleted, true
+	case transNew:
+		return tr.new, true
+	case transOld:
+		return tr.old, true
+	}
+	return nil, false
+}
+
+// buildTransitions constructs inserted/deleted/new/old for a table from its
+// log records, each with the execute_order column (paper §2: no net-effect
+// reduction — every change appears).
+func buildTransitions(table string, mgr *txn.Manager, recs []txn.LogRec) (*transitions, error) {
+	base, ok := mgr.Catalog.Lookup(table)
+	if !ok {
+		return nil, fmt.Errorf("core: table %q missing from catalog", table)
+	}
+	mk := func(name string) (*storage.TempTable, error) {
+		schema, err := base.Rename(name).WithColumns(catalog.Column{Name: ExecuteOrderCol, Kind: types.KindInt})
+		if err != nil {
+			return nil, err
+		}
+		srcMap := make([]storage.ColSource, schema.NumCols())
+		for i := 0; i < base.NumCols(); i++ {
+			srcMap[i] = storage.FromRecord(0, i)
+		}
+		srcMap[base.NumCols()] = storage.Materialized(0)
+		return storage.NewTempTable(schema, srcMap, 1)
+	}
+	tr := &transitions{}
+	var err error
+	if tr.inserted, err = mk(transInserted); err != nil {
+		return nil, err
+	}
+	if tr.deleted, err = mk(transDeleted); err != nil {
+		return nil, err
+	}
+	if tr.new, err = mk(transNew); err != nil {
+		return nil, err
+	}
+	if tr.old, err = mk(transOld); err != nil {
+		return nil, err
+	}
+	for _, rec := range recs {
+		mgr.Meter.Charge(mgr.Model.ScanRow)
+		seq := []types.Value{types.Int(rec.Seq)}
+		switch rec.Op {
+		case txn.OpInsert:
+			err = tr.inserted.AppendRow([]*storage.Record{rec.New}, seq)
+		case txn.OpDelete:
+			err = tr.deleted.AppendRow([]*storage.Record{rec.Old}, seq)
+		case txn.OpUpdate:
+			// Old and new images share the execute_order value so rules can
+			// pair them (paper §3: new.execute_order = old.execute_order).
+			if err = tr.old.AppendRow([]*storage.Record{rec.Old}, seq); err == nil {
+				err = tr.new.AppendRow([]*storage.Record{rec.New}, seq)
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return tr, nil
+}
+
+// triggered evaluates the rule's transition predicate against the log.
+func triggered(rule *Rule, recs []txn.LogRec) bool {
+	for _, rec := range recs {
+		var kind EventKind
+		var changed map[string]bool
+		switch rec.Op {
+		case txn.OpInsert:
+			kind = Inserted
+		case txn.OpDelete:
+			kind = Deleted
+		case txn.OpUpdate:
+			kind = Updated
+			changed = changedColumns(rec)
+		}
+		for _, ev := range rule.Events {
+			if ev.matches(kind, changed) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func changedColumns(rec txn.LogRec) map[string]bool {
+	out := map[string]bool{}
+	schema := rec.New.Table().Schema()
+	for i := 0; i < schema.NumCols(); i++ {
+		if !rec.Old.Value(i).Equal(rec.New.Value(i)) {
+			out[schema.Col(i).Name] = true
+		}
+	}
+	return out
+}
+
+// transResolver resolves the rule's transition tables first, then the
+// database.
+type transResolver struct{ trans *transitions }
+
+func (r transResolver) Resolve(tx *txn.Txn, name string) (*storage.Table, *storage.TempTable, error) {
+	if tt, ok := r.trans.lookup(name); ok {
+		return nil, tt, nil
+	}
+	return query.TxnResolver{}.Resolve(tx, name)
+}
+
+// evaluateRule runs the rule's condition inside the triggering transaction,
+// builds bound tables, and fires the action.
+func (e *Engine) evaluateRule(tx *txn.Txn, rule *Rule, trans *transitions) error {
+	res := transResolver{trans: trans}
+	bound := map[string]*storage.TempTable{}
+	retireAll := func() {
+		for _, tt := range bound {
+			tt.Retire()
+		}
+	}
+
+	condTrue := true
+	for _, q := range rule.Condition {
+		out, err := q.Run(tx, res)
+		if err != nil {
+			retireAll()
+			return fmt.Errorf("core: rule %s condition: %w", rule.Name, err)
+		}
+		if out.Len() == 0 {
+			condTrue = false
+			out.Retire()
+			break
+		}
+		if q.Bind != "" {
+			bound[q.Bind] = out
+		} else {
+			out.Retire()
+		}
+	}
+	if !condTrue {
+		retireAll()
+		return nil
+	}
+	for _, q := range rule.Evaluate {
+		out, err := q.Run(tx, res)
+		if err != nil {
+			retireAll()
+			return fmt.Errorf("core: rule %s evaluate: %w", rule.Name, err)
+		}
+		if q.Bind != "" {
+			bound[q.Bind] = out
+		} else {
+			out.Retire()
+		}
+	}
+
+	// Bind-time commit_time instantiation. The hook runs just before the
+	// commit point inside the committing transaction, so "now" is the
+	// transaction's commit time to within the commit path itself.
+	if rule.BindCommitTime {
+		now := e.clk.Now()
+		stamped := map[string]*storage.TempTable{}
+		for name, tt := range bound {
+			ext, err := withCommitTime(tt, now)
+			tt.Retire()
+			if err != nil {
+				for _, s := range stamped {
+					s.Retire()
+				}
+				return err
+			}
+			stamped[name] = ext
+		}
+		bound = stamped
+	}
+
+	for range bound {
+		// bind-as accounting: rows were charged as OutputRow by the query;
+		// charge BindRow for wiring each bound table into the task.
+		e.meter.Charge(e.model.BindRow)
+	}
+
+	if err := e.checkBindSignature(rule, bound); err != nil {
+		retireAll()
+		return err
+	}
+
+	return e.fire(tx, rule, bound)
+}
+
+// withCommitTime copies tt into a table extended by the commit_time column.
+func withCommitTime(tt *storage.TempTable, now clock.Micros) (*storage.TempTable, error) {
+	schema, err := tt.Schema().WithColumns(catalog.Column{Name: CommitTimeCol, Kind: types.KindTime})
+	if err != nil {
+		return nil, err
+	}
+	n := tt.Schema().NumCols()
+	srcMap := make([]storage.ColSource, n+1)
+	nVals := 0
+	for i := 0; i < n; i++ {
+		cs := tt.Source(i)
+		if cs.Ptr < 0 {
+			cs.Off = nVals
+			nVals++
+		}
+		srcMap[i] = cs
+	}
+	srcMap[n] = storage.Materialized(nVals)
+	out, err := storage.NewTempTable(schema, srcMap, tt.NumPtrs())
+	if err != nil {
+		return nil, err
+	}
+	ts := types.Time(now)
+	for i := 0; i < tt.Len(); i++ {
+		ptrs := make([]*storage.Record, tt.NumPtrs())
+		for p := range ptrs {
+			ptrs[p] = tt.RowPtr(i, p)
+		}
+		vals := make([]types.Value, 0, nVals+1)
+		for c := 0; c < n; c++ {
+			if tt.Source(c).Ptr < 0 {
+				vals = append(vals, tt.Value(i, c))
+			}
+		}
+		vals = append(vals, ts)
+		if err := out.AppendRow(ptrs, vals); err != nil {
+			out.Retire()
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// checkBindSignature enforces the paper's §2 requirement: all rules that
+// execute the same user function must define their bound tables
+// identically. The first firing fixes the signature.
+func (e *Engine) checkBindSignature(rule *Rule, bound map[string]*storage.TempTable) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	sig, ok := e.bindSig[rule.Action]
+	if !ok {
+		sig = map[string]*catalog.Schema{}
+		for name, tt := range bound {
+			sig[name] = tt.Schema()
+		}
+		e.bindSig[rule.Action] = sig
+		return nil
+	}
+	if len(sig) != len(bound) {
+		return fmt.Errorf("core: rule %s binds %d tables for function %s, expected %d",
+			rule.Name, len(bound), rule.Action, len(sig))
+	}
+	for name, tt := range bound {
+		want, ok := sig[name]
+		if !ok {
+			return fmt.Errorf("core: rule %s binds unexpected table %q for function %s",
+				rule.Name, name, rule.Action)
+		}
+		if !want.Equal(tt.Schema()) {
+			return fmt.Errorf("core: rule %s binds table %q with a different definition for function %s",
+				rule.Name, name, rule.Action)
+		}
+	}
+	return nil
+}
+
+// fire creates or merges action tasks for one rule firing.
+func (e *Engine) fire(tx *txn.Txn, rule *Rule, bound map[string]*storage.TempTable) error {
+	e.mu.RLock()
+	fn := e.funcs[rule.Action]
+	set := e.sets[rule.Action]
+	stats := e.stats[rule.Action]
+	e.mu.RUnlock()
+	if fn == nil {
+		for _, tt := range bound {
+			tt.Retire()
+		}
+		return fmt.Errorf("core: function %q vanished", rule.Action)
+	}
+	e.bump(stats, func(s *ActionStats) { s.Fired++ })
+
+	release := e.clk.Now() + rule.Delay
+
+	if !rule.Unique {
+		e.submitTask(rule, fn, stats, bound, types.Key{}, nil, release)
+		return nil
+	}
+
+	if len(rule.UniqueOn) == 0 {
+		e.enqueueUnique(rule, fn, stats, set, types.Key{}, bound, release)
+		return nil
+	}
+
+	parts, err := partitionByUnique(rule.UniqueOn, bound)
+	if err != nil {
+		for _, tt := range bound {
+			tt.Retire()
+		}
+		return fmt.Errorf("core: rule %s: %w", rule.Name, err)
+	}
+	for _, part := range parts {
+		// Rule-system pre-grouping of bound rows into per-key tables
+		// (paper §5.2: slightly faster than grouping in user code).
+		for _, tt := range part.bound {
+			e.meter.Charge(float64(tt.Len()) * e.model.GroupRow)
+		}
+		e.enqueueUnique(rule, fn, stats, set, part.key, part.bound, release)
+	}
+	// The originals were copied into the partitions.
+	for _, tt := range bound {
+		tt.Retire()
+	}
+	return nil
+}
+
+// enqueueUnique merges a firing into a queued unique task or creates one
+// (paper §2, §6.3: the hash table maps unique column values to the TCB).
+func (e *Engine) enqueueUnique(rule *Rule, fn ActionFunc, stats *ActionStats, set *uniqueSet,
+	key types.Key, bound map[string]*storage.TempTable, release clock.Micros) {
+
+	e.meter.Charge(e.model.UniqueHashLookup)
+	set.mu.Lock()
+	pending, ok := set.pending[key]
+	if ok {
+		payload := pending.Payload.(*actionPayload)
+		merged := 0
+		err := payload.merge(bound)
+		if err == nil {
+			for _, tt := range bound {
+				merged += tt.Len()
+			}
+		}
+		set.mu.Unlock()
+		for _, tt := range bound {
+			tt.Retire()
+		}
+		if err != nil {
+			// Defined-identically violations are caught earlier by the bind
+			// signature check; reaching here means an internal mismatch.
+			panic(fmt.Sprintf("core: merge into queued task failed: %v", err))
+		}
+		e.meter.Charge(float64(merged) * e.model.MergeRow)
+		e.bump(stats, func(s *ActionStats) {
+			s.TasksMerged++
+			s.RowsMerged += int64(merged)
+		})
+		return
+	}
+	task := e.newActionTask(rule, fn, stats, bound, key, set, release)
+	set.pending[key] = task
+	set.mu.Unlock()
+	e.bump(stats, func(s *ActionStats) { s.TasksCreated++ })
+	e.Sched.Submit(task)
+}
+
+func (e *Engine) submitTask(rule *Rule, fn ActionFunc, stats *ActionStats,
+	bound map[string]*storage.TempTable, key types.Key, set *uniqueSet, release clock.Micros) {
+	task := e.newActionTask(rule, fn, stats, bound, key, set, release)
+	e.bump(stats, func(s *ActionStats) { s.TasksCreated++ })
+	e.Sched.Submit(task)
+}
+
+// uniqueSet is the per-function uniqueness hash table (paper §6.3). The
+// paper guards it with spinlocks; we use a mutex.
+type uniqueSet struct {
+	mu      sync.Mutex
+	pending map[types.Key]*sched.Task
+}
+
+func newUniqueSet() *uniqueSet {
+	return &uniqueSet{pending: make(map[types.Key]*sched.Task)}
+}
+
+// partition is one unique-column combination and its bound-table subset.
+type partition struct {
+	key   types.Key
+	bound map[string]*storage.TempTable
+}
+
+// partitionByUnique implements Appendix A: tables containing unique columns
+// (T^u) are partitioned by the distinct combinations of unique-column
+// values; tables without unique columns pass whole to every partition.
+func partitionByUnique(uniqueOn []string, bound map[string]*storage.TempTable) ([]partition, error) {
+	if len(uniqueOn) > types.MaxKeyWidth {
+		return nil, fmt.Errorf("unique column width %d exceeds %d", len(uniqueOn), types.MaxKeyWidth)
+	}
+	// Locate each unique column: (table, column index).
+	type colLoc struct {
+		table string
+		col   int
+	}
+	locs := make([]colLoc, len(uniqueOn))
+	for i, name := range uniqueOn {
+		found := false
+		for tname, tt := range bound {
+			if ci := tt.Schema().ColIndex(name); ci >= 0 {
+				if found {
+					return nil, fmt.Errorf("unique column %q appears in multiple bound tables", name)
+				}
+				locs[i] = colLoc{table: tname, col: ci}
+				found = true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unique column %q not found in any bound table", name)
+		}
+	}
+	uniqueTables := map[string]bool{}
+	for _, l := range locs {
+		uniqueTables[l.table] = true
+	}
+
+	// Per-row key part for each T^u table, then the set of distinct combos
+	// = π_U of the product of T^u (columns from different tables combine
+	// freely; see Appendix A).
+	type rowKey struct {
+		tbl  string
+		keys []types.Key // per-row partial key over this table's unique cols
+	}
+	partialFor := func(tname string) []int {
+		var idxs []int
+		for i, l := range locs {
+			if l.table == tname {
+				idxs = append(idxs, i)
+			}
+		}
+		return idxs
+	}
+
+	partials := map[string]rowKey{}
+	for tname := range uniqueTables {
+		tt := bound[tname]
+		idxs := partialFor(tname)
+		keys := make([]types.Key, tt.Len())
+		for r := 0; r < tt.Len(); r++ {
+			vals := make([]types.Value, len(idxs))
+			for j, li := range idxs {
+				vals[j] = tt.Value(r, locs[li].col)
+			}
+			keys[r] = types.MakeKey(vals...)
+		}
+		partials[tname] = rowKey{tbl: tname, keys: keys}
+	}
+
+	// Enumerate distinct full keys: cross product of per-table distinct
+	// partial keys, assembled in uniqueOn order.
+	tableNames := make([]string, 0, len(uniqueTables))
+	for t := range uniqueTables {
+		tableNames = append(tableNames, t)
+	}
+	distinct := make([]map[types.Key]bool, len(tableNames))
+	order := make([][]types.Key, len(tableNames))
+	for i, t := range tableNames {
+		distinct[i] = map[types.Key]bool{}
+		for _, k := range partials[t].keys {
+			if !distinct[i][k] {
+				distinct[i][k] = true
+				order[i] = append(order[i], k)
+			}
+		}
+	}
+
+	var parts []partition
+	var build func(level int, chosen map[string]types.Key)
+	build = func(level int, chosen map[string]types.Key) {
+		if level == len(tableNames) {
+			// Assemble the full key in uniqueOn order.
+			full := make([]types.Value, len(uniqueOn))
+			for i, l := range locs {
+				part := chosen[l.table]
+				// Position of column i within its table's partial key.
+				pos := 0
+				for _, li := range partialFor(l.table) {
+					if li == i {
+						break
+					}
+					pos++
+				}
+				full[i] = part.At(pos)
+			}
+			key := types.MakeKey(full...)
+			pb := map[string]*storage.TempTable{}
+			for tname, tt := range bound {
+				clone := tt.Clone()
+				if uniqueTables[tname] {
+					pk := partials[tname].keys
+					want := chosen[tname]
+					if err := clone.AppendFrom(tt, func(r int) bool { return pk[r] == want }); err != nil {
+						panic(err) // clone is append-compatible by construction
+					}
+				} else {
+					if err := clone.AppendFrom(tt, nil); err != nil {
+						panic(err)
+					}
+				}
+				pb[tname] = clone
+			}
+			parts = append(parts, partition{key: key, bound: pb})
+			return
+		}
+		for _, k := range order[level] {
+			chosen[tableNames[level]] = k
+			build(level+1, chosen)
+		}
+	}
+	build(0, map[string]types.Key{})
+	return parts, nil
+}
+
+// IsDeadlock reports whether err is a lock-manager deadlock abort,
+// triggering an action-task restart.
+func IsDeadlock(err error) bool { return errors.Is(err, lock.ErrDeadlock) }
+
+// PendingUnique reports how many unique transactions are currently queued
+// for a user function (the population of its uniqueness hash table), for
+// monitoring and the CLI.
+func (e *Engine) PendingUnique(function string) int {
+	e.mu.RLock()
+	set := e.sets[function]
+	e.mu.RUnlock()
+	if set == nil {
+		return 0
+	}
+	set.mu.Lock()
+	defer set.mu.Unlock()
+	return len(set.pending)
+}

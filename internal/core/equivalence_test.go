@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"github.com/stripdb/strip/internal/clock"
+	"github.com/stripdb/strip/internal/query"
+)
+
+// The fundamental correctness claim behind unique transactions: for an
+// action that applies the *net effect* of its bound rows (as the paper's
+// compute_comps functions do), the final derived state is identical
+// whether every change runs its own transaction (non-unique), everything
+// batches coarsely, or changes partition per key — for any update
+// sequence and any interleaving of delay windows.
+func TestQuickBatchingEquivalence(t *testing.T) {
+	type update struct {
+		Stock uint8
+		Tick  int8
+		Gap   uint8 // hundreds of ms between updates
+	}
+	f := func(updates []update) bool {
+		if len(updates) > 40 {
+			updates = updates[:40]
+		}
+		finals := make([]map[string]float64, 0, 3)
+		for _, mode := range []struct {
+			unique   bool
+			uniqueOn []string
+			delay    clock.Micros
+		}{
+			{false, nil, 0},
+			{true, nil, clock.FromSeconds(1)},
+			{true, []string{"comp"}, clock.FromSeconds(0.7)},
+		} {
+			db := newTestDB(t)
+			db.register("f", computeComps)
+			db.mustCreate(&Rule{
+				Name:      "r",
+				Table:     "stocks",
+				Events:    []EventSpec{{Kind: Updated, Columns: []string{"price"}}},
+				Condition: []*query.Select{matchesQuery()},
+				Action:    "f",
+				Unique:    mode.unique,
+				UniqueOn:  mode.uniqueOn,
+				Delay:     mode.delay,
+			})
+			prices := map[string]float64{"S1": 30, "S2": 40, "S3": 50}
+			for _, u := range updates {
+				sym := fmt.Sprintf("S%d", int(u.Stock)%3+1)
+				prices[sym] += float64(u.Tick) / 8
+				if prices[sym] < 1 {
+					prices[sym] = 1
+				}
+				db.setPrice(sym, prices[sym])
+				// Advance virtual time and run whatever becomes ready,
+				// exercising arbitrary window boundaries.
+				db.clk.Advance(clock.Micros(u.Gap) * 100_000)
+				db.drain()
+			}
+			// Let every window expire and drain the tail.
+			db.clk.Advance(clock.FromSeconds(5))
+			db.drain()
+			finals = append(finals, db.compPrices())
+		}
+		for _, other := range finals[1:] {
+			for comp, want := range finals[0] {
+				if d := other[comp] - want; d > 1e-9 || d < -1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Bound rows arrive in commit order even across merges, so actions that
+// need the *last* value (non-incremental maintenance) see a consistent
+// ordering no matter how many firings were batched.
+func TestQuickMergeOrderPreserved(t *testing.T) {
+	f := func(pricesRaw []uint16) bool {
+		if len(pricesRaw) == 0 {
+			return true
+		}
+		if len(pricesRaw) > 30 {
+			pricesRaw = pricesRaw[:30]
+		}
+		db := newTestDB(t)
+		var observed []float64
+		db.register("f", func(ctx *ActionContext) error {
+			m, _ := ctx.Bound("changes")
+			sch := m.Schema()
+			pi := sch.ColIndex("price")
+			for i := 0; i < m.Len(); i++ {
+				observed = append(observed, m.Value(i, pi).Float())
+			}
+			return nil
+		})
+		db.mustCreate(&Rule{
+			Name:   "r",
+			Table:  "stocks",
+			Events: []EventSpec{{Kind: Updated, Columns: []string{"price"}}},
+			Condition: []*query.Select{{
+				Items: []query.SelectItem{query.Item(query.QCol("new", "price"), "price")},
+				From:  []string{"new"},
+				Bind:  "changes",
+			}},
+			Action: "f",
+			Unique: true,
+			Delay:  clock.FromSeconds(2),
+		})
+		var applied []float64
+		last := 30.0 // S1's seeded price
+		for _, raw := range pricesRaw {
+			p := 1 + float64(raw%1000)/8
+			if p == last {
+				// Writing the same value does not change the price column,
+				// so the `updated price` predicate correctly does not fire.
+				continue
+			}
+			last = p
+			applied = append(applied, p)
+			db.setPrice("S1", p)
+		}
+		db.clk.Advance(clock.FromSeconds(3))
+		db.drain()
+		if len(observed) != len(applied) {
+			return false
+		}
+		for i := range applied {
+			if observed[i] != applied[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Record pins balance across arbitrary batched executions: no retired
+// records stay held once all tasks finish.
+func TestQuickNoPinLeaks(t *testing.T) {
+	f := func(seq []uint8) bool {
+		if len(seq) > 25 {
+			seq = seq[:25]
+		}
+		db := newTestDB(t)
+		db.register("f", computeComps)
+		db.mustCreate(&Rule{
+			Name:      "r",
+			Table:     "stocks",
+			Events:    []EventSpec{{Kind: Updated}},
+			Condition: []*query.Select{matchesQuery()},
+			Action:    "f",
+			Unique:    true,
+			UniqueOn:  []string{"comp"},
+			Delay:     clock.FromSeconds(1),
+		})
+		for i, b := range seq {
+			db.setPrice(fmt.Sprintf("S%d", int(b)%3+1), 20+float64(i))
+			if b%4 == 0 {
+				db.clk.Advance(clock.FromSeconds(1.5))
+				db.drain()
+			}
+		}
+		db.clk.Advance(clock.FromSeconds(5))
+		db.drain()
+		for _, table := range []string{"stocks", "comps_list"} {
+			tbl, _ := db.txns.Store.Get(table)
+			if tbl.Stats().RetiredHeld != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

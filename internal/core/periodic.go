@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/stripdb/strip/internal/clock"
+	"github.com/stripdb/strip/internal/sched"
+	"github.com/stripdb/strip/internal/txn"
+)
+
+// Periodic recomputation support (paper §3: "periodic recomputation is
+// supported by STRIP" — e.g. recomputing stock_stdev from daily closes).
+// A periodic task runs a registered user function in a fresh transaction
+// every interval; each completed run schedules the next through the same
+// delay-queue machinery rule tasks use.
+
+// periodicTask tracks one recurring job.
+type periodicTask struct {
+	name     string
+	fn       ActionFunc
+	interval clock.Micros
+	engine   *Engine
+
+	mu       sync.Mutex
+	stopped  bool
+	runs     int64
+	failures int64
+}
+
+// PeriodicStats reports a periodic task's activity.
+type PeriodicStats struct {
+	Runs     int64
+	Failures int64
+	Stopped  bool
+}
+
+// SchedulePeriodic registers fn to run every interval, starting one
+// interval from now. The name must be unique among periodic tasks.
+func (e *Engine) SchedulePeriodic(name string, interval clock.Micros, fn ActionFunc) error {
+	if name == "" || fn == nil {
+		return fmt.Errorf("core: invalid periodic task")
+	}
+	if interval <= 0 {
+		return fmt.Errorf("core: periodic task %q needs a positive interval", name)
+	}
+	e.mu.Lock()
+	if e.periodic == nil {
+		e.periodic = make(map[string]*periodicTask)
+	}
+	if _, dup := e.periodic[name]; dup {
+		e.mu.Unlock()
+		return fmt.Errorf("core: periodic task %q already exists", name)
+	}
+	pt := &periodicTask{name: name, fn: fn, interval: interval, engine: e}
+	e.periodic[name] = pt
+	e.mu.Unlock()
+	pt.scheduleNext()
+	return nil
+}
+
+// StopPeriodic cancels a periodic task after its current/next firing.
+func (e *Engine) StopPeriodic(name string) error {
+	e.mu.RLock()
+	pt := e.periodic[name]
+	e.mu.RUnlock()
+	if pt == nil {
+		return fmt.Errorf("core: periodic task %q does not exist", name)
+	}
+	pt.mu.Lock()
+	pt.stopped = true
+	pt.mu.Unlock()
+	return nil
+}
+
+// PeriodicStats reports a periodic task's counters.
+func (e *Engine) PeriodicStats(name string) (PeriodicStats, bool) {
+	e.mu.RLock()
+	pt := e.periodic[name]
+	e.mu.RUnlock()
+	if pt == nil {
+		return PeriodicStats{}, false
+	}
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	return PeriodicStats{Runs: pt.runs, Failures: pt.failures, Stopped: pt.stopped}, true
+}
+
+func (pt *periodicTask) scheduleNext() {
+	pt.mu.Lock()
+	if pt.stopped {
+		pt.mu.Unlock()
+		return
+	}
+	pt.mu.Unlock()
+	pt.engine.Sched.Submit(&sched.Task{
+		Name:    "periodic:" + pt.name,
+		Release: pt.engine.clk.Now() + pt.interval,
+		Fn:      pt.run,
+	})
+}
+
+func (pt *periodicTask) run(*sched.Task) error {
+	e := pt.engine
+	tx := e.Txns.Begin()
+	ctx := &ActionContext{engine: e, tx: tx}
+	err := pt.fn(ctx)
+	if err == nil {
+		err = tx.Commit()
+	} else if tx.Status() == txn.Active {
+		if abortErr := tx.Abort(); abortErr != nil {
+			err = fmt.Errorf("%w; abort failed: %v", err, abortErr)
+		}
+	}
+	pt.mu.Lock()
+	pt.runs++
+	if err != nil {
+		pt.failures++
+	}
+	pt.mu.Unlock()
+	pt.scheduleNext()
+	return err
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/stripdb/strip/internal/clock"
+	"github.com/stripdb/strip/internal/query"
+	"github.com/stripdb/strip/internal/types"
+)
+
+func TestPeriodicRunsEveryInterval(t *testing.T) {
+	db := newTestDB(t)
+	runs := 0
+	err := db.engine.SchedulePeriodic("recompute_stdev", clock.FromSeconds(10),
+		func(ctx *ActionContext) error {
+			runs++
+			// A real periodic job: nudge every stdev-ish value; here just
+			// touch comp_prices to prove the transaction works.
+			_, err := ctx.ExecUpdate(&query.UpdateStmt{
+				Table: "comp_prices",
+				Set:   []query.SetClause{{Col: "price", Expr: query.Const(types.Float(0)), AddTo: true}},
+			})
+			return err
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Advance through three intervals.
+	for i := 1; i <= 3; i++ {
+		db.clk.AdvanceTo(clock.FromSeconds(float64(10 * i)))
+		db.drain()
+	}
+	if runs != 3 {
+		t.Errorf("runs = %d, want 3", runs)
+	}
+	st, ok := db.engine.PeriodicStats("recompute_stdev")
+	if !ok || st.Runs != 3 || st.Failures != 0 || st.Stopped {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestPeriodicStop(t *testing.T) {
+	db := newTestDB(t)
+	runs := 0
+	if err := db.engine.SchedulePeriodic("p", clock.FromSeconds(1),
+		func(*ActionContext) error { runs++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	db.clk.AdvanceTo(clock.FromSeconds(1))
+	db.drain()
+	if err := db.engine.StopPeriodic("p"); err != nil {
+		t.Fatal(err)
+	}
+	db.clk.AdvanceTo(clock.FromSeconds(10))
+	db.drain()
+	// At most the already-queued firing ran after stop.
+	if runs > 2 {
+		t.Errorf("runs after stop = %d", runs)
+	}
+	st, _ := db.engine.PeriodicStats("p")
+	if !st.Stopped {
+		t.Error("not marked stopped")
+	}
+	if err := db.engine.StopPeriodic("missing"); err == nil {
+		t.Error("stopping missing task succeeded")
+	}
+}
+
+func TestPeriodicFailureCountedAndRetried(t *testing.T) {
+	db := newTestDB(t)
+	runs := 0
+	if err := db.engine.SchedulePeriodic("flaky", clock.FromSeconds(1),
+		func(*ActionContext) error {
+			runs++
+			if runs == 1 {
+				return errors.New("transient")
+			}
+			return nil
+		}); err != nil {
+		t.Fatal(err)
+	}
+	db.clk.AdvanceTo(clock.FromSeconds(1))
+	db.drain()
+	db.clk.AdvanceTo(clock.FromSeconds(2))
+	db.drain()
+	st, _ := db.engine.PeriodicStats("flaky")
+	if st.Runs != 2 || st.Failures != 1 {
+		t.Errorf("stats = %+v, want 2 runs / 1 failure", st)
+	}
+}
+
+func TestPeriodicValidation(t *testing.T) {
+	db := newTestDB(t)
+	if err := db.engine.SchedulePeriodic("", clock.FromSeconds(1), func(*ActionContext) error { return nil }); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := db.engine.SchedulePeriodic("x", 0, func(*ActionContext) error { return nil }); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if err := db.engine.SchedulePeriodic("x", clock.FromSeconds(1), nil); err == nil {
+		t.Error("nil function accepted")
+	}
+	if err := db.engine.SchedulePeriodic("x", clock.FromSeconds(1), func(*ActionContext) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.engine.SchedulePeriodic("x", clock.FromSeconds(1), func(*ActionContext) error { return nil }); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if _, ok := db.engine.PeriodicStats("missing"); ok {
+		t.Error("stats for missing task")
+	}
+}

@@ -1,0 +1,71 @@
+package cost
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// Table 1 calibration: the simple one-tuple cursor update must cost 172 µs,
+// i.e. ≈5814 TPS, matching the paper (§4.4).
+func TestTable1Calibration(t *testing.T) {
+	m := Default()
+	got := m.SimpleUpdateCost()
+	if got != 172 {
+		t.Errorf("simple update = %g µs, want 172", got)
+	}
+	tps := 1e6 / got
+	if math.Abs(tps-5814) > 1 {
+		t.Errorf("TPS = %g, want ≈5814", tps)
+	}
+}
+
+func TestZeroModel(t *testing.T) {
+	if Zero().SimpleUpdateCost() != 0 {
+		t.Error("zero model charges")
+	}
+}
+
+func TestMeter(t *testing.T) {
+	m := NewMeter()
+	m.Charge(1.5)
+	m.Charge(2.5)
+	if got := m.Micros(); got != 4 {
+		t.Errorf("Micros = %g", got)
+	}
+	m.Charge(0) // no-op
+	if got := m.Micros(); got != 4 {
+		t.Errorf("Micros after zero charge = %g", got)
+	}
+	m.Reset()
+	if m.Micros() != 0 {
+		t.Error("Reset failed")
+	}
+}
+
+func TestNilMeterSafe(t *testing.T) {
+	var m *Meter
+	m.Charge(10)
+	if m.Micros() != 0 {
+		t.Error("nil meter returned non-zero")
+	}
+	m.Reset()
+}
+
+func TestMeterConcurrent(t *testing.T) {
+	m := NewMeter()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.Charge(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Micros(); got != 8000 {
+		t.Errorf("concurrent Micros = %g, want 8000", got)
+	}
+}

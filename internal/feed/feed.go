@@ -1,0 +1,313 @@
+// Package feed generates and replays synthetic market-quote traces.
+//
+// The paper drives its experiments with the NYSE TAQ consolidated quote
+// file from January 1994 (§4.1): ~60,000 price changes over 30 minutes
+// across 6,600 stocks, with quote times recorded to the second and spread
+// evenly within each second. That data is proprietary, so this package
+// substitutes a deterministic generator preserving the two properties the
+// experiments depend on:
+//
+//   - skewed per-stock trading activity (a truncated power law; composites
+//     and options are assigned to stocks in proportion to it, §4.2), and
+//   - bursty arrivals: a quote is followed, with configurable probability,
+//     by further quotes of the same stock a few hundred milliseconds apart
+//     (the paper's §1 motivation: "a small price change in a stock may
+//     trigger a burst of quotes... followed by minutes of inactivity"),
+//     which is the temporal locality that batching exploits.
+//
+// Prices start at random levels and move in eighths of a dollar (1994 tick
+// size). Like the paper, multiple quotes within one second are spread
+// evenly over that second.
+package feed
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/stripdb/strip/internal/clock"
+)
+
+// Quote is one price change.
+type Quote struct {
+	Time  clock.Micros
+	Stock int // stock id, 0-based; Symbol(id) names it
+	Price float64
+}
+
+// Symbol names a stock id ("ST000001", ...).
+func Symbol(id int) string { return fmt.Sprintf("ST%06d", id) }
+
+// Config parameterizes trace generation. The zero value is not valid; use
+// Default() (paper scale) or Small() and adjust.
+type Config struct {
+	NumStocks int
+	// Duration of the trace.
+	Duration clock.Micros
+	// TargetUpdates is the approximate total number of quotes.
+	TargetUpdates int
+	// ActivityExponent is the power-law exponent of per-stock activity
+	// (weight ∝ 1/rank^s). 0 = uniform; larger = more skew.
+	ActivityExponent float64
+	// BurstFollowProb is the probability that a quote is followed by
+	// another quote of the same stock after ~BurstGap.
+	BurstFollowProb float64
+	// BurstGap is the mean intra-burst spacing.
+	BurstGap clock.Micros
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Default returns the paper-scale configuration (§4.1–4.2): 6,600 stocks,
+// 30 minutes, ≈60,000 updates.
+func Default() Config {
+	return Config{
+		NumStocks:        6600,
+		Duration:         30 * 60 * 1_000_000,
+		TargetUpdates:    60_000,
+		ActivityExponent: 0.3,
+		BurstFollowProb:  0.26,
+		BurstGap:         900_000, // ≈0.9 s between quotes of one burst
+		Seed:             1,
+	}
+}
+
+// Small returns a reduced configuration for tests and quick benchmarks,
+// preserving the rates (33 updates/s) at 1/10 of the population and 1/15 of
+// the duration.
+func Small() Config {
+	c := Default()
+	c.NumStocks = 660
+	c.Duration = 2 * 60 * 1_000_000
+	c.TargetUpdates = 4_000
+	return c
+}
+
+// Trace is a generated quote stream plus the activity model that produced
+// it (used to assign composites and options in proportion to activity).
+type Trace struct {
+	Config  Config
+	Quotes  []Quote
+	Weights []float64 // per-stock activity share, sums to 1
+	Initial []float64 // per-stock starting price
+}
+
+// Generate builds a deterministic trace from the configuration.
+func Generate(cfg Config) (*Trace, error) {
+	if cfg.NumStocks <= 0 || cfg.Duration <= 0 || cfg.TargetUpdates <= 0 {
+		return nil, fmt.Errorf("feed: invalid config %+v", cfg)
+	}
+	if cfg.BurstFollowProb < 0 || cfg.BurstFollowProb >= 1 {
+		return nil, fmt.Errorf("feed: burst probability %g out of [0,1)", cfg.BurstFollowProb)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Activity weights: truncated power law over rank.
+	weights := make([]float64, cfg.NumStocks)
+	sum := 0.0
+	for i := range weights {
+		w := 1 / math.Pow(float64(i+1), cfg.ActivityExponent)
+		weights[i] = w
+		sum += w
+	}
+	for i := range weights {
+		weights[i] /= sum
+	}
+
+	// Initial prices: uniform in [10, 110), rounded to eighths.
+	initial := make([]float64, cfg.NumStocks)
+	for i := range initial {
+		initial[i] = roundEighth(10 + rng.Float64()*100)
+	}
+
+	// Burst starts per stock: expected quotes w_i * target, mean burst
+	// length 1/(1-p) quotes.
+	meanBurst := 1 / (1 - cfg.BurstFollowProb)
+	prices := append([]float64(nil), initial...)
+	var quotes []Quote
+	for s := 0; s < cfg.NumStocks; s++ {
+		expQuotes := weights[s] * float64(cfg.TargetUpdates)
+		nBursts := poisson(rng, expQuotes/meanBurst)
+		for b := 0; b < nBursts; b++ {
+			t := clock.Micros(rng.Int63n(cfg.Duration))
+			for {
+				prices[s] = tick(rng, prices[s])
+				quotes = append(quotes, Quote{Time: t, Stock: s, Price: prices[s]})
+				if rng.Float64() >= cfg.BurstFollowProb {
+					break
+				}
+				// Exponential-ish spacing around the mean gap.
+				gap := clock.Micros(float64(cfg.BurstGap) * (0.5 + rng.Float64()))
+				t += gap
+				if t >= cfg.Duration {
+					break
+				}
+			}
+		}
+	}
+
+	sort.Slice(quotes, func(i, j int) bool {
+		if quotes[i].Time != quotes[j].Time {
+			return quotes[i].Time < quotes[j].Time
+		}
+		return quotes[i].Stock < quotes[j].Stock
+	})
+	spreadWithinSeconds(quotes)
+
+	// Prices within a stock must form a coherent walk in time order; the
+	// per-burst generation above can interleave bursts of the same stock.
+	// Re-walk prices in final time order so each quote is a tick from the
+	// previous one.
+	prices = append(prices[:0:0], initial...)
+	rng2 := rand.New(rand.NewSource(cfg.Seed + 1))
+	for i := range quotes {
+		s := quotes[i].Stock
+		prices[s] = tick(rng2, prices[s])
+		quotes[i].Price = prices[s]
+	}
+
+	return &Trace{Config: cfg, Quotes: quotes, Weights: weights, Initial: initial}, nil
+}
+
+// tick moves a price by ±1 or ±2 eighths, bouncing off the 1-dollar floor.
+func tick(rng *rand.Rand, p float64) float64 {
+	delta := float64(rng.Intn(2)+1) / 8
+	if rng.Intn(2) == 0 {
+		delta = -delta
+	}
+	np := p + delta
+	if np < 1 {
+		np = p + math.Abs(delta)
+	}
+	return roundEighth(np)
+}
+
+func roundEighth(p float64) float64 { return math.Round(p*8) / 8 }
+
+// poisson draws a Poisson variate (Knuth's method; the means here are
+// small).
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 700 {
+		// Normal approximation for very active stocks.
+		return int(mean + math.Sqrt(mean)*rng.NormFloat64() + 0.5)
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// spreadWithinSeconds redistributes quotes sharing a one-second bucket
+// evenly across that second, reproducing the paper's §4.1 treatment of
+// TAQ's one-second timestamps ("if 3 quotes are recorded at time 54
+// seconds, we will assume that they occurred at 54.0, 54.33, and 54.66").
+func spreadWithinSeconds(quotes []Quote) {
+	const second = clock.Micros(1_000_000)
+	i := 0
+	for i < len(quotes) {
+		bucket := quotes[i].Time / second
+		j := i
+		for j < len(quotes) && quotes[j].Time/second == bucket {
+			j++
+		}
+		n := j - i
+		for k := i; k < j; k++ {
+			quotes[k].Time = bucket*second + clock.Micros(k-i)*second/clock.Micros(n)
+		}
+		i = j
+	}
+}
+
+// WriteCSV serializes the trace quotes as "micros,stock,price" lines with a
+// header carrying the config.
+func (tr *Trace) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# strip-trace stocks=%d duration_us=%d updates=%d seed=%d\n",
+		tr.Config.NumStocks, tr.Config.Duration, len(tr.Quotes), tr.Config.Seed)
+	for _, q := range tr.Quotes {
+		fmt.Fprintf(bw, "%d,%d,%g\n", q.Time, q.Stock, q.Price)
+	}
+	return bw.Flush()
+}
+
+// ReadCSV loads quotes written by WriteCSV. Weights and initial prices are
+// not serialized; traces loaded this way are for replay only.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	tr := &Trace{}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("feed: bad trace line %q", line)
+		}
+		t, err1 := strconv.ParseInt(parts[0], 10, 64)
+		s, err2 := strconv.Atoi(parts[1])
+		p, err3 := strconv.ParseFloat(parts[2], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("feed: bad trace line %q", line)
+		}
+		tr.Quotes = append(tr.Quotes, Quote{Time: t, Stock: s, Price: p})
+		if s+1 > tr.Config.NumStocks {
+			tr.Config.NumStocks = s + 1
+		}
+		if t >= tr.Config.Duration {
+			tr.Config.Duration = t + 1
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	tr.Config.TargetUpdates = len(tr.Quotes)
+	return tr, nil
+}
+
+// Stats summarizes a trace for reporting.
+type Stats struct {
+	Updates        int
+	DistinctStocks int
+	// MeanRate is updates per second.
+	MeanRate float64
+	// BurstFraction is the fraction of quotes arriving within 1 s of the
+	// previous quote of the same stock (temporal locality).
+	BurstFraction float64
+}
+
+// Stats computes summary statistics.
+func (tr *Trace) Stats() Stats {
+	st := Stats{Updates: len(tr.Quotes)}
+	last := map[int]clock.Micros{}
+	bursty := 0
+	for _, q := range tr.Quotes {
+		if prev, ok := last[q.Stock]; ok && q.Time-prev <= 1_000_000 {
+			bursty++
+		}
+		last[q.Stock] = q.Time
+	}
+	st.DistinctStocks = len(last)
+	if tr.Config.Duration > 0 {
+		st.MeanRate = float64(st.Updates) / clock.Seconds(tr.Config.Duration)
+	}
+	if st.Updates > 0 {
+		st.BurstFraction = float64(bursty) / float64(st.Updates)
+	}
+	return st
+}

@@ -1,0 +1,209 @@
+package feed
+
+import (
+	"bytes"
+	"math"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestGenerateDefaultScale(t *testing.T) {
+	tr, err := Generate(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := tr.Stats()
+	// ≈60k updates over 30 minutes (paper §4.1); allow ±20%.
+	if st.Updates < 48_000 || st.Updates > 72_000 {
+		t.Errorf("updates = %d, want ≈60000", st.Updates)
+	}
+	if st.MeanRate < 25 || st.MeanRate > 42 {
+		t.Errorf("rate = %.1f/s, want ≈33", st.MeanRate)
+	}
+	// Temporal locality: a meaningful burst fraction, but not dominant.
+	if st.BurstFraction < 0.1 || st.BurstFraction > 0.5 {
+		t.Errorf("burst fraction = %.2f, want 0.1–0.5", st.BurstFraction)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Small()
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Quotes) != len(b.Quotes) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Quotes), len(b.Quotes))
+	}
+	for i := range a.Quotes {
+		if a.Quotes[i] != b.Quotes[i] {
+			t.Fatalf("quote %d differs: %+v vs %+v", i, a.Quotes[i], b.Quotes[i])
+		}
+	}
+	c, err := Generate(Config{
+		NumStocks: cfg.NumStocks, Duration: cfg.Duration,
+		TargetUpdates: cfg.TargetUpdates, ActivityExponent: cfg.ActivityExponent,
+		BurstFollowProb: cfg.BurstFollowProb, BurstGap: cfg.BurstGap,
+		Seed: cfg.Seed + 99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(c.Quotes) == len(a.Quotes)
+	if same {
+		for i := range a.Quotes {
+			if a.Quotes[i] != c.Quotes[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestQuotesSortedAndInRange(t *testing.T) {
+	tr, err := Generate(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.SliceIsSorted(tr.Quotes, func(i, j int) bool {
+		return tr.Quotes[i].Time < tr.Quotes[j].Time
+	}) {
+		t.Error("quotes not time-sorted")
+	}
+	for _, q := range tr.Quotes {
+		if q.Time < 0 || q.Time >= tr.Config.Duration+1_000_000 {
+			t.Fatalf("quote time %d out of range", q.Time)
+		}
+		if q.Stock < 0 || q.Stock >= tr.Config.NumStocks {
+			t.Fatalf("stock %d out of range", q.Stock)
+		}
+		if q.Price < 1 {
+			t.Fatalf("price %g below floor", q.Price)
+		}
+	}
+}
+
+// Prices must be a coherent walk: consecutive quotes of a stock differ by
+// 1–2 eighths.
+func TestPriceWalkCoherent(t *testing.T) {
+	tr, err := Generate(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := map[int]float64{}
+	for i := range tr.Initial {
+		last[i] = tr.Initial[i]
+	}
+	for _, q := range tr.Quotes {
+		d := math.Abs(q.Price - last[q.Stock])
+		if d < 0.124 || d > 0.251 {
+			t.Fatalf("stock %d moved by %g (from %g to %g)", q.Stock, d, last[q.Stock], q.Price)
+		}
+		if math.Abs(q.Price*8-math.Round(q.Price*8)) > 1e-9 {
+			t.Fatalf("price %g not an eighth", q.Price)
+		}
+		last[q.Stock] = q.Price
+	}
+}
+
+func TestActivitySkew(t *testing.T) {
+	tr, err := Generate(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, tr.Config.NumStocks)
+	for _, q := range tr.Quotes {
+		counts[q.Stock]++
+	}
+	// Stock 0 (most active) should trade several times more than the
+	// median stock.
+	sorted := append([]int(nil), counts...)
+	sort.Ints(sorted)
+	median := sorted[len(sorted)/2]
+	if counts[0] < median*2 {
+		t.Errorf("top stock traded %d, median %d: no skew", counts[0], median)
+	}
+	// Weights sum to 1 and decrease with rank.
+	sum := 0.0
+	for i, w := range tr.Weights {
+		sum += w
+		if i > 0 && w > tr.Weights[i-1]+1e-12 {
+			t.Fatal("weights not monotone")
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("weights sum to %g", sum)
+	}
+}
+
+func TestSpreadWithinSeconds(t *testing.T) {
+	qs := []Quote{
+		{Time: 54_000_000, Stock: 0},
+		{Time: 54_200_000, Stock: 1},
+		{Time: 54_900_000, Stock: 2},
+		{Time: 55_000_000, Stock: 3},
+	}
+	spreadWithinSeconds(qs)
+	if qs[0].Time != 54_000_000 || qs[1].Time != 54_333_333 || qs[2].Time != 54_666_666 {
+		t.Errorf("spread = %d %d %d", qs[0].Time, qs[1].Time, qs[2].Time)
+	}
+	if qs[3].Time != 55_000_000 {
+		t.Errorf("next bucket moved: %d", qs[3].Time)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{NumStocks: 10, Duration: 1000}, // no updates
+		{NumStocks: 10, Duration: 1000, TargetUpdates: 5, BurstFollowProb: 1.0}, // p=1 diverges
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr, err := Generate(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Quotes) != len(tr.Quotes) {
+		t.Fatalf("round trip lost quotes: %d vs %d", len(back.Quotes), len(tr.Quotes))
+	}
+	for i := range tr.Quotes {
+		if tr.Quotes[i] != back.Quotes[i] {
+			t.Fatalf("quote %d differs after round trip", i)
+		}
+	}
+	if _, err := ReadCSV(strings.NewReader("not,a\n")); err == nil {
+		t.Error("malformed CSV accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b,c\n")); err == nil {
+		t.Error("non-numeric CSV accepted")
+	}
+}
+
+func TestSymbol(t *testing.T) {
+	if Symbol(7) != "ST000007" {
+		t.Errorf("Symbol(7) = %s", Symbol(7))
+	}
+}

@@ -1,0 +1,75 @@
+// Package finance implements the pricing models of the paper's program
+// trading application (paper §3, Appendix B): weighted composite averages
+// and the Black-Scholes call option pricing model. The standard normal CDF
+// is computed with the math library's error function, exactly as the paper
+// does (§4.3).
+package finance
+
+import (
+	"fmt"
+	"math"
+)
+
+// Phi is the cumulative distribution function of the standard normal
+// distribution, Φ(x) = (1 + erf(x/√2)) / 2.
+func Phi(x float64) float64 {
+	return 0.5 * (1 + math.Erf(x/math.Sqrt2))
+}
+
+// BlackScholesCall prices a European call option (Appendix B):
+//
+//	C = S·Φ(d1) − K·e^(−rt)·Φ(d2)
+//	d1 = (ln(S/K) + (r + σ²/2)·t) / (σ·√t)
+//	d2 = d1 − σ·√t
+//
+// where S is the stock price, K the strike (exercise) price, r the
+// continuously compounded riskless rate, t the time to expiration in years,
+// and sigma the annualized return standard deviation.
+func BlackScholesCall(s, k, r, t, sigma float64) (float64, error) {
+	switch {
+	case s <= 0:
+		return 0, fmt.Errorf("finance: non-positive stock price %g", s)
+	case k <= 0:
+		return 0, fmt.Errorf("finance: non-positive strike %g", k)
+	case sigma <= 0:
+		return 0, fmt.Errorf("finance: non-positive volatility %g", sigma)
+	}
+	if t <= 0 {
+		// Expired option: intrinsic value.
+		return math.Max(s-k, 0), nil
+	}
+	sqrtT := math.Sqrt(t)
+	d1 := (math.Log(s/k) + (r+sigma*sigma/2)*t) / (sigma * sqrtT)
+	d2 := d1 - sigma*sqrtT
+	return s*Phi(d1) - k*math.Exp(-r*t)*Phi(d2), nil
+}
+
+// BlackScholesPut prices a European put via put-call parity:
+// P = C − S + K·e^(−rt).
+func BlackScholesPut(s, k, r, t, sigma float64) (float64, error) {
+	c, err := BlackScholesCall(s, k, r, t, sigma)
+	if err != nil {
+		return 0, err
+	}
+	if t <= 0 {
+		return math.Max(k-s, 0), nil
+	}
+	return c - s + k*math.Exp(-r*t), nil
+}
+
+// Composite computes a weighted composite average Σ wᵢ·pᵢ (Appendix B).
+func Composite(prices, weights []float64) (float64, error) {
+	if len(prices) != len(weights) {
+		return 0, fmt.Errorf("finance: %d prices vs %d weights", len(prices), len(weights))
+	}
+	sum := 0.0
+	for i, p := range prices {
+		sum += p * weights[i]
+	}
+	return sum, nil
+}
+
+// RisklessRate is the continuously compounded rate the PTA uses (the exact
+// value is immaterial to the experiments; paper §4.2 notes the option model
+// is not data dependent).
+const RisklessRate = 0.05

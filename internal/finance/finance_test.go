@@ -1,0 +1,136 @@
+package finance
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPhi(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1.96, 0.9750021},
+		{-1.96, 0.0249979},
+		{3, 0.9986501},
+	}
+	for _, c := range cases {
+		if got := Phi(c.x); math.Abs(got-c.want) > 1e-6 {
+			t.Errorf("Phi(%g) = %.7f, want %.7f", c.x, got, c.want)
+		}
+	}
+}
+
+// Reference value: S=100, K=100, r=0.05, t=1, sigma=0.2 → C ≈ 10.4506.
+func TestBlackScholesReference(t *testing.T) {
+	c, err := BlackScholesCall(100, 100, 0.05, 1, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-10.4506) > 1e-3 {
+		t.Errorf("C = %.4f, want 10.4506", c)
+	}
+	// A second reference: deep in the money, short expiry.
+	c2, err := BlackScholesCall(120, 100, 0.05, 0.25, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c2-21.3482) > 1e-3 {
+		t.Errorf("C2 = %.4f, want 21.3482", c2)
+	}
+}
+
+func TestBlackScholesExpired(t *testing.T) {
+	c, err := BlackScholesCall(120, 100, 0.05, 0, 0.2)
+	if err != nil || c != 20 {
+		t.Errorf("expired ITM call = %g, %v; want 20", c, err)
+	}
+	c, err = BlackScholesCall(80, 100, 0.05, 0, 0.2)
+	if err != nil || c != 0 {
+		t.Errorf("expired OTM call = %g, %v; want 0", c, err)
+	}
+	p, err := BlackScholesPut(80, 100, 0.05, 0, 0.2)
+	if err != nil || p != 20 {
+		t.Errorf("expired ITM put = %g, %v; want 20", p, err)
+	}
+}
+
+func TestBlackScholesErrors(t *testing.T) {
+	for _, args := range [][5]float64{
+		{0, 100, 0.05, 1, 0.2},
+		{-5, 100, 0.05, 1, 0.2},
+		{100, 0, 0.05, 1, 0.2},
+		{100, 100, 0.05, 1, 0},
+	} {
+		if _, err := BlackScholesCall(args[0], args[1], args[2], args[3], args[4]); err == nil {
+			t.Errorf("BlackScholesCall(%v) succeeded", args)
+		}
+		if _, err := BlackScholesPut(args[0], args[1], args[2], args[3], args[4]); err == nil {
+			t.Errorf("BlackScholesPut(%v) succeeded", args)
+		}
+	}
+}
+
+// Property: the call price is bounded by  max(S − K·e^(−rt), 0) ≤ C ≤ S
+// and increases with the stock price.
+func TestQuickBlackScholesBounds(t *testing.T) {
+	f := func(sRaw, kRaw, tRaw, sigRaw uint16) bool {
+		s := 1 + float64(sRaw%20000)/100   // 1..201
+		k := 1 + float64(kRaw%20000)/100   // 1..201
+		tt := 0.01 + float64(tRaw%400)/100 // 0.01..4.01 years
+		sig := 0.05 + float64(sigRaw%100)/100
+		c, err := BlackScholesCall(s, k, RisklessRate, tt, sig)
+		if err != nil {
+			return false
+		}
+		lower := math.Max(s-k*math.Exp(-RisklessRate*tt), 0)
+		if c < lower-1e-9 || c > s+1e-9 {
+			return false
+		}
+		c2, err := BlackScholesCall(s*1.01, k, RisklessRate, tt, sig)
+		if err != nil {
+			return false
+		}
+		return c2 >= c-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: put-call parity holds exactly by construction and the put is
+// within its own no-arbitrage bounds.
+func TestQuickPutCallParity(t *testing.T) {
+	f := func(sRaw, kRaw uint16) bool {
+		s := 10 + float64(sRaw%10000)/100
+		k := 10 + float64(kRaw%10000)/100
+		c, err1 := BlackScholesCall(s, k, 0.05, 0.5, 0.3)
+		p, err2 := BlackScholesPut(s, k, 0.05, 0.5, 0.3)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		parity := c - s + k*math.Exp(-0.05*0.5)
+		return math.Abs(p-parity) < 1e-9 && p >= -1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComposite(t *testing.T) {
+	// The paper's Figure 4: C1 = 0.5*30 + 0.5*50 = 40.
+	got, err := Composite([]float64{30, 50}, []float64{0.5, 0.5})
+	if err != nil || got != 40 {
+		t.Errorf("Composite = %g, %v; want 40", got, err)
+	}
+	if _, err := Composite([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}
+
+func BenchmarkBlackScholes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := BlackScholesCall(100, 95, 0.05, 0.5, 0.25); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package index
+
+import "github.com/stripdb/strip/internal/types"
+
+// hashIndex is a non-unique hash index over a single column.
+// types.Value is comparable, so Go's map provides the hashing.
+type hashIndex struct {
+	buckets map[types.Value][]any
+	pairs   int
+}
+
+func newHashIndex() *hashIndex {
+	return &hashIndex{buckets: make(map[types.Value][]any)}
+}
+
+func (h *hashIndex) Insert(k types.Value, ref any) {
+	h.buckets[k] = append(h.buckets[k], ref)
+	h.pairs++
+}
+
+func (h *hashIndex) Delete(k types.Value, ref any) bool {
+	refs, ok := h.buckets[k]
+	if !ok {
+		return false
+	}
+	refs, removed := removeRef(refs, ref)
+	if !removed {
+		return false
+	}
+	if len(refs) == 0 {
+		delete(h.buckets, k)
+	} else {
+		h.buckets[k] = refs
+	}
+	h.pairs--
+	return true
+}
+
+func (h *hashIndex) Lookup(k types.Value) []any { return h.buckets[k] }
+
+func (h *hashIndex) Len() int { return h.pairs }
+
+func (h *hashIndex) Keys() int { return len(h.buckets) }
+
+func (h *hashIndex) Ascend(fn func(k types.Value, ref any) bool) {
+	for k, refs := range h.buckets {
+		for _, r := range refs {
+			if !fn(k, r) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Package index provides the two index structures STRIP supports for
+// standard tables: hash indexes and red-black trees (paper §6.1).
+//
+// Both index kinds are secondary, non-unique indexes mapping a column value
+// to the set of records carrying that value. Callers (the storage layer)
+// provide opaque references; the index never inspects them beyond identity.
+package index
+
+import "github.com/stripdb/strip/internal/types"
+
+// Kind selects an index implementation.
+type Kind uint8
+
+// Supported index kinds.
+const (
+	Hash Kind = iota
+	RedBlack
+)
+
+// String names the index kind.
+func (k Kind) String() string {
+	switch k {
+	case Hash:
+		return "hash"
+	case RedBlack:
+		return "rbtree"
+	default:
+		return "unknown"
+	}
+}
+
+// Index maps column values to sets of record references.
+type Index interface {
+	// Insert adds ref under key k. Duplicate (k, ref) pairs accumulate.
+	Insert(k types.Value, ref any)
+	// Delete removes one occurrence of (k, ref); it reports whether a pair
+	// was found.
+	Delete(k types.Value, ref any) bool
+	// Lookup returns the refs stored under k, in insertion order.
+	// The returned slice must not be mutated by the caller.
+	Lookup(k types.Value) []any
+	// Len reports the number of (key, ref) pairs stored.
+	Len() int
+	// Keys reports the number of distinct keys stored.
+	Keys() int
+	// Ascend visits every (key, ref) pair; for RedBlack indexes keys are
+	// visited in ascending order, for Hash in unspecified order. The walk
+	// stops when fn returns false.
+	Ascend(fn func(k types.Value, ref any) bool)
+}
+
+// New creates an empty index of the requested kind.
+func New(kind Kind) Index {
+	switch kind {
+	case Hash:
+		return newHashIndex()
+	case RedBlack:
+		return newRBTree()
+	default:
+		panic("index: unknown kind")
+	}
+}
+
+// removeRef deletes one occurrence of ref from refs, preserving order.
+func removeRef(refs []any, ref any) ([]any, bool) {
+	for i, r := range refs {
+		if r == ref {
+			return append(refs[:i:i], refs[i+1:]...), true
+		}
+	}
+	return refs, false
+}

@@ -1,0 +1,233 @@
+package index
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/stripdb/strip/internal/types"
+)
+
+func kinds() []Kind { return []Kind{Hash, RedBlack} }
+
+func TestKindString(t *testing.T) {
+	if Hash.String() != "hash" || RedBlack.String() != "rbtree" || Kind(9).String() != "unknown" {
+		t.Error("Kind.String wrong")
+	}
+}
+
+func TestNewUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(unknown) did not panic")
+		}
+	}()
+	New(Kind(42))
+}
+
+func TestInsertLookupDelete(t *testing.T) {
+	for _, kind := range kinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			ix := New(kind)
+			r1, r2, r3 := &struct{ int }{1}, &struct{ int }{2}, &struct{ int }{3}
+			ix.Insert(types.Str("IBM"), r1)
+			ix.Insert(types.Str("IBM"), r2)
+			ix.Insert(types.Str("HP"), r3)
+
+			if ix.Len() != 3 || ix.Keys() != 2 {
+				t.Fatalf("Len/Keys = %d/%d", ix.Len(), ix.Keys())
+			}
+			got := ix.Lookup(types.Str("IBM"))
+			if len(got) != 2 || got[0] != r1 || got[1] != r2 {
+				t.Fatalf("Lookup order wrong: %v", got)
+			}
+			if ix.Lookup(types.Str("GE")) != nil && len(ix.Lookup(types.Str("GE"))) != 0 {
+				t.Error("Lookup missing key returned refs")
+			}
+			if !ix.Delete(types.Str("IBM"), r1) {
+				t.Fatal("Delete existing pair failed")
+			}
+			if ix.Delete(types.Str("IBM"), r1) {
+				t.Error("Delete removed pair twice")
+			}
+			if ix.Delete(types.Str("GE"), r1) {
+				t.Error("Delete on missing key succeeded")
+			}
+			if got := ix.Lookup(types.Str("IBM")); len(got) != 1 || got[0] != r2 {
+				t.Fatalf("after delete Lookup = %v", got)
+			}
+			if !ix.Delete(types.Str("IBM"), r2) || !ix.Delete(types.Str("HP"), r3) {
+				t.Fatal("cleanup deletes failed")
+			}
+			if ix.Len() != 0 || ix.Keys() != 0 {
+				t.Errorf("after full delete Len/Keys = %d/%d", ix.Len(), ix.Keys())
+			}
+		})
+	}
+}
+
+func TestAscend(t *testing.T) {
+	for _, kind := range kinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			ix := New(kind)
+			want := map[int64]bool{}
+			for _, k := range []int64{5, 3, 9, 1, 7} {
+				ix.Insert(types.Int(k), k)
+				want[k] = true
+			}
+			var visited []int64
+			ix.Ascend(func(k types.Value, ref any) bool {
+				visited = append(visited, k.Int())
+				return true
+			})
+			if len(visited) != len(want) {
+				t.Fatalf("visited %d keys, want %d", len(visited), len(want))
+			}
+			if kind == RedBlack && !sort.SliceIsSorted(visited, func(i, j int) bool { return visited[i] < visited[j] }) {
+				t.Errorf("rbtree Ascend not sorted: %v", visited)
+			}
+			// Early stop.
+			count := 0
+			ix.Ascend(func(types.Value, any) bool {
+				count++
+				return count < 2
+			})
+			if count != 2 {
+				t.Errorf("early stop visited %d", count)
+			}
+		})
+	}
+}
+
+// TestRBTreeInvariantsRandom drives random inserts/deletes and validates the
+// red-black properties after every operation.
+func TestRBTreeInvariantsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := newRBTree()
+	live := map[int64]int{} // key -> number of refs stored
+	for op := 0; op < 5000; op++ {
+		k := int64(rng.Intn(300))
+		if rng.Intn(2) == 0 || live[k] == 0 {
+			tr.Insert(types.Int(k), k)
+			live[k]++
+		} else {
+			if !tr.Delete(types.Int(k), k) {
+				t.Fatalf("delete of live key %d failed", k)
+			}
+			live[k]--
+			if live[k] == 0 {
+				delete(live, k)
+			}
+		}
+		tr.checkInvariants()
+	}
+	if tr.Keys() != len(live) {
+		t.Errorf("Keys = %d, want %d", tr.Keys(), len(live))
+	}
+	for k, n := range live {
+		if got := tr.Lookup(types.Int(k)); len(got) != n {
+			t.Errorf("live key %d has %d refs, want %d", k, len(got), n)
+		}
+	}
+}
+
+// Property: after inserting any permutation of distinct ints, an in-order
+// walk of the red-black tree yields them sorted and invariants hold.
+func TestQuickRBTreeSorted(t *testing.T) {
+	f := func(keys []int16) bool {
+		tr := newRBTree()
+		seen := map[int16]bool{}
+		n := 0
+		for _, k := range keys {
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			tr.Insert(types.Int(int64(k)), k)
+			n++
+		}
+		tr.checkInvariants()
+		var out []int64
+		tr.Ascend(func(k types.Value, _ any) bool {
+			out = append(out, k.Int())
+			return true
+		})
+		if len(out) != n {
+			return false
+		}
+		return sort.SliceIsSorted(out, func(i, j int) bool { return out[i] < out[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: hash and rbtree indexes agree on Len, Keys and Lookup contents
+// under the same random operation sequence.
+func TestQuickIndexEquivalence(t *testing.T) {
+	type op struct {
+		Insert bool
+		Key    uint8
+		Ref    uint8
+	}
+	f := func(ops []op) bool {
+		h, r := New(Hash), New(RedBlack)
+		refs := map[uint8]*int{}
+		refOf := func(b uint8) *int {
+			if p, ok := refs[b]; ok {
+				return p
+			}
+			p := new(int)
+			refs[b] = p
+			return p
+		}
+		for _, o := range ops {
+			k := types.Int(int64(o.Key % 16))
+			ref := refOf(o.Ref % 8)
+			if o.Insert {
+				h.Insert(k, ref)
+				r.Insert(k, ref)
+			} else {
+				dh := h.Delete(k, ref)
+				dr := r.Delete(k, ref)
+				if dh != dr {
+					return false
+				}
+			}
+		}
+		if h.Len() != r.Len() || h.Keys() != r.Keys() {
+			return false
+		}
+		for i := int64(0); i < 16; i++ {
+			a, b := h.Lookup(types.Int(i)), r.Lookup(types.Int(i))
+			if len(a) != len(b) {
+				return false
+			}
+			for j := range a {
+				if a[j] != b[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkIndexInsertLookup(b *testing.B) {
+	for _, kind := range kinds() {
+		b.Run(kind.String(), func(b *testing.B) {
+			ix := New(kind)
+			for i := 0; i < 10000; i++ {
+				ix.Insert(types.Int(int64(i)), i)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ix.Lookup(types.Int(int64(i % 10000)))
+			}
+		})
+	}
+}

@@ -1,0 +1,345 @@
+package index
+
+import "github.com/stripdb/strip/internal/types"
+
+// rbTree is a classic red-black tree keyed by types.Value, with each node
+// holding the list of record references sharing the key. Deletion uses the
+// standard CLRS fixup with an explicit nil sentinel.
+type rbTree struct {
+	root  *rbNode
+	nilN  *rbNode // sentinel; always black
+	keys  int
+	pairs int
+}
+
+type rbColor bool
+
+const (
+	red   rbColor = false
+	black rbColor = true
+)
+
+type rbNode struct {
+	key                 types.Value
+	refs                []any
+	color               rbColor
+	left, right, parent *rbNode
+}
+
+func newRBTree() *rbTree {
+	nilN := &rbNode{color: black}
+	nilN.left, nilN.right, nilN.parent = nilN, nilN, nilN
+	return &rbTree{root: nilN, nilN: nilN}
+}
+
+func (t *rbTree) Insert(k types.Value, ref any) {
+	t.pairs++
+	y := t.nilN
+	x := t.root
+	for x != t.nilN {
+		y = x
+		c := k.Compare(x.key)
+		if c == 0 {
+			x.refs = append(x.refs, ref)
+			return
+		}
+		if c < 0 {
+			x = x.left
+		} else {
+			x = x.right
+		}
+	}
+	t.keys++
+	z := &rbNode{key: k, refs: []any{ref}, color: red, left: t.nilN, right: t.nilN, parent: y}
+	switch {
+	case y == t.nilN:
+		t.root = z
+	case k.Compare(y.key) < 0:
+		y.left = z
+	default:
+		y.right = z
+	}
+	t.insertFixup(z)
+}
+
+func (t *rbTree) insertFixup(z *rbNode) {
+	for z.parent.color == red {
+		if z.parent == z.parent.parent.left {
+			y := z.parent.parent.right
+			if y.color == red {
+				z.parent.color = black
+				y.color = black
+				z.parent.parent.color = red
+				z = z.parent.parent
+			} else {
+				if z == z.parent.right {
+					z = z.parent
+					t.rotateLeft(z)
+				}
+				z.parent.color = black
+				z.parent.parent.color = red
+				t.rotateRight(z.parent.parent)
+			}
+		} else {
+			y := z.parent.parent.left
+			if y.color == red {
+				z.parent.color = black
+				y.color = black
+				z.parent.parent.color = red
+				z = z.parent.parent
+			} else {
+				if z == z.parent.left {
+					z = z.parent
+					t.rotateRight(z)
+				}
+				z.parent.color = black
+				z.parent.parent.color = red
+				t.rotateLeft(z.parent.parent)
+			}
+		}
+	}
+	t.root.color = black
+}
+
+func (t *rbTree) rotateLeft(x *rbNode) {
+	y := x.right
+	x.right = y.left
+	if y.left != t.nilN {
+		y.left.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == t.nilN:
+		t.root = y
+	case x == x.parent.left:
+		x.parent.left = y
+	default:
+		x.parent.right = y
+	}
+	y.left = x
+	x.parent = y
+}
+
+func (t *rbTree) rotateRight(x *rbNode) {
+	y := x.left
+	x.left = y.right
+	if y.right != t.nilN {
+		y.right.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == t.nilN:
+		t.root = y
+	case x == x.parent.right:
+		x.parent.right = y
+	default:
+		x.parent.left = y
+	}
+	y.right = x
+	x.parent = y
+}
+
+func (t *rbTree) find(k types.Value) *rbNode {
+	x := t.root
+	for x != t.nilN {
+		c := k.Compare(x.key)
+		if c == 0 {
+			return x
+		}
+		if c < 0 {
+			x = x.left
+		} else {
+			x = x.right
+		}
+	}
+	return t.nilN
+}
+
+func (t *rbTree) Lookup(k types.Value) []any {
+	n := t.find(k)
+	if n == t.nilN {
+		return nil
+	}
+	return n.refs
+}
+
+func (t *rbTree) Delete(k types.Value, ref any) bool {
+	z := t.find(k)
+	if z == t.nilN {
+		return false
+	}
+	refs, removed := removeRef(z.refs, ref)
+	if !removed {
+		return false
+	}
+	t.pairs--
+	if len(refs) > 0 {
+		z.refs = refs
+		return true
+	}
+	t.keys--
+	t.deleteNode(z)
+	return true
+}
+
+func (t *rbTree) deleteNode(z *rbNode) {
+	y := z
+	yOrigColor := y.color
+	var x *rbNode
+	switch {
+	case z.left == t.nilN:
+		x = z.right
+		t.transplant(z, z.right)
+	case z.right == t.nilN:
+		x = z.left
+		t.transplant(z, z.left)
+	default:
+		y = t.minimum(z.right)
+		yOrigColor = y.color
+		x = y.right
+		if y.parent == z {
+			x.parent = y
+		} else {
+			t.transplant(y, y.right)
+			y.right = z.right
+			y.right.parent = y
+		}
+		t.transplant(z, y)
+		y.left = z.left
+		y.left.parent = y
+		y.color = z.color
+	}
+	if yOrigColor == black {
+		t.deleteFixup(x)
+	}
+}
+
+func (t *rbTree) transplant(u, v *rbNode) {
+	switch {
+	case u.parent == t.nilN:
+		t.root = v
+	case u == u.parent.left:
+		u.parent.left = v
+	default:
+		u.parent.right = v
+	}
+	v.parent = u.parent
+}
+
+func (t *rbTree) minimum(x *rbNode) *rbNode {
+	for x.left != t.nilN {
+		x = x.left
+	}
+	return x
+}
+
+func (t *rbTree) deleteFixup(x *rbNode) {
+	for x != t.root && x.color == black {
+		if x == x.parent.left {
+			w := x.parent.right
+			if w.color == red {
+				w.color = black
+				x.parent.color = red
+				t.rotateLeft(x.parent)
+				w = x.parent.right
+			}
+			if w.left.color == black && w.right.color == black {
+				w.color = red
+				x = x.parent
+			} else {
+				if w.right.color == black {
+					w.left.color = black
+					w.color = red
+					t.rotateRight(w)
+					w = x.parent.right
+				}
+				w.color = x.parent.color
+				x.parent.color = black
+				w.right.color = black
+				t.rotateLeft(x.parent)
+				x = t.root
+			}
+		} else {
+			w := x.parent.left
+			if w.color == red {
+				w.color = black
+				x.parent.color = red
+				t.rotateRight(x.parent)
+				w = x.parent.left
+			}
+			if w.right.color == black && w.left.color == black {
+				w.color = red
+				x = x.parent
+			} else {
+				if w.left.color == black {
+					w.right.color = black
+					w.color = red
+					t.rotateLeft(w)
+					w = x.parent.left
+				}
+				w.color = x.parent.color
+				x.parent.color = black
+				w.left.color = black
+				t.rotateRight(x.parent)
+				x = t.root
+			}
+		}
+	}
+	x.color = black
+}
+
+func (t *rbTree) Len() int { return t.pairs }
+
+func (t *rbTree) Keys() int { return t.keys }
+
+func (t *rbTree) Ascend(fn func(k types.Value, ref any) bool) {
+	t.ascend(t.root, fn)
+}
+
+func (t *rbTree) ascend(n *rbNode, fn func(k types.Value, ref any) bool) bool {
+	if n == t.nilN {
+		return true
+	}
+	if !t.ascend(n.left, fn) {
+		return false
+	}
+	for _, r := range n.refs {
+		if !fn(n.key, r) {
+			return false
+		}
+	}
+	return t.ascend(n.right, fn)
+}
+
+// checkInvariants validates red-black properties; used by tests.
+// It returns the black-height of the tree or panics on violation.
+func (t *rbTree) checkInvariants() int {
+	if t.root.color != black {
+		panic("rbtree: root is red")
+	}
+	return t.check(t.root)
+}
+
+func (t *rbTree) check(n *rbNode) int {
+	if n == t.nilN {
+		return 1
+	}
+	if n.color == red && (n.left.color == red || n.right.color == red) {
+		panic("rbtree: red node with red child")
+	}
+	if n.left != t.nilN && n.left.key.Compare(n.key) >= 0 {
+		panic("rbtree: left child not smaller")
+	}
+	if n.right != t.nilN && n.right.key.Compare(n.key) <= 0 {
+		panic("rbtree: right child not larger")
+	}
+	lh := t.check(n.left)
+	rh := t.check(n.right)
+	if lh != rh {
+		panic("rbtree: black-height mismatch")
+	}
+	if n.color == black {
+		lh++
+	}
+	return lh
+}

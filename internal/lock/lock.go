@@ -1,0 +1,291 @@
+// Package lock implements STRIP's lock manager.
+//
+// Transactions acquire shared/exclusive locks on named resources (tables or
+// individual records — the manager is agnostic; lock names are comparable
+// values supplied by the transaction layer). Incompatible requests park the
+// requesting task in a blocked queue (paper §6.2, Figure 15) until granted.
+// Deadlocks are detected at block time by a wait-for-graph cycle check and
+// broken by aborting the requester with ErrDeadlock.
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Mode is a lock mode.
+type Mode uint8
+
+// Lock modes.
+const (
+	Shared Mode = iota
+	Exclusive
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == Shared {
+		return "S"
+	}
+	return "X"
+}
+
+// ErrDeadlock is returned to the transaction chosen as deadlock victim.
+var ErrDeadlock = errors.New("lock: deadlock detected")
+
+// ErrAborted is returned to waiters cancelled via Cancel.
+var ErrAborted = errors.New("lock: wait aborted")
+
+// Stats counts lock-manager activity.
+type Stats struct {
+	Acquires  int64
+	Waits     int64
+	Deadlocks int64
+}
+
+type waiter struct {
+	txn   int64
+	mode  Mode
+	ready chan error
+}
+
+type entry struct {
+	holders map[int64]Mode
+	queue   []*waiter
+}
+
+// Manager is the lock manager. The zero value is not usable; call New.
+type Manager struct {
+	mu    sync.Mutex
+	locks map[any]*entry
+	// held tracks every lock a transaction holds, for ReleaseAll.
+	held map[int64]map[any]Mode
+	// waitsOn maps a blocked transaction to the resource it waits for,
+	// feeding the wait-for graph.
+	waitsOn map[int64]any
+	stats   Stats
+}
+
+// New creates a lock manager.
+func New() *Manager {
+	return &Manager{
+		locks:   make(map[any]*entry),
+		held:    make(map[int64]map[any]Mode),
+		waitsOn: make(map[int64]any),
+	}
+}
+
+// Acquire obtains the lock `name` in `mode` for transaction txn, blocking
+// until granted. Re-acquiring a held lock is a no-op; acquiring Exclusive
+// while holding Shared upgrades. Returns ErrDeadlock if granting would
+// deadlock (the requester is the victim) or ErrAborted if cancelled.
+func (m *Manager) Acquire(txn int64, name any, mode Mode) error {
+	m.mu.Lock()
+	m.stats.Acquires++
+	e := m.locks[name]
+	if e == nil {
+		e = &entry{holders: make(map[int64]Mode)}
+		m.locks[name] = e
+	}
+	if cur, ok := e.holders[txn]; ok && (cur == Exclusive || mode == Shared) {
+		m.mu.Unlock()
+		return nil // already sufficient
+	}
+	if m.grantable(e, txn, mode) {
+		m.grant(e, txn, name, mode)
+		m.mu.Unlock()
+		return nil
+	}
+	// Must wait: deadlock check first.
+	if m.wouldDeadlock(txn, e) {
+		m.stats.Deadlocks++
+		m.mu.Unlock()
+		return fmt.Errorf("%w (txn %d on %v)", ErrDeadlock, txn, name)
+	}
+	w := &waiter{txn: txn, mode: mode, ready: make(chan error, 1)}
+	e.queue = append(e.queue, w)
+	m.waitsOn[txn] = name
+	m.stats.Waits++
+	m.mu.Unlock()
+
+	err := <-w.ready
+	return err
+}
+
+// grantable reports whether txn's request is compatible with the current
+// holders and does not jump ahead of waiting requests (except upgrades,
+// which must bypass the queue to avoid self-blocking).
+func (m *Manager) grantable(e *entry, txn int64, mode Mode) bool {
+	_, upgrading := e.holders[txn]
+	if len(e.queue) > 0 && !upgrading {
+		return false // FIFO fairness: don't starve earlier waiters
+	}
+	for holder, hm := range e.holders {
+		if holder == txn {
+			continue
+		}
+		if mode == Exclusive || hm == Exclusive {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Manager) grant(e *entry, txn int64, name any, mode Mode) {
+	if cur, ok := e.holders[txn]; !ok || mode > cur {
+		e.holders[txn] = mode
+	}
+	locks := m.held[txn]
+	if locks == nil {
+		locks = make(map[any]Mode)
+		m.held[txn] = locks
+	}
+	if cur, ok := locks[name]; !ok || mode > cur {
+		locks[name] = mode
+	}
+}
+
+// wouldDeadlock runs a DFS over the wait-for graph assuming txn starts
+// waiting on entry e: txn waits for e's holders; a holder that itself waits
+// on some resource waits for that resource's holders; a cycle back to txn
+// means deadlock.
+func (m *Manager) wouldDeadlock(txn int64, e *entry) bool {
+	visited := make(map[int64]bool)
+	var visit func(holder int64) bool
+	visit = func(holder int64) bool {
+		if holder == txn {
+			return true
+		}
+		if visited[holder] {
+			return false
+		}
+		visited[holder] = true
+		waitName, waiting := m.waitsOn[holder]
+		if !waiting {
+			return false
+		}
+		we := m.locks[waitName]
+		if we == nil {
+			return false
+		}
+		for h := range we.holders {
+			if h != holder && visit(h) {
+				return true
+			}
+		}
+		return false
+	}
+	for h := range e.holders {
+		if h != txn && visit(h) {
+			return true
+		}
+	}
+	return false
+}
+
+// Release drops one lock held by txn and wakes compatible waiters.
+func (m *Manager) Release(txn int64, name any) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.releaseLocked(txn, name)
+}
+
+func (m *Manager) releaseLocked(txn int64, name any) {
+	e := m.locks[name]
+	if e == nil {
+		return
+	}
+	delete(e.holders, txn)
+	if locks := m.held[txn]; locks != nil {
+		delete(locks, name)
+		if len(locks) == 0 {
+			delete(m.held, txn)
+		}
+	}
+	m.promote(e, name)
+	if len(e.holders) == 0 && len(e.queue) == 0 {
+		delete(m.locks, name)
+	}
+}
+
+// promote grants queued requests in FIFO order while they remain compatible.
+func (m *Manager) promote(e *entry, name any) {
+	for len(e.queue) > 0 {
+		w := e.queue[0]
+		compatible := true
+		for holder, hm := range e.holders {
+			if holder == w.txn {
+				continue
+			}
+			if w.mode == Exclusive || hm == Exclusive {
+				compatible = false
+				break
+			}
+		}
+		if !compatible {
+			return
+		}
+		e.queue = e.queue[1:]
+		delete(m.waitsOn, w.txn)
+		m.grant(e, w.txn, name, w.mode)
+		w.ready <- nil
+	}
+}
+
+// ReleaseAll drops every lock txn holds (commit or abort).
+func (m *Manager) ReleaseAll(txn int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	locks := m.held[txn]
+	names := make([]any, 0, len(locks))
+	for name := range locks {
+		names = append(names, name)
+	}
+	for _, name := range names {
+		m.releaseLocked(txn, name)
+	}
+}
+
+// Cancel aborts txn's pending wait, if any, delivering ErrAborted.
+func (m *Manager) Cancel(txn int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name, waiting := m.waitsOn[txn]
+	if !waiting {
+		return
+	}
+	e := m.locks[name]
+	if e != nil {
+		for i, w := range e.queue {
+			if w.txn == txn {
+				e.queue = append(e.queue[:i:i], e.queue[i+1:]...)
+				w.ready <- ErrAborted
+				break
+			}
+		}
+		if len(e.holders) == 0 && len(e.queue) == 0 {
+			delete(m.locks, name)
+		}
+	}
+	delete(m.waitsOn, txn)
+}
+
+// Holds reports the mode txn holds on name, if any.
+func (m *Manager) Holds(txn int64, name any) (Mode, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.locks[name]
+	if e == nil {
+		return 0, false
+	}
+	mode, ok := e.holders[txn]
+	return mode, ok
+}
+
+// Stats returns a snapshot of counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}

@@ -1,0 +1,150 @@
+package ptabench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/stripdb/strip/internal/clock"
+	"github.com/stripdb/strip/internal/cost"
+	"github.com/stripdb/strip/internal/sched"
+)
+
+// RunSchedAblation compares the task scheduler's policies (FIFO, EDF,
+// value-density; paper §6.2) under a transient overload on the live
+// engine: a burst of short tasks with mixed deadlines and values hits a
+// two-worker pool, and we report deadline misses and value accrued by the
+// deadline. The workload config only scales the task count.
+func RunSchedAblation(w io.Writer, wcfg WorkloadConfig, progress func(string)) error {
+	nTasks := 300
+	if wcfg.NumOptions < 10_000 {
+		nTasks = 150
+	}
+	fmt.Fprintln(w, "Scheduler policy ablation (live engine, 2 workers, 1 ms tasks, overload burst)")
+	fmt.Fprintf(w, "%-8s %12s %16s %14s\n", "policy", "misses", "value-on-time", "mean-late(ms)")
+	for _, policy := range []sched.Policy{sched.FIFO, sched.EDF, sched.VDF} {
+		misses, value, late := schedOverloadRun(policy, nTasks)
+		if progress != nil {
+			progress(fmt.Sprintf("sched %s: %d misses", policy, misses))
+		}
+		fmt.Fprintf(w, "%-8s %12d %16.0f %14.2f\n", policy, misses, value, late)
+	}
+	return nil
+}
+
+func schedOverloadRun(policy sched.Policy, nTasks int) (misses int, valueOnTime float64, meanLateMs float64) {
+	clk := clock.NewReal()
+	s := sched.New(clk, policy, cost.NewMeter(), cost.Zero())
+	rng := rand.New(rand.NewSource(42))
+
+	type outcome struct {
+		deadline clock.Micros
+		value    float64
+		finish   clock.Micros
+	}
+	var mu sync.Mutex
+	var outcomes []outcome
+
+	now := clk.Now()
+	tasks := make([]*sched.Task, nTasks)
+	for i := range tasks {
+		deadline := now + clock.Micros(5_000+rng.Intn(300_000)) // 5–305 ms
+		value := float64(1 + rng.Intn(10))
+		tasks[i] = &sched.Task{
+			Deadline: deadline,
+			Value:    value,
+			Fn: func(t *sched.Task) error {
+				time.Sleep(time.Millisecond)
+				mu.Lock()
+				outcomes = append(outcomes, outcome{deadline: t.Deadline, value: t.Value, finish: clk.Now()})
+				mu.Unlock()
+				return nil
+			},
+		}
+	}
+	// Submit the whole burst before starting workers so every policy faces
+	// the identical ready queue.
+	for _, t := range tasks {
+		s.Submit(t)
+	}
+	s.Start(2)
+	for {
+		st := s.Stats()
+		if st.Completed+st.Failed == int64(nTasks) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Stop()
+
+	var lateSum float64
+	for _, o := range outcomes {
+		if o.finish <= o.deadline {
+			valueOnTime += o.value
+		} else {
+			misses++
+			lateSum += float64(o.finish-o.deadline) / 1000
+		}
+	}
+	if misses > 0 {
+		meanLateMs = lateSum / float64(misses)
+	}
+	return misses, valueOnTime, meanLateMs
+}
+
+// RunLocalityAblation sweeps the trace's burstiness to demonstrate the
+// paper's §5.2 locality argument: option maintenance (high fan-out) batches
+// only when the *same stock* updates repeatedly inside the window
+// (temporal locality), while composite maintenance (high fan-in) batches
+// whenever *different stocks of the same composite* update (temporal-
+// spatial locality) and is therefore nearly insensitive to burstiness.
+func RunLocalityAblation(w io.Writer, wcfg WorkloadConfig, progress func(string)) error {
+	const delay = 2.0
+	bursts := []float64{0.0, 0.26, 0.5}
+	fmt.Fprintln(w, "Locality ablation: batching ratio (merged firings / total firings) at 2 s delay")
+	fmt.Fprintf(w, "%-12s %22s %22s\n", "burst-prob", "comps unique-on-comp", "options unique-on-sym")
+	for _, b := range bursts {
+		cfg := wcfg
+		cfg.Feed.BurstFollowProb = b
+		er, err := RunExperiment(cfg, []Variant{CompUniqueComp, OptUniqueSymbol}, []float64{delay}, progress)
+		if err != nil {
+			return err
+		}
+		ratio := func(v Variant) float64 {
+			r, ok := er.Find(v, delay)
+			if !ok || r.TasksCreated+r.TasksMerged == 0 {
+				return 0
+			}
+			return float64(r.TasksMerged) / float64(r.TasksCreated+r.TasksMerged)
+		}
+		fmt.Fprintf(w, "%-12.2f %22.3f %22.3f\n", b, ratio(CompUniqueComp), ratio(OptUniqueSymbol))
+	}
+	return nil
+}
+
+// RunTaperAblation extends the delay sweep past the paper's 3 s to show
+// the conclusion's "increasing the size of the delay window yields
+// diminishing returns" (§8): each doubling of the window buys less CPU.
+func RunTaperAblation(w io.Writer, wcfg WorkloadConfig, progress func(string)) error {
+	delays := []float64{0.5, 1, 2, 4, 8}
+	er, err := RunExperiment(wcfg, []Variant{CompUnique}, delays, progress)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Delay-window taper (coarse unique, comps): marginal CPU saved per extra second")
+	fmt.Fprintf(w, "%-10s %10s %18s\n", "delay(s)", "util%", "saved-per-s(pp)")
+	prev := -1.0
+	prevD := 0.0
+	for _, d := range delays {
+		r, _ := er.Find(CompUnique, d)
+		marginal := 0.0
+		if prev >= 0 {
+			marginal = (prev - r.CPUUtil) * 100 / (d - prevD)
+		}
+		fmt.Fprintf(w, "%-10.1f %10.2f %18.2f\n", d, r.CPUUtil*100, marginal)
+		prev, prevD = r.CPUUtil, d
+	}
+	return nil
+}

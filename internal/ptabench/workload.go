@@ -1,0 +1,265 @@
+// Package ptabench implements the paper's program trading application
+// (PTA) benchmark (§3–§5): the six-table schema, the rule variants for
+// maintaining comp_prices and option_prices, a virtual-time replay driver,
+// and the experiment harnesses that regenerate Figures 9–14 and Table 1.
+package ptabench
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	strip "github.com/stripdb/strip"
+	"github.com/stripdb/strip/internal/feed"
+	"github.com/stripdb/strip/internal/finance"
+)
+
+// WorkloadConfig sizes the PTA database (paper §4.2).
+type WorkloadConfig struct {
+	Feed feed.Config
+	// NumComposites and CompSize define comp_prices/comps_list: each
+	// composite is computed from CompSize stocks chosen randomly in
+	// proportion to trading activity.
+	NumComposites int
+	CompSize      int
+	// NumOptions defines options_list/option_prices; options are assigned
+	// to stocks in proportion to trading activity.
+	NumOptions int
+}
+
+// PaperScale returns the paper's configuration: 6,600 stocks, 400
+// composites × 200 stocks (80,000 comps_list rows), 50,000 options,
+// ≈60,000 updates over 30 minutes.
+func PaperScale() WorkloadConfig {
+	return WorkloadConfig{
+		Feed:          feed.Default(),
+		NumComposites: 400,
+		CompSize:      200,
+		NumOptions:    50_000,
+	}
+}
+
+// SmallScale returns a reduced configuration for tests and `go test
+// -bench`: 1/10 of the population over 2 minutes, preserving update rates
+// and fan-in/fan-out ratios closely enough for the qualitative results.
+func SmallScale() WorkloadConfig {
+	return WorkloadConfig{
+		Feed:          feed.Small(),
+		NumComposites: 40,
+		CompSize:      80,
+		NumOptions:    3_000,
+	}
+}
+
+// TinyScale returns a seconds-sized workload for unit tests and `go test
+// -bench`: ~900 updates over 30 s against a few dozen composites. Rates and
+// fan-in stay in the paper's regime so qualitative results persist.
+func TinyScale() WorkloadConfig {
+	fc := feed.Config{
+		NumStocks:        120,
+		Duration:         30 * 1_000_000,
+		TargetUpdates:    900,
+		ActivityExponent: 0.3,
+		BurstFollowProb:  0.26,
+		BurstGap:         900_000,
+		Seed:             7,
+	}
+	return WorkloadConfig{Feed: fc, NumComposites: 40, CompSize: 15, NumOptions: 300}
+}
+
+// Workload is a populated PTA database plus its trace.
+type Workload struct {
+	DB     *strip.DB
+	Trace  *feed.Trace
+	Config WorkloadConfig
+	// Memberships counts comps_list rows (fan-in bookkeeping).
+	Memberships int
+}
+
+// compName names a composite ("CP0001", ...).
+func compName(i int) string { return fmt.Sprintf("CP%04d", i) }
+
+// optName names an option ("OP000001", ...).
+func optName(i int) string { return fmt.Sprintf("OP%06d", i) }
+
+// Setup creates and populates the PTA tables in db from a generated trace.
+// Population happens outside transactions (no rules are installed yet) so
+// setup does not pollute the meter; callers still ResetMeter before runs.
+func Setup(db *strip.DB, tr *feed.Trace, cfg WorkloadConfig) (*Workload, error) {
+	if tr.Weights == nil {
+		return nil, fmt.Errorf("ptabench: trace has no activity weights (loaded from CSV?)")
+	}
+	ddl := []string{
+		`create table stocks (symbol text, price float)`,
+		`create index on stocks (symbol)`,
+		`create table stock_stdev (symbol text, stdev float)`,
+		`create index on stock_stdev (symbol)`,
+		`create table comps_list (comp text, symbol text, weight float)`,
+		`create index on comps_list (symbol)`,
+		`create table comp_prices (comp text, price float)`,
+		`create index on comp_prices (comp)`,
+		`create table options_list (option_symbol text, stock_symbol text, strike float, expiration float)`,
+		`create index on options_list (stock_symbol)`,
+		`create table option_prices (option_symbol text, price float)`,
+		`create index on option_prices (option_symbol)`,
+	}
+	for _, stmt := range ddl {
+		if _, err := db.Exec(stmt); err != nil {
+			return nil, err
+		}
+	}
+
+	rng := rand.New(rand.NewSource(tr.Config.Seed + 1000))
+	n := tr.Config.NumStocks
+	store := db.Txns().Store
+
+	insert := func(table string, rows ...[]strip.Value) error {
+		tbl, ok := store.Get(table)
+		if !ok {
+			return fmt.Errorf("ptabench: table %s missing", table)
+		}
+		for _, r := range rows {
+			if _, err := tbl.Insert(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// stocks + stock_stdev.
+	stdev := make([]float64, n)
+	for i := 0; i < n; i++ {
+		stdev[i] = 0.15 + rng.Float64()*0.35
+		if err := insert("stocks",
+			[]strip.Value{strip.Str(feed.Symbol(i)), strip.Float(tr.Initial[i])}); err != nil {
+			return nil, err
+		}
+		if err := insert("stock_stdev",
+			[]strip.Value{strip.Str(feed.Symbol(i)), strip.Float(stdev[i])}); err != nil {
+			return nil, err
+		}
+	}
+
+	sampler := newAliasSampler(tr.Weights, rng)
+
+	// Composites: CompSize distinct stocks each, activity-weighted
+	// (paper §4.2: "chosen randomly but in direct proportion to their
+	// trading activity").
+	w := &Workload{DB: db, Trace: tr, Config: cfg}
+	for c := 0; c < cfg.NumComposites; c++ {
+		members := sampler.SampleDistinct(cfg.CompSize)
+		price := 0.0
+		for _, s := range members {
+			weight := (0.5 + rng.Float64()) / float64(cfg.CompSize)
+			price += weight * tr.Initial[s]
+			if err := insert("comps_list", []strip.Value{
+				strip.Str(compName(c)), strip.Str(feed.Symbol(s)), strip.Float(weight)}); err != nil {
+				return nil, err
+			}
+			w.Memberships++
+		}
+		if err := insert("comp_prices",
+			[]strip.Value{strip.Str(compName(c)), strip.Float(price)}); err != nil {
+			return nil, err
+		}
+	}
+
+	// Options: assigned ∝ activity; strike near the money, expiration in
+	// (0, 1] years (paper §4.2: values random from a reasonable range —
+	// the pricing model is not data dependent).
+	for o := 0; o < cfg.NumOptions; o++ {
+		s := sampler.Sample()
+		strike := roundEighth(tr.Initial[s] * (0.8 + rng.Float64()*0.4))
+		if strike < 1 {
+			strike = 1
+		}
+		exp := 0.05 + rng.Float64()*0.95
+		price, err := finance.BlackScholesCall(tr.Initial[s], strike, finance.RisklessRate, exp, stdev[s])
+		if err != nil {
+			return nil, err
+		}
+		if err := insert("options_list", []strip.Value{
+			strip.Str(optName(o)), strip.Str(feed.Symbol(s)),
+			strip.Float(strike), strip.Float(exp)}); err != nil {
+			return nil, err
+		}
+		if err := insert("option_prices",
+			[]strip.Value{strip.Str(optName(o)), strip.Float(price)}); err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+func roundEighth(p float64) float64 {
+	return float64(int(p*8+0.5)) / 8
+}
+
+// aliasSampler draws stock ids in proportion to activity weights
+// (Walker's alias method; O(1) per draw).
+type aliasSampler struct {
+	prob  []float64
+	alias []int
+	rng   *rand.Rand
+}
+
+func newAliasSampler(weights []float64, rng *rand.Rand) *aliasSampler {
+	n := len(weights)
+	s := &aliasSampler{prob: make([]float64, n), alias: make([]int, n), rng: rng}
+	scaled := make([]float64, n)
+	var small, large []int
+	for i, w := range weights {
+		scaled[i] = w * float64(n)
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		l := small[len(small)-1]
+		small = small[:len(small)-1]
+		g := large[len(large)-1]
+		large = large[:len(large)-1]
+		s.prob[l] = scaled[l]
+		s.alias[l] = g
+		scaled[g] = scaled[g] + scaled[l] - 1
+		if scaled[g] < 1 {
+			small = append(small, g)
+		} else {
+			large = append(large, g)
+		}
+	}
+	for _, i := range append(small, large...) {
+		s.prob[i] = 1
+		s.alias[i] = i
+	}
+	return s
+}
+
+// Sample draws one stock id.
+func (s *aliasSampler) Sample() int {
+	i := s.rng.Intn(len(s.prob))
+	if s.rng.Float64() < s.prob[i] {
+		return i
+	}
+	return s.alias[i]
+}
+
+// SampleDistinct draws k distinct stock ids (rejection on duplicates).
+func (s *aliasSampler) SampleDistinct(k int) []int {
+	if k > len(s.prob) {
+		k = len(s.prob)
+	}
+	seen := make(map[int]bool, k)
+	out := make([]int, 0, k)
+	for len(out) < k {
+		i := s.Sample()
+		if !seen[i] {
+			seen[i] = true
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,32 @@
+package query
+
+import (
+	"sync"
+
+	"github.com/stripdb/strip/internal/types"
+)
+
+// ScalarFunc is a registered scalar function callable from queries
+// (paper §3 uses f_BS in the option_prices view definition).
+type ScalarFunc func(args []types.Value) (types.Value, error)
+
+var (
+	funcMu   sync.RWMutex
+	funcsReg = map[string]ScalarFunc{}
+)
+
+// RegisterFunc installs a scalar function under a name, replacing any
+// previous registration.
+func RegisterFunc(name string, fn ScalarFunc) {
+	funcMu.Lock()
+	defer funcMu.Unlock()
+	funcsReg[name] = fn
+}
+
+// LookupFunc finds a registered scalar function.
+func LookupFunc(name string) (ScalarFunc, bool) {
+	funcMu.RLock()
+	defer funcMu.RUnlock()
+	fn, ok := funcsReg[name]
+	return fn, ok
+}

@@ -1,0 +1,137 @@
+package query
+
+import (
+	"testing"
+
+	"github.com/stripdb/strip/internal/types"
+)
+
+func TestOrderByAscending(t *testing.T) {
+	mgr := env(t)
+	tx := mgr.Begin()
+	defer tx.Commit()
+	q := &Select{
+		Items:   []SelectItem{Item(Col("symbol"), ""), Item(Col("price"), "")},
+		From:    []string{"stocks"},
+		OrderBy: []string{"price"},
+	}
+	res, err := q.Run(tx, TxnResolver{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Retire()
+	prices := []float64{}
+	for i := 0; i < res.Len(); i++ {
+		prices = append(prices, res.Value(i, 1).Float())
+	}
+	if prices[0] != 30 || prices[1] != 40 || prices[2] != 50 {
+		t.Errorf("ascending order = %v", prices)
+	}
+}
+
+func TestOrderByDescending(t *testing.T) {
+	mgr := env(t)
+	tx := mgr.Begin()
+	defer tx.Commit()
+	q := &Select{
+		Items:   []SelectItem{Item(Col("symbol"), "")},
+		From:    []string{"stocks"},
+		OrderBy: []string{"symbol"},
+		Desc:    true,
+	}
+	res, err := q.Run(tx, TxnResolver{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Retire()
+	if res.Value(0, 0).Str() != "S3" || res.Value(2, 0).Str() != "S1" {
+		t.Errorf("descending order wrong: %v %v", res.Value(0, 0), res.Value(2, 0))
+	}
+}
+
+func TestOrderByMultiColumn(t *testing.T) {
+	mgr := env(t)
+	tx := mgr.Begin()
+	defer tx.Commit()
+	q := &Select{
+		Items:   []SelectItem{Item(Col("comp"), ""), Item(Col("symbol"), "")},
+		From:    []string{"comps_list"},
+		OrderBy: []string{"comp", "symbol"},
+	}
+	res, err := q.Run(tx, TxnResolver{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Retire()
+	var got []string
+	for i := 0; i < res.Len(); i++ {
+		got = append(got, res.Value(i, 0).Str()+res.Value(i, 1).Str())
+	}
+	want := []string{"C1S1", "C1S3", "C2S1", "C2S2"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestOrderByAggregateOutput(t *testing.T) {
+	mgr := env(t)
+	tx := mgr.Begin()
+	defer tx.Commit()
+	comp := QCol("comps_list", "comp")
+	q := &Select{
+		Items: []SelectItem{
+			Item(comp, ""),
+			AggItem(AggSum, QCol("comps_list", "weight"), "w"),
+		},
+		From:    []string{"comps_list"},
+		GroupBy: []*ColRef{comp},
+		OrderBy: []string{"w"},
+		Desc:    true,
+	}
+	res, err := q.Run(tx, TxnResolver{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Retire()
+	if res.Len() != 2 || res.Value(0, 1).Float() < res.Value(1, 1).Float() {
+		t.Errorf("aggregate not sorted desc: %v", res.Row(0))
+	}
+}
+
+func TestOrderByUnknownColumn(t *testing.T) {
+	mgr := env(t)
+	tx := mgr.Begin()
+	defer tx.Commit()
+	q := &Select{
+		Items:   []SelectItem{Item(Col("symbol"), "")},
+		From:    []string{"stocks"},
+		OrderBy: []string{"nope"},
+	}
+	if _, err := q.Run(tx, TxnResolver{}); err == nil {
+		t.Error("unknown ORDER BY column accepted")
+	}
+}
+
+func TestOrderByStableOnTies(t *testing.T) {
+	mgr := env(t)
+	tx := mgr.Begin()
+	defer tx.Commit()
+	// All comps_list rows for C1 share the weight 0.5: stable sort keeps
+	// their original relative order.
+	q := &Select{
+		Items:   []SelectItem{Item(Col("symbol"), ""), Item(Col("weight"), "")},
+		From:    []string{"comps_list"},
+		Where:   []Pred{Eq(Col("comp"), Const(types.Str("C1")))},
+		OrderBy: []string{"weight"},
+	}
+	res, err := q.Run(tx, TxnResolver{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Retire()
+	if res.Value(0, 0).Str() != "S1" || res.Value(1, 0).Str() != "S3" {
+		t.Errorf("tie order not stable: %v, %v", res.Value(0, 0), res.Value(1, 0))
+	}
+}

@@ -1,0 +1,110 @@
+package query
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/stripdb/strip/internal/types"
+)
+
+// Rules re-run their condition queries on every firing; Run must not
+// mutate the caller's Select (resolution state, star expansion).
+func TestSelectReusableAcrossRuns(t *testing.T) {
+	mgr := env(t)
+	q := &Select{
+		Items: []SelectItem{
+			Item(QCol("comps_list", "comp"), ""),
+			Item(Arith(QCol("stocks", "price"), '*', QCol("comps_list", "weight")), "wp"),
+		},
+		From:  []string{"stocks", "comps_list"},
+		Where: []Pred{Eq(QCol("comps_list", "symbol"), QCol("stocks", "symbol"))},
+	}
+	for i := 0; i < 3; i++ {
+		tx := mgr.Begin()
+		res, err := q.Run(tx, TxnResolver{})
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if res.Len() != 4 {
+			t.Fatalf("run %d: %d rows", i, res.Len())
+		}
+		res.Retire()
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(q.Items) != 2 {
+		t.Errorf("caller's Items mutated: %d", len(q.Items))
+	}
+}
+
+func TestStarReusableAcrossRuns(t *testing.T) {
+	mgr := env(t)
+	q := &Select{Star: true, From: []string{"stocks"}}
+	for i := 0; i < 3; i++ {
+		tx := mgr.Begin()
+		res, err := q.Run(tx, TxnResolver{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Schema().NumCols() != 2 {
+			t.Fatalf("run %d: star expanded to %d cols", i, res.Schema().NumCols())
+		}
+		res.Retire()
+		tx.Commit()
+	}
+	if len(q.Items) != 0 {
+		t.Errorf("star expansion leaked into caller: %d items", len(q.Items))
+	}
+	// Star with explicit items is rejected.
+	bad := &Select{Star: true, Items: []SelectItem{Item(Col("symbol"), "")}, From: []string{"stocks"}}
+	tx := mgr.Begin()
+	defer tx.Commit()
+	if _, err := bad.Run(tx, TxnResolver{}); err == nil {
+		t.Error("star mixed with items accepted")
+	}
+}
+
+// Concurrent runs of one shared Select must be safe (live mode fires the
+// same rule from many committing transactions).
+func TestSelectConcurrentRuns(t *testing.T) {
+	mgr := env(t)
+	q := &Select{
+		Items: []SelectItem{Item(Col("comp"), ""), Item(Col("weight"), "")},
+		From:  []string{"comps_list"},
+		Where: []Pred{Cmp(Col("weight"), GT, Const(types.Float(0)))},
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				tx := mgr.Begin()
+				res, err := q.Run(tx, TxnResolver{})
+				if err != nil {
+					errs <- err
+					tx.Abort()
+					return
+				}
+				if res.Len() != 4 {
+					errs <- errWrongRows
+				}
+				res.Retire()
+				tx.Commit()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+var errWrongRows = errType("wrong row count")
+
+type errType string
+
+func (e errType) Error() string { return string(e) }

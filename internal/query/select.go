@@ -1,0 +1,688 @@
+package query
+
+import (
+	"fmt"
+
+	"github.com/stripdb/strip/internal/catalog"
+	"github.com/stripdb/strip/internal/storage"
+	"github.com/stripdb/strip/internal/txn"
+	"github.com/stripdb/strip/internal/types"
+)
+
+// Resolver maps a table name to a standard or temporary table. Rule action
+// tasks resolve bound tables first and fall back to the database catalog
+// (paper §6.3); plain transactions use TxnResolver.
+type Resolver interface {
+	Resolve(tx *txn.Txn, name string) (*storage.Table, *storage.TempTable, error)
+}
+
+// TxnResolver resolves names against the database only, acquiring shared
+// locks through the transaction.
+type TxnResolver struct{}
+
+// Resolve implements Resolver.
+func (TxnResolver) Resolve(tx *txn.Txn, name string) (*storage.Table, *storage.TempTable, error) {
+	tbl, err := tx.ReadTable(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tbl, nil, nil
+}
+
+// source is one FROM entry after resolution: exactly one of tbl/tmp is set.
+type source struct {
+	name   string
+	schema *catalog.Schema
+	tbl    *storage.Table
+	tmp    *storage.TempTable
+}
+
+// cursor is a source's current position during join iteration.
+type cursor struct {
+	src *source
+	rec *storage.Record // standard-table position
+	row int             // temp-table position
+}
+
+func (c cursor) value(col int) types.Value {
+	if c.src.tbl != nil {
+		return c.rec.Value(col)
+	}
+	return c.src.tmp.Value(c.row, col)
+}
+
+// AggKind selects an aggregate function for a select item.
+type AggKind uint8
+
+// Aggregates.
+const (
+	AggNone AggKind = iota
+	AggSum
+	AggCount
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// String names the aggregate.
+func (a AggKind) String() string {
+	switch a {
+	case AggNone:
+		return ""
+	case AggSum:
+		return "sum"
+	case AggCount:
+		return "count"
+	case AggAvg:
+		return "avg"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	default:
+		return "?"
+	}
+}
+
+// SelectItem is one output column of a Select.
+type SelectItem struct {
+	Expr Expr
+	Agg  AggKind
+	As   string // output column name; defaults to the column name for refs
+}
+
+// Item builds a plain select item.
+func Item(e Expr, as string) SelectItem { return SelectItem{Expr: e, As: as} }
+
+// AggItem builds an aggregate select item.
+func AggItem(agg AggKind, e Expr, as string) SelectItem {
+	return SelectItem{Expr: e, Agg: agg, As: as}
+}
+
+// Select is a select-project-join query with optional grouping.
+type Select struct {
+	Items   []SelectItem
+	From    []string
+	Where   []Pred
+	GroupBy []*ColRef
+	// Star selects every column of every FROM table in order (`select *`);
+	// Items must be empty.
+	Star bool
+	// OrderBy sorts the result by output columns (by name); Desc flips the
+	// whole ordering.
+	OrderBy []string
+	Desc    bool
+	// Bind names the result temp table (the `bind as` clause); defaults to
+	// "result".
+	Bind string
+}
+
+// Run executes the query inside tx, resolving table names through res, and
+// returns the result as a temporary table. Results use the §6.1 pointer
+// layout for every column that traces back to a standard-table record;
+// computed and aggregate columns are materialized.
+func (q *Select) Run(tx *txn.Txn, res Resolver) (*storage.TempTable, error) {
+	model := tx.Model()
+	tx.Charge(model.StmtSetup)
+	// Run on a private copy: resolution writes into expressions, and rules
+	// re-run their condition queries on every firing (possibly concurrently
+	// in live mode).
+	q = q.clone()
+	ex := &exec{q: q, tx: tx}
+
+	// Resolve sources.
+	for _, name := range q.From {
+		tbl, tmp, err := res.Resolve(tx, name)
+		if err != nil {
+			return nil, err
+		}
+		s := &source{name: name, tbl: tbl, tmp: tmp}
+		if tbl != nil {
+			s.schema = tbl.Schema()
+		} else {
+			s.schema = tmp.Schema()
+		}
+		ex.srcs = append(ex.srcs, s)
+		tx.Charge(model.OpenCursor)
+	}
+	if len(ex.srcs) == 0 {
+		return nil, fmt.Errorf("query: select with empty FROM")
+	}
+
+	// Expand `select *`.
+	if q.Star {
+		if len(q.Items) > 0 {
+			return nil, fmt.Errorf("query: * cannot mix with explicit items")
+		}
+		for _, s := range ex.srcs {
+			for i := 0; i < s.schema.NumCols(); i++ {
+				ex.q.Items = append(ex.q.Items, Item(QCol(s.name, s.schema.Col(i).Name), ""))
+			}
+		}
+	}
+
+	// Resolve expressions.
+	for i := range q.Items {
+		if q.Items[i].Expr == nil {
+			return nil, fmt.Errorf("query: select item %d has no expression", i)
+		}
+		if err := q.Items[i].Expr.resolve(ex.srcs); err != nil {
+			return nil, err
+		}
+	}
+	for i := range q.Where {
+		if err := q.Where[i].resolve(ex.srcs); err != nil {
+			return nil, err
+		}
+	}
+	for _, g := range q.GroupBy {
+		if err := g.resolve(ex.srcs); err != nil {
+			return nil, err
+		}
+	}
+	if err := ex.validateAggregates(); err != nil {
+		return nil, err
+	}
+
+	// Classify predicates into index probes and residual filters per level.
+	if err := ex.plan(); err != nil {
+		return nil, err
+	}
+
+	// Prepare output.
+	if err := ex.prepareOutput(); err != nil {
+		return nil, err
+	}
+
+	// Evaluate constant predicates once.
+	for _, p := range ex.constPreds {
+		ok, err := p.eval(nil)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return ex.finish() // provably empty
+		}
+	}
+
+	cur := make([]cursor, len(ex.srcs))
+	if err := ex.join(0, cur); err != nil {
+		return nil, err
+	}
+	out, err := ex.finish()
+	if err != nil {
+		return nil, err
+	}
+	if len(q.OrderBy) > 0 {
+		if err := sortResult(out, q.OrderBy, q.Desc); err != nil {
+			out.Retire()
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// clone deep-copies the query for a private run.
+func (q *Select) clone() *Select {
+	cp := &Select{
+		Items:   make([]SelectItem, len(q.Items)),
+		From:    append([]string(nil), q.From...),
+		Where:   make([]Pred, len(q.Where)),
+		GroupBy: make([]*ColRef, len(q.GroupBy)),
+		Star:    q.Star,
+		OrderBy: append([]string(nil), q.OrderBy...),
+		Desc:    q.Desc,
+		Bind:    q.Bind,
+	}
+	for i, it := range q.Items {
+		cp.Items[i] = SelectItem{Agg: it.Agg, As: it.As}
+		if it.Expr != nil {
+			cp.Items[i].Expr = it.Expr.clone()
+		}
+	}
+	for i, p := range q.Where {
+		cp.Where[i] = p.clone()
+	}
+	for i, g := range q.GroupBy {
+		cp.GroupBy[i] = g.cloneRef()
+	}
+	return cp
+}
+
+// exec carries the per-run state of a Select.
+type exec struct {
+	q    *Select
+	tx   *txn.Txn
+	srcs []*source
+
+	probes     []*probe // per level, nil if scanning
+	residuals  [][]Pred // per level
+	constPreds []Pred
+
+	// Output construction.
+	out      *storage.TempTable
+	ptrSlots []ptrSlot // pointer slots of the output layout
+	matCols  []int     // item indexes of materialized columns
+
+	// Grouping state.
+	groups    map[types.Key]*groupState
+	groupSeq  []types.Key
+	aggregate bool
+}
+
+// probe is an index nested-loop join step: at this level, look up the
+// source's index on column col with the value of expr (bound by lower
+// levels).
+type probe struct {
+	col  string
+	expr Expr
+}
+
+// ptrSlot identifies one pointer of the output layout: records flow either
+// directly from a standard source (tmpPtr == -1) or through a temp source's
+// own pointer tmpPtr.
+type ptrSlot struct {
+	src    int
+	tmpPtr int
+}
+
+func (ex *exec) validateAggregates() error {
+	for _, it := range ex.q.Items {
+		if it.Agg != AggNone {
+			ex.aggregate = true
+		}
+	}
+	if len(ex.q.GroupBy) > 0 && !ex.aggregate {
+		return fmt.Errorf("query: GROUP BY without aggregates")
+	}
+	if len(ex.q.GroupBy) > types.MaxKeyWidth {
+		return fmt.Errorf("query: GROUP BY width %d exceeds %d", len(ex.q.GroupBy), types.MaxKeyWidth)
+	}
+	if ex.aggregate {
+		// Every non-aggregate item must be one of the group-by columns.
+		for _, it := range ex.q.Items {
+			if it.Agg != AggNone {
+				continue
+			}
+			cr, ok := it.Expr.(*ColRef)
+			if !ok {
+				return fmt.Errorf("query: non-aggregate item %s must be a grouped column", it.Expr)
+			}
+			found := false
+			for _, g := range ex.q.GroupBy {
+				if g.src == cr.src && g.col == cr.col {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("query: column %s is not in GROUP BY", cr)
+			}
+		}
+		ex.groups = make(map[types.Key]*groupState)
+	}
+	return nil
+}
+
+// plan classifies WHERE predicates: for each join level the first usable
+// equality against an indexed column becomes an index probe; everything
+// else filters at the highest level it references.
+func (ex *exec) plan() error {
+	n := len(ex.srcs)
+	ex.probes = make([]*probe, n)
+	ex.residuals = make([][]Pred, n)
+	for _, p := range ex.q.Where {
+		lvl := p.maxSource()
+		if lvl < 0 {
+			ex.constPreds = append(ex.constPreds, p)
+			continue
+		}
+		if pr, ok := ex.probeFor(p, lvl); ok && ex.probes[lvl] == nil {
+			ex.probes[lvl] = pr
+			continue
+		}
+		ex.residuals[lvl] = append(ex.residuals[lvl], p)
+	}
+	return nil
+}
+
+// probeFor returns an index probe if p is `srcs[lvl].indexedCol = expr`
+// (either side) with expr bound below lvl.
+func (ex *exec) probeFor(p Pred, lvl int) (*probe, bool) {
+	if p.Op != EQ {
+		return nil, false
+	}
+	try := func(side, other Expr) (*probe, bool) {
+		cr, ok := side.(*ColRef)
+		if !ok || cr.src != lvl {
+			return nil, false
+		}
+		if otherMax(other) >= lvl {
+			return nil, false
+		}
+		s := ex.srcs[lvl]
+		if s.tbl == nil || !s.tbl.HasIndex(cr.Col) {
+			return nil, false
+		}
+		return &probe{col: cr.Col, expr: other}, true
+	}
+	if pr, ok := try(p.Left, p.Right); ok {
+		return pr, true
+	}
+	return try(p.Right, p.Left)
+}
+
+func otherMax(e Expr) int {
+	max := -1
+	e.walk(func(x Expr) {
+		if c, ok := x.(*ColRef); ok && c.src > max {
+			max = c.src
+		}
+	})
+	return max
+}
+
+// join recursively iterates source `level`, applying probes and residuals.
+func (ex *exec) join(level int, cur []cursor) error {
+	if level == len(ex.srcs) {
+		return ex.emit(cur)
+	}
+	model := ex.tx.Model()
+	s := ex.srcs[level]
+	visit := func(c cursor) error {
+		cur[level] = c
+		if level > 0 {
+			ex.tx.Charge(model.JoinRow)
+		}
+		for _, p := range ex.residuals[level] {
+			ok, err := p.eval(cur)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+		}
+		return ex.join(level+1, cur)
+	}
+
+	if pr := ex.probes[level]; pr != nil {
+		v, err := pr.expr.eval(cur)
+		if err != nil {
+			return err
+		}
+		ex.tx.Charge(model.IndexProbe)
+		recs, _ := s.tbl.IndexLookup(pr.col, v)
+		for _, r := range recs {
+			if err := visit(cursor{src: s, rec: r}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if s.tbl != nil {
+		var visitErr error
+		s.tbl.Scan(func(r *storage.Record) bool {
+			ex.tx.Charge(model.ScanRow)
+			if err := visit(cursor{src: s, rec: r}); err != nil {
+				visitErr = err
+				return false
+			}
+			return true
+		})
+		return visitErr
+	}
+	for i := 0; i < s.tmp.Len(); i++ {
+		ex.tx.Charge(model.ScanRow)
+		if err := visit(cursor{src: s, row: i}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// prepareOutput builds the result temp table: schema, pointer slots, and
+// static map.
+func (ex *exec) prepareOutput() error {
+	name := ex.q.Bind
+	if name == "" {
+		name = "result"
+	}
+	cols := make([]catalog.Column, len(ex.q.Items))
+	for i, it := range ex.q.Items {
+		colName := it.As
+		if colName == "" {
+			if cr, ok := it.Expr.(*ColRef); ok && it.Agg == AggNone {
+				colName = cr.Col
+			} else {
+				return fmt.Errorf("query: select item %d (%s) needs an alias", i, it.Expr)
+			}
+		}
+		cols[i] = catalog.Column{Name: colName, Kind: ex.itemKind(it)}
+	}
+	schema, err := catalog.NewSchema(name, cols)
+	if err != nil {
+		return err
+	}
+
+	if ex.aggregate {
+		ex.out = storage.NewValueTempTable(schema)
+		return nil
+	}
+
+	// Pointer layout: share one slot per distinct record origin (paper §6.1:
+	// one pointer per standard tuple contributing at least one attribute).
+	slotOf := map[ptrSlot]int{}
+	srcMap := make([]storage.ColSource, len(ex.q.Items))
+	nMat := 0
+	for i, it := range ex.q.Items {
+		cr, isRef := it.Expr.(*ColRef)
+		if !isRef {
+			srcMap[i] = storage.Materialized(nMat)
+			ex.matCols = append(ex.matCols, i)
+			nMat++
+			continue
+		}
+		s := ex.srcs[cr.src]
+		var slot ptrSlot
+		off := cr.col
+		if s.tbl != nil {
+			slot = ptrSlot{src: cr.src, tmpPtr: -1}
+		} else {
+			cs := s.tmp.Source(cr.col)
+			if cs.Ptr < 0 {
+				// Materialized in the source temp table; copy the value.
+				srcMap[i] = storage.Materialized(nMat)
+				ex.matCols = append(ex.matCols, i)
+				nMat++
+				continue
+			}
+			slot = ptrSlot{src: cr.src, tmpPtr: cs.Ptr}
+			off = cs.Off
+		}
+		idx, ok := slotOf[slot]
+		if !ok {
+			idx = len(ex.ptrSlots)
+			slotOf[slot] = idx
+			ex.ptrSlots = append(ex.ptrSlots, slot)
+		}
+		srcMap[i] = storage.FromRecord(idx, off)
+	}
+	ex.out, err = storage.NewTempTable(schema, srcMap, len(ex.ptrSlots))
+	return err
+}
+
+func (ex *exec) itemKind(it SelectItem) types.Kind {
+	switch it.Agg {
+	case AggCount:
+		return types.KindInt
+	case AggAvg:
+		return types.KindFloat
+	}
+	return exprKind(it.Expr, ex.srcs)
+}
+
+func exprKind(e Expr, srcs []*source) types.Kind {
+	switch x := e.(type) {
+	case *ColRef:
+		return srcs[x.src].schema.Col(x.col).Kind
+	case *ConstExpr:
+		return x.Val.Kind()
+	case *BinExpr:
+		if exprKind(x.Left, srcs) == types.KindInt && exprKind(x.Right, srcs) == types.KindInt {
+			return types.KindInt
+		}
+		return types.KindFloat
+	case *FuncExpr:
+		return types.KindFloat
+	default:
+		return types.KindNull
+	}
+}
+
+// groupState accumulates aggregates for one group.
+type groupState struct {
+	reps   []types.Value // group-by column values in Items order (nil holes)
+	counts []int64
+	sums   []float64
+	mins   []types.Value
+	maxs   []types.Value
+}
+
+func (ex *exec) emit(cur []cursor) error {
+	model := ex.tx.Model()
+	if !ex.aggregate {
+		ex.tx.Charge(model.OutputRow)
+		ptrs := make([]*storage.Record, len(ex.ptrSlots))
+		for i, slot := range ex.ptrSlots {
+			c := cur[slot.src]
+			if slot.tmpPtr < 0 {
+				ptrs[i] = c.rec
+			} else {
+				ptrs[i] = c.src.tmp.RowPtr(c.row, slot.tmpPtr)
+			}
+		}
+		var vals []types.Value
+		for _, itemIdx := range ex.matCols {
+			v, err := ex.q.Items[itemIdx].Expr.eval(cur)
+			if err != nil {
+				return err
+			}
+			vals = append(vals, v)
+		}
+		return ex.out.AppendRow(ptrs, vals)
+	}
+
+	ex.tx.Charge(model.GroupRow)
+	keyVals := make([]types.Value, len(ex.q.GroupBy))
+	for i, g := range ex.q.GroupBy {
+		v, err := g.eval(cur)
+		if err != nil {
+			return err
+		}
+		keyVals[i] = v
+	}
+	key := types.MakeKey(keyVals...)
+	gs, ok := ex.groups[key]
+	if !ok {
+		gs = &groupState{
+			reps:   make([]types.Value, len(ex.q.Items)),
+			counts: make([]int64, len(ex.q.Items)),
+			sums:   make([]float64, len(ex.q.Items)),
+			mins:   make([]types.Value, len(ex.q.Items)),
+			maxs:   make([]types.Value, len(ex.q.Items)),
+		}
+		ex.groups[key] = gs
+		ex.groupSeq = append(ex.groupSeq, key)
+	}
+	for i, it := range ex.q.Items {
+		switch it.Agg {
+		case AggNone:
+			if gs.counts[i] == 0 {
+				v, err := it.Expr.eval(cur)
+				if err != nil {
+					return err
+				}
+				gs.reps[i] = v
+			}
+			gs.counts[i]++
+		case AggCount:
+			gs.counts[i]++
+		default:
+			v, err := it.Expr.eval(cur)
+			if err != nil {
+				return err
+			}
+			gs.counts[i]++
+			gs.sums[i] += v.Float()
+			if gs.mins[i].IsNull() || v.Compare(gs.mins[i]) < 0 {
+				gs.mins[i] = v
+			}
+			if gs.maxs[i].IsNull() || v.Compare(gs.maxs[i]) > 0 {
+				gs.maxs[i] = v
+			}
+		}
+	}
+	return nil
+}
+
+// finish materializes grouped output (or returns the row output directly).
+func (ex *exec) finish() (*storage.TempTable, error) {
+	if !ex.aggregate {
+		return ex.out, nil
+	}
+	for _, key := range ex.groupSeq {
+		gs := ex.groups[key]
+		row := make([]types.Value, len(ex.q.Items))
+		for i, it := range ex.q.Items {
+			switch it.Agg {
+			case AggNone:
+				row[i] = gs.reps[i]
+			case AggCount:
+				row[i] = types.Int(gs.counts[i])
+			case AggSum:
+				if ex.itemKind(it) == types.KindInt {
+					row[i] = types.Int(int64(gs.sums[i]))
+				} else {
+					row[i] = types.Float(gs.sums[i])
+				}
+			case AggAvg:
+				row[i] = types.Float(gs.sums[i] / float64(gs.counts[i]))
+			case AggMin:
+				row[i] = gs.mins[i]
+			case AggMax:
+				row[i] = gs.maxs[i]
+			}
+		}
+		if err := ex.out.AppendValues(row...); err != nil {
+			return nil, err
+		}
+	}
+	return ex.out, nil
+}
+
+// sortResult orders a result temp table by the named output columns.
+func sortResult(tt *storage.TempTable, orderBy []string, desc bool) error {
+	cols := make([]int, len(orderBy))
+	for i, name := range orderBy {
+		ci := tt.Schema().ColIndex(name)
+		if ci < 0 {
+			return fmt.Errorf("query: ORDER BY column %q not in select list", name)
+		}
+		cols[i] = ci
+	}
+	tt.SortRows(func(a, b int) bool {
+		for _, c := range cols {
+			cmp := tt.Value(a, c).Compare(tt.Value(b, c))
+			if cmp != 0 {
+				if desc {
+					return cmp > 0
+				}
+				return cmp < 0
+			}
+		}
+		return false
+	})
+	return nil
+}

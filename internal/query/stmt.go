@@ -1,0 +1,208 @@
+package query
+
+import (
+	"fmt"
+
+	"github.com/stripdb/strip/internal/storage"
+	"github.com/stripdb/strip/internal/txn"
+	"github.com/stripdb/strip/internal/types"
+)
+
+// InsertStmt inserts literal rows into a table.
+type InsertStmt struct {
+	Table string
+	Rows  [][]types.Value
+}
+
+// Run executes the insert, returning the number of rows inserted.
+func (s *InsertStmt) Run(tx *txn.Txn) (int, error) {
+	tx.Charge(tx.Model().StmtSetup)
+	for i, row := range s.Rows {
+		if _, err := tx.Insert(s.Table, row); err != nil {
+			return i, err
+		}
+	}
+	return len(s.Rows), nil
+}
+
+// SetClause assigns an expression to a column in an UPDATE.
+type SetClause struct {
+	Col  string
+	Expr Expr
+	// AddTo marks `SET col += expr` (the paper's rules use this form for
+	// incremental view maintenance).
+	AddTo bool
+}
+
+// UpdateStmt is `UPDATE table SET ... WHERE ...`. Set expressions and
+// predicates may reference only the target table's columns.
+type UpdateStmt struct {
+	Table string
+	Set   []SetClause
+	Where []Pred
+}
+
+// Run executes the update, returning the number of rows changed.
+func (s *UpdateStmt) Run(tx *txn.Txn) (int, error) {
+	tx.Charge(tx.Model().StmtSetup)
+	recs, srcs, err := collectTargets(tx, s.Table, s.Where)
+	if err != nil {
+		return 0, err
+	}
+	for i := range s.Set {
+		if err := s.Set[i].Expr.resolve(srcs); err != nil {
+			return 0, err
+		}
+	}
+	tbl := srcs[0]
+	schema := tbl.schema
+	setIdx := make([]int, len(s.Set))
+	for i, sc := range s.Set {
+		ci := schema.ColIndex(sc.Col)
+		if ci < 0 {
+			return 0, fmt.Errorf("query: table %s has no column %q", s.Table, sc.Col)
+		}
+		setIdx[i] = ci
+	}
+	for _, rec := range recs {
+		cur := []cursor{{src: tbl, rec: rec}}
+		vals := rec.Values()
+		for i, sc := range s.Set {
+			v, err := sc.Expr.eval(cur)
+			if err != nil {
+				return 0, err
+			}
+			if sc.AddTo {
+				v, err = types.Add(vals[setIdx[i]], v)
+				if err != nil {
+					return 0, err
+				}
+			}
+			vals[setIdx[i]] = v
+		}
+		if _, err := tx.Update(s.Table, rec, vals); err != nil {
+			return 0, err
+		}
+	}
+	return len(recs), nil
+}
+
+// DeleteStmt is `DELETE FROM table WHERE ...`.
+type DeleteStmt struct {
+	Table string
+	Where []Pred
+}
+
+// Run executes the delete, returning the number of rows removed.
+func (s *DeleteStmt) Run(tx *txn.Txn) (int, error) {
+	tx.Charge(tx.Model().StmtSetup)
+	recs, _, err := collectTargets(tx, s.Table, s.Where)
+	if err != nil {
+		return 0, err
+	}
+	for _, rec := range recs {
+		if err := tx.Delete(s.Table, rec); err != nil {
+			return 0, err
+		}
+	}
+	return len(recs), nil
+}
+
+// collectTargets gathers the records matching the WHERE clause before any
+// mutation (a statement must not observe its own writes mid-scan). It takes
+// the exclusive lock up front.
+func collectTargets(tx *txn.Txn, table string, where []Pred) ([]*storage.Record, []*source, error) {
+	model := tx.Model()
+	tbl, err := tx.WriteTable(table)
+	if err != nil {
+		return nil, nil, err
+	}
+	src := &source{name: table, schema: tbl.Schema(), tbl: tbl}
+	srcs := []*source{src}
+	for i := range where {
+		if err := where[i].resolve(srcs); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Use an index when a predicate is `indexedCol = const`.
+	var probeCol string
+	var probeVal types.Value
+	residual := where
+	for i, p := range where {
+		cr, val, ok := constEq(p)
+		if ok && tbl.HasIndex(cr.Col) {
+			probeCol, probeVal = cr.Col, val
+			residual = append(append([]Pred{}, where[:i]...), where[i+1:]...)
+			break
+		}
+	}
+
+	var recs []*storage.Record
+	match := func(r *storage.Record) (bool, error) {
+		cur := []cursor{{src: src, rec: r}}
+		for _, p := range residual {
+			ok, err := p.eval(cur)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+
+	tx.Charge(model.OpenCursor)
+	if probeCol != "" {
+		tx.Charge(model.IndexProbe)
+		candidates, _ := tbl.IndexLookup(probeCol, probeVal)
+		for _, r := range candidates {
+			tx.Charge(model.FetchCursor)
+			ok, err := match(r)
+			if err != nil {
+				return nil, nil, err
+			}
+			if ok {
+				recs = append(recs, r)
+			}
+		}
+	} else {
+		var scanErr error
+		tbl.Scan(func(r *storage.Record) bool {
+			tx.Charge(model.ScanRow)
+			ok, err := match(r)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			if ok {
+				recs = append(recs, r)
+			}
+			return true
+		})
+		if scanErr != nil {
+			return nil, nil, scanErr
+		}
+	}
+	tx.Charge(model.CloseCursor)
+	return recs, srcs, nil
+}
+
+// constEq recognizes `col = literal` (either side).
+func constEq(p Pred) (*ColRef, types.Value, bool) {
+	if p.Op != EQ {
+		return nil, types.Null(), false
+	}
+	if cr, ok := p.Left.(*ColRef); ok {
+		if c, ok2 := p.Right.(*ConstExpr); ok2 {
+			return cr, c.Val, true
+		}
+	}
+	if cr, ok := p.Right.(*ColRef); ok {
+		if c, ok2 := p.Left.(*ConstExpr); ok2 {
+			return cr, c.Val, true
+		}
+	}
+	return nil, types.Null(), false
+}

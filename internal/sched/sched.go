@@ -1,0 +1,281 @@
+package sched
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+
+	"github.com/stripdb/strip/internal/clock"
+	"github.com/stripdb/strip/internal/cost"
+)
+
+// Scheduler owns the delay and ready queues (paper Figure 15). It can be
+// driven two ways:
+//
+//   - live mode: Start launches a worker pool that executes tasks as they
+//     become ready on a real clock;
+//   - stepped mode: the experiment driver calls Step/NextEventTime on a
+//     virtual clock, executing tasks deterministically in release order.
+type Scheduler struct {
+	clk    clock.Clock
+	policy Policy
+	meter  *cost.Meter
+	model  cost.Model
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	delay   delayHeap
+	ready   readyHeap
+	stopped bool
+	nextSeq int64
+	nextID  int64
+
+	// recentStarts holds start times within the trailing second, modeling
+	// scheduling cost that grows with task rate (the paper's "critical
+	// region", §5.1).
+	recentStarts []clock.Micros
+
+	counters schedCounters
+	wg       sync.WaitGroup
+}
+
+// New creates a scheduler.
+func New(clk clock.Clock, policy Policy, meter *cost.Meter, model cost.Model) *Scheduler {
+	s := &Scheduler{clk: clk, policy: policy, meter: meter, model: model}
+	s.ready.policy = policy
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Submit enqueues a task: into the delay queue if its release time is in
+// the future, otherwise the ready queue.
+func (s *Scheduler) Submit(t *Task) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.clk.Now()
+	s.nextID++
+	t.ID = s.nextID
+	s.nextSeq++
+	t.seq = s.nextSeq
+	t.EnqueuedAt = now
+	s.counters.submitted.Add(1)
+	if t.Release > now {
+		heap.Push(&s.delay, t)
+	} else {
+		heap.Push(&s.ready, t)
+	}
+	s.cond.Broadcast()
+}
+
+// releaseDueLocked moves tasks whose release time has arrived to the ready
+// queue. Tasks re-enter FIFO order at release time, not submission time:
+// the ready queue sees them in the order they became runnable.
+func (s *Scheduler) releaseDueLocked(now clock.Micros) {
+	for s.delay.Len() > 0 && s.delay.peek().Release <= now {
+		t := heap.Pop(&s.delay).(*Task)
+		s.nextSeq++
+		t.seq = s.nextSeq
+		heap.Push(&s.ready, t)
+	}
+}
+
+// NextEventTime reports the earliest pending event: the head of the ready
+// queue (now) or the next delayed release. ok is false when idle.
+func (s *Scheduler) NextEventTime() (clock.Micros, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ready.Len() > 0 {
+		return s.clk.Now(), true
+	}
+	if s.delay.Len() > 0 {
+		return s.delay.peek().Release, true
+	}
+	return 0, false
+}
+
+// Pending reports queued task counts (delayed, ready).
+func (s *Scheduler) Pending() (delayed, ready int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.delay.Len(), s.ready.Len()
+}
+
+// Step runs the next ready task at the current clock time, if any. It
+// returns the task it executed (after completion) or nil when nothing was
+// ready. Used by the virtual-time experiment driver.
+func (s *Scheduler) Step() *Task {
+	s.mu.Lock()
+	t := s.dequeueLocked()
+	s.mu.Unlock()
+	if t == nil {
+		return nil
+	}
+	s.execute(t)
+	return t
+}
+
+// dequeueLocked pops the next ready task and performs start accounting.
+func (s *Scheduler) dequeueLocked() *Task {
+	now := s.clk.Now()
+	s.releaseDueLocked(now)
+	if s.ready.Len() == 0 {
+		return nil
+	}
+	t := heap.Pop(&s.ready).(*Task)
+	t.StartedAt = now
+	s.chargeStartLocked(now)
+	if t.OnStart != nil {
+		t.OnStart(t)
+	}
+	return t
+}
+
+// chargeStartLocked charges per-start scheduling cost proportional to the
+// number of task starts in the trailing second.
+func (s *Scheduler) chargeStartLocked(now clock.Micros) {
+	cutoff := now - 1_000_000
+	keep := s.recentStarts[:0]
+	for _, ts := range s.recentStarts {
+		if ts > cutoff {
+			keep = append(keep, ts)
+		}
+	}
+	s.recentStarts = append(keep, now)
+	s.meter.Charge(s.model.SchedPerTaskRate * float64(len(s.recentStarts)))
+}
+
+// execute runs a task body with task-shell accounting.
+func (s *Scheduler) execute(t *Task) {
+	s.meter.Charge(s.model.BeginTask)
+	if t.Fn != nil {
+		t.Err = t.Fn(t)
+	}
+	t.FinishedAt = s.clk.Now()
+	s.meter.Charge(s.model.EndTask)
+	if t.Err != nil {
+		s.counters.failed.Add(1)
+	} else {
+		s.counters.completed.Add(1)
+	}
+}
+
+// Start launches n worker goroutines servicing the ready queue on the real
+// clock. Call Stop to drain and terminate.
+func (s *Scheduler) Start(n int) {
+	for i := 0; i < n; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		var t *Task
+		for {
+			if s.stopped {
+				s.mu.Unlock()
+				return
+			}
+			t = s.dequeueLocked()
+			if t != nil {
+				break
+			}
+			// Sleep until the next delayed release or a Submit/Stop signal.
+			if s.delay.Len() > 0 {
+				wait := s.delay.peek().Release - s.clk.Now()
+				if wait < 0 {
+					wait = 0
+				}
+				s.mu.Unlock()
+				timer := time.NewTimer(time.Duration(wait) * time.Microsecond)
+				select {
+				case <-timer.C:
+				case <-s.kick():
+					timer.Stop()
+				}
+				s.mu.Lock()
+			} else {
+				s.cond.Wait()
+			}
+		}
+		s.mu.Unlock()
+		s.execute(t)
+	}
+}
+
+// kick returns a channel closed on the next Broadcast, letting workers wait
+// on either a timer or the condition variable.
+func (s *Scheduler) kick() <-chan struct{} {
+	ch := make(chan struct{})
+	go func() {
+		s.mu.Lock()
+		s.cond.Wait()
+		s.mu.Unlock()
+		close(ch)
+	}()
+	return ch
+}
+
+// Stop terminates workers after the queues drain. Delayed tasks that have
+// not been released are abandoned.
+func (s *Scheduler) Stop() {
+	s.mu.Lock()
+	s.stopped = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Drain runs ready tasks until both queues are empty or only undue delayed
+// tasks remain, using the caller's goroutine (live tests).
+func (s *Scheduler) Drain() {
+	for {
+		if t := s.Step(); t == nil {
+			return
+		}
+	}
+}
+
+// Stats returns scheduler counters.
+func (s *Scheduler) Stats() Stats { return s.counters.snapshot() }
+
+// delayHeap orders tasks by release time.
+type delayHeap struct{ items []*Task }
+
+func (h *delayHeap) Len() int { return len(h.items) }
+func (h *delayHeap) Less(i, j int) bool {
+	if h.items[i].Release != h.items[j].Release {
+		return h.items[i].Release < h.items[j].Release
+	}
+	return h.items[i].seq < h.items[j].seq
+}
+func (h *delayHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *delayHeap) Push(x any)    { h.items = append(h.items, x.(*Task)) }
+func (h *delayHeap) peek() *Task   { return h.items[0] }
+func (h *delayHeap) Pop() (out any) {
+	n := len(h.items)
+	out = h.items[n-1]
+	h.items[n-1] = nil
+	h.items = h.items[:n-1]
+	return out
+}
+
+// readyHeap orders tasks by the scheduling policy.
+type readyHeap struct {
+	policy Policy
+	items  []*Task
+}
+
+func (h *readyHeap) Len() int           { return len(h.items) }
+func (h *readyHeap) Less(i, j int) bool { return h.policy.less(h.items[i], h.items[j]) }
+func (h *readyHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *readyHeap) Push(x any)         { h.items = append(h.items, x.(*Task)) }
+func (h *readyHeap) Pop() (out any) {
+	n := len(h.items)
+	out = h.items[n-1]
+	h.items[n-1] = nil
+	h.items = h.items[:n-1]
+	return out
+}

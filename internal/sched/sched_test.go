@@ -1,0 +1,252 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/stripdb/strip/internal/clock"
+	"github.com/stripdb/strip/internal/cost"
+)
+
+func newVirtualSched(p Policy) (*Scheduler, *clock.Virtual, *cost.Meter) {
+	vc := clock.NewVirtual()
+	meter := cost.NewMeter()
+	return New(vc, p, meter, cost.Default()), vc, meter
+}
+
+func TestPolicyString(t *testing.T) {
+	if FIFO.String() != "fifo" || EDF.String() != "edf" || VDF.String() != "vdf" || Policy(9).String() != "unknown" {
+		t.Error("Policy.String wrong")
+	}
+}
+
+func TestImmediateTaskRuns(t *testing.T) {
+	s, _, _ := newVirtualSched(FIFO)
+	ran := false
+	s.Submit(&Task{Fn: func(*Task) error { ran = true; return nil }})
+	if got := s.Step(); got == nil || !ran {
+		t.Fatal("immediate task did not run")
+	}
+	if st := s.Stats(); st.Submitted != 1 || st.Completed != 1 || st.Failed != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestDelayedTaskWaitsForRelease(t *testing.T) {
+	s, vc, _ := newVirtualSched(FIFO)
+	s.Submit(&Task{Release: 1_000_000, Fn: func(*Task) error { return nil }})
+	if got := s.Step(); got != nil {
+		t.Fatal("delayed task ran before release")
+	}
+	when, ok := s.NextEventTime()
+	if !ok || when != 1_000_000 {
+		t.Fatalf("NextEventTime = %d, %v", when, ok)
+	}
+	vc.AdvanceTo(1_000_000)
+	if got := s.Step(); got == nil {
+		t.Fatal("released task did not run")
+	}
+	if _, ok := s.NextEventTime(); ok {
+		t.Error("NextEventTime reports events on idle scheduler")
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	s, _, _ := newVirtualSched(FIFO)
+	var order []string
+	mk := func(name string) *Task {
+		return &Task{Name: name, Fn: func(t *Task) error {
+			order = append(order, t.Name)
+			return nil
+		}}
+	}
+	s.Submit(mk("a"))
+	s.Submit(mk("b"))
+	s.Submit(mk("c"))
+	s.Drain()
+	if len(order) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestEDFOrder(t *testing.T) {
+	s, _, _ := newVirtualSched(EDF)
+	var order []string
+	mk := func(name string, deadline clock.Micros) *Task {
+		return &Task{Name: name, Deadline: deadline, Fn: func(t *Task) error {
+			order = append(order, t.Name)
+			return nil
+		}}
+	}
+	s.Submit(mk("late", 3_000_000))
+	s.Submit(mk("none", 0)) // no deadline sorts last
+	s.Submit(mk("soon", 1_000_000))
+	s.Drain()
+	want := []string{"soon", "late", "none"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("EDF order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestVDFOrder(t *testing.T) {
+	s, _, _ := newVirtualSched(VDF)
+	var order []string
+	mk := func(name string, value float64) *Task {
+		return &Task{Name: name, Value: value, Fn: func(t *Task) error {
+			order = append(order, t.Name)
+			return nil
+		}}
+	}
+	s.Submit(mk("low", 1))
+	s.Submit(mk("high", 10))
+	s.Submit(mk("mid", 5))
+	s.Drain()
+	want := []string{"high", "mid", "low"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("VDF order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestDelayQueueReleaseOrder(t *testing.T) {
+	s, vc, _ := newVirtualSched(FIFO)
+	var order []string
+	mk := func(name string, rel clock.Micros) *Task {
+		return &Task{Name: name, Release: rel, Fn: func(t *Task) error {
+			order = append(order, t.Name)
+			return nil
+		}}
+	}
+	s.Submit(mk("second", 2_000_000))
+	s.Submit(mk("first", 1_000_000))
+	vc.AdvanceTo(5_000_000)
+	s.Drain()
+	if len(order) != 2 || order[0] != "first" || order[1] != "second" {
+		t.Errorf("release order = %v", order)
+	}
+}
+
+func TestOnStartRunsOnce(t *testing.T) {
+	s, _, _ := newVirtualSched(FIFO)
+	var n atomic.Int32
+	s.Submit(&Task{
+		OnStart: func(*Task) { n.Add(1) },
+		Fn:      func(*Task) error { return nil },
+	})
+	s.Drain()
+	if n.Load() != 1 {
+		t.Errorf("OnStart ran %d times", n.Load())
+	}
+}
+
+func TestFailedTaskCounted(t *testing.T) {
+	s, _, _ := newVirtualSched(FIFO)
+	s.Submit(&Task{Fn: func(*Task) error { return errTest }})
+	got := s.Step()
+	if got == nil || got.Err != errTest {
+		t.Fatal("task error not propagated")
+	}
+	if st := s.Stats(); st.Failed != 1 || st.Completed != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+var errTest = errTestType{}
+
+type errTestType struct{}
+
+func (errTestType) Error() string { return "test error" }
+
+func TestQueueTimeAccounting(t *testing.T) {
+	s, vc, _ := newVirtualSched(FIFO)
+	task := &Task{Release: 1_000_000, Fn: func(*Task) error { return nil }}
+	s.Submit(task)
+	vc.AdvanceTo(3_000_000) // released at 1s, started at 3s -> 2s queueing
+	s.Drain()
+	if got := task.QueueTime(); got != 2_000_000 {
+		t.Errorf("QueueTime = %d, want 2000000", got)
+	}
+	if task.StartedAt != 3_000_000 || task.FinishedAt != 3_000_000 {
+		t.Errorf("start/finish = %d/%d", task.StartedAt, task.FinishedAt)
+	}
+}
+
+func TestSchedRateCharge(t *testing.T) {
+	s, _, meter := newVirtualSched(FIFO)
+	model := cost.Default()
+	for i := 0; i < 10; i++ {
+		s.Submit(&Task{Fn: func(*Task) error { return nil }})
+	}
+	s.Drain()
+	// All 10 starts land at virtual time 0: charge 1+2+...+10 rate units
+	// plus 10 task shells.
+	want := model.SchedPerTaskRate*55 + 10*(model.BeginTask+model.EndTask)
+	if got := meter.Micros(); got != want {
+		t.Errorf("charged %g, want %g", got, want)
+	}
+}
+
+func TestPending(t *testing.T) {
+	s, _, _ := newVirtualSched(FIFO)
+	s.Submit(&Task{Release: 1_000_000})
+	s.Submit(&Task{})
+	d, r := s.Pending()
+	if d != 1 || r != 1 {
+		t.Errorf("Pending = %d delayed, %d ready", d, r)
+	}
+}
+
+func TestLiveWorkers(t *testing.T) {
+	rc := clock.NewReal()
+	s := New(rc, FIFO, cost.NewMeter(), cost.Zero())
+	s.Start(4)
+	var n atomic.Int32
+	done := make(chan struct{})
+	const tasks = 50
+	for i := 0; i < tasks; i++ {
+		delay := clock.Micros(0)
+		if i%5 == 0 {
+			delay = rc.Now() + 2000 // 2ms delayed release
+		}
+		s.Submit(&Task{Release: delay, Fn: func(*Task) error {
+			if n.Add(1) == tasks {
+				close(done)
+			}
+			return nil
+		}})
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("live workers did not complete tasks")
+	}
+	s.Stop()
+	if st := s.Stats(); st.Completed != tasks {
+		t.Errorf("completed = %d", st.Completed)
+	}
+}
+
+func TestLiveDelayedRelease(t *testing.T) {
+	rc := clock.NewReal()
+	s := New(rc, FIFO, cost.NewMeter(), cost.Zero())
+	s.Start(1)
+	defer s.Stop()
+	start := time.Now()
+	done := make(chan struct{})
+	s.Submit(&Task{
+		Release: rc.Now() + 20_000, // 20ms
+		Fn:      func(*Task) error { close(done); return nil },
+	})
+	select {
+	case <-done:
+		if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+			t.Errorf("delayed task ran after %v, want ≥ ~20ms", elapsed)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("delayed task never ran")
+	}
+}

@@ -1,0 +1,129 @@
+// Package sched implements STRIP's task management (paper §6.2, Figure 15).
+//
+// Tasks — not transactions — are the unit of scheduling. Every task carries
+// a release time; tasks with future releases (rule actions with `after`
+// delays) sit in the delay queue until released, then move to the ready
+// queue, which a pluggable policy orders (FIFO, earliest-deadline-first, or
+// value-density-first, the standard real-time policies STRIP provides).
+// A pool of worker goroutines services the ready queue in live mode; the
+// experiment driver instead steps the scheduler on a virtual clock.
+package sched
+
+import (
+	"sync/atomic"
+
+	"github.com/stripdb/strip/internal/clock"
+)
+
+// Task is STRIP's unit of scheduling. A task contains zero or more
+// transactions (paper §4.4); the Fn closure runs them.
+type Task struct {
+	ID   int64
+	Name string // diagnostic label (user function name for rule tasks)
+
+	// Release is the earliest engine time the task may start. Rule tasks
+	// with `after` delays get Release = trigger commit time + delay.
+	Release clock.Micros
+	// Deadline orders EDF scheduling; zero means none (treated as +inf).
+	Deadline clock.Micros
+	// Value orders value-density scheduling; higher runs first.
+	Value float64
+
+	// Fn is the task body.
+	Fn func(*Task) error
+
+	// OnStart runs exactly once, under the scheduler lock, when the task is
+	// dequeued for execution. The rule system uses it to remove the task
+	// from its uniqueness hash table: from that moment the bound tables are
+	// fixed and new firings start a fresh task (paper §2, §6.3).
+	OnStart func(*Task)
+
+	// Payload carries rule-task state (bound tables etc.).
+	Payload any
+
+	// Bookkeeping, filled by the scheduler.
+	EnqueuedAt clock.Micros
+	StartedAt  clock.Micros
+	FinishedAt clock.Micros
+	Err        error
+
+	seq int64 // FIFO tiebreak
+}
+
+// QueueTime returns how long the task waited between release and start.
+func (t *Task) QueueTime() clock.Micros {
+	rel := t.Release
+	if rel < t.EnqueuedAt {
+		rel = t.EnqueuedAt
+	}
+	return t.StartedAt - rel
+}
+
+// Policy selects the ready-queue ordering.
+type Policy uint8
+
+// Scheduling policies (paper §6.2: "STRIP provides standard real-time
+// scheduling algorithms for tasks such as earliest-deadline and
+// value-density first").
+const (
+	FIFO Policy = iota
+	EDF
+	VDF
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case FIFO:
+		return "fifo"
+	case EDF:
+		return "edf"
+	case VDF:
+		return "vdf"
+	default:
+		return "unknown"
+	}
+}
+
+// less orders two tasks under the policy.
+func (p Policy) less(a, b *Task) bool {
+	switch p {
+	case EDF:
+		da, db := a.Deadline, b.Deadline
+		if da == 0 {
+			da = 1<<63 - 1
+		}
+		if db == 0 {
+			db = 1<<63 - 1
+		}
+		if da != db {
+			return da < db
+		}
+	case VDF:
+		if a.Value != b.Value {
+			return a.Value > b.Value
+		}
+	}
+	return a.seq < b.seq
+}
+
+// Stats summarizes scheduler activity.
+type Stats struct {
+	Submitted int64
+	Completed int64
+	Failed    int64
+}
+
+type schedCounters struct {
+	submitted atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+}
+
+func (c *schedCounters) snapshot() Stats {
+	return Stats{
+		Submitted: c.submitted.Load(),
+		Completed: c.completed.Load(),
+		Failed:    c.failed.Load(),
+	}
+}

@@ -1,0 +1,72 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Property: Parse never panics, whatever the input.
+func TestQuickParseNeverPanics(t *testing.T) {
+	f := func(s string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = Parse(s) //nolint:errcheck // only looking for panics
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: mutated (prefix-truncated) versions of valid statements never
+// panic the parser — errors are fine, crashes are not.
+func TestTruncationsNeverPanic(t *testing.T) {
+	statements := []string{
+		`create table stocks (symbol text, price float)`,
+		`create rule do_comps3 on stocks when updated price
+		 if select comp, weight from comps_list, new
+		    where comps_list.symbol = new.symbol bind as matches
+		 then execute compute_comps3 unique on comp after 1.0 seconds`,
+		`select comp, sum((new_price - old_price) * weight) as diff
+		 from matches group by comp bind as agg`,
+		`insert into t values ('a''b', -1.5), ('c', 2)`,
+		`update comp_prices set price += 1.5 where comp = 'C1' and price > 0`,
+		`create materialized view v as select comp, sum(price * weight) as p
+		 from stocks, comps_list where stocks.symbol = comps_list.symbol group by comp`,
+	}
+	for _, stmt := range statements {
+		for cut := 0; cut <= len(stmt); cut++ {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("panic parsing %q: %v", stmt[:cut], r)
+					}
+				}()
+				_, _ = Parse(stmt[:cut]) //nolint:errcheck
+			}()
+		}
+	}
+}
+
+// Tokens of valid statements recombined in random orders must not panic.
+func TestShuffledTokensNeverPanic(t *testing.T) {
+	base := `create rule r on t when updated a , b if select x from new bind as m then execute f unique on x after 1 seconds`
+	words := strings.Fields(base)
+	// Deterministic pseudo-shuffles: rotations and pair swaps.
+	for rot := 0; rot < len(words); rot++ {
+		shuffled := append(append([]string{}, words[rot:]...), words[:rot]...)
+		src := strings.Join(shuffled, " ")
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic parsing %q: %v", src, r)
+				}
+			}()
+			_, _ = Parse(src) //nolint:errcheck
+		}()
+	}
+}

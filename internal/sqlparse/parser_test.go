@@ -1,0 +1,298 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/stripdb/strip/internal/clock"
+	"github.com/stripdb/strip/internal/core"
+	"github.com/stripdb/strip/internal/query"
+	"github.com/stripdb/strip/internal/types"
+)
+
+func mustParse(t *testing.T, src string) Stmt {
+	t.Helper()
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return s
+}
+
+func TestCreateTable(t *testing.T) {
+	s := mustParse(t, `create table stocks (symbol text, price float)`)
+	ct, ok := s.(*CreateTable)
+	if !ok {
+		t.Fatalf("got %T", s)
+	}
+	if ct.Name != "stocks" || len(ct.Cols) != 2 ||
+		ct.Cols[0] != (ColumnDef{"symbol", "text"}) || ct.Cols[1] != (ColumnDef{"price", "float"}) {
+		t.Errorf("parsed %+v", ct)
+	}
+}
+
+func TestCreateIndex(t *testing.T) {
+	s := mustParse(t, `create index on stocks (symbol) using rbtree`)
+	ci := s.(*CreateIndex)
+	if ci.Table != "stocks" || ci.Column != "symbol" || ci.Kind != "rbtree" {
+		t.Errorf("parsed %+v", ci)
+	}
+	ci2 := mustParse(t, `create index on stocks (symbol)`).(*CreateIndex)
+	if ci2.Kind != "hash" {
+		t.Errorf("default kind = %s", ci2.Kind)
+	}
+}
+
+func TestDrop(t *testing.T) {
+	if d := mustParse(t, `drop table t1;`).(*DropTable); d.Name != "t1" {
+		t.Errorf("drop table parsed %+v", d)
+	}
+	if d := mustParse(t, `drop rule r1`).(*DropRule); d.Name != "r1" {
+		t.Errorf("drop rule parsed %+v", d)
+	}
+}
+
+func TestSelectBasic(t *testing.T) {
+	s := mustParse(t, `select symbol, price from stocks where price > 10.5 bind as snap`)
+	q := s.(*SelectStmt).Query
+	if len(q.Items) != 2 || len(q.From) != 1 || len(q.Where) != 1 || q.Bind != "snap" {
+		t.Fatalf("parsed %+v", q)
+	}
+	if q.Where[0].Op != query.GT {
+		t.Error("operator wrong")
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	q := mustParse(t, `select * from inserted bind as my_inserted`).(*SelectStmt).Query
+	if !q.Star || q.Bind != "my_inserted" || len(q.Items) != 0 {
+		t.Errorf("parsed %+v", q)
+	}
+}
+
+// The paper's Figure 3 condition query parses end to end.
+func TestSelectFigure3(t *testing.T) {
+	src := `
+	select comp, comps_list.symbol as symbol, weight,
+	       old.price as old_price, new.price as new_price
+	from comps_list, new, old
+	where comps_list.symbol = new.symbol
+	  and new.execute_order = old.execute_order
+	bind as matches`
+	q := mustParse(t, src).(*SelectStmt).Query
+	if len(q.Items) != 5 || len(q.From) != 3 || len(q.Where) != 2 || q.Bind != "matches" {
+		t.Fatalf("parsed %+v", q)
+	}
+	if q.Items[1].As != "symbol" || q.Items[3].As != "old_price" {
+		t.Error("aliases wrong")
+	}
+	cr, ok := q.Items[3].Expr.(*query.ColRef)
+	if !ok || cr.Table != "old" || cr.Col != "price" {
+		t.Errorf("qualified ref = %v", q.Items[3].Expr)
+	}
+}
+
+func TestSelectGroupByAggregate(t *testing.T) {
+	src := `select comp, sum((new_price - old_price) * weight) as diff
+	        from matches group by comp`
+	q := mustParse(t, src).(*SelectStmt).Query
+	if len(q.GroupBy) != 1 || q.GroupBy[0].Col != "comp" {
+		t.Fatalf("group by = %+v", q.GroupBy)
+	}
+	if q.Items[1].Agg != query.AggSum || q.Items[1].As != "diff" {
+		t.Errorf("aggregate item = %+v", q.Items[1])
+	}
+}
+
+func TestSelectFunctionCall(t *testing.T) {
+	src := `select option_symbol, f_bs(price, strike, expiration, stdev) as price
+	        from stocks, stock_stdev, options_list
+	        where stocks.symbol = options_list.stock_symbol
+	          and stocks.symbol = stock_stdev.symbol`
+	q := mustParse(t, src).(*SelectStmt).Query
+	fc, ok := q.Items[1].Expr.(*query.FuncExpr)
+	if !ok || fc.Name != "f_bs" || len(fc.Args) != 4 {
+		t.Errorf("func call = %+v", q.Items[1].Expr)
+	}
+}
+
+func TestCreateRuleFull(t *testing.T) {
+	src := `
+	create rule do_comps3 on stocks
+	when updated price
+	if select comp, weight from comps_list, new
+	   where comps_list.symbol = new.symbol
+	   bind as matches
+	then execute compute_comps3
+	unique on comp
+	after 1.0 seconds`
+	r := mustParse(t, src).(*CreateRule).Rule
+	if r.Name != "do_comps3" || r.Table != "stocks" {
+		t.Fatalf("rule = %+v", r)
+	}
+	if len(r.Events) != 1 || r.Events[0].Kind != core.Updated || len(r.Events[0].Columns) != 1 || r.Events[0].Columns[0] != "price" {
+		t.Errorf("events = %+v", r.Events)
+	}
+	if len(r.Condition) != 1 || r.Condition[0].Bind != "matches" {
+		t.Errorf("condition = %+v", r.Condition)
+	}
+	if r.Action != "compute_comps3" || !r.Unique || len(r.UniqueOn) != 1 || r.UniqueOn[0] != "comp" {
+		t.Errorf("action/unique = %+v", r)
+	}
+	if r.Delay != clock.FromSeconds(1) {
+		t.Errorf("delay = %d", r.Delay)
+	}
+}
+
+func TestCreateRuleMultipleEvents(t *testing.T) {
+	src := `create rule r on t when inserted deleted updated a, b then execute f`
+	r := mustParse(t, src).(*CreateRule).Rule
+	if len(r.Events) != 3 {
+		t.Fatalf("events = %+v", r.Events)
+	}
+	if r.Events[2].Kind != core.Updated || len(r.Events[2].Columns) != 2 {
+		t.Errorf("updated cols = %+v", r.Events[2])
+	}
+	if r.Unique || r.Delay != 0 {
+		t.Error("spurious unique/delay")
+	}
+}
+
+func TestCreateRuleEvaluateAndCommitTime(t *testing.T) {
+	src := `create rule r on t when inserted
+	        then evaluate select * from inserted bind as b
+	        execute f unique after 500 ms with commit_time`
+	r := mustParse(t, src).(*CreateRule).Rule
+	if len(r.Evaluate) != 1 || r.Evaluate[0].Bind != "b" {
+		t.Errorf("evaluate = %+v", r.Evaluate)
+	}
+	if !r.Unique || len(r.UniqueOn) != 0 {
+		t.Error("unique parse wrong")
+	}
+	if r.Delay != 500_000 {
+		t.Errorf("delay = %d", r.Delay)
+	}
+	if !r.BindCommitTime {
+		t.Error("commit_time flag missing")
+	}
+}
+
+func TestInsert(t *testing.T) {
+	s := mustParse(t, `insert into stocks values ('IBM', 30.5), ('HP', -2)`).(*InsertStmt).Stmt
+	if s.Table != "stocks" || len(s.Rows) != 2 {
+		t.Fatalf("insert = %+v", s)
+	}
+	if !s.Rows[0][0].Equal(types.Str("IBM")) || !s.Rows[0][1].Equal(types.Float(30.5)) {
+		t.Errorf("row 0 = %v", s.Rows[0])
+	}
+	if !s.Rows[1][1].Equal(types.Int(-2)) {
+		t.Errorf("negative literal = %v", s.Rows[1][1])
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	s := mustParse(t, `update comp_prices set price += 1.5 where comp = 'C1'`).(*UpdateStmt).Stmt
+	if s.Table != "comp_prices" || len(s.Set) != 1 || !s.Set[0].AddTo {
+		t.Fatalf("update = %+v", s)
+	}
+	s2 := mustParse(t, `update t set a = 1, b = b * 2`).(*UpdateStmt).Stmt
+	if len(s2.Set) != 2 || s2.Set[0].AddTo || s2.Set[1].AddTo {
+		t.Errorf("multi-set = %+v", s2.Set)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := mustParse(t, `delete from stocks where price <= 0`).(*DeleteStmt).Stmt
+	if s.Table != "stocks" || len(s.Where) != 1 || s.Where[0].Op != query.LE {
+		t.Fatalf("delete = %+v", s)
+	}
+	s2 := mustParse(t, `delete from stocks`).(*DeleteStmt).Stmt
+	if len(s2.Where) != 0 {
+		t.Error("unexpected where")
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	s := mustParse(t, `insert into t values ('it''s')`).(*InsertStmt).Stmt
+	if got := s.Rows[0][0].Str(); got != "it's" {
+		t.Errorf("escaped string = %q", got)
+	}
+}
+
+func TestComments(t *testing.T) {
+	src := "select a from t -- trailing comment\n where a > 1"
+	q := mustParse(t, src).(*SelectStmt).Query
+	if len(q.Where) != 1 {
+		t.Error("comment broke parse")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`garbage`,
+		`create view v`,
+		`create table t`,
+		`create table t (a)`,
+		`select from t`,
+		`select a from`,
+		`select a from t where a`,
+		`select a from t where a ? 1`,
+		`insert into t values (a)`, // non-literal
+		`insert t values (1)`,
+		`update t set a 1`,
+		`delete t`,
+		`create rule r on t then execute f`, // missing when
+		`create rule r on t when frobbed then execute f`, // bad event
+		`create rule r on t when inserted execute f`,     // missing then
+		`create rule r on t when inserted then unique`,   // missing execute
+		`create rule r on t when inserted then execute f after x seconds`,
+		`select a from t; select b from t`, // trailing input
+		`select 'unterminated from t`,
+		`select a @ b from t`,
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+func TestErrorMentionsPosition(t *testing.T) {
+	_, err := Parse(`select a frm t`)
+	if err == nil || !strings.Contains(err.Error(), "expected") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestOperatorPrecedence(t *testing.T) {
+	q := mustParse(t, `select a + b * c as x from t`).(*SelectStmt).Query
+	be := q.Items[0].Expr.(*query.BinExpr)
+	if be.Op != '+' {
+		t.Fatalf("top op = %c", be.Op)
+	}
+	inner, ok := be.Right.(*query.BinExpr)
+	if !ok || inner.Op != '*' {
+		t.Errorf("precedence wrong: %s", be)
+	}
+	// Parenthesized grouping.
+	q2 := mustParse(t, `select (a + b) * c as x from t`).(*SelectStmt).Query
+	be2 := q2.Items[0].Expr.(*query.BinExpr)
+	if be2.Op != '*' {
+		t.Errorf("paren grouping wrong: %s", be2)
+	}
+}
+
+func TestOrderByParse(t *testing.T) {
+	q := mustParse(t, `select symbol, price from stocks order by price desc bind as snap`).(*SelectStmt).Query
+	if len(q.OrderBy) != 1 || q.OrderBy[0] != "price" || !q.Desc || q.Bind != "snap" {
+		t.Errorf("parsed %+v", q)
+	}
+	q2 := mustParse(t, `select a, b from t order by a, b asc`).(*SelectStmt).Query
+	if len(q2.OrderBy) != 2 || q2.Desc {
+		t.Errorf("parsed %+v", q2)
+	}
+	if _, err := Parse(`select a from t order a`); err == nil {
+		t.Error("ORDER without BY accepted")
+	}
+}

@@ -1,0 +1,75 @@
+// Package storage implements STRIP's main-memory table storage (paper §6.1).
+//
+// Standard tables are doubly-linked lists of fixed-width records, optionally
+// indexed by hash or red-black tree indexes. Records are never changed in
+// place: an update creates a new record and unlinks the old one, which is
+// retained while bound tables reference it (reference counting). Temporary
+// tables — used for intermediate results, transition tables, and bound
+// tables — store one pointer per contributing standard record plus
+// materialized values for computed columns, resolved through a per-table
+// static column map.
+package storage
+
+import (
+	"sync/atomic"
+
+	"github.com/stripdb/strip/internal/types"
+)
+
+// Record is a standard-table tuple. Its values are immutable once the record
+// is linked into a table; updates replace the record wholesale.
+type Record struct {
+	vals []types.Value
+
+	next, prev *Record
+	table      *Table
+
+	// refs counts bound-table references keeping this record alive after it
+	// has been unlinked from its table (paper §6.1 reference counting).
+	refs atomic.Int32
+	// unlinked is set (under the table latch) when the record is deleted or
+	// superseded by an update.
+	unlinked atomic.Bool
+}
+
+// Value returns the record's i-th column value.
+func (r *Record) Value(i int) types.Value { return r.vals[i] }
+
+// Values returns a copy of the record's values.
+func (r *Record) Values() []types.Value {
+	out := make([]types.Value, len(r.vals))
+	copy(out, r.vals)
+	return out
+}
+
+// NumCols returns the record's column count.
+func (r *Record) NumCols() int { return len(r.vals) }
+
+// Table returns the table the record belongs (or belonged) to.
+func (r *Record) Table() *Table { return r.table }
+
+// Live reports whether the record is still linked into its table.
+func (r *Record) Live() bool { return !r.unlinked.Load() }
+
+// Pin registers a bound-table reference to the record. Pinning an already
+// unlinked record (the common case: bound tables capture pre-update images)
+// marks it as retired-but-held in the owning table's statistics.
+func (r *Record) Pin() {
+	if r.refs.Add(1) == 1 && r.unlinked.Load() && r.table != nil {
+		r.table.noteRetiredPin(r, +1)
+	}
+}
+
+// Unpin releases a bound-table reference. When the last reference to an
+// unlinked record is released, the record is fully retired and the owning
+// table's retired-record statistic is decremented.
+func (r *Record) Unpin() {
+	if n := r.refs.Add(-1); n < 0 {
+		panic("storage: record unpinned more times than pinned")
+	} else if n == 0 && r.unlinked.Load() && r.table != nil {
+		r.table.noteRetiredPin(r, -1)
+	}
+}
+
+// Refs reports the current reference count (for stats and tests).
+func (r *Record) Refs() int32 { return r.refs.Load() }

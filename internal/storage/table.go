@@ -1,0 +1,269 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/stripdb/strip/internal/catalog"
+	"github.com/stripdb/strip/internal/index"
+	"github.com/stripdb/strip/internal/types"
+)
+
+// Stats summarizes a table's lifetime activity.
+type Stats struct {
+	Inserts int64
+	Deletes int64
+	Updates int64
+	// RetiredHeld counts records that are unlinked from the table but still
+	// held alive by bound-table references.
+	RetiredHeld int64
+	// Rows is the current live row count.
+	Rows int64
+}
+
+// Table is a standard STRIP table: a doubly-linked list of records plus
+// optional secondary indexes. The table latch protects structure; isolation
+// between transactions is the lock manager's job.
+type Table struct {
+	schema *catalog.Schema
+
+	mu      sync.RWMutex
+	head    *Record
+	tail    *Record
+	count   int64
+	indexes map[string]index.Index // column name -> index
+
+	stats struct {
+		inserts, deletes, updates, retiredHeld int64
+	}
+}
+
+// NewTable creates an empty table for the given schema.
+func NewTable(schema *catalog.Schema) *Table {
+	return &Table{schema: schema, indexes: make(map[string]index.Index)}
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() *catalog.Schema { return t.schema }
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.schema.Name() }
+
+// Len returns the live row count.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return int(t.count)
+}
+
+// CreateIndex builds an index of the given kind on the named column,
+// populating it from existing rows. One index per column is supported.
+func (t *Table) CreateIndex(column string, kind index.Kind) error {
+	ci := t.schema.ColIndex(column)
+	if ci < 0 {
+		return fmt.Errorf("storage: table %s has no column %q", t.Name(), column)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.indexes[column]; ok {
+		return fmt.Errorf("storage: table %s already has an index on %q", t.Name(), column)
+	}
+	ix := index.New(kind)
+	for r := t.head; r != nil; r = r.next {
+		ix.Insert(r.vals[ci], r)
+	}
+	t.indexes[column] = ix
+	return nil
+}
+
+// HasIndex reports whether the column is indexed.
+func (t *Table) HasIndex(column string) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, ok := t.indexes[column]
+	return ok
+}
+
+// Insert appends a new record with the given values.
+func (t *Table) Insert(vals []types.Value) (*Record, error) {
+	if err := t.schema.CheckRow(vals); err != nil {
+		return nil, err
+	}
+	r := &Record{vals: coerceRow(t.schema, vals), table: t}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.link(r)
+	t.count++
+	t.stats.inserts++
+	for col, ix := range t.indexes {
+		ix.Insert(r.vals[t.schema.ColIndex(col)], r)
+	}
+	return r, nil
+}
+
+// Delete unlinks a record from the table. The record stays readable by
+// holders of pointers to it (bound tables); it is merely no longer part of
+// the relation.
+func (t *Table) Delete(r *Record) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.deleteLocked(r)
+}
+
+func (t *Table) deleteLocked(r *Record) error {
+	if r.table != t {
+		return fmt.Errorf("storage: record does not belong to table %s", t.Name())
+	}
+	if r.unlinked.Load() {
+		return fmt.Errorf("storage: record already deleted from %s", t.Name())
+	}
+	t.unlink(r)
+	t.count--
+	t.stats.deletes++
+	for col, ix := range t.indexes {
+		ix.Delete(r.vals[t.schema.ColIndex(col)], r)
+	}
+	r.unlinked.Store(true)
+	if r.refs.Load() > 0 {
+		t.stats.retiredHeld++
+	}
+	return nil
+}
+
+// Update replaces a record with a new one carrying the given values
+// (copy-on-update, paper §6.1): the old record is unlinked but preserved for
+// any bound tables referencing it. It returns the new record.
+func (t *Table) Update(r *Record, vals []types.Value) (*Record, error) {
+	if err := t.schema.CheckRow(vals); err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.deleteLocked(r); err != nil {
+		return nil, err
+	}
+	// deleteLocked counted a delete; reclassify as an update.
+	t.stats.deletes--
+	t.stats.updates++
+	nr := &Record{vals: coerceRow(t.schema, vals), table: t}
+	t.link(nr)
+	t.count++
+	for col, ix := range t.indexes {
+		ix.Insert(nr.vals[t.schema.ColIndex(col)], nr)
+	}
+	return nr, nil
+}
+
+// Relink restores a previously unlinked record (transaction rollback of a
+// delete, or of the unlink half of an update).
+func (t *Table) Relink(r *Record) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if r.table != t {
+		return fmt.Errorf("storage: record does not belong to table %s", t.Name())
+	}
+	if !r.unlinked.Load() {
+		return fmt.Errorf("storage: record is not deleted")
+	}
+	if r.refs.Load() > 0 {
+		t.stats.retiredHeld--
+	}
+	r.unlinked.Store(false)
+	t.link(r)
+	t.count++
+	for col, ix := range t.indexes {
+		ix.Insert(r.vals[t.schema.ColIndex(col)], r)
+	}
+	return nil
+}
+
+func (t *Table) link(r *Record) {
+	r.prev = t.tail
+	r.next = nil
+	if t.tail != nil {
+		t.tail.next = r
+	} else {
+		t.head = r
+	}
+	t.tail = r
+}
+
+func (t *Table) unlink(r *Record) {
+	if r.prev != nil {
+		r.prev.next = r.next
+	} else {
+		t.head = r.next
+	}
+	if r.next != nil {
+		r.next.prev = r.prev
+	} else {
+		t.tail = r.prev
+	}
+	r.prev, r.next = nil, nil
+}
+
+// noteRetiredPin adjusts the retired-but-held count when an unlinked
+// record gains its first pin or loses its last.
+func (t *Table) noteRetiredPin(r *Record, delta int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if r.unlinked.Load() {
+		t.stats.retiredHeld += delta
+	}
+}
+
+// Scan visits live records in list order while holding the table latch in
+// shared mode. The walk stops when fn returns false.
+func (t *Table) Scan(fn func(*Record) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for r := t.head; r != nil; r = r.next {
+		if !fn(r) {
+			return
+		}
+	}
+}
+
+// IndexLookup returns the live records whose indexed column equals v.
+// ok is false if the column has no index.
+func (t *Table) IndexLookup(column string, v types.Value) (recs []*Record, ok bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ix, found := t.indexes[column]
+	if !found {
+		return nil, false
+	}
+	refs := ix.Lookup(v)
+	recs = make([]*Record, 0, len(refs))
+	for _, ref := range refs {
+		recs = append(recs, ref.(*Record))
+	}
+	return recs, true
+}
+
+// Stats returns a snapshot of the table's statistics.
+func (t *Table) Stats() Stats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return Stats{
+		Inserts:     t.stats.inserts,
+		Deletes:     t.stats.deletes,
+		Updates:     t.stats.updates,
+		RetiredHeld: t.stats.retiredHeld,
+		Rows:        t.count,
+	}
+}
+
+// coerceRow copies vals, widening INT values stored in FLOAT columns so that
+// later reads see the declared kind.
+func coerceRow(s *catalog.Schema, vals []types.Value) []types.Value {
+	out := make([]types.Value, len(vals))
+	for i, v := range vals {
+		if s.Col(i).Kind == types.KindFloat && v.Kind() == types.KindInt {
+			out[i] = types.Float(float64(v.Int()))
+		} else {
+			out[i] = v
+		}
+	}
+	return out
+}

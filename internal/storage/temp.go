@@ -1,0 +1,277 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/stripdb/strip/internal/catalog"
+	"github.com/stripdb/strip/internal/types"
+)
+
+// ColSource tells a temporary table where one of its columns lives: either
+// at an offset inside one of the row's contributing standard records, or in
+// the row's materialized value array (aggregates, computed expressions, and
+// timestamps, which exist nowhere else and must be stored; paper §6.1).
+type ColSource struct {
+	// Ptr is the position of the contributing record in the row's pointer
+	// array, or -1 for a materialized column.
+	Ptr int
+	// Off is the column offset within the contributing record, or the index
+	// into the row's materialized value array.
+	Off int
+}
+
+// Materialized marks a column as stored rather than pointed to.
+func Materialized(off int) ColSource { return ColSource{Ptr: -1, Off: off} }
+
+// FromRecord marks a column as resolved through contributing record ptr at
+// column offset off.
+func FromRecord(ptr, off int) ColSource { return ColSource{Ptr: ptr, Off: off} }
+
+type tempRow struct {
+	ptrs []*Record
+	vals []types.Value
+}
+
+// TempTable is a temporary table in the paper's §6.1 representation: rows
+// store one pointer per contributing standard record (only for relations
+// that contribute at least one attribute) plus materialized values, and a
+// static map resolves each column. Temporary tables back intermediate query
+// results, transition tables, and bound tables.
+//
+// Rows pin their contributing records (reference counting) so that the
+// state observed at bind time survives later updates to the base tables.
+// Call Retire when the table is no longer needed.
+type TempTable struct {
+	schema  *catalog.Schema
+	srcMap  []ColSource
+	nPtrs   int
+	nVals   int
+	rows    []tempRow
+	retired bool
+}
+
+// NewTempTable creates a temporary table with the given schema and static
+// column map. nPtrs is the number of contributing-record pointers per row.
+func NewTempTable(schema *catalog.Schema, srcMap []ColSource, nPtrs int) (*TempTable, error) {
+	if len(srcMap) != schema.NumCols() {
+		return nil, fmt.Errorf("storage: temp table %s: srcMap has %d entries for %d columns",
+			schema.Name(), len(srcMap), schema.NumCols())
+	}
+	nVals := 0
+	for i, cs := range srcMap {
+		if cs.Ptr == -1 {
+			if cs.Off != nVals {
+				return nil, fmt.Errorf("storage: temp table %s: materialized column %d must use value slot %d, got %d",
+					schema.Name(), i, nVals, cs.Off)
+			}
+			nVals++
+			continue
+		}
+		if cs.Ptr < 0 || cs.Ptr >= nPtrs {
+			return nil, fmt.Errorf("storage: temp table %s: column %d references pointer %d of %d",
+				schema.Name(), i, cs.Ptr, nPtrs)
+		}
+	}
+	return &TempTable{schema: schema, srcMap: srcMap, nPtrs: nPtrs, nVals: nVals}, nil
+}
+
+// NewValueTempTable creates a temporary table whose columns are all
+// materialized (used for aggregate/computed result sets).
+func NewValueTempTable(schema *catalog.Schema) *TempTable {
+	srcMap := make([]ColSource, schema.NumCols())
+	for i := range srcMap {
+		srcMap[i] = Materialized(i)
+	}
+	tt, err := NewTempTable(schema, srcMap, 0)
+	if err != nil {
+		panic(err) // unreachable: the map is valid by construction
+	}
+	return tt
+}
+
+// Schema returns the temp table's schema.
+func (tt *TempTable) Schema() *catalog.Schema { return tt.schema }
+
+// Source returns the static-map entry for a column, letting the query
+// engine pass pointers through when binding results over temp tables.
+func (tt *TempTable) Source(col int) ColSource { return tt.srcMap[col] }
+
+// RowPtr returns the ptrIdx-th contributing record of row rowIdx.
+func (tt *TempTable) RowPtr(rowIdx, ptrIdx int) *Record { return tt.rows[rowIdx].ptrs[ptrIdx] }
+
+// Len returns the row count.
+func (tt *TempTable) Len() int { return len(tt.rows) }
+
+// NumPtrs returns the number of record pointers per row.
+func (tt *TempTable) NumPtrs() int { return tt.nPtrs }
+
+// AppendRow adds a row. ptrs must have NumPtrs entries and vals must have
+// one entry per materialized column. The contributing records are pinned.
+func (tt *TempTable) AppendRow(ptrs []*Record, vals []types.Value) error {
+	if tt.retired {
+		return fmt.Errorf("storage: append to retired temp table %s", tt.schema.Name())
+	}
+	if len(ptrs) != tt.nPtrs {
+		return fmt.Errorf("storage: temp table %s: row has %d pointers, want %d",
+			tt.schema.Name(), len(ptrs), tt.nPtrs)
+	}
+	if len(vals) != tt.nVals {
+		return fmt.Errorf("storage: temp table %s: row has %d values, want %d",
+			tt.schema.Name(), len(vals), tt.nVals)
+	}
+	row := tempRow{}
+	if tt.nPtrs > 0 {
+		row.ptrs = make([]*Record, tt.nPtrs)
+		copy(row.ptrs, ptrs)
+		for _, r := range row.ptrs {
+			r.Pin()
+		}
+	}
+	if tt.nVals > 0 {
+		row.vals = make([]types.Value, tt.nVals)
+		copy(row.vals, vals)
+	}
+	tt.rows = append(tt.rows, row)
+	return nil
+}
+
+// AppendValues adds a fully materialized row; valid only for tables created
+// with NewValueTempTable.
+func (tt *TempTable) AppendValues(vals ...types.Value) error {
+	return tt.AppendRow(nil, vals)
+}
+
+// Value resolves column col of row rowIdx through the static map.
+func (tt *TempTable) Value(rowIdx, col int) types.Value {
+	cs := tt.srcMap[col]
+	row := &tt.rows[rowIdx]
+	if cs.Ptr == -1 {
+		return row.vals[cs.Off]
+	}
+	return row.ptrs[cs.Ptr].Value(cs.Off)
+}
+
+// Row materializes row rowIdx as a value slice.
+func (tt *TempTable) Row(rowIdx int) []types.Value {
+	out := make([]types.Value, tt.schema.NumCols())
+	for c := range out {
+		out[c] = tt.Value(rowIdx, c)
+	}
+	return out
+}
+
+// Scan visits rows in order, stopping when fn returns false.
+func (tt *TempTable) Scan(fn func(rowIdx int) bool) {
+	for i := range tt.rows {
+		if !fn(i) {
+			return
+		}
+	}
+}
+
+// AppendFrom appends every row of other into tt. Both tables must have been
+// defined identically (same column names/kinds and same static map) — the
+// precondition STRIP imposes on bound tables of rules executing the same
+// user function (paper §2). Appended rows pin their records again on behalf
+// of tt. If rowFilter is non-nil only rows for which it returns true are
+// appended; it is used by the Appendix-A partitioning of unique columns.
+func (tt *TempTable) AppendFrom(other *TempTable, rowFilter func(rowIdx int) bool) error {
+	if tt.retired {
+		return fmt.Errorf("storage: append to retired temp table %s", tt.schema.Name())
+	}
+	if !tt.schema.Equal(other.schema) {
+		return fmt.Errorf("storage: temp tables %s and %s are not defined identically",
+			tt.schema.Name(), other.schema.Name())
+	}
+	if tt.nPtrs != other.nPtrs || len(tt.srcMap) != len(other.srcMap) {
+		return fmt.Errorf("storage: temp tables %s and %s have different static maps",
+			tt.schema.Name(), other.schema.Name())
+	}
+	for i, cs := range tt.srcMap {
+		if other.srcMap[i] != cs {
+			return fmt.Errorf("storage: temp tables %s and %s have different static maps",
+				tt.schema.Name(), other.schema.Name())
+		}
+	}
+	for i := range other.rows {
+		if rowFilter != nil && !rowFilter(i) {
+			continue
+		}
+		if err := tt.AppendRow(other.rows[i].ptrs, other.rows[i].vals); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Clone returns an empty temp table with the same schema and static map.
+func (tt *TempTable) Clone() *TempTable {
+	return &TempTable{schema: tt.schema, srcMap: tt.srcMap, nPtrs: tt.nPtrs, nVals: tt.nVals}
+}
+
+// Retire releases every record reference held by the table. After Retire the
+// table is empty and further appends fail. Retiring twice is a no-op.
+func (tt *TempTable) Retire() {
+	if tt.retired {
+		return
+	}
+	tt.retired = true
+	for i := range tt.rows {
+		for _, r := range tt.rows[i].ptrs {
+			r.Unpin()
+		}
+	}
+	tt.rows = nil
+}
+
+// Retired reports whether the table has been retired.
+func (tt *TempTable) Retired() bool { return tt.retired }
+
+// Store is the thread-safe registry of standard tables, keyed by name. It
+// pairs with the catalog: the catalog holds schemas, the store holds data.
+type Store struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewStore creates an empty store.
+func NewStore() *Store { return &Store{tables: make(map[string]*Table)} }
+
+// Create registers a table for the schema.
+func (s *Store) Create(schema *catalog.Schema) (*Table, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tables[schema.Name()]; ok {
+		return nil, fmt.Errorf("storage: table %q already exists", schema.Name())
+	}
+	t := NewTable(schema)
+	s.tables[schema.Name()] = t
+	return t, nil
+}
+
+// Drop removes a table from the store.
+func (s *Store) Drop(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tables[name]; !ok {
+		return fmt.Errorf("storage: table %q does not exist", name)
+	}
+	delete(s.tables, name)
+	return nil
+}
+
+// Get returns the named table.
+func (s *Store) Get(name string) (*Table, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[name]
+	return t, ok
+}
+
+// SortRows reorders the table's rows in place by the provided comparison
+// over row indexes (the query engine's ORDER BY).
+func (tt *TempTable) SortRows(less func(a, b int) bool) {
+	sort.SliceStable(tt.rows, func(i, j int) bool { return less(i, j) })
+}

@@ -1,0 +1,293 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/stripdb/strip/internal/catalog"
+	"github.com/stripdb/strip/internal/types"
+)
+
+// matchesSchema mimics the paper's `matches` bound table: comp and weight
+// come from a comps_list record (ptr 0), old_price from the old stock record
+// (ptr 1), new_price from the new stock record (ptr 2), and diff is a
+// materialized computed column.
+func matchesSchema() *catalog.Schema {
+	return catalog.MustSchema("matches",
+		catalog.Column{Name: "comp", Kind: types.KindString},
+		catalog.Column{Name: "weight", Kind: types.KindFloat},
+		catalog.Column{Name: "old_price", Kind: types.KindFloat},
+		catalog.Column{Name: "new_price", Kind: types.KindFloat},
+		catalog.Column{Name: "diff", Kind: types.KindFloat},
+	)
+}
+
+func matchesSrcMap() []ColSource {
+	return []ColSource{
+		FromRecord(0, 0), // comp from comps_list.comp
+		FromRecord(0, 2), // weight from comps_list.weight
+		FromRecord(1, 1), // old_price from old stocks.price
+		FromRecord(2, 1), // new_price from new stocks.price
+		Materialized(0),  // diff computed at bind time
+	}
+}
+
+func buildBase(t *testing.T) (stocks, compsList *Table) {
+	t.Helper()
+	stocks = NewTable(catalog.MustSchema("stocks",
+		catalog.Column{Name: "symbol", Kind: types.KindString},
+		catalog.Column{Name: "price", Kind: types.KindFloat}))
+	compsList = NewTable(catalog.MustSchema("comps_list",
+		catalog.Column{Name: "comp", Kind: types.KindString},
+		catalog.Column{Name: "symbol", Kind: types.KindString},
+		catalog.Column{Name: "weight", Kind: types.KindFloat}))
+	return
+}
+
+func TestNewTempTableValidation(t *testing.T) {
+	s := matchesSchema()
+	if _, err := NewTempTable(s, []ColSource{Materialized(0)}, 0); err == nil {
+		t.Error("short srcMap accepted")
+	}
+	bad := matchesSrcMap()
+	bad[0] = FromRecord(5, 0)
+	if _, err := NewTempTable(s, bad, 3); err == nil {
+		t.Error("out-of-range pointer accepted")
+	}
+	bad2 := matchesSrcMap()
+	bad2[4] = Materialized(3) // wrong value slot
+	if _, err := NewTempTable(s, bad2, 3); err == nil {
+		t.Error("misnumbered value slot accepted")
+	}
+	if _, err := NewTempTable(s, matchesSrcMap(), 3); err != nil {
+		t.Errorf("valid map rejected: %v", err)
+	}
+}
+
+func TestTempTablePointerResolution(t *testing.T) {
+	stocks, compsList := buildBase(t)
+	oldRec := mustInsert(t, stocks, types.Str("S1"), types.Float(30))
+	cl := mustInsert(t, compsList, types.Str("C1"), types.Str("S1"), types.Float(0.5))
+	newRec, err := stocks.Update(oldRec, []types.Value{types.Str("S1"), types.Float(31)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tt, err := NewTempTable(matchesSchema(), matchesSrcMap(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tt.AppendRow([]*Record{cl, oldRec, newRec}, []types.Value{types.Float(0.5)}); err != nil {
+		t.Fatal(err)
+	}
+	if tt.Len() != 1 || tt.NumPtrs() != 3 {
+		t.Fatalf("Len/NumPtrs = %d/%d", tt.Len(), tt.NumPtrs())
+	}
+	row := tt.Row(0)
+	want := []types.Value{types.Str("C1"), types.Float(0.5), types.Float(30), types.Float(31), types.Float(0.5)}
+	for i := range want {
+		if !row[i].Equal(want[i]) {
+			t.Errorf("col %d = %v, want %v", i, row[i], want[i])
+		}
+	}
+	// Records are pinned by the row.
+	if oldRec.Refs() != 1 || newRec.Refs() != 1 || cl.Refs() != 1 {
+		t.Error("records not pinned")
+	}
+	tt.Retire()
+	if oldRec.Refs() != 0 {
+		t.Error("retire did not unpin")
+	}
+	if !tt.Retired() || tt.Len() != 0 {
+		t.Error("retire state wrong")
+	}
+	tt.Retire() // idempotent
+	if err := tt.AppendRow([]*Record{cl, oldRec, newRec}, []types.Value{types.Float(1)}); err == nil {
+		t.Error("append after retire accepted")
+	}
+}
+
+// The defining property of the §6.1 scheme: a bound table continues to see
+// the record images captured at bind time even after the base table moves on.
+func TestTempTableSurvivesBaseUpdates(t *testing.T) {
+	stocks, _ := buildBase(t)
+	r1 := mustInsert(t, stocks, types.Str("S1"), types.Float(30))
+
+	schema := catalog.MustSchema("snap", catalog.Column{Name: "price", Kind: types.KindFloat})
+	tt, err := NewTempTable(schema, []ColSource{FromRecord(0, 1)}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tt.AppendRow([]*Record{r1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stocks.Update(r1, []types.Value{types.Str("S1"), types.Float(99)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := tt.Value(0, 0).Float(); got != 30 {
+		t.Errorf("bound table saw %g after base update, want 30", got)
+	}
+	tt.Retire()
+	if got := stocks.Stats().RetiredHeld; got != 0 {
+		t.Errorf("RetiredHeld after retire = %d", got)
+	}
+}
+
+func TestAppendRowArityChecks(t *testing.T) {
+	tt, err := NewTempTable(matchesSchema(), matchesSrcMap(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tt.AppendRow(nil, []types.Value{types.Float(1)}); err == nil {
+		t.Error("wrong pointer arity accepted")
+	}
+	stocks, _ := buildBase(t)
+	r := mustInsert(t, stocks, types.Str("S"), types.Float(1))
+	if err := tt.AppendRow([]*Record{r, r, r}, nil); err == nil {
+		t.Error("wrong value arity accepted")
+	}
+}
+
+func TestValueTempTable(t *testing.T) {
+	s := catalog.MustSchema("agg",
+		catalog.Column{Name: "comp", Kind: types.KindString},
+		catalog.Column{Name: "diff", Kind: types.KindFloat})
+	tt := NewValueTempTable(s)
+	if err := tt.AppendValues(types.Str("C1"), types.Float(1.5)); err != nil {
+		t.Fatal(err)
+	}
+	if got := tt.Value(0, 1).Float(); got != 1.5 {
+		t.Errorf("value = %g", got)
+	}
+}
+
+func TestAppendFrom(t *testing.T) {
+	stocks, compsList := buildBase(t)
+	o := mustInsert(t, stocks, types.Str("S1"), types.Float(30))
+	c := mustInsert(t, compsList, types.Str("C1"), types.Str("S1"), types.Float(0.5))
+	n, err := stocks.Update(o, []types.Value{types.Str("S1"), types.Float(31)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a, _ := NewTempTable(matchesSchema(), matchesSrcMap(), 3)
+	b, _ := NewTempTable(matchesSchema().Rename("matches2"), matchesSrcMap(), 3)
+	if err := b.AppendRow([]*Record{c, o, n}, []types.Value{types.Float(0.5)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AppendRow([]*Record{c, o, n}, []types.Value{types.Float(0.7)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AppendFrom(b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 2 {
+		t.Fatalf("AppendFrom copied %d rows", a.Len())
+	}
+	// Both tables hold pins: 2 rows each, 3 ptrs per row but on 3 records.
+	if o.Refs() != 4 { // 2 rows in a + 2 rows in b reference o once each
+		t.Errorf("o.Refs = %d, want 4", o.Refs())
+	}
+	// Filtered append.
+	a2, _ := NewTempTable(matchesSchema(), matchesSrcMap(), 3)
+	if err := a2.AppendFrom(b, func(i int) bool { return i == 1 }); err != nil {
+		t.Fatal(err)
+	}
+	if a2.Len() != 1 || a2.Value(0, 4).Float() != 0.7 {
+		t.Error("filtered AppendFrom wrong")
+	}
+	// Mismatched schemas rejected.
+	other := NewValueTempTable(catalog.MustSchema("x", catalog.Column{Name: "y", Kind: types.KindInt}))
+	if err := a.AppendFrom(other, nil); err == nil {
+		t.Error("AppendFrom across schemas accepted")
+	}
+	// Mismatched static maps rejected even with equal schemas.
+	vt := NewValueTempTable(matchesSchema())
+	if err := a.AppendFrom(vt, nil); err == nil {
+		t.Error("AppendFrom across static maps accepted")
+	}
+	a.Retire()
+	b.Retire()
+	a2.Retire()
+	if o.Refs() != 0 || n.Refs() != 0 || c.Refs() != 0 {
+		t.Error("pins leaked after retiring all tables")
+	}
+}
+
+func TestClone(t *testing.T) {
+	tt, _ := NewTempTable(matchesSchema(), matchesSrcMap(), 3)
+	cl := tt.Clone()
+	if cl.Len() != 0 || cl.NumPtrs() != 3 || !cl.Schema().Equal(tt.Schema()) {
+		t.Error("clone shape wrong")
+	}
+	if err := tt.AppendFrom(cl, nil); err != nil {
+		t.Errorf("clone not append-compatible: %v", err)
+	}
+}
+
+func TestStore(t *testing.T) {
+	st := NewStore()
+	s := catalog.MustSchema("t1", catalog.Column{Name: "a", Kind: types.KindInt})
+	tbl, err := st.Create(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Create(s); err == nil {
+		t.Error("duplicate create accepted")
+	}
+	got, ok := st.Get("t1")
+	if !ok || got != tbl {
+		t.Error("Get failed")
+	}
+	if err := st.Drop("t1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Drop("t1"); err == nil {
+		t.Error("double drop accepted")
+	}
+	if _, ok := st.Get("t1"); ok {
+		t.Error("Get after drop succeeded")
+	}
+}
+
+// Property: pin counts balance — after any sequence of appends across two
+// compatible temp tables followed by retiring both, every record's refcount
+// returns to zero.
+func TestQuickPinBalance(t *testing.T) {
+	f := func(rows []uint8) bool {
+		stocks := NewTable(catalog.MustSchema("s",
+			catalog.Column{Name: "sym", Kind: types.KindString},
+			catalog.Column{Name: "p", Kind: types.KindFloat}))
+		recs := make([]*Record, 8)
+		for i := range recs {
+			r, err := stocks.Insert([]types.Value{types.Str("x"), types.Float(float64(i))})
+			if err != nil {
+				return false
+			}
+			recs[i] = r
+		}
+		schema := catalog.MustSchema("tt", catalog.Column{Name: "p", Kind: types.KindFloat})
+		src := []ColSource{FromRecord(0, 1)}
+		a, _ := NewTempTable(schema, src, 1)
+		b, _ := NewTempTable(schema, src, 1)
+		for _, ri := range rows {
+			if err := a.AppendRow([]*Record{recs[int(ri)%8]}, nil); err != nil {
+				return false
+			}
+		}
+		if err := b.AppendFrom(a, func(i int) bool { return i%2 == 0 }); err != nil {
+			return false
+		}
+		a.Retire()
+		b.Retire()
+		for _, r := range recs {
+			if r.Refs() != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,305 @@
+// Package txn implements STRIP transactions.
+//
+// A transaction buffers no writes — changes apply to storage immediately
+// under exclusive table locks, with an undo log for rollback. The write log
+// doubles as the rule system's event audit trail: it preserves every change
+// in execution order (no net-effect reduction, paper §2), numbered by the
+// execute_order sequence that transition tables expose.
+//
+// At commit, a registered hook (the rule system) runs inside the committing
+// transaction: event checking, condition evaluation, and bound-table
+// construction all happen before locks are released (paper §6.3).
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"github.com/stripdb/strip/internal/catalog"
+	"github.com/stripdb/strip/internal/clock"
+	"github.com/stripdb/strip/internal/cost"
+	"github.com/stripdb/strip/internal/lock"
+	"github.com/stripdb/strip/internal/storage"
+	"github.com/stripdb/strip/internal/types"
+)
+
+// Op is a write-log operation kind.
+type Op uint8
+
+// Write-log operation kinds.
+const (
+	OpInsert Op = iota
+	OpDelete
+	OpUpdate
+)
+
+// String names the op.
+func (o Op) String() string {
+	switch o {
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	case OpUpdate:
+		return "update"
+	default:
+		return "unknown"
+	}
+}
+
+// LogRec is one write-log entry. For updates both Old and New are set; for
+// inserts only New; for deletes only Old. Seq is the execute_order value.
+type LogRec struct {
+	Op    Op
+	Table string
+	Old   *storage.Record
+	New   *storage.Record
+	Seq   int64
+}
+
+// Status is a transaction's lifecycle state.
+type Status uint8
+
+// Transaction states.
+const (
+	Active Status = iota
+	Committed
+	Aborted
+)
+
+// ErrNotActive is returned for operations on finished transactions.
+var ErrNotActive = errors.New("txn: transaction is not active")
+
+// CommitHook runs inside Commit before locks are released. The rule system
+// registers itself here.
+type CommitHook func(*Txn) error
+
+// Manager creates and coordinates transactions.
+type Manager struct {
+	Catalog *catalog.Catalog
+	Store   *storage.Store
+	Locks   *lock.Manager
+	Clock   clock.Clock
+	Meter   *cost.Meter
+	Model   cost.Model
+
+	nextID     atomic.Int64
+	commitHook atomic.Pointer[CommitHook]
+
+	committed atomic.Int64
+	aborted   atomic.Int64
+}
+
+// NewManager wires a transaction manager over the given substrates.
+func NewManager(cat *catalog.Catalog, store *storage.Store, locks *lock.Manager, clk clock.Clock, meter *cost.Meter, model cost.Model) *Manager {
+	return &Manager{Catalog: cat, Store: store, Locks: locks, Clock: clk, Meter: meter, Model: model}
+}
+
+// SetCommitHook registers the hook run at the end of every transaction.
+func (m *Manager) SetCommitHook(h CommitHook) {
+	m.commitHook.Store(&h)
+}
+
+// Begin starts a transaction.
+func (m *Manager) Begin() *Txn {
+	m.Meter.Charge(m.Model.BeginTxn)
+	return &Txn{id: m.nextID.Add(1), mgr: m}
+}
+
+// Committed reports how many transactions have committed.
+func (m *Manager) Committed() int64 { return m.committed.Load() }
+
+// Aborted reports how many transactions have aborted.
+func (m *Manager) Aborted() int64 { return m.aborted.Load() }
+
+// Txn is an in-flight transaction.
+type Txn struct {
+	id     int64
+	mgr    *Manager
+	status Status
+	log    []LogRec
+	seq    int64
+	// commitAt is the engine time at which the transaction committed
+	// (instantiates bound-table commit_time columns).
+	commitAt clock.Micros
+}
+
+// ID returns the transaction id.
+func (t *Txn) ID() int64 { return t.id }
+
+// Manager returns the owning manager.
+func (t *Txn) Manager() *Manager { return t.mgr }
+
+// Status returns the transaction state.
+func (t *Txn) Status() Status { return t.status }
+
+// Log returns the write log (shared slice; callers must not mutate).
+func (t *Txn) Log() []LogRec { return t.log }
+
+// CommitTime returns the commit timestamp (valid once committed).
+func (t *Txn) CommitTime() clock.Micros { return t.commitAt }
+
+// Charge adds virtual CPU to the engine meter.
+func (t *Txn) Charge(micros float64) { t.mgr.Meter.Charge(micros) }
+
+// Model returns the engine's cost model.
+func (t *Txn) Model() cost.Model { return t.mgr.Model }
+
+func (t *Txn) table(name string) (*storage.Table, error) {
+	tbl, ok := t.mgr.Store.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("txn: table %q does not exist", name)
+	}
+	return tbl, nil
+}
+
+func (t *Txn) lockTable(name string, mode lock.Mode) error {
+	// Charge get-lock only when this acquisition does real work; repeated
+	// access to an already-locked table is free, matching Table 1's
+	// one-get-lock-per-resource accounting.
+	if held, ok := t.mgr.Locks.Holds(t.id, name); !ok || (mode == lock.Exclusive && held == lock.Shared) {
+		t.mgr.Meter.Charge(t.mgr.Model.GetLock)
+	}
+	return t.mgr.Locks.Acquire(t.id, name, mode)
+}
+
+// ReadTable acquires a shared lock on the table and returns it for scanning.
+// The query engine resolves table reads through this.
+func (t *Txn) ReadTable(name string) (*storage.Table, error) {
+	if t.status != Active {
+		return nil, ErrNotActive
+	}
+	tbl, err := t.table(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.lockTable(name, lock.Shared); err != nil {
+		return nil, err
+	}
+	return tbl, nil
+}
+
+// WriteTable acquires an exclusive lock on the table and returns it.
+func (t *Txn) WriteTable(name string) (*storage.Table, error) {
+	if t.status != Active {
+		return nil, ErrNotActive
+	}
+	tbl, err := t.table(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.lockTable(name, lock.Exclusive); err != nil {
+		return nil, err
+	}
+	return tbl, nil
+}
+
+// Insert adds a row to the named table.
+func (t *Txn) Insert(table string, vals []types.Value) (*storage.Record, error) {
+	tbl, err := t.WriteTable(table)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := tbl.Insert(vals)
+	if err != nil {
+		return nil, err
+	}
+	t.mgr.Meter.Charge(t.mgr.Model.InsertCursor)
+	t.seq++
+	t.log = append(t.log, LogRec{Op: OpInsert, Table: table, New: rec, Seq: t.seq})
+	return rec, nil
+}
+
+// Delete removes a record from the named table.
+func (t *Txn) Delete(table string, rec *storage.Record) error {
+	tbl, err := t.WriteTable(table)
+	if err != nil {
+		return err
+	}
+	if err := tbl.Delete(rec); err != nil {
+		return err
+	}
+	t.mgr.Meter.Charge(t.mgr.Model.DeleteCursor)
+	t.seq++
+	t.log = append(t.log, LogRec{Op: OpDelete, Table: table, Old: rec, Seq: t.seq})
+	return nil
+}
+
+// Update replaces a record's values (copy-on-update under the covers) and
+// returns the new record.
+func (t *Txn) Update(table string, rec *storage.Record, vals []types.Value) (*storage.Record, error) {
+	tbl, err := t.WriteTable(table)
+	if err != nil {
+		return nil, err
+	}
+	nr, err := tbl.Update(rec, vals)
+	if err != nil {
+		return nil, err
+	}
+	t.mgr.Meter.Charge(t.mgr.Model.UpdateCursor)
+	t.seq++
+	t.log = append(t.log, LogRec{Op: OpUpdate, Table: table, Old: rec, New: nr, Seq: t.seq})
+	return nr, nil
+}
+
+// Commit finishes the transaction: the commit hook (rule processing) runs
+// first, inside the transaction; then the commit timestamp is taken and
+// locks are released. If the hook fails the transaction aborts.
+func (t *Txn) Commit() error {
+	if t.status != Active {
+		return ErrNotActive
+	}
+	if hp := t.mgr.commitHook.Load(); hp != nil && *hp != nil {
+		if err := (*hp)(t); err != nil {
+			abortErr := t.Abort()
+			if abortErr != nil {
+				return fmt.Errorf("txn: commit hook failed (%w); abort also failed: %v", err, abortErr)
+			}
+			return fmt.Errorf("txn: aborted by commit hook: %w", err)
+		}
+	}
+	t.commitAt = t.mgr.Clock.Now()
+	t.status = Committed
+	t.mgr.Meter.Charge(t.mgr.Model.CommitTxn + t.mgr.Model.ReleaseLock)
+	t.mgr.Locks.ReleaseAll(t.id)
+	t.mgr.committed.Add(1)
+	return nil
+}
+
+// Abort rolls back every change in reverse log order and releases locks.
+func (t *Txn) Abort() error {
+	if t.status != Active {
+		return ErrNotActive
+	}
+	var firstErr error
+	for i := len(t.log) - 1; i >= 0; i-- {
+		rec := t.log[i]
+		tbl, err := t.table(rec.Table)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		switch rec.Op {
+		case OpInsert:
+			err = tbl.Delete(rec.New)
+		case OpDelete:
+			err = tbl.Relink(rec.Old)
+		case OpUpdate:
+			if err = tbl.Delete(rec.New); err == nil {
+				err = tbl.Relink(rec.Old)
+			}
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	t.status = Aborted
+	t.log = nil
+	t.mgr.Meter.Charge(t.mgr.Model.AbortTxn + t.mgr.Model.ReleaseLock)
+	t.mgr.Locks.ReleaseAll(t.id)
+	t.mgr.aborted.Add(1)
+	return firstErr
+}

@@ -1,0 +1,377 @@
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/stripdb/strip/internal/catalog"
+	"github.com/stripdb/strip/internal/clock"
+	"github.com/stripdb/strip/internal/cost"
+	"github.com/stripdb/strip/internal/lock"
+	"github.com/stripdb/strip/internal/storage"
+	"github.com/stripdb/strip/internal/types"
+)
+
+func newEnv(t testing.TB) (*Manager, *storage.Table) {
+	t.Helper()
+	cat := catalog.New()
+	store := storage.NewStore()
+	schema := catalog.MustSchema("stocks",
+		catalog.Column{Name: "symbol", Kind: types.KindString},
+		catalog.Column{Name: "price", Kind: types.KindFloat})
+	if err := cat.Define(schema); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := store.Create(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := NewManager(cat, store, lock.New(), clock.NewVirtual(), cost.NewMeter(), cost.Default())
+	return mgr, tbl
+}
+
+func row(sym string, price float64) []types.Value {
+	return []types.Value{types.Str(sym), types.Float(price)}
+}
+
+func TestOpString(t *testing.T) {
+	if OpInsert.String() != "insert" || OpDelete.String() != "delete" ||
+		OpUpdate.String() != "update" || Op(9).String() != "unknown" {
+		t.Error("Op.String wrong")
+	}
+}
+
+func TestInsertCommit(t *testing.T) {
+	mgr, tbl := newEnv(t)
+	tx := mgr.Begin()
+	rec, err := tx.Insert("stocks", row("IBM", 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tx.Log()) != 1 || tx.Log()[0].Op != OpInsert || tx.Log()[0].Seq != 1 {
+		t.Fatalf("log = %+v", tx.Log())
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if tx.Status() != Committed || !rec.Live() || tbl.Len() != 1 {
+		t.Error("commit state wrong")
+	}
+	if mgr.Committed() != 1 {
+		t.Errorf("Committed = %d", mgr.Committed())
+	}
+	// Locks released.
+	if _, held := mgr.Locks.Holds(tx.ID(), "stocks"); held {
+		t.Error("locks survive commit")
+	}
+}
+
+func TestAbortUndoesInsert(t *testing.T) {
+	mgr, tbl := newEnv(t)
+	tx := mgr.Begin()
+	if _, err := tx.Insert("stocks", row("IBM", 30)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 0 || tx.Status() != Aborted {
+		t.Error("abort did not undo insert")
+	}
+	if mgr.Aborted() != 1 {
+		t.Errorf("Aborted = %d", mgr.Aborted())
+	}
+}
+
+func TestAbortUndoesDelete(t *testing.T) {
+	mgr, tbl := newEnv(t)
+	setup := mgr.Begin()
+	rec, err := setup.Insert("stocks", row("IBM", 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := setup.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	tx := mgr.Begin()
+	if err := tx.Delete("stocks", rec); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 0 {
+		t.Fatal("delete not applied immediately")
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 1 || !rec.Live() {
+		t.Error("abort did not restore deleted record")
+	}
+}
+
+func TestAbortUndoesUpdateChain(t *testing.T) {
+	mgr, tbl := newEnv(t)
+	setup := mgr.Begin()
+	rec, _ := setup.Insert("stocks", row("IBM", 30))
+	if err := setup.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	tx := mgr.Begin()
+	r2, err := tx.Update("stocks", rec, row("IBM", 31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := tx.Update("stocks", r2, row("IBM", 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("Len after abort = %d", tbl.Len())
+	}
+	if !rec.Live() || r2.Live() || r3.Live() {
+		t.Error("abort restored the wrong version")
+	}
+	var price float64
+	tbl.Scan(func(r *storage.Record) bool { price = r.Value(1).Float(); return true })
+	if price != 30 {
+		t.Errorf("price after abort = %g, want 30", price)
+	}
+}
+
+func TestExecuteOrderAcrossOps(t *testing.T) {
+	mgr, _ := newEnv(t)
+	tx := mgr.Begin()
+	r, _ := tx.Insert("stocks", row("A", 1))
+	r2, _ := tx.Update("stocks", r, row("A", 2))
+	if err := tx.Delete("stocks", r2); err != nil {
+		t.Fatal(err)
+	}
+	log := tx.Log()
+	if len(log) != 3 {
+		t.Fatalf("log len = %d", len(log))
+	}
+	for i, want := range []Op{OpInsert, OpUpdate, OpDelete} {
+		if log[i].Op != want || log[i].Seq != int64(i+1) {
+			t.Errorf("log[%d] = %v seq %d", i, log[i].Op, log[i].Seq)
+		}
+	}
+	// No net-effect reduction: insert+update+delete all remain (paper §2).
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommitHookRunsInsideTxn(t *testing.T) {
+	mgr, _ := newEnv(t)
+	var sawLog int
+	var status Status
+	mgr.SetCommitHook(func(tx *Txn) error {
+		sawLog = len(tx.Log())
+		status = tx.Status()
+		return nil
+	})
+	tx := mgr.Begin()
+	if _, err := tx.Insert("stocks", row("IBM", 30)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if sawLog != 1 || status != Active {
+		t.Errorf("hook saw log=%d status=%v; want 1, Active", sawLog, status)
+	}
+}
+
+func TestCommitHookFailureAborts(t *testing.T) {
+	mgr, tbl := newEnv(t)
+	hookErr := errors.New("boom")
+	mgr.SetCommitHook(func(*Txn) error { return hookErr })
+	tx := mgr.Begin()
+	if _, err := tx.Insert("stocks", row("IBM", 30)); err != nil {
+		t.Fatal(err)
+	}
+	err := tx.Commit()
+	if !errors.Is(err, hookErr) {
+		t.Fatalf("Commit err = %v", err)
+	}
+	if tx.Status() != Aborted || tbl.Len() != 0 {
+		t.Error("hook failure did not roll back")
+	}
+}
+
+func TestOperationsOnFinishedTxn(t *testing.T) {
+	mgr, _ := newEnv(t)
+	tx := mgr.Begin()
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Insert("stocks", row("A", 1)); !errors.Is(err, ErrNotActive) {
+		t.Errorf("Insert on committed txn: %v", err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrNotActive) {
+		t.Errorf("double Commit: %v", err)
+	}
+	if err := tx.Abort(); !errors.Is(err, ErrNotActive) {
+		t.Errorf("Abort after Commit: %v", err)
+	}
+	if _, err := tx.ReadTable("stocks"); !errors.Is(err, ErrNotActive) {
+		t.Errorf("ReadTable on committed txn: %v", err)
+	}
+}
+
+func TestUnknownTable(t *testing.T) {
+	mgr, _ := newEnv(t)
+	tx := mgr.Begin()
+	if _, err := tx.Insert("nope", row("A", 1)); err == nil {
+		t.Error("insert into unknown table accepted")
+	}
+	if _, err := tx.ReadTable("nope"); err == nil {
+		t.Error("read of unknown table accepted")
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteConflictBlocksUntilCommit(t *testing.T) {
+	mgr, _ := newEnv(t)
+	tx1 := mgr.Begin()
+	if _, err := tx1.Insert("stocks", row("A", 1)); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		tx2 := mgr.Begin()
+		_, err := tx2.Insert("stocks", row("B", 2))
+		if err == nil {
+			err = tx2.Commit()
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("tx2 completed while tx1 held X lock: %v", err)
+	default:
+	}
+	if err := tx1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommitTimeFromClock(t *testing.T) {
+	mgr, _ := newEnv(t)
+	vc := mgr.Clock.(*clock.Virtual)
+	vc.AdvanceTo(42_000_000)
+	tx := mgr.Begin()
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if tx.CommitTime() != 42_000_000 {
+		t.Errorf("CommitTime = %d", tx.CommitTime())
+	}
+}
+
+func TestMeterCharges(t *testing.T) {
+	mgr, _ := newEnv(t)
+	tx := mgr.Begin()
+	if _, err := tx.Insert("stocks", row("A", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	m := mgr.Model
+	want := m.BeginTxn + m.GetLock + m.InsertCursor + m.CommitTxn + m.ReleaseLock
+	if got := mgr.Meter.Micros(); got != want {
+		t.Errorf("charged %g µs, want %g", got, want)
+	}
+}
+
+// Property: any sequence of inserts/updates/deletes that is aborted leaves
+// the table exactly as it was before the transaction.
+func TestQuickAbortRestoresState(t *testing.T) {
+	f := func(ops []uint8, seed uint8) bool {
+		mgr, tbl := newEnv(t)
+		setup := mgr.Begin()
+		base := make([]*storage.Record, 4)
+		for i := range base {
+			r, err := setup.Insert("stocks", row(fmt.Sprintf("S%d", i), float64(i)))
+			if err != nil {
+				return false
+			}
+			base[i] = r
+		}
+		if err := setup.Commit(); err != nil {
+			return false
+		}
+		before := snapshot(tbl)
+
+		tx := mgr.Begin()
+		live := append([]*storage.Record(nil), base...)
+		for _, op := range ops {
+			i := int(op>>2) % len(live)
+			switch op % 3 {
+			case 0:
+				r, err := tx.Insert("stocks", row(fmt.Sprintf("N%d", op), float64(op)))
+				if err != nil {
+					return false
+				}
+				live = append(live, r)
+			case 1:
+				if live[i] != nil && live[i].Live() {
+					nr, err := tx.Update("stocks", live[i], row("U", float64(op)))
+					if err != nil {
+						return false
+					}
+					live[i] = nr
+				}
+			case 2:
+				if live[i] != nil && live[i].Live() {
+					if err := tx.Delete("stocks", live[i]); err != nil {
+						return false
+					}
+					live[i] = nil
+				}
+			}
+		}
+		if err := tx.Abort(); err != nil {
+			return false
+		}
+		after := snapshot(tbl)
+		if len(before) != len(after) {
+			return false
+		}
+		for i := range before {
+			if before[i] != after[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// snapshot captures table contents as a sorted multiset: row order in
+// standard tables is unimportant (paper §6.1), and rollback may relink
+// records at the tail.
+func snapshot(tbl *storage.Table) []string {
+	var out []string
+	tbl.Scan(func(r *storage.Record) bool {
+		out = append(out, fmt.Sprintf("%v|%v", r.Value(0), r.Value(1)))
+		return true
+	})
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,462 @@
+// Package viewgen generates derived-data maintenance rules from
+// materialized view definitions — the paper's §8 future-work direction:
+// "it should be possible for a materialized view manager to derive not
+// just the rules to maintain a view but the unit of batching and delay
+// window size as well", building on Ceri & Widom's automatic rule
+// derivation [CW91].
+//
+// Two view shapes are supported, matching the paper's two experiment
+// classes:
+//
+//   - aggregation views  SELECT g, sum(expr) FROM base, dim WHERE
+//     dim.k = base.k GROUP BY g  (comp_prices-like; maintained
+//     incrementally from per-row deltas), and
+//   - per-row function views  SELECT d, f(args...) FROM base, dim WHERE
+//     dim.k = base.k  (option_prices-like; recomputed per affected row).
+//
+// Given the view definition and workload statistics, Advise picks the unit
+// of batching and delay window by the paper's two rules of thumb (§8):
+// the unit should be "just large enough to take advantage of the
+// redundancy in the recomputation but no larger", and the window should
+// start small and grow only if load demands it.
+package viewgen
+
+import (
+	"fmt"
+
+	"github.com/stripdb/strip/internal/catalog"
+	"github.com/stripdb/strip/internal/clock"
+	"github.com/stripdb/strip/internal/core"
+	"github.com/stripdb/strip/internal/query"
+	"github.com/stripdb/strip/internal/types"
+)
+
+// Kind classifies a supported view shape.
+type Kind uint8
+
+// View shapes.
+const (
+	// Aggregation is a grouped sum over a join (incremental maintenance).
+	Aggregation Kind = iota
+	// PerRowFunction computes a scalar function per join row
+	// (non-incremental maintenance).
+	PerRowFunction
+)
+
+// Spec is an analyzed view definition ready for materialization and rule
+// generation.
+type Spec struct {
+	Name string
+	Kind Kind
+
+	// base is the rapidly-updating table; dim the (mostly static) join
+	// dimension carrying the view's key.
+	base, dim string
+	// baseJoinCol / dimJoinCol are the equi-join columns.
+	baseJoinCol, dimJoinCol string
+	// keyCol is the view's key column (from dim, or dim's join key).
+	keyCol *query.ColRef
+	// valueExpr is the summed expression (Aggregation) or the function
+	// call (PerRowFunction), referencing base and dim columns.
+	valueExpr query.Expr
+	valueName string
+	// baseCols are base columns the value expression reads (the rule's
+	// update-event column filter).
+	baseCols []string
+
+	def *query.Select
+}
+
+// Catalog is the subset of schema lookup viewgen needs.
+type Catalog interface {
+	Lookup(name string) (*catalog.Schema, bool)
+}
+
+// Analyze validates a view definition against the catalog and classifies
+// it. The definition must join exactly two tables on one equality, select
+// exactly [key, value], and (for Aggregation) group by the key.
+func Analyze(cat Catalog, name string, def *query.Select) (*Spec, error) {
+	if name == "" {
+		return nil, fmt.Errorf("viewgen: view has no name")
+	}
+	if len(def.From) != 2 {
+		return nil, fmt.Errorf("viewgen: view %s must join exactly two tables, got %d", name, len(def.From))
+	}
+	if len(def.Items) != 2 {
+		return nil, fmt.Errorf("viewgen: view %s must select exactly [key, value]", name)
+	}
+	schemas := make([]*catalog.Schema, 2)
+	for i, t := range def.From {
+		s, ok := cat.Lookup(t)
+		if !ok {
+			return nil, fmt.Errorf("viewgen: view %s references unknown table %q", name, t)
+		}
+		schemas[i] = s
+	}
+	if len(def.Where) != 1 || def.Where[0].Op != query.EQ {
+		return nil, fmt.Errorf("viewgen: view %s needs exactly one equi-join predicate", name)
+	}
+	lref, lok := def.Where[0].Left.(*query.ColRef)
+	rref, rok := def.Where[0].Right.(*query.ColRef)
+	if !lok || !rok {
+		return nil, fmt.Errorf("viewgen: view %s join predicate must compare two columns", name)
+	}
+
+	sp := &Spec{Name: name, def: def}
+
+	keyItem, valItem := def.Items[0], def.Items[1]
+	keyRef, ok := keyItem.Expr.(*query.ColRef)
+	if !ok || keyItem.Agg != query.AggNone {
+		return nil, fmt.Errorf("viewgen: view %s first select item must be the key column", name)
+	}
+	sp.keyCol = keyRef
+
+	switch {
+	case valItem.Agg == query.AggSum:
+		sp.Kind = Aggregation
+		if len(def.GroupBy) != 1 || def.GroupBy[0].Col != keyRef.Col {
+			return nil, fmt.Errorf("viewgen: view %s must GROUP BY its key column", name)
+		}
+	case valItem.Agg == query.AggNone:
+		if _, isFn := valItem.Expr.(*query.FuncExpr); !isFn {
+			return nil, fmt.Errorf("viewgen: view %s value must be sum(...) or a function call", name)
+		}
+		sp.Kind = PerRowFunction
+		if len(def.GroupBy) != 0 {
+			return nil, fmt.Errorf("viewgen: per-row view %s cannot GROUP BY", name)
+		}
+	default:
+		return nil, fmt.Errorf("viewgen: view %s aggregate %v unsupported (only sum)", name, valItem.Agg)
+	}
+	sp.valueExpr = valItem.Expr
+	sp.valueName = valItem.As
+	if sp.valueName == "" {
+		return nil, fmt.Errorf("viewgen: view %s value column needs an alias", name)
+	}
+
+	// Classify base vs dim: the key column belongs to the dimension; the
+	// other table is the base whose updates drive maintenance.
+	keyTable, err := ownerOf(keyRef, def.From, schemas)
+	if err != nil {
+		return nil, fmt.Errorf("viewgen: view %s: %w", name, err)
+	}
+	if keyTable == def.From[0] {
+		sp.dim, sp.base = def.From[0], def.From[1]
+	} else {
+		sp.dim, sp.base = def.From[1], def.From[0]
+	}
+
+	// Orient the join predicate.
+	lTable, err := ownerOf(lref, def.From, schemas)
+	if err != nil {
+		return nil, fmt.Errorf("viewgen: view %s: %w", name, err)
+	}
+	if lTable == sp.base {
+		sp.baseJoinCol, sp.dimJoinCol = lref.Col, rref.Col
+	} else {
+		sp.baseJoinCol, sp.dimJoinCol = rref.Col, lref.Col
+	}
+
+	// Canonicalize the value expression to fully qualified references and
+	// collect the base columns it reads (the rule's update-event filter).
+	// Qualification matters downstream: the generated condition query joins
+	// `new` and `old`, which share the base schema, so unqualified base
+	// references would turn ambiguous.
+	seen := map[string]bool{}
+	var ownErr error
+	sp.valueExpr = query.RewriteRefs(sp.valueExpr, func(ref *query.ColRef) *query.ColRef {
+		owner, err := ownerOf(ref, def.From, schemas)
+		if err != nil {
+			if ownErr == nil {
+				ownErr = err
+			}
+			return ref
+		}
+		if owner == sp.base && !seen[ref.Col] {
+			seen[ref.Col] = true
+			sp.baseCols = append(sp.baseCols, ref.Col)
+		}
+		return query.QCol(owner, ref.Col)
+	})
+	if ownErr != nil {
+		return nil, fmt.Errorf("viewgen: view %s: %w", name, ownErr)
+	}
+	if len(sp.baseCols) == 0 {
+		return nil, fmt.Errorf("viewgen: view %s value expression reads no base columns", name)
+	}
+	return sp, nil
+}
+
+// ownerOf resolves which FROM table a reference belongs to.
+func ownerOf(ref *query.ColRef, from []string, schemas []*catalog.Schema) (string, error) {
+	if ref.Table != "" {
+		for _, t := range from {
+			if t == ref.Table {
+				return t, nil
+			}
+		}
+		return "", fmt.Errorf("column %s references a table outside FROM", ref)
+	}
+	owner := ""
+	for i, s := range schemas {
+		if s.HasCol(ref.Col) {
+			if owner != "" {
+				return "", fmt.Errorf("column %s is ambiguous", ref)
+			}
+			owner = from[i]
+		}
+	}
+	if owner == "" {
+		return "", fmt.Errorf("column %s not found", ref)
+	}
+	return owner, nil
+}
+
+// Base returns the base (rapidly updating) table.
+func (sp *Spec) Base() string { return sp.base }
+
+// Dim returns the dimension table.
+func (sp *Spec) Dim() string { return sp.dim }
+
+// KeyColumn returns the view's key column name.
+func (sp *Spec) KeyColumn() string { return sp.keyCol.Col }
+
+// ValueColumn returns the view's value column name.
+func (sp *Spec) ValueColumn() string { return sp.valueName }
+
+// ViewSchema returns the schema of the materialized table.
+func (sp *Spec) ViewSchema(cat Catalog) (*catalog.Schema, error) {
+	dimSchema, ok := cat.Lookup(sp.dim)
+	if !ok {
+		return nil, fmt.Errorf("viewgen: dimension %q vanished", sp.dim)
+	}
+	keyKind := dimSchema.Col(dimSchema.ColIndex(sp.keyCol.Col)).Kind
+	return catalog.NewSchema(sp.Name, []catalog.Column{
+		{Name: sp.keyCol.Col, Kind: keyKind},
+		{Name: sp.valueName, Kind: types.KindFloat},
+	})
+}
+
+// Stats carries the workload statistics the advisor consumes (the paper's
+// §8: "by maintaining statistics such as join selectivities and how often
+// tables are updated").
+type Stats struct {
+	// UpdateRate is base-table updates per second.
+	UpdateRate float64
+	// FanOut is the average number of view rows affected by one base
+	// update (join selectivity × view size).
+	FanOut float64
+	// Groups is the number of distinct view keys.
+	Groups int
+	// MaxStaleness bounds how long the view may lag the base data.
+	MaxStaleness clock.Micros
+}
+
+// Advice is the generated batching configuration.
+type Advice struct {
+	Unique   bool
+	UniqueOn []string
+	Delay    clock.Micros
+	// Reason documents the choice for operators.
+	Reason string
+}
+
+// Advise picks the unit of batching and the delay window.
+//
+// Unit of batching (paper §5 conclusions): "the unit of batching should be
+// chosen to be just large enough to take advantage of the redundancy in
+// the recomputation but no larger":
+//
+//   - Aggregation views gain from combining changes to the *same view
+//     tuple* (read-modify-write once): batch per view key — the paper's
+//     do_comps3 winner, which also keeps recompute transactions short.
+//   - Per-row function views gain only from collapsing repeated changes of
+//     the *same base row*: batch per base join key — the paper's §5.2
+//     winner (batching per view row was unmanageable, coarser added
+//     nothing but longer transactions).
+//
+// Delay window: "increasing the size of the delay window yields
+// diminishing returns so a small window should be chosen to begin":
+// pick the smallest window expected to batch ≈2 changes per unit
+// (2 / per-unit touch rate), clamped to [100 ms, MaxStaleness].
+func (sp *Spec) Advise(s Stats) Advice {
+	adv := Advice{Unique: true}
+	var touchRate float64
+	if sp.Kind == Aggregation {
+		adv.UniqueOn = []string{sp.keyCol.Col}
+		if s.Groups > 0 {
+			touchRate = s.UpdateRate * s.FanOut / float64(s.Groups)
+		}
+		adv.Reason = fmt.Sprintf(
+			"aggregation view: batch per view key %q (combine changes to the same view tuple; short transactions)",
+			sp.keyCol.Col)
+	} else {
+		adv.UniqueOn = []string{sp.dimJoinCol}
+		touchRate = s.UpdateRate // per-base-key rate dominated by hot keys; window grows from the floor anyway
+		if s.Groups > 0 {
+			touchRate = s.UpdateRate / float64(s.Groups)
+		}
+		adv.Reason = fmt.Sprintf(
+			"per-row function view: batch per base key %q (collapse repeated updates of the same base row)",
+			sp.dimJoinCol)
+	}
+
+	const floor = 100 * 1000 // 100 ms
+	delay := clock.Micros(0)
+	if touchRate > 0 {
+		delay = clock.Micros(2e6 / touchRate)
+	}
+	if delay < floor {
+		delay = floor
+	}
+	if s.MaxStaleness > 0 && delay > s.MaxStaleness {
+		delay = s.MaxStaleness
+	}
+	adv.Delay = delay
+	return adv
+}
+
+// MaintenanceRule generates the rule definition and the action function
+// maintaining the materialized table, under the given advice. actionName
+// must be unique per view.
+func (sp *Spec) MaintenanceRule(actionName string, adv Advice) (*core.Rule, core.ActionFunc, error) {
+	rule := &core.Rule{
+		Name:   "maintain_" + sp.Name,
+		Table:  sp.base,
+		Events: []core.EventSpec{{Kind: core.Updated, Columns: sp.baseCols}},
+		Action: actionName,
+		Unique: adv.Unique,
+		Delay:  adv.Delay,
+	}
+	// Advice names logical columns; the bound table aliases them.
+	for _, col := range adv.UniqueOn {
+		switch col {
+		case sp.keyCol.Col:
+			rule.UniqueOn = append(rule.UniqueOn, "vg_key")
+		case sp.dimJoinCol:
+			rule.UniqueOn = append(rule.UniqueOn, "vg_base")
+		default:
+			return nil, nil, fmt.Errorf("viewgen: advice names unknown column %q", col)
+		}
+	}
+	cond, err := sp.conditionQuery()
+	if err != nil {
+		return nil, nil, err
+	}
+	rule.Condition = []*query.Select{cond}
+	var fn core.ActionFunc
+	if sp.Kind == Aggregation {
+		fn = sp.incrementalAction()
+	} else {
+		fn = sp.perRowAction()
+	}
+	return rule, fn, nil
+}
+
+// conditionQuery builds the bind-as query joining the transition tables
+// with the dimension. For aggregation views it emits (key, delta) rows with
+// delta = expr(new) − expr(old); for per-row views it emits
+// (key, new-value) rows.
+func (sp *Spec) conditionQuery() (*query.Select, error) {
+	// The value expression is fully qualified (Analyze canonicalized it);
+	// retarget base references to the requested transition table.
+	renameTo := func(trans string) func(*query.ColRef) *query.ColRef {
+		return func(c *query.ColRef) *query.ColRef {
+			if c.Table == sp.base {
+				return query.QCol(trans, c.Col)
+			}
+			return c
+		}
+	}
+	newExpr := query.RewriteRefs(sp.valueExpr, renameTo("new"))
+	key := query.QCol(sp.dim, sp.keyCol.Col)
+
+	q := &query.Select{
+		From: []string{"new", "old", sp.dim},
+		Where: []query.Pred{
+			query.Eq(query.QCol(sp.dim, sp.dimJoinCol), query.QCol("new", sp.baseJoinCol)),
+			query.Eq(query.QCol("new", "execute_order"), query.QCol("old", "execute_order")),
+		},
+		Bind: "vg_changes",
+	}
+	if sp.Kind == Aggregation {
+		oldExpr := query.RewriteRefs(sp.valueExpr, renameTo("old"))
+		q.Items = []query.SelectItem{
+			query.Item(key, "vg_key"),
+			query.Item(query.Arith(newExpr, '-', oldExpr), "vg_delta"),
+		}
+		return q, nil
+	}
+	q.Items = []query.SelectItem{
+		query.Item(key, "vg_key"),
+		query.Item(newExpr, "vg_value"),
+		// The base join key, bound so `unique on` can batch per base row.
+		query.Item(query.QCol("new", sp.baseJoinCol), "vg_base"),
+	}
+	return q, nil
+}
+
+// incrementalAction folds per-row deltas per key and applies each with one
+// incremental update (the generated analogue of compute_comps3/2).
+func (sp *Spec) incrementalAction() core.ActionFunc {
+	view, keyCol, valCol := sp.Name, sp.keyCol.Col, sp.valueName
+	return func(ctx *core.ActionContext) error {
+		rows, ok := ctx.Bound("vg_changes")
+		if !ok {
+			return fmt.Errorf("viewgen: bound table vg_changes missing")
+		}
+		model := ctx.Model()
+		deltas := map[types.Value]float64{}
+		var order []types.Value
+		for i := 0; i < rows.Len(); i++ {
+			ctx.Charge(model.UserGroupRow)
+			k := rows.Value(i, 0)
+			if _, seen := deltas[k]; !seen {
+				order = append(order, k)
+			}
+			deltas[k] += rows.Value(i, 1).Float()
+		}
+		for _, k := range order {
+			if _, err := ctx.ExecUpdate(&query.UpdateStmt{
+				Table: view,
+				Set:   []query.SetClause{{Col: valCol, Expr: query.Const(types.Float(deltas[k])), AddTo: true}},
+				Where: []query.Pred{query.Eq(query.Col(keyCol), query.Const(k))},
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// perRowAction rewrites each affected view row from its last batched value.
+func (sp *Spec) perRowAction() core.ActionFunc {
+	view, keyCol, valCol := sp.Name, sp.keyCol.Col, sp.valueName
+	return func(ctx *core.ActionContext) error {
+		rows, ok := ctx.Bound("vg_changes")
+		if !ok {
+			return fmt.Errorf("viewgen: bound table vg_changes missing")
+		}
+		model := ctx.Model()
+		last := map[types.Value]types.Value{}
+		var order []types.Value
+		for i := 0; i < rows.Len(); i++ {
+			ctx.Charge(model.UserGroupRow)
+			k := rows.Value(i, 0)
+			if _, seen := last[k]; !seen {
+				order = append(order, k)
+			}
+			last[k] = rows.Value(i, 1)
+		}
+		for _, k := range order {
+			if _, err := ctx.ExecUpdate(&query.UpdateStmt{
+				Table: view,
+				Set:   []query.SetClause{{Col: valCol, Expr: query.Const(last[k])}},
+				Where: []query.Pred{query.Eq(query.Col(keyCol), query.Const(k))},
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}

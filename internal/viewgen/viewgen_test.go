@@ -1,0 +1,224 @@
+package viewgen
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/stripdb/strip/internal/catalog"
+	"github.com/stripdb/strip/internal/clock"
+	"github.com/stripdb/strip/internal/query"
+	"github.com/stripdb/strip/internal/types"
+)
+
+func testCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	for _, s := range []*catalog.Schema{
+		catalog.MustSchema("stocks",
+			catalog.Column{Name: "symbol", Kind: types.KindString},
+			catalog.Column{Name: "price", Kind: types.KindFloat}),
+		catalog.MustSchema("comps_list",
+			catalog.Column{Name: "comp", Kind: types.KindString},
+			catalog.Column{Name: "symbol", Kind: types.KindString},
+			catalog.Column{Name: "weight", Kind: types.KindFloat}),
+		catalog.MustSchema("options_list",
+			catalog.Column{Name: "option_symbol", Kind: types.KindString},
+			catalog.Column{Name: "stock_symbol", Kind: types.KindString},
+			catalog.Column{Name: "strike", Kind: types.KindFloat}),
+	} {
+		if err := cat.Define(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cat
+}
+
+// compPricesDef is the paper's comp_prices view definition (§3):
+// select comp, sum(price*weight) as price from stocks, comps_list
+// where stocks.symbol = comps_list.symbol group by comp.
+func compPricesDef() *query.Select {
+	comp := query.QCol("comps_list", "comp")
+	return &query.Select{
+		Items: []query.SelectItem{
+			query.Item(comp, ""),
+			query.AggItem(query.AggSum,
+				query.Arith(query.QCol("stocks", "price"), '*', query.QCol("comps_list", "weight")),
+				"price"),
+		},
+		From:    []string{"stocks", "comps_list"},
+		Where:   []query.Pred{query.Eq(query.QCol("stocks", "symbol"), query.QCol("comps_list", "symbol"))},
+		GroupBy: []*query.ColRef{comp},
+	}
+}
+
+// optionPricesDef is the option_prices view shape:
+// select option_symbol, f(price, strike) as price from stocks, options_list
+// where stocks.symbol = options_list.stock_symbol.
+func optionPricesDef() *query.Select {
+	return &query.Select{
+		Items: []query.SelectItem{
+			query.Item(query.QCol("options_list", "option_symbol"), ""),
+			query.Item(query.Call("test_price", query.QCol("stocks", "price"), query.QCol("options_list", "strike")), "price"),
+		},
+		From:  []string{"stocks", "options_list"},
+		Where: []query.Pred{query.Eq(query.QCol("stocks", "symbol"), query.QCol("options_list", "stock_symbol"))},
+	}
+}
+
+func TestAnalyzeAggregation(t *testing.T) {
+	cat := testCatalog(t)
+	sp, err := Analyze(cat, "comp_prices", compPricesDef())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Kind != Aggregation {
+		t.Errorf("kind = %v", sp.Kind)
+	}
+	if sp.Base() != "stocks" || sp.Dim() != "comps_list" {
+		t.Errorf("base/dim = %s/%s", sp.Base(), sp.Dim())
+	}
+	if sp.KeyColumn() != "comp" || sp.ValueColumn() != "price" {
+		t.Errorf("key/value = %s/%s", sp.KeyColumn(), sp.ValueColumn())
+	}
+	if len(sp.baseCols) != 1 || sp.baseCols[0] != "price" {
+		t.Errorf("baseCols = %v", sp.baseCols)
+	}
+	schema, err := sp.ViewSchema(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schema.NumCols() != 2 || schema.Col(0).Name != "comp" || schema.Col(1).Kind != types.KindFloat {
+		t.Errorf("view schema wrong: %v", schema.Columns())
+	}
+}
+
+func TestAnalyzePerRowFunction(t *testing.T) {
+	query.RegisterFunc("test_price", func(args []types.Value) (types.Value, error) {
+		return types.Float(args[0].Float() - args[1].Float()), nil
+	})
+	cat := testCatalog(t)
+	sp, err := Analyze(cat, "option_prices", optionPricesDef())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Kind != PerRowFunction {
+		t.Errorf("kind = %v", sp.Kind)
+	}
+	if sp.Base() != "stocks" || sp.Dim() != "options_list" {
+		t.Errorf("base/dim = %s/%s", sp.Base(), sp.Dim())
+	}
+	if sp.dimJoinCol != "stock_symbol" || sp.baseJoinCol != "symbol" {
+		t.Errorf("join cols = %s/%s", sp.dimJoinCol, sp.baseJoinCol)
+	}
+}
+
+func TestAnalyzeRejections(t *testing.T) {
+	cat := testCatalog(t)
+	base := compPricesDef
+	cases := []struct {
+		name string
+		mod  func(*query.Select)
+		view string
+	}{
+		{"no name", func(q *query.Select) {}, ""},
+		{"three tables", func(q *query.Select) { q.From = append(q.From, "options_list") }, "v"},
+		{"one item", func(q *query.Select) { q.Items = q.Items[:1] }, "v"},
+		{"unknown table", func(q *query.Select) { q.From[0] = "missing" }, "v"},
+		{"no join", func(q *query.Select) { q.Where = nil }, "v"},
+		{"non-eq join", func(q *query.Select) { q.Where[0].Op = query.LT }, "v"},
+		{"group mismatch", func(q *query.Select) { q.GroupBy = []*query.ColRef{query.QCol("comps_list", "weight")} }, "v"},
+		{"avg agg", func(q *query.Select) { q.Items[1].Agg = query.AggAvg }, "v"},
+		{"no alias", func(q *query.Select) { q.Items[1].As = "" }, "v"},
+		{"key not colref", func(q *query.Select) {
+			q.Items[0] = query.Item(query.Arith(query.QCol("comps_list", "weight"), '+', query.Const(types.Int(1))), "k")
+		}, "v"},
+	}
+	for _, tc := range cases {
+		q := base()
+		tc.mod(q)
+		if _, err := Analyze(cat, tc.view, q); err == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
+	}
+	// Plain column value (no agg, no function).
+	q := base()
+	q.GroupBy = nil
+	q.Items[1] = query.Item(query.QCol("comps_list", "weight"), "w")
+	if _, err := Analyze(cat, "v", q); err == nil {
+		t.Error("plain column value accepted")
+	}
+}
+
+func TestAdviseAggregation(t *testing.T) {
+	cat := testCatalog(t)
+	sp, err := Analyze(cat, "comp_prices", compPricesDef())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper-scale stats: 33 upd/s × 12 fan-out over 400 groups = 1 touch/s
+	// per composite; expect ≈2 s window, unique on comp.
+	adv := sp.Advise(Stats{UpdateRate: 33, FanOut: 12, Groups: 400, MaxStaleness: clock.FromSeconds(3)})
+	if !adv.Unique || len(adv.UniqueOn) != 1 || adv.UniqueOn[0] != "comp" {
+		t.Errorf("advice = %+v", adv)
+	}
+	if adv.Delay < clock.FromSeconds(1.5) || adv.Delay > clock.FromSeconds(3) {
+		t.Errorf("delay = %.2fs, want ≈2s", float64(adv.Delay)/1e6)
+	}
+	if !strings.Contains(adv.Reason, "view key") {
+		t.Errorf("reason = %q", adv.Reason)
+	}
+	// Staleness clamp.
+	adv = sp.Advise(Stats{UpdateRate: 1, FanOut: 1, Groups: 1000, MaxStaleness: clock.FromSeconds(1)})
+	if adv.Delay != clock.FromSeconds(1) {
+		t.Errorf("unclamped delay %d", adv.Delay)
+	}
+	// Floor.
+	adv = sp.Advise(Stats{UpdateRate: 1e6, FanOut: 100, Groups: 10, MaxStaleness: clock.FromSeconds(3)})
+	if adv.Delay != 100_000 {
+		t.Errorf("floor delay = %d", adv.Delay)
+	}
+}
+
+func TestAdvisePerRow(t *testing.T) {
+	cat := testCatalog(t)
+	sp, err := Analyze(cat, "option_prices", optionPricesDef())
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv := sp.Advise(Stats{UpdateRate: 33, FanOut: 8, Groups: 6600, MaxStaleness: clock.FromSeconds(3)})
+	if len(adv.UniqueOn) != 1 || adv.UniqueOn[0] != "stock_symbol" {
+		t.Errorf("advice = %+v (should batch per base key)", adv)
+	}
+	if !strings.Contains(adv.Reason, "base key") {
+		t.Errorf("reason = %q", adv.Reason)
+	}
+}
+
+func TestMaintenanceRuleShape(t *testing.T) {
+	cat := testCatalog(t)
+	sp, err := Analyze(cat, "comp_prices", compPricesDef())
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv := sp.Advise(Stats{UpdateRate: 33, FanOut: 12, Groups: 400, MaxStaleness: clock.FromSeconds(3)})
+	rule, fn, err := sp.MaintenanceRule("maintain_cp", adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fn == nil {
+		t.Fatal("nil action")
+	}
+	if rule.Table != "stocks" || rule.Name != "maintain_comp_prices" {
+		t.Errorf("rule = %+v", rule)
+	}
+	if len(rule.Events) != 1 || rule.Events[0].Kind.String() != "updated" ||
+		len(rule.Events[0].Columns) != 1 || rule.Events[0].Columns[0] != "price" {
+		t.Errorf("events = %+v", rule.Events)
+	}
+	if len(rule.Condition) != 1 || rule.Condition[0].Bind != "vg_changes" {
+		t.Errorf("condition = %+v", rule.Condition)
+	}
+	if !rule.Unique || rule.UniqueOn[0] != "vg_key" {
+		t.Errorf("unique = %v %v", rule.Unique, rule.UniqueOn)
+	}
+}

@@ -1,0 +1,6 @@
+package strip
+
+import "time"
+
+// liveYield briefly parks the caller while live workers drain queues.
+func liveYield() { time.Sleep(200 * time.Microsecond) }

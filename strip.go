@@ -1,0 +1,336 @@
+// Package strip is a Go reproduction of STRIP — the STanford Real-time
+// Information Processor — and its rule system, as described in
+// "The STRIP Rule System For Efficiently Maintaining Derived Data"
+// (Adelberg, Garcia-Molina, Widom; SIGMOD 1997).
+//
+// STRIP is a main-memory, soft real-time database whose active rules extend
+// SQL3-style triggers with unique transactions: rule actions run in new,
+// optionally delayed tasks, and while such a task is queued, further rule
+// firings for the same user function (and the same unique-column values)
+// append their bound-table rows to it instead of enqueueing more work. This
+// batches derived-data recomputation across transaction boundaries and lets
+// applications pick both the unit of batching and the delay window.
+//
+// The package wires the engine's substrates — storage, locking,
+// transactions, query processing, scheduling, and the rule system — behind
+// a small API:
+//
+//	db := strip.Open(strip.Config{})
+//	db.MustExec(`create table stocks (symbol text, price float)`)
+//	db.RegisterFunc("recompute", func(ctx *strip.ActionContext) error { ... })
+//	db.MustExec(`create rule r on stocks when updated price
+//	             if select * from new bind as changes
+//	             then execute recompute unique on symbol after 1.0 seconds`)
+//
+// See the examples directory for complete programs and the ptabench
+// package for the paper's program-trading evaluation.
+package strip
+
+import (
+	"fmt"
+
+	"github.com/stripdb/strip/internal/catalog"
+	"github.com/stripdb/strip/internal/clock"
+	"github.com/stripdb/strip/internal/core"
+	"github.com/stripdb/strip/internal/cost"
+	"github.com/stripdb/strip/internal/index"
+	"github.com/stripdb/strip/internal/lock"
+	"github.com/stripdb/strip/internal/query"
+	"github.com/stripdb/strip/internal/sched"
+	"github.com/stripdb/strip/internal/storage"
+	"github.com/stripdb/strip/internal/txn"
+	"github.com/stripdb/strip/internal/types"
+)
+
+// Re-exported engine types: the facade keeps one import path for users.
+type (
+	// ActionContext is the environment passed to rule action functions.
+	ActionContext = core.ActionContext
+	// ActionFunc is a rule action callback.
+	ActionFunc = core.ActionFunc
+	// Rule is a programmatic rule definition (the SQL form is usually
+	// more convenient; see Exec).
+	Rule = core.Rule
+	// Task is the scheduler's unit of work.
+	Task = sched.Task
+	// Txn is a database transaction.
+	Txn = txn.Txn
+	// Value is a column value.
+	Value = types.Value
+	// TempTable is a temporary (bound/result) table.
+	TempTable = storage.TempTable
+	// Select is a programmatic query.
+	Select = query.Select
+	// CostModel is the virtual CPU cost model.
+	CostModel = cost.Model
+	// ActionStats summarizes a user function's rule activity.
+	ActionStats = core.ActionStats
+)
+
+// Value constructors, re-exported for building rows programmatically.
+var (
+	Int   = types.Int
+	Float = types.Float
+	Str   = types.Str
+	Time  = types.Time
+)
+
+// Policy names the scheduler policy.
+type Policy = sched.Policy
+
+// Scheduling policies.
+const (
+	FIFO = sched.FIFO
+	EDF  = sched.EDF
+	VDF  = sched.VDF
+)
+
+// Config controls engine construction.
+type Config struct {
+	// Virtual selects the discrete-event virtual clock (experiments).
+	// Default is the real clock.
+	Virtual bool
+	// Policy selects the ready-queue scheduling policy (default FIFO).
+	Policy Policy
+	// Workers is the worker-pool size for live mode (default 4). Ignored
+	// when Virtual is set: virtual time is driven by the caller.
+	Workers int
+	// Cost enables virtual CPU accounting with the given model. Nil uses
+	// cost.Zero() in live mode and cost.Default() in virtual mode.
+	Cost *CostModel
+}
+
+// DB is an open STRIP engine.
+type DB struct {
+	cfg    Config
+	clk    clock.Clock
+	vclk   *clock.Virtual
+	meter  *cost.Meter
+	model  cost.Model
+	locks  *lock.Manager
+	txns   *txn.Manager
+	sched  *sched.Scheduler
+	engine *core.Engine
+	live   bool
+}
+
+// Open constructs an engine.
+func Open(cfg Config) *DB {
+	db := &DB{cfg: cfg}
+	if cfg.Virtual {
+		db.vclk = clock.NewVirtual()
+		db.clk = db.vclk
+	} else {
+		db.clk = clock.NewReal()
+	}
+	db.model = cost.Zero()
+	if cfg.Virtual {
+		db.model = cost.Default()
+	}
+	if cfg.Cost != nil {
+		db.model = *cfg.Cost
+	}
+	db.meter = cost.NewMeter()
+	db.locks = lock.New()
+	db.txns = txn.NewManager(catalog.New(), storage.NewStore(), db.locks, db.clk, db.meter, db.model)
+	db.sched = sched.New(db.clk, cfg.Policy, db.meter, db.model)
+	db.engine = core.NewEngine(db.txns, db.sched)
+	if !cfg.Virtual {
+		workers := cfg.Workers
+		if workers <= 0 {
+			workers = 4
+		}
+		db.sched.Start(workers)
+		db.live = true
+	}
+	return db
+}
+
+// Close stops the worker pool (live mode).
+func (db *DB) Close() {
+	if db.live {
+		db.sched.Stop()
+		db.live = false
+	}
+}
+
+// Begin starts a transaction.
+func (db *DB) Begin() *Txn { return db.txns.Begin() }
+
+// RegisterFunc installs a rule action function.
+func (db *DB) RegisterFunc(name string, fn ActionFunc) error {
+	return db.engine.RegisterFunc(name, fn)
+}
+
+// CreateRule installs a programmatic rule definition.
+func (db *DB) CreateRule(r *Rule) error { return db.engine.CreateRule(r) }
+
+// DropRule removes a rule.
+func (db *DB) DropRule(name string) error { return db.engine.DropRule(name) }
+
+// CreateTable defines a table.
+func (db *DB) CreateTable(name string, cols ...Column) error {
+	cc := make([]catalog.Column, len(cols))
+	for i, c := range cols {
+		kind, err := types.KindFromName(c.Type)
+		if err != nil {
+			return err
+		}
+		cc[i] = catalog.Column{Name: c.Name, Kind: kind}
+	}
+	schema, err := catalog.NewSchema(name, cc)
+	if err != nil {
+		return err
+	}
+	if err := db.txns.Catalog.Define(schema); err != nil {
+		return err
+	}
+	if _, err := db.txns.Store.Create(schema); err != nil {
+		db.txns.Catalog.Drop(name) //nolint:errcheck // best-effort unwind
+		return err
+	}
+	return nil
+}
+
+// Column describes a table column for CreateTable.
+type Column struct {
+	Name string
+	Type string // INT, FLOAT, TEXT, TIME
+}
+
+// CreateIndex builds a hash ("hash") or red-black tree ("rbtree") index.
+func (db *DB) CreateIndex(table, column, kind string) error {
+	tbl, ok := db.txns.Store.Get(table)
+	if !ok {
+		return fmt.Errorf("strip: table %q does not exist", table)
+	}
+	var k index.Kind
+	switch kind {
+	case "hash", "":
+		k = index.Hash
+	case "rbtree", "tree":
+		k = index.RedBlack
+	default:
+		return fmt.Errorf("strip: unknown index kind %q", kind)
+	}
+	return tbl.CreateIndex(column, k)
+}
+
+// Insert adds one row in its own transaction.
+func (db *DB) Insert(table string, vals ...Value) error {
+	tx := db.Begin()
+	if _, err := tx.Insert(table, vals); err != nil {
+		tx.Abort() //nolint:errcheck
+		return err
+	}
+	return tx.Commit()
+}
+
+// Query runs a select in its own transaction and materializes the rows.
+func (db *DB) Query(q *Select) ([][]Value, []string, error) {
+	tx := db.Begin()
+	defer tx.Commit() //nolint:errcheck
+	res, err := q.Run(tx, query.TxnResolver{})
+	if err != nil {
+		return nil, nil, err
+	}
+	defer res.Retire()
+	rows := make([][]Value, res.Len())
+	for i := range rows {
+		rows[i] = res.Row(i)
+	}
+	names := make([]string, res.Schema().NumCols())
+	for i := range names {
+		names[i] = res.Schema().Col(i).Name
+	}
+	return rows, names, nil
+}
+
+// Stats returns a user function's rule-activity counters.
+func (db *DB) Stats(function string) ActionStats { return db.engine.Stats(function) }
+
+// ResetStats zeroes rule-activity counters.
+func (db *DB) ResetStats() { db.engine.ResetStats() }
+
+// Meter returns total charged virtual CPU microseconds.
+func (db *DB) Meter() float64 { return db.meter.Micros() }
+
+// Charge adds virtual CPU to the engine meter (workload drivers use this to
+// account for work outside the engine, e.g. feed handling).
+func (db *DB) Charge(micros float64) { db.meter.Charge(micros) }
+
+// ResetMeter zeroes the virtual CPU meter.
+func (db *DB) ResetMeter() { db.meter.Reset() }
+
+// Model returns the cost model in effect.
+func (db *DB) Model() CostModel { return db.model }
+
+// Now returns the engine time in microseconds.
+func (db *DB) Now() int64 { return db.clk.Now() }
+
+// AdvanceTo moves the virtual clock (virtual mode only).
+func (db *DB) AdvanceTo(micros int64) {
+	if db.vclk == nil {
+		panic("strip: AdvanceTo on a real-clock engine")
+	}
+	db.vclk.AdvanceTo(micros)
+}
+
+// RunReady executes every task that is ready at the current engine time
+// (virtual mode driver step). It returns the number of tasks run.
+func (db *DB) RunReady() int {
+	n := 0
+	for db.sched.Step() != nil {
+		n++
+	}
+	return n
+}
+
+// NextTaskTime reports the next scheduler event time, if any.
+func (db *DB) NextTaskTime() (int64, bool) { return db.sched.NextEventTime() }
+
+// PendingTasks reports (delayed, ready) queue sizes.
+func (db *DB) PendingTasks() (int, int) { return db.sched.Pending() }
+
+// WaitIdle drains ready tasks in live mode by polling the scheduler until
+// both queues are empty (test/demo helper).
+func (db *DB) WaitIdle() {
+	for {
+		d, r := db.sched.Pending()
+		if d == 0 && r == 0 {
+			return
+		}
+		if !db.live {
+			// Virtual mode: run what is ready; if only delayed tasks
+			// remain, jump the clock to the next release.
+			if db.RunReady() == 0 {
+				if when, ok := db.sched.NextEventTime(); ok {
+					db.vclk.AdvanceTo(when)
+				} else {
+					return
+				}
+			}
+			continue
+		}
+		// Live mode: the worker pool is draining; yield.
+		liveYield()
+	}
+}
+
+// Engine exposes the rule engine for advanced integration (benchmarks).
+func (db *DB) Engine() *core.Engine { return db.engine }
+
+// Txns exposes the transaction manager for advanced integration.
+func (db *DB) Txns() *txn.Manager { return db.txns }
+
+// Scheduler exposes the task scheduler for advanced integration.
+func (db *DB) Scheduler() *sched.Scheduler { return db.sched }
+
+// SchedStats returns scheduler counters.
+func (db *DB) SchedStats() sched.Stats { return db.sched.Stats() }
+
+// RegisterScalarFunc installs a scalar function callable from queries
+// (e.g. the Black-Scholes pricing function f_BS).
+func RegisterScalarFunc(name string, fn func(args []Value) (Value, error)) {
+	query.RegisterFunc(name, fn)
+}

@@ -1,0 +1,132 @@
+package strip
+
+import (
+	"fmt"
+
+	"github.com/stripdb/strip/internal/query"
+	"github.com/stripdb/strip/internal/viewgen"
+)
+
+// ViewOptions tunes materialized-view creation. Zero values get estimates.
+type ViewOptions struct {
+	// UpdateRate is the expected base-table update rate (updates/second);
+	// it feeds the delay-window advisor. Defaults to 30/s (the paper's
+	// trace average) when zero.
+	UpdateRate float64
+	// MaxStaleness bounds the advised delay window (micros). Defaults to
+	// 3 s, the knee of the paper's delay sweep.
+	MaxStaleness int64
+}
+
+// ViewInfo reports what CreateMaterializedView generated.
+type ViewInfo struct {
+	Name string
+	// RuleName is the generated maintenance rule.
+	RuleName string
+	// Action is the generated user function's name.
+	Action string
+	// UniqueOn and DelayMicros are the advisor's batching choices.
+	UniqueOn    []string
+	DelayMicros int64
+	// Reason documents the advisor's choice.
+	Reason string
+	// Rows is the initial materialized row count.
+	Rows int
+}
+
+// CreateMaterializedView materializes a view definition and generates its
+// maintenance rule automatically — including the unit of batching and the
+// delay window — implementing the paper's §8 future-work proposal. The
+// definition must be one of the two supported shapes (see package viewgen):
+// a grouped sum over a two-table equi-join, or a per-row scalar function
+// over one.
+func (db *DB) CreateMaterializedView(name string, def *Select, opts ViewOptions) (*ViewInfo, error) {
+	spec, err := viewgen.Analyze(db.txns.Catalog, name, def)
+	if err != nil {
+		return nil, err
+	}
+	schema, err := spec.ViewSchema(db.txns.Catalog)
+	if err != nil {
+		return nil, err
+	}
+
+	// Materialize: run the definition and load the result.
+	tx := db.Begin()
+	res, err := def.Run(tx, query.TxnResolver{})
+	if err != nil {
+		tx.Abort() //nolint:errcheck
+		return nil, err
+	}
+	rows := make([][]Value, res.Len())
+	for i := range rows {
+		rows[i] = res.Row(i)
+	}
+	res.Retire()
+	if err := tx.Commit(); err != nil {
+		return nil, err
+	}
+
+	if err := db.txns.Catalog.Define(schema); err != nil {
+		return nil, err
+	}
+	tbl, err := db.txns.Store.Create(schema)
+	if err != nil {
+		db.txns.Catalog.Drop(name) //nolint:errcheck
+		return nil, err
+	}
+	if err := db.CreateIndex(name, spec.KeyColumn(), "hash"); err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		if _, err := tbl.Insert(row); err != nil {
+			return nil, err
+		}
+	}
+
+	// Advise batching from data statistics plus caller-provided rates.
+	if opts.UpdateRate <= 0 {
+		opts.UpdateRate = 30
+	}
+	if opts.MaxStaleness <= 0 {
+		opts.MaxStaleness = 3_000_000
+	}
+	baseTbl, _ := db.txns.Store.Get(spec.Base())
+	dimTbl, _ := db.txns.Store.Get(spec.Dim())
+	fanOut := 1.0
+	if baseTbl != nil && dimTbl != nil && baseTbl.Len() > 0 {
+		fanOut = float64(dimTbl.Len()) / float64(baseTbl.Len())
+	}
+	adv := spec.Advise(viewgen.Stats{
+		UpdateRate:   opts.UpdateRate,
+		FanOut:       fanOut,
+		Groups:       len(rows),
+		MaxStaleness: opts.MaxStaleness,
+	})
+
+	action := "maintain_" + name + "_fn"
+	rule, fn, err := spec.MaintenanceRule(action, adv)
+	if err != nil {
+		return nil, err
+	}
+	if err := db.RegisterFunc(action, fn); err != nil {
+		return nil, err
+	}
+	if err := db.CreateRule(rule); err != nil {
+		return nil, err
+	}
+	return &ViewInfo{
+		Name:        name,
+		RuleName:    rule.Name,
+		Action:      action,
+		UniqueOn:    adv.UniqueOn,
+		DelayMicros: adv.Delay,
+		Reason:      adv.Reason,
+		Rows:        len(rows),
+	}, nil
+}
+
+// viewInfoString renders ViewInfo for logs.
+func (vi *ViewInfo) String() string {
+	return fmt.Sprintf("view %s: %d rows, rule %s unique on %v after %.1fs (%s)",
+		vi.Name, vi.Rows, vi.RuleName, vi.UniqueOn, float64(vi.DelayMicros)/1e6, vi.Reason)
+}
