@@ -14,13 +14,15 @@
 //	...
 //	[print_changes] rows: 2 row(s)
 //
-// Meta commands: \tables, \stats <function>, \quit.
+// Meta commands: \tables, \stats <function>, \metrics [json], \trace [n],
+// \quit.
 package main
 
 import (
 	"bufio"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	strip "github.com/stripdb/strip"
@@ -60,7 +62,12 @@ func main() {
 		case line == `\quit` || line == `\q`:
 			return
 		case line == `\help`:
-			fmt.Println(`meta commands: \tables  \stats <function> (incl. pending unique txns)  \quit`)
+			fmt.Println(`meta commands:
+  \tables            list tables
+  \stats <function>  rule activity counters (incl. pending unique txns)
+  \metrics [json]    engine metrics snapshot (text, or JSON)
+  \trace [n]         recent engine trace events (default 20)
+  \quit`)
 			continue
 		case line == `\tables`:
 			for _, name := range db.Txns().Catalog.Names() {
@@ -72,6 +79,28 @@ func main() {
 				}
 				fmt.Printf("  %s (%s)\n", name, strings.Join(cols, ", "))
 			}
+			continue
+		case strings.HasPrefix(line, `\metrics`):
+			arg := strings.TrimSpace(strings.TrimPrefix(line, `\metrics`))
+			if err := db.WriteMetrics(os.Stdout, arg == "json"); err != nil {
+				fmt.Println("error:", err)
+			}
+			continue
+		case strings.HasPrefix(line, `\trace`):
+			n := 20
+			if arg := strings.TrimSpace(strings.TrimPrefix(line, `\trace`)); arg != "" {
+				v, err := strconv.Atoi(arg)
+				if err != nil {
+					fmt.Println("error: \\trace takes an event count")
+					continue
+				}
+				n = v
+			}
+			evs := db.Trace(n)
+			for _, ev := range evs {
+				fmt.Printf("  %10d  %-13s %-24s %d\n", ev.At, ev.Kind, ev.Name, ev.Arg)
+			}
+			fmt.Printf("(%d events)\n", len(evs))
 			continue
 		case strings.HasPrefix(line, `\stats`):
 			fn := strings.TrimSpace(strings.TrimPrefix(line, `\stats`))

@@ -29,6 +29,8 @@ func main() {
 	includeOptSym := flag.Bool("include-option-symbol", false,
 		"also run the unique-on-option_symbol configuration (the paper found it unmanageable)")
 	quiet := flag.Bool("q", false, "suppress per-run progress")
+	metricsPath := flag.String("metrics", "BENCH_metrics.json",
+		"write a per-run metrics artifact (throughput, p95/p99 action latency, max staleness) to this file; empty disables")
 	flag.Parse()
 
 	wcfg := ptabench.PaperScale()
@@ -60,27 +62,29 @@ func main() {
 		}
 	case "all":
 		printTable1()
-		runFigures(wcfg, []string{"fig9", "fig10", "fig11"}, *includeOptSym, progress)
-		runFigures(wcfg, []string{"fig12", "fig13", "fig14"}, *includeOptSym, progress)
+		er1 := runFigures(wcfg, []string{"fig9", "fig10", "fig11"}, *includeOptSym, progress)
+		er2 := runFigures(wcfg, []string{"fig12", "fig13", "fig14"}, *includeOptSym, progress)
+		er1.Runs = append(er1.Runs, er2.Runs...)
+		writeMetrics(*metricsPath, er1)
 	case "comps", "fig9", "fig10", "fig11":
 		ids := []string{"fig9", "fig10", "fig11"}
 		if *exp != "comps" {
 			ids = []string{*exp}
 		}
-		runFigures(wcfg, ids, *includeOptSym, progress)
+		writeMetrics(*metricsPath, runFigures(wcfg, ids, *includeOptSym, progress))
 	case "options", "fig12", "fig13", "fig14":
 		ids := []string{"fig12", "fig13", "fig14"}
 		if *exp != "options" {
 			ids = []string{*exp}
 		}
-		runFigures(wcfg, ids, *includeOptSym, progress)
+		writeMetrics(*metricsPath, runFigures(wcfg, ids, *includeOptSym, progress))
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
 }
 
-func runFigures(wcfg ptabench.WorkloadConfig, ids []string, includeOptSym bool, progress func(string)) {
+func runFigures(wcfg ptabench.WorkloadConfig, ids []string, includeOptSym bool, progress func(string)) *ptabench.ExperimentResult {
 	comp := ids[0] == "fig9" || ids[0] == "fig10" || ids[0] == "fig11"
 	variants := ptabench.CompVariants()
 	if !comp {
@@ -98,6 +102,24 @@ func runFigures(wcfg ptabench.WorkloadConfig, ids []string, includeOptSym bool, 
 			fail(err)
 		}
 	}
+	return er
+}
+
+// writeMetrics dumps the experiment's per-run metrics artifact so future
+// changes have a perf trajectory to compare against.
+func writeMetrics(path string, er *ptabench.ExperimentResult) {
+	if path == "" || er == nil {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	if err := er.WriteMetricsJSON(f); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote metrics artifact: %s (%d runs)\n", path, len(er.Runs))
 }
 
 func printTable1() {

@@ -5,6 +5,7 @@ import (
 
 	"github.com/stripdb/strip/internal/clock"
 	"github.com/stripdb/strip/internal/cost"
+	"github.com/stripdb/strip/internal/obs"
 	"github.com/stripdb/strip/internal/query"
 	"github.com/stripdb/strip/internal/sched"
 	"github.com/stripdb/strip/internal/storage"
@@ -94,11 +95,16 @@ type actionPayload struct {
 	rule     string
 	fnName   string
 	fn       ActionFunc
-	stats    *ActionStats
+	stats    *fnMetrics
 	bound    map[string]*storage.TempTable
 	key      types.Key
 	set      *uniqueSet // nil for non-unique actions
 	restarts int
+	// createdAt is the triggering transaction's commit time: the moment the
+	// derived data went stale and the measurement origin for the action
+	// latency span. staleTok closes the staleness sample at action commit.
+	createdAt clock.Micros
+	staleTok  uint64
 }
 
 // merge appends another firing's bound rows into this payload's tables.
@@ -120,18 +126,20 @@ func (p *actionPayload) merge(incoming map[string]*storage.TempTable) error {
 }
 
 // newActionTask builds the scheduler task for a firing.
-func (e *Engine) newActionTask(rule *Rule, fn ActionFunc, stats *ActionStats,
-	bound map[string]*storage.TempTable, key types.Key, set *uniqueSet, release clock.Micros) *sched.Task {
+func (e *Engine) newActionTask(rule *Rule, fn ActionFunc, stats *fnMetrics,
+	bound map[string]*storage.TempTable, key types.Key, set *uniqueSet, release clock.Micros, stamp clock.Micros) *sched.Task {
 
 	payload := &actionPayload{
-		engine: e,
-		rule:   rule.Name,
-		fnName: rule.Action,
-		fn:     fn,
-		stats:  stats,
-		bound:  bound,
-		key:    key,
-		set:    set,
+		engine:    e,
+		rule:      rule.Name,
+		fnName:    rule.Action,
+		fn:        fn,
+		stats:     stats,
+		bound:     bound,
+		key:       key,
+		set:       set,
+		createdAt: stamp,
+		staleTok:  stats.stale.Track(stamp),
 	}
 	task := &sched.Task{
 		Name:    rule.Action,
@@ -181,13 +189,12 @@ func (e *Engine) runAction(task *sched.Task) error {
 
 	if err != nil && IsDeadlock(err) && p.restarts < maxActionRestarts {
 		// Restart: resubmit immediately as a fresh task with the same
-		// payload (paper §3: real-time transactions may be restarted).
+		// payload (paper §3: real-time transactions may be restarted). The
+		// staleness token stays open — the derived data is still stale.
 		p.restarts++
-		e.bump(p.stats, func(s *ActionStats) {
-			s.Restarts++
-			s.WorkMicros += work
-			s.QueueMicros += queued
-		})
+		p.stats.restarts.Inc()
+		p.stats.work.Add(work)
+		p.stats.queueMicros.Add(queued)
 		retry := &sched.Task{
 			Name:    task.Name,
 			Value:   task.Value,
@@ -198,14 +205,20 @@ func (e *Engine) runAction(task *sched.Task) error {
 		return nil
 	}
 
-	e.bump(p.stats, func(s *ActionStats) {
-		s.TasksRun++
-		s.WorkMicros += work
-		s.QueueMicros += queued
-		if err != nil {
-			s.TaskErrors++
-		}
-	})
+	finished := e.clk.Now()
+	p.stats.run.Inc()
+	p.stats.work.Add(work)
+	p.stats.queueMicros.Add(queued)
+	p.stats.latency.Record(finished - p.createdAt)
+	if err != nil {
+		p.stats.errs.Inc()
+		// The recompute never committed; drop the pending stamp rather than
+		// record a bogus closing sample.
+		p.stats.stale.Drop(p.staleTok)
+	} else {
+		p.stats.stale.Observe(p.staleTok, finished)
+	}
+	e.tracer.Emit(finished, obs.KindActionDone, p.fnName, finished-p.createdAt)
 	for _, tt := range p.bound {
 		tt.Retire()
 	}

@@ -9,6 +9,7 @@ import (
 	"github.com/stripdb/strip/internal/clock"
 	"github.com/stripdb/strip/internal/cost"
 	"github.com/stripdb/strip/internal/lock"
+	"github.com/stripdb/strip/internal/obs"
 	"github.com/stripdb/strip/internal/query"
 	"github.com/stripdb/strip/internal/sched"
 	"github.com/stripdb/strip/internal/storage"
@@ -22,7 +23,8 @@ const maxActionRestarts = 3
 
 // ActionStats summarizes one user function's rule activity. N_r in the
 // paper's figures is TasksRun; WorkMicros/TasksRun is the mean recompute
-// transaction length excluding queueing (Figures 11 and 14).
+// transaction length excluding queueing (Figures 11 and 14). It is a view
+// over registry-backed counters (see fnMetrics).
 type ActionStats struct {
 	Fired        int64   // rule firings with a true condition
 	TasksCreated int64   // new tasks enqueued
@@ -35,6 +37,72 @@ type ActionStats struct {
 	QueueMicros  int64   // total time between release and start
 }
 
+// fnMetrics holds one user function's registry instruments: rule-activity
+// counters, the end-to-end action latency histogram (trigger commit →
+// action commit), and the derived-data staleness tracker.
+type fnMetrics struct {
+	fired       *obs.Counter
+	created     *obs.Counter
+	merged      *obs.Counter
+	rowsMerged  *obs.Counter
+	run         *obs.Counter
+	errs        *obs.Counter
+	restarts    *obs.Counter
+	queueMicros *obs.Counter
+	work        *obs.FloatCounter
+	latency     *obs.Histogram
+	mergeRows   *obs.Histogram
+	stale       *obs.Staleness
+}
+
+func newFnMetrics(reg *obs.Registry, fn string) *fnMetrics {
+	return &fnMetrics{
+		fired:       reg.Counter(obs.ForFunc(obs.MActionFired, fn)),
+		created:     reg.Counter(obs.ForFunc(obs.MActionTasksCreated, fn)),
+		merged:      reg.Counter(obs.ForFunc(obs.MActionTasksMerged, fn)),
+		rowsMerged:  reg.Counter(obs.ForFunc(obs.MActionRowsMerged, fn)),
+		run:         reg.Counter(obs.ForFunc(obs.MActionTasksRun, fn)),
+		errs:        reg.Counter(obs.ForFunc(obs.MActionTaskErrors, fn)),
+		restarts:    reg.Counter(obs.ForFunc(obs.MActionRestarts, fn)),
+		queueMicros: reg.Counter(obs.ForFunc(obs.MActionQueueMicros, fn)),
+		work:        reg.FloatCounter(obs.ForFunc(obs.MActionWorkMicros, fn)),
+		latency:     reg.Histogram(obs.ForFunc(obs.MActionLatencyMicros, fn)),
+		mergeRows:   reg.Histogram(obs.ForFunc(obs.MActionMergeRows, fn)),
+		stale:       reg.Staleness(fn),
+	}
+}
+
+// view renders the counters as the public ActionStats snapshot.
+func (m *fnMetrics) view() ActionStats {
+	return ActionStats{
+		Fired:        m.fired.Load(),
+		TasksCreated: m.created.Load(),
+		TasksMerged:  m.merged.Load(),
+		RowsMerged:   m.rowsMerged.Load(),
+		TasksRun:     m.run.Load(),
+		TaskErrors:   m.errs.Load(),
+		Restarts:     m.restarts.Load(),
+		WorkMicros:   m.work.Load(),
+		QueueMicros:  m.queueMicros.Load(),
+	}
+}
+
+// reset zeroes the function's instruments (between experiment runs).
+func (m *fnMetrics) reset() {
+	m.fired.Store(0)
+	m.created.Store(0)
+	m.merged.Store(0)
+	m.rowsMerged.Store(0)
+	m.run.Store(0)
+	m.errs.Store(0)
+	m.restarts.Store(0)
+	m.queueMicros.Store(0)
+	m.work.Store(0)
+	m.latency.Reset()
+	m.mergeRows.Reset()
+	m.stale.Reset()
+}
+
 // Engine is the rule system: it owns rule definitions, user functions,
 // uniqueness hash tables, and rule processing at commit.
 type Engine struct {
@@ -44,6 +112,10 @@ type Engine struct {
 	clk   clock.Clock
 	meter *cost.Meter
 	model cost.Model
+	// obs is the engine's metrics registry (shared with the transaction
+	// manager); tracer is its event trace.
+	obs    *obs.Registry
+	tracer *obs.Tracer
 
 	mu      sync.RWMutex
 	rules   map[string]*Rule
@@ -56,8 +128,8 @@ type Engine struct {
 	// executing the same function must define them identically (paper §2).
 	bindSig map[string]map[string]*catalog.Schema
 
-	statsMu sync.Mutex
-	stats   map[string]*ActionStats
+	// stats caches per-function instrument handles (guarded by mu).
+	stats map[string]*fnMetrics
 
 	// periodic holds recurring recomputation tasks (paper §3).
 	periodic map[string]*periodicTask
@@ -72,12 +144,14 @@ func NewEngine(txns *txn.Manager, scheduler *sched.Scheduler) *Engine {
 		clk:     txns.Clock,
 		meter:   txns.Meter,
 		model:   txns.Model,
+		obs:     txns.Obs,
+		tracer:  txns.Obs.Tracer(),
 		rules:   make(map[string]*Rule),
 		byTable: make(map[string][]*Rule),
 		funcs:   make(map[string]ActionFunc),
 		sets:    make(map[string]*uniqueSet),
 		bindSig: make(map[string]map[string]*catalog.Schema),
-		stats:   make(map[string]*ActionStats),
+		stats:   make(map[string]*fnMetrics),
 	}
 	txns.SetCommitHook(e.ProcessCommit)
 	return e
@@ -124,7 +198,7 @@ func (e *Engine) CreateRule(r *Rule) error {
 		}
 	}
 	if _, ok := e.stats[r.Action]; !ok {
-		e.stats[r.Action] = &ActionStats{}
+		e.stats[r.Action] = newFnMetrics(e.obs, r.Action)
 	}
 	return nil
 }
@@ -157,27 +231,21 @@ func (e *Engine) Rules(table string) []*Rule {
 
 // Stats returns a snapshot of a function's action statistics.
 func (e *Engine) Stats(function string) ActionStats {
-	e.statsMu.Lock()
-	defer e.statsMu.Unlock()
-	if s, ok := e.stats[function]; ok {
-		return *s
+	e.mu.RLock()
+	m, ok := e.stats[function]
+	e.mu.RUnlock()
+	if !ok {
+		return ActionStats{}
 	}
-	return ActionStats{}
-}
-
-// bump mutates a function's stats under the stats lock.
-func (e *Engine) bump(s *ActionStats, fn func(*ActionStats)) {
-	e.statsMu.Lock()
-	fn(s)
-	e.statsMu.Unlock()
+	return m.view()
 }
 
 // ResetStats zeroes all action statistics (between experiment runs).
 func (e *Engine) ResetStats() {
-	e.statsMu.Lock()
-	defer e.statsMu.Unlock()
-	for k := range e.stats {
-		*e.stats[k] = ActionStats{}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	for _, m := range e.stats {
+		m.reset()
 	}
 }
 
@@ -509,7 +577,9 @@ func (e *Engine) checkBindSignature(rule *Rule, bound map[string]*storage.TempTa
 	return nil
 }
 
-// fire creates or merges action tasks for one rule firing.
+// fire creates or merges action tasks for one rule firing. The triggering
+// transaction's commit time (now, inside the commit hook) stamps the
+// moment derived data went stale.
 func (e *Engine) fire(tx *txn.Txn, rule *Rule, bound map[string]*storage.TempTable) error {
 	e.mu.RLock()
 	fn := e.funcs[rule.Action]
@@ -522,17 +592,19 @@ func (e *Engine) fire(tx *txn.Txn, rule *Rule, bound map[string]*storage.TempTab
 		}
 		return fmt.Errorf("core: function %q vanished", rule.Action)
 	}
-	e.bump(stats, func(s *ActionStats) { s.Fired++ })
+	stats.fired.Inc()
 
-	release := e.clk.Now() + rule.Delay
+	stamp := e.clk.Now()
+	release := stamp + rule.Delay
+	e.tracer.Emit(stamp, obs.KindRuleFire, rule.Name, tx.ID())
 
 	if !rule.Unique {
-		e.submitTask(rule, fn, stats, bound, types.Key{}, nil, release)
+		e.submitTask(rule, fn, stats, bound, types.Key{}, nil, release, stamp)
 		return nil
 	}
 
 	if len(rule.UniqueOn) == 0 {
-		e.enqueueUnique(rule, fn, stats, set, types.Key{}, bound, release)
+		e.enqueueUnique(rule, fn, stats, set, types.Key{}, bound, release, stamp)
 		return nil
 	}
 
@@ -549,7 +621,7 @@ func (e *Engine) fire(tx *txn.Txn, rule *Rule, bound map[string]*storage.TempTab
 		for _, tt := range part.bound {
 			e.meter.Charge(float64(tt.Len()) * e.model.GroupRow)
 		}
-		e.enqueueUnique(rule, fn, stats, set, part.key, part.bound, release)
+		e.enqueueUnique(rule, fn, stats, set, part.key, part.bound, release, stamp)
 	}
 	// The originals were copied into the partitions.
 	for _, tt := range bound {
@@ -560,8 +632,8 @@ func (e *Engine) fire(tx *txn.Txn, rule *Rule, bound map[string]*storage.TempTab
 
 // enqueueUnique merges a firing into a queued unique task or creates one
 // (paper §2, §6.3: the hash table maps unique column values to the TCB).
-func (e *Engine) enqueueUnique(rule *Rule, fn ActionFunc, stats *ActionStats, set *uniqueSet,
-	key types.Key, bound map[string]*storage.TempTable, release clock.Micros) {
+func (e *Engine) enqueueUnique(rule *Rule, fn ActionFunc, stats *fnMetrics, set *uniqueSet,
+	key types.Key, bound map[string]*storage.TempTable, release clock.Micros, stamp clock.Micros) {
 
 	e.meter.Charge(e.model.UniqueHashLookup)
 	set.mu.Lock()
@@ -585,23 +657,25 @@ func (e *Engine) enqueueUnique(rule *Rule, fn ActionFunc, stats *ActionStats, se
 			panic(fmt.Sprintf("core: merge into queued task failed: %v", err))
 		}
 		e.meter.Charge(float64(merged) * e.model.MergeRow)
-		e.bump(stats, func(s *ActionStats) {
-			s.TasksMerged++
-			s.RowsMerged += int64(merged)
-		})
+		// The queued task's staleness stamp stays: it already marks the
+		// oldest un-recomputed update for this key.
+		stats.merged.Inc()
+		stats.rowsMerged.Add(int64(merged))
+		stats.mergeRows.Record(int64(merged))
+		e.tracer.Emit(stamp, obs.KindRuleMerge, rule.Action, int64(merged))
 		return
 	}
-	task := e.newActionTask(rule, fn, stats, bound, key, set, release)
+	task := e.newActionTask(rule, fn, stats, bound, key, set, release, stamp)
 	set.pending[key] = task
 	set.mu.Unlock()
-	e.bump(stats, func(s *ActionStats) { s.TasksCreated++ })
+	stats.created.Inc()
 	e.Sched.Submit(task)
 }
 
-func (e *Engine) submitTask(rule *Rule, fn ActionFunc, stats *ActionStats,
-	bound map[string]*storage.TempTable, key types.Key, set *uniqueSet, release clock.Micros) {
-	task := e.newActionTask(rule, fn, stats, bound, key, set, release)
-	e.bump(stats, func(s *ActionStats) { s.TasksCreated++ })
+func (e *Engine) submitTask(rule *Rule, fn ActionFunc, stats *fnMetrics,
+	bound map[string]*storage.TempTable, key types.Key, set *uniqueSet, release clock.Micros, stamp clock.Micros) {
+	task := e.newActionTask(rule, fn, stats, bound, key, set, release, stamp)
+	stats.created.Inc()
 	e.Sched.Submit(task)
 }
 

@@ -12,6 +12,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"github.com/stripdb/strip/internal/obs"
 )
 
 // Mode is a lock mode.
@@ -37,7 +39,8 @@ var ErrDeadlock = errors.New("lock: deadlock detected")
 // ErrAborted is returned to waiters cancelled via Cancel.
 var ErrAborted = errors.New("lock: wait aborted")
 
-// Stats counts lock-manager activity.
+// Stats counts lock-manager activity. It is a view over the manager's
+// registry-backed counters (see Instrument).
 type Stats struct {
 	Acquires  int64
 	Waits     int64
@@ -64,16 +67,39 @@ type Manager struct {
 	// waitsOn maps a blocked transaction to the resource it waits for,
 	// feeding the wait-for graph.
 	waitsOn map[int64]any
-	stats   Stats
+
+	// Registry-backed instruments (Instrument rebinds them to the engine's
+	// shared registry; New starts with a private one so the manager always
+	// records).
+	now       func() int64 // engine clock; nil skips wait timing
+	acquires  *obs.Counter
+	waits     *obs.Counter
+	deadlocks *obs.Counter
+	waitHist  *obs.Histogram
+	tracer    *obs.Tracer
 }
 
-// New creates a lock manager.
+// New creates a lock manager with a private metrics registry.
 func New() *Manager {
-	return &Manager{
+	m := &Manager{
 		locks:   make(map[any]*entry),
 		held:    make(map[int64]map[any]Mode),
 		waitsOn: make(map[int64]any),
 	}
+	m.Instrument(obs.NewRegistry(), nil)
+	return m
+}
+
+// Instrument rebinds the manager's counters, wait histogram, and tracer to
+// reg, timing lock waits with now (which may be nil to skip timing). Call
+// before the manager sees concurrent use.
+func (m *Manager) Instrument(reg *obs.Registry, now func() int64) {
+	m.now = now
+	m.acquires = reg.Counter(obs.MLockAcquires)
+	m.waits = reg.Counter(obs.MLockWaits)
+	m.deadlocks = reg.Counter(obs.MLockDeadlocks)
+	m.waitHist = reg.Histogram(obs.MLockWaitMicros)
+	m.tracer = reg.Tracer()
 }
 
 // Acquire obtains the lock `name` in `mode` for transaction txn, blocking
@@ -81,8 +107,8 @@ func New() *Manager {
 // while holding Shared upgrades. Returns ErrDeadlock if granting would
 // deadlock (the requester is the victim) or ErrAborted if cancelled.
 func (m *Manager) Acquire(txn int64, name any, mode Mode) error {
+	m.acquires.Inc()
 	m.mu.Lock()
-	m.stats.Acquires++
 	e := m.locks[name]
 	if e == nil {
 		e = &entry{holders: make(map[int64]Mode)}
@@ -99,18 +125,35 @@ func (m *Manager) Acquire(txn int64, name any, mode Mode) error {
 	}
 	// Must wait: deadlock check first.
 	if m.wouldDeadlock(txn, e) {
-		m.stats.Deadlocks++
 		m.mu.Unlock()
+		m.deadlocks.Inc()
+		if m.tracer.Enabled() {
+			m.tracer.Emit(m.clockNow(), obs.KindLockDeadlock, fmt.Sprint(name), txn)
+		}
 		return fmt.Errorf("%w (txn %d on %v)", ErrDeadlock, txn, name)
 	}
 	w := &waiter{txn: txn, mode: mode, ready: make(chan error, 1)}
 	e.queue = append(e.queue, w)
 	m.waitsOn[txn] = name
-	m.stats.Waits++
 	m.mu.Unlock()
+	m.waits.Inc()
 
+	waitFrom := m.clockNow()
 	err := <-w.ready
+	waited := m.clockNow() - waitFrom
+	m.waitHist.Record(waited)
+	if m.tracer.Enabled() {
+		m.tracer.Emit(waitFrom+waited, obs.KindLockWait, fmt.Sprint(name), waited)
+	}
 	return err
+}
+
+// clockNow reads the engine clock, or 0 when uninstrumented.
+func (m *Manager) clockNow() int64 {
+	if m.now == nil {
+		return 0
+	}
+	return m.now()
 }
 
 // grantable reports whether txn's request is compatible with the current
@@ -283,9 +326,13 @@ func (m *Manager) Holds(txn int64, name any) (Mode, bool) {
 	return mode, ok
 }
 
-// Stats returns a snapshot of counters.
+// Stats returns a snapshot of counters. The counters are atomics, so the
+// snapshot path takes no locks and is race-clean even while transactions
+// are acquiring and releasing.
 func (m *Manager) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stats
+	return Stats{
+		Acquires:  m.acquires.Load(),
+		Waits:     m.waits.Load(),
+		Deadlocks: m.deadlocks.Load(),
+	}
 }

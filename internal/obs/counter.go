@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Counter is a monotonic (between resets) int64 counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Store overwrites the value (resets).
+func (c *Counter) Store(v int64) { c.v.Store(v) }
+
+// FloatCounter accumulates a float64 total (e.g. charged virtual CPU
+// microseconds) with lock-free compare-and-swap adds.
+type FloatCounter struct{ bits atomic.Uint64 }
+
+// Add accumulates d.
+func (c *FloatCounter) Add(d float64) {
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Load returns the current total.
+func (c *FloatCounter) Load() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Store overwrites the total (resets).
+func (c *FloatCounter) Store(v float64) { c.bits.Store(math.Float64bits(v)) }
+
+// Gauge is an instantaneous int64 level (queue depths, populations).
+type Gauge struct{ v atomic.Int64 }
+
+// Set overwrites the level.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the level by d.
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Load returns the current level.
+func (g *Gauge) Load() int64 { return g.v.Load() }

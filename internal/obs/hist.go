@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram is a concurrency-safe log-bucketed histogram for non-negative
+// int64 samples (typically latencies in microseconds). Buckets cover the
+// full int64 range with four sub-buckets per power of two (≤ 25% relative
+// error on reported quantiles), so Record is a handful of atomic adds:
+// no locks, no allocation.
+const (
+	// histBuckets = 4 exact small buckets (0..3) + 4 sub-buckets for each
+	// octave [2^2, 2^63).
+	histBuckets = 4 + 4*61
+)
+
+// Histogram records samples; use NewHistogram or Registry.Histogram.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+}
+
+// NewHistogram creates an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// bucketOf maps a sample to its bucket index. Negative samples clamp to 0.
+func bucketOf(v int64) int {
+	if v < 4 {
+		if v < 0 {
+			return 0
+		}
+		return int(v)
+	}
+	b := bits.Len64(uint64(v)) - 1   // floor(log2 v), >= 2
+	sub := int((v >> (b - 2)) & 3)   // position within the octave
+	return 4*(b-2) + sub + 4
+}
+
+// bucketUpper returns the largest sample value mapping to bucket idx; it is
+// the value quantiles report for that bucket.
+func bucketUpper(idx int) int64 {
+	if idx < 4 {
+		return int64(idx)
+	}
+	n := idx - 4
+	b := uint(n/4 + 2)
+	sub := int64(n % 4)
+	lower := int64(1)<<b + sub<<(b-2)
+	return lower + int64(1)<<(b-2) - 1
+}
+
+// Record adds one sample. Negative samples count as zero.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total of recorded samples.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Max returns the largest recorded sample.
+func (h *Histogram) Max() int64 { return h.max.Load() }
+
+// Reset zeroes the histogram. Not atomic with respect to concurrent
+// Records: samples landing mid-reset may be partially dropped, which is
+// acceptable between experiment phases.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.max.Store(0)
+}
+
+// HistogramSnapshot is a point-in-time summary.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P95   int64   `json:"p95"`
+	P99   int64   `json:"p99"`
+	Max   int64   `json:"max"`
+}
+
+// Snapshot summarizes the histogram. Quantiles are bucket upper bounds
+// clamped to the observed maximum, so P50 <= P95 <= P99 <= Max always
+// holds.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var counts [histBuckets]int64
+	var total int64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	s := HistogramSnapshot{Count: total, Sum: h.sum.Load(), Max: h.max.Load()}
+	if total == 0 {
+		return s
+	}
+	s.Mean = float64(s.Sum) / float64(total)
+	quantile := func(q float64) int64 {
+		rank := int64(q * float64(total))
+		if rank < 1 {
+			rank = 1
+		}
+		var cum int64
+		for i := range counts {
+			cum += counts[i]
+			if cum >= rank {
+				v := bucketUpper(i)
+				if v > s.Max {
+					v = s.Max
+				}
+				return v
+			}
+		}
+		return s.Max
+	}
+	s.P50 = quantile(0.50)
+	s.P95 = quantile(0.95)
+	s.P99 = quantile(0.99)
+	return s
+}

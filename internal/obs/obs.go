@@ -1,0 +1,161 @@
+// Package obs is the engine's observability substrate: a dependency-free
+// metrics registry (atomic counters, gauges, log-bucketed latency
+// histograms) plus a bounded ring-buffer event tracer and derived-data
+// staleness trackers.
+//
+// STRIP's whole value proposition is a measurable tradeoff — CPU load
+// versus derived-data timeliness (paper §1, §5) — so every substrate
+// (locking, transactions, scheduling, the rule system, query execution)
+// reports into one shared Registry. A Registry snapshot answers "how stale
+// is this derived table right now?" and "where did this rule firing spend
+// its time?" without any external dependency.
+//
+// Hot-path instruments (Counter.Add, Gauge.Set, Histogram.Record,
+// Tracer.Emit) are allocation-free and safe under concurrency; components
+// cache the instrument pointers at construction so steady-state recording
+// never touches the registry maps.
+package obs
+
+import "sync"
+
+// Registry names and owns every instrument. Look-ups are get-or-create and
+// safe for concurrent use; callers cache the returned pointers on hot
+// paths.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	floats   map[string]*FloatCounter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	stales   map[string]*Staleness
+	tracer   *Tracer
+}
+
+// DefaultTraceCap is the ring capacity of a registry's tracer.
+const DefaultTraceCap = 4096
+
+// NewRegistry creates an empty registry with an enabled tracer.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		floats:   make(map[string]*FloatCounter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		stales:   make(map[string]*Staleness),
+		tracer:   NewTracer(DefaultTraceCap),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// FloatCounter returns the named float counter, creating it on first use.
+func (r *Registry) FloatCounter(name string) *FloatCounter {
+	r.mu.RLock()
+	c, ok := r.floats[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.floats[name]; !ok {
+		c = &FloatCounter{}
+		r.floats[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[name]; !ok {
+		h = NewHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Staleness returns the named staleness tracker, creating it on first use.
+// By convention the name is the user function (or materialized view action)
+// whose derived data the tracker covers.
+func (r *Registry) Staleness(name string) *Staleness {
+	r.mu.RLock()
+	s, ok := r.stales[name]
+	r.mu.RUnlock()
+	if ok {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok = r.stales[name]; !ok {
+		s = NewStaleness()
+		r.stales[name] = s
+	}
+	return s
+}
+
+// Tracer returns the registry's event tracer.
+func (r *Registry) Tracer() *Tracer { return r.tracer }
+
+// Reset zeroes every instrument and clears the trace. Staleness trackers
+// keep their pending-update sets (those stamps describe work still queued)
+// but drop their recorded maxima and samples.
+func (r *Registry) Reset() {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, c := range r.counters {
+		c.Store(0)
+	}
+	for _, f := range r.floats {
+		f.Store(0)
+	}
+	for _, g := range r.gauges {
+		g.Set(0)
+	}
+	for _, h := range r.hists {
+		h.Reset()
+	}
+	for _, s := range r.stales {
+		s.Reset()
+	}
+	r.tracer.Reset()
+}

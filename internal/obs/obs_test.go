@@ -1,0 +1,312 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	const workers, perWorker = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := reg.Counter("c")
+			f := reg.FloatCounter("f")
+			g := reg.Gauge("g")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				f.Add(0.5)
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("c").Load(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := reg.FloatCounter("f").Load(); got != workers*perWorker/2 {
+		t.Errorf("float counter = %g, want %d", got, workers*perWorker/2)
+	}
+	if got := reg.Gauge("g").Load(); got != workers*perWorker {
+		t.Errorf("gauge = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewRegistry().Histogram("h")
+	const workers, perWorker = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			v := seed
+			for i := 0; i < perWorker; i++ {
+				v = v*6364136223846793005 + 1442695040888963407 // LCG
+				h.Record(v % 1_000_000)
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
+	snap := h.Snapshot()
+	if snap.Count != workers*perWorker {
+		t.Errorf("count = %d, want %d", snap.Count, workers*perWorker)
+	}
+	if snap.Max >= 1_000_000 || snap.Max < 0 {
+		t.Errorf("max = %d out of range", snap.Max)
+	}
+}
+
+func TestHistogramQuantilesMonotonic(t *testing.T) {
+	cases := [][]int64{
+		{0},
+		{1, 2, 3},
+		{0, 0, 0, 1 << 40},
+		{17, 17, 17, 17},
+		{1, 10, 100, 1000, 10000, 100000, 1000000},
+	}
+	for _, vals := range cases {
+		h := NewRegistry().Histogram("h")
+		for _, v := range vals {
+			h.Record(v)
+		}
+		s := h.Snapshot()
+		if !(s.P50 <= s.P95 && s.P95 <= s.P99 && s.P99 <= s.Max) {
+			t.Errorf("vals %v: p50=%d p95=%d p99=%d max=%d not monotonic",
+				vals, s.P50, s.P95, s.P99, s.Max)
+		}
+	}
+}
+
+// Quantile estimates must land within one log-bucket (≤25% relative error)
+// of the true value.
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	h := NewRegistry().Histogram("h")
+	for v := int64(1); v <= 10000; v++ {
+		h.Record(v)
+	}
+	s := h.Snapshot()
+	check := func(name string, got, want int64) {
+		lo, hi := want*3/4, want*5/4
+		if got < lo || got > hi {
+			t.Errorf("%s = %d, want within [%d, %d]", name, got, lo, hi)
+		}
+	}
+	check("p50", s.P50, 5000)
+	check("p95", s.P95, 9500)
+	check("p99", s.P99, 9900)
+	if s.Max != 10000 {
+		t.Errorf("max = %d, want 10000", s.Max)
+	}
+	if s.Count != 10000 {
+		t.Errorf("count = %d, want 10000", s.Count)
+	}
+	if mean := s.Mean; mean < 5000 || mean > 5001 {
+		t.Errorf("mean = %g, want ≈5000.5", mean)
+	}
+}
+
+func TestHistogramBucketRoundTrip(t *testing.T) {
+	// Every value must land in a bucket whose upper bound is >= the value
+	// and within 25% relative error.
+	for _, v := range []int64{0, 1, 2, 3, 4, 5, 7, 8, 100, 12345, 1 << 30, 1<<62 + 12345} {
+		idx := bucketOf(v)
+		if idx < 0 || idx >= histBuckets {
+			t.Fatalf("bucketOf(%d) = %d out of range", v, idx)
+		}
+		up := bucketUpper(idx)
+		if up < v {
+			t.Errorf("bucketUpper(bucketOf(%d)) = %d < value", v, up)
+		}
+		if v >= 4 && up > v+v/4+1 {
+			t.Errorf("bucketUpper(bucketOf(%d)) = %d: more than 25%% high", v, up)
+		}
+	}
+	if got := bucketOf(-5); got != 0 {
+		t.Errorf("bucketOf(-5) = %d, want 0", got)
+	}
+}
+
+func TestTracerRingWraparound(t *testing.T) {
+	tr := NewTracer(8)
+	for i := int64(0); i < 20; i++ {
+		tr.Emit(i, KindQuery, "q", i)
+	}
+	if tr.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", tr.Len())
+	}
+	evs := tr.Recent(-1)
+	if len(evs) != 8 {
+		t.Fatalf("Recent(-1) = %d events, want 8", len(evs))
+	}
+	for i, ev := range evs {
+		want := int64(12 + i) // oldest surviving is #12 of 0..19
+		if ev.At != want || ev.Arg != want {
+			t.Errorf("event %d: at=%d arg=%d, want %d", i, ev.At, ev.Arg, want)
+		}
+		if i > 0 && evs[i].Seq != evs[i-1].Seq+1 {
+			t.Errorf("event %d: seq %d not consecutive after %d", i, evs[i].Seq, evs[i-1].Seq)
+		}
+	}
+	// Recent(n) returns the n newest, still oldest-first.
+	last3 := tr.Recent(3)
+	if len(last3) != 3 || last3[0].At != 17 || last3[2].At != 19 {
+		t.Errorf("Recent(3) = %v", last3)
+	}
+}
+
+func TestTracerDisabled(t *testing.T) {
+	tr := NewTracer(8)
+	tr.SetEnabled(false)
+	tr.Emit(1, KindQuery, "q", 0)
+	if tr.Len() != 0 {
+		t.Errorf("disabled tracer recorded %d events", tr.Len())
+	}
+	tr.SetEnabled(true)
+	tr.Emit(2, KindQuery, "q", 0)
+	if tr.Len() != 1 {
+		t.Errorf("re-enabled tracer has %d events, want 1", tr.Len())
+	}
+}
+
+func TestZeroAllocFastPath(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c")
+	g := reg.Gauge("g")
+	h := reg.Histogram("h")
+	tr := reg.Tracer()
+	checks := []struct {
+		name string
+		fn   func()
+	}{
+		{"Counter.Add", func() { c.Add(1) }},
+		{"Gauge.Set", func() { g.Set(42) }},
+		{"Histogram.Record", func() { h.Record(12345) }},
+		{"Tracer.Emit", func() { tr.Emit(1, KindTaskStart, "t", 7) }},
+	}
+	for _, ck := range checks {
+		if n := testing.AllocsPerRun(100, ck.fn); n != 0 {
+			t.Errorf("%s allocates %.1f per op, want 0", ck.name, n)
+		}
+	}
+}
+
+func TestStalenessLifecycle(t *testing.T) {
+	s := NewRegistry().Staleness("fn")
+	tok1 := s.Track(1000) // update committed at t=1000
+	tok2 := s.Track(2000)
+	if got := s.Current(5000); got != 4000 {
+		t.Errorf("Current = %d, want 4000 (oldest pending)", got)
+	}
+	s.Observe(tok1, 5000) // recompute at t=5000: staleness 4000
+	if got := s.Max(); got != 4000 {
+		t.Errorf("Max = %d, want 4000", got)
+	}
+	if got := s.Current(5000); got != 3000 {
+		t.Errorf("Current = %d, want 3000 (tok2 pending)", got)
+	}
+	s.Drop(tok2) // failed recompute: no sample
+	if got := s.Current(9999); got != 0 {
+		t.Errorf("Current = %d, want 0 with nothing pending", got)
+	}
+	snap := s.Snapshot(9999)
+	if snap.Count != 1 || snap.Max != 4000 || snap.Pending != 0 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+	// Reset keeps pending stamps (they describe still-queued work).
+	tok3 := s.Track(8000)
+	s.Reset()
+	if got := s.Pending(); got != 1 {
+		t.Errorf("Pending after Reset = %d, want 1", got)
+	}
+	if got := s.Max(); got != 0 {
+		t.Errorf("Max after Reset = %d, want 0", got)
+	}
+	s.Observe(tok3, 8500)
+	if got := s.Max(); got != 500 {
+		t.Errorf("Max = %d, want 500", got)
+	}
+}
+
+func TestStalenessConcurrent(t *testing.T) {
+	s := NewRegistry().Staleness("fn")
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := int64(0); i < perWorker; i++ {
+				tok := s.Track(i)
+				s.Observe(tok, i+100)
+			}
+		}()
+	}
+	wg.Wait()
+	snap := s.Snapshot(0)
+	if snap.Count != workers*perWorker {
+		t.Errorf("count = %d, want %d", snap.Count, workers*perWorker)
+	}
+	if snap.Max != 100 || snap.Pending != 0 {
+		t.Errorf("max = %d pending = %d, want 100 / 0", snap.Max, snap.Pending)
+	}
+}
+
+func TestRegistryResetAndSnapshot(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a").Add(5)
+	reg.Gauge("b").Set(7)
+	reg.Histogram("c").Record(100)
+	reg.FloatCounter("d").Add(1.5)
+	reg.Staleness("fn").Track(10)
+	reg.Tracer().Emit(1, KindQuery, "q", 0)
+
+	snap := reg.Snapshot(50)
+	if snap.Counters["a"] != 5 || snap.Gauges["b"] != 7 || snap.Floats["d"] != 1.5 {
+		t.Errorf("snapshot scalars wrong: %+v", snap)
+	}
+	if snap.Histograms["c"].Count != 1 {
+		t.Errorf("snapshot histogram missing: %+v", snap.Histograms)
+	}
+	if snap.Staleness["fn"].Current != 40 {
+		t.Errorf("snapshot staleness = %+v, want current 40", snap.Staleness["fn"])
+	}
+
+	var sb strings.Builder
+	snap.WriteText(&sb)
+	for _, want := range []string{"a", "b", "c", "fn"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("text render missing %q:\n%s", want, sb.String())
+		}
+	}
+
+	reg.Reset()
+	snap = reg.Snapshot(50)
+	if snap.Counters["a"] != 0 || snap.Gauges["b"] != 0 || snap.Histograms["c"].Count != 0 {
+		t.Errorf("post-reset snapshot not zeroed: %+v", snap)
+	}
+	if reg.Tracer().Len() != 0 {
+		t.Errorf("post-reset trace has %d events", reg.Tracer().Len())
+	}
+	if snap.Staleness["fn"].Pending != 1 {
+		t.Errorf("post-reset staleness pending = %d, want 1 (stamps survive)",
+			snap.Staleness["fn"].Pending)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	reg := NewRegistry()
+	if reg.Counter("x") != reg.Counter("x") {
+		t.Error("Counter not idempotent")
+	}
+	if reg.Histogram("y") != reg.Histogram("y") {
+		t.Error("Histogram not idempotent")
+	}
+	if reg.Staleness("z") != reg.Staleness("z") {
+		t.Error("Staleness not idempotent")
+	}
+}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Canonical metric names. Per-function instruments append "." + function
+// (see ForFunc).
+const (
+	MTxnCommitted    = "txn.committed"
+	MTxnAborted      = "txn.aborted"
+	MTxnCommitMicros = "txn.commit_micros"
+	MTxnAbortMicros  = "txn.abort_micros"
+
+	MLockAcquires   = "lock.acquires"
+	MLockWaits      = "lock.waits"
+	MLockDeadlocks  = "lock.deadlocks"
+	MLockWaitMicros = "lock.wait_micros"
+
+	MSchedSubmitted      = "sched.submitted"
+	MSchedCompleted      = "sched.completed"
+	MSchedFailed         = "sched.failed"
+	MSchedQueueReady     = "sched.queue_ready"
+	MSchedQueueDelayed   = "sched.queue_delayed"
+	MSchedReleaseToStart = "sched.release_to_start_micros"
+	MSchedRunMicros      = "sched.run_micros"
+	MSchedReleaseBatch   = "sched.release_batch"
+
+	MQuerySelects      = "query.selects"
+	MQuerySelectMicros = "query.select_micros"
+
+	MActionFired         = "action.fired"
+	MActionTasksCreated  = "action.tasks_created"
+	MActionTasksMerged   = "action.tasks_merged"
+	MActionRowsMerged    = "action.rows_merged"
+	MActionTasksRun      = "action.tasks_run"
+	MActionTaskErrors    = "action.task_errors"
+	MActionRestarts      = "action.restarts"
+	MActionQueueMicros   = "action.queue_micros"
+	MActionWorkMicros    = "action.work_micros"
+	MActionLatencyMicros = "action.latency_micros"
+	MActionMergeRows     = "action.merge_rows"
+)
+
+// ForFunc scopes a per-function metric name: ForFunc(MActionFired, "f") ==
+// "action.fired.f".
+func ForFunc(base, function string) string { return base + "." + function }
+
+// Snapshot is a structured point-in-time view of every instrument in a
+// registry. It marshals directly to JSON.
+type Snapshot struct {
+	// AtMicros is the engine time the snapshot was taken.
+	AtMicros   int64                        `json:"at_micros"`
+	Counters   map[string]int64             `json:"counters"`
+	Floats     map[string]float64           `json:"floats,omitempty"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	// Staleness is keyed by user function / materialized-view action name.
+	Staleness map[string]StalenessSnapshot `json:"staleness"`
+}
+
+// Snapshot captures every instrument at engine time now.
+func (r *Registry) Snapshot(now int64) Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{
+		AtMicros:   now,
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+		Staleness:  make(map[string]StalenessSnapshot, len(r.stales)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Load()
+	}
+	if len(r.floats) > 0 {
+		s.Floats = make(map[string]float64, len(r.floats))
+		for name, f := range r.floats {
+			s.Floats[name] = f.Load()
+		}
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Load()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.Snapshot()
+	}
+	for name, st := range r.stales {
+		s.Staleness[name] = st.Snapshot(now)
+	}
+	return s
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WriteText renders the snapshot as an aligned human-readable report.
+func (s Snapshot) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "metrics @ %d µs\n", s.AtMicros)
+	if len(s.Counters) > 0 {
+		fmt.Fprintln(w, "counters:")
+		for _, k := range sortedKeys(s.Counters) {
+			fmt.Fprintf(w, "  %-40s %12d\n", k, s.Counters[k])
+		}
+	}
+	if len(s.Floats) > 0 {
+		fmt.Fprintln(w, "totals:")
+		for _, k := range sortedKeys(s.Floats) {
+			fmt.Fprintf(w, "  %-40s %14.1f\n", k, s.Floats[k])
+		}
+	}
+	if len(s.Gauges) > 0 {
+		fmt.Fprintln(w, "gauges:")
+		for _, k := range sortedKeys(s.Gauges) {
+			fmt.Fprintf(w, "  %-40s %12d\n", k, s.Gauges[k])
+		}
+	}
+	if len(s.Histograms) > 0 {
+		fmt.Fprintln(w, "histograms (µs):")
+		for _, k := range sortedKeys(s.Histograms) {
+			h := s.Histograms[k]
+			fmt.Fprintf(w, "  %-40s n=%-8d mean=%-10.1f p50=%-8d p95=%-8d p99=%-8d max=%d\n",
+				k, h.Count, h.Mean, h.P50, h.P95, h.P99, h.Max)
+		}
+	}
+	if len(s.Staleness) > 0 {
+		fmt.Fprintln(w, "staleness (µs):")
+		for _, k := range sortedKeys(s.Staleness) {
+			st := s.Staleness[k]
+			fmt.Fprintf(w, "  %-40s current=%-8d max=%-8d pending=%-4d n=%-8d p50=%-8d p95=%-8d p99=%d\n",
+				k, st.Current, st.Max, st.Pending, st.Count, st.P50, st.P95, st.P99)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Staleness measures derived-data timeliness for one user function (or
+// materialized view): the age of the oldest base-table update whose
+// recomputation has not yet committed (paper §1's timeliness axis).
+//
+// The rule system calls Track when a recompute task is created, stamping
+// the triggering transaction's commit time — the moment the derived data
+// went stale. Firings merged into a queued task need no new stamp: the
+// queued task's stamp is already the oldest outstanding update. When the
+// recompute commits, Observe records the closing staleness sample
+// (commit time − stamp) into a histogram and the running maximum; Current
+// reports the live gauge (now − oldest pending stamp).
+type Staleness struct {
+	mu      sync.Mutex
+	pending map[uint64]int64 // token -> base write stamp, micros
+	nextTok uint64
+
+	hist *Histogram
+	max  atomic.Int64
+}
+
+// NewStaleness creates an empty tracker.
+func NewStaleness() *Staleness {
+	return &Staleness{pending: make(map[uint64]int64), hist: NewHistogram()}
+}
+
+// Track registers a pending recomputation whose oldest covered update
+// committed at stamp, returning a token for Observe/Drop.
+func (s *Staleness) Track(stamp int64) uint64 {
+	s.mu.Lock()
+	s.nextTok++
+	tok := s.nextTok
+	s.pending[tok] = stamp
+	s.mu.Unlock()
+	return tok
+}
+
+// Observe closes a pending recomputation at time now, recording the
+// staleness sample now − stamp. Unknown tokens (e.g. tracked before a
+// Reset that raced a shutdown) are ignored.
+func (s *Staleness) Observe(tok uint64, now int64) {
+	s.mu.Lock()
+	stamp, ok := s.pending[tok]
+	if ok {
+		delete(s.pending, tok)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return
+	}
+	age := now - stamp
+	if age < 0 {
+		age = 0
+	}
+	s.hist.Record(age)
+	for {
+		cur := s.max.Load()
+		if age <= cur || s.max.CompareAndSwap(cur, age) {
+			return
+		}
+	}
+}
+
+// Drop abandons a pending recomputation (failed task) without recording a
+// sample.
+func (s *Staleness) Drop(tok uint64) {
+	s.mu.Lock()
+	delete(s.pending, tok)
+	s.mu.Unlock()
+}
+
+// Current returns the age of the oldest pending update at time now, or 0
+// when nothing is pending.
+func (s *Staleness) Current(now int64) int64 {
+	s.mu.Lock()
+	oldest := int64(0)
+	found := false
+	for _, stamp := range s.pending {
+		if !found || stamp < oldest {
+			oldest = stamp
+			found = true
+		}
+	}
+	s.mu.Unlock()
+	if !found {
+		return 0
+	}
+	age := now - oldest
+	if age < 0 {
+		age = 0
+	}
+	return age
+}
+
+// Pending returns the number of outstanding recomputations.
+func (s *Staleness) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending)
+}
+
+// Max returns the largest staleness observed at a recompute commit.
+func (s *Staleness) Max() int64 { return s.max.Load() }
+
+// Reset clears recorded samples and the maximum but keeps the pending set:
+// outstanding stamps still describe queued work.
+func (s *Staleness) Reset() {
+	s.hist.Reset()
+	s.max.Store(0)
+}
+
+// StalenessSnapshot is a point-in-time summary, all ages in microseconds.
+type StalenessSnapshot struct {
+	// Current is now − oldest pending update (0 when idle).
+	Current int64 `json:"current_micros"`
+	// Max is the largest staleness observed at any recompute commit.
+	Max int64 `json:"max_micros"`
+	// Pending counts outstanding recomputations.
+	Pending int `json:"pending"`
+	// Count/P50/P95/P99 summarize closing staleness samples.
+	Count int64 `json:"count"`
+	P50   int64 `json:"p50"`
+	P95   int64 `json:"p95"`
+	P99   int64 `json:"p99"`
+}
+
+// Snapshot summarizes the tracker at time now.
+func (s *Staleness) Snapshot(now int64) StalenessSnapshot {
+	hs := s.hist.Snapshot()
+	return StalenessSnapshot{
+		Current: s.Current(now),
+		Max:     s.max.Load(),
+		Pending: s.Pending(),
+		Count:   hs.Count,
+		P50:     hs.P50,
+		P95:     hs.P95,
+		P99:     hs.P99,
+	}
+}

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind classifies a trace event.
+type Kind uint8
+
+// Trace event kinds, covering the engine's hot paths end to end: a rule
+// firing can be followed from the triggering transaction's commit through
+// match (RuleFire/RuleMerge), enqueue (TaskSubmit), release (TaskStart),
+// and execution (ActionDone, TaskFinish).
+const (
+	KindTxnCommit Kind = iota + 1
+	KindTxnAbort
+	KindLockWait
+	KindLockDeadlock
+	KindTaskSubmit
+	KindTaskStart
+	KindTaskFinish
+	KindRuleFire
+	KindRuleMerge
+	KindActionDone
+	KindQuery
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindTxnCommit:
+		return "txn.commit"
+	case KindTxnAbort:
+		return "txn.abort"
+	case KindLockWait:
+		return "lock.wait"
+	case KindLockDeadlock:
+		return "lock.deadlock"
+	case KindTaskSubmit:
+		return "task.submit"
+	case KindTaskStart:
+		return "task.start"
+	case KindTaskFinish:
+		return "task.finish"
+	case KindRuleFire:
+		return "rule.fire"
+	case KindRuleMerge:
+		return "rule.merge"
+	case KindActionDone:
+		return "action.done"
+	case KindQuery:
+		return "query"
+	default:
+		return "unknown"
+	}
+}
+
+// MarshalText renders the kind for JSON output.
+func (k Kind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
+
+// Event is one trace entry. Name identifies the actor (rule, function, or
+// task name; empty for anonymous transactions) and Arg carries a
+// kind-specific quantity (ids, row counts, or durations in microseconds).
+type Event struct {
+	Seq  uint64 `json:"seq"`
+	At   int64  `json:"at_micros"`
+	Kind Kind   `json:"kind"`
+	Name string `json:"name,omitempty"`
+	Arg  int64  `json:"arg,omitempty"`
+}
+
+// String renders the event for logs.
+func (e Event) String() string {
+	if e.Name == "" {
+		return fmt.Sprintf("#%d t=%dµs %s arg=%d", e.Seq, e.At, e.Kind, e.Arg)
+	}
+	return fmt.Sprintf("#%d t=%dµs %s %s arg=%d", e.Seq, e.At, e.Kind, e.Name, e.Arg)
+}
+
+// Tracer is a bounded ring buffer of recent events. Emit claims a slot
+// under a short critical section and copies one fixed-size value — no
+// allocation — so it is cheap enough for hot paths; an atomic enabled gate
+// makes the disabled path a single load.
+type Tracer struct {
+	enabled atomic.Bool
+	mu      sync.Mutex
+	buf     []Event
+	next    uint64 // total events emitted since creation/reset
+}
+
+// NewTracer creates an enabled tracer holding the last capacity events.
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	t := &Tracer{buf: make([]Event, capacity)}
+	t.enabled.Store(true)
+	return t
+}
+
+// Enabled reports whether Emit records. Guard expensive argument
+// construction (e.g. formatting lock names) on this.
+func (t *Tracer) Enabled() bool { return t.enabled.Load() }
+
+// SetEnabled toggles recording.
+func (t *Tracer) SetEnabled(on bool) { t.enabled.Store(on) }
+
+// Emit records one event at engine time at. No-op when disabled.
+func (t *Tracer) Emit(at int64, kind Kind, name string, arg int64) {
+	if !t.enabled.Load() {
+		return
+	}
+	t.mu.Lock()
+	t.buf[t.next%uint64(len(t.buf))] = Event{Seq: t.next, At: at, Kind: kind, Name: name, Arg: arg}
+	t.next++
+	t.mu.Unlock()
+}
+
+// Len reports how many events are currently retained.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.next < uint64(len(t.buf)) {
+		return int(t.next)
+	}
+	return len(t.buf)
+}
+
+// Cap reports the ring capacity.
+func (t *Tracer) Cap() int { return len(t.buf) }
+
+// Recent returns up to n retained events, oldest first.
+func (t *Tracer) Recent(n int) []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	have := t.next
+	if have > uint64(len(t.buf)) {
+		have = uint64(len(t.buf))
+	}
+	if n < 0 || uint64(n) > have {
+		n = int(have)
+	}
+	out := make([]Event, n)
+	for i := 0; i < n; i++ {
+		seq := t.next - uint64(n) + uint64(i)
+		out[i] = t.buf[seq%uint64(len(t.buf))]
+	}
+	return out
+}
+
+// Reset discards retained events.
+func (t *Tracer) Reset() {
+	t.mu.Lock()
+	t.next = 0
+	t.mu.Unlock()
+}

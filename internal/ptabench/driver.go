@@ -7,6 +7,7 @@ import (
 	strip "github.com/stripdb/strip"
 	"github.com/stripdb/strip/internal/clock"
 	"github.com/stripdb/strip/internal/feed"
+	"github.com/stripdb/strip/internal/obs"
 	"github.com/stripdb/strip/internal/types"
 )
 
@@ -34,6 +35,20 @@ type RunResult struct {
 	MeanRecomputeMicros float64
 	// MeanQueueMicros is the mean wait between release and start.
 	MeanQueueMicros float64
+	// UpdatesPerSec is the base-update throughput over the (virtual) trace
+	// duration.
+	UpdatesPerSec float64
+	// P50/P95/P99ActionMicros summarize the end-to-end action latency span
+	// (trigger commit → recompute commit, virtual time): the delay window
+	// plus queueing.
+	P50ActionMicros int64
+	P95ActionMicros int64
+	P99ActionMicros int64
+	// MaxStalenessMicros is the largest derived-data staleness observed at
+	// any recompute commit — the paper's timeliness axis.
+	MaxStalenessMicros int64
+	// P95StalenessMicros is the 95th-percentile closing staleness.
+	P95StalenessMicros int64
 	// RealSeconds is the wall-clock time of the replay on this machine.
 	RealSeconds float64
 	Errors      int64
@@ -89,6 +104,19 @@ func Run(wcfg WorkloadConfig, tr *feed.Trace, v Variant, delaySec float64) (RunR
 	if st.TasksRun > 0 {
 		res.MeanRecomputeMicros = st.WorkMicros / float64(st.TasksRun)
 		res.MeanQueueMicros = float64(st.QueueMicros) / float64(st.TasksRun)
+	}
+	if durSec := clock.Seconds(tr.Config.Duration); durSec > 0 {
+		res.UpdatesPerSec = float64(updates) / durSec
+	}
+	snap := db.Metrics()
+	if h, ok := snap.Histograms[obs.ForFunc(obs.MActionLatencyMicros, fname)]; ok {
+		res.P50ActionMicros = h.P50
+		res.P95ActionMicros = h.P95
+		res.P99ActionMicros = h.P99
+	}
+	if st, ok := snap.Staleness[fname]; ok {
+		res.MaxStalenessMicros = st.Max
+		res.P95StalenessMicros = st.P95
 	}
 	return res, nil
 }

@@ -2,6 +2,7 @@ package ptabench
 
 import (
 	"bytes"
+	"encoding/json"
 	"math"
 	"math/rand"
 	"strings"
@@ -299,6 +300,82 @@ func TestRunDeterministic(t *testing.T) {
 	if a.CPUUtil != b.CPUUtil || a.Nr != b.Nr || a.TasksMerged != b.TasksMerged ||
 		a.MeanRecomputeMicros != b.MeanRecomputeMicros {
 		t.Errorf("runs differ: %+v vs %+v", a, b)
+	}
+}
+
+// TestStalenessGrowsWithDelay: a longer `after` window holds updates in the
+// queue longer, so the maximum derived-data staleness observed at recompute
+// commits must grow with the delay — and be at least the window itself.
+func TestStalenessGrowsWithDelay(t *testing.T) {
+	cfg := tinyConfig()
+	tr := mustTrace(t, cfg)
+	short, err := Run(cfg, tr, CompUniqueComp, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := Run(cfg, tr, CompUniqueComp, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short.MaxStalenessMicros < clock.FromSeconds(0.5) {
+		t.Errorf("0.5s delay: max staleness %d below the window", short.MaxStalenessMicros)
+	}
+	if long.MaxStalenessMicros <= short.MaxStalenessMicros {
+		t.Errorf("max staleness did not grow with delay: %d (0.5s) vs %d (2.5s)",
+			short.MaxStalenessMicros, long.MaxStalenessMicros)
+	}
+	if long.P95StalenessMicros <= short.P95StalenessMicros {
+		t.Errorf("p95 staleness did not grow with delay: %d vs %d",
+			short.P95StalenessMicros, long.P95StalenessMicros)
+	}
+	// Action latency percentiles ride along in the run result.
+	if short.P95ActionMicros <= 0 || long.P99ActionMicros < long.P95ActionMicros {
+		t.Errorf("action latency percentiles inconsistent: %+v vs %+v", short, long)
+	}
+}
+
+func TestMetricsArtifact(t *testing.T) {
+	cfg := tinyConfig()
+	er, err := RunExperiment(cfg, []Variant{CompNonUnique, CompUniqueComp}, []float64{1.0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := er.WriteMetricsJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var artifact struct {
+		Workload struct {
+			Updates int `json:"updates"`
+		} `json:"workload"`
+		Runs []RunMetrics `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &artifact); err != nil {
+		t.Fatalf("artifact does not parse: %v", err)
+	}
+	if artifact.Workload.Updates != er.TraceStats.Updates {
+		t.Errorf("workload updates = %d, want %d", artifact.Workload.Updates, er.TraceStats.Updates)
+	}
+	if len(artifact.Runs) != len(er.Runs) {
+		t.Fatalf("artifact has %d runs, want %d", len(artifact.Runs), len(er.Runs))
+	}
+	for _, r := range artifact.Runs {
+		if r.Variant == "" || r.Updates == 0 || r.UpdatesPerSec <= 0 {
+			t.Errorf("run record incomplete: %+v", r)
+		}
+	}
+	// The unique variant's record carries staleness and latency percentiles.
+	var uniq *RunMetrics
+	for i := range artifact.Runs {
+		if artifact.Runs[i].Variant == CompUniqueComp.String() {
+			uniq = &artifact.Runs[i]
+		}
+	}
+	if uniq == nil {
+		t.Fatal("unique-on-comp run missing from artifact")
+	}
+	if uniq.MaxStalenessMicros <= 0 || uniq.P95ActionMicros <= 0 {
+		t.Errorf("unique run lacks staleness/latency: %+v", uniq)
 	}
 }
 

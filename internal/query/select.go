@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/stripdb/strip/internal/catalog"
+	"github.com/stripdb/strip/internal/obs"
 	"github.com/stripdb/strip/internal/storage"
 	"github.com/stripdb/strip/internal/txn"
 	"github.com/stripdb/strip/internal/types"
@@ -122,6 +123,15 @@ type Select struct {
 // layout for every column that traces back to a standard-table record;
 // computed and aggregate columns are materialized.
 func (q *Select) Run(tx *txn.Txn, res Resolver) (*storage.TempTable, error) {
+	mgr := tx.Manager()
+	start := mgr.Clock.Now()
+	out, err := q.run(tx, res)
+	mgr.Obs.Counter(obs.MQuerySelects).Inc()
+	mgr.Obs.Histogram(obs.MQuerySelectMicros).Record(mgr.Clock.Now() - start)
+	return out, err
+}
+
+func (q *Select) run(tx *txn.Txn, res Resolver) (*storage.TempTable, error) {
 	model := tx.Model()
 	tx.Charge(model.StmtSetup)
 	// Run on a private copy: resolution writes into expressions, and rules

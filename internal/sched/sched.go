@@ -7,6 +7,7 @@ import (
 
 	"github.com/stripdb/strip/internal/clock"
 	"github.com/stripdb/strip/internal/cost"
+	"github.com/stripdb/strip/internal/obs"
 )
 
 // Scheduler owns the delay and ready queues (paper Figure 15). It can be
@@ -35,16 +36,48 @@ type Scheduler struct {
 	// region", §5.1).
 	recentStarts []clock.Micros
 
-	counters schedCounters
-	wg       sync.WaitGroup
+	// Registry-backed instruments (see Instrument).
+	submitted    *obs.Counter
+	completed    *obs.Counter
+	failed       *obs.Counter
+	qReady       *obs.Gauge
+	qDelayed     *obs.Gauge
+	relToStart   *obs.Histogram
+	runMicros    *obs.Histogram
+	releaseBatch *obs.Histogram
+	tracer       *obs.Tracer
+
+	wg sync.WaitGroup
 }
 
-// New creates a scheduler.
+// New creates a scheduler with a private metrics registry.
 func New(clk clock.Clock, policy Policy, meter *cost.Meter, model cost.Model) *Scheduler {
 	s := &Scheduler{clk: clk, policy: policy, meter: meter, model: model}
 	s.ready.policy = policy
 	s.cond = sync.NewCond(&s.mu)
+	s.Instrument(obs.NewRegistry())
 	return s
+}
+
+// Instrument rebinds the scheduler's counters, queue-depth gauges, latency
+// histograms, and tracer to reg. Call before Start.
+func (s *Scheduler) Instrument(reg *obs.Registry) {
+	s.submitted = reg.Counter(obs.MSchedSubmitted)
+	s.completed = reg.Counter(obs.MSchedCompleted)
+	s.failed = reg.Counter(obs.MSchedFailed)
+	s.qReady = reg.Gauge(obs.MSchedQueueReady)
+	s.qDelayed = reg.Gauge(obs.MSchedQueueDelayed)
+	s.relToStart = reg.Histogram(obs.MSchedReleaseToStart)
+	s.runMicros = reg.Histogram(obs.MSchedRunMicros)
+	s.releaseBatch = reg.Histogram(obs.MSchedReleaseBatch)
+	s.tracer = reg.Tracer()
+}
+
+// depthsLocked refreshes the queue-depth gauges; call with s.mu held after
+// any queue mutation.
+func (s *Scheduler) depthsLocked() {
+	s.qDelayed.Set(int64(s.delay.Len()))
+	s.qReady.Set(int64(s.ready.Len()))
 }
 
 // Submit enqueues a task: into the delay queue if its release time is in
@@ -58,12 +91,14 @@ func (s *Scheduler) Submit(t *Task) {
 	s.nextSeq++
 	t.seq = s.nextSeq
 	t.EnqueuedAt = now
-	s.counters.submitted.Add(1)
+	s.submitted.Inc()
 	if t.Release > now {
 		heap.Push(&s.delay, t)
 	} else {
 		heap.Push(&s.ready, t)
 	}
+	s.depthsLocked()
+	s.tracer.Emit(now, obs.KindTaskSubmit, t.Name, t.ID)
 	s.cond.Broadcast()
 }
 
@@ -71,11 +106,17 @@ func (s *Scheduler) Submit(t *Task) {
 // queue. Tasks re-enter FIFO order at release time, not submission time:
 // the ready queue sees them in the order they became runnable.
 func (s *Scheduler) releaseDueLocked(now clock.Micros) {
+	released := 0
 	for s.delay.Len() > 0 && s.delay.peek().Release <= now {
 		t := heap.Pop(&s.delay).(*Task)
 		s.nextSeq++
 		t.seq = s.nextSeq
 		heap.Push(&s.ready, t)
+		released++
+	}
+	if released > 0 {
+		s.releaseBatch.Record(int64(released))
+		s.depthsLocked()
 	}
 }
 
@@ -123,6 +164,9 @@ func (s *Scheduler) dequeueLocked() *Task {
 	}
 	t := heap.Pop(&s.ready).(*Task)
 	t.StartedAt = now
+	s.depthsLocked()
+	s.relToStart.Record(t.QueueTime())
+	s.tracer.Emit(now, obs.KindTaskStart, t.Name, t.ID)
 	s.chargeStartLocked(now)
 	if t.OnStart != nil {
 		t.OnStart(t)
@@ -152,10 +196,12 @@ func (s *Scheduler) execute(t *Task) {
 	}
 	t.FinishedAt = s.clk.Now()
 	s.meter.Charge(s.model.EndTask)
+	s.runMicros.Record(t.FinishedAt - t.StartedAt)
+	s.tracer.Emit(t.FinishedAt, obs.KindTaskFinish, t.Name, t.FinishedAt-t.StartedAt)
 	if t.Err != nil {
-		s.counters.failed.Add(1)
+		s.failed.Inc()
 	} else {
-		s.counters.completed.Add(1)
+		s.completed.Inc()
 	}
 }
 
@@ -238,8 +284,15 @@ func (s *Scheduler) Drain() {
 	}
 }
 
-// Stats returns scheduler counters.
-func (s *Scheduler) Stats() Stats { return s.counters.snapshot() }
+// Stats returns scheduler counters — a lock-free view over the registry
+// atomics, race-clean while workers run.
+func (s *Scheduler) Stats() Stats {
+	return Stats{
+		Submitted: s.submitted.Load(),
+		Completed: s.completed.Load(),
+		Failed:    s.failed.Load(),
+	}
+}
 
 // delayHeap orders tasks by release time.
 type delayHeap struct{ items []*Task }

@@ -10,8 +10,6 @@
 package sched
 
 import (
-	"sync/atomic"
-
 	"github.com/stripdb/strip/internal/clock"
 )
 
@@ -107,23 +105,10 @@ func (p Policy) less(a, b *Task) bool {
 	return a.seq < b.seq
 }
 
-// Stats summarizes scheduler activity.
+// Stats summarizes scheduler activity. It is a view over the scheduler's
+// registry-backed counters (see Scheduler.Instrument).
 type Stats struct {
 	Submitted int64
 	Completed int64
 	Failed    int64
-}
-
-type schedCounters struct {
-	submitted atomic.Int64
-	completed atomic.Int64
-	failed    atomic.Int64
-}
-
-func (c *schedCounters) snapshot() Stats {
-	return Stats{
-		Submitted: c.submitted.Load(),
-		Completed: c.completed.Load(),
-		Failed:    c.failed.Load(),
-	}
 }

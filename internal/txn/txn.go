@@ -20,6 +20,7 @@ import (
 	"github.com/stripdb/strip/internal/clock"
 	"github.com/stripdb/strip/internal/cost"
 	"github.com/stripdb/strip/internal/lock"
+	"github.com/stripdb/strip/internal/obs"
 	"github.com/stripdb/strip/internal/storage"
 	"github.com/stripdb/strip/internal/types"
 )
@@ -83,17 +84,37 @@ type Manager struct {
 	Clock   clock.Clock
 	Meter   *cost.Meter
 	Model   cost.Model
+	// Obs is the engine's shared metrics registry; downstream layers (the
+	// rule engine, query execution) instrument through it.
+	Obs *obs.Registry
 
 	nextID     atomic.Int64
 	commitHook atomic.Pointer[CommitHook]
 
-	committed atomic.Int64
-	aborted   atomic.Int64
+	committed  *obs.Counter
+	aborted    *obs.Counter
+	commitHist *obs.Histogram
+	abortHist  *obs.Histogram
+	tracer     *obs.Tracer
 }
 
-// NewManager wires a transaction manager over the given substrates.
+// NewManager wires a transaction manager over the given substrates with a
+// private metrics registry (see Instrument).
 func NewManager(cat *catalog.Catalog, store *storage.Store, locks *lock.Manager, clk clock.Clock, meter *cost.Meter, model cost.Model) *Manager {
-	return &Manager{Catalog: cat, Store: store, Locks: locks, Clock: clk, Meter: meter, Model: model}
+	m := &Manager{Catalog: cat, Store: store, Locks: locks, Clock: clk, Meter: meter, Model: model}
+	m.Instrument(obs.NewRegistry())
+	return m
+}
+
+// Instrument rebinds the manager's counters, latency histograms, and
+// tracer to reg. Call before transactions begin.
+func (m *Manager) Instrument(reg *obs.Registry) {
+	m.Obs = reg
+	m.committed = reg.Counter(obs.MTxnCommitted)
+	m.aborted = reg.Counter(obs.MTxnAborted)
+	m.commitHist = reg.Histogram(obs.MTxnCommitMicros)
+	m.abortHist = reg.Histogram(obs.MTxnAbortMicros)
+	m.tracer = reg.Tracer()
 }
 
 // SetCommitHook registers the hook run at the end of every transaction.
@@ -104,7 +125,7 @@ func (m *Manager) SetCommitHook(h CommitHook) {
 // Begin starts a transaction.
 func (m *Manager) Begin() *Txn {
 	m.Meter.Charge(m.Model.BeginTxn)
-	return &Txn{id: m.nextID.Add(1), mgr: m}
+	return &Txn{id: m.nextID.Add(1), mgr: m, startAt: m.Clock.Now()}
 }
 
 // Committed reports how many transactions have committed.
@@ -120,6 +141,8 @@ type Txn struct {
 	status Status
 	log    []LogRec
 	seq    int64
+	// startAt is the engine time Begin was called (latency measurement).
+	startAt clock.Micros
 	// commitAt is the engine time at which the transaction committed
 	// (instantiates bound-table commit_time columns).
 	commitAt clock.Micros
@@ -263,7 +286,9 @@ func (t *Txn) Commit() error {
 	t.status = Committed
 	t.mgr.Meter.Charge(t.mgr.Model.CommitTxn + t.mgr.Model.ReleaseLock)
 	t.mgr.Locks.ReleaseAll(t.id)
-	t.mgr.committed.Add(1)
+	t.mgr.committed.Inc()
+	t.mgr.commitHist.Record(t.commitAt - t.startAt)
+	t.mgr.tracer.Emit(t.commitAt, obs.KindTxnCommit, "", t.id)
 	return nil
 }
 
@@ -300,6 +325,9 @@ func (t *Txn) Abort() error {
 	t.log = nil
 	t.mgr.Meter.Charge(t.mgr.Model.AbortTxn + t.mgr.Model.ReleaseLock)
 	t.mgr.Locks.ReleaseAll(t.id)
-	t.mgr.aborted.Add(1)
+	now := t.mgr.Clock.Now()
+	t.mgr.aborted.Inc()
+	t.mgr.abortHist.Record(now - t.startAt)
+	t.mgr.tracer.Emit(now, obs.KindTxnAbort, "", t.id)
 	return firstErr
 }

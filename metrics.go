@@ -1,0 +1,62 @@
+package strip
+
+import (
+	"encoding/json"
+	"io"
+
+	"github.com/stripdb/strip/internal/obs"
+)
+
+// Re-exported observability types: the facade keeps one import path.
+type (
+	// Metrics is a structured snapshot of every engine instrument.
+	Metrics = obs.Snapshot
+	// TraceEvent is one engine trace entry.
+	TraceEvent = obs.Event
+	// HistogramSnapshot summarizes one latency histogram.
+	HistogramSnapshot = obs.HistogramSnapshot
+	// StalenessSnapshot summarizes one function's derived-data staleness.
+	StalenessSnapshot = obs.StalenessSnapshot
+)
+
+// Obs exposes the engine's metrics registry for advanced integration
+// (benchmarks, custom instruments).
+func (db *DB) Obs() *obs.Registry { return db.obs }
+
+// Metrics captures a structured snapshot of every engine instrument:
+// transaction commit counts and latency, lock waits, scheduler queue
+// depths and latencies, per-function rule activity and action latency,
+// query execution time, and per-function derived-data staleness.
+func (db *DB) Metrics() Metrics { return db.obs.Snapshot(db.clk.Now()) }
+
+// WriteMetrics renders the current metrics snapshot: human-readable text,
+// or JSON when asJSON is set.
+func (db *DB) WriteMetrics(w io.Writer, asJSON bool) error {
+	snap := db.Metrics()
+	if !asJSON {
+		snap.WriteText(w)
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
+
+// Trace returns up to n recent engine trace events, oldest first. n < 0
+// returns everything retained.
+func (db *DB) Trace(n int) []TraceEvent { return db.obs.Tracer().Recent(n) }
+
+// EnableTrace toggles event tracing (enabled by default).
+func (db *DB) EnableTrace(on bool) { db.obs.Tracer().SetEnabled(on) }
+
+// ResetMetrics zeroes every instrument and clears the trace (between
+// experiment phases). Pending staleness stamps survive: they describe
+// recomputations still queued.
+func (db *DB) ResetMetrics() { db.obs.Reset() }
+
+// Staleness reports the named user function's derived-data staleness: the
+// current age of its oldest un-recomputed update and the maximum observed
+// at any recompute commit, in engine microseconds.
+func (db *DB) Staleness(function string) StalenessSnapshot {
+	return db.obs.Staleness(function).Snapshot(db.clk.Now())
+}

@@ -1,0 +1,189 @@
+package strip
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/stripdb/strip/internal/obs"
+)
+
+// TestStalenessGroundTruth drives the virtual clock deterministically: a
+// base-table update commits at time t and its recompute commits at t+Δ
+// (the rule's delay window), so the observed staleness must be exactly Δ.
+func TestStalenessGroundTruth(t *testing.T) {
+	db := setupPTA(t, Config{Virtual: true})
+	if err := db.RegisterFunc("compute_comps3", computeComps3); err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec(doComps3SQL) // unique on comp, after 1.0 seconds
+
+	const t0 = 10_000_000 // update commit time
+	const delta = 1_000_000
+	db.AdvanceTo(t0)
+	db.MustExec(`update stocks set price = 31 where symbol = 'S1'`)
+
+	// S1 feeds C1 and C2: two unique transactions, both stamped t0.
+	if st := db.Staleness("compute_comps3"); st.Pending != 2 {
+		t.Fatalf("pending = %d, want 2", st.Pending)
+	}
+	// Before the recompute, current staleness is the age of the update.
+	db.AdvanceTo(t0 + 400_000)
+	if st := db.Staleness("compute_comps3"); st.Current != 400_000 {
+		t.Errorf("current staleness = %d, want 400000", st.Current)
+	}
+
+	db.AdvanceTo(t0 + delta) // the delay window elapses
+	if n := db.RunReady(); n != 2 {
+		t.Fatalf("ran %d tasks, want 2", n)
+	}
+
+	st := db.Staleness("compute_comps3")
+	if st.Max != delta {
+		t.Errorf("max staleness = %d, want exactly %d", st.Max, delta)
+	}
+	if st.Count != 2 || st.Pending != 0 || st.Current != 0 {
+		t.Errorf("staleness = %+v, want count 2, nothing pending", st)
+	}
+	// The histogram quantile is bucketed: within 25% of Δ.
+	if st.P95 < delta*3/4 || st.P95 > delta*5/4 {
+		t.Errorf("p95 staleness = %d, want within 25%% of %d", st.P95, delta)
+	}
+}
+
+// TestStalenessMergeKeepsOldestStamp: when a later update merges into a
+// queued unique transaction, staleness is still measured from the first
+// (oldest) un-recomputed update.
+func TestStalenessMergeKeepsOldestStamp(t *testing.T) {
+	db := setupPTA(t, Config{Virtual: true})
+	if err := db.RegisterFunc("compute_comps3", computeComps3); err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec(doComps3SQL)
+
+	db.AdvanceTo(1_000_000)
+	db.MustExec(`update stocks set price = 41 where symbol = 'S2'`) // C2 only
+	db.AdvanceTo(1_600_000)
+	db.MustExec(`update stocks set price = 42 where symbol = 'S2'`) // merges into C2
+
+	if st := db.Stats("compute_comps3"); st.TasksMerged != 1 {
+		t.Fatalf("merged = %d, want 1", st.TasksMerged)
+	}
+	db.WaitIdle()
+	// Task released at 1s+1s=2s: staleness from the FIRST update = 1s,
+	// not 0.4s from the merged one.
+	if st := db.Staleness("compute_comps3"); st.Max != 1_000_000 {
+		t.Errorf("max staleness = %d, want 1000000 (oldest update's age)", st.Max)
+	}
+}
+
+// TestMetricsSnapshotContents checks the acceptance list: transaction
+// commit count and latency histogram, lock wait histogram, scheduler queue
+// gauges, per-function action latency, and per-function staleness all
+// appear in one Metrics snapshot.
+func TestMetricsSnapshotContents(t *testing.T) {
+	db := setupPTA(t, Config{Virtual: true})
+	if err := db.RegisterFunc("compute_comps3", computeComps3); err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec(doComps3SQL)
+	db.MustExec(`update stocks set price = 31 where symbol = 'S1'`)
+	db.MustExec(`select * from comp_prices`)
+	db.WaitIdle()
+
+	snap := db.Metrics()
+	if snap.Counters[obs.MTxnCommitted] == 0 {
+		t.Error("no committed transactions counted")
+	}
+	if h, ok := snap.Histograms[obs.MTxnCommitMicros]; !ok || h.Count == 0 {
+		t.Errorf("txn commit latency histogram missing or empty: %+v", h)
+	}
+	if _, ok := snap.Histograms[obs.MLockWaitMicros]; !ok {
+		t.Error("lock wait histogram missing from snapshot")
+	}
+	if _, ok := snap.Gauges[obs.MSchedQueueReady]; !ok {
+		t.Error("scheduler ready-queue gauge missing")
+	}
+	if _, ok := snap.Gauges[obs.MSchedQueueDelayed]; !ok {
+		t.Error("scheduler delayed-queue gauge missing")
+	}
+	if snap.Counters[obs.MQuerySelects] == 0 {
+		t.Error("no selects counted")
+	}
+	name := obs.ForFunc(obs.MActionLatencyMicros, "compute_comps3")
+	h, ok := snap.Histograms[name]
+	if !ok || h.Count != 2 {
+		t.Fatalf("action latency histogram %q: %+v", name, h)
+	}
+	// Virtual-mode action latency = delay window (1s) + queueing (0).
+	if h.Max != 1_000_000 {
+		t.Errorf("action latency max = %d, want 1000000", h.Max)
+	}
+	if !(h.P50 <= h.P95 && h.P95 <= h.P99 && h.P99 <= h.Max) {
+		t.Errorf("quantiles not monotonic: %+v", h)
+	}
+	st, ok := snap.Staleness["compute_comps3"]
+	if !ok || st.Count != 2 || st.Max != 1_000_000 {
+		t.Errorf("staleness snapshot = %+v", st)
+	}
+}
+
+func TestMetricsRenderAndTrace(t *testing.T) {
+	db := setupPTA(t, Config{Virtual: true})
+	if err := db.RegisterFunc("compute_comps3", computeComps3); err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec(doComps3SQL)
+	db.MustExec(`update stocks set price = 31 where symbol = 'S1'`)
+	db.WaitIdle()
+
+	var text bytes.Buffer
+	if err := db.WriteMetrics(&text, false); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{obs.MTxnCommitted, "compute_comps3"} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("text metrics missing %q:\n%s", want, text.String())
+		}
+	}
+
+	var js bytes.Buffer
+	if err := db.WriteMetrics(&js, true); err != nil {
+		t.Fatal(err)
+	}
+	var decoded Metrics
+	if err := json.Unmarshal(js.Bytes(), &decoded); err != nil {
+		t.Fatalf("metrics JSON does not round-trip: %v", err)
+	}
+	if decoded.Counters[obs.MTxnCommitted] == 0 {
+		t.Error("decoded JSON lost the commit counter")
+	}
+
+	evs := db.Trace(-1)
+	kinds := map[obs.Kind]bool{}
+	for _, ev := range evs {
+		kinds[ev.Kind] = true
+	}
+	for _, want := range []obs.Kind{
+		obs.KindTxnCommit, obs.KindRuleFire, obs.KindTaskSubmit,
+		obs.KindTaskStart, obs.KindTaskFinish, obs.KindActionDone,
+	} {
+		if !kinds[want] {
+			t.Errorf("trace has no %s event (kinds seen: %v)", want, kinds)
+		}
+	}
+
+	db.EnableTrace(false)
+	before := len(db.Trace(-1))
+	db.MustExec(`update stocks set price = 32 where symbol = 'S1'`)
+	if got := len(db.Trace(-1)); got != before {
+		t.Errorf("disabled trace grew from %d to %d events", before, got)
+	}
+	db.EnableTrace(true)
+
+	db.ResetMetrics()
+	if got := db.Metrics().Counters[obs.MTxnCommitted]; got != 0 {
+		t.Errorf("ResetMetrics left committed = %d", got)
+	}
+}

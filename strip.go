@@ -35,6 +35,7 @@ import (
 	"github.com/stripdb/strip/internal/cost"
 	"github.com/stripdb/strip/internal/index"
 	"github.com/stripdb/strip/internal/lock"
+	"github.com/stripdb/strip/internal/obs"
 	"github.com/stripdb/strip/internal/query"
 	"github.com/stripdb/strip/internal/sched"
 	"github.com/stripdb/strip/internal/storage"
@@ -107,6 +108,7 @@ type DB struct {
 	vclk   *clock.Virtual
 	meter  *cost.Meter
 	model  cost.Model
+	obs    *obs.Registry
 	locks  *lock.Manager
 	txns   *txn.Manager
 	sched  *sched.Scheduler
@@ -131,9 +133,13 @@ func Open(cfg Config) *DB {
 		db.model = *cfg.Cost
 	}
 	db.meter = cost.NewMeter()
+	db.obs = obs.NewRegistry()
 	db.locks = lock.New()
+	db.locks.Instrument(db.obs, db.clk.Now)
 	db.txns = txn.NewManager(catalog.New(), storage.NewStore(), db.locks, db.clk, db.meter, db.model)
+	db.txns.Instrument(db.obs)
 	db.sched = sched.New(db.clk, cfg.Policy, db.meter, db.model)
+	db.sched.Instrument(db.obs)
 	db.engine = core.NewEngine(db.txns, db.sched)
 	if !cfg.Virtual {
 		workers := cfg.Workers
