@@ -29,7 +29,7 @@ import (
 
 func benchDB(b *testing.B) *strip.DB {
 	b.Helper()
-	db := strip.Open(strip.Config{Virtual: true, Cost: &strip.CostModel{}}) // zero cost model: measure real time
+	db := strip.MustOpen(strip.Config{Virtual: true, Cost: &strip.CostModel{}}) // zero cost model: measure real time
 	db.MustExec(`create table stocks (symbol text, price float)`)
 	db.MustExec(`create index on stocks (symbol)`)
 	for i := 0; i < 1000; i++ {

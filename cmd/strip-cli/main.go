@@ -14,12 +14,18 @@
 //	...
 //	[print_changes] rows: 2 row(s)
 //
+// With -data <dir> the session is durable: every commit reaches a
+// write-ahead log before it is acknowledged, \checkpoint snapshots the
+// database, and restarting with the same -data restores tables, indexes,
+// and catalog.
+//
 // Meta commands: \tables, \stats <function>, \metrics [json], \trace [n],
-// \quit.
+// \checkpoint, \wal, \quit.
 package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -29,8 +35,20 @@ import (
 )
 
 func main() {
-	db := strip.Open(strip.Config{Workers: 2})
+	dataDir := flag.String("data", "", "durable data directory (WAL + snapshots); empty keeps the session in-memory")
+	flag.Parse()
+
+	db, err := strip.Open(strip.Config{Workers: 2, DataDir: *dataDir})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "strip-cli:", err)
+		os.Exit(1)
+	}
 	defer db.Close()
+	if *dataDir != "" {
+		r := db.LastRecovery()
+		fmt.Printf("recovered %s: %d table(s), %d row(s) from snapshot; %d txn(s) replayed from log in %d µs\n",
+			*dataDir, r.SnapshotTables, r.SnapshotRows, r.ReplayedTxns, r.DurationMicros)
+	}
 
 	if err := db.RegisterFunc("print_changes", func(ctx *strip.ActionContext) error {
 		for _, name := range ctx.BoundNames() {
@@ -67,7 +85,36 @@ func main() {
   \stats <function>  rule activity counters (incl. pending unique txns)
   \metrics [json]    engine metrics snapshot (text, or JSON)
   \trace [n]         recent engine trace events (default 20)
+  \checkpoint        force a snapshot and truncate the write-ahead log
+  \wal               write-ahead log status (size, fsyncs, last recovery)
   \quit`)
+			continue
+		case line == `\checkpoint`:
+			if err := db.Checkpoint(); err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			info, _ := db.WalInfo()
+			fmt.Printf("checkpoint ok (log truncated to %d bytes)\n", info.LogBytes)
+			continue
+		case line == `\wal`:
+			info, ok := db.WalInfo()
+			if !ok {
+				fmt.Println("durability disabled (start with -data <dir>)")
+				continue
+			}
+			fmt.Printf("  data dir      %s\n", info.Dir)
+			fmt.Printf("  log size      %d bytes (next LSN %d)\n", info.LogBytes, info.NextLSN)
+			fmt.Printf("  appends       %d records, %d fsyncs, %d checkpoint(s)\n",
+				info.Appends, info.Fsyncs, info.Checkpoints)
+			if info.GroupBatch.Count > 0 {
+				fmt.Printf("  group commit  batch p50=%d p95=%d max=%d; fsync p50=%dµs p95=%dµs\n",
+					info.GroupBatch.P50, info.GroupBatch.P95, info.GroupBatch.Max,
+					info.FsyncMicros.P50, info.FsyncMicros.P95)
+			}
+			r := info.Recovery
+			fmt.Printf("  last recovery snapshot lsn=%d (%d tables, %d rows), %d txn(s)/%d op(s) replayed, torn_tail=%v, %d µs\n",
+				r.SnapshotLSN, r.SnapshotTables, r.SnapshotRows, r.ReplayedTxns, r.ReplayedOps, r.TornTail, r.DurationMicros)
 			continue
 		case line == `\tables`:
 			for _, name := range db.Txns().Catalog.Names() {

@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, comps, options, fig9..fig14, table1, sched, locality, taper")
+	exp := flag.String("exp", "all", "experiment: all, comps, options, fig9..fig14, table1, sched, locality, taper, wal")
 	scale := flag.String("scale", "paper", "workload scale: paper or small")
 	includeOptSym := flag.Bool("include-option-symbol", false,
 		"also run the unique-on-option_symbol configuration (the paper found it unmanageable)")
@@ -48,6 +48,8 @@ func main() {
 	switch *exp {
 	case "table1":
 		printTable1()
+	case "wal":
+		runWalBench(*metricsPath, progress)
 	case "sched":
 		if err := ptabench.RunSchedAblation(os.Stdout, wcfg, progress); err != nil {
 			fail(err)

@@ -1,0 +1,383 @@
+package strip
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/stripdb/strip/internal/storage"
+	"github.com/stripdb/strip/internal/wal"
+)
+
+// dumpAll captures every table as sorted row strings — the value-identity
+// form recovery guarantees (replay may permute rows with equal values).
+func dumpAll(db *DB) map[string][]string {
+	out := make(map[string][]string)
+	for _, name := range db.Txns().Catalog.Names() {
+		tbl, ok := db.Txns().Store.Get(name)
+		if !ok {
+			continue
+		}
+		rows := []string{}
+		tbl.Scan(func(r *storage.Record) bool {
+			rows = append(rows, fmt.Sprint(r.Values()))
+			return true
+		})
+		sort.Strings(rows)
+		out[name] = rows
+	}
+	return out
+}
+
+func dumpsEqual(a, b map[string][]string) bool {
+	return fmt.Sprint(a) == fmt.Sprint(b)
+}
+
+// tortureWorkload runs nTxns deterministic insert/update/delete transactions
+// against table "acct", returning the state dump after each commit
+// (dumps[k] = state after k transactions) and the log size after each commit
+// (offsets[k] = log bytes once txn k is durable). dumps[0]/offsets[0]
+// describe the post-DDL, pre-workload state.
+func tortureWorkload(t *testing.T, db *DB, rng *rand.Rand, nTxns int) (dumps []map[string][]string, offsets []int64) {
+	t.Helper()
+	logSize := func() int64 {
+		info, ok := db.WalInfo()
+		if !ok {
+			t.Fatal("workload requires a durable engine")
+		}
+		return info.LogBytes
+	}
+	dumps = append(dumps, dumpAll(db))
+	offsets = append(offsets, logSize())
+	nextID := int64(0)
+	for i := 0; i < nTxns; i++ {
+		tx := db.Begin()
+		tbl, _ := db.Txns().Store.Get("acct")
+		var victims []*storage.Record
+		tbl.Scan(func(r *storage.Record) bool {
+			victims = append(victims, r)
+			return true
+		})
+		op := rng.Intn(10)
+		switch {
+		case op < 5 || len(victims) == 0: // insert
+			if _, err := tx.Insert("acct", []Value{Int(nextID), Int(rng.Int63n(1000))}); err != nil {
+				t.Fatal(err)
+			}
+			nextID++
+		case op < 8: // update
+			v := victims[rng.Intn(len(victims))]
+			if _, err := tx.Update("acct", v, []Value{v.Value(0), Int(rng.Int63n(1000))}); err != nil {
+				t.Fatal(err)
+			}
+		default: // delete
+			v := victims[rng.Intn(len(victims))]
+			if err := tx.Delete("acct", v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		dumps = append(dumps, dumpAll(db))
+		offsets = append(offsets, logSize())
+	}
+	return dumps, offsets
+}
+
+// crashAt copies the reference data directory into a fresh one with the log
+// truncated at cut bytes, simulating a process killed mid-append.
+func crashAt(t *testing.T, refDir string, cut int64) string {
+	t.Helper()
+	dir := t.TempDir()
+	raw, err := os.ReadFile(filepath.Join(refDir, wal.LogName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut > int64(len(raw)) {
+		cut = int64(len(raw))
+	}
+	if err := os.WriteFile(filepath.Join(dir, wal.LogName), raw[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if snap, err := os.ReadFile(filepath.Join(refDir, wal.SnapshotName)); err == nil {
+		if err := os.WriteFile(filepath.Join(dir, wal.SnapshotName), snap, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	} else if !os.IsNotExist(err) {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// expectTxns maps a cut offset to the number of workload transactions whose
+// commit records are fully contained in the first cut bytes.
+func expectTxns(offsets []int64, cut int64) int {
+	k := 0
+	for k+1 < len(offsets) && offsets[k+1] <= cut {
+		k++
+	}
+	return k
+}
+
+// TestCrashTorture kills the engine (by truncating its log copy) at random
+// byte offsets and asserts recovery restores exactly the committed prefix —
+// nothing lost, nothing resurrected, no partial transactions.
+func TestCrashTorture(t *testing.T) {
+	const nTxns = 40
+	const trials = 30
+
+	t.Run("no_checkpoint", func(t *testing.T) {
+		refDir := t.TempDir()
+		db := MustOpen(Config{Workers: 1, DataDir: refDir})
+		if err := db.CreateTable("acct", Column{"id", "INT"}, Column{"bal", "INT"}); err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(1))
+		dumps, offsets := tortureWorkload(t, db, rng, nTxns)
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		// Cuts range from "right after DDL" to "nothing lost"; below
+		// offsets[0] the CREATE TABLE record itself would be torn (that case
+		// is covered by the with_checkpoint variant, where the snapshot
+		// carries the schema).
+		cuts := []int64{offsets[0], offsets[nTxns]}
+		for len(cuts) < trials {
+			cuts = append(cuts, offsets[0]+rng.Int63n(offsets[nTxns]-offsets[0]+1))
+		}
+		for _, cut := range cuts {
+			dir := crashAt(t, refDir, cut)
+			rec := MustOpen(Config{Workers: 1, DataDir: dir})
+			want := expectTxns(offsets, cut)
+			r := rec.LastRecovery()
+			if r.ReplayedTxns != want {
+				t.Fatalf("cut %d: replayed %d txns, want %d", cut, r.ReplayedTxns, want)
+			}
+			if got := dumpAll(rec); !dumpsEqual(got, dumps[want]) {
+				t.Fatalf("cut %d: state != committed prefix after %d txns:\n got %v\nwant %v",
+					cut, want, got, dumps[want])
+			}
+			if err := rec.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+
+	t.Run("with_checkpoint", func(t *testing.T) {
+		const preTxns = 20
+		refDir := t.TempDir()
+		db := MustOpen(Config{Workers: 1, DataDir: refDir})
+		if err := db.CreateTable("acct", Column{"id", "INT"}, Column{"bal", "INT"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.CreateIndex("acct", "id", "hash"); err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(2))
+		preDumps, _ := tortureWorkload(t, db, rng, preTxns)
+		if err := db.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		postDumps, offsets := tortureWorkload(t, db, rng, nTxns-preTxns)
+		if !dumpsEqual(preDumps[preTxns], postDumps[0]) {
+			t.Fatal("checkpoint changed visible state")
+		}
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		// The snapshot carries schema + the first preTxns transactions, so
+		// any cut is legal — even one that guts the log header.
+		cuts := []int64{0, offsets[0], offsets[len(offsets)-1]}
+		for len(cuts) < trials {
+			cuts = append(cuts, rng.Int63n(offsets[len(offsets)-1]+1))
+		}
+		for _, cut := range cuts {
+			dir := crashAt(t, refDir, cut)
+			rec := MustOpen(Config{Workers: 1, DataDir: dir})
+			want := expectTxns(offsets, cut)
+			r := rec.LastRecovery()
+			if r.ReplayedTxns != want {
+				t.Fatalf("cut %d: replayed %d txns, want %d (recovery %+v)", cut, r.ReplayedTxns, want, r)
+			}
+			if r.SnapshotTables != 1 {
+				t.Fatalf("cut %d: snapshot not loaded: %+v", cut, r)
+			}
+			if got := dumpAll(rec); !dumpsEqual(got, postDumps[want]) {
+				t.Fatalf("cut %d: state != checkpoint + %d txns:\n got %v\nwant %v",
+					cut, want, got, postDumps[want])
+			}
+			// The snapshot's index definitions must survive every cut too.
+			tbl, _ := rec.Txns().Store.Get("acct")
+			if !tbl.HasIndex("id") {
+				t.Fatalf("cut %d: index lost in recovery", cut)
+			}
+			if err := rec.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+}
+
+// TestReopenRestoresStateAndRulesFire closes a durable engine, reopens the
+// directory, and checks that tables, rows, indexes, and catalog are back and
+// that a freshly registered rule fires over the recovered tables.
+func TestReopenRestoresStateAndRulesFire(t *testing.T) {
+	dir := t.TempDir()
+	db := MustOpen(Config{Workers: 2, DataDir: dir})
+	db.MustExec(`create table stocks (symbol text, price float)`)
+	db.MustExec(`create index on stocks (symbol)`)
+	db.MustExec(`insert into stocks values ('IBM', 100)`)
+	db.MustExec(`insert into stocks values ('HP', 80)`)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(Config{Workers: 2, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+
+	// Catalog, rows, and index all recovered.
+	if _, ok := db2.Txns().Catalog.Lookup("stocks"); !ok {
+		t.Fatal("catalog entry not recovered")
+	}
+	tbl, ok := db2.Txns().Store.Get("stocks")
+	if !ok || tbl.Len() != 2 {
+		t.Fatalf("rows not recovered: ok=%v len=%d", ok, tbl.Len())
+	}
+	if !tbl.HasIndex("symbol") {
+		t.Fatal("index not recovered")
+	}
+
+	// Rules are code, not data: re-register and they must fire over the
+	// recovered table (including reading recovered rows from the action).
+	var fired atomic.Int64
+	if err := db2.RegisterFunc("tally", func(ctx *ActionContext) error {
+		rows, _, err := QueryAction(ctx, `select * from stocks`)
+		if err != nil {
+			return err
+		}
+		fired.Add(int64(len(rows)))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	db2.MustExec(`create rule r on stocks when inserted then execute tally`)
+	db2.MustExec(`insert into stocks values ('SUN', 40)`)
+	// WaitIdle only watches the queues; the task may still be in-flight on a
+	// worker, so poll for the action's effect.
+	deadline := time.Now().Add(5 * time.Second)
+	for fired.Load() != 3 && time.Now().Before(deadline) {
+		db2.WaitIdle()
+		runtime.Gosched()
+	}
+	if got := fired.Load(); got != 3 {
+		t.Fatalf("rule saw %d rows, want 3 (2 recovered + 1 new)", got)
+	}
+}
+
+// TestCloseIdempotentAndFlushes checks the Close contract: ready rule tasks
+// are drained before the final fsync (their writes are durable), and calling
+// Close again is a no-op returning the first result.
+func TestCloseIdempotentAndFlushes(t *testing.T) {
+	dir := t.TempDir()
+	db := MustOpen(Config{Workers: 2, DataDir: dir})
+	db.MustExec(`create table src (v int)`)
+	db.MustExec(`create table derived (v int)`)
+	if err := db.RegisterFunc("derive", func(ctx *ActionContext) error {
+		_, err := ExecAction(ctx, `insert into derived values (1)`)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec(`create rule r on src when inserted then execute derive`)
+
+	const n = 20
+	for i := 0; i < n; i++ {
+		db.MustExec(fmt.Sprintf(`insert into src values (%d)`, i))
+	}
+	// Close with rule tasks still queued: they must run and commit durably.
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(Config{Workers: 1, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	src, _ := db2.Txns().Store.Get("src")
+	derived, _ := db2.Txns().Store.Get("derived")
+	if src.Len() != n {
+		t.Fatalf("src rows: %d, want %d", src.Len(), n)
+	}
+	if derived.Len() != n {
+		t.Fatalf("derived rows after drain-on-close: %d, want %d", derived.Len(), n)
+	}
+}
+
+// TestCheckpointWhileRunning forces a snapshot mid-workload and confirms the
+// log shrinks and later recovery sees the full state.
+func TestCheckpointWhileRunning(t *testing.T) {
+	dir := t.TempDir()
+	db := MustOpen(Config{Workers: 1, DataDir: dir})
+	db.MustExec(`create table t (v int)`)
+	for i := 0; i < 50; i++ {
+		db.MustExec(fmt.Sprintf(`insert into t values (%d)`, i))
+	}
+	before, _ := db.WalInfo()
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := db.WalInfo()
+	if after.LogBytes >= before.LogBytes {
+		t.Fatalf("checkpoint did not truncate: %d -> %d", before.LogBytes, after.LogBytes)
+	}
+	if after.Checkpoints != 1 {
+		t.Fatalf("checkpoint counter: %d", after.Checkpoints)
+	}
+	db.MustExec(`insert into t values (100)`)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(Config{Workers: 1, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	tbl, _ := db2.Txns().Store.Get("t")
+	if tbl.Len() != 51 {
+		t.Fatalf("rows after checkpoint+tail recovery: %d, want 51", tbl.Len())
+	}
+	r := db2.LastRecovery()
+	if r.SnapshotRows != 50 || r.ReplayedTxns != 1 {
+		t.Fatalf("recovery shape: %+v", r)
+	}
+}
+
+// TestWalDisabledByDefault: without DataDir the engine is purely in-memory
+// and durability APIs say so.
+func TestWalDisabledByDefault(t *testing.T) {
+	db := MustOpen(Config{Workers: 1})
+	defer db.Close()
+	if _, ok := db.WalInfo(); ok {
+		t.Fatal("WalInfo should report no WAL")
+	}
+	if err := db.Checkpoint(); err != ErrNoWAL {
+		t.Fatalf("Checkpoint error %v, want ErrNoWAL", err)
+	}
+}

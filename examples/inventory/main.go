@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	db := strip.Open(strip.Config{Workers: 2})
+	db := strip.MustOpen(strip.Config{Workers: 2})
 	defer db.Close()
 
 	db.MustExec(`create table movements (sku text, warehouse text, qty int, unit_cost float)`)

@@ -14,7 +14,7 @@ import (
 
 func main() {
 	// A live engine: rule actions run on a worker pool on the real clock.
-	db := strip.Open(strip.Config{Workers: 2})
+	db := strip.MustOpen(strip.Config{Workers: 2})
 	defer db.Close()
 
 	db.MustExec(`create table stocks (symbol text, price float)`)

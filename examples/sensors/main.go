@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	db := strip.Open(strip.Config{Workers: 2})
+	db := strip.MustOpen(strip.Config{Workers: 2})
 	defer db.Close()
 
 	db.MustExec(`create table sensors (sensor text, arm text, calib float, reading float)`)

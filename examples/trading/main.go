@@ -22,7 +22,7 @@ import (
 const speedup = 20 // replay the trace 20x faster than real time
 
 func main() {
-	db := strip.Open(strip.Config{Workers: 4})
+	db := strip.MustOpen(strip.Config{Workers: 4})
 	defer db.Close()
 
 	// Schema: the PTA's six tables (paper §3).

@@ -43,10 +43,7 @@ func (db *DB) Exec(sql string) (*Result, error) {
 		_, err := db.CreateMaterializedView(s.Name, s.Query, ViewOptions{})
 		return &Result{}, err
 	case *sqlparse.DropTable:
-		if err := db.txns.Catalog.Drop(s.Name); err != nil {
-			return nil, err
-		}
-		return &Result{}, db.txns.Store.Drop(s.Name)
+		return &Result{}, db.DropTable(s.Name)
 	case *sqlparse.DropRule:
 		return &Result{}, db.DropRule(s.Name)
 	case *sqlparse.SelectStmt:

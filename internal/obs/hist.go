@@ -35,8 +35,8 @@ func bucketOf(v int64) int {
 		}
 		return int(v)
 	}
-	b := bits.Len64(uint64(v)) - 1   // floor(log2 v), >= 2
-	sub := int((v >> (b - 2)) & 3)   // position within the octave
+	b := bits.Len64(uint64(v)) - 1 // floor(log2 v), >= 2
+	sub := int((v >> (b - 2)) & 3) // position within the octave
 	return 4*(b-2) + sub + 4
 }
 

@@ -31,6 +31,19 @@ const (
 	MQuerySelects      = "query.selects"
 	MQuerySelectMicros = "query.select_micros"
 
+	MWalAppends          = "wal.appends"
+	MWalBytes            = "wal.bytes"
+	MWalFsyncs           = "wal.fsyncs"
+	MWalFsyncMicros      = "wal.fsync_micros"
+	MWalGroupBatch       = "wal.group_batch"
+	MWalCommitStall      = "wal.commit_stall_micros"
+	MWalCheckpoints      = "wal.checkpoints"
+	MWalCheckpointMicros = "wal.checkpoint_micros"
+	MWalRecoveredTxns    = "wal.recovered_txns"
+	MWalRecoveredOps     = "wal.recovered_ops"
+	MWalRecoveryMicros   = "wal.recovery_micros"
+	MWalTornTails        = "wal.torn_tails"
+
 	MActionFired         = "action.fired"
 	MActionTasksCreated  = "action.tasks_created"
 	MActionTasksMerged   = "action.tasks_merged"

@@ -64,7 +64,7 @@ func (r RunResult) String() string {
 // Run replays the trace against a fresh PTA database with one rule variant
 // installed, on the virtual clock, and reports the measurements.
 func Run(wcfg WorkloadConfig, tr *feed.Trace, v Variant, delaySec float64) (RunResult, error) {
-	db := strip.Open(strip.Config{Virtual: true})
+	db := strip.MustOpen(strip.Config{Virtual: true})
 	if _, err := Setup(db, tr, wcfg); err != nil {
 		return RunResult{}, err
 	}

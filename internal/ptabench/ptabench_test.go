@@ -30,7 +30,7 @@ func mustTrace(t testing.TB, cfg WorkloadConfig) *feed.Trace {
 func TestSetupPopulations(t *testing.T) {
 	cfg := tinyConfig()
 	tr := mustTrace(t, cfg)
-	db := strip.Open(strip.Config{Virtual: true})
+	db := strip.MustOpen(strip.Config{Virtual: true})
 	w, err := Setup(db, tr, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -100,7 +100,7 @@ func TestReplayMaintainsCompView(t *testing.T) {
 	tr := mustTrace(t, cfg)
 	for _, v := range CompVariants() {
 		t.Run(v.String(), func(t *testing.T) {
-			db := strip.Open(strip.Config{Virtual: true})
+			db := strip.MustOpen(strip.Config{Virtual: true})
 			if _, err := Setup(db, tr, cfg); err != nil {
 				t.Fatal(err)
 			}
@@ -128,7 +128,7 @@ func TestReplayMaintainsOptionView(t *testing.T) {
 	tr := mustTrace(t, cfg)
 	for _, v := range OptionVariants(true) {
 		t.Run(v.String(), func(t *testing.T) {
-			db := strip.Open(strip.Config{Virtual: true})
+			db := strip.MustOpen(strip.Config{Virtual: true})
 			if _, err := Setup(db, tr, cfg); err != nil {
 				t.Fatal(err)
 			}
@@ -446,7 +446,7 @@ func TestAliasSamplerDistribution(t *testing.T) {
 }
 
 func TestSetupRequiresWeights(t *testing.T) {
-	db := strip.Open(strip.Config{Virtual: true})
+	db := strip.MustOpen(strip.Config{Virtual: true})
 	if _, err := Setup(db, &feed.Trace{}, tinyConfig()); err == nil {
 		t.Error("setup accepted a weightless trace")
 	}

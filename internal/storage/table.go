@@ -2,6 +2,7 @@ package storage
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"github.com/stripdb/strip/internal/catalog"
@@ -27,11 +28,12 @@ type Stats struct {
 type Table struct {
 	schema *catalog.Schema
 
-	mu      sync.RWMutex
-	head    *Record
-	tail    *Record
-	count   int64
-	indexes map[string]index.Index // column name -> index
+	mu       sync.RWMutex
+	head     *Record
+	tail     *Record
+	count    int64
+	indexes  map[string]index.Index // column name -> index
+	idxKinds map[string]index.Kind  // column name -> index kind (for checkpoints)
 
 	stats struct {
 		inserts, deletes, updates, retiredHeld int64
@@ -40,7 +42,11 @@ type Table struct {
 
 // NewTable creates an empty table for the given schema.
 func NewTable(schema *catalog.Schema) *Table {
-	return &Table{schema: schema, indexes: make(map[string]index.Index)}
+	return &Table{
+		schema:   schema,
+		indexes:  make(map[string]index.Index),
+		idxKinds: make(map[string]index.Kind),
+	}
 }
 
 // Schema returns the table's schema.
@@ -73,7 +79,27 @@ func (t *Table) CreateIndex(column string, kind index.Kind) error {
 		ix.Insert(r.vals[ci], r)
 	}
 	t.indexes[column] = ix
+	t.idxKinds[column] = kind
 	return nil
+}
+
+// IndexDef names one secondary index; checkpoints persist these so recovery
+// can rebuild the index set.
+type IndexDef struct {
+	Column string
+	Kind   index.Kind
+}
+
+// IndexDefs returns the table's index definitions, sorted by column.
+func (t *Table) IndexDefs() []IndexDef {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	defs := make([]IndexDef, 0, len(t.idxKinds))
+	for col, k := range t.idxKinds {
+		defs = append(defs, IndexDef{Column: col, Kind: k})
+	}
+	sort.Slice(defs, func(i, j int) bool { return defs[i].Column < defs[j].Column })
+	return defs
 }
 
 // HasIndex reports whether the column is indexed.

@@ -76,6 +76,14 @@ var ErrNotActive = errors.New("txn: transaction is not active")
 // registers itself here.
 type CommitHook func(*Txn) error
 
+// DurableLog persists a committing transaction's write log before the
+// commit is acknowledged (write-ahead logging). LogCommit must block until
+// the records are durable; an error aborts the transaction. The WAL
+// subsystem registers itself here via Manager.SetWAL.
+type DurableLog interface {
+	LogCommit(*Txn) error
+}
+
 // Manager creates and coordinates transactions.
 type Manager struct {
 	Catalog *catalog.Catalog
@@ -90,6 +98,7 @@ type Manager struct {
 
 	nextID     atomic.Int64
 	commitHook atomic.Pointer[CommitHook]
+	wal        atomic.Pointer[DurableLog]
 
 	committed  *obs.Counter
 	aborted    *obs.Counter
@@ -120,6 +129,16 @@ func (m *Manager) Instrument(reg *obs.Registry) {
 // SetCommitHook registers the hook run at the end of every transaction.
 func (m *Manager) SetCommitHook(h CommitHook) {
 	m.commitHook.Store(&h)
+}
+
+// SetWAL registers the write-ahead log every commit must reach before it is
+// acknowledged. Call before transactions begin; nil disables durability.
+func (m *Manager) SetWAL(w DurableLog) {
+	if w == nil {
+		m.wal.Store(nil)
+		return
+	}
+	m.wal.Store(&w)
 }
 
 // Begin starts a transaction.
@@ -283,6 +302,18 @@ func (t *Txn) Commit() error {
 		}
 	}
 	t.commitAt = t.mgr.Clock.Now()
+	// Write-ahead: the redo records must be durable before the commit is
+	// acknowledged or any lock released. Aborts never reach this point, so
+	// an aborted transaction leaves zero redo records behind.
+	if wp := t.mgr.wal.Load(); wp != nil && len(t.log) > 0 {
+		if err := (*wp).LogCommit(t); err != nil {
+			abortErr := t.Abort()
+			if abortErr != nil {
+				return fmt.Errorf("txn: commit not durable (%w); abort also failed: %v", err, abortErr)
+			}
+			return fmt.Errorf("txn: aborted, commit not durable: %w", err)
+		}
+	}
 	t.status = Committed
 	t.mgr.Meter.Charge(t.mgr.Model.CommitTxn + t.mgr.Model.ReleaseLock)
 	t.mgr.Locks.ReleaseAll(t.id)

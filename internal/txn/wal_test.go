@@ -1,0 +1,208 @@
+package txn_test
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+
+	"github.com/stripdb/strip/internal/catalog"
+	"github.com/stripdb/strip/internal/clock"
+	"github.com/stripdb/strip/internal/cost"
+	"github.com/stripdb/strip/internal/lock"
+	"github.com/stripdb/strip/internal/storage"
+	"github.com/stripdb/strip/internal/txn"
+	"github.com/stripdb/strip/internal/types"
+	"github.com/stripdb/strip/internal/wal"
+)
+
+// walEnv is a transaction manager wired to a write-ahead log, as the strip
+// facade assembles it.
+type walEnv struct {
+	cat   *catalog.Catalog
+	store *storage.Store
+	mgr   *txn.Manager
+	wal   *wal.Log
+}
+
+func openWalEnv(t *testing.T, dir string, opts wal.Options) *walEnv {
+	t.Helper()
+	cat := catalog.New()
+	store := storage.NewStore()
+	mgr := txn.NewManager(cat, store, lock.New(), clock.NewReal(), cost.NewMeter(), cost.Zero())
+	w, err := wal.Open(dir, opts, cat, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr.SetWAL(w)
+	return &walEnv{cat: cat, store: store, mgr: mgr, wal: w}
+}
+
+func (e *walEnv) createTable(t *testing.T, name string) {
+	t.Helper()
+	schema := catalog.MustSchema(name,
+		catalog.Column{Name: "k", Kind: types.KindString},
+		catalog.Column{Name: "v", Kind: types.KindInt})
+	if err := e.cat.Define(schema); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.store.Create(schema); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.wal.LogCreateTable(schema); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (e *walEnv) rows(t *testing.T, table string) []string {
+	t.Helper()
+	tbl, ok := e.store.Get(table)
+	if !ok {
+		t.Fatalf("table %q missing", table)
+	}
+	var out []string
+	tbl.Scan(func(r *storage.Record) bool {
+		out = append(out, fmt.Sprint(r.Values()))
+		return true
+	})
+	sort.Strings(out)
+	return out
+}
+
+// TestAbortLeavesZeroRedoRecords: an explicitly aborted transaction must not
+// move the log at all — no redo record, no partial frame, no LSN consumed.
+func TestAbortLeavesZeroRedoRecords(t *testing.T) {
+	e := openWalEnv(t, t.TempDir(), wal.Options{})
+	defer e.wal.Close()
+	e.createTable(t, "t")
+
+	sizeBefore := e.wal.Size()
+	lsnBefore := e.wal.NextLSN()
+
+	tx := e.mgr.Begin()
+	if _, err := tx.Insert("t", []types.Value{types.Str("a"), types.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Insert("t", []types.Value{types.Str("b"), types.Int(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := e.wal.Size(); got != sizeBefore {
+		t.Fatalf("abort grew the log: %d -> %d bytes", sizeBefore, got)
+	}
+	if got := e.wal.NextLSN(); got != lsnBefore {
+		t.Fatalf("abort consumed LSNs: %d -> %d", lsnBefore, got)
+	}
+	if got := e.rows(t, "t"); len(got) != 0 {
+		t.Fatalf("aborted rows still visible: %v", got)
+	}
+}
+
+// TestCommitHookFailureLeavesZeroRedoRecords: the commit hook (the rule
+// system's slot) runs before the WAL append, so a hook-aborted transaction
+// must leave no trace in the log either.
+func TestCommitHookFailureLeavesZeroRedoRecords(t *testing.T) {
+	e := openWalEnv(t, t.TempDir(), wal.Options{})
+	defer e.wal.Close()
+	e.createTable(t, "t")
+
+	hookErr := errors.New("rule condition blew up")
+	e.mgr.SetCommitHook(func(*txn.Txn) error { return hookErr })
+
+	sizeBefore := e.wal.Size()
+	tx := e.mgr.Begin()
+	if _, err := tx.Insert("t", []types.Value{types.Str("a"), types.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	err := tx.Commit()
+	if !errors.Is(err, hookErr) {
+		t.Fatalf("commit error %v, want the hook error", err)
+	}
+	if tx.Status() != txn.Aborted {
+		t.Fatalf("status %v, want Aborted", tx.Status())
+	}
+	if got := e.wal.Size(); got != sizeBefore {
+		t.Fatalf("hook-aborted commit reached the log: %d -> %d bytes", sizeBefore, got)
+	}
+	if got := e.rows(t, "t"); len(got) != 0 {
+		t.Fatalf("hook-aborted rows still visible: %v", got)
+	}
+}
+
+// TestDurableCommitFailureAborts: when the WAL append itself fails, Commit
+// must report the error, the transaction must end Aborted with its in-memory
+// effects rolled back, and its locks must be free for other transactions.
+func TestDurableCommitFailureAborts(t *testing.T) {
+	e := openWalEnv(t, t.TempDir(), wal.Options{})
+	e.createTable(t, "t")
+	e.wal.Close() // closed log: every durable commit now fails with ErrClosed
+
+	tx := e.mgr.Begin()
+	if _, err := tx.Insert("t", []types.Value{types.Str("a"), types.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err == nil {
+		t.Fatal("commit against a closed log should fail")
+	}
+	if tx.Status() != txn.Aborted {
+		t.Fatalf("status %v, want Aborted", tx.Status())
+	}
+	if got := e.rows(t, "t"); len(got) != 0 {
+		t.Fatalf("rolled-back rows still visible: %v", got)
+	}
+	// Locks must have been released by the abort: a new transaction can
+	// write the same table (it will fail at its own commit, but not block).
+	tx2 := e.mgr.Begin()
+	if _, err := tx2.Insert("t", []types.Value{types.Str("b"), types.Int(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Abort(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReplayIdempotent: recovery after a crash that happened between the log
+// append and anything else must be repeatable — recovering the same
+// directory twice yields the same state and does not grow the log.
+func TestReplayIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	e := openWalEnv(t, dir, wal.Options{})
+	e.createTable(t, "t")
+	for i := 0; i < 5; i++ {
+		tx := e.mgr.Begin()
+		if _, err := tx.Insert("t", []types.Value{types.Str("k"), types.Int(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := e.rows(t, "t")
+	// Simulate a crash: no Close, just abandon the env. The log is durable
+	// because every Commit already fsynced.
+	size := e.wal.Size()
+	e.wal.Close()
+
+	e1 := openWalEnv(t, dir, wal.Options{})
+	got1 := e1.rows(t, "t")
+	r1 := e1.wal.LastRecovery()
+	e1.wal.Close()
+
+	e2 := openWalEnv(t, dir, wal.Options{})
+	defer e2.wal.Close()
+	got2 := e2.rows(t, "t")
+	r2 := e2.wal.LastRecovery()
+
+	if fmt.Sprint(got1) != fmt.Sprint(want) || fmt.Sprint(got2) != fmt.Sprint(want) {
+		t.Fatalf("replay diverged:\n want %v\n 1st %v\n 2nd %v", want, got1, got2)
+	}
+	if r1.ReplayedTxns != 5 || r2.ReplayedTxns != 5 {
+		t.Fatalf("replayed txns: 1st %d, 2nd %d, want 5", r1.ReplayedTxns, r2.ReplayedTxns)
+	}
+	if e2.wal.Size() != size {
+		t.Fatalf("recovery changed the log size: %d -> %d", size, e2.wal.Size())
+	}
+}

@@ -1,0 +1,160 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"github.com/stripdb/strip/internal/txn"
+	"github.com/stripdb/strip/internal/types"
+)
+
+// faultyOpen returns an OpenFileFunc whose files start failing after budget
+// bytes have been written (with a torn partial write at the boundary).
+func faultyOpen(budget int64, failSync bool) (OpenFileFunc, *[]*FaultFile) {
+	files := &[]*FaultFile{}
+	var mu sync.Mutex
+	return func(path string) (File, error) {
+		f, err := openOSFile(path)
+		if err != nil {
+			return nil, err
+		}
+		ff := &FaultFile{F: f, WriteBudget: budget, FailSync: failSync}
+		mu.Lock()
+		*files = append(*files, ff)
+		mu.Unlock()
+		return ff, nil
+	}, files
+}
+
+func TestFaultFileTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	f, err := openOSFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff := &FaultFile{F: f, WriteBudget: 5}
+	n, err := ff.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if n != 5 {
+		t.Fatalf("torn write wrote %d bytes, want 5", n)
+	}
+	if !ff.Tripped() {
+		t.Fatal("fault file should report tripped")
+	}
+	if _, err := ff.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-trip write should fail, got %v", err)
+	}
+	ff.Close()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != "01234" {
+		t.Fatalf("on-disk bytes %q, want the torn prefix", raw)
+	}
+}
+
+// TestCommitFailsWhenAppendFails injects a write fault mid-workload and
+// asserts the failing commit aborts cleanly: the transaction's in-memory
+// effects roll back, and recovery sees only the durable prefix.
+func TestCommitFailsWhenAppendFails(t *testing.T) {
+	dir := t.TempDir()
+
+	// First, measure how many bytes a healthy run appends so the budget can
+	// be placed mid-record.
+	probe := newEnv(t, t.TempDir(), Options{})
+	probe.createTable(t, "t", intCol("v"))
+	ddlBytes := probe.wal.Size()
+	probe.insert(t, "t", []types.Value{types.Int(0)})
+	rowBytes := probe.wal.Size() - ddlBytes
+	probe.wal.Close()
+
+	// Budget: DDL + 2 full rows + half a record. The third commit tears.
+	open, _ := faultyOpen(ddlBytes+2*rowBytes+rowBytes/2, false)
+	e := newEnv(t, dir, Options{OpenFile: open})
+	e.createTable(t, "t", intCol("v"))
+
+	var commitErr error
+	committed := 0
+	for i := 0; i < 5; i++ {
+		tx := e.mgr.Begin()
+		if _, err := tx.Insert("t", []types.Value{types.Int(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			commitErr = err
+			if tx.Status() != txn.Aborted {
+				t.Fatalf("failed commit left status %v", tx.Status())
+			}
+			break
+		}
+		committed++
+	}
+	if commitErr == nil {
+		t.Fatal("no commit failed despite write budget")
+	}
+	if committed != 2 {
+		t.Fatalf("expected 2 durable commits before the fault, got %d", committed)
+	}
+	// The aborted transaction's row must not be visible in memory.
+	if got := dump(t, e.store, "t"); len(got) != committed {
+		t.Fatalf("in-memory rows %v after aborted commit, want %d rows", got, committed)
+	}
+	// The log is sticky-failed: later commits fail too, without hanging.
+	tx := e.mgr.Begin()
+	if _, err := tx.Insert("t", []types.Value{types.Int(99)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err == nil {
+		t.Fatal("commit on a failed log should error")
+	}
+	e.wal.Close()
+
+	// Recovery over the torn file yields exactly the durable prefix.
+	e2 := newEnv(t, dir, Options{})
+	defer e2.wal.Close()
+	if got := dump(t, e2.store, "t"); !sameDump(got, []string{"[0]", "[1]"}) {
+		t.Fatalf("recovered rows %v, want the 2 durable commits", got)
+	}
+}
+
+func TestCommitFailsWhenFsyncFails(t *testing.T) {
+	dir := t.TempDir()
+	// Unlimited writes; the sync fault is armed only after DDL goes through,
+	// so the workload commit is the first operation to hit it.
+	open, files := faultyOpen(-1, false)
+	e := newEnv(t, dir, Options{OpenFile: open})
+	e.createTable(t, "t", intCol("v"))
+
+	// Arm the sync fault after DDL has gone through.
+	for _, f := range *files {
+		f.ArmSyncFault()
+	}
+	tx := e.mgr.Begin()
+	if _, err := tx.Insert("t", []types.Value{types.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	err := tx.Commit()
+	if err == nil {
+		t.Fatal("commit should fail when fsync fails")
+	}
+	if tx.Status() != txn.Aborted {
+		t.Fatalf("status %v, want Aborted", tx.Status())
+	}
+	if got := dump(t, e.store, "t"); len(got) != 0 {
+		t.Fatalf("rows %v survived a failed fsync commit", got)
+	}
+	e.wal.Close()
+
+	e2 := newEnv(t, dir, Options{})
+	defer e2.wal.Close()
+	if got := dump(t, e2.store, "t"); len(got) != 0 {
+		t.Fatalf("recovery resurrected unacknowledged rows: %v", got)
+	}
+}

@@ -1,0 +1,113 @@
+package wal
+
+import (
+	"errors"
+	"io"
+	"os"
+	"sync"
+)
+
+// File is the subset of *os.File the log writes through. Fault-injection
+// wrappers implement it to simulate write errors, torn writes, and crashed
+// processes in tests.
+type File interface {
+	io.Writer
+	Sync() error
+	Truncate(size int64) error
+	Close() error
+}
+
+// OpenFileFunc opens (creating if necessary) a log file for appending.
+// Options.OpenFile overrides it for fault injection.
+type OpenFileFunc func(path string) (File, error)
+
+func openOSFile(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+}
+
+// ErrInjected is returned by a FaultFile once its fault has tripped,
+// simulating a process crash mid-append.
+var ErrInjected = errors.New("wal: injected fault")
+
+// FaultFile wraps a File and injects failures: once WriteBudget bytes have
+// been written, the write that crosses the budget persists only its prefix
+// (a torn write) and fails, and every later operation returns ErrInjected.
+// With FailSync set, Sync fails without syncing (write-visible but never
+// durable), leaving writes subject to "loss" by whoever owns the real file.
+type FaultFile struct {
+	F           File
+	WriteBudget int64 // bytes writable before the fault trips; < 0 means unlimited
+	FailSync    bool
+
+	mu      sync.Mutex
+	written int64
+	tripped bool
+}
+
+// Tripped reports whether the injected fault has fired.
+func (f *FaultFile) Tripped() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.tripped
+}
+
+// ArmSyncFault makes every later Sync fail; tests use it to let setup (DDL)
+// through and then break durability for the workload under test.
+func (f *FaultFile) ArmSyncFault() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.FailSync = true
+}
+
+// Write passes through until the budget is exhausted, then writes the torn
+// prefix and trips the fault.
+func (f *FaultFile) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.tripped {
+		return 0, ErrInjected
+	}
+	if f.WriteBudget < 0 || f.written+int64(len(p)) <= f.WriteBudget {
+		n, err := f.F.Write(p)
+		f.written += int64(n)
+		return n, err
+	}
+	keep := f.WriteBudget - f.written
+	if keep > 0 {
+		n, _ := f.F.Write(p[:keep])
+		f.written += int64(n)
+	}
+	f.tripped = true
+	return int(max64(keep, 0)), ErrInjected
+}
+
+// Sync passes through unless the fault has tripped or FailSync is set.
+func (f *FaultFile) Sync() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.tripped || f.FailSync {
+		return ErrInjected
+	}
+	return f.F.Sync()
+}
+
+// Truncate passes through unless the fault has tripped.
+func (f *FaultFile) Truncate(size int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.tripped {
+		return ErrInjected
+	}
+	return f.F.Truncate(size)
+}
+
+// Close closes the underlying file (even after a trip, so tests can inspect
+// what actually reached disk).
+func (f *FaultFile) Close() error { return f.F.Close() }
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,550 @@
+// Package wal is STRIP's durability subsystem: a write-ahead log with group
+// commit, snapshot checkpoints, and crash recovery.
+//
+// STRIP is a main-memory database (paper §6.1); this package makes its state
+// survive process exit. The design mirrors the paper's batching philosophy:
+// just as unique transactions batch rule work across transaction boundaries,
+// group commit batches the fsyncs of concurrent committers into one disk
+// flush.
+//
+// Layout of a data directory:
+//
+//	wal.log      redo log: framed, CRC-protected records appended at commit
+//	snapshot.db  latest checkpoint: catalog + tables + indexes at one LSN
+//
+// Every record carries a monotone LSN. A checkpoint serializes all standard
+// tables at a quiesced LSN S (the caller holds shared locks on every table,
+// so table state is transaction-consistent and every effect in it is already
+// durable), durably replaces snapshot.db, then truncates the log. Recovery
+// loads the snapshot and replays log records with LSN > S; replay is
+// idempotent because the snapshot boundary is an LSN, not a file position.
+//
+// Commit ordering guarantee: Txn.Commit blocks on LogCommit before releasing
+// its locks, so a transaction's effects become visible to others only after
+// they are durable, and the log's LSN order respects every lock-induced
+// dependency.
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/stripdb/strip/internal/catalog"
+	"github.com/stripdb/strip/internal/index"
+	"github.com/stripdb/strip/internal/obs"
+	"github.com/stripdb/strip/internal/storage"
+	"github.com/stripdb/strip/internal/txn"
+)
+
+// File names inside a data directory.
+const (
+	LogName      = "wal.log"
+	SnapshotName = "snapshot.db"
+)
+
+var (
+	logMagic  = []byte("SWAL0001")
+	snapMagic = []byte("SSNP0001")
+)
+
+// ErrClosed is returned for appends to a closed log.
+var ErrClosed = fmt.Errorf("wal: log is closed")
+
+// SyncPolicy tunes group commit. The zero value is a sane default: flush as
+// soon as the committer queue drains, batching whatever accumulated while
+// the previous fsync was in flight, up to 64 commits per flush.
+type SyncPolicy struct {
+	// Every caps the number of commits batched into one fsync (default 64).
+	Every int
+	// Interval, when positive, is how long the group committer waits for
+	// more committers to arrive before flushing a non-full batch. Zero
+	// flushes as soon as the queue momentarily drains (lowest latency).
+	Interval time.Duration
+	// Disabled skips fsync entirely (benchmarks; durability is then only as
+	// good as the OS page cache).
+	Disabled bool
+}
+
+func (p SyncPolicy) every() int {
+	if p.Every <= 0 {
+		return 64
+	}
+	return p.Every
+}
+
+// Options configures Open.
+type Options struct {
+	// Sync is the group-commit policy.
+	Sync SyncPolicy
+	// OpenFile overrides how the log file is opened (fault injection).
+	OpenFile OpenFileFunc
+	// Registry receives the log's instruments; nil uses a private registry.
+	Registry *obs.Registry
+}
+
+// commitReq is one transaction waiting for group commit.
+type commitReq struct {
+	body []byte
+	done chan error
+}
+
+// Log is an open write-ahead log bound to a data directory.
+type Log struct {
+	dir      string
+	path     string
+	sync     SyncPolicy
+	openFile OpenFileFunc
+
+	// mu guards the file, LSN counter, and size; it serializes appends from
+	// the group committer, DDL appends, and checkpoint truncation.
+	mu      sync.Mutex
+	file    File
+	nextLSN uint64
+	size    int64
+	failed  error // sticky: after an append/sync error the log refuses work
+
+	reqCh      chan *commitReq
+	stopCh     chan struct{}
+	stopOnce   sync.Once
+	syncerDone chan struct{}
+	closeMu    sync.Mutex
+	closeErr   error
+	closed     bool
+
+	recovery RecoveryStats
+
+	appends       *obs.Counter
+	bytesTotal    *obs.Counter
+	fsyncs        *obs.Counter
+	checkpoints   *obs.Counter
+	recoveredTxns *obs.Counter
+	recoveredOps  *obs.Counter
+	tornTails     *obs.Counter
+	fsyncHist     *obs.Histogram
+	batchHist     *obs.Histogram
+	stallHist     *obs.Histogram
+	ckptHist      *obs.Histogram
+	recoveryGauge *obs.Gauge
+}
+
+// instrument binds the log's instruments to reg.
+func (l *Log) instrument(reg *obs.Registry) {
+	l.appends = reg.Counter(obs.MWalAppends)
+	l.bytesTotal = reg.Counter(obs.MWalBytes)
+	l.fsyncs = reg.Counter(obs.MWalFsyncs)
+	l.checkpoints = reg.Counter(obs.MWalCheckpoints)
+	l.recoveredTxns = reg.Counter(obs.MWalRecoveredTxns)
+	l.recoveredOps = reg.Counter(obs.MWalRecoveredOps)
+	l.tornTails = reg.Counter(obs.MWalTornTails)
+	l.fsyncHist = reg.Histogram(obs.MWalFsyncMicros)
+	l.batchHist = reg.Histogram(obs.MWalGroupBatch)
+	l.stallHist = reg.Histogram(obs.MWalCommitStall)
+	l.ckptHist = reg.Histogram(obs.MWalCheckpointMicros)
+	l.recoveryGauge = reg.Gauge(obs.MWalRecoveryMicros)
+}
+
+// Dir returns the data directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Size returns the log file's current size in bytes.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// NextLSN returns the LSN the next record will carry.
+func (l *Log) NextLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN
+}
+
+// LastRecovery reports what Open recovered from the data directory.
+func (l *Log) LastRecovery() RecoveryStats { return l.recovery }
+
+// LogCommit makes a committing transaction's write log durable, blocking
+// until its redo record is on disk (or the group-commit policy says it is).
+// It implements txn.DurableLog. Transactions with empty write logs are free.
+func (l *Log) LogCommit(t *txn.Txn) error {
+	recs := t.Log()
+	if len(recs) == 0 {
+		return nil
+	}
+	ops := make([]redoOp, len(recs))
+	for i, r := range recs {
+		op := redoOp{table: r.Table}
+		switch r.Op {
+		case txn.OpInsert:
+			op.kind = opInsert
+			op.new = r.New.Values()
+		case txn.OpDelete:
+			op.kind = opDelete
+			op.old = r.Old.Values()
+		case txn.OpUpdate:
+			op.kind = opUpdate
+			op.old = r.Old.Values()
+			op.new = r.New.Values()
+		default:
+			return fmt.Errorf("wal: unknown write-log op %v", r.Op)
+		}
+		ops[i] = op
+	}
+	req := &commitReq{body: encodeCommit(t.ID(), t.CommitTime(), ops), done: make(chan error, 1)}
+	start := time.Now()
+	select {
+	case l.reqCh <- req:
+	case <-l.stopCh:
+		return ErrClosed
+	}
+	// reqCh is buffered, so the send can succeed concurrently with Close: the
+	// syncer may exit with this request still queued and never answer done.
+	// syncerDone closing after drainPending means every handled request already
+	// has its result buffered in done — an empty done then means unhandled.
+	var err error
+	select {
+	case err = <-req.done:
+	case <-l.syncerDone:
+		select {
+		case err = <-req.done:
+		default:
+			return ErrClosed
+		}
+	}
+	l.stallHist.Record(time.Since(start).Microseconds())
+	return err
+}
+
+// run is the group-commit goroutine: it collects concurrent committers into
+// a batch, appends their records, issues one fsync, and wakes them all.
+func (l *Log) run() {
+	defer close(l.syncerDone)
+	for {
+		var first *commitReq
+		select {
+		case first = <-l.reqCh:
+		case <-l.stopCh:
+			l.drainPending()
+			return
+		}
+		batch := append(make([]*commitReq, 0, 8), first)
+		batch = l.collect(batch)
+		l.flush(batch)
+	}
+}
+
+// collect grows the batch per the sync policy.
+func (l *Log) collect(batch []*commitReq) []*commitReq {
+	every := l.sync.every()
+	if l.sync.Interval > 0 {
+		timer := time.NewTimer(l.sync.Interval)
+		defer timer.Stop()
+		for len(batch) < every {
+			select {
+			case r := <-l.reqCh:
+				batch = append(batch, r)
+			case <-timer.C:
+				return batch
+			case <-l.stopCh:
+				return batch
+			}
+		}
+		return batch
+	}
+	for len(batch) < every {
+		select {
+		case r := <-l.reqCh:
+			batch = append(batch, r)
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
+// drainPending flushes committers that were already queued when Close began.
+func (l *Log) drainPending() {
+	for {
+		var batch []*commitReq
+		for len(batch) < l.sync.every() {
+			select {
+			case r := <-l.reqCh:
+				batch = append(batch, r)
+			default:
+				goto collected
+			}
+		}
+	collected:
+		if len(batch) == 0 {
+			return
+		}
+		l.flush(batch)
+	}
+}
+
+// flush appends a batch of commit records and fsyncs once. On a mid-batch
+// write error the partially appended bytes are rolled back with Truncate so
+// no unacknowledged record can survive a subsequent OS flush.
+func (l *Log) flush(batch []*commitReq) {
+	l.mu.Lock()
+	err := l.failed
+	if err == nil {
+		startSize := l.size
+		startLSN := l.nextLSN
+		for _, r := range batch {
+			if err = l.appendLocked(recCommit, r.body); err != nil {
+				break
+			}
+		}
+		if err == nil {
+			err = l.syncLocked()
+		}
+		if err != nil {
+			// Roll the unacknowledged batch bytes back out of the file so a
+			// later OS flush (or recovery) cannot resurrect commits that were
+			// reported as failed.
+			if terr := l.file.Truncate(startSize); terr == nil {
+				l.size = startSize
+				l.nextLSN = startLSN
+			}
+		}
+	}
+	l.mu.Unlock()
+	l.batchHist.Record(int64(len(batch)))
+	for _, r := range batch {
+		r.done <- err
+	}
+}
+
+// appendLocked frames and writes one record; call with l.mu held.
+func (l *Log) appendLocked(kind byte, body []byte) error {
+	if l.failed != nil {
+		return l.failed
+	}
+	f := frame(kind, l.nextLSN, body)
+	if _, err := l.file.Write(f); err != nil {
+		l.failed = fmt.Errorf("wal: append: %w", err)
+		return l.failed
+	}
+	l.nextLSN++
+	l.size += int64(len(f))
+	l.appends.Inc()
+	l.bytesTotal.Add(int64(len(f)))
+	return nil
+}
+
+// syncLocked fsyncs the log file per policy; call with l.mu held.
+func (l *Log) syncLocked() error {
+	if l.sync.Disabled {
+		return nil
+	}
+	start := time.Now()
+	if err := l.file.Sync(); err != nil {
+		l.failed = fmt.Errorf("wal: fsync: %w", err)
+		return l.failed
+	}
+	l.fsyncs.Inc()
+	l.fsyncHist.Record(time.Since(start).Microseconds())
+	return nil
+}
+
+// appendDDL durably appends one DDL record (DDL is rare; it always syncs).
+func (l *Log) appendDDL(kind byte, body []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	startSize := l.size
+	startLSN := l.nextLSN
+	if err := l.appendLocked(kind, body); err != nil {
+		return err
+	}
+	if err := l.syncLocked(); err != nil {
+		if terr := l.file.Truncate(startSize); terr == nil {
+			l.size = startSize
+			l.nextLSN = startLSN
+		}
+		return err
+	}
+	return nil
+}
+
+// LogCreateTable records a CREATE TABLE.
+func (l *Log) LogCreateTable(s *catalog.Schema) error {
+	return l.appendDDL(recCreateTable, encodeCreateTable(s))
+}
+
+// LogCreateIndex records a CREATE INDEX.
+func (l *Log) LogCreateIndex(table, column string, kind index.Kind) error {
+	return l.appendDDL(recCreateIndex, encodeCreateIndex(table, column, kind))
+}
+
+// LogDropTable records a DROP TABLE.
+func (l *Log) LogDropTable(name string) error {
+	return l.appendDDL(recDropTable, encodeDropTable(name))
+}
+
+// Checkpoint serializes the catalog and every standard table to a new
+// snapshot file and truncates the log. tx must be an open transaction used
+// solely to quiesce writers: Checkpoint acquires a shared lock on every
+// table through it, so it waits for in-flight writers (whose commits are
+// durable by the time they release locks) and blocks new ones. The caller
+// must also hold whatever mutex serializes DDL against this engine.
+// Deadlock with concurrent writers surfaces as a lock-manager error; the
+// checkpoint can simply be retried.
+func (l *Log) Checkpoint(tx *txn.Txn, cat *catalog.Catalog, store *storage.Store) error {
+	start := time.Now()
+	names := cat.Names()
+	sort.Strings(names)
+	for _, n := range names {
+		if _, err := tx.ReadTable(n); err != nil {
+			return fmt.Errorf("wal: checkpoint: quiesce %q: %w", n, err)
+		}
+	}
+	l.mu.Lock()
+	snapLSN := l.nextLSN - 1
+	l.mu.Unlock()
+
+	body, err := encodeSnapshot(snapLSN, names, cat, store)
+	if err != nil {
+		return err
+	}
+	if err := writeSnapshotFile(l.dir, body); err != nil {
+		return err
+	}
+
+	// The snapshot is durable: reclaim the log. Appends cannot race this —
+	// every potential committer is blocked on a table lock held by tx, and
+	// DDL is excluded by the caller.
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.failed != nil {
+		return l.failed
+	}
+	if err := l.file.Truncate(0); err != nil {
+		l.failed = fmt.Errorf("wal: checkpoint truncate: %w", err)
+		return l.failed
+	}
+	l.size = 0
+	if _, err := l.file.Write(logMagic); err != nil {
+		l.failed = fmt.Errorf("wal: checkpoint header: %w", err)
+		return l.failed
+	}
+	l.size = int64(len(logMagic))
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	l.checkpoints.Inc()
+	l.ckptHist.Record(time.Since(start).Microseconds())
+	return nil
+}
+
+// Close stops the group committer (flushing committers already queued),
+// fsyncs, and closes the log file. It is idempotent.
+func (l *Log) Close() error {
+	l.stopOnce.Do(func() { close(l.stopCh) })
+	<-l.syncerDone
+	l.closeMu.Lock()
+	defer l.closeMu.Unlock()
+	if l.closed {
+		return l.closeErr
+	}
+	l.closed = true
+	l.mu.Lock()
+	err := l.syncLocked()
+	cerr := l.file.Close()
+	l.mu.Unlock()
+	if err == nil && cerr != nil {
+		err = cerr
+	}
+	l.closeErr = err
+	return err
+}
+
+// encodeSnapshot serializes catalog + tables + indexes at snapLSN.
+func encodeSnapshot(snapLSN uint64, names []string, cat *catalog.Catalog, store *storage.Store) ([]byte, error) {
+	e := &enc{}
+	e.u64(snapLSN)
+	e.u32(uint32(len(names)))
+	for _, name := range names {
+		schema, ok := cat.Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("wal: snapshot: table %q has no schema", name)
+		}
+		tbl, ok := store.Get(name)
+		if !ok {
+			return nil, fmt.Errorf("wal: snapshot: table %q has no storage", name)
+		}
+		encodeSchema(e, schema)
+		defs := tbl.IndexDefs()
+		e.u16(uint16(len(defs)))
+		for _, d := range defs {
+			e.str(d.Column)
+			e.u8(byte(d.Kind))
+		}
+		countAt := len(e.b)
+		e.u32(0) // row count, patched below
+		n := 0
+		tbl.Scan(func(r *storage.Record) bool {
+			e.row(r.Values())
+			n++
+			return true
+		})
+		putU32(e.b[countAt:], uint32(n))
+	}
+	return e.b, nil
+}
+
+func putU32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+// writeSnapshotFile durably replaces the snapshot: write to a temp file,
+// fsync, rename over SnapshotName, fsync the directory.
+func writeSnapshotFile(dir string, body []byte) error {
+	tmp, err := os.CreateTemp(dir, "snapshot-*.tmp")
+	if err != nil {
+		return fmt.Errorf("wal: snapshot temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() {
+		tmp.Close()
+		os.Remove(tmpName)
+	}
+	sum := crcOf(body)
+	for _, chunk := range [][]byte{snapMagic, body, sum} {
+		if _, err := tmp.Write(chunk); err != nil {
+			cleanup()
+			return fmt.Errorf("wal: snapshot write: %w", err)
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("wal: snapshot sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("wal: snapshot close: %w", err)
+	}
+	if err := os.Rename(tmpName, filepath.Join(dir, SnapshotName)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("wal: snapshot rename: %w", err)
+	}
+	return syncDir(dir)
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	// Some platforms cannot fsync directories; the rename is still atomic.
+	_ = d.Sync()
+	return nil
+}

@@ -14,7 +14,7 @@ import (
 // Run under -race this exercises the uniqueness hash, bound-table merging,
 // the lock manager, and copy-on-update storage together.
 func TestLiveConcurrentMaintenance(t *testing.T) {
-	db := Open(Config{Workers: 4})
+	db := MustOpen(Config{Workers: 4})
 	defer db.Close()
 
 	db.MustExec(`create table stocks (symbol text, price float)`)
@@ -119,7 +119,7 @@ func TestLiveConcurrentMaintenance(t *testing.T) {
 // Concurrent DML on disjoint tables must proceed in parallel without
 // deadlocks; on the same table, table-granularity locking serializes them.
 func TestLiveConcurrentTransactions(t *testing.T) {
-	db := Open(Config{Workers: 2})
+	db := MustOpen(Config{Workers: 2})
 	defer db.Close()
 	db.MustExec(`create table a (k int)`)
 	db.MustExec(`create table b (k int)`)

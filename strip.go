@@ -15,7 +15,7 @@
 // transactions, query processing, scheduling, and the rule system — behind
 // a small API:
 //
-//	db := strip.Open(strip.Config{})
+//	db := strip.MustOpen(strip.Config{})
 //	db.MustExec(`create table stocks (symbol text, price float)`)
 //	db.RegisterFunc("recompute", func(ctx *strip.ActionContext) error { ... })
 //	db.MustExec(`create rule r on stocks when updated price
@@ -27,7 +27,10 @@
 package strip
 
 import (
+	"errors"
 	"fmt"
+	"sync"
+	"time"
 
 	"github.com/stripdb/strip/internal/catalog"
 	"github.com/stripdb/strip/internal/clock"
@@ -41,6 +44,7 @@ import (
 	"github.com/stripdb/strip/internal/storage"
 	"github.com/stripdb/strip/internal/txn"
 	"github.com/stripdb/strip/internal/types"
+	"github.com/stripdb/strip/internal/wal"
 )
 
 // Re-exported engine types: the facade keeps one import path for users.
@@ -66,6 +70,10 @@ type (
 	CostModel = cost.Model
 	// ActionStats summarizes a user function's rule activity.
 	ActionStats = core.ActionStats
+	// SyncPolicy tunes the write-ahead log's group-commit fsync batching.
+	SyncPolicy = wal.SyncPolicy
+	// RecoveryStats summarizes what Open restored from a DataDir.
+	RecoveryStats = wal.RecoveryStats
 )
 
 // Value constructors, re-exported for building rows programmatically.
@@ -99,6 +107,13 @@ type Config struct {
 	// Cost enables virtual CPU accounting with the given model. Nil uses
 	// cost.Zero() in live mode and cost.Default() in virtual mode.
 	Cost *CostModel
+	// DataDir enables durability: commits reach a write-ahead log in this
+	// directory before they are acknowledged, Checkpoint snapshots the
+	// database there, and Open recovers whatever state the directory holds.
+	// Empty keeps the engine purely in-memory (the default).
+	DataDir string
+	// Sync tunes group-commit fsync batching (DataDir engines only).
+	Sync SyncPolicy
 }
 
 // DB is an open STRIP engine.
@@ -113,11 +128,24 @@ type DB struct {
 	txns   *txn.Manager
 	sched  *sched.Scheduler
 	engine *core.Engine
+	wal    *wal.Log
 	live   bool
+
+	// ddlMu serializes DDL against checkpoints: a checkpoint must see the
+	// catalog and the log agree on which tables exist.
+	ddlMu sync.Mutex
+
+	closeMu  sync.Mutex
+	closed   bool
+	closeErr error
 }
 
-// Open constructs an engine.
-func Open(cfg Config) *DB {
+// Open constructs an engine. With Config.DataDir set it first recovers the
+// directory's snapshot and write-ahead log — restoring tables, indexes, and
+// catalog — and every later commit becomes durable before it is
+// acknowledged. Rules and action functions are code, not data: re-register
+// them after Open and they arm over the recovered tables.
+func Open(cfg Config) (*DB, error) {
 	db := &DB{cfg: cfg}
 	if cfg.Virtual {
 		db.vclk = clock.NewVirtual()
@@ -141,6 +169,16 @@ func Open(cfg Config) *DB {
 	db.sched = sched.New(db.clk, cfg.Policy, db.meter, db.model)
 	db.sched.Instrument(db.obs)
 	db.engine = core.NewEngine(db.txns, db.sched)
+	if cfg.DataDir != "" {
+		// Recovery runs before any worker starts and before any rule can be
+		// registered, so replay never fires rules.
+		w, err := wal.Open(cfg.DataDir, wal.Options{Sync: cfg.Sync, Registry: db.obs}, db.txns.Catalog, db.txns.Store)
+		if err != nil {
+			return nil, err
+		}
+		db.wal = w
+		db.txns.SetWAL(w)
+	}
 	if !cfg.Virtual {
 		workers := cfg.Workers
 		if workers <= 0 {
@@ -149,15 +187,52 @@ func Open(cfg Config) *DB {
 		db.sched.Start(workers)
 		db.live = true
 	}
+	return db, nil
+}
+
+// MustOpen is Open that panics on error, for tests, examples, and
+// in-memory engines (which cannot fail to open).
+func MustOpen(cfg Config) *DB {
+	db, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
 	return db
 }
 
-// Close stops the worker pool (live mode).
-func (db *DB) Close() {
+// closeDrainTimeout bounds how long Close waits for queued ready tasks to
+// finish before stopping the workers.
+const closeDrainTimeout = 30 * time.Second
+
+// Close shuts the engine down: queued ready tasks are drained (bounded by a
+// timeout; unreleased delayed tasks are abandoned, matching Scheduler.Stop),
+// the worker pool stops after in-flight tasks finish, and the write-ahead
+// log receives a final fsync and is closed. Close is idempotent: second and
+// later calls return the first call's error without doing work.
+func (db *DB) Close() error {
+	db.closeMu.Lock()
+	defer db.closeMu.Unlock()
+	if db.closed {
+		return db.closeErr
+	}
+	db.closed = true
 	if db.live {
-		db.sched.Stop()
+		// Drain: let workers finish everything already runnable so those
+		// commits reach the log before the final fsync.
+		deadline := time.Now().Add(closeDrainTimeout)
+		for {
+			if _, ready := db.sched.Pending(); ready == 0 || time.Now().After(deadline) {
+				break
+			}
+			liveYield()
+		}
+		db.sched.Stop() // waits for in-flight tasks (and their commits)
 		db.live = false
 	}
+	if db.wal != nil {
+		db.closeErr = db.wal.Close()
+	}
+	return db.closeErr
 }
 
 // Begin starts a transaction.
@@ -188,12 +263,37 @@ func (db *DB) CreateTable(name string, cols ...Column) error {
 	if err != nil {
 		return err
 	}
+	db.ddlMu.Lock()
+	defer db.ddlMu.Unlock()
 	if err := db.txns.Catalog.Define(schema); err != nil {
 		return err
 	}
 	if _, err := db.txns.Store.Create(schema); err != nil {
 		db.txns.Catalog.Drop(name) //nolint:errcheck // best-effort unwind
 		return err
+	}
+	if db.wal != nil {
+		if err := db.wal.LogCreateTable(schema); err != nil {
+			db.txns.Store.Drop(name)   //nolint:errcheck // best-effort unwind
+			db.txns.Catalog.Drop(name) //nolint:errcheck
+			return err
+		}
+	}
+	return nil
+}
+
+// DropTable removes a table's schema and data (and logs the drop).
+func (db *DB) DropTable(name string) error {
+	db.ddlMu.Lock()
+	defer db.ddlMu.Unlock()
+	if err := db.txns.Catalog.Drop(name); err != nil {
+		return err
+	}
+	if err := db.txns.Store.Drop(name); err != nil {
+		return err
+	}
+	if db.wal != nil {
+		return db.wal.LogDropTable(name)
 	}
 	return nil
 }
@@ -219,7 +319,83 @@ func (db *DB) CreateIndex(table, column, kind string) error {
 	default:
 		return fmt.Errorf("strip: unknown index kind %q", kind)
 	}
-	return tbl.CreateIndex(column, k)
+	db.ddlMu.Lock()
+	defer db.ddlMu.Unlock()
+	if err := tbl.CreateIndex(column, k); err != nil {
+		return err
+	}
+	if db.wal != nil {
+		return db.wal.LogCreateIndex(table, column, k)
+	}
+	return nil
+}
+
+// ErrNoWAL is returned by durability operations on an engine opened without
+// a DataDir.
+var ErrNoWAL = errors.New("strip: engine has no DataDir (durability disabled)")
+
+// Checkpoint serializes the catalog and every standard table to a snapshot
+// file and truncates the write-ahead log. It quiesces writers by taking a
+// shared lock on every table inside a fresh transaction, so it is
+// transaction-consistent; a deadlock with a concurrent writer surfaces as an
+// error and the checkpoint can be retried.
+func (db *DB) Checkpoint() error {
+	if db.wal == nil {
+		return ErrNoWAL
+	}
+	db.ddlMu.Lock()
+	defer db.ddlMu.Unlock()
+	tx := db.Begin()
+	defer tx.Commit() //nolint:errcheck // read-only: commit cannot add redo records
+	return db.wal.Checkpoint(tx, db.txns.Catalog, db.txns.Store)
+}
+
+// WalInfo is a point-in-time view of the durability subsystem.
+type WalInfo struct {
+	// Dir is the data directory.
+	Dir string
+	// LogBytes is the current write-ahead log size.
+	LogBytes int64
+	// NextLSN is the LSN the next log record will carry.
+	NextLSN uint64
+	// Appends, Fsyncs, and Checkpoints count lifetime log activity.
+	Appends     int64
+	Fsyncs      int64
+	Checkpoints int64
+	// GroupBatch summarizes group-commit batch sizes (commits per fsync).
+	GroupBatch HistogramSnapshot
+	// FsyncMicros summarizes fsync latency.
+	FsyncMicros HistogramSnapshot
+	// Recovery describes what Open restored from the directory.
+	Recovery RecoveryStats
+}
+
+// WalInfo reports write-ahead log state; ok is false when the engine has no
+// DataDir.
+func (db *DB) WalInfo() (info WalInfo, ok bool) {
+	if db.wal == nil {
+		return WalInfo{}, false
+	}
+	return WalInfo{
+		Dir:         db.wal.Dir(),
+		LogBytes:    db.wal.Size(),
+		NextLSN:     db.wal.NextLSN(),
+		Appends:     db.obs.Counter(obs.MWalAppends).Load(),
+		Fsyncs:      db.obs.Counter(obs.MWalFsyncs).Load(),
+		Checkpoints: db.obs.Counter(obs.MWalCheckpoints).Load(),
+		GroupBatch:  db.obs.Histogram(obs.MWalGroupBatch).Snapshot(),
+		FsyncMicros: db.obs.Histogram(obs.MWalFsyncMicros).Snapshot(),
+		Recovery:    db.wal.LastRecovery(),
+	}, true
+}
+
+// LastRecovery reports what Open recovered from the DataDir (zero value for
+// in-memory engines).
+func (db *DB) LastRecovery() RecoveryStats {
+	if db.wal == nil {
+		return RecoveryStats{}
+	}
+	return db.wal.LastRecovery()
 }
 
 // Insert adds one row in its own transaction.

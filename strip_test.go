@@ -12,7 +12,7 @@ import (
 // setupPTA builds the paper's small Figure 4 database through the SQL API.
 func setupPTA(t testing.TB, cfg Config) *DB {
 	t.Helper()
-	db := Open(cfg)
+	db := MustOpen(cfg)
 	for _, stmt := range []string{
 		`create table stocks (symbol text, price float)`,
 		`create index on stocks (symbol)`,
@@ -126,7 +126,7 @@ func TestEndToEndLive(t *testing.T) {
 }
 
 func TestExecErrors(t *testing.T) {
-	db := Open(Config{Virtual: true})
+	db := MustOpen(Config{Virtual: true})
 	cases := []string{
 		`select * from missing`,
 		`create table t (a blob)`,
@@ -150,7 +150,7 @@ func TestExecErrors(t *testing.T) {
 }
 
 func TestExecDDLAndDML(t *testing.T) {
-	db := Open(Config{Virtual: true})
+	db := MustOpen(Config{Virtual: true})
 	db.MustExec(`create table t (a int, b float)`)
 	r := db.MustExec(`insert into t values (1, 2.5), (2, 5.0)`)
 	if r.Affected != 2 {
@@ -215,7 +215,7 @@ func TestRegisterScalarFunc(t *testing.T) {
 	RegisterScalarFunc("twice", func(args []Value) (Value, error) {
 		return Float(args[0].Float() * 2), nil
 	})
-	db := Open(Config{Virtual: true})
+	db := MustOpen(Config{Virtual: true})
 	db.MustExec(`create table t (a float)`)
 	db.MustExec(`insert into t values (21)`)
 	res := db.MustExec(`select twice(a) as b from t`)
@@ -225,7 +225,7 @@ func TestRegisterScalarFunc(t *testing.T) {
 }
 
 func TestMustExecPanics(t *testing.T) {
-	db := Open(Config{Virtual: true})
+	db := MustOpen(Config{Virtual: true})
 	defer func() {
 		if recover() == nil {
 			t.Error("MustExec did not panic")
@@ -235,7 +235,7 @@ func TestMustExecPanics(t *testing.T) {
 }
 
 func TestAdvanceToPanicsOnRealClock(t *testing.T) {
-	db := Open(Config{Workers: 1})
+	db := MustOpen(Config{Workers: 1})
 	defer db.Close()
 	defer func() {
 		if recover() == nil {

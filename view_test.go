@@ -136,7 +136,7 @@ func TestCreateMaterializedViewErrors(t *testing.T) {
 
 func mustSelect(t *testing.T, sql string) *Select {
 	t.Helper()
-	db := Open(Config{Virtual: true}) // parse via a scratch engine
+	db := MustOpen(Config{Virtual: true}) // parse via a scratch engine
 	_ = db
 	stmt, err := parseSelect(sql)
 	if err != nil {
