@@ -1,0 +1,279 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	strip "github.com/stripdb/strip"
+	"github.com/stripdb/strip/internal/obs"
+	"github.com/stripdb/strip/internal/query"
+	"github.com/stripdb/strip/internal/types"
+)
+
+// The contention experiment measures how committed-transaction throughput
+// scales with the worker-pool size when every transaction touches the same
+// two tables. Before record-level locking the rule's recompute transactions
+// serialized on table X locks regardless of worker count; with the sharded
+// manager and per-row locks, updates to distinct symbols proceed in
+// parallel and throughput should scale with workers.
+//
+// The workload is round-based so every worker count commits exactly the
+// same transactions: each round updates every symbol's position price once
+// (firing one unique recompute task per symbol), then waits for the engine
+// to drain before the next round. Elapsed time is the only variable.
+
+type contentionRun struct {
+	Workers   int     `json:"workers"`
+	Committed int64   `json:"committed"`
+	ElapsedMs float64 `json:"elapsed_ms"`
+	TPS       float64 `json:"tps"`
+	Speedup   float64 `json:"speedup"`
+
+	LockAcquires       int64   `json:"lock_acquires"`
+	LockRecordAcquires int64   `json:"lock_record_acquires"`
+	LockWaits          int64   `json:"lock_waits"`
+	LockDeadlocks      int64   `json:"lock_deadlocks"`
+	LockTimeouts       int64   `json:"lock_timeouts"`
+	DetectorRuns       int64   `json:"detector_runs"`
+	DetectorCycles     int64   `json:"detector_cycles"`
+	Escalations        int64   `json:"escalations"`
+	ShardLoads         []int64 `json:"shard_loads"`
+
+	TaskErrors int64 `json:"task_errors"`
+	Restarts   int64 `json:"restarts"`
+}
+
+type contentionResult struct {
+	Experiment  string          `json:"experiment"`
+	Scale       string          `json:"scale"`
+	Symbols     int             `json:"symbols"`
+	Rounds      int             `json:"rounds"`
+	ThinkMicros int             `json:"think_micros"`
+	Runs        []contentionRun `json:"runs"`
+}
+
+// think parks the task for d while it holds its locks, modeling the
+// recompute's work (the paper's actions spend hundreds of microseconds per
+// firing). A worker running a thinking task is busy for the duration, so
+// with one worker tasks serialize; with N workers up to N tasks overlap —
+// but only if their locks are disjoint. Under table-granularity X locks a
+// blocked task stalls its worker and the sweep stays flat, so the curve
+// directly measures lock granularity rather than host core count.
+func think(d time.Duration) { time.Sleep(d) }
+
+func parseWorkers(spec string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad worker count %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty worker list")
+	}
+	return out, nil
+}
+
+// contentionOnce runs the full round-based workload on a fresh live engine
+// with w workers and reports the run's committed count and lock statistics.
+func contentionOnce(w, symbols, rounds int, thinkWork time.Duration) (contentionRun, error) {
+	db := strip.MustOpen(strip.Config{Workers: w})
+	defer db.Close()
+
+	db.MustExec(`create table positions (symbol text, qty int, price float)`)
+	db.MustExec(`create index on positions (symbol)`)
+	db.MustExec(`create table portfolio (symbol text, value float)`)
+	db.MustExec(`create index on portfolio (symbol)`)
+	for i := 0; i < symbols; i++ {
+		db.MustExec(fmt.Sprintf(`insert into positions values ('S%03d', %d, 100)`, i, 10+i%7))
+		db.MustExec(fmt.Sprintf(`insert into portfolio values ('S%03d', %g)`, i, float64(10+i%7)*100))
+	}
+
+	if err := db.RegisterFunc("revalue", func(ctx *strip.ActionContext) error {
+		m, _ := ctx.Bound("changes")
+		for i := 0; i < m.Len(); i++ {
+			sch := m.Schema()
+			sym := m.Value(i, sch.ColIndex("symbol"))
+			rows, _, err := strip.QueryAction(ctx, fmt.Sprintf(
+				`select qty, price from positions where symbol = '%v'`, sym))
+			if err != nil {
+				return err
+			}
+			value := 0.0
+			for _, r := range rows {
+				value += float64(r[0].Int()) * r[1].Float()
+			}
+			// Update before thinking so the portfolio row's X lock is
+			// held for the task's full duration — the worst case for a
+			// coarse-grained lock manager.
+			if _, err := strip.ExecAction(ctx, fmt.Sprintf(
+				`update portfolio set value = %g where symbol = '%v'`, value, sym)); err != nil {
+				return err
+			}
+			think(thinkWork)
+		}
+		return nil
+	}); err != nil {
+		return contentionRun{}, err
+	}
+	db.MustExec(`
+	  create rule revalue_portfolio on positions
+	  when updated price
+	  if select symbol, price from new bind as changes
+	  then execute revalue
+	  unique on symbol`)
+
+	// The driver pool size is fixed (independent of the engine's worker
+	// count) so feeding updates costs the same in every run; only the
+	// recompute tasks' execution varies with Workers.
+	const drivers = 4
+	base := db.Txns().Committed()
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		var wg sync.WaitGroup
+		errs := make(chan error, drivers)
+		for g := 0; g < drivers; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for s := g; s < symbols; s += drivers {
+					stmt := &query.UpdateStmt{
+						Table: "positions",
+						Set: []query.SetClause{{
+							Col: "price", Expr: query.Const(types.Float(0.25)), AddTo: true,
+						}},
+						Where: []query.Pred{query.Eq(
+							query.Col("symbol"),
+							query.Const(types.Str(fmt.Sprintf("S%03d", s))))},
+					}
+					tx := db.Begin()
+					if _, err := stmt.Run(tx); err != nil {
+						tx.Abort()
+						errs <- err
+						return
+					}
+					if err := tx.Commit(); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		select {
+		case err := <-errs:
+			return contentionRun{}, err
+		default:
+		}
+		// Barrier on the committed count, not just queue emptiness:
+		// WaitIdle can observe the instant between a driver commit and
+		// its task enqueue, and an early return would let next-round
+		// firings merge into still-queued tasks, skewing the totals.
+		// Each round commits `symbols` driver txns plus `symbols`
+		// recompute txns.
+		target := int64((r + 1) * symbols * 2)
+		for db.Txns().Committed()-base < target {
+			db.WaitIdle()
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+	elapsed := time.Since(start)
+
+	st := db.Stats("revalue")
+	ls := db.LockStats()
+	snap := db.Metrics()
+	committed := db.Txns().Committed() - base
+	run := contentionRun{
+		Workers:   w,
+		Committed: committed,
+		ElapsedMs: float64(elapsed.Microseconds()) / 1000,
+		TPS:       float64(committed) / elapsed.Seconds(),
+
+		LockAcquires:       ls.Acquires,
+		LockRecordAcquires: ls.RecordAcquires,
+		LockWaits:          ls.Waits,
+		LockDeadlocks:      ls.Deadlocks,
+		LockTimeouts:       ls.Timeouts,
+		DetectorRuns:       ls.DetectorRuns,
+		DetectorCycles:     ls.DetectorCycles,
+		Escalations:        snap.Counters[obs.MLockEscalations],
+		ShardLoads:         db.LockShardLoads(),
+
+		TaskErrors: st.TaskErrors,
+		Restarts:   st.Restarts,
+	}
+	if st.TaskErrors != 0 {
+		return run, fmt.Errorf("workers=%d: %d task errors (%d restarts)",
+			w, st.TaskErrors, st.Restarts)
+	}
+	return run, nil
+}
+
+func runContention(metricsPath, scale, workersSpec string, progress func(string)) {
+	workers, err := parseWorkers(workersSpec)
+	if err != nil {
+		fail(err)
+	}
+	symbols, rounds := 48, 12
+	thinkWork := 500 * time.Microsecond
+	if scale == "small" {
+		symbols, rounds = 24, 4
+	}
+
+	res := contentionResult{
+		Experiment:  "contention",
+		Scale:       scale,
+		Symbols:     symbols,
+		Rounds:      rounds,
+		ThinkMicros: int(thinkWork / time.Microsecond),
+	}
+	var baseTPS float64
+	for _, w := range workers {
+		run, err := contentionOnce(w, symbols, rounds, thinkWork)
+		if err != nil {
+			fail(err)
+		}
+		if baseTPS == 0 {
+			baseTPS = run.TPS
+		}
+		run.Speedup = run.TPS / baseTPS
+		res.Runs = append(res.Runs, run)
+		if progress != nil {
+			progress(fmt.Sprintf("contention workers=%d committed=%d elapsed=%.1fms tps=%.0f speedup=%.2fx waits=%d",
+				w, run.Committed, run.ElapsedMs, run.TPS, run.Speedup, run.LockWaits))
+		}
+	}
+
+	fmt.Printf("%-8s %10s %12s %10s %8s %8s %12s\n",
+		"workers", "committed", "elapsed_ms", "tps", "speedup", "waits", "rec_locks")
+	for _, r := range res.Runs {
+		fmt.Printf("%-8d %10d %12.1f %10.0f %7.2fx %8d %12d\n",
+			r.Workers, r.Committed, r.ElapsedMs, r.TPS, r.Speedup, r.LockWaits, r.LockRecordAcquires)
+	}
+
+	if metricsPath == "" {
+		return
+	}
+	f, err := os.Create(metricsPath)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&res); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", metricsPath)
+}

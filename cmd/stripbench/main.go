@@ -9,6 +9,7 @@
 //	stripbench -exp sched               # scheduler-policy ablation
 //	stripbench -exp locality            # burstiness sweep ablation
 //	stripbench -exp fig13 -include-option-symbol
+//	stripbench -exp contention -workers 1,2,4,8   # lock-scaling sweep
 //
 // Paper-scale runs replay ≈60,000 updates per (variant, delay) point and
 // take a few minutes in total; -scale small completes in seconds.
@@ -24,13 +25,15 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, comps, options, fig9..fig14, table1, sched, locality, taper, wal")
+	exp := flag.String("exp", "all", "experiment: all, comps, options, fig9..fig14, table1, sched, locality, taper, wal, contention")
 	scale := flag.String("scale", "paper", "workload scale: paper or small")
 	includeOptSym := flag.Bool("include-option-symbol", false,
 		"also run the unique-on-option_symbol configuration (the paper found it unmanageable)")
 	quiet := flag.Bool("q", false, "suppress per-run progress")
 	metricsPath := flag.String("metrics", "BENCH_metrics.json",
 		"write a per-run metrics artifact (throughput, p95/p99 action latency, max staleness) to this file; empty disables")
+	workers := flag.String("workers", "1,2,4,8",
+		"comma-separated worker-pool sizes for -exp contention")
 	flag.Parse()
 
 	wcfg := ptabench.PaperScale()
@@ -50,6 +53,14 @@ func main() {
 		printTable1()
 	case "wal":
 		runWalBench(*metricsPath, progress)
+	case "contention":
+		// The lock-scaling sweep gets its own artifact so it never
+		// clobbers the figure metrics from other experiments.
+		path := *metricsPath
+		if path == "BENCH_metrics.json" {
+			path = "BENCH_contention.json"
+		}
+		runContention(path, *scale, *workers, progress)
 	case "sched":
 		if err := ptabench.RunSchedAblation(os.Stdout, wcfg, progress); err != nil {
 			fail(err)

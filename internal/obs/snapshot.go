@@ -14,10 +14,16 @@ const (
 	MTxnCommitMicros = "txn.commit_micros"
 	MTxnAbortMicros  = "txn.abort_micros"
 
-	MLockAcquires   = "lock.acquires"
-	MLockWaits      = "lock.waits"
-	MLockDeadlocks  = "lock.deadlocks"
-	MLockWaitMicros = "lock.wait_micros"
+	MLockAcquires       = "lock.acquires"
+	MLockWaits          = "lock.waits"
+	MLockDeadlocks      = "lock.deadlocks"
+	MLockWaitMicros     = "lock.wait_micros"
+	MLockTimeouts       = "lock.wait_timeouts"
+	MLockDetectorRuns   = "lock.detector_runs"
+	MLockDetectorCycles = "lock.detector_cycles"
+	MLockRecordAcquires = "lock.record_acquires"
+	MLockEscalations    = "lock.escalations"
+	MLockShards         = "lock.shards"
 
 	MSchedSubmitted      = "sched.submitted"
 	MSchedCompleted      = "sched.completed"

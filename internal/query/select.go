@@ -17,8 +17,9 @@ type Resolver interface {
 	Resolve(tx *txn.Txn, name string) (*storage.Table, *storage.TempTable, error)
 }
 
-// TxnResolver resolves names against the database only, acquiring shared
-// locks through the transaction.
+// TxnResolver resolves names against the database only, acquiring
+// intention-shared table locks through the transaction; the executor then
+// locks the individual rows it reads (or escalates a scan to table S).
 type TxnResolver struct{}
 
 // Resolve implements Resolver.
@@ -422,7 +423,10 @@ func (ex *exec) join(level int, cur []cursor) error {
 			return err
 		}
 		ex.tx.Charge(model.IndexProbe)
-		recs, _ := s.tbl.IndexLookup(pr.col, v)
+		recs, err := ex.lockedLookup(s, pr.col, v)
+		if err != nil {
+			return err
+		}
 		for _, r := range recs {
 			if err := visit(cursor{src: s, rec: r}); err != nil {
 				return err
@@ -432,6 +436,12 @@ func (ex *exec) join(level int, cur []cursor) error {
 	}
 
 	if s.tbl != nil {
+		// A full scan locks the whole table shared rather than every row
+		// (read-side escalation); this also shuts out record writers whose
+		// IX would otherwise let rows change mid-scan.
+		if _, err := ex.tx.ScanTable(s.name); err != nil {
+			return err
+		}
 		var visitErr error
 		s.tbl.Scan(func(r *storage.Record) bool {
 			ex.tx.Charge(model.ScanRow)
@@ -450,6 +460,40 @@ func (ex *exec) join(level int, cur []cursor) error {
 		}
 	}
 	return nil
+}
+
+// lockedLookup probes the index and S-locks exactly the rows it returns.
+// Acquiring the record lock can block behind a writer that replaces or
+// deletes the row before committing (copy-on-update replacements keep the
+// lock ID); when the granted record turns out stale the probe re-runs — the
+// lock already held covers the replacement, so a bounded number of retries
+// settles unless the index entry churns pathologically, in which case the
+// probe escalates to a whole-table S as the always-correct fallback.
+func (ex *exec) lockedLookup(s *source, col string, v types.Value) ([]*storage.Record, error) {
+	const maxAttempts = 3
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		recs, _ := s.tbl.IndexLookup(col, v)
+		out := recs[:0]
+		stale := false
+		for _, r := range recs {
+			if err := ex.tx.LockRecordShared(s.name, r.ID()); err != nil {
+				return nil, err
+			}
+			if !r.Live() {
+				stale = true
+				break
+			}
+			out = append(out, r)
+		}
+		if !stale {
+			return out, nil
+		}
+	}
+	if _, err := ex.tx.ScanTable(s.name); err != nil {
+		return nil, err
+	}
+	recs, _ := s.tbl.IndexLookup(col, v)
+	return recs, nil
 }
 
 // prepareOutput builds the result temp table: schema, pointer slots, and

@@ -109,11 +109,13 @@ func (s *DeleteStmt) Run(tx *txn.Txn) (int, error) {
 }
 
 // collectTargets gathers the records matching the WHERE clause before any
-// mutation (a statement must not observe its own writes mid-scan). It takes
-// the exclusive lock up front.
+// mutation (a statement must not observe its own writes mid-scan). Indexed
+// probes take the table's IX intent plus X locks on just the probed rows, so
+// statements targeting different rows of one table run in parallel;
+// scan-driven statements escalate to a full table X up front.
 func collectTargets(tx *txn.Txn, table string, where []Pred) ([]*storage.Record, []*source, error) {
 	model := tx.Model()
-	tbl, err := tx.WriteTable(table)
+	tbl, err := tx.WriteIntent(table)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -156,7 +158,10 @@ func collectTargets(tx *txn.Txn, table string, where []Pred) ([]*storage.Record,
 	tx.Charge(model.OpenCursor)
 	if probeCol != "" {
 		tx.Charge(model.IndexProbe)
-		candidates, _ := tbl.IndexLookup(probeCol, probeVal)
+		candidates, err := lockedWriteLookup(tx, table, tbl, probeCol, probeVal)
+		if err != nil {
+			return nil, nil, err
+		}
 		for _, r := range candidates {
 			tx.Charge(model.FetchCursor)
 			ok, err := match(r)
@@ -168,6 +173,11 @@ func collectTargets(tx *txn.Txn, table string, where []Pred) ([]*storage.Record,
 			}
 		}
 	} else {
+		// No usable index: the statement reads the whole table to decide
+		// its targets, so take the full X (write-side escalation).
+		if _, err := tx.WriteTable(table); err != nil {
+			return nil, nil, err
+		}
 		var scanErr error
 		tbl.Scan(func(r *storage.Record) bool {
 			tx.Charge(model.ScanRow)
@@ -187,6 +197,37 @@ func collectTargets(tx *txn.Txn, table string, where []Pred) ([]*storage.Record,
 	}
 	tx.Charge(model.CloseCursor)
 	return recs, srcs, nil
+}
+
+// lockedWriteLookup probes the index and X-locks the rows it returns,
+// retrying when a row was replaced while the lock request waited (the
+// replacement keeps the lock ID, so the retry's re-probe is already
+// covered). Persistent churn escalates to a full table X.
+func lockedWriteLookup(tx *txn.Txn, name string, tbl *storage.Table, col string, v types.Value) ([]*storage.Record, error) {
+	const maxAttempts = 3
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		recs, _ := tbl.IndexLookup(col, v)
+		out := recs[:0]
+		stale := false
+		for _, r := range recs {
+			if err := tx.LockRecordExclusive(name, r.ID()); err != nil {
+				return nil, err
+			}
+			if !r.Live() {
+				stale = true
+				break
+			}
+			out = append(out, r)
+		}
+		if !stale {
+			return out, nil
+		}
+	}
+	if _, err := tx.WriteTable(name); err != nil {
+		return nil, err
+	}
+	recs, _ := tbl.IndexLookup(col, v)
+	return recs, nil
 }
 
 // constEq recognizes `col = literal` (either side).

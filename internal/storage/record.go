@@ -21,6 +21,12 @@ import (
 type Record struct {
 	vals []types.Value
 
+	// id is the record's stable lock identity, assigned from the table's
+	// ID counter at insert. Copy-on-update replacements inherit the old
+	// record's id, so a record-granularity lock taken on (table, id) keeps
+	// covering the row across versions; see Table.Update.
+	id uint64
+
 	next, prev *Record
 	table      *Table
 
@@ -44,6 +50,10 @@ func (r *Record) Values() []types.Value {
 
 // NumCols returns the record's column count.
 func (r *Record) NumCols() int { return len(r.vals) }
+
+// ID returns the record's stable lock identity within its table. All
+// versions of a logical row (through copy-on-update) share one ID.
+func (r *Record) ID() uint64 { return r.id }
 
 // Table returns the table the record belongs (or belonged) to.
 func (r *Record) Table() *Table { return r.table }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/stripdb/strip/internal/catalog"
 	"github.com/stripdb/strip/internal/index"
@@ -34,6 +35,11 @@ type Table struct {
 	count    int64
 	indexes  map[string]index.Index // column name -> index
 	idxKinds map[string]index.Kind  // column name -> index kind (for checkpoints)
+
+	// nextRec allocates stable record lock IDs (see Record.ID). Atomic so
+	// transactions can reserve an ID — and lock it — before linking the
+	// record (lock-before-visible insert protocol in internal/txn).
+	nextRec atomic.Uint64
 
 	stats struct {
 		inserts, deletes, updates, retiredHeld int64
@@ -110,12 +116,23 @@ func (t *Table) HasIndex(column string) bool {
 	return ok
 }
 
+// ReserveID allocates a record lock ID without creating a record, so a
+// transaction can X-lock (table, id) before the row becomes visible via
+// InsertReserved. Reserved IDs that are never used are simply skipped.
+func (t *Table) ReserveID() uint64 { return t.nextRec.Add(1) }
+
 // Insert appends a new record with the given values.
 func (t *Table) Insert(vals []types.Value) (*Record, error) {
+	return t.InsertReserved(t.ReserveID(), vals)
+}
+
+// InsertReserved appends a new record under a previously reserved lock ID
+// (see ReserveID).
+func (t *Table) InsertReserved(id uint64, vals []types.Value) (*Record, error) {
 	if err := t.schema.CheckRow(vals); err != nil {
 		return nil, err
 	}
-	r := &Record{vals: coerceRow(t.schema, vals), table: t}
+	r := &Record{vals: coerceRow(t.schema, vals), table: t, id: id}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.link(r)
@@ -171,7 +188,9 @@ func (t *Table) Update(r *Record, vals []types.Value) (*Record, error) {
 	// deleteLocked counted a delete; reclassify as an update.
 	t.stats.deletes--
 	t.stats.updates++
-	nr := &Record{vals: coerceRow(t.schema, vals), table: t}
+	// The replacement inherits the old record's lock ID so a record lock on
+	// (table, id) covers the row across copy-on-update versions.
+	nr := &Record{vals: coerceRow(t.schema, vals), table: t, id: r.id}
 	t.link(nr)
 	t.count++
 	for col, ix := range t.indexes {

@@ -1,0 +1,190 @@
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/stripdb/strip/internal/lock"
+)
+
+// waitForLockWaiters spins until the lock manager has seen n waits.
+func waitForLockWaiters(t testing.TB, mgr *Manager, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for mgr.Locks.Stats().Waits < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d lock waiters (have %d)",
+				n, mgr.Locks.Stats().Waits)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Past the escalation threshold a transaction trades its record locks for a
+// full table lock, which then blocks writers on rows it never touched.
+func TestEscalationToTableLock(t *testing.T) {
+	mgr, _ := newEnv(t)
+	mgr.EscalateAt = 4
+	tx := mgr.Begin()
+	for i := 0; i < 6; i++ {
+		if _, err := tx.Insert("stocks", row(fmt.Sprintf("S%d", i), float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mode, ok := mgr.Locks.Holds(tx.ID(), "stocks"); !ok || mode != lock.Exclusive {
+		t.Fatalf("table mode after escalation = %v (held=%v), want X", mode, ok)
+	}
+	// A disjoint writer now blocks even though its row was never touched.
+	done := make(chan error, 1)
+	go func() {
+		tx2 := mgr.Begin()
+		_, err := tx2.Insert("stocks", row("OTHER", 99))
+		if err == nil {
+			err = tx2.Commit()
+		}
+		done <- err
+	}()
+	waitForLockWaiters(t, mgr, 1)
+	select {
+	case err := <-done:
+		t.Fatalf("writer completed under an escalated table X: %v", err)
+	default:
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Below the threshold, record locks are used and the table lock stays IX.
+func TestNoEscalationBelowThreshold(t *testing.T) {
+	mgr, _ := newEnv(t)
+	mgr.EscalateAt = 100
+	tx := mgr.Begin()
+	for i := 0; i < 6; i++ {
+		if _, err := tx.Insert("stocks", row(fmt.Sprintf("S%d", i), float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mode, ok := mgr.Locks.Holds(tx.ID(), "stocks"); !ok || mode != lock.IntentExclusive {
+		t.Fatalf("table mode = %v (held=%v), want IX", mode, ok)
+	}
+	if st := mgr.Locks.Stats(); st.RecordAcquires != 6 {
+		t.Errorf("RecordAcquires = %d, want 6", st.RecordAcquires)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ScanTable's full S blocks record writers (their IX conflicts) — the
+// read-side escalation scans rely on, and what wal.Checkpoint uses to
+// quiesce a table.
+func TestScanTableBlocksRecordWriter(t *testing.T) {
+	mgr, _ := newEnv(t)
+	tx1 := mgr.Begin()
+	if _, err := tx1.ScanTable("stocks"); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		tx2 := mgr.Begin()
+		_, err := tx2.Insert("stocks", row("A", 1))
+		if err == nil {
+			err = tx2.Commit()
+		}
+		done <- err
+	}()
+	waitForLockWaiters(t, mgr, 1)
+	select {
+	case err := <-done:
+		t.Fatalf("record writer completed under a table S: %v", err)
+	default:
+	}
+	if err := tx1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ReadTable's IS does not block record writers on other rows: readers
+// declare intent and lock only the rows they touch.
+func TestReadTableIntentAllowsDisjointWriter(t *testing.T) {
+	mgr, _ := newEnv(t)
+	setup := mgr.Begin()
+	rec, err := setup.Insert("stocks", row("A", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := setup.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	reader := mgr.Begin()
+	if _, err := reader.ReadTable("stocks"); err != nil {
+		t.Fatal(err)
+	}
+	if err := reader.LockRecordShared("stocks", rec.ID()); err != nil {
+		t.Fatal(err)
+	}
+	writer := mgr.Begin()
+	if _, err := writer.Insert("stocks", row("B", 2)); err != nil {
+		t.Fatal(err) // must not block on the reader's IS + record S
+	}
+	if err := writer.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := reader.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if st := mgr.Locks.Stats(); st.Waits != 0 {
+		t.Errorf("Waits = %d, want 0", st.Waits)
+	}
+}
+
+// Concurrent transactions hammer disjoint key ranges of one table with
+// inserts, updates, and deletes; deadlock victims retry. Run with -race.
+func TestConcurrentDisjointRowStress(t *testing.T) {
+	mgr, _ := newEnv(t)
+	const workers = 8
+	const opsPerWorker = 40
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < opsPerWorker; i++ {
+				for {
+					tx := mgr.Begin()
+					rec, err := tx.Insert("stocks", row(fmt.Sprintf("W%d-%d", w, i), float64(i)))
+					if err == nil {
+						_, err = tx.Update("stocks", rec, row(fmt.Sprintf("W%d-%d", w, i), float64(i+1)))
+					}
+					if err == nil {
+						err = tx.Commit()
+						if err != nil {
+							t.Errorf("commit: %v", err)
+						}
+						break
+					}
+					if !errors.Is(err, lock.ErrDeadlock) {
+						t.Errorf("worker %d: %v", w, err)
+						tx.Abort()
+						break
+					}
+					tx.Abort()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := mgr.Committed(); got != workers*opsPerWorker {
+		t.Errorf("Committed = %d, want %d", got, workers*opsPerWorker)
+	}
+}

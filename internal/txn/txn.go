@@ -1,7 +1,9 @@
 // Package txn implements STRIP transactions.
 //
 // A transaction buffers no writes — changes apply to storage immediately
-// under exclusive table locks, with an undo log for rollback. The write log
+// under a two-level lock protocol (table-level intents covering exclusive
+// record locks, escalating to full table locks past a threshold), with an
+// undo log for rollback. The write log
 // doubles as the rule system's event audit trail: it preserves every change
 // in execution order (no net-effect reduction, paper §2), numbered by the
 // execute_order sequence that transition tables expose.
@@ -84,6 +86,10 @@ type DurableLog interface {
 	LogCommit(*Txn) error
 }
 
+// DefaultEscalation is the record-lock count per table at which a
+// transaction escalates to a full table lock (see Manager.EscalateAt).
+const DefaultEscalation = 64
+
 // Manager creates and coordinates transactions.
 type Manager struct {
 	Catalog *catalog.Catalog
@@ -96,15 +102,21 @@ type Manager struct {
 	// rule engine, query execution) instrument through it.
 	Obs *obs.Registry
 
+	// EscalateAt is the number of record locks a transaction may take on
+	// one table before escalating to a full table S/X lock; <= 0 means
+	// DefaultEscalation. Set before transactions begin.
+	EscalateAt int
+
 	nextID     atomic.Int64
 	commitHook atomic.Pointer[CommitHook]
 	wal        atomic.Pointer[DurableLog]
 
-	committed  *obs.Counter
-	aborted    *obs.Counter
-	commitHist *obs.Histogram
-	abortHist  *obs.Histogram
-	tracer     *obs.Tracer
+	committed   *obs.Counter
+	aborted     *obs.Counter
+	escalations *obs.Counter
+	commitHist  *obs.Histogram
+	abortHist   *obs.Histogram
+	tracer      *obs.Tracer
 }
 
 // NewManager wires a transaction manager over the given substrates with a
@@ -121,9 +133,18 @@ func (m *Manager) Instrument(reg *obs.Registry) {
 	m.Obs = reg
 	m.committed = reg.Counter(obs.MTxnCommitted)
 	m.aborted = reg.Counter(obs.MTxnAborted)
+	m.escalations = reg.Counter(obs.MLockEscalations)
 	m.commitHist = reg.Histogram(obs.MTxnCommitMicros)
 	m.abortHist = reg.Histogram(obs.MTxnAbortMicros)
 	m.tracer = reg.Tracer()
+}
+
+// escalateAt returns the effective record-lock escalation threshold.
+func (m *Manager) escalateAt() int {
+	if m.EscalateAt > 0 {
+		return m.EscalateAt
+	}
+	return DefaultEscalation
 }
 
 // SetCommitHook registers the hook run at the end of every transaction.
@@ -153,6 +174,21 @@ func (m *Manager) Committed() int64 { return m.committed.Load() }
 // Aborted reports how many transactions have aborted.
 func (m *Manager) Aborted() int64 { return m.aborted.Load() }
 
+// tableAccess tracks a transaction's lock footprint on one table: the cost
+// accounting level (Table 1 charges one get-lock per table per access-level
+// transition: none->read, none->write, read->write), the strongest
+// table-level mode held, and how many record locks have been taken (for
+// escalation).
+type tableAccess struct {
+	chargeLevel int       // 0 none, 1 read, 2 write
+	tblMode     lock.Mode // sup of table-level modes acquired
+	hasTbl      bool
+	recLocks    int
+	// recModes remembers the mode held per record so repeated probes of the
+	// same row are free and don't inflate the escalation count.
+	recModes map[uint64]lock.Mode
+}
+
 // Txn is an in-flight transaction.
 type Txn struct {
 	id     int64
@@ -160,6 +196,9 @@ type Txn struct {
 	status Status
 	log    []LogRec
 	seq    int64
+	// access tracks per-table lock state (single-goroutine; a Txn is not
+	// shared across goroutines while active).
+	access map[string]*tableAccess
 	// startAt is the engine time Begin was called (latency measurement).
 	startAt clock.Micros
 	// commitAt is the engine time at which the transaction committed
@@ -196,54 +235,160 @@ func (t *Txn) table(name string) (*storage.Table, error) {
 	return tbl, nil
 }
 
-func (t *Txn) lockTable(name string, mode lock.Mode) error {
-	// Charge get-lock only when this acquisition does real work; repeated
-	// access to an already-locked table is free, matching Table 1's
-	// one-get-lock-per-resource accounting.
-	if held, ok := t.mgr.Locks.Holds(t.id, name); !ok || (mode == lock.Exclusive && held == lock.Shared) {
+// tableAccessFor returns (creating if needed) the access state for a table.
+func (t *Txn) tableAccessFor(name string) *tableAccess {
+	if t.access == nil {
+		t.access = make(map[string]*tableAccess)
+	}
+	a := t.access[name]
+	if a == nil {
+		a = &tableAccess{}
+		t.access[name] = a
+	}
+	return a
+}
+
+// lockTable acquires a table-level lock. write selects the cost accounting
+// level: Table 1 charges one get-lock per table per access-level transition
+// (none->read, none->write, read->write); strengthening within a level and
+// record locks are free, matching the paper's one-get-lock-per-resource
+// accounting.
+func (t *Txn) lockTable(name string, mode lock.Mode, write bool) error {
+	a := t.tableAccessFor(name)
+	level := 1
+	if write {
+		level = 2
+	}
+	if a.chargeLevel < level {
 		t.mgr.Meter.Charge(t.mgr.Model.GetLock)
+		a.chargeLevel = level
 	}
-	return t.mgr.Locks.Acquire(t.id, name, mode)
+	if a.hasTbl && lock.Covers(a.tblMode, mode) {
+		return nil
+	}
+	if err := t.mgr.Locks.Acquire(t.id, name, mode); err != nil {
+		return err
+	}
+	if a.hasTbl {
+		a.tblMode = lock.Sup(a.tblMode, mode)
+	} else {
+		a.tblMode, a.hasTbl = mode, true
+	}
+	return nil
 }
 
-// ReadTable acquires a shared lock on the table and returns it for scanning.
-// The query engine resolves table reads through this.
+// lockTableAPI is the shared body of the four table-level lock entry points.
+func (t *Txn) lockTableAPI(name string, mode lock.Mode, write bool) (*storage.Table, error) {
+	if t.status != Active {
+		return nil, ErrNotActive
+	}
+	tbl, err := t.table(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.lockTable(name, mode, write); err != nil {
+		return nil, err
+	}
+	return tbl, nil
+}
+
+// ReadTable acquires an intention-shared lock on the table and returns it.
+// The query engine resolves table reads through this; the rows actually
+// touched are then locked individually (LockRecordShared) or, for full
+// scans, covered by ScanTable's table-level S.
 func (t *Txn) ReadTable(name string) (*storage.Table, error) {
-	if t.status != Active {
-		return nil, ErrNotActive
-	}
-	tbl, err := t.table(name)
-	if err != nil {
-		return nil, err
-	}
-	if err := t.lockTable(name, lock.Shared); err != nil {
-		return nil, err
-	}
-	return tbl, nil
+	return t.lockTableAPI(name, lock.IntentShared, false)
 }
 
-// WriteTable acquires an exclusive lock on the table and returns it.
+// ScanTable acquires a full shared lock on the table — the read-side
+// escalation used by table scans, which would otherwise have to lock every
+// row. It blocks out record writers (their IX conflicts with S).
+func (t *Txn) ScanTable(name string) (*storage.Table, error) {
+	return t.lockTableAPI(name, lock.Shared, false)
+}
+
+// WriteIntent acquires an intention-exclusive lock on the table and returns
+// it. Callers must then X-lock each record they touch (Insert, Update, and
+// Delete do this themselves).
+func (t *Txn) WriteIntent(name string) (*storage.Table, error) {
+	return t.lockTableAPI(name, lock.IntentExclusive, true)
+}
+
+// WriteTable acquires an exclusive lock on the whole table and returns it —
+// the write-side escalation, used for scan-driven writes and DDL.
 func (t *Txn) WriteTable(name string) (*storage.Table, error) {
-	if t.status != Active {
-		return nil, ErrNotActive
-	}
-	tbl, err := t.table(name)
-	if err != nil {
-		return nil, err
-	}
-	if err := t.lockTable(name, lock.Exclusive); err != nil {
-		return nil, err
-	}
-	return tbl, nil
+	return t.lockTableAPI(name, lock.Exclusive, true)
 }
 
-// Insert adds a row to the named table.
+// lockRecord takes a record-granularity lock under the table's intent,
+// escalating to a full table lock once the transaction has touched
+// Manager.EscalateAt records of the table.
+func (t *Txn) lockRecord(name string, id uint64, mode lock.Mode, write bool) error {
+	if t.status != Active {
+		return ErrNotActive
+	}
+	intent := lock.IntentShared
+	if write {
+		intent = lock.IntentExclusive
+	}
+	if err := t.lockTable(name, intent, write); err != nil {
+		return err
+	}
+	a := t.access[name]
+	if lock.Covers(a.tblMode, mode) {
+		return nil // table-level lock already covers the record
+	}
+	have, seen := a.recModes[id]
+	if seen && lock.Covers(have, mode) {
+		return nil
+	}
+	if !seen && a.recLocks >= t.mgr.escalateAt() {
+		t.mgr.escalations.Inc()
+		if err := t.mgr.Locks.Acquire(t.id, name, mode); err != nil {
+			return err
+		}
+		a.tblMode = lock.Sup(a.tblMode, mode)
+		return nil
+	}
+	if err := t.mgr.Locks.Acquire(t.id, lock.RecordID{Table: name, ID: id}, mode); err != nil {
+		return err
+	}
+	if a.recModes == nil {
+		a.recModes = make(map[uint64]lock.Mode)
+	}
+	if seen {
+		a.recModes[id] = lock.Sup(have, mode)
+	} else {
+		a.recModes[id] = mode
+		a.recLocks++
+	}
+	return nil
+}
+
+// LockRecordShared S-locks one record (by its stable ID) under the table's
+// IS intent. Index probes use this to lock only the rows they touch.
+func (t *Txn) LockRecordShared(name string, id uint64) error {
+	return t.lockRecord(name, id, lock.Shared, false)
+}
+
+// LockRecordExclusive X-locks one record under the table's IX intent.
+func (t *Txn) LockRecordExclusive(name string, id uint64) error {
+	return t.lockRecord(name, id, lock.Exclusive, true)
+}
+
+// Insert adds a row to the named table. The record's lock ID is reserved
+// and X-locked before the row is linked, so no reader can observe the
+// uncommitted row between visibility and lock acquisition.
 func (t *Txn) Insert(table string, vals []types.Value) (*storage.Record, error) {
-	tbl, err := t.WriteTable(table)
+	tbl, err := t.WriteIntent(table)
 	if err != nil {
 		return nil, err
 	}
-	rec, err := tbl.Insert(vals)
+	id := tbl.ReserveID()
+	if err := t.LockRecordExclusive(table, id); err != nil {
+		return nil, err
+	}
+	rec, err := tbl.InsertReserved(id, vals)
 	if err != nil {
 		return nil, err
 	}
@@ -255,8 +400,11 @@ func (t *Txn) Insert(table string, vals []types.Value) (*storage.Record, error) 
 
 // Delete removes a record from the named table.
 func (t *Txn) Delete(table string, rec *storage.Record) error {
-	tbl, err := t.WriteTable(table)
+	tbl, err := t.WriteIntent(table)
 	if err != nil {
+		return err
+	}
+	if err := t.LockRecordExclusive(table, rec.ID()); err != nil {
 		return err
 	}
 	if err := tbl.Delete(rec); err != nil {
@@ -269,10 +417,14 @@ func (t *Txn) Delete(table string, rec *storage.Record) error {
 }
 
 // Update replaces a record's values (copy-on-update under the covers) and
-// returns the new record.
+// returns the new record. The replacement inherits the old record's lock
+// ID, so the X lock taken here covers both versions.
 func (t *Txn) Update(table string, rec *storage.Record, vals []types.Value) (*storage.Record, error) {
-	tbl, err := t.WriteTable(table)
+	tbl, err := t.WriteIntent(table)
 	if err != nil {
+		return nil, err
+	}
+	if err := t.LockRecordExclusive(table, rec.ID()); err != nil {
 		return nil, err
 	}
 	nr, err := tbl.Update(rec, vals)

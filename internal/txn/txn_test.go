@@ -240,24 +240,37 @@ func TestUnknownTable(t *testing.T) {
 	}
 }
 
+// A write to a record stays invisible to conflicting writers until commit:
+// tx2's update of the same record blocks on tx1's record X lock.
 func TestWriteConflictBlocksUntilCommit(t *testing.T) {
 	mgr, _ := newEnv(t)
+	setup := mgr.Begin()
+	rec, err := setup.Insert("stocks", row("A", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := setup.Commit(); err != nil {
+		t.Fatal(err)
+	}
 	tx1 := mgr.Begin()
-	if _, err := tx1.Insert("stocks", row("A", 1)); err != nil {
+	if _, err := tx1.Update("stocks", rec, row("A", 2)); err != nil {
 		t.Fatal(err)
 	}
 	done := make(chan error, 1)
 	go func() {
 		tx2 := mgr.Begin()
-		_, err := tx2.Insert("stocks", row("B", 2))
+		// The copy-on-update replacement shares rec's lock ID, so locking
+		// by ID targets the same logical row tx1 is changing.
+		err := tx2.LockRecordExclusive("stocks", rec.ID())
 		if err == nil {
 			err = tx2.Commit()
 		}
 		done <- err
 	}()
+	waitForLockWaiters(t, mgr, 1)
 	select {
 	case err := <-done:
-		t.Fatalf("tx2 completed while tx1 held X lock: %v", err)
+		t.Fatalf("tx2 completed while tx1 held the record X lock: %v", err)
 	default:
 	}
 	if err := tx1.Commit(); err != nil {
@@ -265,6 +278,30 @@ func TestWriteConflictBlocksUntilCommit(t *testing.T) {
 	}
 	if err := <-done; err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Writers touching different rows of the same table no longer exclude each
+// other: the table lock is only an intent (IX), so both inserts proceed
+// without either committing first.
+func TestDisjointWritersRunInParallel(t *testing.T) {
+	mgr, _ := newEnv(t)
+	tx1 := mgr.Begin()
+	if _, err := tx1.Insert("stocks", row("A", 1)); err != nil {
+		t.Fatal(err)
+	}
+	tx2 := mgr.Begin()
+	if _, err := tx2.Insert("stocks", row("B", 2)); err != nil {
+		t.Fatal(err) // must not block: would deadlock this single goroutine
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if st := mgr.Locks.Stats(); st.Waits != 0 {
+		t.Errorf("Waits = %d, want 0 for disjoint-row writers", st.Waits)
 	}
 }
 

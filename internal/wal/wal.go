@@ -399,7 +399,9 @@ func (l *Log) Checkpoint(tx *txn.Txn, cat *catalog.Catalog, store *storage.Store
 	names := cat.Names()
 	sort.Strings(names)
 	for _, n := range names {
-		if _, err := tx.ReadTable(n); err != nil {
+		// Full table S (not just IS): must block record writers' IX so the
+		// snapshot sees no in-flight row changes.
+		if _, err := tx.ScanTable(n); err != nil {
 			return fmt.Errorf("wal: checkpoint: quiesce %q: %w", n, err)
 		}
 	}

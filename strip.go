@@ -114,6 +114,16 @@ type Config struct {
 	DataDir string
 	// Sync tunes group-commit fsync batching (DataDir engines only).
 	Sync SyncPolicy
+	// LockShards partitions the lock table into this many hash shards
+	// (rounded up to a power of two; default lock.DefaultShards). More
+	// shards reduce mutex contention between transactions locking
+	// unrelated resources.
+	LockShards int
+	// EscalationThreshold is the number of record locks a transaction may
+	// take on one table before escalating to a full table lock (default
+	// txn.DefaultEscalation). Lower values favor coarse locking; higher
+	// values favor row-level parallelism at more lock-manager work.
+	EscalationThreshold int
 }
 
 // DB is an open STRIP engine.
@@ -162,9 +172,14 @@ func Open(cfg Config) (*DB, error) {
 	}
 	db.meter = cost.NewMeter()
 	db.obs = obs.NewRegistry()
-	db.locks = lock.New()
+	if cfg.LockShards > 0 {
+		db.locks = lock.NewSharded(cfg.LockShards)
+	} else {
+		db.locks = lock.New()
+	}
 	db.locks.Instrument(db.obs, db.clk.Now)
 	db.txns = txn.NewManager(catalog.New(), storage.NewStore(), db.locks, db.clk, db.meter, db.model)
+	db.txns.EscalateAt = cfg.EscalationThreshold
 	db.txns.Instrument(db.obs)
 	db.sched = sched.New(db.clk, cfg.Policy, db.meter, db.model)
 	db.sched.Instrument(db.obs)
@@ -510,6 +525,14 @@ func (db *DB) Scheduler() *sched.Scheduler { return db.sched }
 
 // SchedStats returns scheduler counters.
 func (db *DB) SchedStats() sched.Stats { return db.sched.Stats() }
+
+// LockStats returns lock-manager counters (waits, deadlocks, detector runs,
+// record-granularity acquires).
+func (db *DB) LockStats() lock.Stats { return db.locks.Stats() }
+
+// LockShardLoads returns per-shard acquire counts of the lock table, for
+// contention diagnostics.
+func (db *DB) LockShardLoads() []int64 { return db.locks.ShardLoads() }
 
 // RegisterScalarFunc installs a scalar function callable from queries
 // (e.g. the Black-Scholes pricing function f_BS).
