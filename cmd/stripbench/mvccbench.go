@@ -1,0 +1,283 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	strip "github.com/stripdb/strip"
+	"github.com/stripdb/strip/internal/query"
+	"github.com/stripdb/strip/internal/types"
+)
+
+// The mvcc experiment measures scan-vs-writer interference. A full-table
+// scanner runs against w concurrent single-row writers in two read modes:
+//
+//   - locked:   scans in a writable transaction, taking the table S lock —
+//     the pre-MVCC read path. Every scan serializes against every
+//     writer's IX/X locks, so both curves collapse as w grows.
+//   - snapshot: scans in a read-only transaction over the version chains —
+//     lock-free. Scan throughput should hold near its writer-free
+//     level, and writers should run at their scanner-free rate.
+//
+// Scanner-free writer runs (mode "writeonly") anchor the writer baseline.
+//
+// Both sides run closed-loop with think time (as the contention experiment
+// does): each scan and each commit is followed by a pause, so neither side
+// can saturate the host CPU and the measured throughput deltas isolate
+// lock blocking rather than core-count contention.
+
+type mvccRun struct {
+	Mode     string `json:"mode"` // writeonly, locked, snapshot
+	Writers  int    `json:"writers"`
+	Scanners int    `json:"scanners"`
+
+	Scans       int64   `json:"scans"`
+	ScansPerSec float64 `json:"scans_per_sec"`
+
+	WriterCommits int64   `json:"writer_commits"`
+	WriterTPS     float64 `json:"writer_tps"`
+
+	LockAcquires int64 `json:"lock_acquires"`
+	LockWaits    int64 `json:"lock_waits"`
+
+	SnapshotScans    int64  `json:"snapshot_scans"`
+	GCRuns           int64  `json:"gc_runs"`
+	GCDropped        int64  `json:"gc_dropped"`
+	VersionsRetained int64  `json:"versions_retained_end"`
+	LastVisibleLSN   uint64 `json:"last_visible_lsn"`
+}
+
+type mvccResult struct {
+	Experiment string    `json:"experiment"`
+	Scale      string    `json:"scale"`
+	Rows       int       `json:"rows"`
+	DurationMs float64   `json:"duration_ms"`
+	Runs       []mvccRun `json:"runs"`
+
+	// ScanRetention: snapshot scan rate at the writer sweep's maximum,
+	// relative to the writer-free snapshot rate. WriterRetention: snapshot-
+	// mode writer rate at max writers relative to the scanner-free rate.
+	ScanRetention   float64 `json:"scan_retention"`
+	WriterRetention float64 `json:"writer_retention"`
+}
+
+// Think times for the closed loops: scanners pause thinkScan between
+// scans, writers pause thinkWrite between commits.
+const (
+	thinkScan  = 400 * time.Microsecond
+	thinkWrite = 150 * time.Microsecond
+)
+
+// mvccOnce runs one (mode, writers) cell on a fresh database for roughly d
+// and reports both sides' throughput.
+func mvccOnce(mode string, writers, rows int, d time.Duration) (mvccRun, error) {
+	db := strip.MustOpen(strip.Config{Workers: 2})
+	defer db.Close()
+
+	db.MustExec(`create table stocks (symbol text, price float)`)
+	db.MustExec(`create index on stocks (symbol)`)
+	for i := 0; i < rows; i++ {
+		db.MustExec(fmt.Sprintf(`insert into stocks values ('S%04d', 100)`, i))
+	}
+
+	scan := &query.Select{
+		Items: []query.SelectItem{query.Item(query.Col("symbol"), ""), query.Item(query.Col("price"), "")},
+		From:  []string{"stocks"},
+	}
+	scanners := 1
+	if mode == "writeonly" {
+		scanners = 0
+	}
+
+	var stop atomic.Bool
+	var scans, commits atomic.Int64
+	errCh := make(chan error, scanners+writers)
+	var wg sync.WaitGroup
+
+	for s := 0; s < scanners; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				var tx *strip.Txn
+				if mode == "snapshot" {
+					tx = db.BeginReadOnly()
+				} else {
+					tx = db.Begin()
+				}
+				res, err := scan.Run(tx, query.TxnResolver{})
+				if err != nil {
+					tx.Abort() //nolint:errcheck
+					errCh <- err
+					return
+				}
+				n := res.Len()
+				res.Retire()
+				// Process the result inside the transaction, as a report or
+				// rule recompute would. The locked mode holds the table S
+				// lock for the whole pause — the pre-MVCC cost of a long
+				// reader; the snapshot mode holds nothing.
+				think(thinkScan)
+				if err := tx.Commit(); err != nil {
+					errCh <- err
+					return
+				}
+				if n != rows {
+					errCh <- fmt.Errorf("scan saw %d rows, want %d", n, rows)
+					return
+				}
+				scans.Add(1)
+			}
+		}()
+	}
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each writer owns a symbol partition: no write-write conflicts,
+			// so interference measured here is reader-vs-writer only.
+			for i := 0; !stop.Load(); i++ {
+				sym := fmt.Sprintf("S%04d", (w+i*writers)%rows)
+				stmt := &query.UpdateStmt{
+					Table: "stocks",
+					Set:   []query.SetClause{{Col: "price", Expr: query.Const(types.Float(0.25)), AddTo: true}},
+					Where: []query.Pred{query.Eq(query.Col("symbol"), query.Const(types.Str(sym)))},
+				}
+				tx := db.Begin()
+				if _, err := stmt.Run(tx); err != nil {
+					tx.Abort() //nolint:errcheck
+					errCh <- err
+					return
+				}
+				if err := tx.Commit(); err != nil {
+					errCh <- err
+					return
+				}
+				commits.Add(1)
+				think(thinkWrite)
+			}
+		}(w)
+	}
+
+	start := time.Now()
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errCh:
+		return mvccRun{}, err
+	default:
+	}
+
+	db.Txns().RunVersionGC()
+	ls := db.LockStats()
+	ms := db.MvccStats()
+	return mvccRun{
+		Mode:          mode,
+		Writers:       writers,
+		Scanners:      scanners,
+		Scans:         scans.Load(),
+		ScansPerSec:   float64(scans.Load()) / elapsed.Seconds(),
+		WriterCommits: commits.Load(),
+		WriterTPS:     float64(commits.Load()) / elapsed.Seconds(),
+
+		LockAcquires: ls.Acquires,
+		LockWaits:    ls.Waits,
+
+		SnapshotScans:    ms.SnapshotScans,
+		GCRuns:           ms.GCRuns,
+		GCDropped:        ms.GCDropped,
+		VersionsRetained: ms.VersionsRetained,
+		LastVisibleLSN:   ms.LastVisibleLSN,
+	}, nil
+}
+
+func runMvcc(metricsPath, scale string, progress func(string)) {
+	rows := 512
+	d := 1200 * time.Millisecond
+	if scale == "small" {
+		rows, d = 128, 250*time.Millisecond
+	}
+	writerSweep := []int{0, 1, 2, 4}
+
+	res := mvccResult{
+		Experiment: "mvcc",
+		Scale:      scale,
+		Rows:       rows,
+		DurationMs: float64(d.Microseconds()) / 1000,
+	}
+	emit := func(r mvccRun) {
+		res.Runs = append(res.Runs, r)
+		if progress != nil {
+			progress(fmt.Sprintf("mvcc mode=%-9s writers=%d scans/s=%.0f writer_tps=%.0f waits=%d versions=%d",
+				r.Mode, r.Writers, r.ScansPerSec, r.WriterTPS, r.LockWaits, r.VersionsRetained))
+		}
+	}
+
+	var writeonlyAt = map[int]float64{}
+	for _, w := range []int{1, 2, 4} {
+		run, err := mvccOnce("writeonly", w, rows, d)
+		if err != nil {
+			fail(err)
+		}
+		writeonlyAt[w] = run.WriterTPS
+		emit(run)
+	}
+	var lockedScan0, snapScan0, snapScanMax, snapWriteMax float64
+	maxW := writerSweep[len(writerSweep)-1]
+	for _, mode := range []string{"locked", "snapshot"} {
+		for _, w := range writerSweep {
+			run, err := mvccOnce(mode, w, rows, d)
+			if err != nil {
+				fail(err)
+			}
+			switch {
+			case mode == "locked" && w == 0:
+				lockedScan0 = run.ScansPerSec
+			case mode == "snapshot" && w == 0:
+				snapScan0 = run.ScansPerSec
+			case mode == "snapshot" && w == maxW:
+				snapScanMax = run.ScansPerSec
+				snapWriteMax = run.WriterTPS
+			}
+			emit(run)
+		}
+	}
+	if snapScan0 > 0 {
+		res.ScanRetention = snapScanMax / snapScan0
+	}
+	if writeonlyAt[maxW] > 0 {
+		res.WriterRetention = snapWriteMax / writeonlyAt[maxW]
+	}
+
+	fmt.Printf("%-10s %8s %12s %12s %10s %10s\n",
+		"mode", "writers", "scans/s", "writer_tps", "waits", "versions")
+	for _, r := range res.Runs {
+		fmt.Printf("%-10s %8d %12.0f %12.0f %10d %10d\n",
+			r.Mode, r.Writers, r.ScansPerSec, r.WriterTPS, r.LockWaits, r.VersionsRetained)
+	}
+	fmt.Printf("scan retention at %d writers: %.2f (snapshot; writer-free locked scan rate %.0f/s)\n",
+		maxW, res.ScanRetention, lockedScan0)
+	fmt.Printf("writer retention under scan: %.2f\n", res.WriterRetention)
+
+	if metricsPath == "" {
+		return
+	}
+	f, err := os.Create(metricsPath)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&res); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", metricsPath)
+}

@@ -100,6 +100,13 @@ type actionPayload struct {
 	key      types.Key
 	set      *uniqueSet // nil for non-unique actions
 	restarts int
+	// triggers are the transactions whose commits fired (or merged into)
+	// this task. Tasks are submitted from inside the commit hook — before
+	// the trigger's WAL write and commit stamping — so the action waits
+	// for them before taking its read snapshot; otherwise a lock-free
+	// recompute could miss the very update that triggered it. Guarded by
+	// set.mu while the task is queued (merge appends under it).
+	triggers []*txn.Txn
 	// createdAt is the triggering transaction's commit time: the moment the
 	// derived data went stale and the measurement origin for the action
 	// latency span. staleTok closes the staleness sample at action commit.
@@ -125,8 +132,8 @@ func (p *actionPayload) merge(incoming map[string]*storage.TempTable) error {
 	return nil
 }
 
-// newActionTask builds the scheduler task for a firing.
-func (e *Engine) newActionTask(rule *Rule, fn ActionFunc, stats *fnMetrics,
+// newActionTask builds the scheduler task for a firing triggered by trig.
+func (e *Engine) newActionTask(trig *txn.Txn, rule *Rule, fn ActionFunc, stats *fnMetrics,
 	bound map[string]*storage.TempTable, key types.Key, set *uniqueSet, release clock.Micros, stamp clock.Micros) *sched.Task {
 
 	payload := &actionPayload{
@@ -140,6 +147,9 @@ func (e *Engine) newActionTask(rule *Rule, fn ActionFunc, stats *fnMetrics,
 		set:       set,
 		createdAt: stamp,
 		staleTok:  stats.stale.Track(stamp),
+	}
+	if trig != nil {
+		payload.triggers = []*txn.Txn{trig}
 	}
 	task := &sched.Task{
 		Name:    rule.Action,
@@ -174,7 +184,19 @@ func (e *Engine) runAction(task *sched.Task) error {
 	startWork := e.meter.Micros()
 	queued := task.QueueTime()
 
+	// Tasks are submitted from inside the commit hook, so a worker can
+	// dequeue one before its triggering transactions have stamped their
+	// versions. Wait for them (commit stamping completes before Wait
+	// returns), then read lock-free: the snapshot taken below is
+	// guaranteed to include every triggering update. Writes keep the
+	// two-level lock protocol for write-write conflicts.
+	for _, trig := range p.triggers {
+		trig.Wait()
+	}
+	p.triggers = nil
+
 	tx := e.Txns.Begin()
+	tx.EnableSnapshotReads()
 	ctx := &ActionContext{engine: e, task: task, tx: tx, bound: p.bound}
 	err := p.fn(ctx)
 	if err == nil {

@@ -599,12 +599,12 @@ func (e *Engine) fire(tx *txn.Txn, rule *Rule, bound map[string]*storage.TempTab
 	e.tracer.Emit(stamp, obs.KindRuleFire, rule.Name, tx.ID())
 
 	if !rule.Unique {
-		e.submitTask(rule, fn, stats, bound, types.Key{}, nil, release, stamp)
+		e.submitTask(tx, rule, fn, stats, bound, types.Key{}, nil, release, stamp)
 		return nil
 	}
 
 	if len(rule.UniqueOn) == 0 {
-		e.enqueueUnique(rule, fn, stats, set, types.Key{}, bound, release, stamp)
+		e.enqueueUnique(tx, rule, fn, stats, set, types.Key{}, bound, release, stamp)
 		return nil
 	}
 
@@ -621,7 +621,7 @@ func (e *Engine) fire(tx *txn.Txn, rule *Rule, bound map[string]*storage.TempTab
 		for _, tt := range part.bound {
 			e.meter.Charge(float64(tt.Len()) * e.model.GroupRow)
 		}
-		e.enqueueUnique(rule, fn, stats, set, part.key, part.bound, release, stamp)
+		e.enqueueUnique(tx, rule, fn, stats, set, part.key, part.bound, release, stamp)
 	}
 	// The originals were copied into the partitions.
 	for _, tt := range bound {
@@ -632,7 +632,7 @@ func (e *Engine) fire(tx *txn.Txn, rule *Rule, bound map[string]*storage.TempTab
 
 // enqueueUnique merges a firing into a queued unique task or creates one
 // (paper §2, §6.3: the hash table maps unique column values to the TCB).
-func (e *Engine) enqueueUnique(rule *Rule, fn ActionFunc, stats *fnMetrics, set *uniqueSet,
+func (e *Engine) enqueueUnique(trig *txn.Txn, rule *Rule, fn ActionFunc, stats *fnMetrics, set *uniqueSet,
 	key types.Key, bound map[string]*storage.TempTable, release clock.Micros, stamp clock.Micros) {
 
 	e.meter.Charge(e.model.UniqueHashLookup)
@@ -640,6 +640,11 @@ func (e *Engine) enqueueUnique(rule *Rule, fn ActionFunc, stats *fnMetrics, set 
 	pending, ok := set.pending[key]
 	if ok {
 		payload := pending.Payload.(*actionPayload)
+		if trig != nil {
+			// The merged firing's updates must also be visible to the
+			// task's eventual read snapshot.
+			payload.triggers = append(payload.triggers, trig)
+		}
 		merged := 0
 		err := payload.merge(bound)
 		if err == nil {
@@ -665,16 +670,16 @@ func (e *Engine) enqueueUnique(rule *Rule, fn ActionFunc, stats *fnMetrics, set 
 		e.tracer.Emit(stamp, obs.KindRuleMerge, rule.Action, int64(merged))
 		return
 	}
-	task := e.newActionTask(rule, fn, stats, bound, key, set, release, stamp)
+	task := e.newActionTask(trig, rule, fn, stats, bound, key, set, release, stamp)
 	set.pending[key] = task
 	set.mu.Unlock()
 	stats.created.Inc()
 	e.Sched.Submit(task)
 }
 
-func (e *Engine) submitTask(rule *Rule, fn ActionFunc, stats *fnMetrics,
+func (e *Engine) submitTask(trig *txn.Txn, rule *Rule, fn ActionFunc, stats *fnMetrics,
 	bound map[string]*storage.TempTable, key types.Key, set *uniqueSet, release clock.Micros, stamp clock.Micros) {
-	task := e.newActionTask(rule, fn, stats, bound, key, set, release, stamp)
+	task := e.newActionTask(trig, rule, fn, stats, bound, key, set, release, stamp)
 	stats.created.Inc()
 	e.Sched.Submit(task)
 }

@@ -103,6 +103,9 @@ func (pt *periodicTask) scheduleNext() {
 func (pt *periodicTask) run(*sched.Task) error {
 	e := pt.engine
 	tx := e.Txns.Begin()
+	// Periodic recomputes are read-mostly: read from a consistent snapshot
+	// (lock-free) while any writes keep the two-level lock protocol.
+	tx.EnableSnapshotReads()
 	ctx := &ActionContext{engine: e, tx: tx}
 	err := pt.fn(ctx)
 	if err == nil {

@@ -128,6 +128,9 @@ type Stats struct {
 	DetectorRuns   int64
 	DetectorCycles int64
 	RecordAcquires int64 // acquires naming a RecordID
+	// WaitTimeout is the configured park duration before the fallback
+	// deadlock detector runs (Config.LockWaitTimeout / SetWaitTimeout).
+	WaitTimeout time.Duration
 }
 
 type waiter struct {
@@ -681,5 +684,6 @@ func (m *Manager) Stats() Stats {
 		DetectorRuns:   m.detectorRuns.Load(),
 		DetectorCycles: m.detectorCycles.Load(),
 		RecordAcquires: m.recordAcquires.Load(),
+		WaitTimeout:    m.waitTimeout,
 	}
 }

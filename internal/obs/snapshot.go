@@ -50,6 +50,18 @@ const (
 	MWalRecoveryMicros   = "wal.recovery_micros"
 	MWalTornTails        = "wal.torn_tails"
 
+	MTxnReadOnly        = "txn.readonly"
+	MMvccSnapshots      = "mvcc.snapshots"
+	MMvccSnapshotScans  = "mvcc.snapshot_scans"
+	MMvccSnapshotProbes = "mvcc.snapshot_probes"
+	MMvccGCRuns         = "mvcc.gc_runs"
+	MMvccGCDropped      = "mvcc.gc_dropped"
+	// MMvccVersionsRetained gauges superseded/tombstoned versions retained
+	// for snapshot readers; MMvccSnapshotAge gauges the LSN distance between
+	// the newest commit and the oldest active snapshot (both set at GC).
+	MMvccVersionsRetained = "mvcc.versions_retained"
+	MMvccSnapshotAge      = "mvcc.snapshot_age_lsn"
+
 	MActionFired         = "action.fired"
 	MActionTasksCreated  = "action.tasks_created"
 	MActionTasksMerged   = "action.tasks_merged"

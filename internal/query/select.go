@@ -423,7 +423,7 @@ func (ex *exec) join(level int, cur []cursor) error {
 			return err
 		}
 		ex.tx.Charge(model.IndexProbe)
-		recs, err := ex.lockedLookup(s, pr.col, v)
+		recs, err := ex.lookupRecords(s, pr.col, v)
 		if err != nil {
 			return err
 		}
@@ -436,6 +436,22 @@ func (ex *exec) join(level int, cur []cursor) error {
 	}
 
 	if s.tbl != nil {
+		if snap, me, ok := ex.tx.SnapshotRead(); ok {
+			// Lock-free snapshot scan: walk version chains at the
+			// transaction's begin snapshot instead of locking the table
+			// shared — concurrent writers proceed untouched.
+			ex.tx.Manager().Obs.Counter(obs.MMvccSnapshotScans).Inc()
+			var visitErr error
+			s.tbl.ScanSnapshot(snap, me, func(r *storage.Record) bool {
+				ex.tx.Charge(model.ScanRow)
+				if err := visit(cursor{src: s, rec: r}); err != nil {
+					visitErr = err
+					return false
+				}
+				return true
+			})
+			return visitErr
+		}
 		// A full scan locks the whole table shared rather than every row
 		// (read-side escalation); this also shuts out record writers whose
 		// IX would otherwise let rows change mid-scan.
@@ -460,6 +476,32 @@ func (ex *exec) join(level int, cur []cursor) error {
 		}
 	}
 	return nil
+}
+
+// lookupRecords resolves an index probe: lock-free against the
+// transaction's snapshot when snapshot reads are enabled, otherwise through
+// lockedLookup's record S locks.
+func (ex *exec) lookupRecords(s *source, col string, v types.Value) ([]*storage.Record, error) {
+	snap, me, ok := ex.tx.SnapshotRead()
+	if !ok {
+		return ex.lockedLookup(s, col, v)
+	}
+	ex.tx.Manager().Obs.Counter(obs.MMvccSnapshotProbes).Inc()
+	if recs, exact := s.tbl.LookupSnapshot(col, v, snap, me); exact {
+		return recs, nil
+	}
+	// An update changed an indexed column's value on this table, so the
+	// index (which covers head versions only) could miss older versions
+	// that match. Fall back to a filtered snapshot scan.
+	ci := s.tbl.Schema().ColIndex(col)
+	var recs []*storage.Record
+	s.tbl.ScanSnapshot(snap, me, func(r *storage.Record) bool {
+		if r.Value(ci).Equal(v) {
+			recs = append(recs, r)
+		}
+		return true
+	})
+	return recs, nil
 }
 
 // lockedLookup probes the index and S-locks exactly the rows it returns.

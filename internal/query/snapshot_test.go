@@ -1,0 +1,104 @@
+package query
+
+import (
+	"testing"
+
+	"github.com/stripdb/strip/internal/obs"
+	"github.com/stripdb/strip/internal/types"
+)
+
+// TestSelectSnapshotTakesNoLocks: a read-only transaction's select must not
+// touch the lock manager at all — not even while a writer holds an X lock
+// on a row the scan visits — and must return the pre-write values.
+func TestSelectSnapshotTakesNoLocks(t *testing.T) {
+	mgr, lm := lockEnv(t)
+
+	// Writer parks on S2 with an uncommitted update.
+	w := mgr.Begin()
+	if n, err := updateSymbol(w, "S2", 99); err != nil || n != 1 {
+		t.Fatalf("update: n=%d err=%v", n, err)
+	}
+
+	base := lm.Stats().Acquires
+	ro := mgr.BeginReadOnly()
+	q := &Select{
+		Items: []SelectItem{Item(Col("symbol"), ""), Item(Col("price"), "")},
+		From:  []string{"stocks"},
+	}
+	res, err := q.Run(ro, TxnResolver{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 3 {
+		t.Fatalf("snapshot scan rows = %d, want 3", res.Len())
+	}
+	for i := 0; i < res.Len(); i++ {
+		if res.Value(i, 0).Str() == "S2" && res.Value(i, 1).Float() != 40 {
+			t.Fatalf("snapshot saw uncommitted update: S2 = %v", res.Value(i, 1))
+		}
+	}
+	res.Retire()
+	if err := ro.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := lm.Stats().Acquires; got != base {
+		t.Fatalf("snapshot select acquired %d locks", got-base)
+	}
+	if got := mgr.Obs.Counter(obs.MMvccSnapshotScans).Load(); got == 0 {
+		t.Fatal("snapshot scan counter never moved")
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh snapshot after the writer commits sees the new value.
+	ro2 := mgr.BeginReadOnly()
+	res, err = q.Run(ro2, TxnResolver{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]float64{}
+	for i := 0; i < res.Len(); i++ {
+		seen[res.Value(i, 0).Str()] = res.Value(i, 1).Float()
+	}
+	res.Retire()
+	if seen["S2"] != 99 {
+		t.Fatalf("post-commit snapshot S2 = %v, want 99", seen["S2"])
+	}
+	if err := ro2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSelectSnapshotIndexProbe: an indexed equality select in a read-only
+// transaction goes through the snapshot probe path, exact while the indexed
+// column never churns.
+func TestSelectSnapshotIndexProbe(t *testing.T) {
+	mgr, lm := lockEnv(t)
+
+	base := lm.Stats().Acquires
+	probes := mgr.Obs.Counter(obs.MMvccSnapshotProbes).Load()
+	ro := mgr.BeginReadOnly()
+	q := &Select{
+		Items: []SelectItem{Item(Col("price"), "")},
+		From:  []string{"stocks"},
+		Where: []Pred{Eq(Col("symbol"), Const(types.Str("S3")))},
+	}
+	res, err := q.Run(ro, TxnResolver{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 || res.Value(0, 0).Float() != 50 {
+		t.Fatalf("probe rows = %v", rows(res))
+	}
+	res.Retire()
+	if err := ro.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := lm.Stats().Acquires; got != base {
+		t.Fatalf("snapshot probe acquired %d locks", got-base)
+	}
+	if got := mgr.Obs.Counter(obs.MMvccSnapshotProbes).Load(); got != probes+1 {
+		t.Fatalf("snapshot probe counter = %d, want %d", got, probes+1)
+	}
+}

@@ -16,6 +16,17 @@ import (
 	"github.com/stripdb/strip/internal/types"
 )
 
+// PendingLSN marks a delete stamp written by a transaction that has not
+// committed yet. A pending tombstone hides the record from its writer only;
+// every other snapshot still sees the record until the delete commits.
+const PendingLSN = ^uint64(0)
+
+// BootstrapLSN stamps rows inserted through the non-transactional loader
+// path (Table.Insert): data loaded outside any transaction is visible to
+// every snapshot. The commit-stamp sequence starts at BootstrapLSN so no
+// snapshot can ever be older than bootstrap data.
+const BootstrapLSN = 1
+
 // Record is a standard-table tuple. Its values are immutable once the record
 // is linked into a table; updates replace the record wholesale.
 type Record struct {
@@ -30,12 +41,35 @@ type Record struct {
 	next, prev *Record
 	table      *Table
 
+	// older points to the version this record superseded (copy-on-update),
+	// forming a newest-to-oldest version chain. Written under the table
+	// latch; read by snapshot scans holding the latch shared.
+	older *Record
+
+	// createLSN is the commit LSN of the transaction that created this
+	// version (0 while that transaction is in flight). deleteLSN is the
+	// commit LSN of the deleting transaction (0 if never deleted,
+	// PendingLSN while the delete is uncommitted). Both are stamped at
+	// commit, after WAL durability, under the manager's stamp mutex.
+	createLSN atomic.Uint64
+	deleteLSN atomic.Uint64
+	// writer is the transaction id of the in-flight creator or deleter,
+	// for read-your-own-writes visibility. Stale values are harmless: a
+	// snapshot that loads createLSN == 0 is ordered before the creator's
+	// commit publication, so the record is invisible to it regardless.
+	writer atomic.Int64
+
 	// refs counts bound-table references keeping this record alive after it
 	// has been unlinked from its table (paper §6.1 reference counting).
 	refs atomic.Int32
 	// unlinked is set (under the table latch) when the record is deleted or
 	// superseded by an update.
 	unlinked atomic.Bool
+	// retiredCounted tracks whether this record is currently included in the
+	// table's retired-but-held statistic; CAS transitions keep the count
+	// consistent without taking the table latch from Pin/Unpin (snapshot
+	// scans pin unlinked versions while holding the latch shared).
+	retiredCounted atomic.Bool
 }
 
 // Value returns the record's i-th column value.
@@ -61,12 +95,70 @@ func (r *Record) Table() *Table { return r.table }
 // Live reports whether the record is still linked into its table.
 func (r *Record) Live() bool { return !r.unlinked.Load() }
 
+// Older returns the version this record superseded, if any. Callers must
+// hold the owning table's latch (any mode).
+func (r *Record) Older() *Record { return r.older }
+
+// CreateLSN returns the commit LSN of the version's creating transaction
+// (0 if that transaction has not committed).
+func (r *Record) CreateLSN() uint64 { return r.createLSN.Load() }
+
+// DeleteLSN returns the commit LSN of the version's deleting transaction
+// (0 if never deleted, PendingLSN if the delete is uncommitted).
+func (r *Record) DeleteLSN() uint64 { return r.deleteLSN.Load() }
+
+// StampCreate records the creating transaction's commit LSN. Called at
+// commit (under the manager's stamp mutex) and by recovery replay.
+func (r *Record) StampCreate(lsn uint64) { r.createLSN.Store(lsn) }
+
+// StampDelete records the deleting transaction's commit LSN, replacing the
+// pending tombstone. Called at commit and by recovery replay.
+func (r *Record) StampDelete(lsn uint64) { r.deleteLSN.Store(lsn) }
+
+// SetWriter tags the record with the in-flight transaction mutating it.
+func (r *Record) SetWriter(txnID int64) { r.writer.Store(txnID) }
+
+// ClearPendingDelete rolls back an uncommitted tombstone (transaction abort
+// relinking the record).
+func (r *Record) ClearPendingDelete() { r.deleteLSN.Store(0) }
+
+// VisibleAt reports whether this version is visible to a snapshot taken at
+// LSN snap by transaction me (0 for a pure snapshot reader):
+//
+//	created:  createLSN != 0 && createLSN <= snap — or the reader wrote it
+//	deleted:  deleteLSN == 0, or > snap, or a pending delete by another txn
+//
+// An uncommitted version (createLSN == 0) written by a different
+// transaction is always invisible; a pending tombstone hides the record
+// from its own writer only.
+func (r *Record) VisibleAt(snap uint64, me int64) bool {
+	if c := r.createLSN.Load(); c == 0 {
+		if me == 0 || r.writer.Load() != me {
+			return false
+		}
+	} else if c > snap {
+		return false
+	}
+	switch d := r.deleteLSN.Load(); {
+	case d == 0:
+		return true
+	case d == PendingLSN:
+		return me == 0 || r.writer.Load() != me
+	default:
+		return d > snap
+	}
+}
+
 // Pin registers a bound-table reference to the record. Pinning an already
 // unlinked record (the common case: bound tables capture pre-update images)
-// marks it as retired-but-held in the owning table's statistics.
+// marks it as retired-but-held in the owning table's statistics. The
+// accounting is lock-free so snapshot scans can pin superseded versions
+// while holding the table latch shared.
 func (r *Record) Pin() {
-	if r.refs.Add(1) == 1 && r.unlinked.Load() && r.table != nil {
-		r.table.noteRetiredPin(r, +1)
+	if r.refs.Add(1) >= 1 && r.unlinked.Load() && r.table != nil {
+		if r.retiredCounted.CompareAndSwap(false, true) {
+			r.table.noteRetired(+1)
+		}
 	}
 }
 
@@ -77,7 +169,9 @@ func (r *Record) Unpin() {
 	if n := r.refs.Add(-1); n < 0 {
 		panic("storage: record unpinned more times than pinned")
 	} else if n == 0 && r.unlinked.Load() && r.table != nil {
-		r.table.noteRetiredPin(r, -1)
+		if r.retiredCounted.CompareAndSwap(true, false) {
+			r.table.noteRetired(-1)
+		}
 	}
 }
 

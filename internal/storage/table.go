@@ -21,6 +21,10 @@ type Stats struct {
 	RetiredHeld int64
 	// Rows is the current live row count.
 	Rows int64
+	// VersionsRetained counts superseded or tombstoned versions kept for
+	// snapshot readers (chain tails plus retired heads), as of the last GC
+	// or version-mutating operation.
+	VersionsRetained int64
 }
 
 // Table is a standard STRIP table: a doubly-linked list of records plus
@@ -36,13 +40,30 @@ type Table struct {
 	indexes  map[string]index.Index // column name -> index
 	idxKinds map[string]index.Kind  // column name -> index kind (for checkpoints)
 
+	// retired holds tombstoned ex-head records (deleted rows, and versions
+	// orphaned by aborted updates) retained so snapshot scans older than
+	// the delete still see them. GC removes entries once no active
+	// snapshot can reach them.
+	retired map[*Record]struct{}
+	// versions counts retained non-head versions plus retired heads, as of
+	// the last GC pass (a statistic, not an invariant).
+	versions int64
+
 	// nextRec allocates stable record lock IDs (see Record.ID). Atomic so
 	// transactions can reserve an ID — and lock it — before linking the
 	// record (lock-before-visible insert protocol in internal/txn).
 	nextRec atomic.Uint64
 
+	// keyChurn counts updates that changed the value of an indexed column.
+	// While zero, every version in a chain shares the head's indexed
+	// values, so snapshot index probes are exact; once nonzero, snapshot
+	// probes fall back to a filtered scan. STRIP workloads index immutable
+	// keys (symbol), so the fast path is the norm.
+	keyChurn atomic.Int64
+
 	stats struct {
-		inserts, deletes, updates, retiredHeld int64
+		inserts, deletes, updates int64
+		retiredHeld               atomic.Int64
 	}
 }
 
@@ -52,6 +73,7 @@ func NewTable(schema *catalog.Schema) *Table {
 		schema:   schema,
 		indexes:  make(map[string]index.Index),
 		idxKinds: make(map[string]index.Kind),
+		retired:  make(map[*Record]struct{}),
 	}
 }
 
@@ -121,18 +143,29 @@ func (t *Table) HasIndex(column string) bool {
 // InsertReserved. Reserved IDs that are never used are simply skipped.
 func (t *Table) ReserveID() uint64 { return t.nextRec.Add(1) }
 
-// Insert appends a new record with the given values.
+// Insert appends a new record with the given values. This is the
+// non-transactional loader path: the record is stamped with BootstrapLSN
+// before it is linked, so it is visible to every snapshot. Transactional
+// inserts go through InsertReserved, which leaves the version unstamped
+// (invisible to snapshots) until commit.
 func (t *Table) Insert(vals []types.Value) (*Record, error) {
-	return t.InsertReserved(t.ReserveID(), vals)
+	return t.insertReserved(t.ReserveID(), vals, BootstrapLSN)
 }
 
 // InsertReserved appends a new record under a previously reserved lock ID
 // (see ReserveID).
 func (t *Table) InsertReserved(id uint64, vals []types.Value) (*Record, error) {
+	return t.insertReserved(id, vals, 0)
+}
+
+func (t *Table) insertReserved(id uint64, vals []types.Value, createLSN uint64) (*Record, error) {
 	if err := t.schema.CheckRow(vals); err != nil {
 		return nil, err
 	}
 	r := &Record{vals: coerceRow(t.schema, vals), table: t, id: id}
+	if createLSN != 0 {
+		r.createLSN.Store(createLSN)
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.link(r)
@@ -144,13 +177,18 @@ func (t *Table) InsertReserved(id uint64, vals []types.Value) (*Record, error) {
 	return r, nil
 }
 
-// Delete unlinks a record from the table. The record stays readable by
-// holders of pointers to it (bound tables); it is merely no longer part of
-// the relation.
+// Delete unlinks a record from the table. The record carries a pending
+// tombstone (stamped with the deleter's LSN at commit) and moves to the
+// retired set so snapshot readers older than the delete still see it.
 func (t *Table) Delete(r *Record) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.deleteLocked(r)
+	if err := t.deleteLocked(r); err != nil {
+		return err
+	}
+	r.deleteLSN.Store(PendingLSN)
+	t.retired[r] = struct{}{}
+	return nil
 }
 
 func (t *Table) deleteLocked(r *Record) error {
@@ -167,8 +205,8 @@ func (t *Table) deleteLocked(r *Record) error {
 		ix.Delete(r.vals[t.schema.ColIndex(col)], r)
 	}
 	r.unlinked.Store(true)
-	if r.refs.Load() > 0 {
-		t.stats.retiredHeld++
+	if r.refs.Load() > 0 && r.retiredCounted.CompareAndSwap(false, true) {
+		t.stats.retiredHeld.Add(1)
 	}
 	return nil
 }
@@ -189,18 +227,25 @@ func (t *Table) Update(r *Record, vals []types.Value) (*Record, error) {
 	t.stats.deletes--
 	t.stats.updates++
 	// The replacement inherits the old record's lock ID so a record lock on
-	// (table, id) covers the row across copy-on-update versions.
-	nr := &Record{vals: coerceRow(t.schema, vals), table: t, id: r.id}
+	// (table, id) covers the row across copy-on-update versions, and chains
+	// to it so snapshot readers older than this update's commit still find
+	// the superseded version.
+	nr := &Record{vals: coerceRow(t.schema, vals), table: t, id: r.id, older: r}
 	t.link(nr)
 	t.count++
 	for col, ix := range t.indexes {
-		ix.Insert(nr.vals[t.schema.ColIndex(col)], nr)
+		ci := t.schema.ColIndex(col)
+		ix.Insert(nr.vals[ci], nr)
+		if !nr.vals[ci].Equal(r.vals[ci]) {
+			t.keyChurn.Add(1)
+		}
 	}
 	return nr, nil
 }
 
 // Relink restores a previously unlinked record (transaction rollback of a
-// delete, or of the unlink half of an update).
+// delete, or of the unlink half of an update). Any pending tombstone is
+// erased and the record leaves the retired set.
 func (t *Table) Relink(r *Record) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -210,10 +255,12 @@ func (t *Table) Relink(r *Record) error {
 	if !r.unlinked.Load() {
 		return fmt.Errorf("storage: record is not deleted")
 	}
-	if r.refs.Load() > 0 {
-		t.stats.retiredHeld--
+	if r.retiredCounted.CompareAndSwap(true, false) {
+		t.stats.retiredHeld.Add(-1)
 	}
 	r.unlinked.Store(false)
+	r.deleteLSN.Store(0)
+	delete(t.retired, r)
 	t.link(r)
 	t.count++
 	for col, ix := range t.indexes {
@@ -247,14 +294,11 @@ func (t *Table) unlink(r *Record) {
 	r.prev, r.next = nil, nil
 }
 
-// noteRetiredPin adjusts the retired-but-held count when an unlinked
-// record gains its first pin or loses its last.
-func (t *Table) noteRetiredPin(r *Record, delta int64) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if r.unlinked.Load() {
-		t.stats.retiredHeld += delta
-	}
+// noteRetired adjusts the retired-but-held count. Callers serialize through
+// Record.retiredCounted CAS transitions, so the counter itself needs no
+// latch (Pin runs inside snapshot scans that hold the latch shared).
+func (t *Table) noteRetired(delta int64) {
+	t.stats.retiredHeld.Add(delta)
 }
 
 // Scan visits live records in list order while holding the table latch in
@@ -291,12 +335,183 @@ func (t *Table) Stats() Stats {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	return Stats{
-		Inserts:     t.stats.inserts,
-		Deletes:     t.stats.deletes,
-		Updates:     t.stats.updates,
-		RetiredHeld: t.stats.retiredHeld,
-		Rows:        t.count,
+		Inserts:          t.stats.inserts,
+		Deletes:          t.stats.deletes,
+		Updates:          t.stats.updates,
+		RetiredHeld:      t.stats.retiredHeld.Load(),
+		Rows:             t.count,
+		VersionsRetained: t.versions,
 	}
+}
+
+// ScanSnapshot visits the newest version of each row visible at snapshot
+// LSN snap, ignoring record locks. me is the reading transaction's id, for
+// read-your-own-writes (0 for pure snapshot readers). The walk covers the
+// live list plus the retired set (rows whose delete committed after snap),
+// chasing each version chain to the first visible version. The walk stops
+// when fn returns false.
+func (t *Table) ScanSnapshot(snap uint64, me int64, fn func(*Record) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for r := t.head; r != nil; r = r.next {
+		if v := visibleVersion(r, snap, me); v != nil && !fn(v) {
+			return
+		}
+	}
+	for r := range t.retired {
+		if v := visibleVersion(r, snap, me); v != nil && !fn(v) {
+			return
+		}
+	}
+}
+
+// visibleVersion walks head's version chain newest-to-oldest and returns
+// the first version visible at (snap, me), or nil. A live non-head version
+// means an aborted update relinked it into the list — the list walk emits
+// it directly, so the chain walk stops to avoid duplicates.
+func visibleVersion(head *Record, snap uint64, me int64) *Record {
+	for v := head; v != nil; v = v.older {
+		if v != head && v.Live() {
+			return nil
+		}
+		if v.VisibleAt(snap, me) {
+			return v
+		}
+	}
+	return nil
+}
+
+// LookupSnapshot returns the versions of rows with indexed column = key
+// visible at (snap, me), without locks. ok is false when the column has no
+// index or when an update has ever changed an indexed column's value on
+// this table (the index only covers head versions, so probe results would
+// be incomplete) — callers then fall back to a filtered ScanSnapshot. The
+// retired set is always checked: deleted rows leave the index immediately
+// but remain visible to older snapshots.
+func (t *Table) LookupSnapshot(column string, key types.Value, snap uint64, me int64) (recs []*Record, ok bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ix, found := t.indexes[column]
+	if !found || t.keyChurn.Load() != 0 {
+		return nil, false
+	}
+	ci := t.schema.ColIndex(column)
+	for _, ref := range ix.Lookup(key) {
+		if v := visibleVersion(ref.(*Record), snap, me); v != nil {
+			recs = append(recs, v)
+		}
+	}
+	for r := range t.retired {
+		if !r.vals[ci].Equal(key) {
+			continue
+		}
+		if v := visibleVersion(r, snap, me); v != nil {
+			recs = append(recs, v)
+		}
+	}
+	return recs, true
+}
+
+// KeyChurn reports how many updates changed an indexed column's value.
+func (t *Table) KeyChurn() int64 { return t.keyChurn.Load() }
+
+// ReleaseVersions garbage-collects versions no active snapshot can reach.
+// horizon is the oldest LSN any current or future snapshot may hold: a
+// chain is truncated below its newest version committed at or before
+// horizon, and a retired head is dropped once its delete committed at or
+// before horizon (or its creator aborted, leaving createLSN == 0 with no
+// in-flight writer able to commit it). Returns the number of versions
+// dropped and updates the retained-version statistic.
+func (t *Table) ReleaseVersions(horizon uint64) (dropped int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var retained int64
+	for r := t.head; r != nil; r = r.next {
+		d, k := truncateChain(r, horizon)
+		dropped += d
+		retained += k
+	}
+	for r := range t.retired {
+		c := r.createLSN.Load()
+		d := r.deleteLSN.Load()
+		// c == 0: the creator aborted (undo tombstones its inserts and
+		// update copies), or an active txn deleted its own uncommitted
+		// insert — either way no snapshot can ever see this record, and
+		// commit/abort processing does not need its retired membership.
+		// Exception: if it chains to a dead older version whose delete is
+		// unstamped, an active txn updated then deleted the row, and this
+		// head is still the only route to the committed version — keep it
+		// until the writer resolves. A dead older version with any delete
+		// stamp is reachable without us (a committed update chains it under
+		// the successor; a delete parks it in the retired set itself), so
+		// the orphan must drop or abort churn leaks it forever.
+		aborted := c == 0 &&
+			(r.older == nil || r.older.Live() || r.older.DeleteLSN() != 0)
+		expired := d != 0 && d != PendingLSN && d <= horizon
+		if aborted || expired {
+			delete(t.retired, r)
+			r.older = nil
+			dropped++
+			continue
+		}
+		retained++
+		dc, kc := truncateChain(r, horizon)
+		dropped += dc
+		retained += kc
+	}
+	t.versions = retained
+	return dropped
+}
+
+// truncateChain cuts head's version chain below the newest version every
+// snapshot at or above horizon can see, returning (dropped, kept) counts of
+// non-head versions. A live chain member was relinked by rollback and is
+// covered by the list walk, so the chain is cut at it.
+func truncateChain(head *Record, horizon uint64) (dropped, kept int64) {
+	v := head
+	for {
+		next := v.older
+		if next == nil {
+			return dropped, kept
+		}
+		if next.Live() {
+			v.older = nil
+			return dropped, kept
+		}
+		if c := v.createLSN.Load(); c != 0 && c <= horizon {
+			for w := next; w != nil; w = w.older {
+				dropped++
+			}
+			v.older = nil
+			return dropped, kept
+		}
+		kept++
+		v = next
+	}
+}
+
+// VersionStats counts currently retained versions: chain tails reachable
+// from live heads plus the retired set and its chains. For tests and the
+// versions-retained gauge between GC passes.
+func (t *Table) VersionStats() (retained int64) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	chainLen := func(head *Record) (n int64) {
+		for v := head.older; v != nil; v = v.older {
+			if v.Live() {
+				return n
+			}
+			n++
+		}
+		return n
+	}
+	for r := t.head; r != nil; r = r.next {
+		retained += chainLen(r)
+	}
+	for r := range t.retired {
+		retained += 1 + chainLen(r)
+	}
+	return retained
 }
 
 // coerceRow copies vals, widening INT values stored in FLOAT columns so that

@@ -270,6 +270,17 @@ func (s *Store) Get(name string) (*Table, bool) {
 	return t, ok
 }
 
+// Tables returns the current table set (for version GC and stats sweeps).
+func (s *Store) Tables() []*Table {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*Table, 0, len(s.tables))
+	for _, t := range s.tables {
+		out = append(out, t)
+	}
+	return out
+}
+
 // SortRows reorders the table's rows in place by the provided comparison
 // over row indexes (the query engine's ORDER BY).
 func (tt *TempTable) SortRows(less func(a, b int) bool) {

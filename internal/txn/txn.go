@@ -16,6 +16,7 @@ package txn
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"github.com/stripdb/strip/internal/catalog"
@@ -74,6 +75,9 @@ const (
 // ErrNotActive is returned for operations on finished transactions.
 var ErrNotActive = errors.New("txn: transaction is not active")
 
+// ErrReadOnly is returned when a read-only transaction attempts a write.
+var ErrReadOnly = errors.New("txn: transaction is read-only")
+
 // CommitHook runs inside Commit before locks are released. The rule system
 // registers itself here.
 type CommitHook func(*Txn) error
@@ -111,9 +115,32 @@ type Manager struct {
 	commitHook atomic.Pointer[CommitHook]
 	wal        atomic.Pointer[DurableLog]
 
+	// MVCC commit-stamp authority. lastVisible is the newest commit LSN
+	// whose version stamps are fully applied; snapshots read it. stampMu
+	// serializes {allocate LSN, stamp the write log, publish lastVisible}
+	// so a reader that observes lastVisible == L is guaranteed every stamp
+	// at or below L is in place (no torn snapshots across group-commit
+	// batches). The sequence is seeded from the WAL at open (SeedLSN) so
+	// recovery-restored stamps sort below every post-restart commit.
+	lastVisible atomic.Uint64
+	stampMu     sync.Mutex
+	// snapMu guards the active-snapshot registry used for the GC horizon.
+	snapMu sync.Mutex
+	snaps  map[int64]uint64
+	// stamps counts stamped commits to pace version GC; gcMu keeps sweeps
+	// single-flight without blocking committers.
+	stamps atomic.Int64
+	gcMu   sync.Mutex
+
 	committed   *obs.Counter
 	aborted     *obs.Counter
 	escalations *obs.Counter
+	readonly    *obs.Counter
+	snapshots   *obs.Counter
+	gcRuns      *obs.Counter
+	gcDropped   *obs.Counter
+	versionsG   *obs.Gauge
+	snapAgeG    *obs.Gauge
 	commitHist  *obs.Histogram
 	abortHist   *obs.Histogram
 	tracer      *obs.Tracer
@@ -123,6 +150,7 @@ type Manager struct {
 // private metrics registry (see Instrument).
 func NewManager(cat *catalog.Catalog, store *storage.Store, locks *lock.Manager, clk clock.Clock, meter *cost.Meter, model cost.Model) *Manager {
 	m := &Manager{Catalog: cat, Store: store, Locks: locks, Clock: clk, Meter: meter, Model: model}
+	m.lastVisible.Store(storage.BootstrapLSN)
 	m.Instrument(obs.NewRegistry())
 	return m
 }
@@ -134,6 +162,12 @@ func (m *Manager) Instrument(reg *obs.Registry) {
 	m.committed = reg.Counter(obs.MTxnCommitted)
 	m.aborted = reg.Counter(obs.MTxnAborted)
 	m.escalations = reg.Counter(obs.MLockEscalations)
+	m.readonly = reg.Counter(obs.MTxnReadOnly)
+	m.snapshots = reg.Counter(obs.MMvccSnapshots)
+	m.gcRuns = reg.Counter(obs.MMvccGCRuns)
+	m.gcDropped = reg.Counter(obs.MMvccGCDropped)
+	m.versionsG = reg.Gauge(obs.MMvccVersionsRetained)
+	m.snapAgeG = reg.Gauge(obs.MMvccSnapshotAge)
 	m.commitHist = reg.Histogram(obs.MTxnCommitMicros)
 	m.abortHist = reg.Histogram(obs.MTxnAbortMicros)
 	m.tracer = reg.Tracer()
@@ -165,7 +199,81 @@ func (m *Manager) SetWAL(w DurableLog) {
 // Begin starts a transaction.
 func (m *Manager) Begin() *Txn {
 	m.Meter.Charge(m.Model.BeginTxn)
-	return &Txn{id: m.nextID.Add(1), mgr: m, startAt: m.Clock.Now()}
+	return &Txn{id: m.nextID.Add(1), mgr: m, startAt: m.Clock.Now(), done: make(chan struct{})}
+}
+
+// BeginReadOnly starts a read-only transaction. It never touches the lock
+// manager: all reads resolve against the transaction's begin snapshot
+// (newest commit LSN at first read), writes fail with ErrReadOnly, and
+// commit/abort skip lock release.
+func (m *Manager) BeginReadOnly() *Txn {
+	t := m.Begin()
+	t.readOnly = true
+	t.snapReads = true
+	m.readonly.Inc()
+	return t
+}
+
+// SeedLSN initializes the commit-stamp sequence (and therefore the first
+// snapshot) to lsn. Called once at open with the WAL's recovered LSN so
+// version stamps restored by recovery sort below every new commit. The
+// sequence never drops below BootstrapLSN, so loader-stamped rows stay
+// visible to every snapshot.
+func (m *Manager) SeedLSN(lsn uint64) {
+	if lsn < storage.BootstrapLSN {
+		lsn = storage.BootstrapLSN
+	}
+	m.lastVisible.Store(lsn)
+}
+
+// LastVisible returns the newest commit LSN whose stamps are published —
+// the snapshot a transaction beginning now would read at.
+func (m *Manager) LastVisible() uint64 { return m.lastVisible.Load() }
+
+// OldestSnapshot returns the version-GC horizon: the oldest LSN any active
+// snapshot holds, or the newest published LSN when no snapshot is out.
+// Every version whose successor committed at or before the horizon is
+// unreachable by current and future snapshots.
+func (m *Manager) OldestSnapshot() uint64 {
+	m.snapMu.Lock()
+	defer m.snapMu.Unlock()
+	h := m.lastVisible.Load()
+	for _, s := range m.snaps {
+		if s < h {
+			h = s
+		}
+	}
+	return h
+}
+
+// RunVersionGC sweeps every table, releasing record versions below the GC
+// horizon, and refreshes the versions-retained and snapshot-age gauges.
+// Concurrent calls coalesce (single flight). Returns versions dropped.
+func (m *Manager) RunVersionGC() (dropped int64) {
+	if !m.gcMu.TryLock() {
+		return 0
+	}
+	defer m.gcMu.Unlock()
+	horizon := m.OldestSnapshot()
+	var retained int64
+	for _, tbl := range m.Store.Tables() {
+		dropped += tbl.ReleaseVersions(horizon)
+		retained += tbl.Stats().VersionsRetained
+	}
+	m.gcRuns.Inc()
+	m.gcDropped.Add(dropped)
+	m.versionsG.Set(retained)
+	m.snapAgeG.Set(int64(m.lastVisible.Load() - horizon))
+	return dropped
+}
+
+// gcEvery paces the version GC: one sweep per this many stamped commits.
+const gcEvery = 64
+
+func (m *Manager) maybeGC() {
+	if m.stamps.Add(1)%gcEvery == 0 {
+		m.RunVersionGC()
+	}
 }
 
 // Committed reports how many transactions have committed.
@@ -204,6 +312,23 @@ type Txn struct {
 	// commitAt is the engine time at which the transaction committed
 	// (instantiates bound-table commit_time columns).
 	commitAt clock.Micros
+
+	// readOnly rejects writes and skips the lock manager entirely.
+	// snapReads routes reads through version-chain snapshot visibility
+	// instead of S/IS locks (set for read-only txns, and for rule-action
+	// txns whose writes still use two-level locking). snap is the begin
+	// snapshot LSN, acquired lazily at first snapshot read and registered
+	// with the manager until the transaction finishes.
+	readOnly  bool
+	snapReads bool
+	snap      uint64
+	snapHeld  bool
+
+	// done closes when Commit or Abort has fully finished — including
+	// commit stamping, so a waiter's subsequent snapshot observes this
+	// transaction's effects (the rule engine waits on triggering txns
+	// before running an action against a snapshot).
+	done chan struct{}
 }
 
 // ID returns the transaction id.
@@ -220,6 +345,63 @@ func (t *Txn) Log() []LogRec { return t.log }
 
 // CommitTime returns the commit timestamp (valid once committed).
 func (t *Txn) CommitTime() clock.Micros { return t.commitAt }
+
+// ReadOnly reports whether the transaction rejects writes.
+func (t *Txn) ReadOnly() bool { return t.readOnly }
+
+// EnableSnapshotReads switches the transaction's reads to lock-free
+// snapshot visibility while writes keep the two-level lock protocol. The
+// rule engine enables this for action transactions once every triggering
+// transaction has finished stamping (so the snapshot includes them).
+func (t *Txn) EnableSnapshotReads() { t.snapReads = true }
+
+// SnapshotReads reports whether reads bypass the lock manager.
+func (t *Txn) SnapshotReads() bool { return t.snapReads }
+
+// SnapshotRead returns the snapshot LSN and reader identity for lock-free
+// reads, acquiring and registering the snapshot on first use. ok is false
+// when the transaction reads under locks instead.
+func (t *Txn) SnapshotRead() (snap uint64, me int64, ok bool) {
+	if !t.snapReads || t.status != Active {
+		return 0, 0, false
+	}
+	if !t.snapHeld {
+		m := t.mgr
+		m.snapMu.Lock()
+		t.snap = m.lastVisible.Load()
+		if m.snaps == nil {
+			m.snaps = make(map[int64]uint64)
+		}
+		m.snaps[t.id] = t.snap
+		m.snapMu.Unlock()
+		t.snapHeld = true
+		m.snapshots.Inc()
+	}
+	return t.snap, t.id, true
+}
+
+// releaseSnapshot drops the transaction's GC-horizon registration.
+func (t *Txn) releaseSnapshot() {
+	if !t.snapHeld {
+		return
+	}
+	t.mgr.snapMu.Lock()
+	delete(t.mgr.snaps, t.id)
+	t.mgr.snapMu.Unlock()
+	t.snapHeld = false
+}
+
+// Wait blocks until the transaction has finished committing or aborting,
+// including commit stamping: a snapshot taken after Wait returns observes
+// the transaction's effects (or their absence, on abort).
+func (t *Txn) Wait() { <-t.done }
+
+// finish publishes completion to waiters.
+func (t *Txn) finish() {
+	if t.done != nil {
+		close(t.done)
+	}
+}
 
 // Charge adds virtual CPU to the engine meter.
 func (t *Txn) Charge(micros float64) { t.mgr.Meter.Charge(micros) }
@@ -285,6 +467,15 @@ func (t *Txn) lockTableAPI(name string, mode lock.Mode, write bool) (*storage.Ta
 	tbl, err := t.table(name)
 	if err != nil {
 		return nil, err
+	}
+	if !write && t.snapReads {
+		// Lock-free snapshot reads: no table S/IS lock. The query layer
+		// resolves row visibility through ScanSnapshot/LookupSnapshot at
+		// the transaction's begin snapshot.
+		return tbl, nil
+	}
+	if write && t.readOnly {
+		return nil, ErrReadOnly
 	}
 	if err := t.lockTable(name, mode, write); err != nil {
 		return nil, err
@@ -392,6 +583,10 @@ func (t *Txn) Insert(table string, vals []types.Value) (*storage.Record, error) 
 	if err != nil {
 		return nil, err
 	}
+	// Tag the uncommitted version with its writer for read-your-own-writes
+	// snapshot visibility; createLSN stays 0 (invisible to others) until
+	// commit stamping.
+	rec.SetWriter(t.id)
 	t.mgr.Meter.Charge(t.mgr.Model.InsertCursor)
 	t.seq++
 	t.log = append(t.log, LogRec{Op: OpInsert, Table: table, New: rec, Seq: t.seq})
@@ -407,6 +602,10 @@ func (t *Txn) Delete(table string, rec *storage.Record) error {
 	if err := t.LockRecordExclusive(table, rec.ID()); err != nil {
 		return err
 	}
+	// The pending tombstone Delete installs must carry this transaction's
+	// identity before it becomes observable: a pending delete hides the
+	// record from its own writer only.
+	rec.SetWriter(t.id)
 	if err := tbl.Delete(rec); err != nil {
 		return err
 	}
@@ -431,6 +630,7 @@ func (t *Txn) Update(table string, rec *storage.Record, vals []types.Value) (*st
 	if err != nil {
 		return nil, err
 	}
+	nr.SetWriter(t.id)
 	t.mgr.Meter.Charge(t.mgr.Model.UpdateCursor)
 	t.seq++
 	t.log = append(t.log, LogRec{Op: OpUpdate, Table: table, Old: rec, New: nr, Seq: t.seq})
@@ -466,12 +666,42 @@ func (t *Txn) Commit() error {
 			return fmt.Errorf("txn: aborted, commit not durable: %w", err)
 		}
 	}
+	// Stamp every version this transaction wrote with its commit LSN,
+	// after durability but before any lock is released: a conflicting
+	// successor can only reach these records once the stamps are
+	// published, so stamp order agrees with serialization order. The
+	// allocate-stamp-publish sequence is atomic under stampMu, so a
+	// snapshot reader that loads lastVisible == L sees every stamp <= L
+	// (no torn snapshots even when group commit batches several txns).
+	if len(t.log) > 0 {
+		m := t.mgr
+		m.stampMu.Lock()
+		lsn := m.lastVisible.Load() + 1
+		for _, lr := range t.log {
+			switch lr.Op {
+			case OpInsert:
+				lr.New.StampCreate(lsn)
+			case OpDelete:
+				lr.Old.StampDelete(lsn)
+			case OpUpdate:
+				lr.New.StampCreate(lsn)
+				lr.Old.StampDelete(lsn)
+			}
+		}
+		m.lastVisible.Store(lsn)
+		m.stampMu.Unlock()
+		m.maybeGC()
+	}
 	t.status = Committed
+	t.releaseSnapshot()
 	t.mgr.Meter.Charge(t.mgr.Model.CommitTxn + t.mgr.Model.ReleaseLock)
-	t.mgr.Locks.ReleaseAll(t.id)
+	if !t.readOnly {
+		t.mgr.Locks.ReleaseAll(t.id)
+	}
 	t.mgr.committed.Inc()
 	t.mgr.commitHist.Record(t.commitAt - t.startAt)
 	t.mgr.tracer.Emit(t.commitAt, obs.KindTxnCommit, "", t.id)
+	t.finish()
 	return nil
 }
 
@@ -506,11 +736,15 @@ func (t *Txn) Abort() error {
 	}
 	t.status = Aborted
 	t.log = nil
+	t.releaseSnapshot()
 	t.mgr.Meter.Charge(t.mgr.Model.AbortTxn + t.mgr.Model.ReleaseLock)
-	t.mgr.Locks.ReleaseAll(t.id)
+	if !t.readOnly {
+		t.mgr.Locks.ReleaseAll(t.id)
+	}
 	now := t.mgr.Clock.Now()
 	t.mgr.aborted.Inc()
 	t.mgr.abortHist.Record(now - t.startAt)
 	t.mgr.tracer.Emit(now, obs.KindTxnAbort, "", t.id)
+	t.finish()
 	return firstErr
 }

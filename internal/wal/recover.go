@@ -168,9 +168,14 @@ func loadSnapshot(dir string, cat *catalog.Catalog, store *storage.Store, stats 
 		}
 		nRows := int(d.u32())
 		for j := 0; j < nRows && d.err == nil; j++ {
-			if _, err := tbl.Insert(d.row()); err != nil {
+			rec, err := tbl.Insert(d.row())
+			if err != nil {
 				return 0, fmt.Errorf("wal: snapshot row %s[%d]: %w", schema.Name(), j, err)
 			}
+			// Snapshot rows were committed at or before the checkpoint LSN;
+			// stamping with it keeps them visible to every post-recovery
+			// snapshot (the manager's LSN sequence is seeded past it).
+			rec.StampCreate(snapLSN)
 			stats.SnapshotRows++
 		}
 		// Indexes are built after rows so CreateIndex's backfill covers them.
@@ -225,7 +230,7 @@ func replayLog(path string, snapLSN uint64, cat *catalog.Catalog, store *storage
 			maxLSN = lsn
 		}
 		if lsn > snapLSN {
-			if err := applyRecord(kind, body, cat, store, stats); err != nil {
+			if err := applyRecord(kind, lsn, body, cat, store, stats); err != nil {
 				return 0, 0, 0, fmt.Errorf("wal: replay lsn %d: %w", lsn, err)
 			}
 		}
@@ -238,7 +243,7 @@ func replayLog(path string, snapLSN uint64, cat *catalog.Catalog, store *storage
 // bypasses the transaction manager entirely, so no locks are taken and no
 // rules fire (rules re-arm over the recovered data when the application
 // re-registers them).
-func applyRecord(kind byte, body []byte, cat *catalog.Catalog, store *storage.Store, stats *RecoveryStats) error {
+func applyRecord(kind byte, lsn uint64, body []byte, cat *catalog.Catalog, store *storage.Store, stats *RecoveryStats) error {
 	switch kind {
 	case recCommit:
 		rec, err := decodeCommit(body)
@@ -246,7 +251,7 @@ func applyRecord(kind byte, body []byte, cat *catalog.Catalog, store *storage.St
 			return err
 		}
 		for _, op := range rec.ops {
-			if err := applyOp(op, store); err != nil {
+			if err := applyOp(op, lsn, store); err != nil {
 				return fmt.Errorf("txn %d: %w", rec.txnID, err)
 			}
 			stats.ReplayedOps++
@@ -304,31 +309,44 @@ func applyRecord(kind byte, body []byte, cat *catalog.Catalog, store *storage.St
 	}
 }
 
-// applyOp applies one redo operation. Deletes and updates locate their
-// victim by value equality: rows with identical values are interchangeable
-// (records have no identity beyond their values), so the recovered relation
-// is value-equal to the pre-crash one.
-func applyOp(op redoOp, store *storage.Store) error {
+// applyOp applies one redo operation, restoring version stamps from the
+// commit record's LSN so post-recovery snapshots see exactly the committed
+// prefix. Deletes and updates locate their victim by value equality: rows
+// with identical values are interchangeable (records have no identity
+// beyond their values), so the recovered relation is value-equal to the
+// pre-crash one.
+func applyOp(op redoOp, lsn uint64, store *storage.Store) error {
 	tbl, ok := store.Get(op.table)
 	if !ok {
 		return fmt.Errorf("redo %s: table does not exist", op.table)
 	}
 	switch op.kind {
 	case opInsert:
-		_, err := tbl.Insert(op.new)
+		rec, err := tbl.Insert(op.new)
+		if err == nil {
+			rec.StampCreate(lsn)
+		}
 		return err
 	case opDelete:
 		rec := findRow(tbl, op.old)
 		if rec == nil {
 			return fmt.Errorf("redo delete on %s: row not found", op.table)
 		}
-		return tbl.Delete(rec)
+		if err := tbl.Delete(rec); err != nil {
+			return err
+		}
+		rec.StampDelete(lsn)
+		return nil
 	case opUpdate:
 		rec := findRow(tbl, op.old)
 		if rec == nil {
 			return fmt.Errorf("redo update on %s: row not found", op.table)
 		}
-		_, err := tbl.Update(rec, op.new)
+		nr, err := tbl.Update(rec, op.new)
+		if err == nil {
+			nr.StampCreate(lsn)
+			rec.StampDelete(lsn)
+		}
 		return err
 	default:
 		return fmt.Errorf("unknown redo op %d", op.kind)

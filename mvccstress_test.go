@@ -1,0 +1,196 @@
+package strip
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Live stress over MVCC snapshot reads: transfer transactions move money
+// between accounts (sum-preserving), lock-free readers continuously sum the
+// table, a pinned read-only transaction demands repeatable reads across the
+// whole run, and a rule recompute asserts the invariant from its own
+// snapshot. Any torn snapshot — a scan observing half a transfer — breaks
+// the sum. Run with -race this exercises version-chain publication, the
+// retired set, trigger-wait, and version GC together.
+func TestLiveSnapshotStress(t *testing.T) {
+	db := MustOpen(Config{Workers: 4, LockShards: 8})
+	defer db.Close()
+
+	db.MustExec(`create table accounts (id text, balance float)`)
+	db.MustExec(`create index on accounts (id)`)
+	db.MustExec(`create table totals (k text, v float)`)
+	const nAcct = 16
+	const total = float64(nAcct * 100)
+	for i := 0; i < nAcct; i++ {
+		db.MustExec(fmt.Sprintf(`insert into accounts values ('A%02d', 100)`, i))
+	}
+	db.MustExec(fmt.Sprintf(`insert into totals values ('sum', %g)`, total))
+
+	// The recompute reads the full table from its action snapshot and
+	// checks the invariant there; the delta keeps totals converging.
+	scanAccounts, err := ParseSelect(`select balance from accounts`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RegisterFunc("total_sync", func(ctx *ActionContext) error {
+		m, _ := ctx.Bound("changes")
+		diff := 0.0
+		sch := m.Schema()
+		oi, ni := sch.ColIndex("old_b"), sch.ColIndex("new_b")
+		for i := 0; i < m.Len(); i++ {
+			diff += m.Value(i, ni).Float() - m.Value(i, oi).Float()
+		}
+		res, err := ctx.Query(scanAccounts)
+		if err != nil {
+			return err
+		}
+		sum := 0.0
+		for i := 0; i < res.Len(); i++ {
+			sum += res.Value(i, 0).Float()
+		}
+		res.Retire()
+		if sum != total {
+			return fmt.Errorf("recompute snapshot torn: sum = %g, want %g", sum, total)
+		}
+		_, err = ExecAction(ctx, fmt.Sprintf(`update totals set v += %g where k = 'sum'`, diff))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec(`
+	  create rule total_rule on accounts
+	  when updated balance
+	  if select new.balance as new_b, old.balance as old_b
+	     from new, old
+	     where new.execute_order = old.execute_order
+	     bind as changes
+	  then execute total_sync
+	  unique`)
+
+	// Pin a snapshot before any churn; it must read the seed state —
+	// identically — no matter when its scans run.
+	pinned := db.BeginReadOnly()
+	pinnedRows := func() map[string]float64 {
+		res, err := db.ExecIn(pinned, `select id, balance from accounts`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := map[string]float64{}
+		for _, r := range res.Rows {
+			out[r[0].Str()] = r[1].Float()
+		}
+		return out
+	}
+	first := pinnedRows()
+	if len(first) != nAcct {
+		t.Fatalf("pinned snapshot rows = %d, want %d", len(first), nAcct)
+	}
+
+	retry := func(op func() error) error {
+		for attempt := 0; attempt < 50; attempt++ {
+			if err := op(); err == nil {
+				return nil
+			}
+		}
+		return fmt.Errorf("op still failing after 50 attempts")
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+
+	// Transfer writers: each transaction moves money between two accounts.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				from := (w*7 + i*3) % nAcct
+				to := (from + 1 + (w+i)%(nAcct-1)) % nAcct
+				amt := float64(1 + (w+i)%5)
+				if err := retry(func() error {
+					tx := db.Begin()
+					if _, err := db.ExecIn(tx, fmt.Sprintf(
+						`update accounts set balance += %g where id = 'A%02d'`, amt, to)); err != nil {
+						tx.Abort() //nolint:errcheck
+						return err
+					}
+					if _, err := db.ExecIn(tx, fmt.Sprintf(
+						`update accounts set balance += %g where id = 'A%02d'`, -amt, from)); err != nil {
+						tx.Abort() //nolint:errcheck
+						return err
+					}
+					return tx.Commit()
+				}); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Lock-free readers: every snapshot must see the invariant exactly.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 80; i++ {
+				res, err := db.Exec(`select balance from accounts`)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				sum := 0.0
+				for _, row := range res.Rows {
+					sum += row[0].Float()
+				}
+				if sum != total {
+					errCh <- fmt.Errorf("torn snapshot: sum = %g, want %g", sum, total)
+					return
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	// The pinned snapshot rereads the exact seed state after all the churn.
+	second := pinnedRows()
+	for id, bal := range first {
+		if second[id] != bal {
+			t.Errorf("pinned snapshot drifted: %s = %g, first read %g", id, second[id], bal)
+		}
+	}
+	if err := pinned.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Settle: merging can enqueue one more round after the first drain.
+	for i := 0; i < 3; i++ {
+		time.Sleep(30 * time.Millisecond)
+		db.WaitIdle()
+	}
+	if st := db.Stats("total_sync"); st.TaskErrors != 0 {
+		t.Fatalf("recompute errors: %d (restarts %d)", st.TaskErrors, st.Restarts)
+	}
+	res := db.MustExec(`select v from totals where k = 'sum'`)
+	if got := res.Rows[0][0].Float(); got != total {
+		t.Errorf("totals diverged: %g, want %g", got, total)
+	}
+
+	ms := db.MvccStats()
+	if ms.ReadOnlyTxns == 0 || ms.SnapshotScans == 0 {
+		t.Errorf("snapshot reads never ran: %+v", ms)
+	}
+	// With every snapshot released, GC at the full horizon reclaims every
+	// retained version.
+	db.Txns().RunVersionGC()
+	if ms = db.MvccStats(); ms.VersionsRetained != 0 {
+		t.Errorf("versions retained after quiesced GC = %d", ms.VersionsRetained)
+	}
+}

@@ -124,6 +124,13 @@ type Config struct {
 	// txn.DefaultEscalation). Lower values favor coarse locking; higher
 	// values favor row-level parallelism at more lock-manager work.
 	EscalationThreshold int
+	// LockWaitTimeout is how long a blocked lock request parks before the
+	// fallback deadlock detector runs (default lock.DefaultWaitTimeout,
+	// 100ms). Lower values detect cross-shard deadlock edges that appear
+	// after the on-conflict check sooner, at the price of more detector
+	// sweeps under contention. The effective value is reported by
+	// LockStats().WaitTimeout.
+	LockWaitTimeout time.Duration
 }
 
 // DB is an open STRIP engine.
@@ -178,6 +185,9 @@ func Open(cfg Config) (*DB, error) {
 		db.locks = lock.New()
 	}
 	db.locks.Instrument(db.obs, db.clk.Now)
+	if cfg.LockWaitTimeout > 0 {
+		db.locks.SetWaitTimeout(cfg.LockWaitTimeout)
+	}
 	db.txns = txn.NewManager(catalog.New(), storage.NewStore(), db.locks, db.clk, db.meter, db.model)
 	db.txns.EscalateAt = cfg.EscalationThreshold
 	db.txns.Instrument(db.obs)
@@ -193,6 +203,11 @@ func Open(cfg Config) (*DB, error) {
 		}
 		db.wal = w
 		db.txns.SetWAL(w)
+		// Seed the MVCC commit-stamp sequence past every LSN recovery
+		// restored, so recovered version stamps sort below new commits and
+		// the first post-recovery snapshot sees exactly the committed
+		// prefix.
+		db.txns.SeedLSN(w.NextLSN() - 1)
 	}
 	if !cfg.Virtual {
 		workers := cfg.Workers
@@ -252,6 +267,12 @@ func (db *DB) Close() error {
 
 // Begin starts a transaction.
 func (db *DB) Begin() *Txn { return db.txns.Begin() }
+
+// BeginReadOnly starts a read-only transaction whose reads run lock-free
+// against a consistent snapshot (the newest committed state at first read).
+// It never blocks writers and writers never block it; writes inside it fail
+// with txn.ErrReadOnly.
+func (db *DB) BeginReadOnly() *Txn { return db.txns.BeginReadOnly() }
 
 // RegisterFunc installs a rule action function.
 func (db *DB) RegisterFunc(name string, fn ActionFunc) error {
@@ -423,9 +444,10 @@ func (db *DB) Insert(table string, vals ...Value) error {
 	return tx.Commit()
 }
 
-// Query runs a select in its own transaction and materializes the rows.
+// Query runs a select in its own read-only transaction — lock-free against
+// a consistent snapshot — and materializes the rows.
 func (db *DB) Query(q *Select) ([][]Value, []string, error) {
-	tx := db.Begin()
+	tx := db.BeginReadOnly()
 	defer tx.Commit() //nolint:errcheck
 	res, err := q.Run(tx, query.TxnResolver{})
 	if err != nil {
@@ -533,6 +555,47 @@ func (db *DB) LockStats() lock.Stats { return db.locks.Stats() }
 // LockShardLoads returns per-shard acquire counts of the lock table, for
 // contention diagnostics.
 func (db *DB) LockShardLoads() []int64 { return db.locks.ShardLoads() }
+
+// MvccStats is a point-in-time view of the MVCC snapshot-read subsystem.
+type MvccStats struct {
+	// LastVisibleLSN is the newest commit whose version stamps are
+	// published; OldestSnapshot is the GC horizon (oldest active snapshot,
+	// or LastVisibleLSN when none is out).
+	LastVisibleLSN uint64
+	OldestSnapshot uint64
+	// Snapshots counts snapshots acquired; ReadOnlyTxns counts
+	// BeginReadOnly transactions; SnapshotScans/SnapshotProbes count
+	// lock-free read operations.
+	Snapshots      int64
+	ReadOnlyTxns   int64
+	SnapshotScans  int64
+	SnapshotProbes int64
+	// GCRuns/GCDropped count version-GC sweeps and versions reclaimed;
+	// VersionsRetained is the current retained-version count (live sweep).
+	GCRuns           int64
+	GCDropped        int64
+	VersionsRetained int64
+}
+
+// MvccStats reports MVCC activity: snapshot LSNs, lock-free read counts,
+// and version garbage-collection totals.
+func (db *DB) MvccStats() MvccStats {
+	var retained int64
+	for _, tbl := range db.txns.Store.Tables() {
+		retained += tbl.VersionStats()
+	}
+	return MvccStats{
+		LastVisibleLSN:   db.txns.LastVisible(),
+		OldestSnapshot:   db.txns.OldestSnapshot(),
+		Snapshots:        db.obs.Counter(obs.MMvccSnapshots).Load(),
+		ReadOnlyTxns:     db.obs.Counter(obs.MTxnReadOnly).Load(),
+		SnapshotScans:    db.obs.Counter(obs.MMvccSnapshotScans).Load(),
+		SnapshotProbes:   db.obs.Counter(obs.MMvccSnapshotProbes).Load(),
+		GCRuns:           db.obs.Counter(obs.MMvccGCRuns).Load(),
+		GCDropped:        db.obs.Counter(obs.MMvccGCDropped).Load(),
+		VersionsRetained: retained,
+	}
+}
 
 // RegisterScalarFunc installs a scalar function callable from queries
 // (e.g. the Black-Scholes pricing function f_BS).
