@@ -52,9 +52,28 @@ func (c *ActionContext) BoundNames() []string {
 }
 
 // Query runs a select inside the action's transaction; bound tables shadow
-// database tables.
+// database tables. Unless the rule sets LockedReads, the select reads
+// lock-free from the transaction's begin snapshot — fine for recomputes,
+// but rows the action then rewrites incrementally must be read through
+// QueryLocked instead.
 func (c *ActionContext) Query(q *query.Select) (*storage.TempTable, error) {
 	return q.Run(c.tx, boundResolver{bound: c.bound})
+}
+
+// QueryLocked runs a select under S locks held to commit even when the
+// action reads from a snapshot. Use it for incremental read-modify-write:
+// a snapshot read of a row this action then updates can interleave with
+// another action's committed write (lost update, write skew); a locked
+// read serializes the two. Rule.LockedReads opts the whole action out of
+// snapshot reads instead.
+func (c *ActionContext) QueryLocked(q *query.Select) (*storage.TempTable, error) {
+	var tt *storage.TempTable
+	err := c.tx.LockedReads(func() error {
+		var err error
+		tt, err = q.Run(c.tx, boundResolver{bound: c.bound})
+		return err
+	})
+	return tt, err
 }
 
 // ExecUpdate runs an UPDATE statement inside the action's transaction.
@@ -100,6 +119,9 @@ type actionPayload struct {
 	key      types.Key
 	set      *uniqueSet // nil for non-unique actions
 	restarts int
+	// lockedReads mirrors Rule.LockedReads: the action's queries take S
+	// locks instead of reading the begin snapshot.
+	lockedReads bool
 	// triggers are the transactions whose commits fired (or merged into)
 	// this task. Tasks are submitted from inside the commit hook — before
 	// the trigger's WAL write and commit stamping — so the action waits
@@ -137,16 +159,17 @@ func (e *Engine) newActionTask(trig *txn.Txn, rule *Rule, fn ActionFunc, stats *
 	bound map[string]*storage.TempTable, key types.Key, set *uniqueSet, release clock.Micros, stamp clock.Micros) *sched.Task {
 
 	payload := &actionPayload{
-		engine:    e,
-		rule:      rule.Name,
-		fnName:    rule.Action,
-		fn:        fn,
-		stats:     stats,
-		bound:     bound,
-		key:       key,
-		set:       set,
-		createdAt: stamp,
-		staleTok:  stats.stale.Track(stamp),
+		engine:      e,
+		rule:        rule.Name,
+		fnName:      rule.Action,
+		fn:          fn,
+		stats:       stats,
+		bound:       bound,
+		key:         key,
+		set:         set,
+		lockedReads: rule.LockedReads,
+		createdAt:   stamp,
+		staleTok:    stats.stale.Track(stamp),
 	}
 	if trig != nil {
 		payload.triggers = []*txn.Txn{trig}
@@ -189,14 +212,19 @@ func (e *Engine) runAction(task *sched.Task) error {
 	// versions. Wait for them (commit stamping completes before Wait
 	// returns), then read lock-free: the snapshot taken below is
 	// guaranteed to include every triggering update. Writes keep the
-	// two-level lock protocol for write-write conflicts.
+	// two-level lock protocol for write-write conflicts; reads that feed
+	// incremental writes must go through QueryLocked (or the rule sets
+	// LockedReads), since two snapshot readers updating the same row would
+	// lose one update.
 	for _, trig := range p.triggers {
 		trig.Wait()
 	}
 	p.triggers = nil
 
 	tx := e.Txns.Begin()
-	tx.EnableSnapshotReads()
+	if !p.lockedReads {
+		tx.EnableSnapshotReads()
+	}
 	ctx := &ActionContext{engine: e, task: task, tx: tx, bound: p.bound}
 	err := p.fn(ctx)
 	if err == nil {

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/stripdb/strip/internal/query"
+	"github.com/stripdb/strip/internal/types"
+)
+
+// A rule with LockedReads runs its action transaction under plain locked
+// reads (no snapshot), so read-modify-write actions serialize as under 2PL.
+func TestRuleLockedReadsOptOut(t *testing.T) {
+	db := newTestDB(t)
+	snapshot := make(chan bool, 1)
+	db.register("probe_locked", func(ctx *ActionContext) error {
+		snapshot <- ctx.Txn().SnapshotReads()
+		return nil
+	})
+	db.mustCreate(&Rule{
+		Name:        "r_locked",
+		Table:       "stocks",
+		Events:      []EventSpec{{Kind: Updated}},
+		Action:      "probe_locked",
+		LockedReads: true,
+	})
+	db.setPrice("S1", 31)
+	db.drain()
+	if <-snapshot {
+		t.Fatal("LockedReads action transaction still reads from a snapshot")
+	}
+}
+
+// By default an action reads from a snapshot (its selects take no locks);
+// QueryLocked is the per-query escape hatch that really hits the lock
+// manager, for incremental read-modify-write.
+func TestActionQueryLocked(t *testing.T) {
+	db := newTestDB(t)
+	lm := db.txns.Locks
+	type probe struct {
+		snapshot    bool
+		plainDelta  int64
+		lockedDelta int64
+		rows        int
+	}
+	out := make(chan probe, 1)
+	sel := &query.Select{
+		Items: []query.SelectItem{query.Item(query.Col("price"), "")},
+		From:  []string{"stocks"},
+		Where: []query.Pred{query.Eq(query.Col("symbol"), query.Const(types.Str("S2")))},
+	}
+	db.register("probe_q", func(ctx *ActionContext) error {
+		var p probe
+		p.snapshot = ctx.Txn().SnapshotReads()
+
+		base := lm.Stats().Acquires
+		tt, err := ctx.Query(sel)
+		if err != nil {
+			return err
+		}
+		tt.Retire()
+		p.plainDelta = lm.Stats().Acquires - base
+
+		base = lm.Stats().Acquires
+		tt, err = ctx.QueryLocked(sel)
+		if err != nil {
+			return err
+		}
+		p.rows = tt.Len()
+		tt.Retire()
+		p.lockedDelta = lm.Stats().Acquires - base
+
+		out <- p
+		return nil
+	})
+	db.mustCreate(&Rule{
+		Name:   "r_q",
+		Table:  "stocks",
+		Events: []EventSpec{{Kind: Updated}},
+		Action: "probe_q",
+	})
+	db.setPrice("S1", 31)
+	db.drain()
+	p := <-out
+	if !p.snapshot {
+		t.Fatal("action transaction is not reading from a snapshot by default")
+	}
+	if p.plainDelta != 0 {
+		t.Fatalf("snapshot Query acquired %d locks, want 0", p.plainDelta)
+	}
+	if p.lockedDelta == 0 {
+		t.Fatal("QueryLocked acquired no locks")
+	}
+	if p.rows != 1 {
+		t.Fatalf("QueryLocked rows = %d, want 1", p.rows)
+	}
+}

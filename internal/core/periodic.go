@@ -103,8 +103,12 @@ func (pt *periodicTask) scheduleNext() {
 func (pt *periodicTask) run(*sched.Task) error {
 	e := pt.engine
 	tx := e.Txns.Begin()
-	// Periodic recomputes are read-mostly: read from a consistent snapshot
-	// (lock-free) while any writes keep the two-level lock protocol.
+	// Periodic recomputes are read-mostly full recomputations: read from a
+	// consistent snapshot (lock-free) while any writes keep the two-level
+	// lock protocol. A periodic function that incrementally
+	// read-modify-writes a row must read it via ctx.QueryLocked, which
+	// takes real S locks — snapshot reads would let two concurrent runs
+	// read the same pre-image and lose an update.
 	tx.EnableSnapshotReads()
 	ctx := &ActionContext{engine: e, tx: tx}
 	err := pt.fn(ctx)

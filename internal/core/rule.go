@@ -91,6 +91,15 @@ type Rule struct {
 	// commit time, so actions can order changes across transactions.
 	BindCommitTime bool
 
+	// LockedReads opts the action transaction out of snapshot reads: its
+	// queries take S locks held to commit, as in plain transactions. Set it
+	// for actions that incrementally read-modify-write database tables
+	// (read an aggregate, write the delta back): under snapshot reads two
+	// concurrent such actions can read the same pre-image and lose one
+	// update. Full recomputes — the normal STRIP action shape — do not need
+	// it; ActionContext.QueryLocked is the per-query alternative.
+	LockedReads bool
+
 	// Deadline and Value feed the real-time scheduler (EDF / value-density)
 	// when the engine runs under those policies.
 	Deadline clock.Micros

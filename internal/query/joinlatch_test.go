@@ -1,0 +1,136 @@
+package query
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/stripdb/strip/internal/catalog"
+	"github.com/stripdb/strip/internal/clock"
+	"github.com/stripdb/strip/internal/cost"
+	"github.com/stripdb/strip/internal/lock"
+	"github.com/stripdb/strip/internal/storage"
+	"github.com/stripdb/strip/internal/txn"
+	"github.com/stripdb/strip/internal/types"
+)
+
+// twoTableEnv builds tables a(ka, va) and b(kb, vb) with three committed
+// rows each, for join tests spanning two latches.
+func twoTableEnv(t testing.TB) *txn.Manager {
+	t.Helper()
+	cat := catalog.New()
+	store := storage.NewStore()
+	for _, def := range []struct{ name, k, v string }{
+		{"a", "ka", "va"},
+		{"b", "kb", "vb"},
+	} {
+		schema := catalog.MustSchema(def.name,
+			catalog.Column{Name: def.k, Kind: types.KindString},
+			catalog.Column{Name: def.v, Kind: types.KindFloat})
+		if err := cat.Define(schema); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := store.Create(schema); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mgr := txn.NewManager(cat, store, lock.New(), clock.NewVirtual(), cost.NewMeter(), cost.Default())
+	tx := mgr.Begin()
+	for _, tbl := range []string{"a", "b"} {
+		for i := 0; i < 3; i++ {
+			key := types.Str(tbl + string(rune('1'+i)))
+			if _, err := tx.Insert(tbl, []types.Value{key, types.Float(float64(i))}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return mgr
+}
+
+// TestSnapshotJoinOppositeOrdersWithWriters is the latch-deadlock
+// regression test: a snapshot scan must not hold its table latch while the
+// join recurses into another table's scan. Held across recursion, two
+// snapshot joins in opposite table orders plus a pending writer latch on
+// each table deadlock (RWMutex is writer-preferring, and snapshot reads
+// take no table S locks that would serialize writers earlier) — invisible
+// to the lock manager's deadlock detector, so the queries would hang
+// forever. The test fails via watchdog timeout instead.
+func TestSnapshotJoinOppositeOrdersWithWriters(t *testing.T) {
+	mgr := twoTableEnv(t)
+
+	const iters = 400
+	var stop atomic.Bool
+	var all sync.WaitGroup
+	var readers sync.WaitGroup
+
+	writer := func(table, col string) {
+		defer all.Done()
+		for i := 0; !stop.Load(); i++ {
+			w := mgr.Begin()
+			stmt := &UpdateStmt{
+				Table: table,
+				Set:   []SetClause{{Col: col, Expr: Const(types.Float(float64(i)))}},
+			}
+			if _, err := stmt.Run(w); err != nil {
+				t.Error(err)
+				w.Abort()
+				return
+			}
+			if err := w.Commit(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}
+	reader := func(from []string) {
+		defer all.Done()
+		defer readers.Done()
+		q := &Select{
+			Items: []SelectItem{Item(Col("va"), ""), Item(Col("vb"), "")},
+			From:  from,
+		}
+		for i := 0; i < iters; i++ {
+			ro := mgr.BeginReadOnly()
+			res, err := q.Run(ro, TxnResolver{})
+			if err != nil {
+				t.Error(err)
+				ro.Abort()
+				return
+			}
+			if res.Len() != 9 {
+				t.Errorf("join rows = %d, want 9", res.Len())
+			}
+			res.Retire()
+			if err := ro.Commit(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}
+
+	all.Add(4)
+	readers.Add(2)
+	go writer("a", "va")
+	go writer("b", "vb")
+	go reader([]string{"a", "b"})
+	go reader([]string{"b", "a"})
+	go func() {
+		readers.Wait()
+		stop.Store(true)
+	}()
+
+	done := make(chan struct{})
+	go func() {
+		all.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("snapshot joins deadlocked against writers: table latch held across join recursion")
+	}
+}

@@ -439,18 +439,26 @@ func (ex *exec) join(level int, cur []cursor) error {
 		if snap, me, ok := ex.tx.SnapshotRead(); ok {
 			// Lock-free snapshot scan: walk version chains at the
 			// transaction's begin snapshot instead of locking the table
-			// shared — concurrent writers proceed untouched.
+			// shared — concurrent writers proceed untouched. The visible
+			// set is materialized under the table latch and visited only
+			// after it is released: visit() recurses into the next join
+			// level, whose scan latches another table (or this one again),
+			// and with no table S locks serializing writers anymore, a
+			// latch held across that recursion can deadlock against a
+			// queued writer (RWMutex is writer-preferring).
 			ex.tx.Manager().Obs.Counter(obs.MMvccSnapshotScans).Inc()
-			var visitErr error
+			var recs []*storage.Record
 			s.tbl.ScanSnapshot(snap, me, func(r *storage.Record) bool {
-				ex.tx.Charge(model.ScanRow)
-				if err := visit(cursor{src: s, rec: r}); err != nil {
-					visitErr = err
-					return false
-				}
+				recs = append(recs, r)
 				return true
 			})
-			return visitErr
+			for _, r := range recs {
+				ex.tx.Charge(model.ScanRow)
+				if err := visit(cursor{src: s, rec: r}); err != nil {
+					return err
+				}
+			}
+			return nil
 		}
 		// A full scan locks the whole table shared rather than every row
 		// (read-side escalation); this also shuts out record writers whose

@@ -45,6 +45,11 @@ type Table struct {
 	// the delete still see them. GC removes entries once no active
 	// snapshot can reach them.
 	retired map[*Record]struct{}
+	// retiredIdx mirrors each secondary index over the retired set, so a
+	// snapshot probe pays O(matching retired rows) instead of scanning the
+	// whole set — which grows with every deleted-but-unreclaimed row
+	// between GC passes under delete-heavy churn.
+	retiredIdx map[string]index.Index
 	// versions counts retained non-head versions plus retired heads, as of
 	// the last GC pass (a statistic, not an invariant).
 	versions int64
@@ -70,10 +75,11 @@ type Table struct {
 // NewTable creates an empty table for the given schema.
 func NewTable(schema *catalog.Schema) *Table {
 	return &Table{
-		schema:   schema,
-		indexes:  make(map[string]index.Index),
-		idxKinds: make(map[string]index.Kind),
-		retired:  make(map[*Record]struct{}),
+		schema:     schema,
+		indexes:    make(map[string]index.Index),
+		idxKinds:   make(map[string]index.Kind),
+		retired:    make(map[*Record]struct{}),
+		retiredIdx: make(map[string]index.Index),
 	}
 }
 
@@ -108,6 +114,11 @@ func (t *Table) CreateIndex(column string, kind index.Kind) error {
 	}
 	t.indexes[column] = ix
 	t.idxKinds[column] = kind
+	rix := index.New(kind)
+	for r := range t.retired {
+		rix.Insert(r.vals[ci], r)
+	}
+	t.retiredIdx[column] = rix
 	return nil
 }
 
@@ -187,8 +198,26 @@ func (t *Table) Delete(r *Record) error {
 		return err
 	}
 	r.deleteLSN.Store(PendingLSN)
-	t.retired[r] = struct{}{}
+	t.addRetired(r)
 	return nil
+}
+
+// addRetired parks a tombstoned ex-head in the retired set and its
+// per-column indexes. Caller holds the table latch exclusively.
+func (t *Table) addRetired(r *Record) {
+	t.retired[r] = struct{}{}
+	for col, ix := range t.retiredIdx {
+		ix.Insert(r.vals[t.schema.ColIndex(col)], r)
+	}
+}
+
+// dropRetired removes a record from the retired set and its per-column
+// indexes. Caller holds the table latch exclusively.
+func (t *Table) dropRetired(r *Record) {
+	delete(t.retired, r)
+	for col, ix := range t.retiredIdx {
+		ix.Delete(r.vals[t.schema.ColIndex(col)], r)
+	}
 }
 
 func (t *Table) deleteLocked(r *Record) error {
@@ -207,6 +236,13 @@ func (t *Table) deleteLocked(r *Record) error {
 	r.unlinked.Store(true)
 	if r.refs.Load() > 0 && r.retiredCounted.CompareAndSwap(false, true) {
 		t.stats.retiredHeld.Add(1)
+		// A concurrent Unpin may have dropped the last reference between
+		// the refs check and the CAS; its own CAS(true,false) lost to the
+		// then-false flag, so re-check and undo rather than leave a record
+		// with zero pins counted until the next Pin/Unpin cycle.
+		if r.refs.Load() == 0 && r.retiredCounted.CompareAndSwap(true, false) {
+			t.stats.retiredHeld.Add(-1)
+		}
 	}
 	return nil
 }
@@ -260,7 +296,7 @@ func (t *Table) Relink(r *Record) error {
 	}
 	r.unlinked.Store(false)
 	r.deleteLSN.Store(0)
-	delete(t.retired, r)
+	t.dropRetired(r)
 	t.link(r)
 	t.count++
 	for col, ix := range t.indexes {
@@ -395,17 +431,13 @@ func (t *Table) LookupSnapshot(column string, key types.Value, snap uint64, me i
 	if !found || t.keyChurn.Load() != 0 {
 		return nil, false
 	}
-	ci := t.schema.ColIndex(column)
 	for _, ref := range ix.Lookup(key) {
 		if v := visibleVersion(ref.(*Record), snap, me); v != nil {
 			recs = append(recs, v)
 		}
 	}
-	for r := range t.retired {
-		if !r.vals[ci].Equal(key) {
-			continue
-		}
-		if v := visibleVersion(r, snap, me); v != nil {
+	for _, ref := range t.retiredIdx[column].Lookup(key) {
+		if v := visibleVersion(ref.(*Record), snap, me); v != nil {
 			recs = append(recs, v)
 		}
 	}
@@ -414,6 +446,22 @@ func (t *Table) LookupSnapshot(column string, key types.Value, snap uint64, me i
 
 // KeyChurn reports how many updates changed an indexed column's value.
 func (t *Table) KeyChurn() int64 { return t.keyChurn.Load() }
+
+// UndoKeyChurn reverses Update's key-churn accounting after the update has
+// been rolled back (the copy deleted, the original relinked): the
+// indexed-column change it counted no longer exists, so exact snapshot
+// index probes are valid again. Without this, one aborted key-changing
+// update would degrade every future probe to a filtered scan forever.
+func (t *Table) UndoKeyChurn(old, repl *Record) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for col := range t.indexes {
+		ci := t.schema.ColIndex(col)
+		if !repl.vals[ci].Equal(old.vals[ci]) {
+			t.keyChurn.Add(-1)
+		}
+	}
+}
 
 // ReleaseVersions garbage-collects versions no active snapshot can reach.
 // horizon is the oldest LSN any current or future snapshot may hold: a
@@ -449,7 +497,7 @@ func (t *Table) ReleaseVersions(horizon uint64) (dropped int64) {
 			(r.older == nil || r.older.Live() || r.older.DeleteLSN() != 0)
 		expired := d != 0 && d != PendingLSN && d <= horizon
 		if aborted || expired {
-			delete(t.retired, r)
+			t.dropRetired(r)
 			r.older = nil
 			dropped++
 			continue

@@ -198,6 +198,59 @@ func TestLookupSnapshotChurn(t *testing.T) {
 	}
 }
 
+// TestLookupSnapshotRetiredIndex: deleted rows reach snapshot probes
+// through the per-column retired index rather than a full retired-set
+// scan, late-created indexes cover already-retired rows, relink cleans the
+// entries up, and GC drops them.
+func TestLookupSnapshotRetiredIndex(t *testing.T) {
+	tbl := stocksTable(t)
+	if err := tbl.CreateIndex("symbol", index.Hash); err != nil {
+		t.Fatal(err)
+	}
+	r := commitInsert(t, tbl, 2, types.Str("IBM"), types.Float(30))
+	keep := commitInsert(t, tbl, 2, types.Str("DEC"), types.Float(70))
+	if err := tbl.Delete(r); err != nil {
+		t.Fatal(err)
+	}
+	r.StampDelete(4)
+
+	// Older snapshot: the probe still finds the deleted row, exactly.
+	recs, ok := tbl.LookupSnapshot("symbol", types.Str("IBM"), 3, 0)
+	if !ok || len(recs) != 1 || recs[0].Value(1).Float() != 30 {
+		t.Fatalf("probe at snap 3 = %v, %v; want the deleted IBM row", recs, ok)
+	}
+	// Newer snapshot: the delete committed at or before it, row invisible.
+	if recs, ok := tbl.LookupSnapshot("symbol", types.Str("IBM"), 4, 0); !ok || len(recs) != 0 {
+		t.Fatalf("probe at snap 4 = %v, %v; want none", recs, ok)
+	}
+
+	// An index created after the delete must cover the retired row too.
+	if err := tbl.CreateIndex("price", index.Hash); err != nil {
+		t.Fatal(err)
+	}
+	if recs, ok := tbl.LookupSnapshot("price", types.Float(30), 3, 0); !ok || len(recs) != 1 {
+		t.Fatalf("late-index probe = %v, %v; want the retired IBM row", recs, ok)
+	}
+
+	// Relink (delete rollback) removes the retired entries and restores the
+	// live ones.
+	if err := tbl.Delete(keep); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Relink(keep); err != nil {
+		t.Fatal(err)
+	}
+	if recs, ok := tbl.LookupSnapshot("symbol", types.Str("DEC"), 5, 0); !ok || len(recs) != 1 {
+		t.Fatalf("post-relink probe = %v, %v; want the live DEC row", recs, ok)
+	}
+
+	// GC past the delete drops the row from the retired index as well.
+	tbl.ReleaseVersions(4)
+	if recs, ok := tbl.LookupSnapshot("symbol", types.Str("IBM"), 3, 0); !ok || len(recs) != 0 {
+		t.Fatalf("post-GC probe = %v, %v; want none", recs, ok)
+	}
+}
+
 // TestReleaseVersionsHorizon prunes chains below the oldest snapshot while
 // keeping everything a live snapshot can still reach.
 func TestReleaseVersionsHorizon(t *testing.T) {

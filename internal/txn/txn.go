@@ -358,6 +358,22 @@ func (t *Txn) EnableSnapshotReads() { t.snapReads = true }
 // SnapshotReads reports whether reads bypass the lock manager.
 func (t *Txn) SnapshotReads() bool { return t.snapReads }
 
+// LockedReads runs fn with snapshot reads disabled: reads issued inside fn
+// acquire S/IS locks held to commit, serializing against writers. This is
+// the read-modify-write escape hatch for snapshot-read transactions — two
+// snapshot readers incrementing the same row would each read the same
+// pre-image and silently lose one increment, so such reads must lock.
+// Read-only transactions cannot use it (they skip the lock manager).
+func (t *Txn) LockedReads(fn func() error) error {
+	if t.readOnly {
+		return ErrReadOnly
+	}
+	prev := t.snapReads
+	t.snapReads = false
+	defer func() { t.snapReads = prev }()
+	return fn()
+}
+
 // SnapshotRead returns the snapshot LSN and reader identity for lock-free
 // reads, acquiring and registering the snapshot on first use. ok is false
 // when the transaction reads under locks instead.
@@ -728,6 +744,12 @@ func (t *Txn) Abort() error {
 		case OpUpdate:
 			if err = tbl.Delete(rec.New); err == nil {
 				err = tbl.Relink(rec.Old)
+			}
+			if err == nil {
+				// The update's copy is gone from the indexes and the
+				// original is back, so any indexed-column churn it counted
+				// must be uncounted or snapshot probes degrade for good.
+				tbl.UndoKeyChurn(rec.Old, rec.New)
 			}
 		}
 		if err != nil && firstErr == nil {
