@@ -1,0 +1,292 @@
+package strip
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/stripdb/strip/internal/fault"
+)
+
+// TestChaosTorture drives a live, durable engine through a money-transfer
+// workload while the fault registry injects forced deadlock victims, lock
+// stalls, storage allocation failures, scheduler worker stalls, rule-action
+// panics, and WAL fsync failures — then asserts the engine's core
+// invariants survived:
+//
+//   - conservation: the account balances still sum to the initial total
+//     (every transfer committed atomically or not at all);
+//   - exactly-once acknowledgement: the ledger holds one row per
+//     acknowledged commit, none for aborted transfers;
+//   - no lost locks: the lock table is empty at quiescence, even though
+//     actions panicked mid-transaction;
+//   - no leaked versions: version GC reclaims every MVCC chain once no
+//     snapshot is live;
+//   - worker isolation: no panic ever reached a scheduler worker;
+//   - durability: reopening the data directory recovers exactly the
+//     committed state.
+//
+// Run with -race this is the cross-subsystem torture test for the
+// robustness work: lock, txn, storage, sched, core, and wal all see faults
+// in one run.
+func TestChaosTorture(t *testing.T) {
+	dir := t.TempDir()
+	db := MustOpen(Config{
+		DataDir:      dir,
+		Workers:      4,
+		LockShards:   8,
+		LockMaxWait:  200 * time.Millisecond,
+		CloseTimeout: 5 * time.Second,
+	})
+
+	const nAcct = 16
+	const initBal = 1000.0
+	db.MustExec(`create table accounts (id text, bal float)`)
+	db.MustExec(`create index on accounts (id)`)
+	db.MustExec(`create table ledger (seq float, src text, amt float)`)
+	db.MustExec(`create table tally (k text, n float)`)
+	db.MustExec(`insert into tally values ('xfers', 0)`)
+	for i := 0; i < nAcct; i++ {
+		db.MustExec(fmt.Sprintf(`insert into accounts values ('a%02d', %g)`, i, initBal))
+	}
+
+	// A rule batches ledger inserts per source account and maintains a
+	// running count. Injected panics and forced deadlocks hit this action
+	// too, so the tally may legitimately undercount — the test asserts the
+	// engine invariants, not the tally value.
+	if err := db.RegisterFunc("tally_count", func(ctx *ActionContext) error {
+		m, _ := ctx.Bound("ins")
+		if m.Len() == 0 {
+			return nil
+		}
+		_, err := ExecAction(ctx, fmt.Sprintf(
+			`update tally set n += %d where k = 'xfers'`, m.Len()))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec(`
+	  create rule tally_rule on ledger
+	  when inserted
+	  if select * from inserted bind as ins
+	  then execute tally_count
+	  unique on src after 0.002 seconds`)
+
+	// Arm the chaos after DDL so setup is deterministic. Every-based specs
+	// fire on their first hit, so each deterministic point is guaranteed to
+	// trigger; probability points are seeded and fire with near-certainty
+	// over the thousands of lock acquires below.
+	fault.Seed(42)
+	t.Cleanup(fault.Reset)
+	fault.Enable(fault.LockAcquireDelay, fault.Spec{Prob: 0.02, Delay: 100 * time.Microsecond})
+	fault.Enable(fault.LockForceDeadlock, fault.Spec{Prob: 0.02})
+	fault.Enable(fault.SchedWorkerStall, fault.Spec{Prob: 0.02, Delay: 200 * time.Microsecond})
+	fault.Enable(fault.StorageAllocFail, fault.Spec{Every: 97, Limit: 4})
+	fault.Enable(fault.ActionPanic, fault.Spec{Every: 11, Limit: 6})
+	fault.Enable(fault.WalSyncFail, fault.Spec{Every: 29, Limit: 4})
+
+	// transfer moves amt from src to dst and records it, atomically.
+	var seq atomic.Int64
+	transfer := func(src, dst string, amt float64) error {
+		tx := db.Begin()
+		stmts := []string{
+			fmt.Sprintf(`update accounts set bal += %g where id = '%s'`, -amt, src),
+			fmt.Sprintf(`update accounts set bal += %g where id = '%s'`, amt, dst),
+			fmt.Sprintf(`insert into ledger values (%d, '%s', %g)`, seq.Add(1), src, amt),
+		}
+		for _, s := range stmts {
+			if _, err := db.ExecIn(tx, s); err != nil {
+				tx.Abort() //nolint:errcheck
+				return err
+			}
+		}
+		return tx.Commit()
+	}
+
+	const goroutines, perG = 4, 150
+	var acked, droppedXfers atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				src := fmt.Sprintf("a%02d", (g*7+i)%nAcct)
+				dst := fmt.Sprintf("a%02d", (g*3+i*5+1)%nAcct)
+				if src == dst {
+					dst = fmt.Sprintf("a%02d", (g*3+i*5+2)%nAcct)
+				}
+				amt := float64(i%9 + 1)
+				for attempt := 1; ; attempt++ {
+					err := transfer(src, dst, amt)
+					if err == nil {
+						acked.Add(1)
+						break
+					}
+					// Transient concurrency aborts (real and injected
+					// deadlocks, wait timeouts) retry like a client would;
+					// injected hard faults (alloc fail, fsync fail) drop
+					// the transfer — it was rolled back, not acknowledged.
+					if !IsRetryable(err) || attempt >= 40 {
+						droppedXfers.Add(1)
+						break
+					}
+					time.Sleep(time.Duration(attempt) * 100 * time.Microsecond)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Record what actually fired before disarming, then let the engine
+	// quiesce cleanly (merged rule work may enqueue follow-up rounds).
+	deadlocks := fault.Fired(fault.LockForceDeadlock)
+	panics := fault.Fired(fault.ActionPanic)
+	syncFails := fault.Fired(fault.WalSyncFail)
+	allocFails := fault.Fired(fault.StorageAllocFail)
+	t.Logf("chaos: acked=%d dropped=%d forced-deadlocks=%d action-panics=%d sync-fails=%d alloc-fails=%d",
+		acked.Load(), droppedXfers.Load(), deadlocks, panics, syncFails, allocFails)
+	fault.Reset()
+	for i := 0; i < 3; i++ {
+		time.Sleep(30 * time.Millisecond)
+		db.WaitIdle()
+	}
+
+	if acked.Load() == 0 {
+		t.Fatal("no transfer was ever acknowledged")
+	}
+	for name, fired := range map[string]int64{
+		"action panic": panics, "wal sync fail": syncFails, "storage alloc fail": allocFails,
+	} {
+		if fired == 0 {
+			t.Errorf("deterministic fault %q never fired — chaos did not reach its subsystem", name)
+		}
+	}
+	if deadlocks == 0 {
+		t.Log("probabilistic forced-deadlock point never fired this run")
+	}
+
+	// Invariant 1: conservation. Transfers are zero-sum; aborted ones must
+	// have rolled back completely.
+	sum := 0.0
+	res := db.MustExec(`select id, bal from accounts`)
+	for _, r := range res.Rows {
+		sum += r[1].Float()
+	}
+	if want := nAcct * initBal; sum != want {
+		t.Errorf("account sum = %g, want %g (money lost or created)", sum, want)
+	}
+
+	// Invariant 2: the ledger has exactly one row per acknowledged commit.
+	res = db.MustExec(`select seq from ledger`)
+	if int64(len(res.Rows)) != acked.Load() {
+		t.Errorf("ledger rows = %d, acked commits = %d", len(res.Rows), acked.Load())
+	}
+
+	// Invariant 3: no lost locks — every abort path (deadlock victim,
+	// injected failure, recovered panic) released what it held.
+	if n := db.locks.ActiveLocks(); n != 0 {
+		t.Errorf("ActiveLocks = %d at quiescence, want 0", n)
+	}
+
+	// Invariant 4: no leaked versions — with no snapshot live, version GC
+	// can reclaim every chain.
+	db.Txns().RunVersionGC()
+	if mv := db.MvccStats(); mv.VersionsRetained != 0 {
+		t.Errorf("VersionsRetained = %d after GC at quiescence, want 0 (leaked snapshot?)", mv.VersionsRetained)
+	}
+
+	// Invariant 5: panics were contained in the action layer; no worker
+	// ever recovered one (that would mean callAction's isolation failed).
+	if st := db.SchedStats(); st.Panics != 0 {
+		t.Errorf("scheduler workers saw %d panics, want 0", st.Panics)
+	}
+
+	// Invariant 6: durability. The committed state survives a close/reopen
+	// cycle exactly.
+	pre := dumpAll(db)
+	if err := db.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	db2 := MustOpen(Config{DataDir: dir, Workers: 2})
+	defer db2.Close()
+	if post := dumpAll(db2); !dumpsEqual(pre, post) {
+		t.Error("recovered state differs from pre-close committed state")
+	}
+}
+
+// TestChaosBreakerRearm exercises the circuit breaker end to end on a live
+// engine: consecutive permanent failures quarantine the rule, firings are
+// dropped while open, and after the cool-down a successful probe re-arms it.
+func TestChaosBreakerRearm(t *testing.T) {
+	db := MustOpen(Config{
+		Workers:          2,
+		BreakerThreshold: 2,
+		BreakerCooldown:  80 * time.Millisecond,
+		CloseTimeout:     time.Second,
+	})
+	defer db.Close()
+
+	db.MustExec(`create table poison (k text, v float)`)
+	var ok atomic.Bool
+	if err := db.RegisterFunc("poison_fn", func(ctx *ActionContext) error {
+		if !ok.Load() {
+			return fmt.Errorf("poisoned")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec(`
+	  create rule poison_rule on poison
+	  when inserted
+	  if select * from inserted bind as ins
+	  then execute poison_fn`)
+
+	health := func() RuleHealth {
+		for _, h := range db.RuleHealth() {
+			if h.Function == "poison_fn" {
+				return h
+			}
+		}
+		t.Fatal("no breaker for poison_fn")
+		return RuleHealth{}
+	}
+	fire := func(i int) {
+		db.MustExec(fmt.Sprintf(`insert into poison values ('k%d', %d)`, i, i))
+		db.WaitIdle()
+	}
+
+	// Two consecutive failures cross the threshold and open the breaker.
+	fire(0)
+	fire(1)
+	if h := health(); h.State != "open" || h.Quarantines != 1 {
+		t.Fatalf("after 2 failures: %+v, want open with 1 quarantine", h)
+	}
+
+	// While open, the firing is dropped at creation: no task runs.
+	before := db.Stats("poison_fn").TasksRun
+	fire(2)
+	if got := db.Stats("poison_fn").TasksRun; got != before {
+		t.Errorf("TasksRun advanced %d -> %d while quarantined", before, got)
+	}
+	if h := health(); h.DroppedFirings == 0 {
+		t.Errorf("DroppedFirings = 0, want > 0: %+v", h)
+	}
+
+	// Past the cool-down a probe is admitted; it succeeds and closes the
+	// breaker, and subsequent firings flow normally.
+	ok.Store(true)
+	time.Sleep(120 * time.Millisecond)
+	fire(3)
+	if h := health(); h.State != "closed" || h.ConsecutiveFailures != 0 {
+		t.Fatalf("after successful probe: %+v, want closed", h)
+	}
+	ran := db.Stats("poison_fn").TasksRun
+	fire(4)
+	if got := db.Stats("poison_fn").TasksRun; got != ran+1 {
+		t.Errorf("TasksRun = %d after re-arm firing, want %d", got, ran+1)
+	}
+}

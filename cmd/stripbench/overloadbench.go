@@ -1,0 +1,307 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	strip "github.com/stripdb/strip"
+	"github.com/stripdb/strip/internal/query"
+)
+
+// The overload experiment measures what absorbs excess load when recompute
+// demand exceeds worker capacity: client latency, or derived-data staleness.
+//
+// A live engine runs K symbols with a firm, unique-per-symbol recompute rule
+// whose action costs actionWork of blocking work — so two workers saturate at
+// roughly workers/actionWork recomputes per second. Open-loop clients offer
+// update transactions at a multiple of that saturation rate, sweeping
+// {0.5, 1, 2, 4}x in two modes:
+//
+//   - off: overload control disabled — the baseline engine. Unique-
+//     transaction merging already bounds the queue at ~K tasks, but every
+//     queued task eventually runs, however stale its inputs, and queueing
+//     delay (hence staleness) settles at the merge equilibrium.
+//   - on:  deadline-aware shedding + adaptive batching. Past the configured
+//     depth/lag the scheduler drops firm recomputes that are superseded or
+//     past deadline and widens batching windows, so workers spend their
+//     cycles on fresh recomputes only.
+//
+// The acceptance property: at >= 2x saturation with overload control on,
+// committed client-transaction throughput stays within 10% of the offered
+// (peak) rate — overload shows up as bounded extra staleness, not as client
+// backpressure or latency collapse.
+
+type overloadRun struct {
+	Mode       string  `json:"mode"` // off, on
+	Multiplier float64 `json:"multiplier"`
+	OfferedTPS float64 `json:"offered_tps"`
+
+	CommittedTxns  int64   `json:"committed_txns"`
+	CommittedTPS   float64 `json:"committed_tps"`
+	CommittedRatio float64 `json:"committed_ratio"` // committed / offered
+
+	ClientMeanMicros float64 `json:"client_mean_micros"`
+	ClientMaxMicros  int64   `json:"client_max_micros"`
+
+	TasksCreated int64 `json:"tasks_created"`
+	TasksMerged  int64 `json:"tasks_merged"`
+	TasksRun     int64 `json:"tasks_run"`
+	TasksShed    int64 `json:"tasks_shed"`
+	SchedShed    int64 `json:"sched_shed"`
+	SchedRetried int64 `json:"sched_retried"`
+
+	StaleP95Micros int64 `json:"stale_p95_micros"`
+	StaleMaxMicros int64 `json:"stale_max_micros"`
+}
+
+type overloadResult struct {
+	Experiment string        `json:"experiment"`
+	Scale      string        `json:"scale"`
+	Symbols    int           `json:"symbols"`
+	Workers    int           `json:"workers"`
+	SatTPS     float64       `json:"saturation_tps"`
+	DurationMs float64       `json:"duration_ms"`
+	Runs       []overloadRun `json:"runs"`
+
+	// Retention2x is the committed/offered ratio with overload control on
+	// at the highest multiplier >= 2 — the acceptance number (>= 0.9 means
+	// committed throughput held within 10% of peak under 2x overload).
+	Retention2x float64 `json:"retention_2x"`
+	// StaleRatio2x is on-mode staleness p95 at that multiplier over the
+	// 0.5x on-mode p95: how much staleness absorbed the overload.
+	StaleRatio2x float64 `json:"stale_ratio_2x"`
+}
+
+const (
+	overloadWorkers = 2
+	overloadSymbols = 64
+	// actionWork is the blocking cost of one recompute.
+	actionWork = 1500 * time.Microsecond
+	// ruleDelay is the rule's batching window; firmWindow its shedding
+	// deadline past release.
+	ruleDelay  = 2 * time.Millisecond
+	firmWindow = 20 * time.Millisecond
+)
+
+// overloadOnce runs one (mode, multiplier) cell on a fresh engine.
+func overloadOnce(mode string, mult, satTPS float64, d time.Duration) (overloadRun, error) {
+	cfg := strip.Config{Workers: overloadWorkers, CloseTimeout: 10 * time.Second}
+	if mode == "on" {
+		cfg.Overload = strip.OverloadPolicy{
+			ShedDepth: 16,
+			ShedLag:   5 * time.Millisecond,
+			WidenMax:  4,
+			WidenBase: ruleDelay,
+		}
+	}
+	db := strip.MustOpen(cfg)
+	defer db.Close()
+
+	db.MustExec(`create table stocks (symbol text, price float)`)
+	db.MustExec(`create index on stocks (symbol)`)
+	db.MustExec(`create table mirror (symbol text, price float)`)
+	db.MustExec(`create index on mirror (symbol)`)
+	for i := 0; i < overloadSymbols; i++ {
+		db.MustExec(fmt.Sprintf(`insert into stocks values ('S%02d', 100)`, i))
+		db.MustExec(fmt.Sprintf(`insert into mirror values ('S%02d', 100)`, i))
+	}
+
+	if err := db.RegisterFunc("recompute", func(ctx *strip.ActionContext) error {
+		m, _ := ctx.Bound("changes")
+		if m.Len() == 0 {
+			return nil
+		}
+		// Model an expensive derived-data recompute: the cost is charged
+		// before the write so locks are held only briefly.
+		time.Sleep(actionWork)
+		sym := m.Value(m.Len()-1, m.Schema().ColIndex("symbol"))
+		price := m.Value(m.Len()-1, m.Schema().ColIndex("price"))
+		_, err := strip.ExecAction(ctx, fmt.Sprintf(
+			`update mirror set price = %g where symbol = '%v'`, price.Float(), sym))
+		return err
+	}); err != nil {
+		return overloadRun{}, err
+	}
+	if err := db.CreateRule(&strip.Rule{
+		Name:   "overload_rule",
+		Table:  "stocks",
+		Events: []strip.EventSpec{{Kind: strip.Updated, Columns: []string{"price"}}},
+		Condition: []*query.Select{{
+			Items: []query.SelectItem{
+				query.Item(query.Col("symbol"), ""),
+				query.Item(query.Col("price"), ""),
+			},
+			From: []string{"new"},
+			Bind: "changes",
+		}},
+		Action:   "recompute",
+		Unique:   true,
+		UniqueOn: []string{"symbol"},
+		Delay:    ruleDelay.Microseconds(),
+		Deadline: firmWindow.Microseconds(),
+		Firm:     true,
+	}); err != nil {
+		return overloadRun{}, err
+	}
+
+	offered := satTPS * mult
+	const feeders = 4
+	interval := time.Duration(float64(feeders) / offered * float64(time.Second))
+
+	var stop atomic.Bool
+	var committed, latSum, latMax atomic.Int64
+	errCh := make(chan error, feeders)
+	var wg sync.WaitGroup
+	for f := 0; f < feeders; f++ {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			next := time.Now()
+			for i := 0; !stop.Load(); i++ {
+				// Open loop: issue on schedule, never skipping ticks; if the
+				// engine backpressures the client this loop falls behind and
+				// committed drops below offered.
+				next = next.Add(interval)
+				if wait := time.Until(next); wait > 0 {
+					time.Sleep(wait)
+				}
+				sym := (f + i*feeders) % overloadSymbols
+				t0 := time.Now()
+				_, err := db.Exec(fmt.Sprintf(
+					`update stocks set price = %g where symbol = 'S%02d'`,
+					100+float64(i%40), sym))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				lat := time.Since(t0).Microseconds()
+				committed.Add(1)
+				latSum.Add(lat)
+				for {
+					cur := latMax.Load()
+					if lat <= cur || latMax.CompareAndSwap(cur, lat) {
+						break
+					}
+				}
+			}
+		}(f)
+	}
+
+	start := time.Now()
+	time.Sleep(d)
+	// Snapshot staleness while the system is still under load — after the
+	// drain it would report the idle state.
+	stale := db.Staleness("recompute")
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errCh:
+		return overloadRun{}, err
+	default:
+	}
+
+	st := db.Stats("recompute")
+	ss := db.SchedStats()
+	n := committed.Load()
+	run := overloadRun{
+		Mode:            mode,
+		Multiplier:      mult,
+		OfferedTPS:      offered,
+		CommittedTxns:   n,
+		CommittedTPS:    float64(n) / elapsed.Seconds(),
+		ClientMaxMicros: latMax.Load(),
+		TasksCreated:    st.TasksCreated,
+		TasksMerged:     st.TasksMerged,
+		TasksRun:        st.TasksRun,
+		TasksShed:       st.TasksShed,
+		SchedShed:       ss.Shed,
+		SchedRetried:    ss.Retried,
+		StaleP95Micros:  stale.P95,
+		StaleMaxMicros:  stale.Max,
+	}
+	run.CommittedRatio = run.CommittedTPS / offered
+	if n > 0 {
+		run.ClientMeanMicros = float64(latSum.Load()) / float64(n)
+	}
+	return run, nil
+}
+
+func runOverload(metricsPath, scale string, progress func(string)) {
+	satTPS := float64(overloadWorkers) / actionWork.Seconds()
+	d := 1500 * time.Millisecond
+	mults := []float64{0.5, 1, 2, 4}
+	if scale == "small" {
+		d = 400 * time.Millisecond
+		mults = []float64{0.5, 2}
+	}
+
+	res := overloadResult{
+		Experiment: "overload",
+		Scale:      scale,
+		Symbols:    overloadSymbols,
+		Workers:    overloadWorkers,
+		SatTPS:     satTPS,
+		DurationMs: float64(d.Microseconds()) / 1000,
+	}
+	var onLow overloadRun
+	for _, mode := range []string{"off", "on"} {
+		for _, mult := range mults {
+			run, err := overloadOnce(mode, mult, satTPS, d)
+			if err != nil {
+				fail(err)
+			}
+			res.Runs = append(res.Runs, run)
+			if progress != nil {
+				progress(fmt.Sprintf(
+					"overload mode=%-3s x%-3g committed_tps=%.0f (%.0f%% of offered) shed=%d stale_p95=%.1fms",
+					mode, mult, run.CommittedTPS, 100*run.CommittedRatio,
+					run.TasksShed, float64(run.StaleP95Micros)/1000))
+			}
+			if mode == "on" {
+				if mult == mults[0] {
+					onLow = run
+				}
+				if mult >= 2 {
+					res.Retention2x = run.CommittedRatio
+					if onLow.StaleP95Micros > 0 {
+						res.StaleRatio2x = float64(run.StaleP95Micros) / float64(onLow.StaleP95Micros)
+					}
+				}
+			}
+		}
+	}
+
+	fmt.Printf("%-5s %5s %12s %12s %10s %10s %12s %12s\n",
+		"mode", "mult", "offered", "committed", "shed", "merged", "stale_p95", "client_max")
+	for _, r := range res.Runs {
+		fmt.Printf("%-5s %5g %12.0f %12.0f %10d %10d %10.1fms %10.1fms\n",
+			r.Mode, r.Multiplier, r.OfferedTPS, r.CommittedTPS, r.TasksShed,
+			r.TasksMerged, float64(r.StaleP95Micros)/1000, float64(r.ClientMaxMicros)/1000)
+	}
+	fmt.Printf("retention at >=2x saturation (overload on): %.2f of offered (acceptance: >= 0.90)\n",
+		res.Retention2x)
+	if res.StaleRatio2x > 0 {
+		fmt.Printf("staleness absorbed the overload: p95 grew %.1fx from 0.5x to >=2x load\n",
+			res.StaleRatio2x)
+	}
+
+	if metricsPath == "" {
+		return
+	}
+	f, err := os.Create(metricsPath)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&res); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", metricsPath)
+}

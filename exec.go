@@ -2,6 +2,7 @@ package strip
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/stripdb/strip/internal/query"
 	"github.com/stripdb/strip/internal/sqlparse"
@@ -63,17 +64,54 @@ func (db *DB) Exec(sql string) (*Result, error) {
 	}
 }
 
+// runDML runs one DML statement in its own transaction. When
+// Config.ExecRetry is set, transient concurrency aborts (deadlock victim,
+// lock-wait timeout) are retried with capped exponential backoff; any other
+// error, and exhaustion of the attempts, surface to the caller.
 func (db *DB) runDML(run func(*Txn) (int, error)) (*Result, error) {
+	if db.closing.Load() {
+		return nil, fmt.Errorf("strip: exec: %w", ErrShuttingDown)
+	}
+	attempts := db.cfg.ExecRetry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	backoff := db.cfg.ExecRetry.BaseBackoff
+	if backoff <= 0 {
+		backoff = time.Millisecond
+	}
+	maxBackoff := db.cfg.ExecRetry.MaxBackoff
+	if maxBackoff <= 0 {
+		maxBackoff = 64 * time.Millisecond
+	}
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		n, err := db.tryDML(run)
+		if err == nil {
+			return &Result{Affected: n}, nil
+		}
+		lastErr = err
+		if !IsRetryable(err) || attempt >= attempts || db.closing.Load() {
+			return nil, lastErr
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}
+
+func (db *DB) tryDML(run func(*Txn) (int, error)) (int, error) {
 	tx := db.Begin()
 	n, err := run(tx)
 	if err != nil {
 		tx.Abort() //nolint:errcheck
-		return nil, err
+		return 0, err
 	}
 	if err := tx.Commit(); err != nil {
-		return nil, err
+		return 0, err
 	}
-	return &Result{Affected: n}, nil
+	return n, nil
 }
 
 // MustExec is Exec that panics on error; for setup code and examples.

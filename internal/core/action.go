@@ -1,10 +1,12 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/stripdb/strip/internal/clock"
 	"github.com/stripdb/strip/internal/cost"
+	"github.com/stripdb/strip/internal/fault"
 	"github.com/stripdb/strip/internal/obs"
 	"github.com/stripdb/strip/internal/query"
 	"github.com/stripdb/strip/internal/sched"
@@ -12,6 +14,11 @@ import (
 	"github.com/stripdb/strip/internal/txn"
 	"github.com/stripdb/strip/internal/types"
 )
+
+// ErrActionPanic wraps a panic recovered from a user function. The action's
+// transaction is aborted before the error propagates, so every lock the
+// panicking action held is released.
+var ErrActionPanic = errors.New("core: action panicked")
 
 // ActionFunc is a rule action: an application-provided function executed in
 // a new transaction. It receives no parameters beyond the context; data
@@ -115,10 +122,14 @@ type actionPayload struct {
 	fnName   string
 	fn       ActionFunc
 	stats    *fnMetrics
+	breaker  *breaker // nil when breakers are disabled
 	bound    map[string]*storage.TempTable
 	key      types.Key
 	set      *uniqueSet // nil for non-unique actions
 	restarts int
+	// deadlineWindow mirrors Rule.Deadline so retries can re-derive a firm
+	// deadline from their new release time.
+	deadlineWindow clock.Micros
 	// lockedReads mirrors Rule.LockedReads: the action's queries take S
 	// locks instead of reading the begin snapshot.
 	lockedReads bool
@@ -154,22 +165,45 @@ func (p *actionPayload) merge(incoming map[string]*storage.TempTable) error {
 	return nil
 }
 
+// shedKey identifies an action task for supersession shedding: under
+// overload a ready recompute may be dropped when a younger task for the
+// same function and unique key is already queued behind it.
+type shedKey struct {
+	fn  string
+	key types.Key
+}
+
+// discard releases everything a never-run (shed or abandoned) task holds:
+// bound tables, its staleness token, and trigger references. The uniqueness
+// hash entry is removed by OnStart, which the scheduler runs first.
+func (p *actionPayload) discard() {
+	p.stats.shed.Inc()
+	p.stats.stale.Drop(p.staleTok)
+	for _, tt := range p.bound {
+		tt.Retire()
+	}
+	p.bound = nil
+	p.triggers = nil
+}
+
 // newActionTask builds the scheduler task for a firing triggered by trig.
-func (e *Engine) newActionTask(trig *txn.Txn, rule *Rule, fn ActionFunc, stats *fnMetrics,
+func (e *Engine) newActionTask(trig *txn.Txn, rule *Rule, fn ActionFunc, stats *fnMetrics, br *breaker,
 	bound map[string]*storage.TempTable, key types.Key, set *uniqueSet, release clock.Micros, stamp clock.Micros) *sched.Task {
 
 	payload := &actionPayload{
-		engine:      e,
-		rule:        rule.Name,
-		fnName:      rule.Action,
-		fn:          fn,
-		stats:       stats,
-		bound:       bound,
-		key:         key,
-		set:         set,
-		lockedReads: rule.LockedReads,
-		createdAt:   stamp,
-		staleTok:    stats.stale.Track(stamp),
+		engine:         e,
+		rule:           rule.Name,
+		fnName:         rule.Action,
+		fn:             fn,
+		stats:          stats,
+		breaker:        br,
+		bound:          bound,
+		key:            key,
+		set:            set,
+		lockedReads:    rule.LockedReads,
+		deadlineWindow: rule.Deadline,
+		createdAt:      stamp,
+		staleTok:       stats.stale.Track(stamp),
 	}
 	if trig != nil {
 		payload.triggers = []*txn.Txn{trig}
@@ -182,6 +216,13 @@ func (e *Engine) newActionTask(trig *txn.Txn, rule *Rule, fn ActionFunc, stats *
 	}
 	if rule.Deadline > 0 {
 		task.Deadline = release + rule.Deadline
+	}
+	if rule.Firm {
+		task.Firm = true
+		task.ShedKey = shedKey{fn: rule.Action, key: key}
+	}
+	task.OnShed = func(t *sched.Task) {
+		t.Payload.(*actionPayload).discard()
 	}
 	// When the task is dequeued its bound tables freeze: remove it from the
 	// uniqueness hash so subsequent firings start a new task (paper §2).
@@ -196,6 +237,24 @@ func (e *Engine) newActionTask(trig *txn.Txn, rule *Rule, fn ActionFunc, stats *
 	}
 	task.Fn = e.runAction
 	return task
+}
+
+// callAction invokes the user function with panic isolation: a panic in
+// user code becomes an ErrActionPanic error instead of killing the worker,
+// and the caller's abort path then releases the transaction's locks. The
+// fault point lets the chaos harness inject panics at this boundary.
+func callAction(fn ActionFunc, ctx *ActionContext) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: %v", ErrActionPanic, r)
+		}
+	}()
+	if fault.Armed() {
+		if ferr := fault.ErrorAt(fault.ActionPanic); ferr != nil {
+			panic(ferr)
+		}
+	}
+	return fn(ctx)
 }
 
 // runAction executes a rule action task: new transaction, user function,
@@ -226,10 +285,12 @@ func (e *Engine) runAction(task *sched.Task) error {
 		tx.EnableSnapshotReads()
 	}
 	ctx := &ActionContext{engine: e, task: task, tx: tx, bound: p.bound}
-	err := p.fn(ctx)
+	err := callAction(p.fn, ctx)
 	if err == nil {
 		err = tx.Commit()
 	} else if tx.Status() == txn.Active {
+		// Always abort on error — including recovered panics — so the
+		// transaction's locks are released no matter how the action died.
 		if abortErr := tx.Abort(); abortErr != nil {
 			err = fmt.Errorf("%w; abort failed: %v", err, abortErr)
 		}
@@ -237,22 +298,36 @@ func (e *Engine) runAction(task *sched.Task) error {
 
 	work := e.meter.Micros() - startWork
 
-	if err != nil && IsDeadlock(err) && p.restarts < maxActionRestarts {
-		// Restart: resubmit immediately as a fresh task with the same
-		// payload (paper §3: real-time transactions may be restarted). The
-		// staleness token stays open — the derived data is still stale.
+	if err != nil && IsRetryable(err) && p.restarts < maxActionRestarts {
+		// Restart with capped exponential backoff and deterministic jitter
+		// (paper §3: real-time transactions may be restarted). The staleness
+		// token stays open — the derived data is still stale.
 		p.restarts++
 		p.stats.restarts.Inc()
 		p.stats.work.Add(work)
 		p.stats.queueMicros.Add(queued)
+		now := e.clk.Now()
+		release := now + retryBackoff(p.restarts, task.ID)
 		retry := &sched.Task{
 			Name:    task.Name,
+			Release: release,
 			Value:   task.Value,
+			Firm:    task.Firm,
+			ShedKey: task.ShedKey,
+			OnShed:  task.OnShed,
 			Payload: p,
 			Fn:      e.runAction,
 		}
-		e.Sched.Submit(retry)
-		return nil
+		if p.deadlineWindow > 0 {
+			retry.Deadline = release + p.deadlineWindow
+		}
+		if e.Sched.Submit(retry) == nil {
+			e.Sched.NoteRetried()
+			e.tracer.Emit(now, obs.KindTaskRetry, p.fnName, int64(p.restarts))
+			return nil
+		}
+		// Scheduler is shutting down: fall through to the permanent path so
+		// the payload's resources are released.
 	}
 
 	finished := e.clk.Now()
@@ -265,8 +340,14 @@ func (e *Engine) runAction(task *sched.Task) error {
 		// The recompute never committed; drop the pending stamp rather than
 		// record a bogus closing sample.
 		p.stats.stale.Drop(p.staleTok)
+		if p.breaker != nil && p.breaker.onFailure(finished) {
+			e.tracer.Emit(finished, obs.KindRuleQuarantine, p.fnName, int64(p.restarts))
+		}
 	} else {
 		p.stats.stale.Observe(p.staleTok, finished)
+		if p.breaker != nil {
+			p.breaker.onSuccess()
+		}
 	}
 	e.tracer.Emit(finished, obs.KindActionDone, p.fnName, finished-p.createdAt)
 	for _, tt := range p.bound {

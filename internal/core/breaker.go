@@ -1,0 +1,164 @@
+package core
+
+import (
+	"sync"
+
+	"github.com/stripdb/strip/internal/clock"
+)
+
+// Circuit breakers quarantine misbehaving rules (S-Store-style per-dataflow
+// failure isolation): after BreakerThreshold consecutive permanent failures
+// of one user function's tasks, new firings for that function are dropped
+// at the firing point — bound tables retired, staleness tokens released —
+// until a cool-down elapses. The first firing after the cool-down is
+// admitted as a probe (half-open); its outcome closes the breaker or
+// re-opens it for another cool-down. A broken action (bad closure, poisoned
+// input, persistent constraint violation) therefore costs one failed task
+// per cool-down instead of a failed transaction per firing, and the
+// quarantine is visible in db.RuleHealth() rather than silently burning
+// workers.
+
+// Breaker state names, surfaced via RuleHealth.
+const (
+	BreakerClosed   = "closed"
+	BreakerOpen     = "open"
+	BreakerHalfOpen = "half-open"
+)
+
+// DefaultBreakerThreshold is the consecutive-failure count that opens a
+// function's breaker.
+const DefaultBreakerThreshold = 5
+
+// DefaultBreakerCooldown is the engine-time cool-down before a probe is
+// admitted (1s).
+const DefaultBreakerCooldown clock.Micros = 1_000_000
+
+// breaker is one user function's circuit breaker. All transitions happen
+// under mu; engine time comes from the caller so the breaker works under
+// both real and virtual clocks.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int          // consecutive failures that open the breaker
+	cooldown  clock.Micros // open duration before a half-open probe
+
+	state    string
+	consec   int          // consecutive permanent failures while closed
+	openedAt clock.Micros // when the breaker last opened
+	probing  bool         // a half-open probe task is in flight
+
+	quarantines int64 // times the breaker opened
+	dropped     int64 // firings dropped while open
+}
+
+func newBreaker(threshold int, cooldown clock.Micros) *breaker {
+	if threshold <= 0 {
+		threshold = DefaultBreakerThreshold
+	}
+	if cooldown <= 0 {
+		cooldown = DefaultBreakerCooldown
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, state: BreakerClosed}
+}
+
+// allow reports whether a new task for the function may be created at
+// engine time now. While open it returns false until the cool-down
+// elapses, then admits exactly one probe (half-open) until that probe
+// resolves.
+func (b *breaker) allow(now clock.Micros) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if now-b.openedAt < b.cooldown {
+			b.dropped++
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			b.dropped++
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// onSuccess records a successful task completion, closing the breaker.
+func (b *breaker) onSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.consec = 0
+	b.probing = false
+}
+
+// onFailure records a permanent task failure at engine time now and reports
+// whether the breaker opened on this transition (for tracing). A failure in
+// half-open (the probe failed) re-opens immediately.
+func (b *breaker) onFailure(now clock.Micros) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		b.state = BreakerOpen
+		b.openedAt = now
+		b.probing = false
+		b.quarantines++
+		return true
+	case BreakerOpen:
+		// Stragglers created before the open: keep the clock running.
+		return false
+	default:
+		b.consec++
+		if b.consec >= b.threshold {
+			b.state = BreakerOpen
+			b.openedAt = now
+			b.quarantines++
+			return true
+		}
+		return false
+	}
+}
+
+// RuleHealth is a point-in-time view of one user function's circuit
+// breaker, returned by Engine.RuleHealth / db.RuleHealth.
+type RuleHealth struct {
+	// Function is the user-function name the breaker guards (rules share a
+	// breaker when they execute the same function, mirroring how they
+	// share a uniqueness hash table).
+	Function string
+	// State is BreakerClosed, BreakerOpen, or BreakerHalfOpen.
+	State string
+	// ConsecutiveFailures counts permanent task failures since the last
+	// success (while closed).
+	ConsecutiveFailures int
+	// Quarantines counts how many times the breaker has opened.
+	Quarantines int64
+	// DroppedFirings counts firings rejected while open.
+	DroppedFirings int64
+	// RearmAt is the engine time the breaker will admit a probe (only
+	// meaningful while open).
+	RearmAt clock.Micros
+}
+
+// health snapshots the breaker.
+func (b *breaker) health(fn string) RuleHealth {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	h := RuleHealth{
+		Function:            fn,
+		State:               b.state,
+		ConsecutiveFailures: b.consec,
+		Quarantines:         b.quarantines,
+		DroppedFirings:      b.dropped,
+	}
+	if b.state == BreakerOpen {
+		h.RearmAt = b.openedAt + b.cooldown
+	}
+	return h
+}

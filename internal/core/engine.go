@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"github.com/stripdb/strip/internal/catalog"
@@ -17,9 +18,34 @@ import (
 	"github.com/stripdb/strip/internal/types"
 )
 
-// maxActionRestarts bounds deadlock-victim retries of rule action tasks
-// (paper §3: in a real-time system transactions may be restarted).
-const maxActionRestarts = 3
+// maxActionRestarts bounds transient-abort retries (deadlock victims,
+// wait timeouts) of rule action tasks (paper §3: in a real-time system
+// transactions may be restarted).
+const maxActionRestarts = 5
+
+// Retry backoff bounds: attempt n waits base<<(n-1), capped, with
+// deterministic jitter (see retryBackoff).
+const (
+	retryBackoffBase clock.Micros = 2_000
+	retryBackoffMax  clock.Micros = 128_000
+)
+
+// retryBackoff computes the capped exponential backoff for restart attempt
+// (1-based), jittered into [d/2, d]. The jitter hashes the task id and
+// attempt instead of drawing from a PRNG so virtual-clock runs stay
+// replayable and concurrent retries still decorrelate.
+func retryBackoff(attempt int, id int64) clock.Micros {
+	d := retryBackoffBase << uint(attempt-1)
+	if d <= 0 || d > retryBackoffMax {
+		d = retryBackoffMax
+	}
+	h := uint64(id)*0x9E3779B97F4A7C15 + uint64(attempt)*0xBF58476D1CE4E5B9
+	h ^= h >> 33
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	half := uint64(d / 2)
+	return clock.Micros(half + h%(half+1))
+}
 
 // ActionStats summarizes one user function's rule activity. N_r in the
 // paper's figures is TasksRun; WorkMicros/TasksRun is the mean recompute
@@ -32,7 +58,9 @@ type ActionStats struct {
 	RowsMerged   int64   // bound rows appended by merges
 	TasksRun     int64   // tasks executed (N_r)
 	TaskErrors   int64   // tasks that failed after retries
-	Restarts     int64   // deadlock-victim restarts
+	Restarts     int64   // transient-abort restarts (deadlock, wait timeout)
+	TasksShed    int64   // tasks dropped by overload shedding or shutdown
+	Quarantined  int64   // firings dropped while the circuit breaker was open
 	WorkMicros   float64 // charged virtual CPU across runs
 	QueueMicros  int64   // total time between release and start
 }
@@ -48,6 +76,8 @@ type fnMetrics struct {
 	run         *obs.Counter
 	errs        *obs.Counter
 	restarts    *obs.Counter
+	shed        *obs.Counter
+	quarantined *obs.Counter
 	queueMicros *obs.Counter
 	work        *obs.FloatCounter
 	latency     *obs.Histogram
@@ -64,6 +94,8 @@ func newFnMetrics(reg *obs.Registry, fn string) *fnMetrics {
 		run:         reg.Counter(obs.ForFunc(obs.MActionTasksRun, fn)),
 		errs:        reg.Counter(obs.ForFunc(obs.MActionTaskErrors, fn)),
 		restarts:    reg.Counter(obs.ForFunc(obs.MActionRestarts, fn)),
+		shed:        reg.Counter(obs.ForFunc(obs.MActionShed, fn)),
+		quarantined: reg.Counter(obs.ForFunc(obs.MActionQuarantined, fn)),
 		queueMicros: reg.Counter(obs.ForFunc(obs.MActionQueueMicros, fn)),
 		work:        reg.FloatCounter(obs.ForFunc(obs.MActionWorkMicros, fn)),
 		latency:     reg.Histogram(obs.ForFunc(obs.MActionLatencyMicros, fn)),
@@ -82,6 +114,8 @@ func (m *fnMetrics) view() ActionStats {
 		TasksRun:     m.run.Load(),
 		TaskErrors:   m.errs.Load(),
 		Restarts:     m.restarts.Load(),
+		TasksShed:    m.shed.Load(),
+		Quarantined:  m.quarantined.Load(),
 		WorkMicros:   m.work.Load(),
 		QueueMicros:  m.queueMicros.Load(),
 	}
@@ -96,6 +130,8 @@ func (m *fnMetrics) reset() {
 	m.run.Store(0)
 	m.errs.Store(0)
 	m.restarts.Store(0)
+	m.shed.Store(0)
+	m.quarantined.Store(0)
 	m.queueMicros.Store(0)
 	m.work.Store(0)
 	m.latency.Reset()
@@ -131,6 +167,12 @@ type Engine struct {
 	// stats caches per-function instrument handles (guarded by mu).
 	stats map[string]*fnMetrics
 
+	// breakers holds one circuit breaker per user function (created with
+	// the function's first rule). breakerThreshold < 0 disables creation.
+	breakers         map[string]*breaker
+	breakerThreshold int
+	breakerCooldown  clock.Micros
+
 	// periodic holds recurring recomputation tasks (paper §3).
 	periodic map[string]*periodicTask
 }
@@ -139,19 +181,20 @@ type Engine struct {
 // and registers itself as the commit hook.
 func NewEngine(txns *txn.Manager, scheduler *sched.Scheduler) *Engine {
 	e := &Engine{
-		Txns:    txns,
-		Sched:   scheduler,
-		clk:     txns.Clock,
-		meter:   txns.Meter,
-		model:   txns.Model,
-		obs:     txns.Obs,
-		tracer:  txns.Obs.Tracer(),
-		rules:   make(map[string]*Rule),
-		byTable: make(map[string][]*Rule),
-		funcs:   make(map[string]ActionFunc),
-		sets:    make(map[string]*uniqueSet),
-		bindSig: make(map[string]map[string]*catalog.Schema),
-		stats:   make(map[string]*fnMetrics),
+		Txns:     txns,
+		Sched:    scheduler,
+		clk:      txns.Clock,
+		meter:    txns.Meter,
+		model:    txns.Model,
+		obs:      txns.Obs,
+		tracer:   txns.Obs.Tracer(),
+		rules:    make(map[string]*Rule),
+		byTable:  make(map[string][]*Rule),
+		funcs:    make(map[string]ActionFunc),
+		sets:     make(map[string]*uniqueSet),
+		bindSig:  make(map[string]map[string]*catalog.Schema),
+		stats:    make(map[string]*fnMetrics),
+		breakers: make(map[string]*breaker),
 	}
 	txns.SetCommitHook(e.ProcessCommit)
 	return e
@@ -200,7 +243,37 @@ func (e *Engine) CreateRule(r *Rule) error {
 	if _, ok := e.stats[r.Action]; !ok {
 		e.stats[r.Action] = newFnMetrics(e.obs, r.Action)
 	}
+	if e.breakerThreshold >= 0 {
+		if _, ok := e.breakers[r.Action]; !ok {
+			e.breakers[r.Action] = newBreaker(e.breakerThreshold, e.breakerCooldown)
+		}
+	}
 	return nil
+}
+
+// SetBreakerPolicy configures circuit breakers for rules created after the
+// call: threshold consecutive permanent failures open a function's breaker
+// for cooldown engine-time. threshold == 0 and cooldown <= 0 select the
+// defaults; threshold < 0 disables breakers entirely.
+func (e *Engine) SetBreakerPolicy(threshold int, cooldown clock.Micros) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.breakerThreshold = threshold
+	e.breakerCooldown = cooldown
+}
+
+// RuleHealth reports each user function's circuit-breaker state, sorted by
+// function name. Functions whose rules were created with breakers disabled
+// are absent.
+func (e *Engine) RuleHealth() []RuleHealth {
+	e.mu.RLock()
+	out := make([]RuleHealth, 0, len(e.breakers))
+	for fn, br := range e.breakers {
+		out = append(out, br.health(fn))
+	}
+	e.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Function < out[j].Function })
+	return out
 }
 
 // DropRule removes a rule.
@@ -585,6 +658,7 @@ func (e *Engine) fire(tx *txn.Txn, rule *Rule, bound map[string]*storage.TempTab
 	fn := e.funcs[rule.Action]
 	set := e.sets[rule.Action]
 	stats := e.stats[rule.Action]
+	br := e.breakers[rule.Action]
 	e.mu.RUnlock()
 	if fn == nil {
 		for _, tt := range bound {
@@ -595,16 +669,22 @@ func (e *Engine) fire(tx *txn.Txn, rule *Rule, bound map[string]*storage.TempTab
 	stats.fired.Inc()
 
 	stamp := e.clk.Now()
-	release := stamp + rule.Delay
+	delay := rule.Delay
+	if rule.Unique {
+		// Under overload the scheduler widens unique-transaction batching
+		// windows so more firings merge instead of queueing new tasks.
+		delay = e.Sched.WidenDelay(delay)
+	}
+	release := stamp + delay
 	e.tracer.Emit(stamp, obs.KindRuleFire, rule.Name, tx.ID())
 
 	if !rule.Unique {
-		e.submitTask(tx, rule, fn, stats, bound, types.Key{}, nil, release, stamp)
+		e.submitTask(tx, rule, fn, stats, br, bound, types.Key{}, nil, release, stamp)
 		return nil
 	}
 
 	if len(rule.UniqueOn) == 0 {
-		e.enqueueUnique(tx, rule, fn, stats, set, types.Key{}, bound, release, stamp)
+		e.enqueueUnique(tx, rule, fn, stats, br, set, types.Key{}, bound, release, stamp)
 		return nil
 	}
 
@@ -621,7 +701,7 @@ func (e *Engine) fire(tx *txn.Txn, rule *Rule, bound map[string]*storage.TempTab
 		for _, tt := range part.bound {
 			e.meter.Charge(float64(tt.Len()) * e.model.GroupRow)
 		}
-		e.enqueueUnique(tx, rule, fn, stats, set, part.key, part.bound, release, stamp)
+		e.enqueueUnique(tx, rule, fn, stats, br, set, part.key, part.bound, release, stamp)
 	}
 	// The originals were copied into the partitions.
 	for _, tt := range bound {
@@ -632,7 +712,7 @@ func (e *Engine) fire(tx *txn.Txn, rule *Rule, bound map[string]*storage.TempTab
 
 // enqueueUnique merges a firing into a queued unique task or creates one
 // (paper §2, §6.3: the hash table maps unique column values to the TCB).
-func (e *Engine) enqueueUnique(trig *txn.Txn, rule *Rule, fn ActionFunc, stats *fnMetrics, set *uniqueSet,
+func (e *Engine) enqueueUnique(trig *txn.Txn, rule *Rule, fn ActionFunc, stats *fnMetrics, br *breaker, set *uniqueSet,
 	key types.Key, bound map[string]*storage.TempTable, release clock.Micros, stamp clock.Micros) {
 
 	e.meter.Charge(e.model.UniqueHashLookup)
@@ -670,18 +750,55 @@ func (e *Engine) enqueueUnique(trig *txn.Txn, rule *Rule, fn ActionFunc, stats *
 		e.tracer.Emit(stamp, obs.KindRuleMerge, rule.Action, int64(merged))
 		return
 	}
-	task := e.newActionTask(trig, rule, fn, stats, bound, key, set, release, stamp)
+	// The breaker gates only new task creation: merging into an already
+	// admitted task (including a half-open probe) costs nothing extra and
+	// keeps that task's bound rows complete.
+	if br != nil && !br.allow(stamp) {
+		set.mu.Unlock()
+		e.dropQuarantined(rule, stats, bound, stamp)
+		return
+	}
+	task := e.newActionTask(trig, rule, fn, stats, br, bound, key, set, release, stamp)
 	set.pending[key] = task
 	set.mu.Unlock()
 	stats.created.Inc()
-	e.Sched.Submit(task)
+	e.submit(task)
 }
 
-func (e *Engine) submitTask(trig *txn.Txn, rule *Rule, fn ActionFunc, stats *fnMetrics,
+func (e *Engine) submitTask(trig *txn.Txn, rule *Rule, fn ActionFunc, stats *fnMetrics, br *breaker,
 	bound map[string]*storage.TempTable, key types.Key, set *uniqueSet, release clock.Micros, stamp clock.Micros) {
-	task := e.newActionTask(trig, rule, fn, stats, bound, key, set, release, stamp)
+	if br != nil && !br.allow(stamp) {
+		e.dropQuarantined(rule, stats, bound, stamp)
+		return
+	}
+	task := e.newActionTask(trig, rule, fn, stats, br, bound, key, set, release, stamp)
 	stats.created.Inc()
-	e.Sched.Submit(task)
+	e.submit(task)
+}
+
+// dropQuarantined discards a firing rejected by an open circuit breaker:
+// bound tables are retired and the drop is counted and traced. No staleness
+// token exists yet, so nothing else to release.
+func (e *Engine) dropQuarantined(rule *Rule, stats *fnMetrics, bound map[string]*storage.TempTable, stamp clock.Micros) {
+	for _, tt := range bound {
+		tt.Retire()
+	}
+	stats.quarantined.Inc()
+	e.tracer.Emit(stamp, obs.KindRuleQuarantine, rule.Action, 0)
+}
+
+// submit hands a task to the scheduler; when the scheduler is shutting
+// down the task is discarded through its normal shed path so bound tables,
+// staleness tokens, and the uniqueness hash table entry are all released.
+func (e *Engine) submit(task *sched.Task) {
+	if err := e.Sched.Submit(task); err != nil {
+		if task.OnStart != nil {
+			task.OnStart(task)
+		}
+		if task.OnShed != nil {
+			task.OnShed(task)
+		}
+	}
 }
 
 // uniqueSet is the per-function uniqueness hash table (paper §6.3). The
@@ -834,6 +951,13 @@ func partitionByUnique(uniqueOn []string, bound map[string]*storage.TempTable) (
 // IsDeadlock reports whether err is a lock-manager deadlock abort,
 // triggering an action-task restart.
 func IsDeadlock(err error) bool { return errors.Is(err, lock.ErrDeadlock) }
+
+// IsRetryable reports whether err is a transient concurrency abort —
+// deadlock victim or lock-wait timeout — that an action task may retry
+// with backoff.
+func IsRetryable(err error) bool {
+	return errors.Is(err, lock.ErrDeadlock) || errors.Is(err, lock.ErrWaitTimeout)
+}
 
 // PendingUnique reports how many unique transactions are currently queued
 // for a user function (the population of its uniqueness hash table), for

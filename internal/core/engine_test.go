@@ -22,6 +22,7 @@ import (
 type testDB struct {
 	t      *testing.T
 	clk    *clock.Virtual
+	locks  *lock.Manager
 	txns   *txn.Manager
 	sched  *sched.Scheduler
 	engine *Engine
@@ -34,10 +35,11 @@ func newTestDB(t *testing.T) *testDB {
 	vc := clock.NewVirtual()
 	meter := cost.NewMeter()
 	model := cost.Default()
-	mgr := txn.NewManager(cat, store, lock.New(), vc, meter, model)
+	locks := lock.New()
+	mgr := txn.NewManager(cat, store, locks, vc, meter, model)
 	s := sched.New(vc, sched.FIFO, meter, model)
 	e := NewEngine(mgr, s)
-	db := &testDB{t: t, clk: vc, txns: mgr, sched: s, engine: e}
+	db := &testDB{t: t, clk: vc, locks: locks, txns: mgr, sched: s, engine: e}
 
 	db.mkTable(catalog.MustSchema("stocks",
 		catalog.Column{Name: "symbol", Kind: types.KindString},
@@ -636,6 +638,13 @@ func TestDeadlockRestart(t *testing.T) {
 		Action:    "f",
 	})
 	db.setPrice("S1", 31)
+	db.drain()
+	if attempts != 1 {
+		t.Fatalf("attempts = %d before backoff elapsed, want 1", attempts)
+	}
+	// The retry waits out its backoff (well under a second) in the delay
+	// queue; advance past it and run.
+	db.clk.AdvanceTo(clock.FromSeconds(1))
 	db.drain()
 	st := db.engine.Stats("f")
 	if attempts != 2 || st.Restarts != 1 || st.TasksRun != 1 || st.TaskErrors != 0 {

@@ -22,16 +22,23 @@ type periodicTask struct {
 	interval clock.Micros
 	engine   *Engine
 
+	// attempt counts transient-abort retries of the current run; it is only
+	// touched from the task body (one periodic task instance is in flight
+	// at a time).
+	attempt int
+
 	mu       sync.Mutex
 	stopped  bool
 	runs     int64
 	failures int64
+	restarts int64
 }
 
 // PeriodicStats reports a periodic task's activity.
 type PeriodicStats struct {
 	Runs     int64
 	Failures int64
+	Restarts int64
 	Stopped  bool
 }
 
@@ -83,24 +90,35 @@ func (e *Engine) PeriodicStats(name string) (PeriodicStats, bool) {
 	}
 	pt.mu.Lock()
 	defer pt.mu.Unlock()
-	return PeriodicStats{Runs: pt.runs, Failures: pt.failures, Stopped: pt.stopped}, true
+	return PeriodicStats{Runs: pt.runs, Failures: pt.failures, Restarts: pt.restarts, Stopped: pt.stopped}, true
 }
 
 func (pt *periodicTask) scheduleNext() {
+	pt.submitAfter(pt.interval)
+}
+
+// submitAfter queues the next run delay engine-micros from now. A scheduler
+// refusal (shutdown) marks the task stopped so it is not rescheduled.
+func (pt *periodicTask) submitAfter(delay clock.Micros) {
 	pt.mu.Lock()
 	if pt.stopped {
 		pt.mu.Unlock()
 		return
 	}
 	pt.mu.Unlock()
-	pt.engine.Sched.Submit(&sched.Task{
+	err := pt.engine.Sched.Submit(&sched.Task{
 		Name:    "periodic:" + pt.name,
-		Release: pt.engine.clk.Now() + pt.interval,
+		Release: pt.engine.clk.Now() + delay,
 		Fn:      pt.run,
 	})
+	if err != nil {
+		pt.mu.Lock()
+		pt.stopped = true
+		pt.mu.Unlock()
+	}
 }
 
-func (pt *periodicTask) run(*sched.Task) error {
+func (pt *periodicTask) run(task *sched.Task) error {
 	e := pt.engine
 	tx := e.Txns.Begin()
 	// Periodic recomputes are read-mostly full recomputations: read from a
@@ -111,14 +129,27 @@ func (pt *periodicTask) run(*sched.Task) error {
 	// read the same pre-image and lose an update.
 	tx.EnableSnapshotReads()
 	ctx := &ActionContext{engine: e, tx: tx}
-	err := pt.fn(ctx)
+	err := callAction(pt.fn, ctx)
 	if err == nil {
 		err = tx.Commit()
 	} else if tx.Status() == txn.Active {
+		// Abort even after a recovered panic so locks release.
 		if abortErr := tx.Abort(); abortErr != nil {
 			err = fmt.Errorf("%w; abort failed: %v", err, abortErr)
 		}
 	}
+	if err != nil && IsRetryable(err) && pt.attempt < maxActionRestarts {
+		// Transient concurrency abort: retry this run with backoff instead
+		// of waiting out a whole interval, and don't count it as a failure.
+		pt.attempt++
+		pt.mu.Lock()
+		pt.restarts++
+		pt.mu.Unlock()
+		e.Sched.NoteRetried()
+		pt.submitAfter(retryBackoff(pt.attempt, task.ID))
+		return nil
+	}
+	pt.attempt = 0
 	pt.mu.Lock()
 	pt.runs++
 	if err != nil {

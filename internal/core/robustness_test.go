@@ -1,0 +1,190 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/stripdb/strip/internal/clock"
+	"github.com/stripdb/strip/internal/lock"
+	"github.com/stripdb/strip/internal/query"
+	"github.com/stripdb/strip/internal/types"
+)
+
+// failRule installs a non-unique rule on stocks executing fn under name.
+func (db *testDB) failRule(name string, fn ActionFunc) {
+	db.t.Helper()
+	db.register(name, fn)
+	db.mustCreate(&Rule{
+		Name:      "r_" + name,
+		Table:     "stocks",
+		Events:    []EventSpec{{Kind: Updated}},
+		Condition: []*query.Select{matchesQuery()},
+		Action:    name,
+	})
+}
+
+// A panicking action is recovered, its transaction aborted (locks released),
+// and the task counted as a TaskError — the worker and engine survive.
+func TestActionPanicIsolated(t *testing.T) {
+	db := newTestDB(t)
+	calls := 0
+	db.failRule("boom", func(ctx *ActionContext) error {
+		calls++
+		// Take real locks first so the abort path has something to release.
+		if _, err := ctx.ExecUpdate(&query.UpdateStmt{
+			Table: "comp_prices",
+			Set:   []query.SetClause{{Col: "price", Expr: query.Const(types.Float(0))}},
+		}); err != nil {
+			return err
+		}
+		panic("user code exploded")
+	})
+	db.setPrice("S1", 31)
+	db.drain()
+	if calls != 1 {
+		t.Fatalf("action ran %d times", calls)
+	}
+	st := db.engine.Stats("boom")
+	if st.TasksRun != 1 || st.TaskErrors != 1 {
+		t.Fatalf("run/errors = %d/%d, want 1/1", st.TasksRun, st.TaskErrors)
+	}
+	// No lock leaked: the panicking action's X locks were released by the
+	// abort, and its writes rolled back.
+	if n := db.locks.ActiveLocks(); n != 0 {
+		t.Errorf("ActiveLocks = %d after panic, want 0", n)
+	}
+	got := db.compPrices()
+	if got["C1"] != 40 || got["C2"] != 37 {
+		t.Errorf("comp_prices = %v, want originals (panic writes rolled back)", got)
+	}
+	// The engine still works: a later clean update commits.
+	db.setPrice("S1", 32)
+	db.drain()
+	if st := db.engine.Stats("boom"); st.TasksRun != 2 {
+		t.Errorf("TasksRun = %d after second firing, want 2", st.TasksRun)
+	}
+}
+
+// After threshold consecutive permanent failures the function's breaker
+// opens: further firings are dropped (Quarantined), and after the cool-down
+// a successful probe closes it again.
+func TestBreakerQuarantineAndRearm(t *testing.T) {
+	db := newTestDB(t)
+	db.engine.SetBreakerPolicy(2, 50_000) // 2 failures open it for 50ms
+	failing := true
+	db.failRule("flaky", func(ctx *ActionContext) error {
+		if failing {
+			return errors.New("permanent failure")
+		}
+		return nil
+	})
+
+	// Two failures open the breaker.
+	db.setPrice("S1", 31)
+	db.drain()
+	db.setPrice("S1", 32)
+	db.drain()
+	h := db.ruleHealth("flaky")
+	if h.State != BreakerOpen || h.Quarantines != 1 {
+		t.Fatalf("after 2 failures: %+v, want open/1", h)
+	}
+
+	// While open, firings are dropped at the firing point: no task created.
+	db.setPrice("S1", 33)
+	db.drain()
+	st := db.engine.Stats("flaky")
+	if st.Quarantined != 1 || st.TasksCreated != 2 {
+		t.Fatalf("quarantined/created = %d/%d, want 1/2", st.Quarantined, st.TasksCreated)
+	}
+	if h := db.ruleHealth("flaky"); h.DroppedFirings != 1 {
+		t.Fatalf("DroppedFirings = %d, want 1", h.DroppedFirings)
+	}
+
+	// Past the cool-down a probe is admitted; it fails, re-opening.
+	db.clk.AdvanceTo(db.clk.Now() + 60_000)
+	db.setPrice("S1", 34)
+	db.drain()
+	h = db.ruleHealth("flaky")
+	if h.State != BreakerOpen || h.Quarantines != 2 {
+		t.Fatalf("failed probe: %+v, want re-opened/2", h)
+	}
+
+	// Next probe succeeds and closes the breaker for good.
+	failing = false
+	db.clk.AdvanceTo(db.clk.Now() + 60_000)
+	db.setPrice("S1", 35)
+	db.drain()
+	h = db.ruleHealth("flaky")
+	if h.State != BreakerClosed || h.ConsecutiveFailures != 0 {
+		t.Fatalf("after successful probe: %+v, want closed/0", h)
+	}
+	// And normal firings flow again.
+	db.setPrice("S1", 36)
+	db.drain()
+	if st := db.engine.Stats("flaky"); st.Quarantined != 1 {
+		t.Errorf("Quarantined = %d after close, want still 1", st.Quarantined)
+	}
+}
+
+// Transient retries do not trip the breaker: a deadlock-victim restart that
+// eventually succeeds leaves the breaker closed with zero consecutive
+// failures.
+func TestBreakerIgnoresTransientRetries(t *testing.T) {
+	db := newTestDB(t)
+	db.engine.SetBreakerPolicy(1, 50_000) // hair trigger
+	attempts := 0
+	db.failRule("deadlocky", func(ctx *ActionContext) error {
+		attempts++
+		if attempts < 3 {
+			return fmt.Errorf("victim: %w", lock.ErrDeadlock)
+		}
+		return nil
+	})
+	db.setPrice("S1", 31)
+	db.drain()
+	// Walk the retries out of the delay queue.
+	for i := 0; i < 5; i++ {
+		db.clk.AdvanceTo(db.clk.Now() + clock.FromSeconds(1))
+		db.drain()
+	}
+	if attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", attempts)
+	}
+	h := db.ruleHealth("deadlocky")
+	if h.State != BreakerClosed || h.ConsecutiveFailures != 0 {
+		t.Errorf("breaker = %+v, want closed (retries are not failures)", h)
+	}
+	st := db.engine.Stats("deadlocky")
+	if st.Restarts != 2 || st.TaskErrors != 0 {
+		t.Errorf("restarts/errors = %d/%d, want 2/0", st.Restarts, st.TaskErrors)
+	}
+}
+
+// RuleHealth reports all functions sorted by name.
+func TestRuleHealthListing(t *testing.T) {
+	db := newTestDB(t)
+	db.failRule("zeta", func(ctx *ActionContext) error { return nil })
+	db.failRule("alpha", func(ctx *ActionContext) error { return nil })
+	hs := db.engine.RuleHealth()
+	if len(hs) != 2 || hs[0].Function != "alpha" || hs[1].Function != "zeta" {
+		t.Fatalf("RuleHealth = %+v, want [alpha zeta]", hs)
+	}
+	for _, h := range hs {
+		if h.State != BreakerClosed {
+			t.Errorf("%s state = %s, want closed", h.Function, h.State)
+		}
+	}
+}
+
+// ruleHealth fetches one function's breaker view.
+func (db *testDB) ruleHealth(fn string) RuleHealth {
+	db.t.Helper()
+	for _, h := range db.engine.RuleHealth() {
+		if h.Function == fn {
+			return h
+		}
+	}
+	db.t.Fatalf("no breaker for %q", fn)
+	return RuleHealth{}
+}

@@ -104,6 +104,13 @@ type Rule struct {
 	// when the engine runs under those policies.
 	Deadline clock.Micros
 	Value    float64
+
+	// Firm makes Deadline a firm shedding deadline: under overload the
+	// scheduler drops this rule's ready tasks once superseded (a younger
+	// task for the same unique key is queued) or past deadline, trading
+	// staleness for committed throughput. No effect unless the database
+	// enables overload control.
+	Firm bool
 }
 
 // validate checks rule structure before registration.

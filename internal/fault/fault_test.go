@@ -1,0 +1,127 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestDisarmedFastPath(t *testing.T) {
+	in := NewInjector(1)
+	if in.Armed() {
+		t.Fatal("fresh injector reports armed")
+	}
+	if in.Should(ActionPanic) {
+		t.Fatal("disarmed injector fired")
+	}
+	if err := in.ErrorAt(WalSyncFail); err != nil {
+		t.Fatalf("disarmed ErrorAt returned %v", err)
+	}
+	if in.Hits(ActionPanic) != 0 {
+		t.Fatal("disarmed injector counted hits")
+	}
+}
+
+func TestEverySchedule(t *testing.T) {
+	in := NewInjector(1)
+	in.Enable(StorageAllocFail, Spec{Every: 3})
+	var fires []int
+	for i := 1; i <= 9; i++ {
+		if in.Should(StorageAllocFail) {
+			fires = append(fires, i)
+		}
+	}
+	want := []int{1, 4, 7}
+	if len(fires) != len(want) {
+		t.Fatalf("fired at %v, want %v", fires, want)
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("fired at %v, want %v", fires, want)
+		}
+	}
+}
+
+func TestAfterAndLimit(t *testing.T) {
+	in := NewInjector(1)
+	in.Enable(WalSyncFail, Spec{After: 2, Limit: 1})
+	got := 0
+	for i := 0; i < 10; i++ {
+		if in.Should(WalSyncFail) {
+			got++
+			if in.Hits(WalSyncFail) != 3 {
+				t.Fatalf("fired on hit %d, want hit 3", in.Hits(WalSyncFail))
+			}
+		}
+	}
+	if got != 1 || in.Fired(WalSyncFail) != 1 {
+		t.Fatalf("fired %d times (counter %d), want exactly once", got, in.Fired(WalSyncFail))
+	}
+}
+
+func TestProbDeterministicUnderSeed(t *testing.T) {
+	run := func() []bool {
+		in := NewInjector(42)
+		in.Enable(LockForceDeadlock, Spec{Prob: 0.5})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = in.Should(LockForceDeadlock)
+		}
+		return out
+	}
+	a, b := run(), run()
+	fires := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i)
+		}
+		if a[i] {
+			fires++
+		}
+	}
+	if fires == 0 || fires == len(a) {
+		t.Fatalf("prob=0.5 fired %d/%d times", fires, len(a))
+	}
+}
+
+func TestErrorAtUsesSpecErr(t *testing.T) {
+	in := NewInjector(1)
+	custom := errors.New("boom")
+	in.Enable(StorageAllocFail, Spec{Err: custom})
+	if err := in.ErrorAt(StorageAllocFail); !errors.Is(err, custom) {
+		t.Fatalf("got %v, want custom error", err)
+	}
+	in.Enable(StorageAllocFail, Spec{})
+	if err := in.ErrorAt(StorageAllocFail); !errors.Is(err, ErrInjected) {
+		t.Fatalf("got %v, want ErrInjected", err)
+	}
+}
+
+func TestDisableRearmsFastPath(t *testing.T) {
+	in := NewInjector(1)
+	in.Enable(ActionPanic, Spec{})
+	in.Enable(WalSyncFail, Spec{})
+	in.Disable(ActionPanic)
+	if !in.Armed() {
+		t.Fatal("injector disarmed while a point remains")
+	}
+	in.Disable(WalSyncFail)
+	if in.Armed() {
+		t.Fatal("injector armed with no points")
+	}
+}
+
+func TestDefaultInjectorReset(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable(SchedWorkerStall, Spec{})
+	if !Armed() {
+		t.Fatal("default injector not armed")
+	}
+	if !Should(SchedWorkerStall) {
+		t.Fatal("unconditional point did not fire")
+	}
+	Reset()
+	if Armed() || Fired(SchedWorkerStall) != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/stripdb/strip/internal/fault"
 	"github.com/stripdb/strip/internal/obs"
 )
 
@@ -118,6 +119,11 @@ var ErrDeadlock = errors.New("lock: deadlock detected")
 // ErrAborted is returned to waiters cancelled via Cancel.
 var ErrAborted = errors.New("lock: wait aborted")
 
+// ErrWaitTimeout is returned when a wait exceeds the manager's max-wait cap
+// (SetMaxWait). Like a deadlock abort it is transient — the rule engine
+// retries such aborts with backoff.
+var ErrWaitTimeout = errors.New("lock: wait timed out")
+
 // Stats counts lock-manager activity. It is a view over the manager's
 // registry-backed counters (see Instrument).
 type Stats struct {
@@ -125,12 +131,16 @@ type Stats struct {
 	Waits          int64
 	Deadlocks      int64
 	Timeouts       int64 // wait-timeout fallback detector triggers
+	TimeoutAborts  int64 // waits aborted with ErrWaitTimeout (SetMaxWait)
 	DetectorRuns   int64
 	DetectorCycles int64
 	RecordAcquires int64 // acquires naming a RecordID
 	// WaitTimeout is the configured park duration before the fallback
 	// deadlock detector runs (Config.LockWaitTimeout / SetWaitTimeout).
 	WaitTimeout time.Duration
+	// MaxWait is the cap past which a wait aborts with ErrWaitTimeout
+	// (zero = wait forever).
+	MaxWait time.Duration
 }
 
 type waiter struct {
@@ -178,6 +188,10 @@ type Manager struct {
 	// waitTimeout bounds each park before the fallback detector runs.
 	// Settable before concurrent use (SetWaitTimeout).
 	waitTimeout time.Duration
+	// maxWait caps the total wait before the request aborts with
+	// ErrWaitTimeout (0 = wait forever). Settable before concurrent use
+	// (SetMaxWait).
+	maxWait time.Duration
 	// detectOnConflict runs the detector as soon as a request must wait.
 	// Tests disable it to exercise the timeout fallback path.
 	detectOnConflict bool
@@ -190,6 +204,7 @@ type Manager struct {
 	waits          *obs.Counter
 	deadlocks      *obs.Counter
 	timeouts       *obs.Counter
+	timeoutAborts  *obs.Counter
 	detectorRuns   *obs.Counter
 	detectorCycles *obs.Counter
 	recordAcquires *obs.Counter
@@ -248,6 +263,16 @@ func (m *Manager) SetWaitTimeout(d time.Duration) {
 	}
 }
 
+// SetMaxWait caps how long a request may wait before aborting with
+// ErrWaitTimeout (0 = wait forever, the default). A cap turns starvation
+// and undetected cross-resource stalls into transient aborts the rule
+// engine can retry. Call before the manager sees concurrent use.
+func (m *Manager) SetMaxWait(d time.Duration) {
+	if d >= 0 {
+		m.maxWait = d
+	}
+}
+
 // Instrument rebinds the manager's counters, wait histogram, and tracer to
 // reg, timing lock waits with now (which may be nil to skip timing). Call
 // before the manager sees concurrent use.
@@ -257,6 +282,7 @@ func (m *Manager) Instrument(reg *obs.Registry, now func() int64) {
 	m.waits = reg.Counter(obs.MLockWaits)
 	m.deadlocks = reg.Counter(obs.MLockDeadlocks)
 	m.timeouts = reg.Counter(obs.MLockTimeouts)
+	m.timeoutAborts = reg.Counter(obs.MLockTimeoutAborts)
 	m.detectorRuns = reg.Counter(obs.MLockDetectorRuns)
 	m.detectorCycles = reg.Counter(obs.MLockDetectorCycles)
 	m.recordAcquires = reg.Counter(obs.MLockRecordAcquires)
@@ -306,6 +332,15 @@ func (m *Manager) Acquire(txn int64, name any, mode Mode) error {
 	if _, isRec := name.(RecordID); isRec {
 		m.recordAcquires.Inc()
 	}
+	if fault.Armed() {
+		// Chaos hooks: widen the conflict window, or abort as if the
+		// detector had victimized this request before it ever parked.
+		fault.Stall(fault.LockAcquireDelay)
+		if injected := fault.ErrorAt(fault.LockForceDeadlock); injected != nil {
+			m.deadlocks.Inc()
+			return fmt.Errorf("%w (txn %d on %v, injected)", ErrDeadlock, txn, name)
+		}
+	}
 	s := m.shardFor(name)
 	s.load.Add(1)
 	s.mu.Lock()
@@ -342,6 +377,7 @@ func (m *Manager) Acquire(txn int64, name any, mode Mode) error {
 	}
 
 	waitFrom := m.clockNow()
+	waitStart := time.Now()
 	timer := time.NewTimer(m.waitTimeout)
 	defer timer.Stop()
 	for {
@@ -360,9 +396,67 @@ func (m *Manager) Acquire(txn int64, name any, mode Mode) error {
 			if m.detect(txn) {
 				return m.victim(txn, name)
 			}
+			if m.maxWait > 0 && time.Since(waitStart) >= m.maxWait {
+				if m.abandonWait(txn, name, w) {
+					m.timeoutAborts.Inc()
+					return fmt.Errorf("%w (txn %d on %v after %v)", ErrWaitTimeout, txn, name, m.maxWait)
+				}
+				// Granted (or cancelled) while we were deciding to give up:
+				// the grant is in the buffered channel — honor it.
+				err := <-w.ready
+				waited := m.clockNow() - waitFrom
+				m.waitHist.Record(waited)
+				return err
+			}
 			timer.Reset(m.waitTimeout)
 		}
 	}
+}
+
+// abandonWait withdraws txn's parked request after a max-wait timeout. It
+// reports false when the request was granted or cancelled first — the
+// outcome is already in w.ready and the caller must consume it instead.
+func (m *Manager) abandonWait(txn int64, name any, w *waiter) bool {
+	s := m.shardFor(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, waiting := s.waitsOn[txn]; !waiting {
+		return false
+	}
+	e := s.locks[name]
+	if e == nil {
+		delete(s.waitsOn, txn)
+		return true
+	}
+	for i, q := range e.queue {
+		if q == w {
+			e.queue = append(e.queue[:i:i], e.queue[i+1:]...)
+			break
+		}
+	}
+	delete(s.waitsOn, txn)
+	// Our departure can unblock requests queued behind us.
+	s.promote(e, name)
+	if len(e.holders) == 0 && len(e.queue) == 0 {
+		delete(s.locks, name)
+	}
+	return true
+}
+
+// ActiveLocks counts locks currently held across all shards (sum over
+// transactions of distinct resources held). Chaos tests assert it returns
+// to zero once every transaction has finished: no abort path may leak a
+// grant.
+func (m *Manager) ActiveLocks() int {
+	total := 0
+	for _, s := range m.shards {
+		s.mu.Lock()
+		for _, locks := range s.held {
+			total += len(locks)
+		}
+		s.mu.Unlock()
+	}
+	return total
 }
 
 // victim finalizes a deadlock abort for the requester: detect has already
@@ -681,9 +775,11 @@ func (m *Manager) Stats() Stats {
 		Waits:          m.waits.Load(),
 		Deadlocks:      m.deadlocks.Load(),
 		Timeouts:       m.timeouts.Load(),
+		TimeoutAborts:  m.timeoutAborts.Load(),
 		DetectorRuns:   m.detectorRuns.Load(),
 		DetectorCycles: m.detectorCycles.Load(),
 		RecordAcquires: m.recordAcquires.Load(),
 		WaitTimeout:    m.waitTimeout,
+		MaxWait:        m.maxWait,
 	}
 }

@@ -24,6 +24,9 @@ const (
 	MLockRecordAcquires = "lock.record_acquires"
 	MLockEscalations    = "lock.escalations"
 	MLockShards         = "lock.shards"
+	// MLockTimeoutAborts counts waits aborted with ErrWaitTimeout after
+	// exceeding the manager's max-wait cap (SetMaxWait).
+	MLockTimeoutAborts = "lock.timeout_aborts"
 
 	MSchedSubmitted      = "sched.submitted"
 	MSchedCompleted      = "sched.completed"
@@ -33,6 +36,20 @@ const (
 	MSchedReleaseToStart = "sched.release_to_start_micros"
 	MSchedRunMicros      = "sched.run_micros"
 	MSchedReleaseBatch   = "sched.release_batch"
+	// MSchedShed counts tasks dropped by overload control; MSchedAbandoned
+	// counts tasks dropped by Stop teardown; MSchedRetried counts
+	// transient-failure resubmissions; MSchedPanics counts panics that
+	// escaped a task body. Together with completed/failed they partition
+	// task outcomes so shedding is never conflated with errors.
+	MSchedShed      = "sched.shed"
+	MSchedAbandoned = "sched.abandoned"
+	MSchedRetried   = "sched.retried"
+	MSchedPanics    = "sched.panics"
+	// MSchedLagMicros gauges the queueing lag of the most recently dequeued
+	// task; MSchedWidenPct gauges the adaptive batching widen factor (100 =
+	// no widening).
+	MSchedLagMicros = "sched.lag_micros"
+	MSchedWidenPct  = "sched.widen_pct"
 
 	MQuerySelects      = "query.selects"
 	MQuerySelectMicros = "query.select_micros"
@@ -73,6 +90,12 @@ const (
 	MActionWorkMicros    = "action.work_micros"
 	MActionLatencyMicros = "action.latency_micros"
 	MActionMergeRows     = "action.merge_rows"
+	// MActionShed counts firings/tasks dropped by overload shedding (the
+	// derived data stays stale until a younger task recomputes it);
+	// MActionQuarantined counts firings dropped while the function's
+	// circuit breaker was open.
+	MActionShed        = "action.shed"
+	MActionQuarantined = "action.quarantined"
 )
 
 // ForFunc scopes a per-function metric name: ForFunc(MActionFired, "f") ==

@@ -21,10 +21,13 @@ const (
 	KindTaskSubmit
 	KindTaskStart
 	KindTaskFinish
+	KindTaskShed
 	KindRuleFire
 	KindRuleMerge
 	KindActionDone
 	KindQuery
+	KindRuleQuarantine
+	KindTaskRetry
 )
 
 // String names the kind.
@@ -44,6 +47,8 @@ func (k Kind) String() string {
 		return "task.start"
 	case KindTaskFinish:
 		return "task.finish"
+	case KindTaskShed:
+		return "task.shed"
 	case KindRuleFire:
 		return "rule.fire"
 	case KindRuleMerge:
@@ -52,6 +57,10 @@ func (k Kind) String() string {
 		return "action.done"
 	case KindQuery:
 		return "query"
+	case KindRuleQuarantine:
+		return "rule.quarantine"
+	case KindTaskRetry:
+		return "task.retry"
 	default:
 		return "unknown"
 	}

@@ -1,0 +1,207 @@
+package sched
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/stripdb/strip/internal/clock"
+	"github.com/stripdb/strip/internal/cost"
+)
+
+// Under depth-triggered overload, firm tasks past their deadline are shed;
+// the youngest (still within deadline, not superseded) runs.
+func TestShedPastDeadline(t *testing.T) {
+	s, vc, _ := newVirtualSched(FIFO)
+	s.SetOverload(Overload{ShedDepth: 2})
+	var ran, shedCount atomic.Int64
+	for i := 0; i < 4; i++ {
+		s.Submit(&Task{
+			Name:     "recompute",
+			Firm:     true,
+			Deadline: 1_000, // firm deadline at t=1ms
+			Fn:       func(*Task) error { ran.Add(1); return nil },
+			OnShed:   func(*Task) { shedCount.Add(1) },
+		})
+	}
+	vc.AdvanceTo(5_000) // all four are past deadline, queue depth 4 >= 2
+	s.Drain()
+	// The last pop sees depth 1 < ShedDepth, so it is not overloaded and
+	// runs even though it missed its deadline.
+	if got := ran.Load(); got != 1 {
+		t.Errorf("ran = %d, want 1", got)
+	}
+	if got := shedCount.Load(); got != 3 {
+		t.Errorf("OnShed ran %d times, want 3", got)
+	}
+	if st := s.Stats(); st.Shed != 3 || st.Completed != 1 {
+		t.Errorf("stats = %+v, want Shed=3 Completed=1", st)
+	}
+}
+
+// A firm task with a ShedKey is dropped when a younger ready task carries
+// the same key — the younger one recomputes from fresher state.
+func TestShedSuperseded(t *testing.T) {
+	s, vc, _ := newVirtualSched(FIFO)
+	s.SetOverload(Overload{ShedDepth: 2})
+	var order []int
+	mk := func(i int, key string) *Task {
+		return &Task{
+			Name:    "recompute",
+			Firm:    true,
+			ShedKey: key,
+			Fn:      func(*Task) error { order = append(order, i); return nil },
+		}
+	}
+	s.Submit(mk(1, "sym-A")) // superseded by 3
+	s.Submit(mk(2, "sym-B"))
+	s.Submit(mk(3, "sym-A"))
+	vc.AdvanceTo(10)
+	s.Drain()
+	if len(order) != 2 || order[0] != 2 || order[1] != 3 {
+		t.Errorf("ran %v, want [2 3] (1 superseded)", order)
+	}
+	if st := s.Stats(); st.Shed != 1 {
+		t.Errorf("Shed = %d, want 1", st.Shed)
+	}
+	// keyCounts must be empty once the queues drain.
+	s.mu.Lock()
+	left := len(s.keyCounts)
+	s.mu.Unlock()
+	if left != 0 {
+		t.Errorf("keyCounts has %d stale entries", left)
+	}
+}
+
+// Without overload configured (the default), firm tasks past deadline still
+// run: nothing sheds.
+func TestNoShedWhenDisabled(t *testing.T) {
+	s, vc, _ := newVirtualSched(FIFO)
+	var ran atomic.Int64
+	for i := 0; i < 4; i++ {
+		s.Submit(&Task{Firm: true, Deadline: 1, ShedKey: "k",
+			Fn: func(*Task) error { ran.Add(1); return nil }})
+	}
+	vc.AdvanceTo(1_000_000)
+	s.Drain()
+	if got := ran.Load(); got != 4 {
+		t.Errorf("ran = %d, want 4", got)
+	}
+	if st := s.Stats(); st.Shed != 0 {
+		t.Errorf("Shed = %d, want 0", st.Shed)
+	}
+}
+
+// WidenDelay stretches batching windows linearly with ready-queue depth,
+// clamped at WidenMax, and substitutes WidenBase for zero delays.
+func TestWidenDelay(t *testing.T) {
+	s, _, _ := newVirtualSched(FIFO)
+	s.SetOverload(Overload{ShedDepth: 4, WidenMax: 3, WidenBase: 1_000})
+	// Below the shed depth: unchanged.
+	s.qReady.Set(2)
+	if got := s.WidenDelay(500); got != 500 {
+		t.Errorf("below threshold: WidenDelay = %d, want 500", got)
+	}
+	// At 2x the shed depth: factor 2.
+	s.qReady.Set(8)
+	if got := s.WidenDelay(500); got != 1000 {
+		t.Errorf("at 2x: WidenDelay = %d, want 1000", got)
+	}
+	// Deep queue: clamped at WidenMax.
+	s.qReady.Set(100)
+	if got := s.WidenDelay(500); got != 1500 {
+		t.Errorf("clamped: WidenDelay = %d, want 1500", got)
+	}
+	// Zero-delay rules get WidenBase scaled.
+	if got := s.WidenDelay(0); got != 3000 {
+		t.Errorf("zero delay: WidenDelay = %d, want 3000", got)
+	}
+	// Disabled policy: identity.
+	s2, _, _ := newVirtualSched(FIFO)
+	s2.qReady.Set(100)
+	if got := s2.WidenDelay(500); got != 500 {
+		t.Errorf("disabled: WidenDelay = %d, want 500", got)
+	}
+}
+
+// Submit after Stop fails with ErrStopped and the task's resources stay
+// with the caller (no cleanup hooks run).
+func TestSubmitAfterStop(t *testing.T) {
+	s, _, _ := newVirtualSched(FIFO)
+	s.Stop()
+	hooks := 0
+	err := s.Submit(&Task{
+		Fn:      func(*Task) error { return nil },
+		OnStart: func(*Task) { hooks++ },
+		OnShed:  func(*Task) { hooks++ },
+	})
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("Submit after Stop = %v, want ErrStopped", err)
+	}
+	if hooks != 0 {
+		t.Errorf("cleanup hooks ran on rejected submit")
+	}
+}
+
+// Stop discards everything still queued through OnStart/OnShed and counts
+// it abandoned, so no task is silently dropped holding resources.
+func TestStopDiscardsQueued(t *testing.T) {
+	s, _, _ := newVirtualSched(FIFO)
+	var cleaned atomic.Int64
+	onShed := func(*Task) { cleaned.Add(1) }
+	s.Submit(&Task{Fn: func(*Task) error { return nil }, OnShed: onShed})
+	s.Submit(&Task{Release: 1_000_000, Fn: func(*Task) error { return nil }, OnShed: onShed})
+	s.Stop()
+	if got := cleaned.Load(); got != 2 {
+		t.Errorf("OnShed ran %d times, want 2 (ready + delayed)", got)
+	}
+	if st := s.Stats(); st.Abandoned != 2 {
+		t.Errorf("Abandoned = %d, want 2", st.Abandoned)
+	}
+}
+
+// Concurrent Submit vs StopDrain under the race detector: every submitted
+// task is either executed, abandoned with its cleanup run, or rejected with
+// ErrStopped — never lost.
+func TestConcurrentSubmitVsStop(t *testing.T) {
+	rc := clock.NewReal()
+	s := New(rc, FIFO, cost.NewMeter(), cost.Zero())
+	s.Start(2)
+	var executed, rejected, cleaned atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				err := s.Submit(&Task{
+					Fn:     func(*Task) error { executed.Add(1); return nil },
+					OnShed: func(*Task) { cleaned.Add(1) },
+				})
+				if err != nil {
+					if !errors.Is(err, ErrStopped) {
+						t.Errorf("Submit: %v", err)
+						return
+					}
+					rejected.Add(1)
+				}
+			}
+		}()
+	}
+	time.Sleep(2 * time.Millisecond)
+	s.StopDrain(time.Second)
+	wg.Wait()
+	total := executed.Load() + rejected.Load() + cleaned.Load()
+	if total != 800 {
+		t.Errorf("executed %d + rejected %d + cleaned %d = %d, want 800",
+			executed.Load(), rejected.Load(), cleaned.Load(), total)
+	}
+	// StopDrain drains ready work, so nothing accepted should be abandoned
+	// un-run unless the timeout hit (it is 1s; these tasks are instant).
+	if st := s.Stats(); st.Submitted != executed.Load()+cleaned.Load() {
+		t.Errorf("submitted %d != executed %d + cleaned %d",
+			st.Submitted, executed.Load(), cleaned.Load())
+	}
+}

@@ -2,13 +2,52 @@ package sched
 
 import (
 	"container/heap"
+	"errors"
+	"fmt"
 	"sync"
 	"time"
 
 	"github.com/stripdb/strip/internal/clock"
 	"github.com/stripdb/strip/internal/cost"
+	"github.com/stripdb/strip/internal/fault"
 	"github.com/stripdb/strip/internal/obs"
 )
+
+// ErrStopped is returned by Submit once the scheduler is stopping: the task
+// was not enqueued and will never run. The facade exposes it as
+// strip.ErrShuttingDown.
+var ErrStopped = errors.New("sched: scheduler is shutting down")
+
+// ErrTaskPanic wraps a panic that escaped a task body; the worker survives
+// and the task is counted failed.
+var ErrTaskPanic = errors.New("sched: task panicked")
+
+// Overload configures deadline-aware overload control (paper §2's
+// staleness-for-CPU trade, made automatic). The zero value disables it.
+// When the ready queue crosses either threshold the scheduler (1) sheds
+// firm tasks that are past their deadline or superseded by a younger task
+// with the same ShedKey, and (2) reports a widening factor > 1 so the rule
+// engine stretches unique-transaction batching windows, trading staleness
+// for fewer recomputes instead of letting lag grow without bound.
+type Overload struct {
+	// ShedDepth is the ready-queue depth at which the scheduler is
+	// considered overloaded (0 disables the depth trigger).
+	ShedDepth int
+	// ShedLag is the queueing lag (now - release) past which a task is
+	// considered overloaded (0 disables the lag trigger).
+	ShedLag clock.Micros
+	// WidenMax caps the adaptive batching widen factor (values <= 1
+	// disable widening). The factor grows linearly with ready-queue depth:
+	// depth/ShedDepth, clamped to WidenMax.
+	WidenMax float64
+	// WidenBase is the delay substituted for a zero batching window when
+	// widening engages, so rules with no `after` clause still batch under
+	// overload.
+	WidenBase clock.Micros
+}
+
+// enabled reports whether any overload trigger is configured.
+func (o Overload) enabled() bool { return o.ShedDepth > 0 || o.ShedLag > 0 }
 
 // Scheduler owns the delay and ready queues (paper Figure 15). It can be
 // driven two ways:
@@ -23,13 +62,23 @@ type Scheduler struct {
 	meter  *cost.Meter
 	model  cost.Model
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	delay   delayHeap
-	ready   readyHeap
-	stopped bool
-	nextSeq int64
-	nextID  int64
+	mu       sync.Mutex
+	cond     *sync.Cond
+	delay    delayHeap
+	ready    readyHeap
+	draining bool // Submit rejects; workers keep running (StopDrain)
+	stopped  bool // workers exit
+	running  int  // tasks currently executing in workers
+	nextSeq  int64
+	nextID   int64
+
+	// overload is the overload-control policy (zero = disabled). Written
+	// by SetOverload before concurrent use, read under mu (shedding) and
+	// without it (WidenDelay reads the qReady gauge, not the heap).
+	overload Overload
+	// keyCounts tracks how many ready tasks carry each ShedKey, for
+	// supersession shedding. Guarded by mu.
+	keyCounts map[any]int
 
 	// recentStarts holds start times within the trailing second, modeling
 	// scheduling cost that grows with task rate (the paper's "critical
@@ -40,8 +89,14 @@ type Scheduler struct {
 	submitted    *obs.Counter
 	completed    *obs.Counter
 	failed       *obs.Counter
+	shed         *obs.Counter
+	abandoned    *obs.Counter
+	retried      *obs.Counter
+	panics       *obs.Counter
 	qReady       *obs.Gauge
 	qDelayed     *obs.Gauge
+	lagGauge     *obs.Gauge
+	widenGauge   *obs.Gauge
 	relToStart   *obs.Histogram
 	runMicros    *obs.Histogram
 	releaseBatch *obs.Histogram
@@ -52,11 +107,20 @@ type Scheduler struct {
 
 // New creates a scheduler with a private metrics registry.
 func New(clk clock.Clock, policy Policy, meter *cost.Meter, model cost.Model) *Scheduler {
-	s := &Scheduler{clk: clk, policy: policy, meter: meter, model: model}
+	s := &Scheduler{clk: clk, policy: policy, meter: meter, model: model,
+		keyCounts: make(map[any]int)}
 	s.ready.policy = policy
 	s.cond = sync.NewCond(&s.mu)
 	s.Instrument(obs.NewRegistry())
 	return s
+}
+
+// SetOverload installs the overload-control policy. Call before Start.
+func (s *Scheduler) SetOverload(o Overload) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.overload = o
+	s.widenGauge.Set(100)
 }
 
 // Instrument rebinds the scheduler's counters, queue-depth gauges, latency
@@ -65,8 +129,15 @@ func (s *Scheduler) Instrument(reg *obs.Registry) {
 	s.submitted = reg.Counter(obs.MSchedSubmitted)
 	s.completed = reg.Counter(obs.MSchedCompleted)
 	s.failed = reg.Counter(obs.MSchedFailed)
+	s.shed = reg.Counter(obs.MSchedShed)
+	s.abandoned = reg.Counter(obs.MSchedAbandoned)
+	s.retried = reg.Counter(obs.MSchedRetried)
+	s.panics = reg.Counter(obs.MSchedPanics)
 	s.qReady = reg.Gauge(obs.MSchedQueueReady)
 	s.qDelayed = reg.Gauge(obs.MSchedQueueDelayed)
+	s.lagGauge = reg.Gauge(obs.MSchedLagMicros)
+	s.widenGauge = reg.Gauge(obs.MSchedWidenPct)
+	s.widenGauge.Set(100)
 	s.relToStart = reg.Histogram(obs.MSchedReleaseToStart)
 	s.runMicros = reg.Histogram(obs.MSchedRunMicros)
 	s.releaseBatch = reg.Histogram(obs.MSchedReleaseBatch)
@@ -81,10 +152,15 @@ func (s *Scheduler) depthsLocked() {
 }
 
 // Submit enqueues a task: into the delay queue if its release time is in
-// the future, otherwise the ready queue.
-func (s *Scheduler) Submit(t *Task) {
+// the future, otherwise the ready queue. Once the scheduler is stopping
+// (Stop or StopDrain) it returns ErrStopped and the task is not enqueued —
+// the caller keeps ownership of any resources the task carries.
+func (s *Scheduler) Submit(t *Task) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.draining || s.stopped {
+		return ErrStopped
+	}
 	now := s.clk.Now()
 	s.nextID++
 	t.ID = s.nextID
@@ -95,11 +171,35 @@ func (s *Scheduler) Submit(t *Task) {
 	if t.Release > now {
 		heap.Push(&s.delay, t)
 	} else {
-		heap.Push(&s.ready, t)
+		s.pushReadyLocked(t)
 	}
 	s.depthsLocked()
 	s.tracer.Emit(now, obs.KindTaskSubmit, t.Name, t.ID)
 	s.cond.Broadcast()
+	return nil
+}
+
+// pushReadyLocked enters a task into the ready queue and its ShedKey into
+// the supersession count.
+func (s *Scheduler) pushReadyLocked(t *Task) {
+	heap.Push(&s.ready, t)
+	if t.ShedKey != nil {
+		s.keyCounts[t.ShedKey]++
+	}
+}
+
+// popReadyLocked removes the policy head from the ready queue and its
+// ShedKey from the supersession count.
+func (s *Scheduler) popReadyLocked() *Task {
+	t := heap.Pop(&s.ready).(*Task)
+	if t.ShedKey != nil {
+		if c := s.keyCounts[t.ShedKey] - 1; c > 0 {
+			s.keyCounts[t.ShedKey] = c
+		} else {
+			delete(s.keyCounts, t.ShedKey)
+		}
+	}
+	return t
 }
 
 // releaseDueLocked moves tasks whose release time has arrived to the ready
@@ -111,7 +211,7 @@ func (s *Scheduler) releaseDueLocked(now clock.Micros) {
 		t := heap.Pop(&s.delay).(*Task)
 		s.nextSeq++
 		t.seq = s.nextSeq
-		heap.Push(&s.ready, t)
+		s.pushReadyLocked(t)
 		released++
 	}
 	if released > 0 {
@@ -156,23 +256,111 @@ func (s *Scheduler) Step() *Task {
 }
 
 // dequeueLocked pops the next ready task and performs start accounting.
+// Under overload, firm tasks that are past their deadline or superseded by
+// a younger same-key task are shed instead of returned.
 func (s *Scheduler) dequeueLocked() *Task {
 	now := s.clk.Now()
 	s.releaseDueLocked(now)
-	if s.ready.Len() == 0 {
-		return nil
+	for s.ready.Len() > 0 {
+		depth := s.ready.Len()
+		t := s.popReadyLocked()
+		lag := s.taskLag(t, now)
+		s.lagGauge.Set(lag)
+		if s.shouldShedLocked(t, now, depth, lag) {
+			s.shedLocked(t, now)
+			continue
+		}
+		t.StartedAt = now
+		s.depthsLocked()
+		s.relToStart.Record(t.QueueTime())
+		s.tracer.Emit(now, obs.KindTaskStart, t.Name, t.ID)
+		s.chargeStartLocked(now)
+		if t.OnStart != nil {
+			t.OnStart(t)
+		}
+		return t
 	}
-	t := heap.Pop(&s.ready).(*Task)
-	t.StartedAt = now
 	s.depthsLocked()
-	s.relToStart.Record(t.QueueTime())
-	s.tracer.Emit(now, obs.KindTaskStart, t.Name, t.ID)
-	s.chargeStartLocked(now)
+	return nil
+}
+
+// taskLag is how long t has been runnable: now minus the later of release
+// and submission.
+func (s *Scheduler) taskLag(t *Task, now clock.Micros) clock.Micros {
+	rel := t.Release
+	if rel < t.EnqueuedAt {
+		rel = t.EnqueuedAt
+	}
+	return now - rel
+}
+
+// shouldShedLocked applies the overload policy to a popped task. depth is
+// the ready-queue length including t.
+func (s *Scheduler) shouldShedLocked(t *Task, now clock.Micros, depth int, lag clock.Micros) bool {
+	o := s.overload
+	if !o.enabled() || !t.Firm {
+		return false
+	}
+	overloaded := (o.ShedDepth > 0 && depth >= o.ShedDepth) ||
+		(o.ShedLag > 0 && lag > o.ShedLag)
+	if !overloaded {
+		return false
+	}
+	if t.Deadline > 0 && now > t.Deadline {
+		return true // firm deadline missed: result would be useless
+	}
+	if t.ShedKey != nil && s.keyCounts[t.ShedKey] > 0 {
+		return true // a younger ready task recomputes from fresher state
+	}
+	return false
+}
+
+// shedLocked drops a task: OnStart (uniqueness-hash removal) then OnShed
+// (resource reclamation) run as if the task had been dequeued, but the body
+// never executes and the task counts as shed, not failed.
+func (s *Scheduler) shedLocked(t *Task, now clock.Micros) {
+	t.StartedAt = now
+	s.shed.Inc()
+	s.tracer.Emit(now, obs.KindTaskShed, t.Name, t.ID)
 	if t.OnStart != nil {
 		t.OnStart(t)
 	}
-	return t
+	if t.OnShed != nil {
+		t.OnShed(t)
+	}
 }
+
+// WidenDelay adaptively stretches a unique-rule batching window under
+// overload (SharedDB-style load-adaptive batching: more firings merge into
+// each queued task, trading staleness for recompute CPU). It is lock-free —
+// the depth is read from the qReady gauge — so the commit hook can call it
+// on every firing. Returns d unchanged when overload control or widening is
+// disabled or the queue is below the shed depth.
+func (s *Scheduler) WidenDelay(d clock.Micros) clock.Micros {
+	o := s.overload
+	if !o.enabled() || o.WidenMax <= 1 || o.ShedDepth <= 0 {
+		return d
+	}
+	depth := s.qReady.Load()
+	if depth < int64(o.ShedDepth) {
+		s.widenGauge.Set(100)
+		return d
+	}
+	f := float64(depth) / float64(o.ShedDepth)
+	if f > o.WidenMax {
+		f = o.WidenMax
+	}
+	s.widenGauge.Set(int64(f * 100))
+	if d == 0 {
+		d = o.WidenBase
+	}
+	return clock.Micros(float64(d) * f)
+}
+
+// NoteRetried counts a transient-failure resubmission (deadlock victim or
+// wait-timeout abort rescheduled with backoff by the rule engine), keeping
+// retried work distinguishable from failures in Metrics().
+func (s *Scheduler) NoteRetried() { s.retried.Inc() }
 
 // chargeStartLocked charges per-start scheduling cost proportional to the
 // number of task starts in the trailing second.
@@ -192,7 +380,7 @@ func (s *Scheduler) chargeStartLocked(now clock.Micros) {
 func (s *Scheduler) execute(t *Task) {
 	s.meter.Charge(s.model.BeginTask)
 	if t.Fn != nil {
-		t.Err = t.Fn(t)
+		t.Err = s.runBody(t)
 	}
 	t.FinishedAt = s.clk.Now()
 	s.meter.Charge(s.model.EndTask)
@@ -203,6 +391,20 @@ func (s *Scheduler) execute(t *Task) {
 	} else {
 		s.completed.Inc()
 	}
+}
+
+// runBody invokes the task function, converting a panic into an error so a
+// panicking task can never kill a worker goroutine. Rule actions recover
+// their own panics (and abort their transaction) before this; runBody is
+// the last line of defense for non-action tasks and engine plumbing.
+func (s *Scheduler) runBody(t *Task) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Inc()
+			err = fmt.Errorf("%w: %v", ErrTaskPanic, r)
+		}
+	}()
+	return t.Fn(t)
 }
 
 // Start launches n worker goroutines servicing the ready queue on the real
@@ -246,8 +448,15 @@ func (s *Scheduler) worker() {
 				s.cond.Wait()
 			}
 		}
+		s.running++
 		s.mu.Unlock()
+		if fault.Armed() {
+			fault.Stall(fault.SchedWorkerStall)
+		}
 		s.execute(t)
+		s.mu.Lock()
+		s.running--
+		s.mu.Unlock()
 	}
 }
 
@@ -264,14 +473,86 @@ func (s *Scheduler) kick() <-chan struct{} {
 	return ch
 }
 
-// Stop terminates workers after the queues drain. Delayed tasks that have
-// not been released are abandoned.
+// Stop terminates the worker pool: new submissions fail with ErrStopped,
+// workers finish their in-flight task and exit, and everything still queued
+// (ready or delayed) is discarded through its OnStart/OnShed cleanup and
+// counted abandoned. Use StopDrain to let queued ready work finish first.
 func (s *Scheduler) Stop() {
 	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
 	s.stopped = true
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	s.wg.Wait()
+	s.mu.Lock()
+	s.discardQueuedLocked()
+	s.mu.Unlock()
+}
+
+// StopDrain rejects new submissions immediately, waits (bounded by timeout)
+// for already-queued ready work and in-flight tasks to finish, then stops
+// the workers. Unlike the old stop/submit race — where a Submit could slip
+// in after the drain check and be silently abandoned — a submission now
+// either lands before the drain began (and is executed or discarded through
+// its cleanup hooks) or fails with ErrStopped.
+func (s *Scheduler) StopDrain(timeout time.Duration) {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.draining = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	deadline := time.Now().Add(timeout)
+	for {
+		s.mu.Lock()
+		// Delayed tasks whose release arrives during the drain still run;
+		// unreleased ones are abandoned by Stop, as before.
+		s.releaseDueLocked(s.clk.Now())
+		idle := s.ready.Len() == 0 && s.running == 0
+		s.mu.Unlock()
+		if idle || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	s.Stop()
+}
+
+// discardQueuedLocked empties both queues at Stop, running each task's
+// OnStart/OnShed cleanup so owners reclaim resources (bound tables,
+// uniqueness-hash entries) and counting the tasks abandoned.
+func (s *Scheduler) discardQueuedLocked() {
+	now := s.clk.Now()
+	for s.ready.Len() > 0 {
+		t := s.popReadyLocked()
+		s.abandoned.Inc()
+		if t.OnStart != nil {
+			t.OnStart(t)
+		}
+		if t.OnShed != nil {
+			t.OnShed(t)
+		}
+		s.tracer.Emit(now, obs.KindTaskShed, t.Name, t.ID)
+	}
+	for s.delay.Len() > 0 {
+		t := heap.Pop(&s.delay).(*Task)
+		s.abandoned.Inc()
+		if t.OnStart != nil {
+			t.OnStart(t)
+		}
+		if t.OnShed != nil {
+			t.OnShed(t)
+		}
+		s.tracer.Emit(now, obs.KindTaskShed, t.Name, t.ID)
+	}
+	s.depthsLocked()
 }
 
 // Drain runs ready tasks until both queues are empty or only undue delayed
@@ -291,6 +572,10 @@ func (s *Scheduler) Stats() Stats {
 		Submitted: s.submitted.Load(),
 		Completed: s.completed.Load(),
 		Failed:    s.failed.Load(),
+		Shed:      s.shed.Load(),
+		Abandoned: s.abandoned.Load(),
+		Retried:   s.retried.Load(),
+		Panics:    s.panics.Load(),
 	}
 }
 

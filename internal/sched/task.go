@@ -27,6 +27,17 @@ type Task struct {
 	// Value orders value-density scheduling; higher runs first.
 	Value float64
 
+	// Firm marks the deadline as a firm shedding deadline: under overload
+	// (see Overload) a firm task past its Deadline is dropped instead of
+	// run — its result would describe state already superseded. Without
+	// Firm the deadline only orders EDF scheduling.
+	Firm bool
+	// ShedKey groups recompute tasks that supersede one another: under
+	// overload a firm task is dropped when a younger ready task carries the
+	// same key, since the younger one recomputes from fresher state. Nil
+	// opts out. The key must be comparable.
+	ShedKey any
+
 	// Fn is the task body.
 	Fn func(*Task) error
 
@@ -35,6 +46,13 @@ type Task struct {
 	// from its uniqueness hash table: from that moment the bound tables are
 	// fixed and new firings start a fresh task (paper §2, §6.3).
 	OnStart func(*Task)
+
+	// OnShed runs (after OnStart) when the scheduler drops the task instead
+	// of executing it — overload shedding or queue teardown at Stop. Task
+	// owners reclaim resources here (the rule system retires bound tables).
+	// Like OnStart it may run under the scheduler lock and must not call
+	// back into the scheduler.
+	OnShed func(*Task)
 
 	// Payload carries rule-task state (bound tables etc.).
 	Payload any
@@ -106,9 +124,19 @@ func (p Policy) less(a, b *Task) bool {
 }
 
 // Stats summarizes scheduler activity. It is a view over the scheduler's
-// registry-backed counters (see Scheduler.Instrument).
+// registry-backed counters (see Scheduler.Instrument). The counters
+// partition task outcomes: Completed ran and returned nil, Failed ran and
+// returned an error after any retries, Shed was dropped by overload
+// control, Abandoned was dropped by Stop teardown. Retried counts
+// resubmissions of transient failures (deadlock victims, wait timeouts) —
+// those tasks are not Failed. Panics counts task bodies that panicked
+// through to the worker (rule actions recover their own panics first).
 type Stats struct {
 	Submitted int64
 	Completed int64
 	Failed    int64
+	Shed      int64
+	Abandoned int64
+	Retried   int64
+	Panics    int64
 }

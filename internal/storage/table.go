@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"github.com/stripdb/strip/internal/catalog"
+	"github.com/stripdb/strip/internal/fault"
 	"github.com/stripdb/strip/internal/index"
 	"github.com/stripdb/strip/internal/types"
 )
@@ -172,6 +173,11 @@ func (t *Table) InsertReserved(id uint64, vals []types.Value) (*Record, error) {
 func (t *Table) insertReserved(id uint64, vals []types.Value, createLSN uint64) (*Record, error) {
 	if err := t.schema.CheckRow(vals); err != nil {
 		return nil, err
+	}
+	if fault.Armed() {
+		if err := fault.ErrorAt(fault.StorageAllocFail); err != nil {
+			return nil, fmt.Errorf("storage: allocate record in %s: %w", t.schema.Name(), err)
+		}
 	}
 	r := &Record{vals: coerceRow(t.schema, vals), table: t, id: id}
 	if createLSN != 0 {

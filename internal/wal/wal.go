@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"github.com/stripdb/strip/internal/catalog"
+	"github.com/stripdb/strip/internal/fault"
 	"github.com/stripdb/strip/internal/index"
 	"github.com/stripdb/strip/internal/obs"
 	"github.com/stripdb/strip/internal/storage"
@@ -341,6 +342,15 @@ func (l *Log) appendLocked(kind byte, body []byte) error {
 func (l *Log) syncLocked() error {
 	if l.sync.Disabled {
 		return nil
+	}
+	if fault.Armed() {
+		if err := fault.ErrorAt(fault.WalSyncFail); err != nil {
+			// Injected fsync failures are transient by design: the caller
+			// truncates the unacknowledged batch and the log stays usable,
+			// unlike a real fsync error below, which is sticky. That lets
+			// chaos runs fail individual commits without killing the log.
+			return fmt.Errorf("wal: fsync: %w", err)
+		}
 	}
 	start := time.Now()
 	if err := l.file.Sync(); err != nil {

@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/stripdb/strip/internal/catalog"
@@ -56,6 +57,8 @@ type (
 	// Rule is a programmatic rule definition (the SQL form is usually
 	// more convenient; see Exec).
 	Rule = core.Rule
+	// EventSpec is one event of a rule's transition predicate.
+	EventSpec = core.EventSpec
 	// Task is the scheduler's unit of work.
 	Task = sched.Task
 	// Txn is a database transaction.
@@ -70,10 +73,19 @@ type (
 	CostModel = cost.Model
 	// ActionStats summarizes a user function's rule activity.
 	ActionStats = core.ActionStats
+	// RuleHealth is a user function's circuit-breaker view (see DB.RuleHealth).
+	RuleHealth = core.RuleHealth
 	// SyncPolicy tunes the write-ahead log's group-commit fsync batching.
 	SyncPolicy = wal.SyncPolicy
 	// RecoveryStats summarizes what Open restored from a DataDir.
 	RecoveryStats = wal.RecoveryStats
+)
+
+// Transition-predicate events for programmatic rules.
+const (
+	Inserted = core.Inserted
+	Deleted  = core.Deleted
+	Updated  = core.Updated
 )
 
 // Value constructors, re-exported for building rows programmatically.
@@ -83,6 +95,27 @@ var (
 	Str   = types.Str
 	Time  = types.Time
 )
+
+// Typed errors, re-exported so applications can classify failures with
+// errors.Is without importing internal packages. All are returned wrapped
+// (with context); always test with errors.Is, not equality.
+var (
+	// ErrDeadlock marks a transaction chosen as a deadlock victim. The
+	// transaction is aborted; retry it (rule actions retry automatically).
+	ErrDeadlock = lock.ErrDeadlock
+	// ErrWaitTimeout marks a lock wait that exceeded Config.LockMaxWait.
+	// Like a deadlock abort it is transient: the transaction was aborted
+	// and can be retried.
+	ErrWaitTimeout = lock.ErrWaitTimeout
+	// ErrReadOnly marks a write attempted inside a read-only transaction.
+	ErrReadOnly = txn.ErrReadOnly
+	// ErrShuttingDown marks work rejected because Close is in progress.
+	ErrShuttingDown = sched.ErrStopped
+)
+
+// IsRetryable reports whether err is a transient concurrency abort
+// (deadlock victim or lock-wait timeout) worth retrying.
+func IsRetryable(err error) bool { return core.IsRetryable(err) }
 
 // Policy names the scheduler policy.
 type Policy = sched.Policy
@@ -131,6 +164,65 @@ type Config struct {
 	// sweeps under contention. The effective value is reported by
 	// LockStats().WaitTimeout.
 	LockWaitTimeout time.Duration
+	// LockMaxWait caps how long one lock request may wait in total before
+	// its transaction aborts with ErrWaitTimeout (a transient, retryable
+	// abort). Zero (the default) waits indefinitely. Rule actions treat the
+	// abort like a deadlock and retry with backoff.
+	LockMaxWait time.Duration
+	// Overload enables deadline-aware load shedding and adaptive batching
+	// (zero value = disabled; see OverloadPolicy).
+	Overload OverloadPolicy
+	// BreakerThreshold is the consecutive-failure count that quarantines a
+	// rule function's firings (circuit breaker). Zero selects
+	// core.DefaultBreakerThreshold; negative disables breakers.
+	BreakerThreshold int
+	// BreakerCooldown is how long a quarantined function stays open before
+	// a probe firing is admitted (default core.DefaultBreakerCooldown, 1s
+	// engine time).
+	BreakerCooldown time.Duration
+	// CloseTimeout bounds how long Close waits for queued ready tasks to
+	// drain before stopping the workers (default 30s).
+	CloseTimeout time.Duration
+	// ExecRetry retries Exec DML transparently on transient concurrency
+	// aborts (zero value = no retries; see RetryPolicy).
+	ExecRetry RetryPolicy
+}
+
+// OverloadPolicy configures the scheduler's overload control. Disabled by
+// default: the engine then behaves exactly as without the feature (the
+// paper's experiments run at saturation and must not shed). When enabled,
+// the scheduler treats the configured queue depth or ready-task lag as the
+// saturation signal; past it, rules marked Firm have superseded or
+// past-deadline recomputes dropped, and unique-rule batching windows widen
+// so more firings merge into fewer tasks — staleness absorbs the overload
+// instead of the ready queue.
+type OverloadPolicy struct {
+	// ShedDepth is the ready-queue depth at which overload control engages.
+	// Zero disables depth-based shedding.
+	ShedDepth int
+	// ShedLag is the ready-task lag (time past release) at which overload
+	// control engages. Zero disables lag-based shedding.
+	ShedLag time.Duration
+	// WidenMax caps adaptive batching-window widening as a multiple of the
+	// rule's own delay (e.g. 4 = up to 4x). Values <= 1 disable widening.
+	WidenMax float64
+	// WidenBase is the window given to zero-delay unique rules when
+	// widening engages (they have no delay to scale).
+	WidenBase time.Duration
+}
+
+// RetryPolicy configures transparent DML retries on transient aborts
+// (deadlock victim, lock-wait timeout) for db.Exec and friends. Retries
+// sleep in real time between attempts; intended for live-mode engines
+// (virtual-clock experiments drive retries through the scheduler instead).
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (1 = no retry; 0 disables
+	// the policy entirely).
+	MaxAttempts int
+	// BaseBackoff is the sleep before the first retry; it doubles per
+	// attempt up to MaxBackoff. Defaults: 1ms base, 64ms cap.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
 }
 
 // DB is an open STRIP engine.
@@ -151,6 +243,10 @@ type DB struct {
 	// ddlMu serializes DDL against checkpoints: a checkpoint must see the
 	// catalog and the log agree on which tables exist.
 	ddlMu sync.Mutex
+
+	// closing is set at the start of Close: new facade work (Exec, Insert,
+	// ExecAction) is rejected with ErrShuttingDown while the drain runs.
+	closing atomic.Bool
 
 	closeMu  sync.Mutex
 	closed   bool
@@ -188,12 +284,22 @@ func Open(cfg Config) (*DB, error) {
 	if cfg.LockWaitTimeout > 0 {
 		db.locks.SetWaitTimeout(cfg.LockWaitTimeout)
 	}
+	if cfg.LockMaxWait > 0 {
+		db.locks.SetMaxWait(cfg.LockMaxWait)
+	}
 	db.txns = txn.NewManager(catalog.New(), storage.NewStore(), db.locks, db.clk, db.meter, db.model)
 	db.txns.EscalateAt = cfg.EscalationThreshold
 	db.txns.Instrument(db.obs)
 	db.sched = sched.New(db.clk, cfg.Policy, db.meter, db.model)
 	db.sched.Instrument(db.obs)
+	db.sched.SetOverload(sched.Overload{
+		ShedDepth: cfg.Overload.ShedDepth,
+		ShedLag:   cfg.Overload.ShedLag.Microseconds(),
+		WidenMax:  cfg.Overload.WidenMax,
+		WidenBase: cfg.Overload.WidenBase.Microseconds(),
+	})
 	db.engine = core.NewEngine(db.txns, db.sched)
+	db.engine.SetBreakerPolicy(cfg.BreakerThreshold, cfg.BreakerCooldown.Microseconds())
 	if cfg.DataDir != "" {
 		// Recovery runs before any worker starts and before any rule can be
 		// registered, so replay never fires rules.
@@ -231,14 +337,17 @@ func MustOpen(cfg Config) *DB {
 }
 
 // closeDrainTimeout bounds how long Close waits for queued ready tasks to
-// finish before stopping the workers.
+// finish before stopping the workers, when Config.CloseTimeout is unset.
 const closeDrainTimeout = 30 * time.Second
 
-// Close shuts the engine down: queued ready tasks are drained (bounded by a
-// timeout; unreleased delayed tasks are abandoned, matching Scheduler.Stop),
-// the worker pool stops after in-flight tasks finish, and the write-ahead
-// log receives a final fsync and is closed. Close is idempotent: second and
-// later calls return the first call's error without doing work.
+// Close shuts the engine down gracefully: new facade work (Exec, Insert,
+// ExecAction, task submission) is rejected with ErrShuttingDown, queued
+// ready tasks are drained (bounded by Config.CloseTimeout, default 30s;
+// whatever remains — including unreleased delayed tasks — is discarded
+// through the tasks' shed path so their resources release), the worker pool
+// stops after in-flight tasks finish, and the write-ahead log receives a
+// final fsync and is closed. Close is idempotent: second and later calls
+// return the first call's error without doing work.
 func (db *DB) Close() error {
 	db.closeMu.Lock()
 	defer db.closeMu.Unlock()
@@ -246,18 +355,20 @@ func (db *DB) Close() error {
 		return db.closeErr
 	}
 	db.closed = true
+	db.closing.Store(true)
 	if db.live {
-		// Drain: let workers finish everything already runnable so those
-		// commits reach the log before the final fsync.
-		deadline := time.Now().Add(closeDrainTimeout)
-		for {
-			if _, ready := db.sched.Pending(); ready == 0 || time.Now().After(deadline) {
-				break
-			}
-			liveYield()
+		timeout := db.cfg.CloseTimeout
+		if timeout <= 0 {
+			timeout = closeDrainTimeout
 		}
-		db.sched.Stop() // waits for in-flight tasks (and their commits)
+		// Drain then stop: workers finish everything already runnable so
+		// those commits reach the log before the final fsync. StopDrain
+		// rejects concurrent Submits the moment it is called, closing the
+		// submit/stop race.
+		db.sched.StopDrain(timeout)
 		db.live = false
+	} else {
+		db.sched.Stop()
 	}
 	if db.wal != nil {
 		db.closeErr = db.wal.Close()
@@ -436,6 +547,9 @@ func (db *DB) LastRecovery() RecoveryStats {
 
 // Insert adds one row in its own transaction.
 func (db *DB) Insert(table string, vals ...Value) error {
+	if db.closing.Load() {
+		return fmt.Errorf("strip: insert: %w", ErrShuttingDown)
+	}
 	tx := db.Begin()
 	if _, err := tx.Insert(table, vals); err != nil {
 		tx.Abort() //nolint:errcheck
@@ -467,6 +581,11 @@ func (db *DB) Query(q *Select) ([][]Value, []string, error) {
 
 // Stats returns a user function's rule-activity counters.
 func (db *DB) Stats(function string) ActionStats { return db.engine.Stats(function) }
+
+// RuleHealth reports each rule function's circuit-breaker state (closed,
+// open, half-open), consecutive failures, quarantine count, and dropped
+// firings, sorted by function name.
+func (db *DB) RuleHealth() []RuleHealth { return db.engine.RuleHealth() }
 
 // ResetStats zeroes rule-activity counters.
 func (db *DB) ResetStats() { db.engine.ResetStats() }
