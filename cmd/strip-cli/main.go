@@ -20,7 +20,9 @@
 // and catalog.
 //
 // Meta commands: \tables, \stats <function>, \metrics [json], \trace [n],
-// \checkpoint, \wal, \quit.
+// \profile, \span <traceID>, \checkpoint, \wal, \quit. With -monitor
+// <addr> the stripmon HTTP surface (/metrics, /debug/trace, /debug/rules,
+// /debug/pprof) serves the same session.
 package main
 
 import (
@@ -36,14 +38,18 @@ import (
 
 func main() {
 	dataDir := flag.String("data", "", "durable data directory (WAL + snapshots); empty keeps the session in-memory")
+	monitor := flag.String("monitor", "", "stripmon HTTP listen address (e.g. :9620); empty disables")
 	flag.Parse()
 
-	db, err := strip.Open(strip.Config{Workers: 2, DataDir: *dataDir})
+	db, err := strip.Open(strip.Config{Workers: 2, DataDir: *dataDir, MonitorAddr: *monitor})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "strip-cli:", err)
 		os.Exit(1)
 	}
 	defer db.Close()
+	if addr := db.MonitorAddr(); addr != "" {
+		fmt.Printf("stripmon listening on http://%s (metrics, debug/trace, debug/rules, debug/pprof)\n", addr)
+	}
 	if *dataDir != "" {
 		r := db.LastRecovery()
 		fmt.Printf("recovered %s: %d table(s), %d row(s) from snapshot; %d txn(s) replayed from log in %d µs\n",
@@ -85,6 +91,8 @@ func main() {
   \stats <function>  rule activity counters (incl. pending unique txns)
   \metrics [json]    engine metrics snapshot (text, or JSON)
   \trace [n]         recent engine trace events (default 20)
+  \profile           per-rule cost profiles (eval time, rows, lock wait, SLO)
+  \span <traceID>    causal chain for one triggering transaction id
   \checkpoint        force a snapshot and truncate the write-ahead log
   \wal               write-ahead log status (size, fsyncs, last recovery)
   \quit`)
@@ -148,6 +156,51 @@ func main() {
 				fmt.Printf("  %10d  %-13s %-24s %d\n", ev.At, ev.Kind, ev.Name, ev.Arg)
 			}
 			fmt.Printf("(%d events)\n", len(evs))
+			continue
+		case line == `\profile`:
+			profiles := db.RuleProfiles()
+			if len(profiles) == 0 {
+				fmt.Println("(no rules have been created)")
+				continue
+			}
+			fmt.Printf("  %-16s %8s %8s %10s %10s %9s %9s %9s %10s %8s %8s %8s\n",
+				"function", "fired", "merged", "evalq", "eval_µs", "scanned", "matched", "written", "lockw_µs", "stale_p95", "slo_miss", "shed")
+			for _, p := range profiles {
+				fmt.Printf("  %-16s %8d %8d %10d %10d %9d %9d %9d %10d %8d %8d %8d\n",
+					p.Function, p.Fired, p.TasksMerged, p.EvalQueries, p.EvalMicros,
+					p.RowsScanned, p.RowsMatched, p.RowsWritten, p.LockWaitMicros,
+					p.Staleness.P95, p.SLOBreaches, p.TasksShed)
+				if p.DeadlineMicros > 0 {
+					fmt.Printf("  %-16s deadline=%dµs staleness p50=%d p95=%d p99=%d max=%d\n",
+						"", p.DeadlineMicros, p.Staleness.P50, p.Staleness.P95, p.Staleness.P99, p.Staleness.Max)
+				}
+			}
+			continue
+		case strings.HasPrefix(line, `\span`):
+			arg := strings.TrimSpace(strings.TrimPrefix(line, `\span`))
+			id, err := strconv.ParseInt(arg, 10, 64)
+			if err != nil || id == 0 {
+				fmt.Println("error: \\span takes a triggering transaction id (see \\trace txn.commit events)")
+				continue
+			}
+			evs := db.Span(id)
+			if len(evs) == 0 {
+				fmt.Printf("(no retained events for trace %d — the ring may have wrapped)\n", id)
+				continue
+			}
+			for _, ev := range evs {
+				marker := "  "
+				if ev.Trace != id {
+					marker = "+ " // cross-linked from another chain (merge)
+				}
+				name := ev.Name
+				if name == "" {
+					name = fmt.Sprintf("txn %d", ev.Arg)
+				}
+				fmt.Printf("  %s%10dµs  %-14s %-24s arg=%-8d parent=%d\n",
+					marker, ev.At, ev.Kind, name, ev.Arg, ev.Parent)
+			}
+			fmt.Printf("(%d events in chain %d)\n", len(evs), id)
 			continue
 		case strings.HasPrefix(line, `\stats`):
 			fn := strings.TrimSpace(strings.TrimPrefix(line, `\stats`))

@@ -46,6 +46,11 @@ type contentionRun struct {
 
 	TaskErrors int64 `json:"task_errors"`
 	Restarts   int64 `json:"restarts"`
+
+	// Profiles carries each rule function's cost profile at the end of the
+	// run, so the artifact captures rule-level cost (evaluate time, rows,
+	// lock wait), not just aggregate tps.
+	Profiles []strip.RuleProfile `json:"rule_profiles,omitempty"`
 }
 
 type contentionResult struct {
@@ -212,6 +217,8 @@ func contentionOnce(w, symbols, rounds int, thinkWork time.Duration) (contention
 
 		TaskErrors: st.TaskErrors,
 		Restarts:   st.Restarts,
+
+		Profiles: db.RuleProfiles(),
 	}
 	if st.TaskErrors != 0 {
 		return run, fmt.Errorf("workers=%d: %d task errors (%d restarts)",

@@ -49,6 +49,10 @@ type mvccRun struct {
 	GCDropped        int64  `json:"gc_dropped"`
 	VersionsRetained int64  `json:"versions_retained_end"`
 	LastVisibleLSN   uint64 `json:"last_visible_lsn"`
+
+	// Profiles keeps the artifact schema uniform across experiments; the
+	// mvcc workload installs no rules, so this is normally omitted.
+	Profiles []strip.RuleProfile `json:"rule_profiles,omitempty"`
 }
 
 type mvccResult struct {
@@ -195,6 +199,8 @@ func mvccOnce(mode string, writers, rows int, d time.Duration) (mvccRun, error) 
 		GCDropped:        ms.GCDropped,
 		VersionsRetained: ms.VersionsRetained,
 		LastVisibleLSN:   ms.LastVisibleLSN,
+
+		Profiles: db.RuleProfiles(),
 	}, nil
 }
 

@@ -56,6 +56,11 @@ type overloadRun struct {
 
 	StaleP95Micros int64 `json:"stale_p95_micros"`
 	StaleMaxMicros int64 `json:"stale_max_micros"`
+
+	// Profiles carries each rule function's cost profile at the end of the
+	// run (evaluate time, rows, lock wait, SLO breaches), so the artifact
+	// records where the recompute budget went under each load multiplier.
+	Profiles []strip.RuleProfile `json:"rule_profiles,omitempty"`
 }
 
 type overloadResult struct {
@@ -223,6 +228,7 @@ func overloadOnce(mode string, mult, satTPS float64, d time.Duration) (overloadR
 		SchedRetried:    ss.Retried,
 		StaleP95Micros:  stale.P95,
 		StaleMaxMicros:  stale.Max,
+		Profiles:        db.RuleProfiles(),
 	}
 	run.CommittedRatio = run.CommittedTPS / offered
 	if n > 0 {

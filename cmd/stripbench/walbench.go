@@ -43,6 +43,10 @@ type walMetrics struct {
 	FsyncP50 int64 `json:"fsync_p50_us"`
 	FsyncP95 int64 `json:"fsync_p95_us"`
 	LogBytes int64 `json:"log_bytes"`
+
+	// Profiles keeps the artifact schema uniform across experiments; the
+	// wal workload installs no rules, so this is normally omitted.
+	Profiles []strip.RuleProfile `json:"rule_profiles,omitempty"`
 }
 
 // runWalBench measures the paper's Table 1 "simple 1-tuple update" workload
@@ -82,6 +86,7 @@ func runWalBench(metricsPath string, progress func(string)) {
 		Sync: strip.SyncPolicy{Every: groupEvery}})
 	walLat := seqWrites(db, seqCommits)
 	m.WalP50, m.WalP95, m.WalP99 = pct(walLat, 50), pct(walLat, 95), pct(walLat, 99)
+	m.Profiles = db.RuleProfiles()
 	m.OverheadP50 = m.WalP50 - m.MemP50
 	if info, ok := db.WalInfo(); ok {
 		m.SeqFsyncs = info.Fsyncs

@@ -209,10 +209,18 @@ func (e *Engine) newActionTask(trig *txn.Txn, rule *Rule, fn ActionFunc, stats *
 		payload.triggers = []*txn.Txn{trig}
 	}
 	task := &sched.Task{
+		// The id is reserved up front (not at Submit) so merge trace events
+		// can reference the queued task without racing its submission.
+		ID:      e.Sched.ReserveID(),
 		Name:    rule.Action,
 		Release: release,
 		Value:   rule.Value,
 		Payload: payload,
+	}
+	if trig != nil {
+		// Inherit the triggering commit's causal chain; merged firings keep
+		// the first trigger's chain and cross-link via rule.merge events.
+		task.Trace = trig.Trace()
 	}
 	if rule.Deadline > 0 {
 		task.Deadline = release + rule.Deadline
@@ -284,6 +292,11 @@ func (e *Engine) runAction(task *sched.Task) error {
 	if !p.lockedReads {
 		tx.EnableSnapshotReads()
 	}
+	// Link the action transaction into the triggering commit's causal chain
+	// and point its row/lock-wait accounting at the rule's cost profile.
+	tx.SetCause(task.Trace, task.ID)
+	tp := &txn.TxnProfile{}
+	tx.SetProfile(tp)
 	ctx := &ActionContext{engine: e, task: task, tx: tx, bound: p.bound}
 	err := callAction(p.fn, ctx)
 	if err == nil {
@@ -297,6 +310,8 @@ func (e *Engine) runAction(task *sched.Task) error {
 	}
 
 	work := e.meter.Micros() - startWork
+	p.stats.prof.AddRows(tp.RowsScanned, tp.RowsMatched, tp.RowsWritten)
+	p.stats.prof.AddLockWait(tp.LockWaitMicros)
 
 	if err != nil && IsRetryable(err) && p.restarts < maxActionRestarts {
 		// Restart with capped exponential backoff and deterministic jitter
@@ -310,6 +325,7 @@ func (e *Engine) runAction(task *sched.Task) error {
 		release := now + retryBackoff(p.restarts, task.ID)
 		retry := &sched.Task{
 			Name:    task.Name,
+			Trace:   task.Trace,
 			Release: release,
 			Value:   task.Value,
 			Firm:    task.Firm,
@@ -323,7 +339,7 @@ func (e *Engine) runAction(task *sched.Task) error {
 		}
 		if e.Sched.Submit(retry) == nil {
 			e.Sched.NoteRetried()
-			e.tracer.Emit(now, obs.KindTaskRetry, p.fnName, int64(p.restarts))
+			e.tracer.EmitSpan(now, obs.KindTaskRetry, p.fnName, int64(p.restarts), task.Trace, task.ID)
 			return nil
 		}
 		// Scheduler is shutting down: fall through to the permanent path so
@@ -345,11 +361,19 @@ func (e *Engine) runAction(task *sched.Task) error {
 		}
 	} else {
 		p.stats.stale.Observe(p.staleTok, finished)
+		// Close the chain with the staleness sample this recompute settles:
+		// Arg is the age of the oldest update it made fresh. Deadline SLO
+		// burn is judged on the same age.
+		age := finished - p.createdAt
+		e.tracer.EmitSpan(finished, obs.KindStaleSample, p.fnName, age, task.Trace, task.ID)
+		if p.deadlineWindow > 0 && age > p.deadlineWindow {
+			p.stats.prof.NoteSLOBreach()
+		}
 		if p.breaker != nil {
 			p.breaker.onSuccess()
 		}
 	}
-	e.tracer.Emit(finished, obs.KindActionDone, p.fnName, finished-p.createdAt)
+	e.tracer.EmitSpan(finished, obs.KindActionDone, p.fnName, finished-p.createdAt, task.Trace, task.ID)
 	for _, tt := range p.bound {
 		tt.Retire()
 	}

@@ -83,6 +83,9 @@ type fnMetrics struct {
 	latency     *obs.Histogram
 	mergeRows   *obs.Histogram
 	stale       *obs.Staleness
+	// prof is the function's cost profile: evaluate-query wall time,
+	// executor row counters, lock wait, and deadline-SLO burn.
+	prof *obs.Profile
 }
 
 func newFnMetrics(reg *obs.Registry, fn string) *fnMetrics {
@@ -101,6 +104,7 @@ func newFnMetrics(reg *obs.Registry, fn string) *fnMetrics {
 		latency:     reg.Histogram(obs.ForFunc(obs.MActionLatencyMicros, fn)),
 		mergeRows:   reg.Histogram(obs.ForFunc(obs.MActionMergeRows, fn)),
 		stale:       reg.Staleness(fn),
+		prof:        reg.Profile(fn),
 	}
 }
 
@@ -148,6 +152,10 @@ type Engine struct {
 	clk   clock.Clock
 	meter *cost.Meter
 	model cost.Model
+	// virtualClk marks a virtual-clock engine: rule-evaluation cost is then
+	// accounted from the cost meter (model-charged virtual CPU) instead of
+	// wall time, which does not advance during evaluation.
+	virtualClk bool
 	// obs is the engine's metrics registry (shared with the transaction
 	// manager); tracer is its event trace.
 	obs    *obs.Registry
@@ -196,6 +204,7 @@ func NewEngine(txns *txn.Manager, scheduler *sched.Scheduler) *Engine {
 		stats:    make(map[string]*fnMetrics),
 		breakers: make(map[string]*breaker),
 	}
+	_, e.virtualClk = txns.Clock.(*clock.Virtual)
 	txns.SetCommitHook(e.ProcessCommit)
 	return e
 }
@@ -242,6 +251,14 @@ func (e *Engine) CreateRule(r *Rule) error {
 	}
 	if _, ok := e.stats[r.Action]; !ok {
 		e.stats[r.Action] = newFnMetrics(e.obs, r.Action)
+	}
+	// The tightest deadline among the function's rules is the SLO its
+	// staleness burns against.
+	if r.Deadline > 0 {
+		prof := e.stats[r.Action].prof
+		if cur := prof.Deadline(); cur == 0 || int64(r.Deadline) < cur {
+			prof.SetDeadline(int64(r.Deadline))
+		}
 	}
 	if e.breakerThreshold >= 0 {
 		if _, ok := e.breakers[r.Action]; !ok {
@@ -505,9 +522,42 @@ func (e *Engine) evaluateRule(tx *txn.Txn, rule *Rule, trans *transitions) error
 		}
 	}
 
+	// Profile the evaluation: wall time and executor row counters charge to
+	// the rule's function. The triggering transaction temporarily carries a
+	// private TxnProfile so the query layer's per-row accounting flows here
+	// without touching user-transaction hot paths; the previous profile (set
+	// when a cascading rule evaluates inside an action transaction) is
+	// restored on the way out.
+	var queries int64
+	e.mu.RLock()
+	stats := e.stats[rule.Action]
+	e.mu.RUnlock()
+	if stats != nil {
+		start := e.clk.Now()
+		startCost := e.meter.Micros()
+		prev := tx.Profile()
+		tp := &txn.TxnProfile{}
+		tx.SetProfile(tp)
+		defer func() {
+			tx.SetProfile(prev)
+			micros := int64(e.clk.Now() - start)
+			if e.virtualClk {
+				// The virtual clock only advances between driver steps, so
+				// wall deltas are zero; charge the cost model's virtual CPU
+				// instead (evaluation is single-threaded in virtual mode, so
+				// the meter delta is this evaluation's).
+				micros = int64(e.meter.Micros() - startCost)
+			}
+			stats.prof.AddEval(queries, micros)
+			stats.prof.AddRows(tp.RowsScanned, tp.RowsMatched, tp.RowsWritten)
+			stats.prof.AddLockWait(tp.LockWaitMicros)
+		}()
+	}
+
 	condTrue := true
 	for _, q := range rule.Condition {
 		out, err := q.Run(tx, res)
+		queries++
 		if err != nil {
 			retireAll()
 			return fmt.Errorf("core: rule %s condition: %w", rule.Name, err)
@@ -529,6 +579,7 @@ func (e *Engine) evaluateRule(tx *txn.Txn, rule *Rule, trans *transitions) error
 	}
 	for _, q := range rule.Evaluate {
 		out, err := q.Run(tx, res)
+		queries++
 		if err != nil {
 			retireAll()
 			return fmt.Errorf("core: rule %s evaluate: %w", rule.Name, err)
@@ -676,7 +727,10 @@ func (e *Engine) fire(tx *txn.Txn, rule *Rule, bound map[string]*storage.TempTab
 		delay = e.Sched.WidenDelay(delay)
 	}
 	release := stamp + delay
-	e.tracer.Emit(stamp, obs.KindRuleFire, rule.Name, tx.ID())
+	// The firing joins the triggering transaction's causal chain: Trace is
+	// the chain root (the user commit, even through rule cascades), Parent
+	// the transaction whose commit hook is running.
+	e.tracer.EmitSpan(stamp, obs.KindRuleFire, rule.Name, tx.ID(), tx.Trace(), tx.ID())
 
 	if !rule.Unique {
 		e.submitTask(tx, rule, fn, stats, br, bound, types.Key{}, nil, release, stamp)
@@ -747,7 +801,14 @@ func (e *Engine) enqueueUnique(trig *txn.Txn, rule *Rule, fn ActionFunc, stats *
 		stats.merged.Inc()
 		stats.rowsMerged.Add(int64(merged))
 		stats.mergeRows.Record(int64(merged))
-		e.tracer.Emit(stamp, obs.KindRuleMerge, rule.Action, int64(merged))
+		// The merge cross-links two chains: Trace is the merging commit's
+		// chain, Parent the queued task (whose own chain stays rooted at its
+		// first trigger). A span walk from either side finds the join.
+		var mergeTrace int64
+		if trig != nil {
+			mergeTrace = trig.Trace()
+		}
+		e.tracer.EmitSpan(stamp, obs.KindRuleMerge, rule.Action, int64(merged), mergeTrace, pending.ID)
 		return
 	}
 	// The breaker gates only new task creation: merging into an already

@@ -1,0 +1,152 @@
+// Package mon is stripmon: the engine's HTTP export surface. It is
+// dependency-free (stdlib net/http only) and read-only — every endpoint
+// renders state the obs registry already holds:
+//
+//	/metrics      Prometheus text exposition of every instrument + profiles
+//	/debug/trace  JSON dump of the trace ring; ?trace=<id> reconstructs one
+//	              causal span chain, ?n=<count> bounds a raw dump
+//	/debug/rules  per-rule cost profiles and circuit-breaker health
+//	/debug/pprof  the standard runtime profiles
+//
+// The listener is deliberately engine-agnostic (a registry, a clock, and a
+// health callback) so a future network server can mount its own handlers on
+// the same mux.
+package mon
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"github.com/stripdb/strip/internal/obs"
+)
+
+// Server is a running stripmon listener.
+type Server struct {
+	reg    *obs.Registry
+	now    func() int64
+	health func() any
+	ln     net.Listener
+	srv    *http.Server
+}
+
+// Start binds addr (host:port; an empty host or port 0 are fine) and serves
+// the monitoring surface for reg. now supplies engine time for snapshots;
+// health, if non-nil, supplies the /debug/rules breaker-health payload.
+func Start(addr string, reg *obs.Registry, now func() int64, health func() any) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("mon: listen %s: %w", addr, err)
+	}
+	s := &Server{reg: reg, now: now, health: health, ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/trace", s.handleTrace)
+	mux.HandleFunc("/debug/rules", s.handleRules)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return s, nil
+}
+
+// Addr returns the bound listen address (resolves ":0" ports).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener, waiting briefly for in-flight requests.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return s.srv.Shutdown(ctx)
+}
+
+// handleMetrics serves the Prometheus text exposition: the full registry
+// snapshot followed by the per-rule cost profiles.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	now := s.now()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	snap := s.reg.Snapshot(now)
+	snap.WriteProm(w)
+	obs.WriteProfilesProm(w, s.reg.Profiles(now))
+}
+
+// traceDump is the /debug/trace response shape.
+type traceDump struct {
+	AtMicros int64          `json:"at_micros"`
+	Trace    int64          `json:"trace,omitempty"`
+	Stats    obs.TraceStats `json:"stats"`
+	Events   []obs.Event    `json:"events"`
+}
+
+// handleTrace serves the trace ring. ?trace=<id> reconstructs the causal
+// span chain rooted at that transaction id (including cross-linked merges);
+// otherwise ?n=<count> (default everything retained) dumps raw events.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	tr := s.reg.Tracer()
+	dump := traceDump{
+		AtMicros: s.now(),
+		Stats: obs.TraceStats{
+			Emitted: tr.Emitted(), Dropped: tr.Dropped(),
+			Retained: tr.Len(), Capacity: tr.Cap(),
+		},
+	}
+	if v := r.URL.Query().Get("trace"); v != "" {
+		id, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			http.Error(w, "trace must be an integer", http.StatusBadRequest)
+			return
+		}
+		dump.Trace = id
+		dump.Events = tr.Span(id)
+	} else {
+		n := -1
+		if v := r.URL.Query().Get("n"); v != "" {
+			parsed, err := strconv.Atoi(v)
+			if err != nil {
+				http.Error(w, "n must be an integer", http.StatusBadRequest)
+				return
+			}
+			n = parsed
+		}
+		dump.Events = tr.Recent(n)
+	}
+	if dump.Events == nil {
+		dump.Events = []obs.Event{}
+	}
+	writeJSON(w, dump)
+}
+
+// rulesDump is the /debug/rules response shape.
+type rulesDump struct {
+	AtMicros int64                 `json:"at_micros"`
+	Profiles []obs.ProfileSnapshot `json:"profiles"`
+	Health   any                   `json:"health,omitempty"`
+}
+
+// handleRules serves per-rule cost profiles plus breaker health.
+func (s *Server) handleRules(w http.ResponseWriter, _ *http.Request) {
+	now := s.now()
+	dump := rulesDump{AtMicros: now, Profiles: s.reg.Profiles(now)}
+	if dump.Profiles == nil {
+		dump.Profiles = []obs.ProfileSnapshot{}
+	}
+	if s.health != nil {
+		dump.Health = s.health()
+	}
+	writeJSON(w, dump)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client went away; nothing to do
+}

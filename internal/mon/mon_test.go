@@ -1,0 +1,153 @@
+package mon_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"github.com/stripdb/strip/internal/mon"
+	"github.com/stripdb/strip/internal/obs"
+)
+
+// testServer starts stripmon over a synthetic registry populated with one
+// instrument of every kind mon must render.
+func testServer(t *testing.T) (*mon.Server, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	reg.Counter(obs.MTxnCommitted).Add(42)
+	reg.Counter(obs.ForFunc(obs.MActionFired, "revalue")).Add(7)
+	reg.Histogram(obs.ForFunc(obs.MActionLatencyMicros, "revalue")).Record(1500)
+	st := reg.Staleness("revalue")
+	st.Track(100)
+	st.Observe(100, 400)
+	p := reg.Profile("revalue")
+	p.AddEval(3, 900)
+	p.AddRows(50, 20, 5)
+	tr := reg.Tracer()
+	tr.EmitSpan(10, obs.KindTxnCommit, "", 1, 1, 0)
+	tr.EmitSpan(10, obs.KindRuleFire, "r", 1, 1, 1)
+	tr.EmitSpan(11, obs.KindTaskSubmit, "revalue", 9, 1, 1)
+	tr.EmitSpan(12, obs.KindTxnCommit, "", 2, 2, 0)
+
+	srv, err := mon.Start("127.0.0.1:0", reg, func() int64 { return 1000 },
+		func() any { return map[string]string{"r": "closed"} })
+	if err != nil {
+		t.Fatalf("mon.Start: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, reg
+}
+
+func get(t *testing.T, url string) (string, *http.Response) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return string(body), resp
+}
+
+func TestMonitorMetricsEndpoint(t *testing.T) {
+	srv, _ := testServer(t)
+	body, resp := get(t, "http://"+srv.Addr()+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q, want Prometheus text 0.0.4", ct)
+	}
+	for _, want := range []string{
+		"strip_txn_committed 42",
+		`strip_action_fired{function="revalue"} 7`,
+		`strip_rule_eval_micros{function="revalue"} 900`,
+		`strip_rule_rows_scanned{function="revalue"} 50`,
+		"strip_trace_events 4",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// Every family must carry HELP and TYPE headers.
+	if !strings.Contains(body, "# TYPE strip_txn_committed counter") {
+		t.Errorf("/metrics missing TYPE header for strip_txn_committed")
+	}
+}
+
+func TestMonitorTraceEndpoint(t *testing.T) {
+	srv, _ := testServer(t)
+	var dump struct {
+		AtMicros int64          `json:"at_micros"`
+		Trace    int64          `json:"trace"`
+		Stats    obs.TraceStats `json:"stats"`
+		Events   []obs.Event    `json:"events"`
+	}
+	body, resp := get(t, "http://"+srv.Addr()+"/debug/trace")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if err := json.Unmarshal([]byte(body), &dump); err != nil {
+		t.Fatalf("decode /debug/trace: %v\n%s", err, body)
+	}
+	if len(dump.Events) != 4 || dump.Stats.Emitted != 4 {
+		t.Errorf("raw dump: %d events, emitted=%d, want 4/4", len(dump.Events), dump.Stats.Emitted)
+	}
+
+	// ?trace filters down to one causal chain.
+	body, _ = get(t, fmt.Sprintf("http://%s/debug/trace?trace=1", srv.Addr()))
+	if err := json.Unmarshal([]byte(body), &dump); err != nil {
+		t.Fatalf("decode filtered trace: %v", err)
+	}
+	if dump.Trace != 1 || len(dump.Events) != 3 {
+		t.Errorf("span dump: trace=%d %d events, want trace=1 with 3 events", dump.Trace, len(dump.Events))
+	}
+	for _, ev := range dump.Events {
+		if ev.Trace != 1 {
+			t.Errorf("span dump leaked chain %d: %+v", ev.Trace, ev)
+		}
+	}
+
+	if _, resp := get(t, "http://"+srv.Addr()+"/debug/trace?trace=bogus"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad trace id: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestMonitorRulesEndpoint(t *testing.T) {
+	srv, _ := testServer(t)
+	var dump struct {
+		AtMicros int64                 `json:"at_micros"`
+		Profiles []obs.ProfileSnapshot `json:"profiles"`
+		Health   map[string]string     `json:"health"`
+	}
+	body, resp := get(t, "http://"+srv.Addr()+"/debug/rules")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if err := json.Unmarshal([]byte(body), &dump); err != nil {
+		t.Fatalf("decode /debug/rules: %v\n%s", err, body)
+	}
+	if len(dump.Profiles) != 1 || dump.Profiles[0].Function != "revalue" {
+		t.Fatalf("profiles = %+v, want one for revalue", dump.Profiles)
+	}
+	if p := dump.Profiles[0]; p.EvalQueries != 3 || p.EvalMicros != 900 || p.RowsScanned != 50 {
+		t.Errorf("profile numbers wrong: %+v", p)
+	}
+	if dump.Health["r"] != "closed" {
+		t.Errorf("health = %v, want breaker state passthrough", dump.Health)
+	}
+}
+
+func TestMonitorPprof(t *testing.T) {
+	srv, _ := testServer(t)
+	_, resp := get(t, "http://"+srv.Addr()+"/debug/pprof/")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof index: status %d", resp.StatusCode)
+	}
+}

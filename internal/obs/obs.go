@@ -28,6 +28,7 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	stales   map[string]*Staleness
+	profiles map[string]*Profile
 	tracer   *Tracer
 }
 
@@ -42,8 +43,23 @@ func NewRegistry() *Registry {
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
 		stales:   make(map[string]*Staleness),
+		profiles: make(map[string]*Profile),
 		tracer:   NewTracer(DefaultTraceCap),
 	}
+}
+
+// SetTraceCap replaces the tracer with a fresh one holding the last n
+// events (retained events are discarded). Call before the engine starts
+// emitting: components cache the tracer pointer.
+func (r *Registry) SetTraceCap(n int) {
+	if n < 1 {
+		n = DefaultTraceCap
+	}
+	enabled := r.tracer.Enabled()
+	r.mu.Lock()
+	r.tracer = NewTracer(n)
+	r.tracer.SetEnabled(enabled)
+	r.mu.Unlock()
 }
 
 // Counter returns the named counter, creating it on first use.
@@ -134,7 +150,11 @@ func (r *Registry) Staleness(name string) *Staleness {
 }
 
 // Tracer returns the registry's event tracer.
-func (r *Registry) Tracer() *Tracer { return r.tracer }
+func (r *Registry) Tracer() *Tracer {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.tracer
+}
 
 // Reset zeroes every instrument and clears the trace. Staleness trackers
 // keep their pending-update sets (those stamps describe work still queued)
@@ -156,6 +176,9 @@ func (r *Registry) Reset() {
 	}
 	for _, s := range r.stales {
 		s.Reset()
+	}
+	for _, p := range r.profiles {
+		p.reset()
 	}
 	r.tracer.Reset()
 }

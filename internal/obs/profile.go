@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// Profile is a per-rule-function cost accumulator: where one user
+// function's rule machinery spends its work, beyond the firing counters the
+// registry already keeps. The rule engine feeds it from the query
+// executor's row counters (rows scanned/matched while evaluating condition
+// and evaluate queries and while the action runs), the transaction layer's
+// lock-wait clock, and the scheduler's timing; together with the staleness
+// tracker it answers "what does keeping this derived table fresh cost, and
+// is it meeting its deadline?".
+//
+// All fields are independent atomics — recording never takes a lock.
+type Profile struct {
+	evalQueries    Counter // condition + evaluate query executions
+	evalMicros     Counter // wall time spent in those queries
+	rowsScanned    Counter // rows fetched from any source
+	rowsMatched    Counter // rows surviving all predicates
+	rowsWritten    Counter // rows inserted/updated/deleted by actions
+	lockWaitMicros Counter // action-transaction lock wait
+	sloBreaches    Counter // action commits with staleness past the deadline
+	deadline       atomic.Int64
+}
+
+// AddEval records n condition/evaluate query executions totaling micros of
+// wall time.
+func (p *Profile) AddEval(n, micros int64) {
+	p.evalQueries.Add(n)
+	p.evalMicros.Add(micros)
+}
+
+// AddRows accumulates executor row counters.
+func (p *Profile) AddRows(scanned, matched, written int64) {
+	if scanned != 0 {
+		p.rowsScanned.Add(scanned)
+	}
+	if matched != 0 {
+		p.rowsMatched.Add(matched)
+	}
+	if written != 0 {
+		p.rowsWritten.Add(written)
+	}
+}
+
+// AddLockWait accumulates lock-wait wall time.
+func (p *Profile) AddLockWait(micros int64) {
+	if micros > 0 {
+		p.lockWaitMicros.Add(micros)
+	}
+}
+
+// NoteSLOBreach counts one action commit whose closing staleness exceeded
+// the rule's deadline (the SLO burn counter).
+func (p *Profile) NoteSLOBreach() { p.sloBreaches.Inc() }
+
+// SetDeadline records the rule deadline the SLO counter burns against.
+func (p *Profile) SetDeadline(micros int64) {
+	if micros > 0 {
+		p.deadline.Store(micros)
+	}
+}
+
+// Deadline returns the recorded rule deadline (0 = none).
+func (p *Profile) Deadline() int64 { return p.deadline.Load() }
+
+// reset zeroes the accumulator (deadline survives: it is configuration,
+// not measurement).
+func (p *Profile) reset() {
+	p.evalQueries.Store(0)
+	p.evalMicros.Store(0)
+	p.rowsScanned.Store(0)
+	p.rowsMatched.Store(0)
+	p.rowsWritten.Store(0)
+	p.lockWaitMicros.Store(0)
+	p.sloBreaches.Store(0)
+}
+
+// ProfileSnapshot is one rule function's complete cost profile: the
+// profile accumulator joined with the function's firing counters, latency
+// histogram, and staleness percentiles from the same registry.
+type ProfileSnapshot struct {
+	Function string `json:"function"`
+
+	// Rule activity (views over the per-function action.* counters).
+	Fired        int64 `json:"fired"`
+	TasksCreated int64 `json:"tasks_created"`
+	TasksMerged  int64 `json:"tasks_merged"`
+	RowsMerged   int64 `json:"rows_merged"`
+	TasksRun     int64 `json:"tasks_run"`
+	TaskErrors   int64 `json:"task_errors"`
+	Restarts     int64 `json:"restarts"`
+	TasksShed    int64 `json:"tasks_shed"`
+	Quarantined  int64 `json:"quarantined"`
+
+	// Cost accounting.
+	EvalQueries    int64   `json:"eval_queries"`
+	EvalMicros     int64   `json:"eval_micros"`
+	RowsScanned    int64   `json:"rows_scanned"`
+	RowsMatched    int64   `json:"rows_matched"`
+	RowsWritten    int64   `json:"rows_written"`
+	LockWaitMicros int64   `json:"lock_wait_micros"`
+	QueueMicros    int64   `json:"queue_micros"`
+	WorkMicros     float64 `json:"work_micros"`
+
+	// Deadline SLO: staleness percentiles burn against DeadlineMicros.
+	DeadlineMicros int64 `json:"deadline_micros,omitempty"`
+	SLOBreaches    int64 `json:"slo_breaches"`
+
+	Latency   HistogramSnapshot `json:"latency"`
+	Staleness StalenessSnapshot `json:"staleness"`
+}
+
+// Profile returns the named rule function's cost profile, creating it on
+// first use.
+func (r *Registry) Profile(name string) *Profile {
+	r.mu.RLock()
+	p, ok := r.profiles[name]
+	r.mu.RUnlock()
+	if ok {
+		return p
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if p, ok = r.profiles[name]; !ok {
+		p = &Profile{}
+		r.profiles[name] = p
+	}
+	return p
+}
+
+// ProfileSnapshot assembles the named function's full profile at engine
+// time now. ok is false when no profile was ever created for the name.
+func (r *Registry) ProfileSnapshot(name string, now int64) (ProfileSnapshot, bool) {
+	r.mu.RLock()
+	p, ok := r.profiles[name]
+	r.mu.RUnlock()
+	if !ok {
+		return ProfileSnapshot{}, false
+	}
+	return r.assembleProfile(name, p, now), true
+}
+
+// Profiles assembles every registered function's profile at engine time
+// now, sorted by function name.
+func (r *Registry) Profiles(now int64) []ProfileSnapshot {
+	r.mu.RLock()
+	byName := make(map[string]*Profile, len(r.profiles))
+	for n, p := range r.profiles {
+		byName[n] = p
+	}
+	r.mu.RUnlock()
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]ProfileSnapshot, 0, len(names))
+	for _, n := range names {
+		out = append(out, r.assembleProfile(n, byName[n], now))
+	}
+	return out
+}
+
+// assembleProfile joins one profile with its function's registry
+// instruments.
+func (r *Registry) assembleProfile(fn string, p *Profile, now int64) ProfileSnapshot {
+	return ProfileSnapshot{
+		Function:       fn,
+		Fired:          r.Counter(ForFunc(MActionFired, fn)).Load(),
+		TasksCreated:   r.Counter(ForFunc(MActionTasksCreated, fn)).Load(),
+		TasksMerged:    r.Counter(ForFunc(MActionTasksMerged, fn)).Load(),
+		RowsMerged:     r.Counter(ForFunc(MActionRowsMerged, fn)).Load(),
+		TasksRun:       r.Counter(ForFunc(MActionTasksRun, fn)).Load(),
+		TaskErrors:     r.Counter(ForFunc(MActionTaskErrors, fn)).Load(),
+		Restarts:       r.Counter(ForFunc(MActionRestarts, fn)).Load(),
+		TasksShed:      r.Counter(ForFunc(MActionShed, fn)).Load(),
+		Quarantined:    r.Counter(ForFunc(MActionQuarantined, fn)).Load(),
+		EvalQueries:    p.evalQueries.Load(),
+		EvalMicros:     p.evalMicros.Load(),
+		RowsScanned:    p.rowsScanned.Load(),
+		RowsMatched:    p.rowsMatched.Load(),
+		RowsWritten:    p.rowsWritten.Load(),
+		LockWaitMicros: p.lockWaitMicros.Load(),
+		QueueMicros:    r.Counter(ForFunc(MActionQueueMicros, fn)).Load(),
+		WorkMicros:     r.FloatCounter(ForFunc(MActionWorkMicros, fn)).Load(),
+		DeadlineMicros: p.deadline.Load(),
+		SLOBreaches:    p.sloBreaches.Load(),
+		Latency:        r.Histogram(ForFunc(MActionLatencyMicros, fn)).Snapshot(),
+		Staleness:      r.Staleness(fn).Snapshot(now),
+	}
+}

@@ -1,0 +1,234 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4) rendering for a registry
+// snapshot. Everything is derived from the snapshot's maps: counter and
+// gauge families directly, histograms as summaries (quantile series plus
+// _sum/_count), staleness trackers as a small gauge family per function.
+// Per-function instruments ("action.fired.vwap") fold into one family with
+// a function label so a scrape sees `strip_action_fired{function="vwap"}`
+// rather than an unbounded family-per-rule namespace.
+
+// promPrefix namespaces every exported family.
+const promPrefix = "strip_"
+
+// perFuncBases are the metric bases that take a "." + function suffix.
+// Longest-match splitting against this list recovers the label; anything
+// not listed exports under its literal (sanitized) name.
+var perFuncBases = []string{
+	MActionFired, MActionTasksCreated, MActionTasksMerged, MActionRowsMerged,
+	MActionTasksRun, MActionTaskErrors, MActionRestarts, MActionQueueMicros,
+	MActionWorkMicros, MActionLatencyMicros, MActionMergeRows,
+	MActionShed, MActionQuarantined,
+}
+
+// splitFunc splits a metric name into (base, function). Function is empty
+// for engine-wide metrics.
+func splitFunc(name string) (string, string) {
+	for _, base := range perFuncBases {
+		if strings.HasPrefix(name, base+".") {
+			return base, name[len(base)+1:]
+		}
+	}
+	return name, ""
+}
+
+// promName sanitizes a dotted metric base into a Prometheus family name.
+func promName(base string) string {
+	var b strings.Builder
+	b.WriteString(promPrefix)
+	for _, r := range base {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLabel escapes a label value per the exposition format.
+func promLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// promSample is one series line within a family.
+type promSample struct {
+	suffix string // appended to the family name (_sum, _count, "")
+	labels string // rendered label block, "" or `{function="f"}`
+	value  string
+}
+
+// promFamily accumulates samples under one # TYPE header.
+type promFamily struct {
+	name    string
+	typ     string // counter | gauge | summary | untyped
+	help    string
+	samples []promSample
+}
+
+func labelFor(function string, extra ...string) string {
+	var parts []string
+	if function != "" {
+		parts = append(parts, fmt.Sprintf(`function=%q`, promLabel(function)))
+	}
+	parts = append(parts, extra...)
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// WriteProm renders the snapshot in Prometheus text exposition format.
+func (s Snapshot) WriteProm(w io.Writer) {
+	fams := map[string]*promFamily{}
+	fam := func(name, typ, help string) *promFamily {
+		f, ok := fams[name]
+		if !ok {
+			f = &promFamily{name: name, typ: typ, help: help}
+			fams[name] = f
+		}
+		return f
+	}
+
+	for _, name := range sortedKeys(s.Counters) {
+		base, function := splitFunc(name)
+		f := fam(promName(base), "counter", "Engine counter "+base+".")
+		f.samples = append(f.samples, promSample{
+			labels: labelFor(function),
+			value:  fmt.Sprintf("%d", s.Counters[name]),
+		})
+	}
+	for _, name := range sortedKeys(s.Floats) {
+		base, function := splitFunc(name)
+		f := fam(promName(base), "counter", "Engine accumulated total "+base+".")
+		f.samples = append(f.samples, promSample{
+			labels: labelFor(function),
+			value:  promFloat(s.Floats[name]),
+		})
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		base, function := splitFunc(name)
+		f := fam(promName(base), "gauge", "Engine gauge "+base+".")
+		f.samples = append(f.samples, promSample{
+			labels: labelFor(function),
+			value:  fmt.Sprintf("%d", s.Gauges[name]),
+		})
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		base, function := splitFunc(name)
+		h := s.Histograms[name]
+		f := fam(promName(base), "summary", "Engine latency summary "+base+" (microseconds).")
+		for _, q := range []struct {
+			q string
+			v int64
+		}{{"0.5", h.P50}, {"0.95", h.P95}, {"0.99", h.P99}} {
+			f.samples = append(f.samples, promSample{
+				labels: labelFor(function, fmt.Sprintf(`quantile=%q`, q.q)),
+				value:  fmt.Sprintf("%d", q.v),
+			})
+		}
+		f.samples = append(f.samples,
+			promSample{suffix: "_sum", labels: labelFor(function), value: fmt.Sprintf("%d", h.Sum)},
+			promSample{suffix: "_count", labels: labelFor(function), value: fmt.Sprintf("%d", h.Count)},
+		)
+		fm := fam(promName(base+".max"), "gauge", "Maximum observed for "+base+" (microseconds).")
+		fm.samples = append(fm.samples, promSample{
+			labels: labelFor(function), value: fmt.Sprintf("%d", h.Max),
+		})
+	}
+	for _, function := range sortedKeys(s.Staleness) {
+		st := s.Staleness[function]
+		add := func(field, typ, help string, v int64) {
+			f := fam(promName("staleness."+field), typ, help)
+			f.samples = append(f.samples, promSample{
+				labels: labelFor(function), value: fmt.Sprintf("%d", v),
+			})
+		}
+		add("current_micros", "gauge", "Age of the oldest un-recomputed update (microseconds).", st.Current)
+		add("max_micros", "gauge", "Maximum staleness observed at any recompute (microseconds).", st.Max)
+		add("pending", "gauge", "Updates awaiting recomputation.", int64(st.Pending))
+		add("samples", "counter", "Staleness samples recorded.", st.Count)
+		add("p50_micros", "gauge", "Median staleness at recompute (microseconds).", st.P50)
+		add("p95_micros", "gauge", "95th-percentile staleness at recompute (microseconds).", st.P95)
+		add("p99_micros", "gauge", "99th-percentile staleness at recompute (microseconds).", st.P99)
+	}
+
+	trace := fam(promName("trace.events"), "counter", "Trace events emitted since start/reset.")
+	trace.samples = append(trace.samples, promSample{value: fmt.Sprintf("%d", s.Trace.Emitted)})
+	dropped := fam(promName("trace.dropped"), "counter", "Trace events lost to ring wrap-around.")
+	dropped.samples = append(dropped.samples, promSample{value: fmt.Sprintf("%d", s.Trace.Dropped)})
+	retained := fam(promName("trace.retained"), "gauge", "Trace events currently held in the ring.")
+	retained.samples = append(retained.samples, promSample{value: fmt.Sprintf("%d", s.Trace.Retained)})
+
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := fams[n]
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+		for _, smp := range f.samples {
+			fmt.Fprintf(w, "%s%s%s %s\n", f.name, smp.suffix, smp.labels, smp.value)
+		}
+	}
+}
+
+// WriteProfilesProm renders per-rule cost profiles as labeled families, to
+// be appended after Snapshot.WriteProm on the same scrape.
+func WriteProfilesProm(w io.Writer, profiles []ProfileSnapshot) {
+	if len(profiles) == 0 {
+		return
+	}
+	type col struct {
+		family string
+		typ    string
+		help   string
+		value  func(ProfileSnapshot) string
+	}
+	cols := []col{
+		{"rule.eval_queries", "counter", "Condition/evaluate query executions per rule function.",
+			func(p ProfileSnapshot) string { return fmt.Sprintf("%d", p.EvalQueries) }},
+		{"rule.eval_micros", "counter", "Wall time spent evaluating rule queries (microseconds).",
+			func(p ProfileSnapshot) string { return fmt.Sprintf("%d", p.EvalMicros) }},
+		{"rule.rows_scanned", "counter", "Rows scanned by rule evaluation and actions.",
+			func(p ProfileSnapshot) string { return fmt.Sprintf("%d", p.RowsScanned) }},
+		{"rule.rows_matched", "counter", "Rows matched by rule evaluation and actions.",
+			func(p ProfileSnapshot) string { return fmt.Sprintf("%d", p.RowsMatched) }},
+		{"rule.rows_written", "counter", "Derived rows written by rule actions.",
+			func(p ProfileSnapshot) string { return fmt.Sprintf("%d", p.RowsWritten) }},
+		{"rule.lock_wait_micros", "counter", "Lock wait inside rule action transactions (microseconds).",
+			func(p ProfileSnapshot) string { return fmt.Sprintf("%d", p.LockWaitMicros) }},
+		{"rule.slo_breaches", "counter", "Action commits whose staleness exceeded the rule deadline.",
+			func(p ProfileSnapshot) string { return fmt.Sprintf("%d", p.SLOBreaches) }},
+		{"rule.deadline_micros", "gauge", "Configured rule deadline (microseconds; 0 = none).",
+			func(p ProfileSnapshot) string { return fmt.Sprintf("%d", p.DeadlineMicros) }},
+	}
+	for _, c := range cols {
+		fmt.Fprintf(w, "# HELP %s %s\n", promName(c.family), c.help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", promName(c.family), c.typ)
+		for _, p := range profiles {
+			fmt.Fprintf(w, "%s{function=%q} %s\n", promName(c.family), promLabel(p.Function), c.value(p))
+		}
+	}
+}
+
+// promFloat renders a float without exponent surprises for integral values.
+func promFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

@@ -113,6 +113,18 @@ type Snapshot struct {
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
 	// Staleness is keyed by user function / materialized-view action name.
 	Staleness map[string]StalenessSnapshot `json:"staleness"`
+	// Trace reports the event ring's accounting, so overflow (dropped
+	// events) is visible rather than silent.
+	Trace TraceStats `json:"trace"`
+}
+
+// TraceStats summarizes the trace ring: how much was emitted, how much the
+// ring still holds, and how many events wrap-around has destroyed.
+type TraceStats struct {
+	Emitted  uint64 `json:"emitted"`
+	Dropped  int64  `json:"dropped"`
+	Retained int    `json:"retained"`
+	Capacity int    `json:"capacity"`
 }
 
 // Snapshot captures every instrument at engine time now.
@@ -143,6 +155,12 @@ func (r *Registry) Snapshot(now int64) Snapshot {
 	}
 	for name, st := range r.stales {
 		s.Staleness[name] = st.Snapshot(now)
+	}
+	s.Trace = TraceStats{
+		Emitted:  r.tracer.Emitted(),
+		Dropped:  r.tracer.Dropped(),
+		Retained: r.tracer.Len(),
+		Capacity: r.tracer.Cap(),
 	}
 	return s
 }
@@ -193,4 +211,6 @@ func (s Snapshot) WriteText(w io.Writer) {
 				k, st.Current, st.Max, st.Pending, st.Count, st.P50, st.P95, st.P99)
 		}
 	}
+	fmt.Fprintf(w, "trace: emitted=%d retained=%d/%d dropped=%d\n",
+		s.Trace.Emitted, s.Trace.Retained, s.Trace.Capacity, s.Trace.Dropped)
 }

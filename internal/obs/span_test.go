@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"testing"
+)
+
+func TestTracerDroppedAccounting(t *testing.T) {
+	tr := NewTracer(8)
+	for i := int64(0); i < 8; i++ {
+		tr.Emit(i, KindQuery, "q", i)
+	}
+	if got := tr.Dropped(); got != 0 {
+		t.Fatalf("Dropped before wrap = %d, want 0", got)
+	}
+	// Each further emit overwrites one unread event.
+	for i := int64(8); i < 20; i++ {
+		tr.Emit(i, KindQuery, "q", i)
+	}
+	if got := tr.Dropped(); got != 12 {
+		t.Errorf("Dropped after 20 emits into cap-8 ring = %d, want 12", got)
+	}
+	if got := tr.Emitted(); got != 20 {
+		t.Errorf("Emitted = %d, want 20", got)
+	}
+	tr.Reset()
+	if tr.Dropped() != 0 || tr.Emitted() != 0 {
+		t.Errorf("after Reset: dropped=%d emitted=%d, want 0/0", tr.Dropped(), tr.Emitted())
+	}
+}
+
+func TestSnapshotTraceStats(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetTraceCap(4)
+	tr := reg.Tracer()
+	if tr.Cap() != 4 {
+		t.Fatalf("Cap after SetTraceCap(4) = %d", tr.Cap())
+	}
+	for i := int64(0); i < 10; i++ {
+		tr.Emit(i, KindQuery, "q", i)
+	}
+	snap := reg.Snapshot(100)
+	if snap.Trace.Emitted != 10 || snap.Trace.Dropped != 6 ||
+		snap.Trace.Retained != 4 || snap.Trace.Capacity != 4 {
+		t.Errorf("TraceStats = %+v, want emitted=10 dropped=6 retained=4/4", snap.Trace)
+	}
+}
+
+// TestSpanReconstruction exercises both passes: the chain proper (matching
+// Trace) and cross-linked merges from other chains whose Parent is one of
+// the chain's tasks.
+func TestSpanReconstruction(t *testing.T) {
+	tr := NewTracer(64)
+	const (
+		trigTxn  = 100 // triggering user transaction (chain root)
+		otherTxn = 200 // a second user transaction, merging into the task
+		taskID   = 7
+		actTxn   = 300 // the action's own transaction
+	)
+	tr.EmitSpan(1, KindTxnCommit, "", trigTxn, trigTxn, 0)
+	tr.EmitSpan(1, KindRuleFire, "r", trigTxn, trigTxn, trigTxn)
+	tr.EmitSpan(1, KindTaskSubmit, "fn", taskID, trigTxn, trigTxn)
+	// Unrelated chain noise: must not appear in the span.
+	tr.EmitSpan(2, KindTxnCommit, "", 999, 999, 0)
+	// A second transaction merges rows into the queued task: its merge event
+	// carries its own chain id but parents on our task.
+	tr.EmitSpan(3, KindTxnCommit, "", otherTxn, otherTxn, 0)
+	tr.EmitSpan(3, KindRuleMerge, "fn", 2, otherTxn, taskID)
+	tr.EmitSpan(4, KindTaskStart, "fn", taskID, trigTxn, taskID)
+	tr.EmitSpan(5, KindTxnCommit, "", actTxn, trigTxn, taskID)
+	tr.EmitSpan(5, KindStaleSample, "fn", 4, trigTxn, taskID)
+	tr.EmitSpan(5, KindActionDone, "fn", 4, trigTxn, taskID)
+	tr.EmitSpan(5, KindTaskFinish, "fn", 1, trigTxn, taskID)
+
+	span := tr.Span(trigTxn)
+	if len(span) != 9 {
+		t.Fatalf("Span(%d) = %d events, want 9: %v", trigTxn, len(span), span)
+	}
+	var merges, commits int
+	for i, ev := range span {
+		if ev.Trace == 999 {
+			t.Errorf("span includes unrelated chain event %v", ev)
+		}
+		if i > 0 && ev.Seq <= span[i-1].Seq {
+			t.Errorf("span not in emission order at %d: %v", i, span)
+		}
+		switch ev.Kind {
+		case KindRuleMerge:
+			merges++
+			if ev.Trace != otherTxn {
+				t.Errorf("merge event lost its own chain id: %v", ev)
+			}
+		case KindTxnCommit:
+			commits++
+		}
+	}
+	if merges != 1 {
+		t.Errorf("span has %d merge cross-links, want 1", merges)
+	}
+	if commits != 2 { // trigger + action txn; otherTxn's commit stays in its own chain
+		t.Errorf("span has %d commits, want 2 (trigger + action)", commits)
+	}
+
+	// The merging transaction's own chain holds just its commit and merge.
+	other := tr.Span(otherTxn)
+	if len(other) != 2 {
+		t.Errorf("Span(%d) = %d events, want 2: %v", otherTxn, len(other), other)
+	}
+	if tr.Span(0) != nil {
+		t.Errorf("Span(0) should be nil")
+	}
+}
+
+func TestProfileAccumulation(t *testing.T) {
+	reg := NewRegistry()
+	p := reg.Profile("fn")
+	if again := reg.Profile("fn"); again != p {
+		t.Fatalf("Profile not idempotent per function")
+	}
+	p.AddEval(3, 450)
+	p.AddRows(100, 40, 7)
+	p.AddRows(0, 0, 0) // zero-add must not allocate or corrupt
+	p.AddLockWait(25)
+	p.SetDeadline(2000)
+	p.SetDeadline(0) // ignored
+	p.NoteSLOBreach()
+
+	snap, ok := reg.ProfileSnapshot("fn", 10)
+	if !ok {
+		t.Fatal("ProfileSnapshot: function missing")
+	}
+	if snap.EvalQueries != 3 || snap.EvalMicros != 450 {
+		t.Errorf("eval: queries=%d micros=%d, want 3/450", snap.EvalQueries, snap.EvalMicros)
+	}
+	if snap.RowsScanned != 100 || snap.RowsMatched != 40 || snap.RowsWritten != 7 {
+		t.Errorf("rows: %d/%d/%d, want 100/40/7", snap.RowsScanned, snap.RowsMatched, snap.RowsWritten)
+	}
+	if snap.LockWaitMicros != 25 || snap.SLOBreaches != 1 || snap.DeadlineMicros != 2000 {
+		t.Errorf("lockwait=%d breaches=%d deadline=%d, want 25/1/2000",
+			snap.LockWaitMicros, snap.SLOBreaches, snap.DeadlineMicros)
+	}
+	if _, ok := reg.ProfileSnapshot("ghost", 10); ok {
+		t.Error("ProfileSnapshot invented a profile for an unknown function")
+	}
+
+	// Reset zeroes the counters but keeps the configured deadline: it is
+	// configuration, not measurement.
+	reg.Reset()
+	snap, _ = reg.ProfileSnapshot("fn", 10)
+	if snap.EvalQueries != 0 || snap.SLOBreaches != 0 {
+		t.Errorf("after Reset: queries=%d breaches=%d, want 0/0", snap.EvalQueries, snap.SLOBreaches)
+	}
+	if snap.DeadlineMicros != 2000 {
+		t.Errorf("after Reset: deadline=%d, want 2000 (survives)", snap.DeadlineMicros)
+	}
+}
+
+func TestProfilesSorted(t *testing.T) {
+	reg := NewRegistry()
+	for _, fn := range []string{"zeta", "alpha", "mid"} {
+		reg.Profile(fn).AddEval(1, 10)
+	}
+	ps := reg.Profiles(0)
+	if len(ps) != 3 {
+		t.Fatalf("Profiles = %d entries, want 3", len(ps))
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i-1].Function >= ps[i].Function {
+			t.Errorf("Profiles not sorted: %q before %q", ps[i-1].Function, ps[i].Function)
+		}
+	}
+}

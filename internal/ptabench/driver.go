@@ -53,6 +53,10 @@ type RunResult struct {
 	RealSeconds float64
 	Errors      int64
 	Restarts    int64
+	// Profiles are the per-rule cost profiles at the end of the run, so
+	// artifacts capture rule-level cost (evaluate time, rows, lock wait),
+	// not just aggregate throughput.
+	Profiles []strip.RuleProfile
 }
 
 // String renders one row for reports.
@@ -118,6 +122,7 @@ func Run(wcfg WorkloadConfig, tr *feed.Trace, v Variant, delaySec float64) (RunR
 		res.MaxStalenessMicros = st.Max
 		res.P95StalenessMicros = st.P95
 	}
+	res.Profiles = db.RuleProfiles()
 	return res, nil
 }
 

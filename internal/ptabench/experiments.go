@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 
+	strip "github.com/stripdb/strip"
 	"github.com/stripdb/strip/internal/feed"
 )
 
@@ -221,6 +222,9 @@ type RunMetrics struct {
 	RealSeconds        float64 `json:"real_seconds"`
 	Errors             int64   `json:"errors"`
 	Restarts           int64   `json:"restarts"`
+	// Profiles carries each rule function's cost profile so the perf
+	// trajectory records rule-level cost, not just aggregate tps.
+	Profiles []strip.RuleProfile `json:"rule_profiles,omitempty"`
 }
 
 // MetricsRecords flattens the experiment's runs into artifact records.
@@ -244,6 +248,7 @@ func (er *ExperimentResult) MetricsRecords() []RunMetrics {
 			RealSeconds:        r.RealSeconds,
 			Errors:             r.Errors,
 			Restarts:           r.Restarts,
+			Profiles:           r.Profiles,
 		})
 	}
 	return out

@@ -139,7 +139,7 @@ func (q *Select) run(tx *txn.Txn, res Resolver) (*storage.TempTable, error) {
 	// re-run their condition queries on every firing (possibly concurrently
 	// in live mode).
 	q = q.clone()
-	ex := &exec{q: q, tx: tx}
+	ex := &exec{q: q, tx: tx, prof: tx.Profile()}
 
 	// Resolve sources.
 	for _, name := range q.From {
@@ -265,6 +265,9 @@ type exec struct {
 	q    *Select
 	tx   *txn.Txn
 	srcs []*source
+	// prof receives row accounting (rows visited/matched) when the
+	// transaction carries a cost profile; nil otherwise.
+	prof *txn.TxnProfile
 
 	probes     []*probe // per level, nil if scanning
 	residuals  [][]Pred // per level
@@ -402,6 +405,9 @@ func (ex *exec) join(level int, cur []cursor) error {
 	s := ex.srcs[level]
 	visit := func(c cursor) error {
 		cur[level] = c
+		if ex.prof != nil {
+			ex.prof.RowsScanned++
+		}
 		if level > 0 {
 			ex.tx.Charge(model.JoinRow)
 		}
@@ -656,6 +662,9 @@ type groupState struct {
 
 func (ex *exec) emit(cur []cursor) error {
 	model := ex.tx.Model()
+	if ex.prof != nil {
+		ex.prof.RowsMatched++
+	}
 	if !ex.aggregate {
 		ex.tx.Charge(model.OutputRow)
 		ptrs := make([]*storage.Record, len(ex.ptrSlots))

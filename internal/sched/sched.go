@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/stripdb/strip/internal/clock"
@@ -70,7 +71,9 @@ type Scheduler struct {
 	stopped  bool // workers exit
 	running  int  // tasks currently executing in workers
 	nextSeq  int64
-	nextID   int64
+	// nextID is atomic (not under mu) so ReserveID can pre-allocate task
+	// ids for callers that must reference a task before submitting it.
+	nextID atomic.Int64
 
 	// overload is the overload-control policy (zero = disabled). Written
 	// by SetOverload before concurrent use, read under mu (shedding) and
@@ -162,8 +165,9 @@ func (s *Scheduler) Submit(t *Task) error {
 		return ErrStopped
 	}
 	now := s.clk.Now()
-	s.nextID++
-	t.ID = s.nextID
+	if t.ID == 0 {
+		t.ID = s.nextID.Add(1)
+	}
 	s.nextSeq++
 	t.seq = s.nextSeq
 	t.EnqueuedAt = now
@@ -174,10 +178,15 @@ func (s *Scheduler) Submit(t *Task) error {
 		s.pushReadyLocked(t)
 	}
 	s.depthsLocked()
-	s.tracer.Emit(now, obs.KindTaskSubmit, t.Name, t.ID)
+	s.tracer.EmitSpan(now, obs.KindTaskSubmit, t.Name, t.ID, t.Trace, t.Trace)
 	s.cond.Broadcast()
 	return nil
 }
+
+// ReserveID pre-allocates a task id, letting the caller reference the task
+// (uniqueness hash entries, trace-event parents) before Submit. Submit
+// keeps a non-zero ID.
+func (s *Scheduler) ReserveID() int64 { return s.nextID.Add(1) }
 
 // pushReadyLocked enters a task into the ready queue and its ShedKey into
 // the supersession count.
@@ -273,7 +282,7 @@ func (s *Scheduler) dequeueLocked() *Task {
 		t.StartedAt = now
 		s.depthsLocked()
 		s.relToStart.Record(t.QueueTime())
-		s.tracer.Emit(now, obs.KindTaskStart, t.Name, t.ID)
+		s.tracer.EmitSpan(now, obs.KindTaskStart, t.Name, t.ID, t.Trace, t.ID)
 		s.chargeStartLocked(now)
 		if t.OnStart != nil {
 			t.OnStart(t)
@@ -321,7 +330,7 @@ func (s *Scheduler) shouldShedLocked(t *Task, now clock.Micros, depth int, lag c
 func (s *Scheduler) shedLocked(t *Task, now clock.Micros) {
 	t.StartedAt = now
 	s.shed.Inc()
-	s.tracer.Emit(now, obs.KindTaskShed, t.Name, t.ID)
+	s.tracer.EmitSpan(now, obs.KindTaskShed, t.Name, t.ID, t.Trace, t.ID)
 	if t.OnStart != nil {
 		t.OnStart(t)
 	}
@@ -385,7 +394,7 @@ func (s *Scheduler) execute(t *Task) {
 	t.FinishedAt = s.clk.Now()
 	s.meter.Charge(s.model.EndTask)
 	s.runMicros.Record(t.FinishedAt - t.StartedAt)
-	s.tracer.Emit(t.FinishedAt, obs.KindTaskFinish, t.Name, t.FinishedAt-t.StartedAt)
+	s.tracer.EmitSpan(t.FinishedAt, obs.KindTaskFinish, t.Name, t.FinishedAt-t.StartedAt, t.Trace, t.ID)
 	if t.Err != nil {
 		s.failed.Inc()
 	} else {
@@ -539,7 +548,7 @@ func (s *Scheduler) discardQueuedLocked() {
 		if t.OnShed != nil {
 			t.OnShed(t)
 		}
-		s.tracer.Emit(now, obs.KindTaskShed, t.Name, t.ID)
+		s.tracer.EmitSpan(now, obs.KindTaskShed, t.Name, t.ID, t.Trace, t.ID)
 	}
 	for s.delay.Len() > 0 {
 		t := heap.Pop(&s.delay).(*Task)
@@ -550,7 +559,7 @@ func (s *Scheduler) discardQueuedLocked() {
 		if t.OnShed != nil {
 			t.OnShed(t)
 		}
-		s.tracer.Emit(now, obs.KindTaskShed, t.Name, t.ID)
+		s.tracer.EmitSpan(now, obs.KindTaskShed, t.Name, t.ID, t.Trace, t.ID)
 	}
 	s.depthsLocked()
 }

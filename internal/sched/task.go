@@ -19,6 +19,13 @@ type Task struct {
 	ID   int64
 	Name string // diagnostic label (user function name for rule tasks)
 
+	// Trace is the causal chain the task belongs to — the id of the user
+	// transaction whose commit fired the rule that created it. The scheduler
+	// stamps it on every trace event the task produces, so a span dump can
+	// reconstruct commit → fire → submit → start → action → finish. Zero for
+	// tasks outside any chain (periodic recomputes, bare driver tasks).
+	Trace int64
+
 	// Release is the earliest engine time the task may start. Rule tasks
 	// with `after` delays get Release = trigger commit time + delay.
 	Release clock.Micros

@@ -329,6 +329,31 @@ type Txn struct {
 	// transaction's effects (the rule engine waits on triggering txns
 	// before running an action against a snapshot).
 	done chan struct{}
+
+	// trace/cause carry span identity for causal tracing: trace is the
+	// causal chain's root (the triggering user transaction's id), cause the
+	// entity id of the direct parent (the scheduler task running this
+	// transaction). Zero for ordinary user transactions, whose commits root
+	// their own chains.
+	trace int64
+	cause int64
+
+	// profile, when set, receives this transaction's row and lock-wait
+	// accounting (rule-action transactions point it at their rule's cost
+	// profile; nil for user transactions, whose hot path pays only the nil
+	// check).
+	profile *TxnProfile
+}
+
+// TxnProfile accumulates one transaction's measurable work: executor row
+// counters and lock-wait wall time. A Txn is single-goroutine while active,
+// so plain fields suffice; the owner drains the totals into a shared
+// obs.Profile after commit.
+type TxnProfile struct {
+	RowsScanned    int64
+	RowsMatched    int64
+	RowsWritten    int64
+	LockWaitMicros int64
 }
 
 // ID returns the transaction id.
@@ -336,6 +361,31 @@ func (t *Txn) ID() int64 { return t.id }
 
 // Manager returns the owning manager.
 func (t *Txn) Manager() *Manager { return t.mgr }
+
+// SetCause stamps the transaction with span identity: trace is the causal
+// chain's root id and cause the direct parent entity (the scheduler task).
+// The rule engine sets this on action transactions so their commits link
+// back to the user commit that triggered them.
+func (t *Txn) SetCause(trace, cause int64) { t.trace, t.cause = trace, cause }
+
+// Trace returns the causal chain root this transaction belongs to: its own
+// id for ordinary transactions (every commit roots a chain), or the
+// triggering transaction's id when SetCause linked it into an existing
+// chain.
+func (t *Txn) Trace() int64 {
+	if t.trace != 0 {
+		return t.trace
+	}
+	return t.id
+}
+
+// SetProfile points the transaction's row and lock-wait accounting at p
+// (nil disables, the default).
+func (t *Txn) SetProfile(p *TxnProfile) { t.profile = p }
+
+// Profile returns the transaction's cost accumulator, nil when disabled.
+// The query executor adds rows scanned/matched here.
+func (t *Txn) Profile() *TxnProfile { return t.profile }
 
 // Status returns the transaction state.
 func (t *Txn) Status() Status { return t.status }
@@ -425,6 +475,19 @@ func (t *Txn) Charge(micros float64) { t.mgr.Meter.Charge(micros) }
 // Model returns the engine's cost model.
 func (t *Txn) Model() cost.Model { return t.mgr.Model }
 
+// acquire forwards to the lock manager, clocking the wait into the
+// transaction's profile when one is attached (rule-action transactions);
+// unprofiled transactions pay a single nil check.
+func (t *Txn) acquire(name any, mode lock.Mode) error {
+	if t.profile == nil {
+		return t.mgr.Locks.Acquire(t.id, name, mode)
+	}
+	start := t.mgr.Clock.Now()
+	err := t.mgr.Locks.Acquire(t.id, name, mode)
+	t.profile.LockWaitMicros += int64(t.mgr.Clock.Now() - start)
+	return err
+}
+
 func (t *Txn) table(name string) (*storage.Table, error) {
 	tbl, ok := t.mgr.Store.Get(name)
 	if !ok {
@@ -464,7 +527,7 @@ func (t *Txn) lockTable(name string, mode lock.Mode, write bool) error {
 	if a.hasTbl && lock.Covers(a.tblMode, mode) {
 		return nil
 	}
-	if err := t.mgr.Locks.Acquire(t.id, name, mode); err != nil {
+	if err := t.acquire(name, mode); err != nil {
 		return err
 	}
 	if a.hasTbl {
@@ -551,13 +614,13 @@ func (t *Txn) lockRecord(name string, id uint64, mode lock.Mode, write bool) err
 	}
 	if !seen && a.recLocks >= t.mgr.escalateAt() {
 		t.mgr.escalations.Inc()
-		if err := t.mgr.Locks.Acquire(t.id, name, mode); err != nil {
+		if err := t.acquire(name, mode); err != nil {
 			return err
 		}
 		a.tblMode = lock.Sup(a.tblMode, mode)
 		return nil
 	}
-	if err := t.mgr.Locks.Acquire(t.id, lock.RecordID{Table: name, ID: id}, mode); err != nil {
+	if err := t.acquire(lock.RecordID{Table: name, ID: id}, mode); err != nil {
 		return err
 	}
 	if a.recModes == nil {
@@ -604,6 +667,9 @@ func (t *Txn) Insert(table string, vals []types.Value) (*storage.Record, error) 
 	// commit stamping.
 	rec.SetWriter(t.id)
 	t.mgr.Meter.Charge(t.mgr.Model.InsertCursor)
+	if t.profile != nil {
+		t.profile.RowsWritten++
+	}
 	t.seq++
 	t.log = append(t.log, LogRec{Op: OpInsert, Table: table, New: rec, Seq: t.seq})
 	return rec, nil
@@ -626,6 +692,9 @@ func (t *Txn) Delete(table string, rec *storage.Record) error {
 		return err
 	}
 	t.mgr.Meter.Charge(t.mgr.Model.DeleteCursor)
+	if t.profile != nil {
+		t.profile.RowsWritten++
+	}
 	t.seq++
 	t.log = append(t.log, LogRec{Op: OpDelete, Table: table, Old: rec, Seq: t.seq})
 	return nil
@@ -648,6 +717,9 @@ func (t *Txn) Update(table string, rec *storage.Record, vals []types.Value) (*st
 	}
 	nr.SetWriter(t.id)
 	t.mgr.Meter.Charge(t.mgr.Model.UpdateCursor)
+	if t.profile != nil {
+		t.profile.RowsWritten++
+	}
 	t.seq++
 	t.log = append(t.log, LogRec{Op: OpUpdate, Table: table, Old: rec, New: nr, Seq: t.seq})
 	return nr, nil
@@ -716,7 +788,10 @@ func (t *Txn) Commit() error {
 	}
 	t.mgr.committed.Inc()
 	t.mgr.commitHist.Record(t.commitAt - t.startAt)
-	t.mgr.tracer.Emit(t.commitAt, obs.KindTxnCommit, "", t.id)
+	// Every commit roots or extends a causal chain: Trace is the chain root
+	// (own id unless SetCause linked this txn under a triggering commit) and
+	// Parent the task that ran it (0 for user transactions).
+	t.mgr.tracer.EmitSpan(t.commitAt, obs.KindTxnCommit, "", t.id, t.Trace(), t.cause)
 	t.finish()
 	return nil
 }
@@ -766,7 +841,7 @@ func (t *Txn) Abort() error {
 	now := t.mgr.Clock.Now()
 	t.mgr.aborted.Inc()
 	t.mgr.abortHist.Record(now - t.startAt)
-	t.mgr.tracer.Emit(now, obs.KindTxnAbort, "", t.id)
+	t.mgr.tracer.EmitSpan(now, obs.KindTxnAbort, "", t.id, t.Trace(), t.cause)
 	t.finish()
 	return firstErr
 }

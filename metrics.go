@@ -17,6 +17,13 @@ type (
 	HistogramSnapshot = obs.HistogramSnapshot
 	// StalenessSnapshot summarizes one function's derived-data staleness.
 	StalenessSnapshot = obs.StalenessSnapshot
+	// RuleProfile is one rule function's cost profile: firings and merges,
+	// evaluate-query wall time, rows scanned/matched/written, lock wait,
+	// retries and sheds, and staleness percentiles against the rule
+	// deadline (SLO burn).
+	RuleProfile = obs.ProfileSnapshot
+	// TraceStats summarizes the trace ring (emitted/dropped/retained).
+	TraceStats = obs.TraceStats
 )
 
 // Obs exposes the engine's metrics registry for advanced integration
@@ -45,6 +52,33 @@ func (db *DB) WriteMetrics(w io.Writer, asJSON bool) error {
 // Trace returns up to n recent engine trace events, oldest first. n < 0
 // returns everything retained.
 func (db *DB) Trace(n int) []TraceEvent { return db.obs.Tracer().Recent(n) }
+
+// Span reconstructs the causal chain rooted at the given triggering
+// transaction id: its commit, the rule firings and unique-task merges it
+// caused, scheduler submit/start/finish, the action transactions, and the
+// closing staleness samples — everything still retained in the trace ring.
+func (db *DB) Span(traceID int64) []TraceEvent { return db.obs.Tracer().Span(traceID) }
+
+// RuleProfiles reports every rule function's cost profile, sorted by
+// function name: where rule maintenance spends its work (evaluate-query
+// wall time, rows scanned/matched/written, lock wait) and whether derived
+// data meets its deadline (staleness percentiles, SLO breach count).
+func (db *DB) RuleProfiles() []RuleProfile { return db.obs.Profiles(db.clk.Now()) }
+
+// RuleProfile reports one function's cost profile; ok is false when the
+// function has never been registered with a rule.
+func (db *DB) RuleProfile(function string) (RuleProfile, bool) {
+	return db.obs.ProfileSnapshot(function, db.clk.Now())
+}
+
+// WriteProm renders the current metrics snapshot and rule profiles in
+// Prometheus text exposition format — the same body stripmon's /metrics
+// serves.
+func (db *DB) WriteProm(w io.Writer) {
+	now := db.clk.Now()
+	db.obs.Snapshot(now).WriteProm(w)
+	obs.WriteProfilesProm(w, db.obs.Profiles(now))
+}
 
 // EnableTrace toggles event tracing (enabled by default).
 func (db *DB) EnableTrace(on bool) { db.obs.Tracer().SetEnabled(on) }

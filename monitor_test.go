@@ -1,0 +1,273 @@
+package strip
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+var (
+	promNameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promLabelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// parsePromStrict validates a Prometheus text-exposition (0.0.4) body: every
+// line must be a well-formed HELP/TYPE comment or a sample whose family was
+// declared by a preceding TYPE line. It returns samples keyed by
+// name{labels} as rendered.
+func parsePromStrict(t *testing.T, body string) map[string]float64 {
+	t.Helper()
+	types := map[string]string{}
+	samples := map[string]float64{}
+	sc := bufio.NewScanner(strings.NewReader(body))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		fail := func(format string, args ...any) {
+			t.Fatalf("line %d: %s\n  %q", lineno, fmt.Sprintf(format, args...), line)
+		}
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok || !promNameRe.MatchString(name) {
+				fail("malformed HELP")
+			}
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 || !promNameRe.MatchString(fields[0]) {
+				fail("malformed TYPE")
+			}
+			switch fields[1] {
+			case "counter", "gauge", "summary", "histogram", "untyped":
+			default:
+				fail("unknown metric type %q", fields[1])
+			}
+			if _, dup := types[fields[0]]; dup {
+				fail("family %s declared twice", fields[0])
+			}
+			types[fields[0]] = fields[1]
+		case strings.HasPrefix(line, "#"):
+			fail("unknown comment form")
+		default:
+			name, labels, value := parsePromSample(line, fail)
+			family := name
+			if _, ok := types[family]; !ok {
+				// Summary auxiliaries belong to the base family.
+				for _, suf := range []string{"_sum", "_count"} {
+					if base, cut := strings.CutSuffix(name, suf); cut {
+						if typ, ok := types[base]; ok && typ == "summary" {
+							family = base
+						}
+					}
+				}
+			}
+			if _, ok := types[family]; !ok {
+				fail("sample %s has no TYPE declaration", name)
+			}
+			key := name
+			if labels != "" {
+				key += "{" + labels + "}"
+			}
+			if _, dup := samples[key]; dup {
+				fail("duplicate sample %s", key)
+			}
+			samples[key] = value
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if len(samples) == 0 {
+		t.Fatal("no samples in exposition")
+	}
+	return samples
+}
+
+// parsePromSample splits `name{labels} value` and validates each part.
+func parsePromSample(line string, fail func(string, ...any)) (name, labels string, value float64) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			fail("unbalanced label braces")
+		}
+		labels = rest[i+1 : j]
+		rest = strings.TrimSpace(rest[j+1:])
+		for _, pair := range splitPromLabels(labels) {
+			k, v, ok := strings.Cut(pair, "=")
+			if !ok || !promLabelRe.MatchString(k) {
+				fail("malformed label %q", pair)
+			}
+			if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+				fail("unquoted label value %q", v)
+			}
+		}
+	} else {
+		var ok bool
+		name, rest, ok = strings.Cut(rest, " ")
+		if !ok {
+			fail("sample without value")
+		}
+	}
+	if !promNameRe.MatchString(name) {
+		fail("invalid metric name %q", name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		fail("want `value [timestamp]`, got %d fields", len(fields))
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		fail("invalid value: %v", err)
+	}
+	return name, labels, v
+}
+
+// splitPromLabels splits a label body on commas outside quoted values.
+func splitPromLabels(s string) []string {
+	var out []string
+	var buf strings.Builder
+	inQuote, escaped := false, false
+	for _, r := range s {
+		switch {
+		case escaped:
+			escaped = false
+		case r == '\\' && inQuote:
+			escaped = true
+		case r == '"':
+			inQuote = !inQuote
+		case r == ',' && !inQuote:
+			out = append(out, buf.String())
+			buf.Reset()
+			continue
+		}
+		buf.WriteRune(r)
+	}
+	if buf.Len() > 0 {
+		out = append(out, buf.String())
+	}
+	return out
+}
+
+// TestMonitorSmoke starts an engine with stripmon attached, scrapes
+// /metrics while a workload is running, and validates the body as strict
+// Prometheus text format carrying the key series. The CI smoke job runs
+// exactly this test.
+func TestMonitorSmoke(t *testing.T) {
+	db := MustOpen(Config{Workers: 2, MonitorAddr: "127.0.0.1:0"})
+	defer db.Close()
+	addr := db.MonitorAddr()
+	if addr == "" {
+		t.Fatal("MonitorAddr empty after Open with MonitorAddr set")
+	}
+
+	db.MustExec(`create table stocks (symbol text, price float)`)
+	db.MustExec(`create index on stocks (symbol)`)
+	db.MustExec(`create table mirror (symbol text, price float)`)
+	db.MustExec(`create index on mirror (symbol)`)
+	const symbols = 8
+	for i := 0; i < symbols; i++ {
+		db.MustExec(fmt.Sprintf(`insert into stocks values ('S%02d', 100)`, i))
+		db.MustExec(fmt.Sprintf(`insert into mirror values ('S%02d', 100)`, i))
+	}
+	if err := db.RegisterFunc("mirror_price", func(ctx *ActionContext) error {
+		m, _ := ctx.Bound("changes")
+		if m.Len() == 0 {
+			return nil
+		}
+		sch := m.Schema()
+		sym := m.Value(m.Len()-1, sch.ColIndex("symbol"))
+		price := m.Value(m.Len()-1, sch.ColIndex("price"))
+		_, err := ExecAction(ctx, fmt.Sprintf(
+			`update mirror set price = %g where symbol = '%v'`, price.Float(), sym))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec(`
+	  create rule mon_mirror on stocks
+	  when updated price
+	  if select symbol, price from new bind as changes
+	  then execute mirror_price
+	  unique on symbol
+	  after 1 ms`)
+
+	// Scrape mid-workload: the exposition must be well-formed while
+	// counters are moving.
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; !stop.Load(); i++ {
+			db.MustExec(fmt.Sprintf(
+				`update stocks set price = %g where symbol = 'S%02d'`,
+				100+float64(i%17), i%symbols))
+		}
+	}()
+	time.Sleep(30 * time.Millisecond)
+	body := httpGet(t, "http://"+addr+"/metrics")
+	stop.Store(true)
+	wg.Wait()
+	parsePromStrict(t, body)
+
+	// Drain, then assert the key series on a settled scrape.
+	for i := 0; i < 3; i++ {
+		time.Sleep(10 * time.Millisecond)
+		db.WaitIdle()
+	}
+	samples := parsePromStrict(t, httpGet(t, "http://"+addr+"/metrics"))
+	for _, key := range []string{
+		"strip_txn_committed",
+		`strip_action_fired{function="mirror_price"}`,
+		`strip_action_latency_micros_count{function="mirror_price"}`,
+		`strip_rule_eval_micros{function="mirror_price"}`,
+		`strip_rule_rows_written{function="mirror_price"}`,
+		`strip_staleness_p95_micros{function="mirror_price"}`,
+		"strip_trace_events",
+	} {
+		if samples[key] <= 0 {
+			t.Errorf("key series %s = %g, want > 0", key, samples[key])
+		}
+	}
+
+	// The profile API agrees with the exposition.
+	p, ok := db.RuleProfile("mirror_price")
+	if !ok || p.EvalMicros <= 0 {
+		t.Errorf("RuleProfile(mirror_price): ok=%v eval=%dµs, want fired rule with eval cost", ok, p.EvalMicros)
+	}
+	if got := samples[`strip_rule_eval_micros{function="mirror_price"}`]; int64(got) > p.EvalMicros {
+		t.Errorf("exposition eval_micros %g exceeds later profile %d", got, p.EvalMicros)
+	}
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return string(b)
+}

@@ -39,6 +39,7 @@ import (
 	"github.com/stripdb/strip/internal/cost"
 	"github.com/stripdb/strip/internal/index"
 	"github.com/stripdb/strip/internal/lock"
+	"github.com/stripdb/strip/internal/mon"
 	"github.com/stripdb/strip/internal/obs"
 	"github.com/stripdb/strip/internal/query"
 	"github.com/stripdb/strip/internal/sched"
@@ -186,6 +187,16 @@ type Config struct {
 	// ExecRetry retries Exec DML transparently on transient concurrency
 	// aborts (zero value = no retries; see RetryPolicy).
 	ExecRetry RetryPolicy
+	// MonitorAddr starts the stripmon HTTP listener on this address
+	// (host:port; ":0" picks a free port — see DB.MonitorAddr). It serves
+	// /metrics (Prometheus text exposition), /debug/trace (causal span
+	// dump), /debug/rules (per-rule cost profiles + breaker health), and
+	// /debug/pprof. Empty (the default) disables the listener.
+	MonitorAddr string
+	// TraceCap overrides the trace ring capacity (default
+	// obs.DefaultTraceCap, 4096 events). Larger rings keep longer causal
+	// histories for /debug/trace at ~64 bytes per slot.
+	TraceCap int
 }
 
 // OverloadPolicy configures the scheduler's overload control. Disabled by
@@ -238,6 +249,7 @@ type DB struct {
 	sched  *sched.Scheduler
 	engine *core.Engine
 	wal    *wal.Log
+	mon    *mon.Server
 	live   bool
 
 	// ddlMu serializes DDL against checkpoints: a checkpoint must see the
@@ -275,6 +287,9 @@ func Open(cfg Config) (*DB, error) {
 	}
 	db.meter = cost.NewMeter()
 	db.obs = obs.NewRegistry()
+	if cfg.TraceCap > 0 {
+		db.obs.SetTraceCap(cfg.TraceCap)
+	}
 	if cfg.LockShards > 0 {
 		db.locks = lock.NewSharded(cfg.LockShards)
 	} else {
@@ -314,6 +329,16 @@ func Open(cfg Config) (*DB, error) {
 		// the first post-recovery snapshot sees exactly the committed
 		// prefix.
 		db.txns.SeedLSN(w.NextLSN() - 1)
+	}
+	if cfg.MonitorAddr != "" {
+		m, err := mon.Start(cfg.MonitorAddr, db.obs, db.clk.Now, func() any { return db.engine.RuleHealth() })
+		if err != nil {
+			if db.wal != nil {
+				db.wal.Close() //nolint:errcheck // already failing
+			}
+			return nil, err
+		}
+		db.mon = m
 	}
 	if !cfg.Virtual {
 		workers := cfg.Workers
@@ -370,10 +395,25 @@ func (db *DB) Close() error {
 	} else {
 		db.sched.Stop()
 	}
+	if db.mon != nil {
+		// Stop serving before the WAL's final fsync so no scrape observes a
+		// half-closed engine.
+		db.mon.Close() //nolint:errcheck // read-only surface; nothing to lose
+		db.mon = nil
+	}
 	if db.wal != nil {
 		db.closeErr = db.wal.Close()
 	}
 	return db.closeErr
+}
+
+// MonitorAddr returns the stripmon listener's bound address (useful with
+// Config.MonitorAddr ":0"), or "" when monitoring is disabled.
+func (db *DB) MonitorAddr() string {
+	if db.mon == nil {
+		return ""
+	}
+	return db.mon.Addr()
 }
 
 // Begin starts a transaction.
