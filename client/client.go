@@ -1,0 +1,254 @@
+// Package client is the Go client for stripd, the strip network server.
+// It speaks the length-prefixed binary protocol from internal/server: one
+// TCP connection per Client, a HELLO/WELCOME handshake carrying the auth
+// token and tenant, then synchronous request/response frames.
+//
+// Errors decode to the same sentinels the embedded engine returns, so
+// errors.Is(err, strip.ErrDeadlock) and strip.IsRetryable(err) behave
+// identically for remote and embedded callers. Busy-shed requests (the
+// server's admission control returning a retryable busy code) are retried
+// transparently, paced by a token bucket so a thundering herd of shed
+// clients cannot re-stampede a saturated server.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/stripdb/strip/internal/ratelimit"
+	"github.com/stripdb/strip/internal/server"
+	"github.com/stripdb/strip/internal/types"
+)
+
+// Value is a column value (re-exported from the engine's type system).
+type Value = types.Value
+
+// Result is one statement's outcome: Columns/Rows for selects, Affected
+// for DML.
+type Result struct {
+	Columns  []string
+	Rows     [][]Value
+	Affected int
+}
+
+// Options tunes Dial.
+type Options struct {
+	// Token is the auth token (must match the server's, when set there).
+	Token string
+	// Tenant names the client's tenant for per-tenant admission control.
+	Tenant string
+	// DialTimeout bounds the TCP connect + handshake. Default 5s.
+	DialTimeout time.Duration
+	// CallTimeout bounds one request/response round trip. Default 30s.
+	CallTimeout time.Duration
+	// BusyRetries is how many times a busy-shed statement is retried before
+	// the busy error surfaces. Default 4; negative disables retry.
+	BusyRetries int
+	// RetryInterval paces busy retries: a token bucket mints one retry
+	// token per interval, so shed clients back off instead of hammering.
+	// Default 50ms.
+	RetryInterval time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.CallTimeout <= 0 {
+		o.CallTimeout = 30 * time.Second
+	}
+	if o.BusyRetries == 0 {
+		o.BusyRetries = 4
+	}
+	if o.BusyRetries < 0 {
+		o.BusyRetries = 0
+	}
+	if o.RetryInterval <= 0 {
+		o.RetryInterval = 50 * time.Millisecond
+	}
+	return o
+}
+
+// Client is one stripd connection. Methods are safe for concurrent use;
+// requests serialize on the connection.
+type Client struct {
+	opts      Options
+	sessionID int64
+
+	mu    sync.Mutex
+	conn  net.Conn
+	retry *ratelimit.Bucket // paces busy retries on wall-time micros
+}
+
+// Dial connects to a stripd server and completes the handshake.
+func Dial(addr string, opts Options) (*Client, error) {
+	opts = opts.withDefaults()
+	conn, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	conn.SetDeadline(time.Now().Add(opts.DialTimeout)) //nolint:errcheck
+	if err := server.WriteFrame(conn, server.FrameHello, server.EncodeHello(opts.Token, opts.Tenant)); err != nil {
+		conn.Close() //nolint:errcheck
+		return nil, fmt.Errorf("client: handshake: %w", err)
+	}
+	typ, payload, err := server.ReadFrame(conn)
+	if err != nil {
+		conn.Close() //nolint:errcheck
+		return nil, fmt.Errorf("client: handshake: %w", err)
+	}
+	if typ == server.FrameErr {
+		conn.Close() //nolint:errcheck
+		code, msg, derr := server.DecodeErr(payload)
+		if derr != nil {
+			return nil, fmt.Errorf("client: handshake refused: %w", derr)
+		}
+		return nil, server.DecodeError(code, msg)
+	}
+	if typ != server.FrameWelcome {
+		conn.Close() //nolint:errcheck
+		return nil, fmt.Errorf("client: unexpected handshake frame 0x%02x", typ)
+	}
+	sid, err := server.DecodeWelcome(payload)
+	if err != nil {
+		conn.Close() //nolint:errcheck
+		return nil, err
+	}
+	conn.SetDeadline(time.Time{}) //nolint:errcheck
+	return &Client{
+		opts:      opts,
+		sessionID: sid,
+		conn:      conn,
+		retry:     ratelimit.New(1, opts.RetryInterval.Microseconds()),
+	}, nil
+}
+
+// SessionID reports the server-assigned session id.
+func (c *Client) SessionID() int64 { return c.sessionID }
+
+// Close closes the connection. An open transaction is aborted server-side.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// do runs one round trip. The caller owns retry policy.
+func (c *Client) do(typ byte, payload []byte) (byte, []byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return 0, nil, fmt.Errorf("client: connection closed")
+	}
+	c.conn.SetDeadline(time.Now().Add(c.opts.CallTimeout)) //nolint:errcheck
+	if err := server.WriteFrame(c.conn, typ, payload); err != nil {
+		return 0, nil, err
+	}
+	rt, rp, err := server.ReadFrame(c.conn)
+	return rt, rp, err
+}
+
+// call runs one round trip, decoding ERR frames into typed errors and
+// retrying busy sheds under the pacing bucket.
+func (c *Client) call(typ byte, payload []byte) (byte, []byte, error) {
+	for attempt := 0; ; attempt++ {
+		rt, rp, err := c.do(typ, payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		if rt != server.FrameErr {
+			return rt, rp, nil
+		}
+		code, msg, derr := server.DecodeErr(rp)
+		if derr != nil {
+			return 0, nil, derr
+		}
+		werr := server.DecodeError(code, msg)
+		if !errors.Is(werr, server.ErrBusy) || attempt >= c.opts.BusyRetries {
+			return 0, nil, werr
+		}
+		// Busy shed: wait for a retry token (wall-clock micros) so a fleet
+		// of shed clients trickles back instead of stampeding.
+		for {
+			now := time.Now().UnixMicro()
+			if c.retry.TryTake(now) {
+				break
+			}
+			wait := c.retry.NextToken(now)
+			if wait < 0 {
+				return 0, nil, werr
+			}
+			time.Sleep(time.Duration(wait) * time.Microsecond)
+		}
+	}
+}
+
+// statement runs one SQL frame and decodes its result.
+func (c *Client) statement(typ byte, sql string) (*Result, error) {
+	rt, rp, err := c.call(typ, server.EncodeSQL(sql))
+	if err != nil {
+		return nil, err
+	}
+	switch rt {
+	case server.FrameRows:
+		cols, rows, err := server.DecodeRows(rp)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Columns: cols, Rows: rows}, nil
+	case server.FrameOK:
+		n, err := server.DecodeOK(rp)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Affected: n}, nil
+	default:
+		return nil, fmt.Errorf("client: unexpected response frame 0x%02x", rt)
+	}
+}
+
+// Query runs one SELECT. Outside a transaction it is eligible for the
+// server's shared snapshot execution.
+func (c *Client) Query(sql string) (*Result, error) {
+	return c.statement(server.FrameQuery, sql)
+}
+
+// Exec runs one statement (DDL, DML, or SELECT) — inside the session
+// transaction when one is open, auto-committed otherwise.
+func (c *Client) Exec(sql string) (*Result, error) {
+	return c.statement(server.FrameExec, sql)
+}
+
+// control runs one bodyless transaction-control or ping frame.
+func (c *Client) control(typ byte) error {
+	rt, _, err := c.call(typ, nil)
+	if err != nil {
+		return err
+	}
+	switch rt {
+	case server.FrameOK, server.FramePong:
+		return nil
+	default:
+		return fmt.Errorf("client: unexpected response frame 0x%02x", rt)
+	}
+}
+
+// Begin opens the session's interactive transaction.
+func (c *Client) Begin() error { return c.control(server.FrameBegin) }
+
+// Commit commits it.
+func (c *Client) Commit() error { return c.control(server.FrameCommit) }
+
+// Abort aborts it.
+func (c *Client) Abort() error { return c.control(server.FrameAbort) }
+
+// Ping checks liveness.
+func (c *Client) Ping() error { return c.control(server.FramePing) }

@@ -23,6 +23,12 @@
 // \profile, \span <traceID>, \checkpoint, \wal, \quit. With -monitor
 // <addr> the stripmon HTTP surface (/metrics, /debug/trace, /debug/rules,
 // /debug/pprof) serves the same session.
+//
+// With -connect <host:port> the shell instead speaks the stripd wire
+// protocol to a remote server: SQL statements travel as QUERY/EXEC frames,
+// and \begin, \commit, \abort control the session's interactive
+// transaction (idle transactions are reaped server-side). -token and
+// -tenant set the handshake credentials.
 package main
 
 import (
@@ -34,12 +40,21 @@ import (
 	"strings"
 
 	strip "github.com/stripdb/strip"
+	"github.com/stripdb/strip/client"
 )
 
 func main() {
 	dataDir := flag.String("data", "", "durable data directory (WAL + snapshots); empty keeps the session in-memory")
 	monitor := flag.String("monitor", "", "stripmon HTTP listen address (e.g. :9620); empty disables")
+	connect := flag.String("connect", "", "remote stripd address (host:port); empty runs an in-process engine")
+	token := flag.String("token", "", "auth token for -connect")
+	tenant := flag.String("tenant", "", "tenant name for -connect")
 	flag.Parse()
+
+	if *connect != "" {
+		remoteShell(*connect, *token, *tenant)
+		return
+	}
 
 	db, err := strip.Open(strip.Config{Workers: 2, DataDir: *dataDir, MonitorAddr: *monitor})
 	if err != nil {
@@ -232,4 +247,96 @@ func main() {
 			fmt.Println("ok")
 		}
 	}
+}
+
+// remoteShell is the -connect REPL: the same SQL surface, executed over
+// the stripd wire protocol instead of an in-process engine.
+func remoteShell(addr, token, tenant string) {
+	c, err := client.Dial(addr, client.Options{Token: token, Tenant: tenant})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "strip-cli:", err)
+		os.Exit(1)
+	}
+	defer c.Close()
+	fmt.Printf("connected to stripd at %s (session %d)\n", addr, c.SessionID())
+	fmt.Println(`STRIP remote shell — SQL statements end at newline; \help for meta commands.`)
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("strip> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case line == `\quit` || line == `\q`:
+			return
+		case line == `\help`:
+			fmt.Println(`meta commands:
+  \begin     open the session's interactive transaction
+  \commit    commit it
+  \abort     abort it
+  \ping      round-trip liveness check
+  \quit
+SQL statements run as QUERY (select) or EXEC (everything else) frames;
+selects outside a transaction are eligible for shared snapshot execution.`)
+			continue
+		case line == `\begin`:
+			reportRemote(c.Begin())
+			continue
+		case line == `\commit`:
+			reportRemote(c.Commit())
+			continue
+		case line == `\abort`:
+			reportRemote(c.Abort())
+			continue
+		case line == `\ping`:
+			reportRemote(c.Ping())
+			continue
+		case strings.HasPrefix(line, `\`):
+			fmt.Println("error: unknown meta command (remote mode; \\help)")
+			continue
+		}
+		var res *client.Result
+		if strings.HasPrefix(strings.ToLower(line), "select") {
+			res, err = c.Query(line)
+		} else {
+			res, err = c.Exec(line)
+		}
+		if err != nil {
+			fmt.Println("error:", err)
+			if strip.IsRetryable(err) {
+				fmt.Println("(transient: safe to retry)")
+			}
+			continue
+		}
+		switch {
+		case res.Columns != nil:
+			fmt.Println(strings.Join(res.Columns, " | "))
+			for _, row := range res.Rows {
+				parts := make([]string, len(row))
+				for i, v := range row {
+					parts[i] = v.String()
+				}
+				fmt.Println(strings.Join(parts, " | "))
+			}
+			fmt.Printf("(%d rows)\n", len(res.Rows))
+		case res.Affected > 0:
+			fmt.Printf("ok (%d rows)\n", res.Affected)
+		default:
+			fmt.Println("ok")
+		}
+	}
+}
+
+func reportRemote(err error) {
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("ok")
 }

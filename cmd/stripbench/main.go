@@ -11,6 +11,7 @@
 //	stripbench -exp fig13 -include-option-symbol
 //	stripbench -exp contention -workers 1,2,4,8   # lock-scaling sweep
 //	stripbench -exp mvcc                # snapshot-read scan-vs-writer sweep
+//	stripbench -exp serve               # stripd open-loop client sweep
 //
 // Paper-scale runs replay ≈60,000 updates per (variant, delay) point and
 // take a few minutes in total; -scale small completes in seconds.
@@ -26,7 +27,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, comps, options, fig9..fig14, table1, sched, locality, taper, wal, contention, mvcc, overload")
+	exp := flag.String("exp", "all", "experiment: all, comps, options, fig9..fig14, table1, sched, locality, taper, wal, contention, mvcc, overload, serve")
 	scale := flag.String("scale", "paper", "workload scale: paper or small")
 	includeOptSym := flag.Bool("include-option-symbol", false,
 		"also run the unique-on-option_symbol configuration (the paper found it unmanageable)")
@@ -74,6 +75,12 @@ func main() {
 			path = "BENCH_overload.json"
 		}
 		runOverload(path, *scale, progress)
+	case "serve":
+		path := *metricsPath
+		if path == "BENCH_metrics.json" {
+			path = "BENCH_serve.json"
+		}
+		runServeBench(path, *scale, progress)
 	case "sched":
 		if err := ptabench.RunSchedAblation(os.Stdout, wcfg, progress); err != nil {
 			fail(err)

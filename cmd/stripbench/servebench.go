@@ -1,0 +1,278 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	strip "github.com/stripdb/strip"
+	"github.com/stripdb/strip/client"
+	"github.com/stripdb/strip/internal/obs"
+)
+
+// The serve experiment measures stripd under an open-loop read sweep: n
+// remote clients each issue shareable SELECTs on a fixed arrival schedule
+// (latency is measured from the scheduled send time, so queueing delay is
+// charged — no coordinated omission), against two server configurations:
+//
+//   - perquery: ShareWindow 0 — every QUERY frame runs its own read-only
+//     snapshot transaction and table scan.
+//   - shared:   ShareWindow 2ms — compatible QUERY frames arriving within
+//     one gather window batch onto a single snapshot scan at one LSN and
+//     demultiplex rows to each waiting session.
+//
+// At low client counts the shared mode pays the gather window in latency
+// for nothing; past the crossover the scan amortization dominates and
+// shared qps pulls ahead — the SharedDB bet, measured end to end through
+// the wire protocol. A low-rate writer keeps LSNs advancing so snapshot
+// reads exercise real version chains.
+
+type serveRun struct {
+	Mode    string `json:"mode"` // perquery, shared
+	Clients int    `json:"clients"`
+
+	Queries  int64   `json:"queries"`
+	QPS      float64 `json:"qps"`
+	P50Micros int64  `json:"p50_micros"`
+	P95Micros int64  `json:"p95_micros"`
+	P99Micros int64  `json:"p99_micros"`
+
+	SharedGroups    int64 `json:"shared_groups"`
+	SharedQueries   int64 `json:"shared_queries"`
+	SharedFallbacks int64 `json:"shared_fallbacks"`
+	SnapshotScans   int64 `json:"snapshot_scans"`
+	BusyRejected    int64 `json:"busy_rejected"`
+}
+
+type serveResult struct {
+	Experiment string     `json:"experiment"`
+	Scale      string     `json:"scale"`
+	Rows       int        `json:"rows"`
+	IntervalUs int64      `json:"arrival_interval_micros"`
+	DurationMs float64    `json:"duration_ms"`
+	Runs       []serveRun `json:"runs"`
+
+	// SharedSpeedup is shared qps / perquery qps at the largest client
+	// count (the acceptance cell: >= 256 concurrent readers).
+	SharedSpeedupClients int     `json:"shared_speedup_clients"`
+	SharedSpeedup        float64 `json:"shared_speedup"`
+}
+
+// serveArrival is each client's request schedule: one query per interval.
+const serveArrival = 4 * time.Millisecond
+
+// serveOnce runs one (mode, clients) cell on a fresh server for roughly d.
+func serveOnce(share bool, clients, rows int, d time.Duration) (serveRun, error) {
+	window := time.Duration(0)
+	mode := "perquery"
+	if share {
+		window, mode = 2*time.Millisecond, "shared"
+	}
+	db, err := strip.Open(strip.Config{
+		Workers:    2,
+		ListenAddr: "127.0.0.1:0",
+		Serve: strip.ServeOptions{
+			MaxConns:    clients + 16,
+			MaxInflight: clients + 16,
+			ShareWindow: window,
+		},
+	})
+	if err != nil {
+		return serveRun{}, err
+	}
+	defer db.Close() //nolint:errcheck
+
+	db.MustExec(`create table positions (sym text, value float)`)
+	for i := 0; i < rows; i++ {
+		db.MustExec(fmt.Sprintf(`insert into positions values ('P%04d', 100)`, i))
+	}
+
+	// Shareable query mix: single-table SELECTs over the same relation so
+	// the gatherer can batch them onto one scan. All three are scan-heavy
+	// with tiny outputs (aggregates and a point lookup on the unindexed
+	// key), so the cost being amortized is the snapshot scan itself.
+	mix := []string{
+		`select sum(value) as total from positions`,
+		`select count(sym) as n from positions`,
+		`select sym, value from positions where sym = 'P0001'`,
+	}
+
+	// Dial all clients up front (staggered) so the measured window has a
+	// steady population.
+	conns := make([]*client.Client, clients)
+	var dialWG sync.WaitGroup
+	dialSem := make(chan struct{}, 64)
+	var dialErr atomic.Value
+	for i := range conns {
+		dialWG.Add(1)
+		go func(i int) {
+			defer dialWG.Done()
+			dialSem <- struct{}{}
+			defer func() { <-dialSem }()
+			c, err := client.Dial(db.ServerAddr(), client.Options{DialTimeout: 10 * time.Second})
+			if err != nil {
+				dialErr.Store(err)
+				return
+			}
+			conns[i] = c
+		}(i)
+	}
+	dialWG.Wait()
+	if err, _ := dialErr.Load().(error); err != nil {
+		return serveRun{}, err
+	}
+	defer func() {
+		for _, c := range conns {
+			if c != nil {
+				c.Close() //nolint:errcheck
+			}
+		}
+	}()
+
+	// Low-rate writer: LSN churn so snapshot scans walk real version chains.
+	var stop atomic.Bool
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		for i := 0; !stop.Load(); i++ {
+			sym := fmt.Sprintf("P%04d", i%rows)
+			db.MustExec(`update positions set value = value + 1 where sym = '` + sym + `'`)
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	lats := make([][]int64, clients)
+	var done int64
+	var runErr atomic.Value
+	start := time.Now()
+	end := start.Add(d)
+	var wg sync.WaitGroup
+	for i, c := range conns {
+		wg.Add(1)
+		go func(i int, c *client.Client) {
+			defer wg.Done()
+			next := start
+			for {
+				now := time.Now()
+				if now.After(end) {
+					return
+				}
+				if now.Before(next) {
+					time.Sleep(next.Sub(now))
+				}
+				// Latency from the SCHEDULED send time: a request delayed
+				// behind its predecessor on this connection is charged that
+				// queueing, as an open-loop harness must.
+				if _, err := c.Query(mix[len(lats[i])%len(mix)]); err != nil {
+					runErr.Store(fmt.Errorf("client %d: %w", i, err))
+					return
+				}
+				lats[i] = append(lats[i], time.Since(next).Microseconds())
+				next = next.Add(serveArrival)
+				atomic.AddInt64(&done, 1)
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	stop.Store(true)
+	writerWG.Wait()
+	if err, _ := runErr.Load().(error); err != nil {
+		return serveRun{}, err
+	}
+
+	var all []int64
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	pct := func(p float64) int64 {
+		if len(all) == 0 {
+			return 0
+		}
+		idx := int(p * float64(len(all)-1))
+		return all[idx]
+	}
+
+	reg := db.Obs()
+	return serveRun{
+		Mode:      mode,
+		Clients:   clients,
+		Queries:   done,
+		QPS:       float64(done) / elapsed.Seconds(),
+		P50Micros: pct(0.50),
+		P95Micros: pct(0.95),
+		P99Micros: pct(0.99),
+
+		SharedGroups:    reg.Counter(obs.MSharedGroups).Load(),
+		SharedQueries:   reg.Counter(obs.MSharedQueries).Load(),
+		SharedFallbacks: reg.Counter(obs.MSharedFallbacks).Load(),
+		SnapshotScans:   reg.Counter(obs.MMvccSnapshotScans).Load(),
+		BusyRejected:    reg.Counter(obs.MServerBusy).Load(),
+	}, nil
+}
+
+func runServeBench(metricsPath, scale string, progress func(string)) {
+	rows, d := 2048, 1200*time.Millisecond
+	sweep := []int{1, 4, 16, 64, 256, 1024}
+	if scale == "small" {
+		rows, d = 1024, 600*time.Millisecond
+		sweep = []int{1, 16, 64, 256}
+	}
+
+	res := serveResult{
+		Experiment: "serve",
+		Scale:      scale,
+		Rows:       rows,
+		IntervalUs: serveArrival.Microseconds(),
+		DurationMs: float64(d.Microseconds()) / 1000,
+	}
+	qps := map[string]map[int]float64{"perquery": {}, "shared": {}}
+	for _, share := range []bool{false, true} {
+		for _, n := range sweep {
+			run, err := serveOnce(share, n, rows, d)
+			if err != nil {
+				fail(err)
+			}
+			qps[run.Mode][n] = run.QPS
+			res.Runs = append(res.Runs, run)
+			if progress != nil {
+				progress(fmt.Sprintf("serve mode=%-8s clients=%-4d qps=%.0f p95=%dµs groups=%d shared_q=%d",
+					run.Mode, run.Clients, run.QPS, run.P95Micros, run.SharedGroups, run.SharedQueries))
+			}
+		}
+	}
+
+	maxN := sweep[len(sweep)-1]
+	res.SharedSpeedupClients = maxN
+	if pq := qps["perquery"][maxN]; pq > 0 {
+		res.SharedSpeedup = qps["shared"][maxN] / pq
+	}
+
+	fmt.Printf("%-10s %8s %12s %12s %12s %14s\n", "mode", "clients", "qps", "p95_µs", "p99_µs", "shared_groups")
+	for _, r := range res.Runs {
+		fmt.Printf("%-10s %8d %12.0f %12d %12d %14d\n",
+			r.Mode, r.Clients, r.QPS, r.P95Micros, r.P99Micros, r.SharedGroups)
+	}
+	fmt.Printf("shared-scan speedup at %d clients: %.2fx\n", maxN, res.SharedSpeedup)
+
+	if metricsPath == "" {
+		return
+	}
+	f, err := os.Create(metricsPath)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close() //nolint:errcheck
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&res); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", metricsPath)
+}

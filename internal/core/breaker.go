@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"github.com/stripdb/strip/internal/clock"
+	"github.com/stripdb/strip/internal/ratelimit"
 )
 
 // Circuit breakers quarantine misbehaving rules (S-Store-style per-dataflow
@@ -33,6 +34,14 @@ const DefaultBreakerThreshold = 5
 // admitted (1s).
 const DefaultBreakerCooldown clock.Micros = 1_000_000
 
+// probeDivisor sets the half-open probe pace: one probe token refills every
+// cooldown/probeDivisor. A just-healed function therefore sees at most a
+// few probes per cool-down instead of a firing stampede, and — unlike the
+// old one-probe-in-flight flag — a probe whose outcome is lost (shed,
+// merged away) cannot wedge the breaker half-open forever: the bucket mints
+// another probe on schedule.
+const probeDivisor = 4
+
 // breaker is one user function's circuit breaker. All transitions happen
 // under mu; engine time comes from the caller so the breaker works under
 // both real and virtual clocks.
@@ -42,9 +51,9 @@ type breaker struct {
 	cooldown  clock.Micros // open duration before a half-open probe
 
 	state    string
-	consec   int          // consecutive permanent failures while closed
-	openedAt clock.Micros // when the breaker last opened
-	probing  bool         // a half-open probe task is in flight
+	consec   int               // consecutive permanent failures while closed
+	openedAt clock.Micros      // when the breaker last opened
+	probes   *ratelimit.Bucket // paces half-open probes (one per cooldown/probeDivisor)
 
 	quarantines int64 // times the breaker opened
 	dropped     int64 // firings dropped while open
@@ -62,8 +71,9 @@ func newBreaker(threshold int, cooldown clock.Micros) *breaker {
 
 // allow reports whether a new task for the function may be created at
 // engine time now. While open it returns false until the cool-down
-// elapses, then admits exactly one probe (half-open) until that probe
-// resolves.
+// elapses, then enters half-open, where a token bucket admits probes at
+// one per cooldown/probeDivisor (the first is granted immediately) until
+// an outcome closes or re-opens the breaker.
 func (b *breaker) allow(now clock.Micros) bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -76,15 +86,19 @@ func (b *breaker) allow(now clock.Micros) bool {
 			return false
 		}
 		b.state = BreakerHalfOpen
-		b.probing = true
-		return true
-	default: // half-open
-		if b.probing {
-			b.dropped++
-			return false
+		refill := int64(b.cooldown) / probeDivisor
+		if refill < 1 {
+			refill = 1
 		}
-		b.probing = true
+		b.probes = ratelimit.New(1, refill)
+		b.probes.TryTake(int64(now)) // this admission is the first probe
 		return true
+	default: // half-open: the bucket paces further probes
+		if b.probes != nil && b.probes.TryTake(int64(now)) {
+			return true
+		}
+		b.dropped++
+		return false
 	}
 }
 
@@ -94,7 +108,7 @@ func (b *breaker) onSuccess() {
 	defer b.mu.Unlock()
 	b.state = BreakerClosed
 	b.consec = 0
-	b.probing = false
+	b.probes = nil
 }
 
 // onFailure records a permanent task failure at engine time now and reports
@@ -107,7 +121,7 @@ func (b *breaker) onFailure(now clock.Micros) bool {
 	case BreakerHalfOpen:
 		b.state = BreakerOpen
 		b.openedAt = now
-		b.probing = false
+		b.probes = nil
 		b.quarantines++
 		return true
 	case BreakerOpen:

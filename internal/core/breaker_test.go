@@ -1,0 +1,60 @@
+package core
+
+import "testing"
+
+// TestBreakerHalfOpenTokenBucket: after the cool-down the breaker admits
+// one probe immediately and then paces further probes at one per
+// cooldown/probeDivisor — a firing burst against a just-healed function
+// cannot stampede it, and a probe whose outcome never resolves (shed or
+// merged away) does not wedge the breaker half-open forever.
+func TestBreakerHalfOpenTokenBucket(t *testing.T) {
+	const cooldown = 1_000_000 // 1s engine time
+	b := newBreaker(2, cooldown)
+	b.onFailure(0)
+	if opened := b.onFailure(0); !opened {
+		t.Fatal("second failure should open the breaker")
+	}
+	if b.allow(cooldown - 1) {
+		t.Fatal("breaker must stay open inside the cool-down")
+	}
+
+	// Cool-down elapsed: the first admission is the probe.
+	if !b.allow(cooldown) {
+		t.Fatal("cool-down elapsed: probe should be admitted")
+	}
+	if b.health("f").State != BreakerHalfOpen {
+		t.Fatalf("state = %s, want half-open", b.health("f").State)
+	}
+
+	// A burst right behind the probe is dropped (no stampede)...
+	for i := 0; i < 5; i++ {
+		if b.allow(cooldown + 1) {
+			t.Fatalf("burst firing %d admitted during probe pacing", i)
+		}
+	}
+	// ...but the bucket mints another probe after cooldown/probeDivisor,
+	// even though the first probe never resolved.
+	if !b.allow(cooldown + cooldown/probeDivisor + 1) {
+		t.Fatal("paced follow-up probe should be admitted")
+	}
+
+	// A probe success closes; a new failure streak is needed to re-open.
+	b.onSuccess()
+	h := b.health("f")
+	if h.State != BreakerClosed || h.ConsecutiveFailures != 0 {
+		t.Fatalf("after success: %+v, want closed/0", h)
+	}
+
+	// And a probe failure in half-open re-opens immediately.
+	b.onFailure(2 * cooldown)
+	b.onFailure(2 * cooldown)
+	if !b.allow(3 * cooldown) {
+		t.Fatal("second probe window should admit")
+	}
+	if opened := b.onFailure(3 * cooldown); !opened {
+		t.Fatal("half-open probe failure must re-open the breaker")
+	}
+	if b.allow(3*cooldown + 1) {
+		t.Fatal("breaker must be open after a failed probe")
+	}
+}

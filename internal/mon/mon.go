@@ -21,6 +21,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"sync"
 	"time"
 
 	"github.com/stripdb/strip/internal/obs"
@@ -33,6 +34,9 @@ type Server struct {
 	health func() any
 	ln     net.Listener
 	srv    *http.Server
+
+	extraMu sync.RWMutex
+	extra   map[string]http.Handler // post-Start mounts (e.g. /debug/sessions)
 }
 
 // Start binds addr (host:port; an empty host or port 0 are fine) and serves
@@ -43,8 +47,9 @@ func Start(addr string, reg *obs.Registry, now func() int64, health func() any) 
 	if err != nil {
 		return nil, fmt.Errorf("mon: listen %s: %w", addr, err)
 	}
-	s := &Server{reg: reg, now: now, health: health, ln: ln}
+	s := &Server{reg: reg, now: now, health: health, ln: ln, extra: make(map[string]http.Handler)}
 	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleExtra)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/trace", s.handleTrace)
 	mux.HandleFunc("/debug/rules", s.handleRules)
@@ -60,6 +65,28 @@ func Start(addr string, reg *obs.Registry, now func() int64, health func() any) 
 
 // Addr returns the bound listen address (resolves ":0" ports).
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Handle mounts h at path, even after Start — subsystems that come up
+// later than the monitor (the network server's /debug/sessions) register
+// here.
+func (s *Server) Handle(path string, h http.Handler) {
+	s.extraMu.Lock()
+	s.extra[path] = h
+	s.extraMu.Unlock()
+}
+
+// handleExtra dispatches paths the static mux does not own to the dynamic
+// handler table.
+func (s *Server) handleExtra(w http.ResponseWriter, r *http.Request) {
+	s.extraMu.RLock()
+	h := s.extra[r.URL.Path]
+	s.extraMu.RUnlock()
+	if h == nil {
+		http.NotFound(w, r)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
 
 // Close stops the listener, waiting briefly for in-flight requests.
 func (s *Server) Close() error {

@@ -96,6 +96,33 @@ const (
 	// circuit breaker was open.
 	MActionShed        = "action.shed"
 	MActionQuarantined = "action.quarantined"
+
+	// server.* instruments the stripd network surface: connection and
+	// session lifecycle, per-frame traffic, and admission-control outcomes
+	// (busy sheds, auth rejections, drain rejections, reaped idle
+	// transactions).
+	MServerConns        = "server.connections"
+	MServerActive       = "server.active_sessions"
+	MServerFrames       = "server.frames"
+	MServerQueries      = "server.queries"
+	MServerExecs        = "server.execs"
+	MServerTxnBegins    = "server.txn_begins"
+	MServerBusy         = "server.busy_rejected"
+	MServerAuthFail     = "server.auth_failures"
+	MServerBadFrames    = "server.bad_frames"
+	MServerTxnsReaped   = "server.txns_reaped"
+	MServerDrainRejects = "server.drain_rejected"
+	MServerQueryMicros  = "server.query_micros"
+
+	// shared.* instruments shared snapshot query execution: how many
+	// gather groups ran, how many queries they absorbed (vs fell back to
+	// per-query execution), group sizes, and the rows one shared scan fed
+	// to its whole group.
+	MSharedGroups    = "shared.groups"
+	MSharedQueries   = "shared.queries"
+	MSharedFallbacks = "shared.fallbacks"
+	MSharedGroupSize = "shared.group_size"
+	MSharedScanRows  = "shared.rows_scanned"
 )
 
 // ForFunc scopes a per-function metric name: ForFunc(MActionFired, "f") ==

@@ -30,6 +30,8 @@ const (
 	KindRuleQuarantine
 	KindTaskRetry
 	KindStaleSample
+	KindSessionOpen
+	KindSessionClose
 )
 
 // String names the kind.
@@ -65,6 +67,10 @@ func (k Kind) String() string {
 		return "task.retry"
 	case KindStaleSample:
 		return "stale.sample"
+	case KindSessionOpen:
+		return "session.open"
+	case KindSessionClose:
+		return "session.close"
 	default:
 		return "unknown"
 	}
@@ -77,7 +83,7 @@ func (k Kind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
 // /debug/trace dumps into Event values. Unrecognized names decode to 0.
 func (k *Kind) UnmarshalText(text []byte) error {
 	s := string(text)
-	for c := KindTxnCommit; c <= KindStaleSample; c++ {
+	for c := KindTxnCommit; c <= KindSessionClose; c++ {
 		if c.String() == s {
 			*k = c
 			return nil

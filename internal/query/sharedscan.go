@@ -1,0 +1,227 @@
+package query
+
+import (
+	"fmt"
+
+	"github.com/stripdb/strip/internal/obs"
+	"github.com/stripdb/strip/internal/storage"
+	"github.com/stripdb/strip/internal/txn"
+)
+
+// Shared query execution (SharedDB-style): a batch of compatible read-only
+// SELECTs over the same table executes as ONE snapshot scan pass at a
+// single LSN, demultiplexing each visible record to every query's residual
+// filters and output builder. With thousands of concurrent readers over the
+// same hot derived table, per-query execution repeats the identical
+// version-chain walk once per reader; the shared pass does it once per
+// gather group. MVCC makes the sharing free of anomalies: every query in
+// the group observes exactly the snapshot at the pinned LSN, which is also
+// what each would have seen running alone at that instant.
+//
+// Compatibility is deliberately narrow — single-table FROM, any WHERE /
+// projection / aggregation / ORDER BY — because that is the shape of the
+// hot serving queries (probes and rollups over derived tables). Joins and
+// multi-statement shapes fall back to per-query execution at the caller.
+
+// SharedResult is one query's outcome from a RunShared batch. Exactly one
+// of Out/Err is meaningful; a per-query error (bad expression, unknown
+// column) does not poison the rest of the batch.
+type SharedResult struct {
+	Out *storage.TempTable
+	Err error
+}
+
+// SharedEligible reports whether q has the single-table shape the shared
+// path accepts, and over which table.
+func SharedEligible(q *Select) (table string, ok bool) {
+	if q == nil || len(q.From) != 1 {
+		return "", false
+	}
+	return q.From[0], true
+}
+
+// RunShared executes every query in one ScanSnapshot pass over table at a
+// single snapshot LSN, returning per-query results plus the LSN all of
+// them read at. tx must be a snapshot-reading transaction (BeginReadOnly);
+// the whole batch pins tx's begin snapshot, so results are mutually
+// consistent: any row one query sees at the LSN, every query sees.
+//
+// A batch-level error (unknown table, transaction not snapshot-capable)
+// fails the whole call; per-query preparation or evaluation errors land in
+// that query's SharedResult.Err only.
+func RunShared(tx *txn.Txn, table string, queries []*Select) ([]SharedResult, uint64, error) {
+	if len(queries) == 0 {
+		return nil, 0, fmt.Errorf("query: empty shared batch")
+	}
+	mgr := tx.Manager()
+	start := mgr.Clock.Now()
+	tbl, _, err := TxnResolver{}.Resolve(tx, table)
+	if err != nil {
+		return nil, 0, err
+	}
+	snap, me, ok := tx.SnapshotRead()
+	if !ok {
+		return nil, 0, fmt.Errorf("query: shared execution needs a snapshot-reading transaction")
+	}
+
+	results := make([]SharedResult, len(queries))
+	execs := make([]*exec, len(queries))   // nil once dead (errored)
+	emitting := make([]bool, len(queries)) // false: provably empty, skip rows
+	for i, q := range queries {
+		if got, okq := SharedEligible(q); !okq || got != table {
+			results[i].Err = fmt.Errorf("query: shared batch query %d is not a single-table select over %q", i, table)
+			continue
+		}
+		ex, empty, perr := prepShared(tx, tbl, table, q)
+		if perr != nil {
+			results[i].Err = perr
+			continue
+		}
+		execs[i] = ex
+		emitting[i] = !empty
+	}
+
+	// One pass: materialize the visible set under the table latch (never
+	// recurse or evaluate under it — same discipline as the per-query scan
+	// path), then feed every record to every live query.
+	mgr.Obs.Counter(obs.MMvccSnapshotScans).Inc()
+	var recs []*storage.Record
+	tbl.ScanSnapshot(snap, me, func(r *storage.Record) bool {
+		recs = append(recs, r)
+		return true
+	})
+	mgr.Obs.Counter(obs.MSharedScanRows).Add(int64(len(recs)))
+
+	model := tx.Model()
+	cur := make([]cursor, 1)
+	for _, r := range recs {
+		// The scan itself is charged once per row for the whole group —
+		// that amortization is the point of sharing the pass.
+		tx.Charge(model.ScanRow)
+		for i, ex := range execs {
+			if ex == nil || !emitting[i] {
+				continue
+			}
+			if ex.prof != nil {
+				ex.prof.RowsScanned++
+			}
+			cur[0] = cursor{src: ex.srcs[0], rec: r}
+			if verr := ex.visitShared(cur); verr != nil {
+				results[i].Err = verr
+				ex.out.Retire()
+				execs[i] = nil
+			}
+		}
+	}
+
+	for i, ex := range execs {
+		if ex == nil {
+			continue
+		}
+		out, ferr := ex.finish()
+		if ferr != nil {
+			results[i].Err = ferr
+			continue
+		}
+		if len(ex.q.OrderBy) > 0 {
+			if serr := sortResult(out, ex.q.OrderBy, ex.q.Desc); serr != nil {
+				out.Retire()
+				results[i].Err = serr
+				continue
+			}
+		}
+		results[i].Out = out
+		mgr.Obs.Counter(obs.MQuerySelects).Inc()
+	}
+	mgr.Obs.Counter(obs.MSharedGroups).Inc()
+	mgr.Obs.Counter(obs.MSharedQueries).Add(int64(len(queries)))
+	mgr.Obs.Histogram(obs.MSharedGroupSize).Record(int64(len(queries)))
+	mgr.Obs.Histogram(obs.MQuerySelectMicros).Record(mgr.Clock.Now() - start)
+	return results, snap, nil
+}
+
+// visitShared applies one record to the query's residual filters and, on a
+// full match, its output builder.
+func (ex *exec) visitShared(cur []cursor) error {
+	for _, p := range ex.residuals[0] {
+		ok, err := p.eval(cur)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+	}
+	return ex.emit(cur)
+}
+
+// prepShared builds a query's executor against an already-resolved table:
+// the per-query half of RunShared (clone, resolve, classify predicates,
+// prepare output). empty reports a constant predicate proved the result
+// empty, so the scan loop can skip the query while finish still returns
+// its (empty) output table. Index probes are deliberately not planned —
+// the batch runs as one scan, and a probe would fragment it back into
+// per-query index walks.
+func prepShared(tx *txn.Txn, tbl *storage.Table, table string, q *Select) (ex *exec, empty bool, err error) {
+	model := tx.Model()
+	tx.Charge(model.StmtSetup)
+	q = q.clone()
+	ex = &exec{q: q, tx: tx, prof: tx.Profile()}
+	ex.srcs = []*source{{name: table, schema: tbl.Schema(), tbl: tbl}}
+	tx.Charge(model.OpenCursor)
+
+	if q.Star {
+		if len(q.Items) > 0 {
+			return nil, false, fmt.Errorf("query: * cannot mix with explicit items")
+		}
+		s := ex.srcs[0]
+		for i := 0; i < s.schema.NumCols(); i++ {
+			ex.q.Items = append(ex.q.Items, Item(QCol(s.name, s.schema.Col(i).Name), ""))
+		}
+	}
+	for i := range q.Items {
+		if q.Items[i].Expr == nil {
+			return nil, false, fmt.Errorf("query: select item %d has no expression", i)
+		}
+		if err := q.Items[i].Expr.resolve(ex.srcs); err != nil {
+			return nil, false, err
+		}
+	}
+	for i := range q.Where {
+		if err := q.Where[i].resolve(ex.srcs); err != nil {
+			return nil, false, err
+		}
+	}
+	for _, g := range q.GroupBy {
+		if err := g.resolve(ex.srcs); err != nil {
+			return nil, false, err
+		}
+	}
+	if err := ex.validateAggregates(); err != nil {
+		return nil, false, err
+	}
+
+	ex.probes = make([]*probe, 1)
+	ex.residuals = make([][]Pred, 1)
+	for _, p := range q.Where {
+		if p.maxSource() < 0 {
+			ex.constPreds = append(ex.constPreds, p)
+			continue
+		}
+		ex.residuals[0] = append(ex.residuals[0], p)
+	}
+	if err := ex.prepareOutput(); err != nil {
+		return nil, false, err
+	}
+	for _, p := range ex.constPreds {
+		ok, cerr := p.eval(nil)
+		if cerr != nil {
+			ex.out.Retire()
+			return nil, false, cerr
+		}
+		if !ok {
+			return ex, true, nil
+		}
+	}
+	return ex, false, nil
+}

@@ -1,0 +1,81 @@
+package ratelimit
+
+import "testing"
+
+func TestBucketStartsFull(t *testing.T) {
+	b := New(3, 1000)
+	for i := 0; i < 3; i++ {
+		if !b.TryTake(0) {
+			t.Fatalf("take %d: bucket should start full", i)
+		}
+	}
+	if b.TryTake(0) {
+		t.Fatal("bucket should be empty after capacity takes")
+	}
+}
+
+func TestBucketRefills(t *testing.T) {
+	b := New(2, 1000)
+	b.TryTake(0)
+	b.TryTake(0)
+	if b.TryTake(500) {
+		t.Fatal("half a refill interval should not grant a token")
+	}
+	if !b.TryTake(1001) {
+		t.Fatal("one refill interval should grant a token")
+	}
+	// Refill is capped at capacity: a long gap grants at most 2.
+	if !b.TryTake(1_000_000) || !b.TryTake(1_000_000) {
+		t.Fatal("long idle should refill to capacity")
+	}
+	if b.TryTake(1_000_000) {
+		t.Fatal("refill must cap at capacity")
+	}
+}
+
+func TestBucketNextToken(t *testing.T) {
+	b := New(1, 1000)
+	if d := b.NextToken(0); d != 0 {
+		t.Fatalf("full bucket NextToken = %d, want 0", d)
+	}
+	b.TryTake(0)
+	if d := b.NextToken(0); d <= 0 || d > 1000 {
+		t.Fatalf("empty bucket NextToken = %d, want (0,1000]", d)
+	}
+	if d := b.NextToken(600); d <= 0 || d > 400 {
+		t.Fatalf("partially refilled NextToken = %d, want (0,400]", d)
+	}
+}
+
+func TestBucketNoRefill(t *testing.T) {
+	b := New(2, 0)
+	b.TryTake(0)
+	b.TryTake(0)
+	if b.TryTake(1 << 40) {
+		t.Fatal("refill-disabled bucket must never refill")
+	}
+	if d := b.NextToken(1 << 40); d != -1 {
+		t.Fatalf("NextToken = %d, want -1 (never)", d)
+	}
+}
+
+func TestBucketBackwardsClock(t *testing.T) {
+	b := New(1, 1000)
+	b.TryTake(5000)
+	if b.TryTake(100) {
+		t.Fatal("backwards clock must not mint tokens")
+	}
+	if !b.TryTake(6001) {
+		t.Fatal("clock recovering past the anchor should refill")
+	}
+}
+
+func TestBucketReset(t *testing.T) {
+	b := New(2, 1000)
+	b.TryTake(0)
+	b.TryTake(0)
+	b.Reset(0)
+	if got := b.Tokens(0); got != 2 {
+		t.Fatalf("Tokens after Reset = %d, want 2", got)
+	}
+}

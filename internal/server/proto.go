@@ -1,0 +1,449 @@
+// Package server is stripd: the network serving subsystem. It speaks a
+// length-prefixed binary protocol over TCP, gives every connection a
+// session with its own interactive transaction, admission-controls work
+// before it reaches the engine, and batches compatible read-only queries
+// onto shared snapshot scans (package query's RunShared).
+//
+// The wire format is deliberately minimal — four-byte big-endian length,
+// one type byte, then a type-specific payload of uvarint-framed fields —
+// so a client fits in a few hundred lines and a fuzzer can reach every
+// decode path. Typed error codes travel with every failure so clients can
+// classify (and retry) without string matching: decoding an ERR frame
+// yields an error that errors.Is-matches the same sentinels the embedded
+// engine returns.
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/stripdb/strip/internal/lock"
+	"github.com/stripdb/strip/internal/sched"
+	"github.com/stripdb/strip/internal/txn"
+	"github.com/stripdb/strip/internal/types"
+)
+
+// ProtoVersion is the wire protocol version carried in HELLO/WELCOME.
+const ProtoVersion = 1
+
+// MaxFrame bounds one frame's body (type byte + payload). Oversized
+// frames — hostile or corrupt — are rejected before allocation.
+const MaxFrame = 4 << 20
+
+// protoMagic opens every HELLO payload, so a stray HTTP request or port
+// scanner fails the handshake immediately instead of being parsed.
+const protoMagic = "STRP"
+
+// Frame types. Client-to-server frames have the high bit clear,
+// server-to-client frames have it set.
+const (
+	FrameHello  byte = 0x01 // magic, version, auth token, tenant
+	FrameQuery  byte = 0x02 // sql SELECT (auto-commit read, shared-scan eligible)
+	FrameExec   byte = 0x03 // sql statement (auto-commit, or in-txn after BEGIN)
+	FrameBegin  byte = 0x04 // open the session's interactive transaction
+	FrameCommit byte = 0x05 // commit it
+	FrameAbort  byte = 0x06 // abort it
+	FramePing   byte = 0x07 // liveness probe
+
+	FrameWelcome byte = 0x81 // version, session id
+	FrameRows    byte = 0x82 // column names + value rows
+	FrameOK      byte = 0x83 // affected-row count
+	FrameErr     byte = 0x84 // code + message
+	FramePong    byte = 0x85
+)
+
+// Code classifies an ERR frame so clients can branch (and retry) without
+// parsing messages.
+type Code uint8
+
+// Wire error codes. CodeFor maps engine errors onto these; WireError.Unwrap
+// maps them back to the same sentinels, so errors.Is works end to end.
+const (
+	CodeOK           Code = 0
+	CodeAuth         Code = 1 // handshake rejected (bad token)
+	CodeBusy         Code = 2 // admission control shed the request; retryable
+	CodeDeadlock     Code = 3 // transaction chosen as deadlock victim; retryable
+	CodeWaitTimeout  Code = 4 // lock wait exceeded the cap; retryable
+	CodeReadOnly     Code = 5 // write inside a read-only transaction
+	CodeShuttingDown Code = 6 // server is draining; reconnect elsewhere/later
+	CodeTxnState     Code = 7 // BEGIN inside a txn, COMMIT outside one, or txn reaped
+	CodeBadRequest   Code = 8 // malformed frame, unparsable SQL, protocol misuse
+	CodeInternal     Code = 9 // everything else
+)
+
+// String names the code.
+func (c Code) String() string {
+	switch c {
+	case CodeOK:
+		return "ok"
+	case CodeAuth:
+		return "auth"
+	case CodeBusy:
+		return "busy"
+	case CodeDeadlock:
+		return "deadlock"
+	case CodeWaitTimeout:
+		return "wait-timeout"
+	case CodeReadOnly:
+		return "read-only"
+	case CodeShuttingDown:
+		return "shutting-down"
+	case CodeTxnState:
+		return "txn-state"
+	case CodeBadRequest:
+		return "bad-request"
+	default:
+		return "internal"
+	}
+}
+
+// Typed server errors, for errors.Is both in-process and (via WireError)
+// across the wire.
+var (
+	// ErrBusy marks a request shed by admission control — connection cap,
+	// in-flight limit, or engine saturation. It is retryable after backoff.
+	ErrBusy = errors.New("server: busy, retry later")
+	// ErrAuth marks a rejected handshake.
+	ErrAuth = errors.New("server: authentication rejected")
+	// ErrTxnState marks a transaction-control frame in the wrong state.
+	ErrTxnState = errors.New("server: transaction state error")
+)
+
+// CodeFor classifies err as a wire code.
+func CodeFor(err error) Code {
+	switch {
+	case err == nil:
+		return CodeOK
+	case errors.Is(err, ErrAuth):
+		return CodeAuth
+	case errors.Is(err, ErrBusy):
+		return CodeBusy
+	case errors.Is(err, lock.ErrDeadlock):
+		return CodeDeadlock
+	case errors.Is(err, lock.ErrWaitTimeout):
+		return CodeWaitTimeout
+	case errors.Is(err, txn.ErrReadOnly):
+		return CodeReadOnly
+	case errors.Is(err, sched.ErrStopped):
+		return CodeShuttingDown
+	case errors.Is(err, ErrTxnState):
+		return CodeTxnState
+	}
+	return CodeInternal
+}
+
+// WireError is an ERR frame decoded client-side. Unwrap maps the code back
+// to the sentinel the embedded engine would have returned, so
+// errors.Is(err, strip.ErrDeadlock) — and strip.IsRetryable — behave
+// identically for remote and embedded callers.
+type WireError struct {
+	Code Code
+	Msg  string
+}
+
+// Error renders the code and server message.
+func (e *WireError) Error() string { return fmt.Sprintf("server: [%s] %s", e.Code, e.Msg) }
+
+// Unwrap maps the wire code to its sentinel error.
+func (e *WireError) Unwrap() error {
+	switch e.Code {
+	case CodeAuth:
+		return ErrAuth
+	case CodeBusy:
+		return ErrBusy
+	case CodeDeadlock:
+		return lock.ErrDeadlock
+	case CodeWaitTimeout:
+		return lock.ErrWaitTimeout
+	case CodeReadOnly:
+		return txn.ErrReadOnly
+	case CodeShuttingDown:
+		return sched.ErrStopped
+	case CodeTxnState:
+		return ErrTxnState
+	default:
+		return nil
+	}
+}
+
+// DecodeError rebuilds the typed error an ERR frame carries.
+func DecodeError(code Code, msg string) error { return &WireError{Code: code, Msg: msg} }
+
+// WriteFrame writes one frame: uint32 big-endian length covering the type
+// byte and payload, then both.
+func WriteFrame(w io.Writer, typ byte, payload []byte) error {
+	if len(payload)+1 > MaxFrame {
+		return fmt.Errorf("server: frame too large (%d bytes)", len(payload)+1)
+	}
+	hdr := make([]byte, 5, 5+len(payload))
+	binary.BigEndian.PutUint32(hdr, uint32(len(payload)+1))
+	hdr[4] = typ
+	_, err := w.Write(append(hdr, payload...))
+	return err
+}
+
+// ReadFrame reads one frame, rejecting empty and oversized bodies.
+func ReadFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > MaxFrame {
+		return 0, nil, fmt.Errorf("server: bad frame length %d", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, err
+	}
+	return body[0], body[1:], nil
+}
+
+// --- payload field encoding ------------------------------------------------
+
+// appendStr appends a uvarint-length-prefixed string.
+func appendStr(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// decoder walks a payload, remembering the first error; every take method
+// returns a zero value after a fault so callers can decode a whole frame
+// and check once.
+type decoder struct {
+	b   []byte
+	err error
+}
+
+func (d *decoder) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("server: truncated or corrupt %s field", what)
+	}
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.fail("uvarint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		d.fail("varint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *decoder) str() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.b)) {
+		d.fail("string")
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) == 0 {
+		d.fail("byte")
+		return 0
+	}
+	c := d.b[0]
+	d.b = d.b[1:]
+	return c
+}
+
+func (d *decoder) float() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) < 8 {
+		d.fail("float")
+		return 0
+	}
+	bits := binary.BigEndian.Uint64(d.b)
+	d.b = d.b[8:]
+	return math.Float64frombits(bits)
+}
+
+// appendValue appends one typed value: kind byte then a kind-specific
+// payload (nothing for null, varint for int/time, 8-byte bits for float,
+// length-prefixed bytes for string).
+func appendValue(b []byte, v types.Value) []byte {
+	b = append(b, byte(v.Kind()))
+	switch v.Kind() {
+	case types.KindNull:
+	case types.KindInt:
+		b = binary.AppendVarint(b, v.Int())
+	case types.KindTime:
+		b = binary.AppendVarint(b, v.Micros())
+	case types.KindFloat:
+		b = binary.BigEndian.AppendUint64(b, math.Float64bits(v.Float()))
+	case types.KindString:
+		b = appendStr(b, v.Str())
+	}
+	return b
+}
+
+func (d *decoder) value() types.Value {
+	kind := types.Kind(d.byte())
+	if d.err != nil {
+		return types.Value{}
+	}
+	switch kind {
+	case types.KindNull:
+		return types.Value{}
+	case types.KindInt:
+		return types.Int(d.varint())
+	case types.KindTime:
+		return types.Time(d.varint())
+	case types.KindFloat:
+		return types.Float(d.float())
+	case types.KindString:
+		return types.Str(d.str())
+	default:
+		d.fail("value kind")
+		return types.Value{}
+	}
+}
+
+// --- frame payload builders/parsers ----------------------------------------
+
+// EncodeHello builds a HELLO payload.
+func EncodeHello(token, tenant string) []byte {
+	b := append([]byte(protoMagic), ProtoVersion)
+	b = appendStr(b, token)
+	return appendStr(b, tenant)
+}
+
+// DecodeHello parses a HELLO payload.
+func DecodeHello(p []byte) (token, tenant string, err error) {
+	if len(p) < len(protoMagic)+1 || string(p[:len(protoMagic)]) != protoMagic {
+		return "", "", fmt.Errorf("server: bad protocol magic")
+	}
+	if v := p[len(protoMagic)]; v != ProtoVersion {
+		return "", "", fmt.Errorf("server: unsupported protocol version %d", v)
+	}
+	d := &decoder{b: p[len(protoMagic)+1:]}
+	token, tenant = d.str(), d.str()
+	return token, tenant, d.err
+}
+
+// EncodeWelcome builds a WELCOME payload.
+func EncodeWelcome(sessionID int64) []byte {
+	b := []byte{ProtoVersion}
+	return binary.AppendVarint(b, sessionID)
+}
+
+// DecodeWelcome parses a WELCOME payload.
+func DecodeWelcome(p []byte) (sessionID int64, err error) {
+	d := &decoder{b: p}
+	if v := d.byte(); d.err == nil && v != ProtoVersion {
+		return 0, fmt.Errorf("server: unsupported protocol version %d", v)
+	}
+	return d.varint(), d.err
+}
+
+// EncodeSQL builds a QUERY/EXEC payload.
+func EncodeSQL(sql string) []byte { return appendStr(nil, sql) }
+
+// DecodeSQL parses a QUERY/EXEC payload.
+func DecodeSQL(p []byte) (string, error) {
+	d := &decoder{b: p}
+	sql := d.str()
+	return sql, d.err
+}
+
+// EncodeRows builds a ROWS payload from a result.
+func EncodeRows(cols []string, rows [][]types.Value) []byte {
+	b := binary.AppendUvarint(nil, uint64(len(cols)))
+	for _, c := range cols {
+		b = appendStr(b, c)
+	}
+	b = binary.AppendUvarint(b, uint64(len(rows)))
+	for _, r := range rows {
+		for _, v := range r {
+			b = appendValue(b, v)
+		}
+	}
+	return b
+}
+
+// DecodeRows parses a ROWS payload.
+func DecodeRows(p []byte) (cols []string, rows [][]types.Value, err error) {
+	d := &decoder{b: p}
+	ncols := d.uvarint()
+	if ncols > MaxFrame {
+		return nil, nil, fmt.Errorf("server: absurd column count %d", ncols)
+	}
+	cols = make([]string, ncols)
+	for i := range cols {
+		cols[i] = d.str()
+	}
+	nrows := d.uvarint()
+	if d.err != nil {
+		return nil, nil, d.err
+	}
+	if nrows > MaxFrame {
+		return nil, nil, fmt.Errorf("server: absurd row count %d", nrows)
+	}
+	rows = make([][]types.Value, 0, nrows)
+	for i := uint64(0); i < nrows; i++ {
+		row := make([]types.Value, ncols)
+		for j := range row {
+			row[j] = d.value()
+		}
+		if d.err != nil {
+			return nil, nil, d.err
+		}
+		rows = append(rows, row)
+	}
+	return cols, rows, d.err
+}
+
+// EncodeOK builds an OK payload.
+func EncodeOK(affected int) []byte { return binary.AppendUvarint(nil, uint64(affected)) }
+
+// DecodeOK parses an OK payload.
+func DecodeOK(p []byte) (affected int, err error) {
+	d := &decoder{b: p}
+	n := d.uvarint()
+	return int(n), d.err
+}
+
+// EncodeErr builds an ERR payload.
+func EncodeErr(code Code, msg string) []byte {
+	return appendStr([]byte{byte(code)}, msg)
+}
+
+// DecodeErr parses an ERR payload.
+func DecodeErr(p []byte) (Code, string, error) {
+	d := &decoder{b: p}
+	code := Code(d.byte())
+	msg := d.str()
+	return code, msg, d.err
+}

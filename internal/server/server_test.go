@@ -1,0 +1,572 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/stripdb/strip/internal/catalog"
+	"github.com/stripdb/strip/internal/clock"
+	"github.com/stripdb/strip/internal/cost"
+	"github.com/stripdb/strip/internal/lock"
+	"github.com/stripdb/strip/internal/obs"
+	"github.com/stripdb/strip/internal/query"
+	"github.com/stripdb/strip/internal/sqlparse"
+	"github.com/stripdb/strip/internal/storage"
+	"github.com/stripdb/strip/internal/txn"
+	"github.com/stripdb/strip/internal/types"
+)
+
+// testBackend implements Backend over a bare transaction manager — the
+// same wiring the root facade provides, minus rules — so the server's
+// whole lifecycle is testable inside this package.
+type testBackend struct {
+	mgr       *txn.Manager
+	saturated atomic.Bool
+}
+
+func (b *testBackend) Begin() *txn.Txn         { return b.mgr.Begin() }
+func (b *testBackend) BeginReadOnly() *txn.Txn { return b.mgr.BeginReadOnly() }
+func (b *testBackend) Obs() *obs.Registry      { return b.mgr.Obs }
+func (b *testBackend) Now() int64              { return b.mgr.Clock.Now() }
+func (b *testBackend) Saturated() bool         { return b.saturated.Load() }
+
+func (b *testBackend) Exec(sql string) (*Result, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	if sel, ok := stmt.(*sqlparse.SelectStmt); ok {
+		tx := b.mgr.BeginReadOnly()
+		defer tx.Commit() //nolint:errcheck
+		out, err := sel.Query.Run(tx, query.TxnResolver{})
+		if err != nil {
+			return nil, err
+		}
+		return resultFromTemp(out), nil
+	}
+	tx := b.mgr.Begin()
+	res, err := b.ExecIn(tx, sql)
+	if err != nil {
+		tx.Abort() //nolint:errcheck
+		return nil, err
+	}
+	if err := tx.Commit(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func (b *testBackend) ExecIn(tx *txn.Txn, sql string) (*Result, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	switch s := stmt.(type) {
+	case *sqlparse.SelectStmt:
+		out, err := s.Query.Run(tx, query.TxnResolver{})
+		if err != nil {
+			return nil, err
+		}
+		return resultFromTemp(out), nil
+	case *sqlparse.InsertStmt:
+		n, err := s.Stmt.Run(tx)
+		return &Result{Affected: n}, err
+	case *sqlparse.UpdateStmt:
+		n, err := s.Stmt.Run(tx)
+		return &Result{Affected: n}, err
+	case *sqlparse.DeleteStmt:
+		n, err := s.Stmt.Run(tx)
+		return &Result{Affected: n}, err
+	default:
+		return nil, fmt.Errorf("test backend: unsupported %T", stmt)
+	}
+}
+
+// serverEnv starts a server over a stocks table (S1/30, S2/40, S3/50).
+func serverEnv(t testing.TB, cfg Config) (*Server, *testBackend, *lock.Manager) {
+	t.Helper()
+	cat := catalog.New()
+	store := storage.NewStore()
+	schema := catalog.MustSchema("stocks",
+		catalog.Column{Name: "symbol", Kind: types.KindString},
+		catalog.Column{Name: "price", Kind: types.KindFloat})
+	if err := cat.Define(schema); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Create(schema); err != nil {
+		t.Fatal(err)
+	}
+	lm := lock.New()
+	mgr := txn.NewManager(cat, store, lm, clock.NewReal(), cost.NewMeter(), cost.Default())
+	tx := mgr.Begin()
+	for _, r := range [][]types.Value{
+		{types.Str("S1"), types.Float(30)},
+		{types.Str("S2"), types.Float(40)},
+		{types.Str("S3"), types.Float(50)},
+	} {
+		if _, err := tx.Insert("stocks", r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	be := &testBackend{mgr: mgr}
+	cfg.Addr = "127.0.0.1:0"
+	srv, err := Start(cfg, be)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() }) //nolint:errcheck
+	return srv, be, lm
+}
+
+// dialRaw connects without handshaking.
+func dialRaw(t testing.TB, addr string) net.Conn {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return conn
+}
+
+// dialHello connects and completes the handshake.
+func dialHello(t testing.TB, addr, token, tenant string) net.Conn {
+	t.Helper()
+	conn := dialRaw(t, addr)
+	if err := WriteFrame(conn, FrameHello, EncodeHello(token, tenant)); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != FrameWelcome {
+		code, msg, _ := DecodeErr(payload)
+		t.Fatalf("handshake: got frame 0x%02x (%s: %s)", typ, code, msg)
+	}
+	return conn
+}
+
+// roundTrip sends one frame and returns the response.
+func roundTrip(t testing.TB, conn net.Conn, typ byte, payload []byte) (byte, []byte) {
+	t.Helper()
+	if err := WriteFrame(conn, typ, payload); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
+	rt, rp, err := ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt, rp
+}
+
+// wantErrCode asserts the frame is an ERR with the given code and returns
+// the decoded typed error.
+func wantErrCode(t testing.TB, typ byte, payload []byte, want Code) error {
+	t.Helper()
+	if typ != FrameErr {
+		t.Fatalf("got frame 0x%02x, want ERR", typ)
+	}
+	code, msg, err := DecodeErr(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != want {
+		t.Fatalf("code = %s (%s), want %s", code, msg, want)
+	}
+	return DecodeError(code, msg)
+}
+
+func waitNoLocks(t testing.TB, lm *lock.Manager) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for lm.ActiveLocks() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("locks leaked: ActiveLocks = %d", lm.ActiveLocks())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestServerQueryExecPing(t *testing.T) {
+	srv, _, _ := serverEnv(t, Config{})
+	conn := dialHello(t, srv.Addr(), "", "acme")
+	defer conn.Close()
+
+	typ, p := roundTrip(t, conn, FramePing, nil)
+	if typ != FramePong {
+		t.Fatalf("ping answered 0x%02x", typ)
+	}
+
+	typ, p = roundTrip(t, conn, FrameExec, EncodeSQL("insert into stocks values ('S4', 60)"))
+	if typ != FrameOK {
+		t.Fatalf("exec answered 0x%02x: %s", typ, p)
+	}
+	if n, _ := DecodeOK(p); n != 1 {
+		t.Fatalf("affected = %d", n)
+	}
+
+	typ, p = roundTrip(t, conn, FrameQuery, EncodeSQL("select symbol, price from stocks"))
+	if typ != FrameRows {
+		t.Fatalf("query answered 0x%02x: %s", typ, p)
+	}
+	cols, rows, err := DecodeRows(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 2 || cols[0] != "symbol" {
+		t.Fatalf("cols = %v", cols)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+
+	// QUERY frames carry SELECT only.
+	typ, p = roundTrip(t, conn, FrameQuery, EncodeSQL("delete from stocks"))
+	wantErrCode(t, typ, p, CodeBadRequest)
+}
+
+func TestServerAuthRejected(t *testing.T) {
+	srv, be, _ := serverEnv(t, Config{AuthToken: "sekrit"})
+
+	conn := dialRaw(t, srv.Addr())
+	defer conn.Close()
+	if err := WriteFrame(conn, FrameHello, EncodeHello("wrong", "acme")); err != nil {
+		t.Fatal(err)
+	}
+	typ, p, err := ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	werr := wantErrCode(t, typ, p, CodeAuth)
+	if !errors.Is(werr, ErrAuth) {
+		t.Fatalf("decoded error %v does not match ErrAuth", werr)
+	}
+	if be.Obs().Counter(obs.MServerAuthFail).Load() == 0 {
+		t.Error("auth failure counter never moved")
+	}
+
+	// The right token still works.
+	good := dialHello(t, srv.Addr(), "sekrit", "acme")
+	good.Close()
+}
+
+func TestServerInteractiveTxn(t *testing.T) {
+	srv, _, lm := serverEnv(t, Config{})
+	conn := dialHello(t, srv.Addr(), "", "")
+	defer conn.Close()
+
+	typ, p := roundTrip(t, conn, FrameBegin, nil)
+	if typ != FrameOK {
+		t.Fatalf("begin answered 0x%02x", typ)
+	}
+	// Double BEGIN is a state error.
+	typ, p = roundTrip(t, conn, FrameBegin, nil)
+	wantErrCode(t, typ, p, CodeTxnState)
+
+	typ, p = roundTrip(t, conn, FrameExec, EncodeSQL("update stocks set price = 31 where symbol = 'S1'"))
+	if typ != FrameOK {
+		t.Fatalf("in-txn exec answered 0x%02x: %s", typ, p)
+	}
+	// Reads inside the transaction see own writes.
+	typ, p = roundTrip(t, conn, FrameQuery, EncodeSQL("select price from stocks where symbol = 'S1'"))
+	if typ != FrameRows {
+		t.Fatalf("in-txn query answered 0x%02x", typ)
+	}
+	_, rows, err := DecodeRows(p)
+	if err != nil || len(rows) != 1 || rows[0][0].Float() != 31 {
+		t.Fatalf("in-txn read: rows=%v err=%v", rows, err)
+	}
+	if lm.ActiveLocks() == 0 {
+		t.Fatal("interactive txn holds no locks")
+	}
+
+	typ, _ = roundTrip(t, conn, FrameCommit, nil)
+	if typ != FrameOK {
+		t.Fatalf("commit answered 0x%02x", typ)
+	}
+	waitNoLocks(t, lm)
+
+	// COMMIT with nothing open is a state error.
+	typ, p = roundTrip(t, conn, FrameCommit, nil)
+	wantErrCode(t, typ, p, CodeTxnState)
+}
+
+func TestServerIdleTxnReaped(t *testing.T) {
+	srv, be, lm := serverEnv(t, Config{IdleTxnTimeout: 150 * time.Millisecond})
+	conn := dialHello(t, srv.Addr(), "", "")
+	defer conn.Close()
+
+	if typ, _ := roundTrip(t, conn, FrameBegin, nil); typ != FrameOK {
+		t.Fatal("begin failed")
+	}
+	typ, _ := roundTrip(t, conn, FrameExec, EncodeSQL("update stocks set price = 99 where symbol = 'S2'"))
+	if typ != FrameOK {
+		t.Fatal("exec failed")
+	}
+	if lm.ActiveLocks() == 0 {
+		t.Fatal("no locks held before reap")
+	}
+
+	// Go idle past the timeout: the reaper must abort the txn and release
+	// its locks even though the connection stays up.
+	waitNoLocks(t, lm)
+	if be.Obs().Counter(obs.MServerTxnsReaped).Load() == 0 {
+		t.Error("reap counter never moved")
+	}
+
+	// The session learns at COMMIT.
+	typ, p := roundTrip(t, conn, FrameCommit, nil)
+	werr := wantErrCode(t, typ, p, CodeTxnState)
+	if !errors.Is(werr, ErrTxnState) {
+		t.Fatalf("decoded error %v does not match ErrTxnState", werr)
+	}
+
+	// The update was rolled back.
+	typ, p = roundTrip(t, conn, FrameQuery, EncodeSQL("select price from stocks where symbol = 'S2'"))
+	if typ != FrameRows {
+		t.Fatal("query failed")
+	}
+	_, rows, _ := DecodeRows(p)
+	if len(rows) != 1 || rows[0][0].Float() != 40 {
+		t.Fatalf("reaped txn leaked its write: %v", rows)
+	}
+}
+
+func TestServerDisconnectAbortsTxn(t *testing.T) {
+	srv, _, lm := serverEnv(t, Config{})
+	conn := dialHello(t, srv.Addr(), "", "")
+
+	if typ, _ := roundTrip(t, conn, FrameBegin, nil); typ != FrameOK {
+		t.Fatal("begin failed")
+	}
+	typ, _ := roundTrip(t, conn, FrameExec, EncodeSQL("update stocks set price = 77 where symbol = 'S3'"))
+	if typ != FrameOK {
+		t.Fatal("exec failed")
+	}
+	if lm.ActiveLocks() == 0 {
+		t.Fatal("no locks held")
+	}
+	// Vanish mid-transaction. The session cleanup must abort and release.
+	conn.Close()
+	waitNoLocks(t, lm)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.sessionCount() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("session never deregistered (%d live)", srv.sessionCount())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// The write is gone.
+	conn2 := dialHello(t, srv.Addr(), "", "")
+	defer conn2.Close()
+	typ, p := roundTrip(t, conn2, FrameQuery, EncodeSQL("select price from stocks where symbol = 'S3'"))
+	if typ != FrameRows {
+		t.Fatal("query failed")
+	}
+	_, rows, _ := DecodeRows(p)
+	if len(rows) != 1 || rows[0][0].Float() != 50 {
+		t.Fatalf("disconnected txn leaked its write: %v", rows)
+	}
+}
+
+func TestServerBusyShed(t *testing.T) {
+	srv, be, _ := serverEnv(t, Config{MaxConns: 1})
+	conn := dialHello(t, srv.Addr(), "", "")
+	defer conn.Close()
+
+	// Engine saturation sheds statements with a retryable busy error.
+	be.saturated.Store(true)
+	typ, p := roundTrip(t, conn, FrameQuery, EncodeSQL("select * from stocks"))
+	werr := wantErrCode(t, typ, p, CodeBusy)
+	if !errors.Is(werr, ErrBusy) {
+		t.Fatalf("decoded busy error %v does not match ErrBusy", werr)
+	}
+	be.saturated.Store(false)
+	if typ, _ = roundTrip(t, conn, FrameQuery, EncodeSQL("select * from stocks")); typ != FrameRows {
+		t.Fatalf("post-saturation query answered 0x%02x", typ)
+	}
+
+	// The connection cap turns extra connections away with busy too.
+	conn2 := dialRaw(t, srv.Addr())
+	defer conn2.Close()
+	if err := WriteFrame(conn2, FrameHello, EncodeHello("", "")); err != nil {
+		t.Fatal(err)
+	}
+	conn2.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
+	typ, p, err := ReadFrame(conn2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantErrCode(t, typ, p, CodeBusy)
+	if be.Obs().Counter(obs.MServerBusy).Load() < 2 {
+		t.Error("busy counter undercounts")
+	}
+}
+
+func TestServerTenantInflightLimit(t *testing.T) {
+	srv, _, _ := serverEnv(t, Config{TenantInflight: 1})
+	// Claim tenant acme's single slot directly, then verify a statement
+	// from the same tenant is shed while another tenant still runs.
+	release, ok := srv.admit("acme")
+	if !ok {
+		t.Fatal("first admit refused")
+	}
+	conn := dialHello(t, srv.Addr(), "", "acme")
+	defer conn.Close()
+	typ, p := roundTrip(t, conn, FrameQuery, EncodeSQL("select * from stocks"))
+	wantErrCode(t, typ, p, CodeBusy)
+
+	other := dialHello(t, srv.Addr(), "", "globex")
+	defer other.Close()
+	if typ, _ := roundTrip(t, other, FrameQuery, EncodeSQL("select * from stocks")); typ != FrameRows {
+		t.Fatalf("other tenant shed too (0x%02x)", typ)
+	}
+	release()
+	if typ, _ := roundTrip(t, conn, FrameQuery, EncodeSQL("select * from stocks")); typ != FrameRows {
+		t.Fatalf("released slot still shed (0x%02x)", typ)
+	}
+}
+
+func TestServerConcurrentSessions(t *testing.T) {
+	srv, _, lm := serverEnv(t, Config{ShareWindow: 2 * time.Millisecond})
+	const sessions = 8
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			conn := dialHello(t, srv.Addr(), "", fmt.Sprintf("t%d", id%2))
+			defer conn.Close()
+			for j := 0; j < 20; j++ {
+				typ, p := roundTrip(t, conn, FrameQuery, EncodeSQL("select symbol, price from stocks"))
+				if typ != FrameRows {
+					code, msg, _ := DecodeErr(p)
+					t.Errorf("session %d query %d: 0x%02x %s %s", id, j, typ, code, msg)
+					return
+				}
+				if _, rows, err := DecodeRows(p); err != nil || len(rows) < 3 {
+					t.Errorf("session %d query %d: rows=%d err=%v", id, j, len(rows), err)
+					return
+				}
+				if j%5 == 0 {
+					if typ, _ := roundTrip(t, conn, FramePing, nil); typ != FramePong {
+						t.Errorf("session %d: ping failed", id)
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	waitNoLocks(t, lm)
+}
+
+// TestServerSharedScan: two out-of-transaction SELECTs over the same table
+// inside one gather window execute as one shared snapshot group.
+func TestServerSharedScan(t *testing.T) {
+	srv, be, _ := serverEnv(t, Config{ShareWindow: 25 * time.Millisecond})
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn := dialHello(t, srv.Addr(), "", "")
+			defer conn.Close()
+			typ, p := roundTrip(t, conn, FrameQuery, EncodeSQL("select symbol from stocks where price > 35"))
+			if typ != FrameRows {
+				t.Errorf("shared query answered 0x%02x", typ)
+				return
+			}
+			_, rows, err := DecodeRows(p)
+			if err != nil || len(rows) != 2 {
+				t.Errorf("shared query rows=%v err=%v", rows, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if be.Obs().Counter(obs.MSharedGroups).Load() == 0 {
+		t.Error("no shared group formed")
+	}
+	if be.Obs().Counter(obs.MSharedQueries).Load() < 2 {
+		t.Error("queries did not share a scan")
+	}
+}
+
+func TestServerDrain(t *testing.T) {
+	srv, _, lm := serverEnv(t, Config{DrainTimeout: 2 * time.Second})
+	conn := dialHello(t, srv.Addr(), "", "")
+	defer conn.Close()
+
+	if typ, _ := roundTrip(t, conn, FrameBegin, nil); typ != FrameOK {
+		t.Fatal("begin failed")
+	}
+	if typ, _ := roundTrip(t, conn, FrameExec, EncodeSQL("update stocks set price = 31 where symbol = 'S1'")); typ != FrameOK {
+		t.Fatal("exec failed")
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Close() }()
+	for !srv.Draining() {
+		time.Sleep(time.Millisecond)
+	}
+
+	// New work is rejected with the shutting-down code...
+	typ, p := roundTrip(t, conn, FrameQuery, EncodeSQL("select * from stocks"))
+	werr := wantErrCode(t, typ, p, CodeShuttingDown)
+	if werr == nil {
+		t.Fatal("nil decoded error")
+	}
+	// ...but the in-flight transaction may still commit.
+	typ, p = roundTrip(t, conn, FrameCommit, nil)
+	if typ != FrameOK {
+		t.Fatalf("drain commit answered 0x%02x: %s", typ, p)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if n := lm.ActiveLocks(); n != 0 {
+		t.Fatalf("locks leaked through drain: %d", n)
+	}
+
+	// Fresh connections are refused: either the dial itself fails (listener
+	// closed) or the handshake is answered with the shutting-down code.
+	conn2, err := net.DialTimeout("tcp", srv.Addr(), time.Second)
+	if err == nil {
+		defer conn2.Close()
+		if werr := WriteFrame(conn2, FrameHello, EncodeHello("", "")); werr == nil {
+			conn2.SetReadDeadline(time.Now().Add(2 * time.Second)) //nolint:errcheck
+			if typ, p, rerr := ReadFrame(conn2); rerr == nil {
+				wantErrCode(t, typ, p, CodeShuttingDown)
+			}
+		}
+	}
+}
+
+func TestServerSessionsDebug(t *testing.T) {
+	srv, _, _ := serverEnv(t, Config{})
+	conn := dialHello(t, srv.Addr(), "", "acme")
+	defer conn.Close()
+	if typ, _ := roundTrip(t, conn, FrameBegin, nil); typ != FrameOK {
+		t.Fatal("begin failed")
+	}
+	infos := srv.Sessions()
+	if len(infos) != 1 {
+		t.Fatalf("sessions = %d, want 1", len(infos))
+	}
+	if infos[0].Tenant != "acme" || !infos[0].InTxn {
+		t.Fatalf("session info %+v", infos[0])
+	}
+	roundTrip(t, conn, FrameAbort, nil)
+}

@@ -1,0 +1,316 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/stripdb/strip/internal/obs"
+	"github.com/stripdb/strip/internal/sqlparse"
+	"github.com/stripdb/strip/internal/txn"
+)
+
+// handshakeTimeout bounds how long a fresh connection may dawdle before
+// sending HELLO.
+const handshakeTimeout = 5 * time.Second
+
+// pollInterval is the read-deadline used by the frame loop while waiting
+// for a frame to BEGIN. The loop wakes this often even with no traffic, so
+// it notices drain, session-lifetime expiry, and its own reaped
+// transaction promptly.
+const pollInterval = 250 * time.Millisecond
+
+// frameTimeout bounds reading the REMAINDER of a frame once its first byte
+// has arrived. An idle-poll deadline must never expire mid-frame — a
+// partial read would desynchronize the stream — so the deadline is
+// extended the moment a frame begins.
+const frameTimeout = 10 * time.Second
+
+// session is one connection's server-side state. The frame loop runs in a
+// single goroutine; mu serializes it against the reaper, which may abort
+// an idle interactive transaction from outside.
+type session struct {
+	id       int64
+	srv      *Server
+	conn     net.Conn
+	br       *bufio.Reader
+	openedAt time.Time
+
+	tenant string
+
+	mu       sync.Mutex
+	tx       *txn.Txn  // open interactive transaction, if any
+	reaped   bool      // tx was aborted by the idle reaper
+	lastStmt time.Time // last statement/txn-control activity
+
+	stmts atomic.Int64
+}
+
+func newSession(srv *Server, id int64, conn net.Conn) *session {
+	now := time.Now()
+	return &session{id: id, srv: srv, conn: conn, br: bufio.NewReader(conn), openedAt: now, lastStmt: now}
+}
+
+// trace is the session's causal-span root id. Sessions use the negative of
+// their id so rule cascades triggered by a session transaction (whose
+// trace root is the positive transaction id) remain distinguishable.
+func (s *session) trace() int64 { return -s.id }
+
+func (s *session) run() {
+	reg := s.srv.be.Obs()
+	defer func() {
+		s.mu.Lock()
+		if s.tx != nil {
+			s.tx.Abort() //nolint:errcheck // disconnect cleanup; locks released regardless
+			s.tx = nil
+		}
+		s.mu.Unlock()
+		s.conn.Close() //nolint:errcheck
+		s.srv.dropSession(s)
+		reg.Tracer().EmitSpan(s.srv.be.Now(), obs.KindSessionClose, s.tenant, s.stmts.Load(), s.trace(), 0)
+		s.srv.wg.Done()
+	}()
+
+	if !s.handshake() {
+		return
+	}
+	reg.Tracer().EmitSpan(s.srv.be.Now(), obs.KindSessionOpen, s.tenant, s.id, s.trace(), 0)
+
+	for {
+		typ, payload, err := s.readFrame()
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				// Idle tick: during drain an idle session (no transaction to
+				// finish) has nothing left to do.
+				if s.srv.Draining() && !s.inTxn() {
+					return
+				}
+				continue
+			}
+			return // disconnect or fatal read error
+		}
+		reg.Counter(obs.MServerFrames).Inc()
+		if !s.dispatch(typ, payload) {
+			return
+		}
+	}
+}
+
+// readFrame reads one frame from the buffered connection. The short idle
+// deadline applies only until a frame's first byte arrives; after that the
+// deadline is extended so a poll tick cannot expire mid-frame and
+// desynchronize the stream with a discarded partial read.
+func (s *session) readFrame() (byte, []byte, error) {
+	s.conn.SetReadDeadline(time.Now().Add(pollInterval)) //nolint:errcheck
+	if _, err := s.br.ReadByte(); err != nil {
+		return 0, nil, err
+	}
+	s.br.UnreadByte()                                    //nolint:errcheck // just read; cannot fail
+	s.conn.SetReadDeadline(time.Now().Add(frameTimeout)) //nolint:errcheck
+	return ReadFrame(s.br)
+}
+
+// handshake reads HELLO, enforces auth, and answers WELCOME.
+func (s *session) handshake() bool {
+	reg := s.srv.be.Obs()
+	s.conn.SetReadDeadline(time.Now().Add(handshakeTimeout)) //nolint:errcheck
+	typ, payload, err := ReadFrame(s.br)
+	if err != nil || typ != FrameHello {
+		reg.Counter(obs.MServerBadFrames).Inc()
+		s.sendErr(CodeBadRequest, "expected HELLO")
+		return false
+	}
+	token, tenant, err := DecodeHello(payload)
+	if err != nil {
+		reg.Counter(obs.MServerBadFrames).Inc()
+		s.sendErr(CodeBadRequest, err.Error())
+		return false
+	}
+	if s.srv.cfg.AuthToken != "" && token != s.srv.cfg.AuthToken {
+		reg.Counter(obs.MServerAuthFail).Inc()
+		s.sendErr(CodeAuth, "bad token")
+		return false
+	}
+	s.tenant = tenant
+	return s.send(FrameWelcome, EncodeWelcome(s.id))
+}
+
+func (s *session) inTxn() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tx != nil
+}
+
+// dispatch handles one frame; false closes the session.
+func (s *session) dispatch(typ byte, payload []byte) bool {
+	switch typ {
+	case FramePing:
+		return s.send(FramePong, nil)
+	case FrameBegin:
+		return s.handleBegin()
+	case FrameCommit:
+		return s.handleTxnEnd(true)
+	case FrameAbort:
+		return s.handleTxnEnd(false)
+	case FrameQuery:
+		return s.handleSQL(payload, true)
+	case FrameExec:
+		return s.handleSQL(payload, false)
+	default:
+		s.srv.be.Obs().Counter(obs.MServerBadFrames).Inc()
+		// Framing is intact — an unknown type is an application-level
+		// error, not a reason to cut the connection.
+		return s.sendErr(CodeBadRequest, fmt.Sprintf("unknown frame type 0x%02x", typ))
+	}
+}
+
+func (s *session) handleBegin() bool {
+	if s.srv.Draining() {
+		s.srv.be.Obs().Counter(obs.MServerDrainRejects).Inc()
+		return s.sendErr(CodeShuttingDown, "server is draining")
+	}
+	s.mu.Lock()
+	if s.tx != nil {
+		s.mu.Unlock()
+		return s.sendErr(CodeTxnState, "transaction already open")
+	}
+	tx := s.srv.be.Begin()
+	tx.SetCause(s.trace(), 0)
+	s.tx = tx
+	s.reaped = false
+	s.lastStmt = time.Now()
+	s.mu.Unlock()
+	s.srv.be.Obs().Counter(obs.MServerTxnBegins).Inc()
+	return s.send(FrameOK, EncodeOK(0))
+}
+
+func (s *session) handleTxnEnd(commit bool) bool {
+	s.mu.Lock()
+	tx := s.tx
+	reaped := s.reaped
+	s.tx = nil
+	s.reaped = false
+	s.lastStmt = time.Now()
+	s.mu.Unlock()
+	if tx == nil {
+		if reaped {
+			return s.sendErr(CodeTxnState, "transaction was reaped after idle timeout")
+		}
+		return s.sendErr(CodeTxnState, "no open transaction")
+	}
+	var err error
+	if commit {
+		err = tx.Commit()
+	} else {
+		err = tx.Abort()
+	}
+	if err != nil {
+		return s.sendErr(CodeFor(err), err.Error())
+	}
+	return s.send(FrameOK, EncodeOK(0))
+}
+
+// handleSQL runs one QUERY (isQuery) or EXEC frame: decode, parse, admit,
+// execute — inside the session transaction when one is open, auto-committed
+// otherwise. Out-of-transaction QUERY frames are the shared-scan fast path.
+func (s *session) handleSQL(payload []byte, isQuery bool) bool {
+	reg := s.srv.be.Obs()
+	sql, err := DecodeSQL(payload)
+	if err != nil {
+		reg.Counter(obs.MServerBadFrames).Inc()
+		return s.sendErr(CodeBadRequest, err.Error())
+	}
+	if s.srv.Draining() {
+		reg.Counter(obs.MServerDrainRejects).Inc()
+		return s.sendErr(CodeShuttingDown, "server is draining")
+	}
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return s.sendErr(CodeBadRequest, err.Error())
+	}
+	sel, isSelect := stmt.(*sqlparse.SelectStmt)
+	if isQuery && !isSelect {
+		return s.sendErr(CodeBadRequest, "QUERY frames carry SELECT only; use EXEC")
+	}
+
+	release, ok := s.srv.admit(s.tenant)
+	if !ok {
+		return s.sendErr(CodeBusy, "server saturated, retry")
+	}
+	defer release()
+	s.stmts.Add(1)
+	start := s.srv.be.Now()
+
+	var res *Result
+	s.mu.Lock()
+	tx := s.tx
+	s.lastStmt = time.Now()
+	if tx != nil {
+		res, err = s.srv.be.ExecIn(tx, sql)
+		s.mu.Unlock()
+	} else {
+		s.mu.Unlock()
+		if isSelect {
+			res, err = s.srv.gather.query(sel.Query, sql)
+		} else {
+			res, err = s.srv.be.Exec(sql)
+		}
+	}
+	if isQuery {
+		reg.Counter(obs.MServerQueries).Inc()
+		reg.Histogram(obs.MServerQueryMicros).Record(s.srv.be.Now() - start)
+	} else {
+		reg.Counter(obs.MServerExecs).Inc()
+	}
+	if err != nil {
+		return s.sendErr(CodeFor(err), err.Error())
+	}
+	if res.Columns != nil {
+		return s.send(FrameRows, EncodeRows(res.Columns, res.Rows))
+	}
+	return s.send(FrameOK, EncodeOK(res.Affected))
+}
+
+// reapIfIdle aborts the session's interactive transaction when it has seen
+// no activity for timeout, releasing its locks. The session learns at its
+// next COMMIT/ABORT (CodeTxnState).
+func (s *session) reapIfIdle(now time.Time, timeout time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tx == nil || now.Sub(s.lastStmt) <= timeout {
+		return
+	}
+	s.tx.Abort() //nolint:errcheck
+	s.tx = nil
+	s.reaped = true
+	s.srv.be.Obs().Counter(obs.MServerTxnsReaped).Inc()
+}
+
+func (s *session) info(now time.Time) SessionInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info := SessionInfo{
+		ID:         s.id,
+		Tenant:     s.tenant,
+		Remote:     s.conn.RemoteAddr().String(),
+		AgeMicros:  now.Sub(s.openedAt).Microseconds(),
+		Statements: s.stmts.Load(),
+		InTxn:      s.tx != nil,
+	}
+	if s.tx != nil {
+		info.TxnIdleMs = now.Sub(s.lastStmt).Milliseconds()
+	}
+	return info
+}
+
+func (s *session) send(typ byte, payload []byte) bool {
+	s.conn.SetWriteDeadline(time.Now().Add(10 * time.Second)) //nolint:errcheck
+	return WriteFrame(s.conn, typ, payload) == nil
+}
+
+func (s *session) sendErr(code Code, msg string) bool {
+	return s.send(FrameErr, EncodeErr(code, msg))
+}

@@ -1,0 +1,118 @@
+package strip
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/stripdb/strip/internal/obs"
+	"github.com/stripdb/strip/internal/server"
+	"github.com/stripdb/strip/internal/txn"
+)
+
+// ServeOptions tunes the stripd network listener started by
+// Config.ListenAddr. The zero value serves unauthenticated with the
+// defaults documented on each field.
+type ServeOptions struct {
+	// AuthToken, when non-empty, must be presented by every client
+	// handshake.
+	AuthToken string
+	// MaxConns caps concurrent sessions (default 256); excess connections
+	// are turned away with a retryable busy error.
+	MaxConns int
+	// MaxInflight caps concurrently executing statements across all
+	// sessions (default 64).
+	MaxInflight int
+	// TenantInflight caps concurrently executing statements per tenant
+	// (default: MaxInflight).
+	TenantInflight int
+	// IdleTxnTimeout aborts interactive transactions with no statement
+	// activity, so abandoned sessions release their locks (default 30s).
+	IdleTxnTimeout time.Duration
+	// SessionLifetime bounds a session's total age; 0 = unbounded.
+	SessionLifetime time.Duration
+	// ShareWindow is the gather window for shared snapshot query
+	// execution: compatible read-only queries arriving within one window
+	// run as a single snapshot scan at one LSN. 0 disables sharing.
+	ShareWindow time.Duration
+	// DrainTimeout bounds Close's session drain (default 5s).
+	DrainTimeout time.Duration
+}
+
+// dbBackend adapts *DB to the server's Backend interface.
+type dbBackend struct{ db *DB }
+
+func (b dbBackend) Begin() *txn.Txn         { return b.db.Begin() }
+func (b dbBackend) BeginReadOnly() *txn.Txn { return b.db.BeginReadOnly() }
+func (b dbBackend) Obs() *obs.Registry      { return b.db.obs }
+func (b dbBackend) Now() int64              { return b.db.clk.Now() }
+
+func (b dbBackend) Exec(sql string) (*server.Result, error) {
+	res, err := b.db.Exec(sql)
+	if err != nil {
+		return nil, err
+	}
+	return &server.Result{Columns: res.Columns, Rows: res.Rows, Affected: res.Affected}, nil
+}
+
+func (b dbBackend) ExecIn(tx *txn.Txn, sql string) (*server.Result, error) {
+	res, err := b.db.ExecIn(tx, sql)
+	if err != nil {
+		return nil, err
+	}
+	return &server.Result{Columns: res.Columns, Rows: res.Rows, Affected: res.Affected}, nil
+}
+
+// Saturated rides the engine's overload machinery: when overload control
+// is configured (Overload.ShedDepth), a ready queue at or past the shed
+// depth makes admission control shed new network work with the same
+// retryable busy semantics the scheduler applies to rule recomputes.
+func (b dbBackend) Saturated() bool {
+	depth := b.db.cfg.Overload.ShedDepth
+	if depth <= 0 {
+		return false
+	}
+	ready, _ := b.db.sched.Pending()
+	return ready >= depth
+}
+
+// startServer binds Config.ListenAddr and mounts /debug/sessions on
+// stripmon when monitoring is enabled.
+func (db *DB) startServer() error {
+	srv, err := server.Start(server.Config{
+		Addr:            db.cfg.ListenAddr,
+		AuthToken:       db.cfg.Serve.AuthToken,
+		MaxConns:        db.cfg.Serve.MaxConns,
+		MaxInflight:     db.cfg.Serve.MaxInflight,
+		TenantInflight:  db.cfg.Serve.TenantInflight,
+		IdleTxnTimeout:  db.cfg.Serve.IdleTxnTimeout,
+		SessionLifetime: db.cfg.Serve.SessionLifetime,
+		ShareWindow:     db.cfg.Serve.ShareWindow,
+		DrainTimeout:    db.cfg.Serve.DrainTimeout,
+	}, dbBackend{db})
+	if err != nil {
+		return fmt.Errorf("strip: %w", err)
+	}
+	db.server = srv
+	if db.mon != nil {
+		db.mon.Handle("/debug/sessions", srv.SessionsHandler())
+	}
+	return nil
+}
+
+// ServerAddr returns the stripd listener's bound address (useful with
+// Config.ListenAddr ":0"), or "" when serving is disabled.
+func (db *DB) ServerAddr() string {
+	if db.server == nil {
+		return ""
+	}
+	return db.server.Addr()
+}
+
+// ServerSessions snapshots the live network sessions (also exported at
+// stripmon's /debug/sessions).
+func (db *DB) ServerSessions() []server.SessionInfo {
+	if db.server == nil {
+		return nil
+	}
+	return db.server.Sessions()
+}

@@ -43,6 +43,7 @@ import (
 	"github.com/stripdb/strip/internal/obs"
 	"github.com/stripdb/strip/internal/query"
 	"github.com/stripdb/strip/internal/sched"
+	"github.com/stripdb/strip/internal/server"
 	"github.com/stripdb/strip/internal/storage"
 	"github.com/stripdb/strip/internal/txn"
 	"github.com/stripdb/strip/internal/types"
@@ -112,11 +113,18 @@ var (
 	ErrReadOnly = txn.ErrReadOnly
 	// ErrShuttingDown marks work rejected because Close is in progress.
 	ErrShuttingDown = sched.ErrStopped
+	// ErrBusy marks a network request shed by the server's admission
+	// control (connection cap, in-flight limit, engine saturation). Like a
+	// deadlock abort it is transient: back off and retry.
+	ErrBusy = server.ErrBusy
 )
 
-// IsRetryable reports whether err is a transient concurrency abort
-// (deadlock victim or lock-wait timeout) worth retrying.
-func IsRetryable(err error) bool { return core.IsRetryable(err) }
+// IsRetryable reports whether err is a transient abort worth retrying: a
+// concurrency abort (deadlock victim, lock-wait timeout) or an
+// admission-control busy shed — embedded or decoded from the wire.
+func IsRetryable(err error) bool {
+	return core.IsRetryable(err) || errors.Is(err, server.ErrBusy)
+}
 
 // Policy names the scheduler policy.
 type Policy = sched.Policy
@@ -193,6 +201,14 @@ type Config struct {
 	// dump), /debug/rules (per-rule cost profiles + breaker health), and
 	// /debug/pprof. Empty (the default) disables the listener.
 	MonitorAddr string
+	// ListenAddr starts the stripd network server on this address
+	// (host:port; ":0" picks a free port — see DB.ServerAddr). Clients
+	// speak the binary wire protocol (package client); Serve tunes auth,
+	// admission control, session lifecycle, and shared query execution.
+	// Empty (the default) disables serving.
+	ListenAddr string
+	// Serve tunes the network server when ListenAddr is set.
+	Serve ServeOptions
 	// TraceCap overrides the trace ring capacity (default
 	// obs.DefaultTraceCap, 4096 events). Larger rings keep longer causal
 	// histories for /debug/trace at ~64 bytes per slot.
@@ -250,6 +266,7 @@ type DB struct {
 	engine *core.Engine
 	wal    *wal.Log
 	mon    *mon.Server
+	server *server.Server
 	live   bool
 
 	// ddlMu serializes DDL against checkpoints: a checkpoint must see the
@@ -348,6 +365,12 @@ func Open(cfg Config) (*DB, error) {
 		db.sched.Start(workers)
 		db.live = true
 	}
+	if cfg.ListenAddr != "" {
+		if err := db.startServer(); err != nil {
+			db.Close() //nolint:errcheck // already failing
+			return nil, err
+		}
+	}
 	return db, nil
 }
 
@@ -381,6 +404,14 @@ func (db *DB) Close() error {
 	}
 	db.closed = true
 	db.closing.Store(true)
+	if db.server != nil {
+		// Drain the network surface first: sessions get a bounded window to
+		// COMMIT/ABORT in-flight transactions, and whatever remains open is
+		// aborted — so no session can pin locks or submit work into the
+		// scheduler drain below.
+		db.server.Close() //nolint:errcheck
+		db.server = nil
+	}
 	if db.live {
 		timeout := db.cfg.CloseTimeout
 		if timeout <= 0 {
