@@ -48,6 +48,21 @@ func FuzzRowsRoundTrip(f *testing.F) {
 	})
 }
 
+// TestDecodeRowsHostileCounts: a tiny ROWS frame claiming huge column/row
+// counts must be rejected before the counts drive any allocation.
+func TestDecodeRowsHostileCounts(t *testing.T) {
+	hostileCols := binary.AppendUvarint(nil, 1<<20) // 1M columns, no bytes behind them
+	if _, _, err := DecodeRows(hostileCols); err == nil {
+		t.Fatal("absurd column count accepted")
+	}
+	hostileRows := binary.AppendUvarint(nil, 1)
+	hostileRows = appendStr(hostileRows, "a")
+	hostileRows = binary.AppendUvarint(hostileRows, 1<<30) // 1G rows, empty payload
+	if _, _, err := DecodeRows(hostileRows); err == nil {
+		t.Fatal("absurd row count accepted")
+	}
+}
+
 // TestServerGarbageFrames feeds a live server hostile byte streams — bad
 // magic, absurd lengths, truncated frames, random junk after a valid
 // handshake — and then proves the server still serves a clean session.

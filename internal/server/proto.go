@@ -72,6 +72,7 @@ const (
 	CodeTxnState     Code = 7 // BEGIN inside a txn, COMMIT outside one, or txn reaped
 	CodeBadRequest   Code = 8 // malformed frame, unparsable SQL, protocol misuse
 	CodeInternal     Code = 9 // everything else
+	CodeTooLarge     Code = 10 // result exceeds MaxFrame; narrow the query
 )
 
 // String names the code.
@@ -95,6 +96,8 @@ func (c Code) String() string {
 		return "txn-state"
 	case CodeBadRequest:
 		return "bad-request"
+	case CodeTooLarge:
+		return "too-large"
 	default:
 		return "internal"
 	}
@@ -110,6 +113,9 @@ var (
 	ErrAuth = errors.New("server: authentication rejected")
 	// ErrTxnState marks a transaction-control frame in the wrong state.
 	ErrTxnState = errors.New("server: transaction state error")
+	// ErrTooLarge marks a result set that does not fit one wire frame; the
+	// query succeeded but must be narrowed (e.g. with LIMIT) to be served.
+	ErrTooLarge = errors.New("server: result too large for one frame")
 )
 
 // CodeFor classifies err as a wire code.
@@ -131,6 +137,8 @@ func CodeFor(err error) Code {
 		return CodeShuttingDown
 	case errors.Is(err, ErrTxnState):
 		return CodeTxnState
+	case errors.Is(err, ErrTooLarge):
+		return CodeTooLarge
 	}
 	return CodeInternal
 }
@@ -164,6 +172,8 @@ func (e *WireError) Unwrap() error {
 		return sched.ErrStopped
 	case CodeTxnState:
 		return ErrTxnState
+	case CodeTooLarge:
+		return ErrTooLarge
 	default:
 		return nil
 	}
@@ -393,11 +403,14 @@ func EncodeRows(cols []string, rows [][]types.Value) []byte {
 	return b
 }
 
-// DecodeRows parses a ROWS payload.
+// DecodeRows parses a ROWS payload. Field counts come off the wire, so
+// they are bounded against the bytes actually present (every column name
+// and every value occupies at least one byte) before anything is
+// allocated — a short hostile frame cannot demand huge slices.
 func DecodeRows(p []byte) (cols []string, rows [][]types.Value, err error) {
 	d := &decoder{b: p}
 	ncols := d.uvarint()
-	if ncols > MaxFrame {
+	if ncols > uint64(len(d.b)) {
 		return nil, nil, fmt.Errorf("server: absurd column count %d", ncols)
 	}
 	cols = make([]string, ncols)
@@ -408,7 +421,11 @@ func DecodeRows(p []byte) (cols []string, rows [][]types.Value, err error) {
 	if d.err != nil {
 		return nil, nil, d.err
 	}
-	if nrows > MaxFrame {
+	perRow := ncols
+	if perRow == 0 {
+		perRow = 1
+	}
+	if nrows > uint64(len(d.b))/perRow {
 		return nil, nil, fmt.Errorf("server: absurd row count %d", nrows)
 	}
 	rows = make([][]types.Value, 0, nrows)

@@ -298,15 +298,22 @@ type SessionInfo struct {
 	TxnIdleMs  int64  `json:"txn_idle_ms,omitempty"`
 }
 
-// Sessions snapshots every live session, ordered by id.
+// Sessions snapshots every live session, ordered by id. The session list
+// is copied under srv.mu but each session's info is gathered after
+// releasing it, so a scrape never stalls admit/accept/drop behind one
+// slow session mutex.
 func (s *Server) Sessions() []SessionInfo {
 	now := time.Now()
 	s.mu.Lock()
-	out := make([]SessionInfo, 0, len(s.sessions))
+	sessions := make([]*session, 0, len(s.sessions))
 	for _, sess := range s.sessions {
-		out = append(out, sess.info(now))
+		sessions = append(sessions, sess)
 	}
 	s.mu.Unlock()
+	out := make([]SessionInfo, 0, len(sessions))
+	for _, sess := range sessions {
+		out = append(out, sess.info(now))
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }

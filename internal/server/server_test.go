@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -323,8 +324,16 @@ func TestServerIdleTxnReaped(t *testing.T) {
 		t.Error("reap counter never moved")
 	}
 
+	// Statements sent before the session acknowledges the reap must NOT run
+	// auto-committed — half the transaction durably applied while the rest
+	// rolled back would break atomicity.
+	typ, p := roundTrip(t, conn, FrameExec, EncodeSQL("update stocks set price = 11 where symbol = 'S1'"))
+	wantErrCode(t, typ, p, CodeTxnState)
+	typ, p = roundTrip(t, conn, FrameQuery, EncodeSQL("select price from stocks"))
+	wantErrCode(t, typ, p, CodeTxnState)
+
 	// The session learns at COMMIT.
-	typ, p := roundTrip(t, conn, FrameCommit, nil)
+	typ, p = roundTrip(t, conn, FrameCommit, nil)
 	werr := wantErrCode(t, typ, p, CodeTxnState)
 	if !errors.Is(werr, ErrTxnState) {
 		t.Fatalf("decoded error %v does not match ErrTxnState", werr)
@@ -338,6 +347,41 @@ func TestServerIdleTxnReaped(t *testing.T) {
 	_, rows, _ := DecodeRows(p)
 	if len(rows) != 1 || rows[0][0].Float() != 40 {
 		t.Fatalf("reaped txn leaked its write: %v", rows)
+	}
+	// ... and the statement rejected post-reap never ran at all.
+	typ, p = roundTrip(t, conn, FrameQuery, EncodeSQL("select price from stocks where symbol = 'S1'"))
+	if typ != FrameRows {
+		t.Fatal("query failed")
+	}
+	_, rows, _ = DecodeRows(p)
+	if len(rows) != 1 || rows[0][0].Float() != 30 {
+		t.Fatalf("post-reap statement ran auto-committed: %v", rows)
+	}
+}
+
+func TestServerResultTooLarge(t *testing.T) {
+	srv, _, _ := serverEnv(t, Config{})
+	conn := dialHello(t, srv.Addr(), "", "")
+	defer conn.Close()
+
+	// Grow the table until one SELECT's encoding exceeds MaxFrame.
+	big := strings.Repeat("x", 3<<19) // 1.5 MiB per row
+	for i := 0; i < 3; i++ {
+		typ, p := roundTrip(t, conn, FrameExec, EncodeSQL("insert into stocks values ('"+big+"', 1)"))
+		if typ != FrameOK {
+			t.Fatalf("insert answered 0x%02x: %s", typ, p)
+		}
+	}
+	typ, p := roundTrip(t, conn, FrameQuery, EncodeSQL("select symbol from stocks"))
+	werr := wantErrCode(t, typ, p, CodeTooLarge)
+	if !errors.Is(werr, ErrTooLarge) {
+		t.Fatalf("decoded error %v does not match ErrTooLarge", werr)
+	}
+	// The oversized result is an application error, not a connection killer:
+	// the same session still serves bounded queries.
+	typ, p = roundTrip(t, conn, FrameQuery, EncodeSQL("select price from stocks where symbol = 'S1'"))
+	if typ != FrameRows {
+		t.Fatalf("follow-up query answered 0x%02x: %s", typ, p)
 	}
 }
 

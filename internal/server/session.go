@@ -44,6 +44,7 @@ type session struct {
 	mu       sync.Mutex
 	tx       *txn.Txn  // open interactive transaction, if any
 	reaped   bool      // tx was aborted by the idle reaper
+	busy     bool      // a statement is executing inside tx; reaper must wait
 	lastStmt time.Time // last statement/txn-control activity
 
 	stmts atomic.Int64
@@ -80,17 +81,17 @@ func (s *session) run() {
 	reg.Tracer().EmitSpan(s.srv.be.Now(), obs.KindSessionOpen, s.tenant, s.id, s.trace(), 0)
 
 	for {
-		typ, payload, err := s.readFrame()
+		typ, payload, idle, err := s.readFrame()
 		if err != nil {
-			if ne, ok := err.(net.Error); ok && ne.Timeout() {
-				// Idle tick: during drain an idle session (no transaction to
-				// finish) has nothing left to do.
+			if idle {
+				// Poll tick with no frame begun: during drain an idle session
+				// (no transaction to finish) has nothing left to do.
 				if s.srv.Draining() && !s.inTxn() {
 					return
 				}
 				continue
 			}
-			return // disconnect or fatal read error
+			return // disconnect, mid-frame timeout, or fatal read error
 		}
 		reg.Counter(obs.MServerFrames).Inc()
 		if !s.dispatch(typ, payload) {
@@ -103,14 +104,21 @@ func (s *session) run() {
 // deadline applies only until a frame's first byte arrives; after that the
 // deadline is extended so a poll tick cannot expire mid-frame and
 // desynchronize the stream with a discarded partial read.
-func (s *session) readFrame() (byte, []byte, error) {
+//
+// idle=true marks a poll-deadline expiry BEFORE any frame byte arrived —
+// the only timeout the caller may shrug off and poll again. A timeout from
+// ReadFrame is not idle: bytes were already consumed, the stream may be
+// desynchronized, and the connection must close.
+func (s *session) readFrame() (typ byte, payload []byte, idle bool, err error) {
 	s.conn.SetReadDeadline(time.Now().Add(pollInterval)) //nolint:errcheck
 	if _, err := s.br.ReadByte(); err != nil {
-		return 0, nil, err
+		ne, ok := err.(net.Error)
+		return 0, nil, ok && ne.Timeout(), err
 	}
 	s.br.UnreadByte()                                    //nolint:errcheck // just read; cannot fail
 	s.conn.SetReadDeadline(time.Now().Add(frameTimeout)) //nolint:errcheck
-	return ReadFrame(s.br)
+	typ, payload, err = ReadFrame(s.br)
+	return typ, payload, false, err
 }
 
 // handshake reads HELLO, enforces auth, and answers WELCOME.
@@ -247,12 +255,29 @@ func (s *session) handleSQL(payload []byte, isQuery bool) bool {
 	var res *Result
 	s.mu.Lock()
 	tx := s.tx
+	if tx == nil && s.reaped {
+		// The idle reaper aborted this session's transaction. Running the
+		// statement auto-committed would durably apply it outside the
+		// transaction whose earlier statements were rolled back; the client
+		// must see the reap (and re-BEGIN) before any further statement runs.
+		s.mu.Unlock()
+		return s.sendErr(CodeTxnState, "transaction was reaped after idle timeout")
+	}
+	if tx != nil {
+		// Mark the session busy instead of holding mu across ExecIn (which
+		// can block on lock waits): the reaper skips busy sessions, and
+		// Sessions()/info() stay responsive during long statements.
+		s.busy = true
+	}
 	s.lastStmt = time.Now()
+	s.mu.Unlock()
 	if tx != nil {
 		res, err = s.srv.be.ExecIn(tx, sql)
+		s.mu.Lock()
+		s.busy = false
+		s.lastStmt = time.Now()
 		s.mu.Unlock()
 	} else {
-		s.mu.Unlock()
 		if isSelect {
 			res, err = s.srv.gather.query(sel.Query, sql)
 		} else {
@@ -269,7 +294,14 @@ func (s *session) handleSQL(payload []byte, isQuery bool) bool {
 		return s.sendErr(CodeFor(err), err.Error())
 	}
 	if res.Columns != nil {
-		return s.send(FrameRows, EncodeRows(res.Columns, res.Rows))
+		buf := EncodeRows(res.Columns, res.Rows)
+		if len(buf)+1 > MaxFrame {
+			// A legitimate-but-huge result must surface as a typed error the
+			// client can act on, not as WriteFrame failing and the connection
+			// dropping with no explanation.
+			return s.sendErr(CodeTooLarge, fmt.Sprintf("result is %d bytes, frame limit %d; narrow the query", len(buf)+1, MaxFrame))
+		}
+		return s.send(FrameRows, buf)
 	}
 	return s.send(FrameOK, EncodeOK(res.Affected))
 }
@@ -280,7 +312,7 @@ func (s *session) handleSQL(payload []byte, isQuery bool) bool {
 func (s *session) reapIfIdle(now time.Time, timeout time.Duration) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.tx == nil || now.Sub(s.lastStmt) <= timeout {
+	if s.tx == nil || s.busy || now.Sub(s.lastStmt) <= timeout {
 		return
 	}
 	s.tx.Abort() //nolint:errcheck
