@@ -104,6 +104,7 @@ func main() {
 			fmt.Println(`meta commands:
   \tables            list tables
   \stats <function>  rule activity counters (incl. pending unique txns)
+  \explain <select>  run the query and show its physical plan (est vs actual rows)
   \metrics [json]    engine metrics snapshot (text, or JSON)
   \trace [n]         recent engine trace events (default 20)
   \profile           per-rule cost profiles (eval time, rows, lock wait, SLO)
@@ -149,6 +150,19 @@ func main() {
 				}
 				fmt.Printf("  %s (%s)\n", name, strings.Join(cols, ", "))
 			}
+			continue
+		case strings.HasPrefix(line, `\explain`):
+			sql := strings.TrimSpace(strings.TrimPrefix(line, `\explain`))
+			if sql == "" {
+				fmt.Println("error: \\explain takes a SELECT statement")
+				continue
+			}
+			text, err := db.Explain(sql)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Print(text)
 			continue
 		case strings.HasPrefix(line, `\metrics`):
 			arg := strings.TrimSpace(strings.TrimPrefix(line, `\metrics`))

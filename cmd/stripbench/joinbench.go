@@ -1,0 +1,243 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	strip "github.com/stripdb/strip"
+	"github.com/stripdb/strip/internal/obs"
+)
+
+// The join experiment measures the cost-based planner against the seed
+// interpreter's fixed FROM-order nesting on a join-heavy workload. The
+// schema is the paper's trading shape widened to three tables:
+//
+//	sectors(sector, region)                      — tiny, unindexed
+//	stocks(symbol, sector, price)                — indexed on symbol
+//	trades(trade_id, symbol, qty)                — indexed on trade_id, symbol
+//
+// The benchmark queries list the tables in adversarial FROM order
+// (smallest first), so fixed-order nesting scans sectors × stocks before
+// it can touch an index, while the cost planner starts from the constant
+// trade_id probe and drives the other tables from it. Both planners run
+// the same SQL on identically loaded engines; rows_out must agree.
+
+type joinRun struct {
+	Query   string `json:"query"`
+	Planner string `json:"planner"` // fixed (seed nesting) or cost
+	RowsOut int    `json:"rows_out"`
+	Iters   int    `json:"iters"`
+
+	WallMs     float64 `json:"wall_ms"`
+	QPS        float64 `json:"queries_per_sec"`
+	CostMicros float64 `json:"virtual_cost_micros"`
+
+	PlanBuilds int64    `json:"plan_builds"`
+	PlanHits   int64    `json:"plan_hits"`
+	Plan       []string `json:"plan"`
+}
+
+type joinResult struct {
+	Experiment string    `json:"experiment"`
+	Scale      string    `json:"scale"`
+	Sectors    int       `json:"sectors"`
+	Stocks     int       `json:"stocks"`
+	Trades     int       `json:"trades"`
+	Runs       []joinRun `json:"runs"`
+
+	// Speedup is fixed-order wall time over cost-order wall time on the
+	// probe-pushdown query (> 1 means the planner wins). The CI planner
+	// job gates on it staying above 1.
+	Speedup float64 `json:"speedup"`
+}
+
+// joinQueries are the measured statements. The first is the headline
+// probe-pushdown case; the second has no constant predicate, so the win
+// comes from join ordering alone.
+func joinQueries(trades int) []struct{ name, sql string } {
+	return []struct{ name, sql string }{
+		{
+			"probe_pushdown",
+			fmt.Sprintf(`select trades.trade_id, stocks.symbol, sectors.region
+				from sectors, stocks, trades
+				where stocks.sector = sectors.sector
+				  and trades.symbol = stocks.symbol
+				  and trades.trade_id = %d`, trades/2),
+		},
+		{
+			"three_way_join",
+			`select sectors.region, sum(trades.qty) as qty
+				from sectors, stocks, trades
+				where stocks.sector = sectors.sector
+				  and trades.symbol = stocks.symbol
+				group by sectors.region`,
+		},
+	}
+}
+
+// joinLoad builds and populates one engine. Every stock belongs to one
+// sector, every trade to one stock, so all joins are total.
+func joinLoad(fixedOrder bool, sectors, stocks, trades int) *strip.DB {
+	db := strip.MustOpen(strip.Config{Workers: 1, PlanFixedOrder: fixedOrder})
+	db.MustExec(`create table sectors (sector text, region text)`)
+	db.MustExec(`create table stocks (symbol text, sector text, price float)`)
+	db.MustExec(`create table trades (trade_id int, symbol text, qty int)`)
+	db.MustExec(`create index on stocks (symbol)`)
+	db.MustExec(`create index on trades (trade_id)`)
+	db.MustExec(`create index on trades (symbol)`)
+	for i := 0; i < sectors; i++ {
+		if err := db.Insert("sectors",
+			strip.Str(fmt.Sprintf("sec%02d", i)), strip.Str(fmt.Sprintf("region%d", i%4))); err != nil {
+			fail(err)
+		}
+	}
+	for i := 0; i < stocks; i++ {
+		if err := db.Insert("stocks",
+			strip.Str(fmt.Sprintf("S%05d", i)), strip.Str(fmt.Sprintf("sec%02d", i%sectors)),
+			strip.Float(100+float64(i))); err != nil {
+			fail(err)
+		}
+	}
+	for i := 0; i < trades; i++ {
+		if err := db.Insert("trades",
+			strip.Int(int64(i)), strip.Str(fmt.Sprintf("S%05d", i%stocks)),
+			strip.Int(int64(1+i%7))); err != nil {
+			fail(err)
+		}
+	}
+	return db
+}
+
+// joinOnce measures one (planner, query) cell: iters repetitions of the
+// statement on a warm engine, in their own read-only snapshot
+// transactions via db.Query.
+func joinOnce(db *strip.DB, planner, name, sql string, iters int) joinRun {
+	sel, err := strip.ParseSelect(sql)
+	if err != nil {
+		fail(err)
+	}
+	// One warm-up run primes the plan cache so the loop measures
+	// steady-state execution, as a rule evaluating repeatedly would.
+	rows, _, err := db.Query(sel)
+	if err != nil {
+		fail(err)
+	}
+	before := db.Metrics()
+	costBefore := db.Meter()
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if _, _, err := db.Query(sel); err != nil {
+			fail(err)
+		}
+	}
+	wall := time.Since(start)
+	after := db.Metrics()
+
+	plan, err := db.Explain(sql)
+	if err != nil {
+		fail(err)
+	}
+	var lines []string
+	for _, l := range splitLines(plan) {
+		lines = append(lines, l)
+	}
+	return joinRun{
+		Query:      name,
+		Planner:    planner,
+		RowsOut:    len(rows),
+		Iters:      iters,
+		WallMs:     float64(wall.Microseconds()) / 1000,
+		QPS:        float64(iters) / wall.Seconds(),
+		CostMicros: db.Meter() - costBefore,
+		PlanBuilds: after.Counters[obs.MQueryPlanBuilds] - before.Counters[obs.MQueryPlanBuilds],
+		PlanHits:   after.Counters[obs.MQueryPlanHits] - before.Counters[obs.MQueryPlanHits],
+		Plan:       lines,
+	}
+}
+
+func splitLines(s string) []string {
+	var out []string
+	for len(s) > 0 {
+		i := 0
+		for i < len(s) && s[i] != '\n' {
+			i++
+		}
+		if i > 0 {
+			out = append(out, s[:i])
+		}
+		if i < len(s) {
+			i++
+		}
+		s = s[i:]
+	}
+	return out
+}
+
+func runJoinBench(metricsPath, scale string, progress func(string)) {
+	sectors, stocks, trades, iters := 20, 2000, 20000, 200
+	if scale == "small" {
+		sectors, stocks, trades, iters = 8, 200, 2000, 50
+	}
+	res := joinResult{
+		Experiment: "join",
+		Scale:      scale,
+		Sectors:    sectors,
+		Stocks:     stocks,
+		Trades:     trades,
+	}
+
+	wall := map[string]map[string]float64{} // query -> planner -> wall_ms
+	rowsOut := map[string]map[string]int{}
+	for _, planner := range []string{"fixed", "cost"} {
+		db := joinLoad(planner == "fixed", sectors, stocks, trades)
+		for _, q := range joinQueries(trades) {
+			run := joinOnce(db, planner, q.name, q.sql, iters)
+			res.Runs = append(res.Runs, run)
+			if wall[q.name] == nil {
+				wall[q.name] = map[string]float64{}
+				rowsOut[q.name] = map[string]int{}
+			}
+			wall[q.name][planner] = run.WallMs
+			rowsOut[q.name][planner] = run.RowsOut
+			if progress != nil {
+				progress(fmt.Sprintf("join %-15s planner=%-5s rows=%-4d wall=%.1fms qps=%.0f",
+					q.name, planner, run.RowsOut, run.WallMs, run.QPS))
+			}
+		}
+		db.Close() //nolint:errcheck
+	}
+
+	for name, byPlanner := range rowsOut {
+		if byPlanner["fixed"] != byPlanner["cost"] {
+			fail(fmt.Errorf("join %s: planners disagree on rows_out: fixed=%d cost=%d",
+				name, byPlanner["fixed"], byPlanner["cost"]))
+		}
+	}
+	if w := wall["probe_pushdown"]; w["cost"] > 0 {
+		res.Speedup = w["fixed"] / w["cost"]
+	}
+
+	fmt.Printf("%-16s %-7s %8s %12s %12s %12s\n", "query", "planner", "rows", "wall_ms", "qps", "cost_µs")
+	for _, r := range res.Runs {
+		fmt.Printf("%-16s %-7s %8d %12.1f %12.0f %12.0f\n",
+			r.Query, r.Planner, r.RowsOut, r.WallMs, r.QPS, r.CostMicros)
+	}
+	fmt.Printf("probe-pushdown speedup (fixed/cost wall time): %.2fx\n", res.Speedup)
+
+	if metricsPath == "" {
+		return
+	}
+	f, err := os.Create(metricsPath)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&res); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", metricsPath)
+}

@@ -27,7 +27,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, comps, options, fig9..fig14, table1, sched, locality, taper, wal, contention, mvcc, overload, serve")
+	exp := flag.String("exp", "all", "experiment: all, comps, options, fig9..fig14, table1, sched, locality, taper, wal, contention, mvcc, overload, join, serve")
 	scale := flag.String("scale", "paper", "workload scale: paper or small")
 	includeOptSym := flag.Bool("include-option-symbol", false,
 		"also run the unique-on-option_symbol configuration (the paper found it unmanageable)")
@@ -75,6 +75,12 @@ func main() {
 			path = "BENCH_overload.json"
 		}
 		runOverload(path, *scale, progress)
+	case "join":
+		path := *metricsPath
+		if path == "BENCH_metrics.json" {
+			path = "BENCH_join.json"
+		}
+		runJoinBench(path, *scale, progress)
 	case "serve":
 		path := *metricsPath
 		if path == "BENCH_metrics.json" {

@@ -53,6 +53,16 @@ func (db *DB) Exec(sql string) (*Result, error) {
 			return nil, err
 		}
 		return &Result{Rows: rows, Columns: cols}, nil
+	case *sqlparse.ExplainStmt:
+		node, err := db.explainQuery(s.Query)
+		if err != nil {
+			return nil, err
+		}
+		res := &Result{Columns: []string{"plan"}}
+		for _, line := range node.Lines() {
+			res.Rows = append(res.Rows, []Value{Str(line)})
+		}
+		return res, nil
 	case *sqlparse.InsertStmt:
 		return db.runDML(func(tx *Txn) (int, error) { return s.Stmt.Run(tx) })
 	case *sqlparse.UpdateStmt:
@@ -62,6 +72,43 @@ func (db *DB) Exec(sql string) (*Result, error) {
 	default:
 		return nil, fmt.Errorf("strip: unsupported statement %T", stmt)
 	}
+}
+
+// Explain plans and executes a select in its own read-only snapshot
+// transaction and renders the chosen physical plan — one line per
+// operator, each with the planner's estimated rows and the actual rows
+// the operator produced. Accepts "EXPLAIN SELECT ..." or a bare SELECT.
+func (db *DB) Explain(sql string) (string, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return "", err
+	}
+	var sel *Select
+	switch s := stmt.(type) {
+	case *sqlparse.ExplainStmt:
+		sel = s.Query
+	case *sqlparse.SelectStmt:
+		sel = s.Query
+	default:
+		return "", fmt.Errorf("strip: statement %T is not a SELECT", stmt)
+	}
+	node, err := db.explainQuery(sel)
+	if err != nil {
+		return "", err
+	}
+	return node.Format(), nil
+}
+
+// explainQuery runs sel with plan capture under a read-only snapshot.
+func (db *DB) explainQuery(sel *Select) (*query.PlanNode, error) {
+	tx := db.BeginReadOnly()
+	defer tx.Commit() //nolint:errcheck
+	out, node, err := sel.RunExplain(tx, query.TxnResolver{})
+	if err != nil {
+		return nil, err
+	}
+	out.Retire()
+	return node, nil
 }
 
 // runDML runs one DML statement in its own transaction. When

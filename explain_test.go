@@ -1,0 +1,51 @@
+package strip
+
+import (
+	"strings"
+	"testing"
+)
+
+// EXPLAIN renders the chosen operator tree with estimated and actual row
+// counts per operator, through both the Go API and the SQL surface.
+func TestExplain(t *testing.T) {
+	db := setupPTA(t, Config{Workers: 1})
+	defer db.Close()
+
+	text, err := db.Explain(`select comp, price
+		from comps_list, stocks
+		where comps_list.symbol = stocks.symbol`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"est=", "act=", "project", "comps_list"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("EXPLAIN output missing %q:\n%s", want, text)
+		}
+	}
+	// Actual counts come from a real execution: the join yields 4 rows.
+	if !strings.Contains(text, "act=4") {
+		t.Errorf("EXPLAIN did not report the project operator's 4 rows:\n%s", text)
+	}
+
+	// The SQL-level statement returns one plan line per row.
+	res, err := db.Exec(`explain select symbol from stocks where symbol = 'S2'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Columns) != 1 || res.Columns[0] != "plan" || len(res.Rows) == 0 {
+		t.Fatalf("explain result shape: cols=%v rows=%d", res.Columns, len(res.Rows))
+	}
+	var joined strings.Builder
+	for _, r := range res.Rows {
+		joined.WriteString(r[0].Str())
+		joined.WriteByte('\n')
+	}
+	// The constant symbol predicate should become an index probe.
+	if !strings.Contains(joined.String(), "probe") {
+		t.Errorf("constant-key plan did not use the index:\n%s", joined.String())
+	}
+
+	if _, err := db.Explain(`insert into stocks values ('S9', 1)`); err == nil {
+		t.Error("Explain accepted a non-query statement")
+	}
+}

@@ -228,6 +228,7 @@ func (e *Engine) newActionTask(trig *txn.Txn, rule *Rule, fn ActionFunc, stats *
 	if rule.Firm {
 		task.Firm = true
 		task.ShedKey = shedKey{fn: rule.Action, key: key}
+		task.ShedCost = shedCost(stats, rule)
 	}
 	task.OnShed = func(t *sched.Task) {
 		t.Payload.(*actionPayload).discard()
@@ -245,6 +246,26 @@ func (e *Engine) newActionTask(trig *txn.Txn, rule *Rule, fn ActionFunc, stats *
 	}
 	task.Fn = e.runAction
 	return task
+}
+
+// shedCost prices a firm firing for cost-ordered overload shedding: the
+// function's profiled mean work (virtual CPU per run, from the PR 6 cost
+// profiles) per microsecond of staleness a drop would add — the rule's
+// deadline, else its batching delay, else one second. Functions that have
+// never run return 0 and keep the seed's pop-order shedding.
+func shedCost(stats *fnMetrics, rule *Rule) float64 {
+	runs := stats.run.Load()
+	if runs <= 0 {
+		return 0
+	}
+	window := rule.Deadline
+	if window <= 0 {
+		window = rule.Delay
+	}
+	if window <= 0 {
+		window = 1_000_000
+	}
+	return stats.work.Load() / float64(runs) / float64(window)
 }
 
 // callAction invokes the user function with panic isolation: a panic in
@@ -313,7 +334,7 @@ func (e *Engine) runAction(task *sched.Task) error {
 	p.stats.prof.AddRows(tp.RowsScanned, tp.RowsMatched, tp.RowsWritten)
 	p.stats.prof.AddLockWait(tp.LockWaitMicros)
 
-	if err != nil && IsRetryable(err) && p.restarts < maxActionRestarts {
+	if err != nil && IsRetryable(err) && p.restarts < maxActionRestarts && e.Sched.AllowRetry() {
 		// Restart with capped exponential backoff and deterministic jitter
 		// (paper §3: real-time transactions may be restarted). The staleness
 		// token stays open — the derived data is still stale.
@@ -324,15 +345,16 @@ func (e *Engine) runAction(task *sched.Task) error {
 		now := e.clk.Now()
 		release := now + retryBackoff(p.restarts, task.ID)
 		retry := &sched.Task{
-			Name:    task.Name,
-			Trace:   task.Trace,
-			Release: release,
-			Value:   task.Value,
-			Firm:    task.Firm,
-			ShedKey: task.ShedKey,
-			OnShed:  task.OnShed,
-			Payload: p,
-			Fn:      e.runAction,
+			Name:     task.Name,
+			Trace:    task.Trace,
+			Release:  release,
+			Value:    task.Value,
+			Firm:     task.Firm,
+			ShedKey:  task.ShedKey,
+			ShedCost: task.ShedCost,
+			OnShed:   task.OnShed,
+			Payload:  p,
+			Fn:       e.runAction,
 		}
 		if p.deadlineWindow > 0 {
 			retry.Deadline = release + p.deadlineWindow

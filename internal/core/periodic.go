@@ -138,7 +138,7 @@ func (pt *periodicTask) run(task *sched.Task) error {
 			err = fmt.Errorf("%w; abort failed: %v", err, abortErr)
 		}
 	}
-	if err != nil && IsRetryable(err) && pt.attempt < maxActionRestarts {
+	if err != nil && IsRetryable(err) && pt.attempt < maxActionRestarts && e.Sched.AllowRetry() {
 		// Transient concurrency abort: retry this run with backoff instead
 		// of waiting out a whole interval, and don't count it as a failure.
 		pt.attempt++

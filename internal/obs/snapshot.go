@@ -53,6 +53,16 @@ const (
 
 	MQuerySelects      = "query.selects"
 	MQuerySelectMicros = "query.select_micros"
+	// MQueryPlanBuilds counts full plan compilations (clone, resolve,
+	// cost-based join ordering); MQueryPlanHits counts runs that reused a
+	// cached immutable plan. A healthy steady-state workload is nearly
+	// all hits.
+	MQueryPlanBuilds = "query.plan_builds"
+	MQueryPlanHits   = "query.plan_hits"
+	// MSchedRetryBudgetExhausted counts transient-failure retries denied
+	// by the global retry budget (the task fails permanently instead of
+	// resubmitting, damping retry storms).
+	MSchedRetryBudgetExhausted = "sched.retry_budget_exhausted"
 
 	MWalAppends          = "wal.appends"
 	MWalBytes            = "wal.bytes"

@@ -1,0 +1,342 @@
+package query
+
+import (
+	"fmt"
+	"math/bits"
+
+	"github.com/stripdb/strip/internal/catalog"
+	"github.com/stripdb/strip/internal/obs"
+	"github.com/stripdb/strip/internal/query/plan"
+	"github.com/stripdb/strip/internal/storage"
+	"github.com/stripdb/strip/internal/txn"
+	"github.com/stripdb/strip/internal/types"
+)
+
+// compiled is a planned, resolved, immutable form of a Select. One
+// compiled plan is shared by every run whose source signature matches
+// (see sigMatch); runs keep all mutable state in their own exec, so a
+// plan can execute concurrently from many transactions.
+type compiled struct {
+	q      *Select // private resolved clone (star expanded)
+	agg    bool
+	fixed  bool        // planner mode the plan was built under
+	levels []levelPlan // execution order
+	consts []Pred
+	// estRows/estCost are the planner's whole-query estimates.
+	estRows float64
+	estCost float64
+	sig     []srcSig
+}
+
+// levelPlan is one level of the physical pipeline: which FROM source it
+// accesses, how (index probe or scan), and which residual predicates
+// filter it, annotated with the planner's estimates.
+type levelPlan struct {
+	src       int
+	probe     *probe // nil = scan
+	resid     []Pred
+	estLoops  float64
+	estAccess float64
+	estOut    float64
+	estCost   float64
+}
+
+// probe is an index nested-loop join step: look up the source's index
+// on col with the value of expr (bound by outer levels).
+type probe struct {
+	col  string
+	expr Expr
+}
+
+// srcSig captures what a cached plan assumed about one source. Standard
+// tables must be the same table object with the same index count and
+// row-count magnitude (log2 bucket — a table growing 10x deserves a new
+// join order); temp tables must be shape-equal and similarly sized.
+type srcSig struct {
+	tbl     *storage.Table
+	schema  *catalog.Schema
+	logRows int
+	nIdx    int
+}
+
+func makeSig(srcs []*source) []srcSig {
+	sig := make([]srcSig, len(srcs))
+	for i, s := range srcs {
+		g := srcSig{tbl: s.tbl, schema: s.schema}
+		if s.tbl != nil {
+			rows, nIdx := s.tbl.PlanStats()
+			g.logRows, g.nIdx = bits.Len(uint(rows)), nIdx
+		} else {
+			g.logRows = bits.Len(uint(s.tmp.Len()))
+		}
+		sig[i] = g
+	}
+	return sig
+}
+
+func sigMatch(sig []srcSig, srcs []*source) bool {
+	if len(sig) != len(srcs) {
+		return false
+	}
+	for i, s := range srcs {
+		g := sig[i]
+		if s.tbl != nil {
+			if g.tbl != s.tbl {
+				return false
+			}
+			rows, nIdx := s.tbl.PlanStats()
+			if g.nIdx != nIdx || g.logRows != bits.Len(uint(rows)) {
+				return false
+			}
+		} else {
+			if g.tbl != nil {
+				return false
+			}
+			if !g.schema.Equal(s.tmp.Schema()) {
+				return false
+			}
+			if g.logRows != bits.Len(uint(s.tmp.Len())) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ensureCompiled returns a plan for the query against the given
+// resolved sources, reusing the cached one when its signature still
+// holds and the planner mode is unchanged. Build errors are never
+// cached; a later run with fixed inputs retries from scratch.
+func (q *Select) ensureCompiled(tx *txn.Txn, srcs []*source) (*compiled, error) {
+	mgr := tx.Manager()
+	fixed := mgr.PlanFixedOrder
+	if c := q.cache.Load(); c != nil && c.fixed == fixed && sigMatch(c.sig, srcs) {
+		mgr.Obs.Counter(obs.MQueryPlanHits).Inc()
+		return c, nil
+	}
+	c, err := compile(q, tx, srcs, fixed)
+	if err != nil {
+		return nil, err
+	}
+	q.cache.Store(c)
+	mgr.Obs.Counter(obs.MQueryPlanBuilds).Inc()
+	return c, nil
+}
+
+// lowerQuery produces a private resolved clone of the query against the
+// given sources: expand *, resolve every expression, validate grouping.
+// Returns the clone and whether it aggregates.
+func lowerQuery(orig *Select, srcs []*source) (*Select, bool, error) {
+	q := orig.clone()
+	if q.Star {
+		if len(q.Items) > 0 {
+			return nil, false, fmt.Errorf("query: * cannot mix with explicit items")
+		}
+		for _, s := range srcs {
+			for i := 0; i < s.schema.NumCols(); i++ {
+				q.Items = append(q.Items, Item(QCol(s.name, s.schema.Col(i).Name), ""))
+			}
+		}
+	}
+	for i := range q.Items {
+		if q.Items[i].Expr == nil {
+			return nil, false, fmt.Errorf("query: select item %d has no expression", i)
+		}
+		if err := q.Items[i].Expr.resolve(srcs); err != nil {
+			return nil, false, err
+		}
+	}
+	for i := range q.Where {
+		if err := q.Where[i].resolve(srcs); err != nil {
+			return nil, false, err
+		}
+	}
+	for _, g := range q.GroupBy {
+		if err := g.resolve(srcs); err != nil {
+			return nil, false, err
+		}
+	}
+	agg, err := validateAggregates(q)
+	if err != nil {
+		return nil, false, err
+	}
+	return q, agg, nil
+}
+
+// compile lowers the query onto the resolved sources, hands the shape to
+// the planner, and maps its chosen levels back onto executable probes
+// and residual filters.
+func compile(orig *Select, tx *txn.Txn, srcs []*source, fixed bool) (*compiled, error) {
+	q, agg, err := lowerQuery(orig, srcs)
+	if err != nil {
+		return nil, err
+	}
+
+	tables, preds, probeSides := planInputs(q, srcs)
+	model := tx.Model()
+	res := plan.Choose(tables, preds, plan.Options{
+		FixedOrder: fixed,
+		Costs: plan.Costs{
+			IndexProbe: model.IndexProbe,
+			ScanRow:    model.ScanRow,
+			JoinRow:    model.JoinRow,
+		},
+	})
+
+	c := &compiled{
+		q:       q,
+		agg:     agg,
+		fixed:   fixed,
+		estRows: res.EstRows,
+		estCost: res.EstCost,
+		sig:     makeSig(srcs),
+	}
+	for _, pi := range res.Consts {
+		c.consts = append(c.consts, q.Where[pi])
+	}
+	c.levels = make([]levelPlan, len(res.Levels))
+	for i, lv := range res.Levels {
+		lp := levelPlan{
+			src:       lv.Src,
+			estLoops:  lv.EstLoops,
+			estAccess: lv.EstAccess,
+			estOut:    lv.EstOut,
+			estCost:   lv.EstCost,
+		}
+		if lv.ProbePred >= 0 {
+			side := probeSides[lv.ProbePred][lv.ProbeCand]
+			lp.probe = &probe{col: side.col, expr: side.expr}
+		}
+		for _, pi := range lv.Residuals {
+			lp.resid = append(lp.resid, q.Where[pi])
+		}
+		c.levels[i] = lp
+	}
+	return c, nil
+}
+
+// probeSide pairs a plan.Probe candidate with the executable key
+// expression (the predicate's other operand).
+type probeSide struct {
+	col  string
+	expr Expr
+}
+
+// planInputs describes the resolved query to the planner: per-source
+// statistics and per-predicate source sets, selectivity classes, and
+// index-probe candidates (bare column = expression, candidate order
+// left-then-right to match the seed interpreter).
+func planInputs(q *Select, srcs []*source) ([]plan.Table, []plan.Pred, [][]probeSide) {
+	tables := make([]plan.Table, len(srcs))
+	for i, s := range srcs {
+		t := plan.Table{Name: s.name}
+		if s.tbl != nil {
+			t.Rows, _ = s.tbl.PlanStats()
+			t.IndexKeys = s.tbl.IndexStats()
+		} else {
+			t.Temp = true
+			t.Rows = s.tmp.Len()
+		}
+		tables[i] = t
+	}
+	preds := make([]plan.Pred, len(q.Where))
+	sides := make([][]probeSide, len(q.Where))
+	for i, p := range q.Where {
+		pp := plan.Pred{Srcs: predSrcs(p), Class: classOf(p.Op)}
+		if p.Op == EQ {
+			addCand := func(side, other Expr) {
+				cr, ok := side.(*ColRef)
+				if !ok || srcs[cr.src].tbl == nil {
+					return
+				}
+				pp.Probes = append(pp.Probes, plan.Probe{
+					Src: cr.src, Col: cr.Col, OtherSrcs: exprSrcs(other),
+				})
+				sides[i] = append(sides[i], probeSide{col: cr.Col, expr: other})
+			}
+			addCand(p.Left, p.Right)
+			addCand(p.Right, p.Left)
+		}
+		preds[i] = pp
+	}
+	return tables, preds, sides
+}
+
+func classOf(op CmpOp) plan.Class {
+	switch op {
+	case EQ:
+		return plan.Eq
+	case NE:
+		return plan.NotEq
+	default:
+		return plan.Range
+	}
+}
+
+// predSrcs lists the distinct sources a predicate references.
+func predSrcs(p Pred) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, e := range []Expr{p.Left, p.Right} {
+		e.walk(func(x Expr) {
+			if c, ok := x.(*ColRef); ok && !seen[c.src] {
+				seen[c.src] = true
+				out = append(out, c.src)
+			}
+		})
+	}
+	return out
+}
+
+// exprSrcs lists the distinct sources an expression references.
+func exprSrcs(e Expr) []int {
+	seen := map[int]bool{}
+	var out []int
+	e.walk(func(x Expr) {
+		if c, ok := x.(*ColRef); ok && !seen[c.src] {
+			seen[c.src] = true
+			out = append(out, c.src)
+		}
+	})
+	return out
+}
+
+// validateAggregates checks grouping rules on a resolved query and
+// reports whether the query aggregates.
+func validateAggregates(q *Select) (bool, error) {
+	agg := false
+	for _, it := range q.Items {
+		if it.Agg != AggNone {
+			agg = true
+		}
+	}
+	if len(q.GroupBy) > 0 && !agg {
+		return false, fmt.Errorf("query: GROUP BY without aggregates")
+	}
+	if len(q.GroupBy) > types.MaxKeyWidth {
+		return false, fmt.Errorf("query: GROUP BY width %d exceeds %d", len(q.GroupBy), types.MaxKeyWidth)
+	}
+	if agg {
+		// Every non-aggregate item must be one of the group-by columns.
+		for _, it := range q.Items {
+			if it.Agg != AggNone {
+				continue
+			}
+			cr, ok := it.Expr.(*ColRef)
+			if !ok {
+				return false, fmt.Errorf("query: non-aggregate item %s must be a grouped column", it.Expr)
+			}
+			found := false
+			for _, g := range q.GroupBy {
+				if g.src == cr.src && g.col == cr.col {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false, fmt.Errorf("query: column %s is not in GROUP BY", cr)
+			}
+		}
+	}
+	return agg, nil
+}

@@ -1,0 +1,91 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PlanNode is one operator of an executed physical plan, for EXPLAIN
+// surfaces: the planner's estimated row count next to the rows the
+// operator actually produced during the run.
+type PlanNode struct {
+	Op       string
+	Detail   string
+	EstRows  float64
+	ActRows  int64
+	Children []*PlanNode
+}
+
+// explainNode assembles the full plan tree after a run, appending the
+// post-pass operators (sort, limit) above the streamed pipeline.
+// sorted is the row count entering the limit (after any sort), final
+// the count after it.
+func (ex *exec) explainNode(root op, sorted, final int) *PlanNode {
+	n := root.node()
+	if len(ex.q.OrderBy) > 0 {
+		detail := strings.Join(ex.q.OrderBy, ", ")
+		if ex.q.Desc {
+			detail += " desc"
+		}
+		n = &PlanNode{
+			Op:       "sort",
+			Detail:   detail,
+			EstRows:  n.EstRows,
+			ActRows:  int64(sorted),
+			Children: []*PlanNode{n},
+		}
+	}
+	if ex.q.Limit > 0 {
+		est := n.EstRows
+		if lim := float64(ex.q.Limit); lim < est {
+			est = lim
+		}
+		n = &PlanNode{
+			Op:       "limit",
+			Detail:   fmt.Sprint(ex.q.Limit),
+			EstRows:  est,
+			ActRows:  int64(final),
+			Children: []*PlanNode{n},
+		}
+	}
+	return n
+}
+
+// Format renders the plan tree as indented text, one operator per line:
+//
+//	project id, name (est=12 act=9)
+//	  join nested loop (est=12 act=9)
+//	    scan stocks locked (est=2000 act=2000)
+//	    probe trades.symbol = stocks.symbol (est=10 act=9)
+func (n *PlanNode) Format() string {
+	var b strings.Builder
+	n.format(&b, 0)
+	return b.String()
+}
+
+func (n *PlanNode) format(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+	b.WriteString(n.Op)
+	if n.Detail != "" {
+		b.WriteString(" ")
+		b.WriteString(n.Detail)
+	}
+	fmt.Fprintf(b, " (est=%s act=%d)\n", fmtEst(n.EstRows), n.ActRows)
+	for _, c := range n.Children {
+		c.format(b, depth+1)
+	}
+}
+
+// Lines flattens the rendered plan for row-per-line surfaces (db.Exec).
+func (n *PlanNode) Lines() []string {
+	return strings.Split(strings.TrimRight(n.Format(), "\n"), "\n")
+}
+
+func fmtEst(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.1f", v)
+}

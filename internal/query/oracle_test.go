@@ -1,0 +1,651 @@
+package query
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/stripdb/strip/internal/catalog"
+	"github.com/stripdb/strip/internal/clock"
+	"github.com/stripdb/strip/internal/cost"
+	"github.com/stripdb/strip/internal/index"
+	"github.com/stripdb/strip/internal/lock"
+	"github.com/stripdb/strip/internal/storage"
+	"github.com/stripdb/strip/internal/txn"
+	"github.com/stripdb/strip/internal/types"
+)
+
+// Randomized equivalence oracle: a few hundred generated SELECTs — joins,
+// constant filters, aggregates, ORDER BY, LIMIT, a temp-table source —
+// run through the streaming engine under every (planner, read-mode)
+// combination and through a naive nested-loop reference evaluator over
+// the raw rows. Any divergence is a planner or executor bug.
+
+// oracleCol/oracleTable describe the fixture schema and data as plain
+// values, shared between engine loading and the reference evaluator.
+type oracleTable struct {
+	name    string
+	cols    []catalog.Column
+	indexes []string
+	temp    bool
+	rows    [][]types.Value
+}
+
+func oracleTables(rng *rand.Rand) []oracleTable {
+	stocks := oracleTable{
+		name: "stocks",
+		cols: []catalog.Column{
+			{Name: "symbol", Kind: types.KindString},
+			{Name: "sector", Kind: types.KindString},
+			{Name: "price", Kind: types.KindFloat},
+			{Name: "qty", Kind: types.KindInt},
+		},
+		indexes: []string{"symbol"},
+	}
+	for i := 0; i < 30; i++ {
+		stocks.rows = append(stocks.rows, []types.Value{
+			types.Str(fmt.Sprintf("S%02d", i)),
+			types.Str(fmt.Sprintf("sec%d", i%5)),
+			types.Float(float64(100 + 10*(i%4))),
+			types.Int(int64(i % 7)),
+		})
+	}
+	trades := oracleTable{
+		name: "trades",
+		cols: []catalog.Column{
+			{Name: "trade_id", Kind: types.KindInt},
+			{Name: "symbol", Kind: types.KindString},
+			{Name: "qty", Kind: types.KindInt},
+		},
+		indexes: []string{"trade_id", "symbol"},
+	}
+	for i := 0; i < 90; i++ {
+		trades.rows = append(trades.rows, []types.Value{
+			types.Int(int64(i)),
+			types.Str(fmt.Sprintf("S%02d", rng.Intn(30))),
+			types.Int(int64(1 + i%9)),
+		})
+	}
+	sectors := oracleTable{
+		name: "sectors",
+		cols: []catalog.Column{
+			{Name: "sector", Kind: types.KindString},
+			{Name: "region", Kind: types.KindString},
+		},
+	}
+	for i := 0; i < 5; i++ {
+		sectors.rows = append(sectors.rows, []types.Value{
+			types.Str(fmt.Sprintf("sec%d", i)),
+			types.Str(fmt.Sprintf("region%d", i%2)),
+		})
+	}
+	boosts := oracleTable{
+		name: "boosts",
+		temp: true,
+		cols: []catalog.Column{
+			{Name: "symbol", Kind: types.KindString},
+			{Name: "boost", Kind: types.KindFloat},
+		},
+	}
+	for i := 0; i < 12; i++ {
+		boosts.rows = append(boosts.rows, []types.Value{
+			types.Str(fmt.Sprintf("S%02d", rng.Intn(30))),
+			types.Float(float64(i) / 4),
+		})
+	}
+	return []oracleTable{stocks, trades, sectors, boosts}
+}
+
+// oracleEnv loads the fixture into a fresh manager (std tables) and a
+// temp-table resolver, with the requested planner mode.
+func oracleEnv(t *testing.T, tables []oracleTable, fixedOrder bool) (*txn.Manager, Resolver) {
+	t.Helper()
+	cat := catalog.New()
+	store := storage.NewStore()
+	tmp := map[string]*storage.TempTable{}
+	for _, ot := range tables {
+		cols := make([]catalog.Column, len(ot.cols))
+		copy(cols, ot.cols)
+		schema := catalog.MustSchema(ot.name, cols...)
+		if ot.temp {
+			tt := storage.NewValueTempTable(schema)
+			for _, r := range ot.rows {
+				if err := tt.AppendValues(r...); err != nil {
+					t.Fatal(err)
+				}
+			}
+			tmp[ot.name] = tt
+			continue
+		}
+		if err := cat.Define(schema); err != nil {
+			t.Fatal(err)
+		}
+		tbl, err := store.Create(schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, col := range ot.indexes {
+			if err := tbl.CreateIndex(col, index.Hash); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	mgr := txn.NewManager(cat, store, lock.New(), clock.NewVirtual(), cost.NewMeter(), cost.Default())
+	mgr.PlanFixedOrder = fixedOrder
+	tx := mgr.Begin()
+	for _, ot := range tables {
+		if ot.temp {
+			continue
+		}
+		for _, r := range ot.rows {
+			if _, err := tx.Insert(ot.name, r); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return mgr, mixedResolver{tmp: tmp}
+}
+
+// refCol addresses a column of one chosen FROM source.
+type refCol struct {
+	src, col int
+}
+
+// refPred is a predicate over the chosen sources: column-vs-column (join)
+// or column-vs-constant.
+type refPred struct {
+	op    CmpOp
+	left  refCol
+	right *refCol     // nil = constant
+	c     types.Value // constant operand when right is nil
+}
+
+type refItem struct {
+	col refCol
+	agg AggKind
+	as  string
+}
+
+// refQuery is a generated query in both worlds: enough structure for the
+// reference evaluator, convertible to a *Select for the engine.
+type refQuery struct {
+	from    []int // indexes into the fixture table list
+	preds   []refPred
+	items   []refItem
+	groupBy []refCol
+	orderBy []string
+	desc    bool
+	limit   int
+}
+
+// joinable lists the meaningful equi-join column pairs of the fixture as
+// (table name, column) pairs.
+var joinable = [][2][2]string{
+	{{"stocks", "symbol"}, {"trades", "symbol"}},
+	{{"stocks", "sector"}, {"sectors", "sector"}},
+	{{"boosts", "symbol"}, {"stocks", "symbol"}},
+	{{"boosts", "symbol"}, {"trades", "symbol"}},
+}
+
+func colIndex(ot oracleTable, name string) int {
+	for i, c := range ot.cols {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// genQuery builds one random query over the fixture.
+func genQuery(rng *rand.Rand, tables []oracleTable) refQuery {
+	var q refQuery
+	n := 1 + rng.Intn(3)
+	perm := rng.Perm(len(tables))
+	q.from = perm[:n]
+
+	srcOf := map[string]int{}
+	for i, ti := range q.from {
+		srcOf[tables[ti].name] = i
+	}
+	// Every applicable equi-join predicate between chosen tables, so the
+	// join graph stays connected whenever the fixture allows it.
+	for _, j := range joinable {
+		li, lok := srcOf[j[0][0]]
+		ri, rok := srcOf[j[1][0]]
+		if !lok || !rok {
+			continue
+		}
+		lc := refCol{li, colIndex(tables[q.from[li]], j[0][1])}
+		rc := refCol{ri, colIndex(tables[q.from[ri]], j[1][1])}
+		q.preds = append(q.preds, refPred{op: EQ, left: lc, right: &rc})
+	}
+	// Up to two constant filters against values drawn from the data, so
+	// equality predicates sometimes match.
+	for k := rng.Intn(3); k > 0; k-- {
+		si := rng.Intn(n)
+		ot := tables[q.from[si]]
+		ci := rng.Intn(len(ot.cols))
+		val := ot.rows[rng.Intn(len(ot.rows))][ci]
+		var op CmpOp
+		switch ot.cols[ci].Kind {
+		case types.KindString:
+			op = []CmpOp{EQ, NE}[rng.Intn(2)]
+		default:
+			op = []CmpOp{EQ, NE, LT, LE, GT, GE}[rng.Intn(6)]
+		}
+		q.preds = append(q.preds, refPred{op: op, left: refCol{si, ci}, c: val})
+	}
+
+	var numeric []refCol
+	for si, ti := range q.from {
+		for ci, c := range tables[ti].cols {
+			if c.Kind == types.KindInt || c.Kind == types.KindFloat {
+				numeric = append(numeric, refCol{si, ci})
+			}
+		}
+	}
+	if len(numeric) > 0 && rng.Intn(10) < 3 {
+		// Aggregate mode: optional group column plus one aggregate.
+		agg := []AggKind{AggSum, AggCount, AggAvg, AggMin, AggMax}[rng.Intn(5)]
+		target := numeric[rng.Intn(len(numeric))]
+		if rng.Intn(4) > 0 {
+			var strs []refCol
+			for si, ti := range q.from {
+				for ci, c := range tables[ti].cols {
+					if c.Kind == types.KindString {
+						strs = append(strs, refCol{si, ci})
+					}
+				}
+			}
+			g := strs[rng.Intn(len(strs))]
+			q.groupBy = []refCol{g}
+			q.items = []refItem{{col: g, as: "g"}, {col: target, agg: agg, as: "a"}}
+		} else {
+			q.items = []refItem{{col: target, agg: agg, as: "a"}}
+		}
+	} else {
+		for k := 1 + rng.Intn(3); k > 0; k-- {
+			si := rng.Intn(n)
+			ot := tables[q.from[si]]
+			q.items = append(q.items, refItem{
+				col: refCol{si, rng.Intn(len(ot.cols))},
+				as:  fmt.Sprintf("c%d", len(q.items)),
+			})
+		}
+	}
+
+	if rng.Intn(2) == 0 {
+		for _, it := range q.items {
+			if rng.Intn(2) == 0 {
+				q.orderBy = append(q.orderBy, it.as)
+			}
+		}
+		q.desc = rng.Intn(2) == 0
+	}
+	if len(q.orderBy) > 0 && rng.Intn(10) < 3 {
+		q.limit = 1 + rng.Intn(10)
+	}
+	return q
+}
+
+// toSelect converts the spec into an engine query.
+func (q refQuery) toSelect(tables []oracleTable) *Select {
+	sel := &Select{Desc: q.desc, Limit: q.limit}
+	colRef := func(rc refCol) *ColRef {
+		ot := tables[q.from[rc.src]]
+		return QCol(ot.name, ot.cols[rc.col].Name)
+	}
+	for _, ti := range q.from {
+		sel.From = append(sel.From, tables[ti].name)
+	}
+	for _, p := range q.preds {
+		if p.right != nil {
+			sel.Where = append(sel.Where, Cmp(colRef(p.left), p.op, colRef(*p.right)))
+		} else {
+			sel.Where = append(sel.Where, Cmp(colRef(p.left), p.op, Const(p.c)))
+		}
+	}
+	for _, it := range q.items {
+		if it.agg == AggNone {
+			sel.Items = append(sel.Items, Item(colRef(it.col), it.as))
+		} else {
+			sel.Items = append(sel.Items, AggItem(it.agg, colRef(it.col), it.as))
+		}
+	}
+	for _, g := range q.groupBy {
+		sel.GroupBy = append(sel.GroupBy, colRef(g))
+	}
+	sel.OrderBy = append(sel.OrderBy, q.orderBy...)
+	return sel
+}
+
+func cmpVals(a, b types.Value) int { return a.Compare(b) }
+
+// refEval runs the query naively: nested loops in FROM order, all
+// predicates at the innermost level, aggregate semantics copied from the
+// executor's emit/finish.
+func (q refQuery) refEval(tables []oracleTable) [][]types.Value {
+	data := make([][][]types.Value, len(q.from))
+	for i, ti := range q.from {
+		data[i] = tables[ti].rows
+	}
+	cur := make([][]types.Value, len(q.from))
+	var joint [][][]types.Value
+	var walk func(level int)
+	walk = func(level int) {
+		if level == len(q.from) {
+			for _, p := range q.preds {
+				l := cur[p.left.src][p.left.col]
+				r := p.c
+				if p.right != nil {
+					r = cur[p.right.src][p.right.col]
+				}
+				c := cmpVals(l, r)
+				ok := false
+				switch p.op {
+				case EQ:
+					ok = c == 0
+				case NE:
+					ok = c != 0
+				case LT:
+					ok = c < 0
+				case LE:
+					ok = c <= 0
+				case GT:
+					ok = c > 0
+				case GE:
+					ok = c >= 0
+				}
+				if !ok {
+					return
+				}
+			}
+			row := make([][]types.Value, len(cur))
+			copy(row, cur)
+			joint = append(joint, row)
+			return
+		}
+		for _, r := range data[level] {
+			cur[level] = r
+			walk(level + 1)
+		}
+	}
+	walk(0)
+
+	aggregate := false
+	for _, it := range q.items {
+		if it.agg != AggNone {
+			aggregate = true
+		}
+	}
+	var out [][]types.Value
+	if !aggregate {
+		for _, jr := range joint {
+			row := make([]types.Value, len(q.items))
+			for i, it := range q.items {
+				row[i] = jr[it.col.src][it.col.col]
+			}
+			out = append(out, row)
+		}
+	} else {
+		type group struct {
+			reps   []types.Value
+			counts []int64
+			sums   []float64
+			mins   []types.Value
+			maxs   []types.Value
+		}
+		groups := map[types.Key]*group{}
+		var seq []types.Key
+		for _, jr := range joint {
+			keyVals := make([]types.Value, len(q.groupBy))
+			for i, g := range q.groupBy {
+				keyVals[i] = jr[g.src][g.col]
+			}
+			key := types.MakeKey(keyVals...)
+			gs, ok := groups[key]
+			if !ok {
+				n := len(q.items)
+				gs = &group{
+					reps:   make([]types.Value, n),
+					counts: make([]int64, n),
+					sums:   make([]float64, n),
+					mins:   make([]types.Value, n),
+					maxs:   make([]types.Value, n),
+				}
+				groups[key] = gs
+				seq = append(seq, key)
+			}
+			for i, it := range q.items {
+				v := jr[it.col.src][it.col.col]
+				switch it.agg {
+				case AggNone:
+					if gs.counts[i] == 0 {
+						gs.reps[i] = v
+					}
+					gs.counts[i]++
+				case AggCount:
+					gs.counts[i]++
+				default:
+					gs.counts[i]++
+					gs.sums[i] += v.Float()
+					if gs.mins[i].IsNull() || v.Compare(gs.mins[i]) < 0 {
+						gs.mins[i] = v
+					}
+					if gs.maxs[i].IsNull() || v.Compare(gs.maxs[i]) > 0 {
+						gs.maxs[i] = v
+					}
+				}
+			}
+		}
+		for _, key := range seq {
+			gs := groups[key]
+			row := make([]types.Value, len(q.items))
+			for i, it := range q.items {
+				switch it.agg {
+				case AggNone:
+					row[i] = gs.reps[i]
+				case AggCount:
+					row[i] = types.Int(gs.counts[i])
+				case AggSum:
+					src := tables[q.from[it.col.src]].cols[it.col.col]
+					if src.Kind == types.KindInt {
+						row[i] = types.Int(int64(gs.sums[i]))
+					} else {
+						row[i] = types.Float(gs.sums[i])
+					}
+				case AggAvg:
+					row[i] = types.Float(gs.sums[i] / float64(gs.counts[i]))
+				case AggMin:
+					row[i] = gs.mins[i]
+				case AggMax:
+					row[i] = gs.maxs[i]
+				}
+			}
+			out = append(out, row)
+		}
+	}
+
+	if len(q.orderBy) > 0 {
+		cols := make([]int, len(q.orderBy))
+		for i, name := range q.orderBy {
+			for j, it := range q.items {
+				if it.as == name {
+					cols[i] = j
+				}
+			}
+		}
+		sort.SliceStable(out, func(a, b int) bool {
+			for _, c := range cols {
+				cmp := out[a][c].Compare(out[b][c])
+				if cmp != 0 {
+					if q.desc {
+						return cmp > 0
+					}
+					return cmp < 0
+				}
+			}
+			return false
+		})
+	}
+	return out
+}
+
+func rowKey(r []types.Value) string {
+	parts := make([]string, len(r))
+	for i, v := range r {
+		parts[i] = fmt.Sprintf("%d:%s", v.Kind(), v.String())
+	}
+	return strings.Join(parts, "\x00")
+}
+
+func multiset(rows [][]types.Value) map[string]int {
+	m := map[string]int{}
+	for _, r := range rows {
+		m[rowKey(r)]++
+	}
+	return m
+}
+
+func multisetEqual(a, b map[string]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, n := range a {
+		if b[k] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// sortKeySeq extracts the ORDER BY key tuple of each row, in order.
+func sortKeySeq(q refQuery, rows [][]types.Value) []string {
+	cols := make([]int, len(q.orderBy))
+	for i, name := range q.orderBy {
+		for j, it := range q.items {
+			if it.as == name {
+				cols[i] = j
+			}
+		}
+	}
+	keys := make([]string, len(rows))
+	for i, r := range rows {
+		parts := make([]string, len(cols))
+		for j, c := range cols {
+			parts[j] = r[c].String()
+		}
+		keys[i] = strings.Join(parts, "\x00")
+	}
+	return keys
+}
+
+func subMultiset(sub, super map[string]int) bool {
+	for k, n := range sub {
+		if super[k] < n {
+			return false
+		}
+	}
+	return true
+}
+
+// checkOracle compares one engine result against the reference, honoring
+// ordering and LIMIT tie semantics: without ORDER BY results compare as
+// multisets; with ORDER BY the sort-key sequence must match exactly (tie
+// order within equal keys is unspecified); with LIMIT the engine rows
+// must be a sub-multiset of the reference with the right key prefix.
+func checkOracle(t *testing.T, q refQuery, label string, got [][]types.Value, want [][]types.Value) {
+	t.Helper()
+	fail := func(msg string) {
+		t.Fatalf("%s: %s\nquery: %+v\ngot %d rows, want %d", label, msg, q, len(got), len(want))
+	}
+	if q.limit > 0 {
+		wantN := len(want)
+		if q.limit < wantN {
+			wantN = q.limit
+		}
+		if len(got) != wantN {
+			fail("row count under LIMIT")
+		}
+		if !subMultiset(multiset(got), multiset(want)) {
+			fail("LIMIT rows are not drawn from the reference result")
+		}
+		wantKeys := sortKeySeq(q, want)[:wantN]
+		gotKeys := sortKeySeq(q, got)
+		for i := range wantKeys {
+			if gotKeys[i] != wantKeys[i] {
+				fail(fmt.Sprintf("sort-key prefix diverges at row %d", i))
+			}
+		}
+		return
+	}
+	if !multisetEqual(multiset(got), multiset(want)) {
+		fail("row multisets differ")
+	}
+	if len(q.orderBy) > 0 {
+		wantKeys := sortKeySeq(q, want)
+		gotKeys := sortKeySeq(q, got)
+		for i := range wantKeys {
+			if gotKeys[i] != wantKeys[i] {
+				fail(fmt.Sprintf("sort-key order diverges at row %d", i))
+			}
+		}
+	}
+}
+
+func TestOracleEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(8080))
+	tables := oracleTables(rng)
+
+	type engineMode struct {
+		name  string
+		fixed bool
+	}
+	envs := make(map[string]struct {
+		mgr *txn.Manager
+		res Resolver
+	})
+	for _, m := range []engineMode{{"fixed", true}, {"cost", false}} {
+		mgr, res := oracleEnv(t, tables, m.fixed)
+		envs[m.name] = struct {
+			mgr *txn.Manager
+			res Resolver
+		}{mgr, res}
+	}
+
+	const queries = 300
+	for i := 0; i < queries; i++ {
+		q := genQuery(rng, tables)
+		want := q.refEval(tables)
+		for _, planner := range []string{"fixed", "cost"} {
+			env := envs[planner]
+			for _, readMode := range []string{"locked", "snapshot"} {
+				sel := q.toSelect(tables)
+				var tx *txn.Txn
+				if readMode == "snapshot" {
+					tx = env.mgr.BeginReadOnly()
+				} else {
+					tx = env.mgr.Begin()
+				}
+				out, err := sel.Run(tx, env.res)
+				if err != nil {
+					t.Fatalf("query %d (%s/%s): %v\nspec: %+v", i, planner, readMode, err, q)
+				}
+				got := make([][]types.Value, out.Len())
+				for r := range got {
+					got[r] = out.Row(r)
+				}
+				out.Retire()
+				if err := tx.Commit(); err != nil {
+					t.Fatal(err)
+				}
+				checkOracle(t, q, fmt.Sprintf("query %d (%s/%s)", i, planner, readMode), got, want)
+			}
+		}
+	}
+}

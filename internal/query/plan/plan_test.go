@@ -1,0 +1,186 @@
+package plan
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+var testCosts = Costs{IndexProbe: 25, ScanRow: 5, JoinRow: 20}
+
+// Three-table trading shape: a tiny sectors table, a mid-size stocks
+// table indexed on symbol, and a large trades table indexed on symbol
+// and trade_id.
+func tradingTables() []Table {
+	return []Table{
+		{Name: "sectors", Rows: 20},
+		{Name: "stocks", Rows: 2000, IndexKeys: map[string]int{"symbol": 2000}},
+		{Name: "trades", Rows: 20000, IndexKeys: map[string]int{"symbol": 2000, "trade_id": 20000}},
+	}
+}
+
+// sectors.name = stocks.sector AND stocks.symbol = trades.symbol AND
+// trades.trade_id = <const>
+func tradingPreds() []Pred {
+	return []Pred{
+		{Srcs: []int{0, 1}, Class: Eq, Probes: []Probe{
+			{Src: 0, Col: "name", OtherSrcs: []int{1}},
+			{Src: 1, Col: "sector", OtherSrcs: []int{0}},
+		}},
+		{Srcs: []int{1, 2}, Class: Eq, Probes: []Probe{
+			{Src: 1, Col: "symbol", OtherSrcs: []int{2}},
+			{Src: 2, Col: "symbol", OtherSrcs: []int{1}},
+		}},
+		{Srcs: []int{2}, Class: Eq, Probes: []Probe{
+			{Src: 2, Col: "trade_id", OtherSrcs: nil},
+		}},
+	}
+}
+
+func TestFixedOrderMatchesSeedPlan(t *testing.T) {
+	res := Choose(tradingTables(), tradingPreds(), Options{FixedOrder: true, Costs: testCosts})
+	if got := res.Order(); !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Fatalf("fixed order = %v, want FROM order", got)
+	}
+	// Seed behavior: pred 0 lands at level 1 (probe stocks.symbol? no —
+	// candidate 1 probes stocks.sector, unindexed, so residual); pred 1
+	// lands at level 2 probing trades.symbol (candidate 1); pred 2 is a
+	// level-2 residual because the probe slot is taken first-come.
+	if res.Levels[1].ProbePred != -1 || !reflect.DeepEqual(res.Levels[1].Residuals, []int{0}) {
+		t.Fatalf("level 1 = %+v, want residual pred 0 and no probe", res.Levels[1])
+	}
+	if res.Levels[2].ProbePred != 1 || res.Levels[2].ProbeCand != 1 {
+		t.Fatalf("level 2 probe = %d/%d, want pred 1 cand 1", res.Levels[2].ProbePred, res.Levels[2].ProbeCand)
+	}
+	if !reflect.DeepEqual(res.Levels[2].Residuals, []int{2}) {
+		t.Fatalf("level 2 residuals = %v, want [2]", res.Levels[2].Residuals)
+	}
+	if !Covered(res, 3) {
+		t.Fatalf("predicates not covered exactly once: %+v", res)
+	}
+	if !res.FixedOrder {
+		t.Fatalf("FixedOrder flag not set")
+	}
+}
+
+func TestCostOrderExploitsConstProbe(t *testing.T) {
+	res := Choose(tradingTables(), tradingPreds(), Options{Costs: testCosts})
+	// The constant trade_id probe makes trades the cheapest start
+	// (1 probe vs a 20-row scan of sectors); stocks then probes on
+	// symbol; sectors last.
+	if got := res.Order(); !reflect.DeepEqual(got, []int{2, 1, 0}) {
+		t.Fatalf("cost order = %v, want [2 1 0]", got)
+	}
+	if res.Levels[0].ProbePred != 2 {
+		t.Fatalf("level 0 should probe trades.trade_id, got %+v", res.Levels[0])
+	}
+	if res.Levels[1].ProbePred != 1 || res.Levels[1].ProbeCand != 0 {
+		t.Fatalf("level 1 should probe stocks.symbol, got %+v", res.Levels[1])
+	}
+	if !Covered(res, 3) {
+		t.Fatalf("predicates not covered exactly once: %+v", res)
+	}
+	fixed := Choose(tradingTables(), tradingPreds(), Options{FixedOrder: true, Costs: testCosts})
+	if res.EstCost >= fixed.EstCost {
+		t.Fatalf("cost order estimate %.0f should beat fixed order %.0f", res.EstCost, fixed.EstCost)
+	}
+}
+
+func TestCostOrderPrefersSmallOuterWithoutIndexes(t *testing.T) {
+	tables := []Table{
+		{Name: "big", Rows: 10000},
+		{Name: "small", Rows: 10},
+	}
+	preds := []Pred{{Srcs: []int{0, 1}, Class: Eq}}
+	res := Choose(tables, preds, Options{Costs: testCosts})
+	if got := res.Order(); !reflect.DeepEqual(got, []int{1, 0}) {
+		t.Fatalf("order = %v, want small table first", got)
+	}
+	if !Covered(res, 1) {
+		t.Fatalf("predicate lost: %+v", res)
+	}
+}
+
+func TestConstPredicatesReported(t *testing.T) {
+	tables := []Table{{Name: "t", Rows: 5}}
+	preds := []Pred{
+		{Srcs: nil, Class: Eq},
+		{Srcs: []int{0}, Class: Range},
+	}
+	for _, fixed := range []bool{false, true} {
+		res := Choose(tables, preds, Options{FixedOrder: fixed, Costs: testCosts})
+		if !reflect.DeepEqual(res.Consts, []int{0}) {
+			t.Fatalf("fixed=%v consts = %v, want [0]", fixed, res.Consts)
+		}
+		if !Covered(res, 2) {
+			t.Fatalf("fixed=%v coverage broken: %+v", fixed, res)
+		}
+	}
+}
+
+func TestEstimatesMonotoneAndPositive(t *testing.T) {
+	res := Choose(tradingTables(), tradingPreds(), Options{Costs: testCosts})
+	for i, lv := range res.Levels {
+		if lv.EstCost <= 0 || lv.EstAccess < 0 || lv.EstOut < 0 {
+			t.Fatalf("level %d has degenerate estimates: %+v", i, lv)
+		}
+		if lv.EstOut > lv.EstAccess {
+			t.Fatalf("level %d residuals grew the estimate: %+v", i, lv)
+		}
+	}
+	if res.EstRows != res.Levels[len(res.Levels)-1].EstOut {
+		t.Fatalf("EstRows %v != last level EstOut", res.EstRows)
+	}
+}
+
+// Randomized structural check: whatever the shape, both modes place
+// every source exactly once and every predicate exactly once.
+func TestRandomizedCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for iter := 0; iter < 500; iter++ {
+		n := 1 + rng.Intn(4)
+		tables := make([]Table, n)
+		for i := range tables {
+			tables[i] = Table{Name: "t", Rows: rng.Intn(5000)}
+			if rng.Intn(2) == 0 {
+				tables[i].IndexKeys = map[string]int{"k": 1 + rng.Intn(1000)}
+			}
+		}
+		var preds []Pred
+		for pi := 0; pi < rng.Intn(5); pi++ {
+			p := Pred{Class: Class(rng.Intn(3))}
+			for s := 0; s < n; s++ {
+				if rng.Intn(2) == 0 {
+					p.Srcs = append(p.Srcs, s)
+				}
+			}
+			if p.Class == Eq && len(p.Srcs) > 0 && rng.Intn(2) == 0 {
+				tgt := p.Srcs[rng.Intn(len(p.Srcs))]
+				var others []int
+				for _, s := range p.Srcs {
+					if s != tgt {
+						others = append(others, s)
+					}
+				}
+				p.Probes = []Probe{{Src: tgt, Col: "k", OtherSrcs: others}}
+			}
+			preds = append(preds, p)
+		}
+		for _, fixed := range []bool{false, true} {
+			res := Choose(tables, preds, Options{FixedOrder: fixed, Costs: testCosts})
+			if len(res.Levels) != n {
+				t.Fatalf("iter %d fixed=%v: %d levels for %d tables", iter, fixed, len(res.Levels), n)
+			}
+			seen := make([]bool, n)
+			for _, lv := range res.Levels {
+				if seen[lv.Src] {
+					t.Fatalf("iter %d fixed=%v: source %d placed twice", iter, fixed, lv.Src)
+				}
+				seen[lv.Src] = true
+			}
+			if !Covered(res, len(preds)) {
+				t.Fatalf("iter %d fixed=%v: predicate coverage broken: %+v", iter, fixed, res)
+			}
+		}
+	}
+}

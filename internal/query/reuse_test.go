@@ -1,9 +1,11 @@
 package query
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
+	"github.com/stripdb/strip/internal/obs"
 	"github.com/stripdb/strip/internal/types"
 )
 
@@ -108,3 +110,96 @@ var errWrongRows = errType("wrong row count")
 type errType string
 
 func (e errType) Error() string { return string(e) }
+
+// Repeated identical queries — the shape a rule's evaluate query takes —
+// must reuse the cached immutable plan: one build, then hits, until a
+// source changes shape (row-count magnitude, index count, planner mode).
+func TestPlanCacheReuse(t *testing.T) {
+	mgr := env(t)
+	builds := mgr.Obs.Counter(obs.MQueryPlanBuilds)
+	hits := mgr.Obs.Counter(obs.MQueryPlanHits)
+	q := &Select{
+		Items: []SelectItem{
+			Item(QCol("comps_list", "comp"), ""),
+			Item(QCol("stocks", "price"), "price"),
+		},
+		From:  []string{"stocks", "comps_list"},
+		Where: []Pred{Eq(QCol("comps_list", "symbol"), QCol("stocks", "symbol"))},
+	}
+	run := func() {
+		t.Helper()
+		tx := mgr.Begin()
+		res, err := q.Run(tx, TxnResolver{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Retire()
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	b0, h0 := builds.Load(), hits.Load()
+	for i := 0; i < 5; i++ {
+		run()
+	}
+	if got := builds.Load() - b0; got != 1 {
+		t.Fatalf("plan builds = %d, want 1", got)
+	}
+	if got := hits.Load() - h0; got != 4 {
+		t.Fatalf("plan hits = %d, want 4", got)
+	}
+
+	// Growing a source past its log2 row bucket invalidates the signature:
+	// the next run replans, later runs hit again.
+	tx := mgr.Begin()
+	for i := 0; i < 64; i++ {
+		if _, err := tx.Insert("stocks", []types.Value{
+			types.Str(fmt.Sprintf("G%03d", i)), types.Float(1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	b1 := builds.Load()
+	run()
+	run()
+	if got := builds.Load() - b1; got != 1 {
+		t.Fatalf("plan builds after growth = %d, want 1", got)
+	}
+
+	// Flipping the planner mode replans too.
+	mgr.PlanFixedOrder = true
+	b2 := builds.Load()
+	run()
+	if got := builds.Load() - b2; got != 1 {
+		t.Fatalf("plan builds after mode flip = %d, want 1", got)
+	}
+	mgr.PlanFixedOrder = false
+
+	// A warm plan is shared by concurrent runs without rebuilding.
+	run() // rebuild once for the cost mode
+	b3 := builds.Load()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				tx := mgr.Begin()
+				res, err := q.Run(tx, TxnResolver{})
+				if err == nil {
+					res.Retire()
+					tx.Commit()
+				} else {
+					tx.Abort()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := builds.Load() - b3; got != 0 {
+		t.Fatalf("concurrent warm runs rebuilt %d times, want 0", got)
+	}
+}

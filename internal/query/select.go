@@ -2,8 +2,10 @@ package query
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"github.com/stripdb/strip/internal/catalog"
+	"github.com/stripdb/strip/internal/cost"
 	"github.com/stripdb/strip/internal/obs"
 	"github.com/stripdb/strip/internal/storage"
 	"github.com/stripdb/strip/internal/txn"
@@ -102,6 +104,13 @@ func AggItem(agg AggKind, e Expr, as string) SelectItem {
 }
 
 // Select is a select-project-join query with optional grouping.
+//
+// Execution is staged: the query lowers onto its resolved sources once
+// (clone, resolve, plan — see compile.go), the resulting immutable plan
+// is cached on the Select and shared across runs whose sources still
+// match its signature, and each run streams the plan's operator tree
+// (see iter.go) under the calling transaction's lock or snapshot
+// discipline.
 type Select struct {
 	Items   []SelectItem
 	From    []string
@@ -114,9 +123,17 @@ type Select struct {
 	// whole ordering.
 	OrderBy []string
 	Desc    bool
+	// Limit caps the result to the first n rows (applied after OrderBy);
+	// zero means no cap.
+	Limit int
 	// Bind names the result temp table (the `bind as` clause); defaults to
 	// "result".
 	Bind string
+
+	// cache holds the most recent compiled plan. Plans are immutable and
+	// safe to share: concurrent runs load the same pointer and keep all
+	// mutable state in their own exec.
+	cache atomic.Pointer[compiled]
 }
 
 // Run executes the query inside tx, resolving table names through res, and
@@ -126,26 +143,37 @@ type Select struct {
 func (q *Select) Run(tx *txn.Txn, res Resolver) (*storage.TempTable, error) {
 	mgr := tx.Manager()
 	start := mgr.Clock.Now()
-	out, err := q.run(tx, res)
+	out, _, err := q.runQuery(tx, res, false)
 	mgr.Obs.Counter(obs.MQuerySelects).Inc()
 	mgr.Obs.Histogram(obs.MQuerySelectMicros).Record(mgr.Clock.Now() - start)
 	return out, err
 }
 
+// RunExplain executes like Run and additionally returns the physical
+// plan tree annotated with the planner's estimated rows and the actual
+// rows each operator produced.
+func (q *Select) RunExplain(tx *txn.Txn, res Resolver) (*storage.TempTable, *PlanNode, error) {
+	mgr := tx.Manager()
+	start := mgr.Clock.Now()
+	out, node, err := q.runQuery(tx, res, true)
+	mgr.Obs.Counter(obs.MQuerySelects).Inc()
+	mgr.Obs.Histogram(obs.MQuerySelectMicros).Record(mgr.Clock.Now() - start)
+	return out, node, err
+}
+
 func (q *Select) run(tx *txn.Txn, res Resolver) (*storage.TempTable, error) {
+	out, _, err := q.runQuery(tx, res, false)
+	return out, err
+}
+
+func (q *Select) runQuery(tx *txn.Txn, res Resolver, wantNode bool) (*storage.TempTable, *PlanNode, error) {
 	model := tx.Model()
 	tx.Charge(model.StmtSetup)
-	// Run on a private copy: resolution writes into expressions, and rules
-	// re-run their condition queries on every firing (possibly concurrently
-	// in live mode).
-	q = q.clone()
-	ex := &exec{q: q, tx: tx, prof: tx.Profile()}
-
-	// Resolve sources.
+	var srcs []*source
 	for _, name := range q.From {
 		tbl, tmp, err := res.Resolve(tx, name)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		s := &source{name: name, tbl: tbl, tmp: tmp}
 		if tbl != nil {
@@ -153,84 +181,89 @@ func (q *Select) run(tx *txn.Txn, res Resolver) (*storage.TempTable, error) {
 		} else {
 			s.schema = tmp.Schema()
 		}
-		ex.srcs = append(ex.srcs, s)
+		srcs = append(srcs, s)
 		tx.Charge(model.OpenCursor)
 	}
-	if len(ex.srcs) == 0 {
-		return nil, fmt.Errorf("query: select with empty FROM")
+	if len(srcs) == 0 {
+		return nil, nil, fmt.Errorf("query: select with empty FROM")
 	}
+	c, err := q.ensureCompiled(tx, srcs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c.execute(tx, srcs, nil, wantNode)
+}
 
-	// Expand `select *`.
-	if q.Star {
-		if len(q.Items) > 0 {
-			return nil, fmt.Errorf("query: * cannot mix with explicit items")
-		}
-		for _, s := range ex.srcs {
-			for i := 0; i < s.schema.NumCols(); i++ {
-				ex.q.Items = append(ex.q.Items, Item(QCol(s.name, s.schema.Col(i).Name), ""))
-			}
-		}
+// execute runs a compiled plan against this run's resolved sources.
+// When shared is non-nil the plan's single table source streams those
+// pre-materialized records instead of scanning (the shared-scan path,
+// which charged the batch scan once for the whole group).
+func (c *compiled) execute(tx *txn.Txn, srcs []*source, shared []*storage.Record, wantNode bool) (*storage.TempTable, *PlanNode, error) {
+	ex := &exec{
+		c:      c,
+		q:      c.q,
+		tx:     tx,
+		model:  tx.Model(),
+		prof:   tx.Profile(),
+		srcs:   srcs,
+		cur:    make([]cursor, len(srcs)),
+		shared: shared,
 	}
-
-	// Resolve expressions.
-	for i := range q.Items {
-		if q.Items[i].Expr == nil {
-			return nil, fmt.Errorf("query: select item %d has no expression", i)
-		}
-		if err := q.Items[i].Expr.resolve(ex.srcs); err != nil {
-			return nil, err
-		}
+	if c.agg {
+		ex.aggregate = true
+		ex.groups = make(map[types.Key]*groupState)
 	}
-	for i := range q.Where {
-		if err := q.Where[i].resolve(ex.srcs); err != nil {
-			return nil, err
-		}
-	}
-	for _, g := range q.GroupBy {
-		if err := g.resolve(ex.srcs); err != nil {
-			return nil, err
-		}
-	}
-	if err := ex.validateAggregates(); err != nil {
-		return nil, err
-	}
-
-	// Classify predicates into index probes and residual filters per level.
-	if err := ex.plan(); err != nil {
-		return nil, err
-	}
-
-	// Prepare output.
 	if err := ex.prepareOutput(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	// Evaluate constant predicates once.
-	for _, p := range ex.constPreds {
+	empty := false
+	for _, p := range c.consts {
 		ok, err := p.eval(nil)
 		if err != nil {
-			return nil, err
+			if shared != nil {
+				ex.out.Retire()
+			}
+			return nil, nil, err
 		}
 		if !ok {
-			return ex.finish() // provably empty
+			empty = true // provably empty
+			break
 		}
 	}
 
-	cur := make([]cursor, len(ex.srcs))
-	if err := ex.join(0, cur); err != nil {
-		return nil, err
+	root := ex.buildTree()
+	if !empty {
+		if err := ex.drive(root); err != nil {
+			// Shared batches isolate per-query errors, so release this
+			// query's pinned rows; the per-query path surfaces the error
+			// to the transaction, which is about to abort wholesale.
+			if shared != nil {
+				ex.out.Retire()
+			}
+			return nil, nil, err
+		}
 	}
 	out, err := ex.finish()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	if len(q.OrderBy) > 0 {
-		if err := sortResult(out, q.OrderBy, q.Desc); err != nil {
+	if len(c.q.OrderBy) > 0 {
+		if err := sortResult(out, c.q.OrderBy, c.q.Desc); err != nil {
 			out.Retire()
-			return nil, err
+			return nil, nil, err
 		}
 	}
-	return out, nil
+	sorted := out.Len()
+	if c.q.Limit > 0 {
+		out.Truncate(c.q.Limit)
+	}
+	var node *PlanNode
+	if wantNode {
+		node = ex.explainNode(root, sorted, out.Len())
+	}
+	return out, node, nil
 }
 
 // clone deep-copies the query for a private run.
@@ -243,6 +276,7 @@ func (q *Select) clone() *Select {
 		Star:    q.Star,
 		OrderBy: append([]string(nil), q.OrderBy...),
 		Desc:    q.Desc,
+		Limit:   q.Limit,
 		Bind:    q.Bind,
 	}
 	for i, it := range q.Items {
@@ -260,18 +294,22 @@ func (q *Select) clone() *Select {
 	return cp
 }
 
-// exec carries the per-run state of a Select.
+// exec carries the per-run state of a compiled plan: the transaction,
+// this run's resolved sources, the joint cursor row the operators write
+// into, and the output under construction.
 type exec struct {
-	q    *Select
-	tx   *txn.Txn
-	srcs []*source
+	c     *compiled
+	q     *Select // == c.q: the resolved, immutable query
+	tx    *txn.Txn
+	model cost.Model
+	srcs  []*source
+	cur   []cursor
+	// shared, when non-nil, replaces the single table source's scan with
+	// these pre-materialized records (RunShared).
+	shared []*storage.Record
 	// prof receives row accounting (rows visited/matched) when the
 	// transaction carries a cost profile; nil otherwise.
 	prof *txn.TxnProfile
-
-	probes     []*probe // per level, nil if scanning
-	residuals  [][]Pred // per level
-	constPreds []Pred
 
 	// Output construction.
 	out      *storage.TempTable
@@ -284,272 +322,12 @@ type exec struct {
 	aggregate bool
 }
 
-// probe is an index nested-loop join step: at this level, look up the
-// source's index on column col with the value of expr (bound by lower
-// levels).
-type probe struct {
-	col  string
-	expr Expr
-}
-
 // ptrSlot identifies one pointer of the output layout: records flow either
 // directly from a standard source (tmpPtr == -1) or through a temp source's
 // own pointer tmpPtr.
 type ptrSlot struct {
 	src    int
 	tmpPtr int
-}
-
-func (ex *exec) validateAggregates() error {
-	for _, it := range ex.q.Items {
-		if it.Agg != AggNone {
-			ex.aggregate = true
-		}
-	}
-	if len(ex.q.GroupBy) > 0 && !ex.aggregate {
-		return fmt.Errorf("query: GROUP BY without aggregates")
-	}
-	if len(ex.q.GroupBy) > types.MaxKeyWidth {
-		return fmt.Errorf("query: GROUP BY width %d exceeds %d", len(ex.q.GroupBy), types.MaxKeyWidth)
-	}
-	if ex.aggregate {
-		// Every non-aggregate item must be one of the group-by columns.
-		for _, it := range ex.q.Items {
-			if it.Agg != AggNone {
-				continue
-			}
-			cr, ok := it.Expr.(*ColRef)
-			if !ok {
-				return fmt.Errorf("query: non-aggregate item %s must be a grouped column", it.Expr)
-			}
-			found := false
-			for _, g := range ex.q.GroupBy {
-				if g.src == cr.src && g.col == cr.col {
-					found = true
-					break
-				}
-			}
-			if !found {
-				return fmt.Errorf("query: column %s is not in GROUP BY", cr)
-			}
-		}
-		ex.groups = make(map[types.Key]*groupState)
-	}
-	return nil
-}
-
-// plan classifies WHERE predicates: for each join level the first usable
-// equality against an indexed column becomes an index probe; everything
-// else filters at the highest level it references.
-func (ex *exec) plan() error {
-	n := len(ex.srcs)
-	ex.probes = make([]*probe, n)
-	ex.residuals = make([][]Pred, n)
-	for _, p := range ex.q.Where {
-		lvl := p.maxSource()
-		if lvl < 0 {
-			ex.constPreds = append(ex.constPreds, p)
-			continue
-		}
-		if pr, ok := ex.probeFor(p, lvl); ok && ex.probes[lvl] == nil {
-			ex.probes[lvl] = pr
-			continue
-		}
-		ex.residuals[lvl] = append(ex.residuals[lvl], p)
-	}
-	return nil
-}
-
-// probeFor returns an index probe if p is `srcs[lvl].indexedCol = expr`
-// (either side) with expr bound below lvl.
-func (ex *exec) probeFor(p Pred, lvl int) (*probe, bool) {
-	if p.Op != EQ {
-		return nil, false
-	}
-	try := func(side, other Expr) (*probe, bool) {
-		cr, ok := side.(*ColRef)
-		if !ok || cr.src != lvl {
-			return nil, false
-		}
-		if otherMax(other) >= lvl {
-			return nil, false
-		}
-		s := ex.srcs[lvl]
-		if s.tbl == nil || !s.tbl.HasIndex(cr.Col) {
-			return nil, false
-		}
-		return &probe{col: cr.Col, expr: other}, true
-	}
-	if pr, ok := try(p.Left, p.Right); ok {
-		return pr, true
-	}
-	return try(p.Right, p.Left)
-}
-
-func otherMax(e Expr) int {
-	max := -1
-	e.walk(func(x Expr) {
-		if c, ok := x.(*ColRef); ok && c.src > max {
-			max = c.src
-		}
-	})
-	return max
-}
-
-// join recursively iterates source `level`, applying probes and residuals.
-func (ex *exec) join(level int, cur []cursor) error {
-	if level == len(ex.srcs) {
-		return ex.emit(cur)
-	}
-	model := ex.tx.Model()
-	s := ex.srcs[level]
-	visit := func(c cursor) error {
-		cur[level] = c
-		if ex.prof != nil {
-			ex.prof.RowsScanned++
-		}
-		if level > 0 {
-			ex.tx.Charge(model.JoinRow)
-		}
-		for _, p := range ex.residuals[level] {
-			ok, err := p.eval(cur)
-			if err != nil {
-				return err
-			}
-			if !ok {
-				return nil
-			}
-		}
-		return ex.join(level+1, cur)
-	}
-
-	if pr := ex.probes[level]; pr != nil {
-		v, err := pr.expr.eval(cur)
-		if err != nil {
-			return err
-		}
-		ex.tx.Charge(model.IndexProbe)
-		recs, err := ex.lookupRecords(s, pr.col, v)
-		if err != nil {
-			return err
-		}
-		for _, r := range recs {
-			if err := visit(cursor{src: s, rec: r}); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-
-	if s.tbl != nil {
-		if snap, me, ok := ex.tx.SnapshotRead(); ok {
-			// Lock-free snapshot scan: walk version chains at the
-			// transaction's begin snapshot instead of locking the table
-			// shared — concurrent writers proceed untouched. The visible
-			// set is materialized under the table latch and visited only
-			// after it is released: visit() recurses into the next join
-			// level, whose scan latches another table (or this one again),
-			// and with no table S locks serializing writers anymore, a
-			// latch held across that recursion can deadlock against a
-			// queued writer (RWMutex is writer-preferring).
-			ex.tx.Manager().Obs.Counter(obs.MMvccSnapshotScans).Inc()
-			var recs []*storage.Record
-			s.tbl.ScanSnapshot(snap, me, func(r *storage.Record) bool {
-				recs = append(recs, r)
-				return true
-			})
-			for _, r := range recs {
-				ex.tx.Charge(model.ScanRow)
-				if err := visit(cursor{src: s, rec: r}); err != nil {
-					return err
-				}
-			}
-			return nil
-		}
-		// A full scan locks the whole table shared rather than every row
-		// (read-side escalation); this also shuts out record writers whose
-		// IX would otherwise let rows change mid-scan.
-		if _, err := ex.tx.ScanTable(s.name); err != nil {
-			return err
-		}
-		var visitErr error
-		s.tbl.Scan(func(r *storage.Record) bool {
-			ex.tx.Charge(model.ScanRow)
-			if err := visit(cursor{src: s, rec: r}); err != nil {
-				visitErr = err
-				return false
-			}
-			return true
-		})
-		return visitErr
-	}
-	for i := 0; i < s.tmp.Len(); i++ {
-		ex.tx.Charge(model.ScanRow)
-		if err := visit(cursor{src: s, row: i}); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// lookupRecords resolves an index probe: lock-free against the
-// transaction's snapshot when snapshot reads are enabled, otherwise through
-// lockedLookup's record S locks.
-func (ex *exec) lookupRecords(s *source, col string, v types.Value) ([]*storage.Record, error) {
-	snap, me, ok := ex.tx.SnapshotRead()
-	if !ok {
-		return ex.lockedLookup(s, col, v)
-	}
-	ex.tx.Manager().Obs.Counter(obs.MMvccSnapshotProbes).Inc()
-	if recs, exact := s.tbl.LookupSnapshot(col, v, snap, me); exact {
-		return recs, nil
-	}
-	// An update changed an indexed column's value on this table, so the
-	// index (which covers head versions only) could miss older versions
-	// that match. Fall back to a filtered snapshot scan.
-	ci := s.tbl.Schema().ColIndex(col)
-	var recs []*storage.Record
-	s.tbl.ScanSnapshot(snap, me, func(r *storage.Record) bool {
-		if r.Value(ci).Equal(v) {
-			recs = append(recs, r)
-		}
-		return true
-	})
-	return recs, nil
-}
-
-// lockedLookup probes the index and S-locks exactly the rows it returns.
-// Acquiring the record lock can block behind a writer that replaces or
-// deletes the row before committing (copy-on-update replacements keep the
-// lock ID); when the granted record turns out stale the probe re-runs — the
-// lock already held covers the replacement, so a bounded number of retries
-// settles unless the index entry churns pathologically, in which case the
-// probe escalates to a whole-table S as the always-correct fallback.
-func (ex *exec) lockedLookup(s *source, col string, v types.Value) ([]*storage.Record, error) {
-	const maxAttempts = 3
-	for attempt := 0; attempt < maxAttempts; attempt++ {
-		recs, _ := s.tbl.IndexLookup(col, v)
-		out := recs[:0]
-		stale := false
-		for _, r := range recs {
-			if err := ex.tx.LockRecordShared(s.name, r.ID()); err != nil {
-				return nil, err
-			}
-			if !r.Live() {
-				stale = true
-				break
-			}
-			out = append(out, r)
-		}
-		if !stale {
-			return out, nil
-		}
-	}
-	if _, err := ex.tx.ScanTable(s.name); err != nil {
-		return nil, err
-	}
-	recs, _ := s.tbl.IndexLookup(col, v)
-	return recs, nil
 }
 
 // prepareOutput builds the result temp table: schema, pointer slots, and
@@ -660,13 +438,15 @@ type groupState struct {
 	maxs   []types.Value
 }
 
-func (ex *exec) emit(cur []cursor) error {
-	model := ex.tx.Model()
+// emit folds the current joint row (ex.cur) into the output: append for
+// plain projections, accumulate for aggregates.
+func (ex *exec) emit() error {
+	cur := ex.cur
 	if ex.prof != nil {
 		ex.prof.RowsMatched++
 	}
 	if !ex.aggregate {
-		ex.tx.Charge(model.OutputRow)
+		ex.tx.Charge(ex.model.OutputRow)
 		ptrs := make([]*storage.Record, len(ex.ptrSlots))
 		for i, slot := range ex.ptrSlots {
 			c := cur[slot.src]
@@ -687,7 +467,7 @@ func (ex *exec) emit(cur []cursor) error {
 		return ex.out.AppendRow(ptrs, vals)
 	}
 
-	ex.tx.Charge(model.GroupRow)
+	ex.tx.Charge(ex.model.GroupRow)
 	keyVals := make([]types.Value, len(ex.q.GroupBy))
 	for i, g := range ex.q.GroupBy {
 		v, err := g.eval(cur)

@@ -22,6 +22,11 @@ import (
 // projection / aggregation / ORDER BY — because that is the shape of the
 // hot serving queries (probes and rollups over derived tables). Joins and
 // multi-statement shapes fall back to per-query execution at the caller.
+//
+// In operator-tree terms the batch materializes one SharedScan record set
+// and hangs every query's plan off it: each plan executes normally (filter,
+// project/aggregate, sort, limit) with its scan leaf fed the shared records
+// and the per-row scan charge paid once for the whole group.
 
 // SharedResult is one query's outcome from a RunShared batch. Exactly one
 // of Out/Err is meaningful; a per-query error (bad expression, unknown
@@ -64,26 +69,37 @@ func RunShared(tx *txn.Txn, table string, queries []*Select) ([]SharedResult, ui
 		return nil, 0, fmt.Errorf("query: shared execution needs a snapshot-reading transaction")
 	}
 
+	// Per-query preparation. Shared plans are built fresh per batch (no
+	// plan cache): the scan leaf is the batch's, not the query's, and
+	// index probes are deliberately not planned — the batch runs as one
+	// scan, and a probe would fragment it back into per-query index
+	// walks.
+	model := tx.Model()
 	results := make([]SharedResult, len(queries))
-	execs := make([]*exec, len(queries))   // nil once dead (errored)
-	emitting := make([]bool, len(queries)) // false: provably empty, skip rows
+	plans := make([]*compiled, len(queries))
+	srcsOf := make([][]*source, len(queries))
 	for i, q := range queries {
 		if got, okq := SharedEligible(q); !okq || got != table {
 			results[i].Err = fmt.Errorf("query: shared batch query %d is not a single-table select over %q", i, table)
 			continue
 		}
-		ex, empty, perr := prepShared(tx, tbl, table, q)
+		tx.Charge(model.StmtSetup)
+		tx.Charge(model.OpenCursor)
+		srcs := []*source{{name: table, schema: tbl.Schema(), tbl: tbl}}
+		c, perr := compileShared(q, srcs)
 		if perr != nil {
 			results[i].Err = perr
 			continue
 		}
-		execs[i] = ex
-		emitting[i] = !empty
+		plans[i] = c
+		srcsOf[i] = srcs
 	}
 
 	// One pass: materialize the visible set under the table latch (never
 	// recurse or evaluate under it — same discipline as the per-query scan
-	// path), then feed every record to every live query.
+	// path), then feed the shared record set to every live plan. The scan
+	// is charged once per row for the whole group — that amortization is
+	// the point of sharing the pass.
 	mgr.Obs.Counter(obs.MMvccSnapshotScans).Inc()
 	var recs []*storage.Record
 	tbl.ScanSnapshot(snap, me, func(r *storage.Record) bool {
@@ -91,44 +107,16 @@ func RunShared(tx *txn.Txn, table string, queries []*Select) ([]SharedResult, ui
 		return true
 	})
 	mgr.Obs.Counter(obs.MSharedScanRows).Add(int64(len(recs)))
+	tx.Charge(model.ScanRow * float64(len(recs)))
 
-	model := tx.Model()
-	cur := make([]cursor, 1)
-	for _, r := range recs {
-		// The scan itself is charged once per row for the whole group —
-		// that amortization is the point of sharing the pass.
-		tx.Charge(model.ScanRow)
-		for i, ex := range execs {
-			if ex == nil || !emitting[i] {
-				continue
-			}
-			if ex.prof != nil {
-				ex.prof.RowsScanned++
-			}
-			cur[0] = cursor{src: ex.srcs[0], rec: r}
-			if verr := ex.visitShared(cur); verr != nil {
-				results[i].Err = verr
-				ex.out.Retire()
-				execs[i] = nil
-			}
-		}
-	}
-
-	for i, ex := range execs {
-		if ex == nil {
+	for i, c := range plans {
+		if c == nil {
 			continue
 		}
-		out, ferr := ex.finish()
-		if ferr != nil {
-			results[i].Err = ferr
+		out, _, qerr := c.execute(tx, srcsOf[i], recs, false)
+		if qerr != nil {
+			results[i].Err = qerr
 			continue
-		}
-		if len(ex.q.OrderBy) > 0 {
-			if serr := sortResult(out, ex.q.OrderBy, ex.q.Desc); serr != nil {
-				out.Retire()
-				results[i].Err = serr
-				continue
-			}
 		}
 		results[i].Out = out
 		mgr.Obs.Counter(obs.MQuerySelects).Inc()
@@ -140,88 +128,23 @@ func RunShared(tx *txn.Txn, table string, queries []*Select) ([]SharedResult, ui
 	return results, snap, nil
 }
 
-// visitShared applies one record to the query's residual filters and, on a
-// full match, its output builder.
-func (ex *exec) visitShared(cur []cursor) error {
-	for _, p := range ex.residuals[0] {
-		ok, err := p.eval(cur)
-		if err != nil {
-			return err
-		}
-		if !ok {
-			return nil
-		}
+// compileShared lowers a query for the shared-scan path: a single-level
+// plan whose scan leaf the batch feeds, with every non-constant
+// predicate residual at level 0.
+func compileShared(orig *Select, srcs []*source) (*compiled, error) {
+	q, agg, err := lowerQuery(orig, srcs)
+	if err != nil {
+		return nil, err
 	}
-	return ex.emit(cur)
-}
-
-// prepShared builds a query's executor against an already-resolved table:
-// the per-query half of RunShared (clone, resolve, classify predicates,
-// prepare output). empty reports a constant predicate proved the result
-// empty, so the scan loop can skip the query while finish still returns
-// its (empty) output table. Index probes are deliberately not planned —
-// the batch runs as one scan, and a probe would fragment it back into
-// per-query index walks.
-func prepShared(tx *txn.Txn, tbl *storage.Table, table string, q *Select) (ex *exec, empty bool, err error) {
-	model := tx.Model()
-	tx.Charge(model.StmtSetup)
-	q = q.clone()
-	ex = &exec{q: q, tx: tx, prof: tx.Profile()}
-	ex.srcs = []*source{{name: table, schema: tbl.Schema(), tbl: tbl}}
-	tx.Charge(model.OpenCursor)
-
-	if q.Star {
-		if len(q.Items) > 0 {
-			return nil, false, fmt.Errorf("query: * cannot mix with explicit items")
-		}
-		s := ex.srcs[0]
-		for i := 0; i < s.schema.NumCols(); i++ {
-			ex.q.Items = append(ex.q.Items, Item(QCol(s.name, s.schema.Col(i).Name), ""))
-		}
-	}
-	for i := range q.Items {
-		if q.Items[i].Expr == nil {
-			return nil, false, fmt.Errorf("query: select item %d has no expression", i)
-		}
-		if err := q.Items[i].Expr.resolve(ex.srcs); err != nil {
-			return nil, false, err
-		}
-	}
-	for i := range q.Where {
-		if err := q.Where[i].resolve(ex.srcs); err != nil {
-			return nil, false, err
-		}
-	}
-	for _, g := range q.GroupBy {
-		if err := g.resolve(ex.srcs); err != nil {
-			return nil, false, err
-		}
-	}
-	if err := ex.validateAggregates(); err != nil {
-		return nil, false, err
-	}
-
-	ex.probes = make([]*probe, 1)
-	ex.residuals = make([][]Pred, 1)
+	c := &compiled{q: q, agg: agg, fixed: true}
+	lp := levelPlan{src: 0}
 	for _, p := range q.Where {
 		if p.maxSource() < 0 {
-			ex.constPreds = append(ex.constPreds, p)
+			c.consts = append(c.consts, p)
 			continue
 		}
-		ex.residuals[0] = append(ex.residuals[0], p)
+		lp.resid = append(lp.resid, p)
 	}
-	if err := ex.prepareOutput(); err != nil {
-		return nil, false, err
-	}
-	for _, p := range ex.constPreds {
-		ok, cerr := p.eval(nil)
-		if cerr != nil {
-			ex.out.Retire()
-			return nil, false, cerr
-		}
-		if !ok {
-			return ex, true, nil
-		}
-	}
-	return ex, false, nil
+	c.levels = []levelPlan{lp}
+	return c, nil
 }

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"github.com/stripdb/strip/internal/cost"
 	"github.com/stripdb/strip/internal/fault"
 	"github.com/stripdb/strip/internal/obs"
+	"github.com/stripdb/strip/internal/ratelimit"
 )
 
 // ErrStopped is returned by Submit once the scheduler is stopping: the task
@@ -83,6 +85,10 @@ type Scheduler struct {
 	// supersession shedding. Guarded by mu.
 	keyCounts map[any]int
 
+	// retryBudget, when non-nil, globally bounds transient-failure retries
+	// (see SetRetryBudget). Atomic so AllowRetry never takes mu.
+	retryBudget atomic.Pointer[ratelimit.Bucket]
+
 	// recentStarts holds start times within the trailing second, modeling
 	// scheduling cost that grows with task rate (the paper's "critical
 	// region", §5.1).
@@ -95,6 +101,7 @@ type Scheduler struct {
 	shed         *obs.Counter
 	abandoned    *obs.Counter
 	retried      *obs.Counter
+	retryDenied  *obs.Counter
 	panics       *obs.Counter
 	qReady       *obs.Gauge
 	qDelayed     *obs.Gauge
@@ -135,6 +142,7 @@ func (s *Scheduler) Instrument(reg *obs.Registry) {
 	s.shed = reg.Counter(obs.MSchedShed)
 	s.abandoned = reg.Counter(obs.MSchedAbandoned)
 	s.retried = reg.Counter(obs.MSchedRetried)
+	s.retryDenied = reg.Counter(obs.MSchedRetryBudgetExhausted)
 	s.panics = reg.Counter(obs.MSchedPanics)
 	s.qReady = reg.Gauge(obs.MSchedQueueReady)
 	s.qDelayed = reg.Gauge(obs.MSchedQueueDelayed)
@@ -270,6 +278,7 @@ func (s *Scheduler) Step() *Task {
 func (s *Scheduler) dequeueLocked() *Task {
 	now := s.clk.Now()
 	s.releaseDueLocked(now)
+	s.costShedLocked(now)
 	for s.ready.Len() > 0 {
 		depth := s.ready.Len()
 		t := s.popReadyLocked()
@@ -324,6 +333,77 @@ func (s *Scheduler) shouldShedLocked(t *Task, now clock.Micros, depth int, lag c
 	return false
 }
 
+// costShedLocked sheds by drop value instead of pop order: when the ready
+// queue is at or past the depth trigger, the shed-eligible firm tasks
+// that carry a cost profile (ShedCost > 0) are dropped highest cost first
+// — most evaluate CPU reclaimed per microsecond of staleness incurred —
+// until the queue falls below the trigger. Tasks without a profile are
+// untouched; they stay on the seed pop-order path in shouldShedLocked, so
+// a workload with no ShedCost anywhere sheds exactly as before.
+func (s *Scheduler) costShedLocked(now clock.Micros) {
+	o := s.overload
+	if !o.enabled() || o.ShedDepth <= 0 || s.ready.Len() < o.ShedDepth {
+		return
+	}
+	// The youngest ready task per ShedKey must survive — it recomputes
+	// from the freshest state; its elders are superseded and eligible.
+	youngest := make(map[any]int64)
+	for _, t := range s.ready.items {
+		if t.ShedKey != nil && t.seq > youngest[t.ShedKey] {
+			youngest[t.ShedKey] = t.seq
+		}
+	}
+	var victims []*Task
+	for _, t := range s.ready.items {
+		if !t.Firm || t.ShedCost <= 0 {
+			continue
+		}
+		if (t.Deadline > 0 && now > t.Deadline) ||
+			(t.ShedKey != nil && t.seq != youngest[t.ShedKey]) {
+			victims = append(victims, t)
+		}
+	}
+	if len(victims) == 0 {
+		return
+	}
+	sort.Slice(victims, func(i, j int) bool {
+		if victims[i].ShedCost != victims[j].ShedCost {
+			return victims[i].ShedCost > victims[j].ShedCost
+		}
+		return victims[i].seq < victims[j].seq
+	})
+	need := s.ready.Len() - o.ShedDepth + 1
+	if need > len(victims) {
+		need = len(victims)
+	}
+	drop := make(map[*Task]bool, need)
+	for _, t := range victims[:need] {
+		drop[t] = true
+	}
+	kept := s.ready.items[:0]
+	for _, t := range s.ready.items {
+		if !drop[t] {
+			kept = append(kept, t)
+		}
+	}
+	for i := len(kept); i < len(s.ready.items); i++ {
+		s.ready.items[i] = nil
+	}
+	s.ready.items = kept
+	heap.Init(&s.ready)
+	for _, t := range victims[:need] {
+		if t.ShedKey != nil {
+			if c := s.keyCounts[t.ShedKey] - 1; c > 0 {
+				s.keyCounts[t.ShedKey] = c
+			} else {
+				delete(s.keyCounts, t.ShedKey)
+			}
+		}
+		s.shedLocked(t, now)
+	}
+	s.depthsLocked()
+}
+
 // shedLocked drops a task: OnStart (uniqueness-hash removal) then OnShed
 // (resource reclamation) run as if the task had been dequeued, but the body
 // never executes and the task counts as shed, not failed.
@@ -370,6 +450,35 @@ func (s *Scheduler) WidenDelay(d clock.Micros) clock.Micros {
 // wait-timeout abort rescheduled with backoff by the rule engine), keeping
 // retried work distinguishable from failures in Metrics().
 func (s *Scheduler) NoteRetried() { s.retried.Inc() }
+
+// SetRetryBudget installs a global token bucket bounding transient-failure
+// retries engine-wide: capacity tokens, one returning every
+// refillEveryMicros. Each retry spends a token; with the bucket empty the
+// retry is denied (counted by sched.retry_budget_exhausted) and the task
+// fails permanently instead of resubmitting — damping retry storms that
+// would otherwise amplify overload. capacity <= 0 removes the budget.
+func (s *Scheduler) SetRetryBudget(capacity int, refillEveryMicros int64) {
+	if capacity <= 0 {
+		s.retryBudget.Store(nil)
+		return
+	}
+	s.retryBudget.Store(ratelimit.New(capacity, refillEveryMicros))
+}
+
+// AllowRetry spends one retry-budget token, reporting whether a
+// transient-failure retry may proceed. Without a budget every retry is
+// allowed.
+func (s *Scheduler) AllowRetry() bool {
+	b := s.retryBudget.Load()
+	if b == nil {
+		return true
+	}
+	if b.TryTake(s.clk.Now()) {
+		return true
+	}
+	s.retryDenied.Inc()
+	return false
+}
 
 // chargeStartLocked charges per-start scheduling cost proportional to the
 // number of task starts in the trailing second.

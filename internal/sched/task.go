@@ -34,6 +34,13 @@ type Task struct {
 	// Value orders value-density scheduling; higher runs first.
 	Value float64
 
+	// ShedCost orders cost-based overload shedding: among shed-eligible
+	// firm tasks the scheduler prefers dropping the highest ShedCost first
+	// — the recompute that costs the most CPU per microsecond of staleness
+	// its drop would add. Zero opts the task out of cost-ordered shedding;
+	// it can still be shed in pop order like the seed scheduler.
+	ShedCost float64
+
 	// Firm marks the deadline as a firm shedding deadline: under overload
 	// (see Overload) a firm task past its Deadline is dropped instead of
 	// run — its result would describe state already superseded. Without

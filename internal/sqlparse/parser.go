@@ -52,6 +52,10 @@ type CreateView struct {
 // SelectStmt wraps a parsed query.
 type SelectStmt struct{ Query *query.Select }
 
+// ExplainStmt is `EXPLAIN SELECT ...`: execute the query and render the
+// chosen physical plan instead of the rows.
+type ExplainStmt struct{ Query *query.Select }
+
 // InsertStmt wraps a parsed insert.
 type InsertStmt struct{ Stmt *query.InsertStmt }
 
@@ -68,6 +72,7 @@ func (*DropRule) stmtNode()    {}
 func (*CreateRule) stmtNode()  {}
 func (*CreateView) stmtNode()  {}
 func (*SelectStmt) stmtNode()  {}
+func (*ExplainStmt) stmtNode() {}
 func (*InsertStmt) stmtNode()  {}
 func (*UpdateStmt) stmtNode()  {}
 func (*DeleteStmt) stmtNode()  {}
@@ -209,6 +214,15 @@ func (p *parser) parseStmt() (Stmt, error) {
 			return nil, err
 		}
 		return &SelectStmt{Query: q}, nil
+	case p.acceptKw("explain"):
+		if err := p.expectKw("select"); err != nil {
+			return nil, err
+		}
+		q, err := p.parseSelectBody()
+		if err != nil {
+			return nil, err
+		}
+		return &ExplainStmt{Query: q}, nil
 	case p.acceptKw("insert"):
 		return p.parseInsert()
 	case p.acceptKw("update"):
@@ -486,6 +500,18 @@ func (p *parser) parseSelectBody() (*query.Select, error) {
 		} else {
 			p.acceptKw("asc")
 		}
+	}
+	if p.acceptKw("limit") {
+		t := p.peek()
+		if t.kind != tokNumber {
+			return nil, p.errf("expected a row count after LIMIT")
+		}
+		p.advance()
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n <= 0 {
+			return nil, p.errf("bad LIMIT %q", t.text)
+		}
+		q.Limit = n
 	}
 	if p.acceptKw("bind") {
 		if err := p.expectKw("as"); err != nil {

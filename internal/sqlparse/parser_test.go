@@ -296,3 +296,47 @@ func TestOrderByParse(t *testing.T) {
 		t.Error("ORDER without BY accepted")
 	}
 }
+
+func TestLimitParse(t *testing.T) {
+	q := mustParse(t, `select symbol from stocks order by symbol limit 5`).(*SelectStmt).Query
+	if q.Limit != 5 || len(q.OrderBy) != 1 {
+		t.Errorf("parsed %+v", q)
+	}
+	// LIMIT without ORDER BY is a parse-level success; the engine decides
+	// whether to accept the nondeterminism.
+	q2 := mustParse(t, `select symbol from stocks limit 1`).(*SelectStmt).Query
+	if q2.Limit != 1 {
+		t.Errorf("parsed %+v", q2)
+	}
+	for _, src := range []string{
+		`select a from t limit`,
+		`select a from t limit x`,
+		`select a from t limit 0`,
+		`select a from t limit -3`,
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+func TestExplainParse(t *testing.T) {
+	s := mustParse(t, `explain select symbol, price from stocks where price > 10`)
+	ex, ok := s.(*ExplainStmt)
+	if !ok {
+		t.Fatalf("got %T", s)
+	}
+	if len(ex.Query.Items) != 2 || len(ex.Query.From) != 1 || len(ex.Query.Where) != 1 {
+		t.Errorf("parsed %+v", ex.Query)
+	}
+	// EXPLAIN covers only queries.
+	for _, src := range []string{
+		`explain`,
+		`explain insert into t values (1)`,
+		`explain create table t (a int)`,
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}

@@ -150,6 +150,31 @@ func (t *Table) HasIndex(column string) bool {
 	return ok
 }
 
+// IndexStats reports the distinct-key count of every indexed column.
+// The query planner prices index probes with these: expected matches
+// per probe is Len()/keys.
+func (t *Table) IndexStats() map[string]int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if len(t.indexes) == 0 {
+		return nil
+	}
+	stats := make(map[string]int, len(t.indexes))
+	for col, ix := range t.indexes {
+		stats[col] = ix.Keys()
+	}
+	return stats
+}
+
+// PlanStats reports the statistics cached query plans are keyed on: the
+// live row count and the number of secondary indexes. Cheap enough to
+// call on every statement.
+func (t *Table) PlanStats() (rows, indexes int) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return int(t.count), len(t.indexes)
+}
+
 // ReserveID allocates a record lock ID without creating a record, so a
 // transaction can X-lock (table, id) before the row becomes visible via
 // InsertReserved. Reserved IDs that are never used are simply skipped.

@@ -229,6 +229,20 @@ func (tt *TempTable) Retire() {
 // Retired reports whether the table has been retired.
 func (tt *TempTable) Retired() bool { return tt.retired }
 
+// Truncate drops every row past the first n, releasing the record
+// references the dropped rows pinned (the query engine's LIMIT).
+func (tt *TempTable) Truncate(n int) {
+	if n < 0 || n >= len(tt.rows) {
+		return
+	}
+	for i := n; i < len(tt.rows); i++ {
+		for _, r := range tt.rows[i].ptrs {
+			r.Unpin()
+		}
+	}
+	tt.rows = tt.rows[:n]
+}
+
 // Store is the thread-safe registry of standard tables, keyed by name. It
 // pairs with the catalog: the catalog holds schemas, the store holds data.
 type Store struct {

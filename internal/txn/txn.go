@@ -111,6 +111,11 @@ type Manager struct {
 	// DefaultEscalation. Set before transactions begin.
 	EscalateAt int
 
+	// PlanFixedOrder disables cost-based join ordering: queries join in
+	// FROM order with the seed interpreter's probe selection. A benchmark
+	// baseline and debugging escape hatch. Set before transactions begin.
+	PlanFixedOrder bool
+
 	nextID     atomic.Int64
 	commitHook atomic.Pointer[CommitHook]
 	wal        atomic.Pointer[DurableLog]

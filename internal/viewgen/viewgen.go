@@ -85,6 +85,11 @@ func Analyze(cat Catalog, name string, def *query.Select) (*Spec, error) {
 	if len(def.Items) != 2 {
 		return nil, fmt.Errorf("viewgen: view %s must select exactly [key, value]", name)
 	}
+	if def.Limit != 0 {
+		// A LIMIT would make the maintained rows depend on scan order; the
+		// incremental maintenance rules have no way to honor that.
+		return nil, fmt.Errorf("viewgen: view %s cannot use LIMIT", name)
+	}
 	schemas := make([]*catalog.Schema, 2)
 	for i, t := range def.From {
 		s, ok := cat.Lookup(t)

@@ -195,6 +195,13 @@ type Config struct {
 	// ExecRetry retries Exec DML transparently on transient concurrency
 	// aborts (zero value = no retries; see RetryPolicy).
 	ExecRetry RetryPolicy
+	// RetryBudget globally bounds transient-failure task retries with a
+	// token bucket (zero value = unlimited; see RetryBudget).
+	RetryBudget RetryBudget
+	// PlanFixedOrder disables the cost-based join planner: selects then
+	// join in FROM order with the seed interpreter's probe selection.
+	// Intended for planner-quality experiments (stripbench -exp join).
+	PlanFixedOrder bool
 	// MonitorAddr starts the stripmon HTTP listener on this address
 	// (host:port; ":0" picks a free port — see DB.MonitorAddr). It serves
 	// /metrics (Prometheus text exposition), /debug/trace (causal span
@@ -250,6 +257,20 @@ type RetryPolicy struct {
 	// attempt up to MaxBackoff. Defaults: 1ms base, 64ms cap.
 	BaseBackoff time.Duration
 	MaxBackoff  time.Duration
+}
+
+// RetryBudget is a global token bucket for scheduler task retries: each
+// transient-failure resubmission (deadlock victim, lock-wait timeout)
+// spends one token, and with the bucket empty the task fails permanently
+// instead of resubmitting — damping retry storms that would otherwise
+// amplify overload. Denials are counted by sched.retry_budget_exhausted.
+type RetryBudget struct {
+	// Capacity is the bucket size — the maximum retry burst. Zero disables
+	// the budget (unlimited retries, the default).
+	Capacity int
+	// RefillEvery is the interval at which one token returns (default
+	// 100ms of engine time when Capacity is set).
+	RefillEvery time.Duration
 }
 
 // DB is an open STRIP engine.
@@ -321,9 +342,17 @@ func Open(cfg Config) (*DB, error) {
 	}
 	db.txns = txn.NewManager(catalog.New(), storage.NewStore(), db.locks, db.clk, db.meter, db.model)
 	db.txns.EscalateAt = cfg.EscalationThreshold
+	db.txns.PlanFixedOrder = cfg.PlanFixedOrder
 	db.txns.Instrument(db.obs)
 	db.sched = sched.New(db.clk, cfg.Policy, db.meter, db.model)
 	db.sched.Instrument(db.obs)
+	if cfg.RetryBudget.Capacity > 0 {
+		refill := cfg.RetryBudget.RefillEvery
+		if refill <= 0 {
+			refill = 100 * time.Millisecond
+		}
+		db.sched.SetRetryBudget(cfg.RetryBudget.Capacity, refill.Microseconds())
+	}
 	db.sched.SetOverload(sched.Overload{
 		ShedDepth: cfg.Overload.ShedDepth,
 		ShedLag:   cfg.Overload.ShedLag.Microseconds(),
