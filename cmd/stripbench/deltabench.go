@@ -1,0 +1,229 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	strip "github.com/stripdb/strip"
+	"github.com/stripdb/strip/internal/obs"
+)
+
+// The delta experiment measures O(|delta|) view maintenance against the
+// O(|base|) full-rebuild baseline across a base-table size sweep. Both
+// engines hold the same aggregation view (comp_prices-shaped: a grouped
+// sum over stocks ⋈ comps_list) and absorb an identical, fixed-size
+// update workload at every base size; only the maintenance mode differs.
+// The headline numbers are the per-recompute virtual cost curves: delta
+// maintenance should stay ~flat as the base grows 10x while the full
+// rebuild grows linearly with it. Derived contents are asserted equal
+// between the two modes at every size — a disagreement fails the run.
+
+type deltaRun struct {
+	Mode     string `json:"mode"` // delta or full
+	BaseRows int    `json:"base_rows"`
+	DimRows  int    `json:"dim_rows"`
+	Groups   int    `json:"groups"`
+
+	Batches  int   `json:"batches"`
+	Updates  int   `json:"updates"`
+	TasksRun int64 `json:"tasks_run"`
+
+	WallMs float64 `json:"wall_ms"`
+	// WorkMicros is the maintenance function's charged virtual CPU; the
+	// per-task figure is the recompute cost the sweep plots.
+	WorkMicros    float64 `json:"work_micros"`
+	MicrosPerTask float64 `json:"micros_per_task"`
+
+	DeltaApplied int64 `json:"delta_applied"`
+	DeltaRows    int64 `json:"delta_rows"`
+	Fallbacks    int64 `json:"delta_fallbacks"`
+}
+
+type deltaResult struct {
+	Experiment string     `json:"experiment"`
+	Scale      string     `json:"scale"`
+	BaseSizes  []int      `json:"base_sizes"`
+	Runs       []deltaRun `json:"runs"`
+
+	// Speedup is full-mode per-task cost over delta-mode per-task cost at
+	// the largest base size (> 1 means delta maintenance wins; the CI
+	// delta job gates on it).
+	Speedup float64 `json:"speedup"`
+	// DeltaGrowth and FullGrowth are each mode's per-task cost at the
+	// largest size over its cost at the smallest: ~1 is flat, ~N tracks
+	// the N-fold base growth.
+	DeltaGrowth float64 `json:"delta_growth"`
+	FullGrowth  float64 `json:"full_growth"`
+}
+
+// deltaLoad builds one engine: base stocks rows, a dimension referencing
+// every symbol into two of a fixed set of composite groups, and the
+// materialized view in the requested mode.
+func deltaLoad(mode strip.ViewMode, baseRows, groups int) (*strip.DB, int) {
+	db := strip.MustOpen(strip.Config{Virtual: true})
+	db.MustExec(`create table stocks (symbol text, price float)`)
+	db.MustExec(`create index on stocks (symbol)`)
+	db.MustExec(`create table comps_list (comp text, symbol text, weight float)`)
+	db.MustExec(`create index on comps_list (symbol)`)
+	for i := 0; i < baseRows; i++ {
+		if err := db.Insert("stocks",
+			strip.Str(fmt.Sprintf("S%06d", i)), strip.Float(20+float64(i%80))); err != nil {
+			fail(err)
+		}
+	}
+	dimRows := 0
+	for i := 0; i < baseRows; i++ {
+		for c := 0; c < 2; c++ {
+			if err := db.Insert("comps_list",
+				strip.Str(fmt.Sprintf("C%03d", (i*2+c)%groups)),
+				strip.Str(fmt.Sprintf("S%06d", i)),
+				strip.Float(0.25+float64(c)*0.5)); err != nil {
+				fail(err)
+			}
+			dimRows++
+		}
+	}
+	sel, err := strip.ParseSelect(`
+		select comp, sum(price * weight) as price
+		from stocks, comps_list
+		where stocks.symbol = comps_list.symbol
+		group by comp`)
+	if err != nil {
+		fail(err)
+	}
+	if _, err := db.CreateMaterializedView("comp_prices", sel, strip.ViewOptions{Mode: mode}); err != nil {
+		fail(err)
+	}
+	return db, dimRows
+}
+
+// deltaWorkload drives the fixed update mix — batches of price updates on
+// a rotating symbol subset — letting the maintenance rule settle after
+// each batch, and returns the measured run.
+func deltaWorkload(db *strip.DB, mode string, baseRows, dimRows, groups, batches, updates int) deltaRun {
+	db.WaitIdle()
+	before := db.Stats("maintain_comp_prices_fn")
+	mBefore := db.Metrics().Counters
+	start := time.Now()
+	for b := 0; b < batches; b++ {
+		for u := 0; u < updates; u++ {
+			sym := fmt.Sprintf("S%06d", (b*updates*7+u*13)%baseRows)
+			db.MustExec(fmt.Sprintf(`update stocks set price = %d where symbol = '%s'`,
+				10+(b*updates+u)%90, sym))
+		}
+		db.WaitIdle()
+	}
+	wall := time.Since(start)
+	after := db.Stats("maintain_comp_prices_fn")
+	mAfter := db.Metrics().Counters
+
+	run := deltaRun{
+		Mode:         mode,
+		BaseRows:     baseRows,
+		DimRows:      dimRows,
+		Groups:       groups,
+		Batches:      batches,
+		Updates:      batches * updates,
+		TasksRun:     after.TasksRun - before.TasksRun,
+		WallMs:       float64(wall.Microseconds()) / 1000,
+		WorkMicros:   after.WorkMicros - before.WorkMicros,
+		DeltaApplied: mAfter[obs.MDeltaApplied] - mBefore[obs.MDeltaApplied],
+		DeltaRows:    mAfter[obs.MDeltaRows] - mBefore[obs.MDeltaRows],
+		Fallbacks:    mAfter[obs.MDeltaFallbacks] - mBefore[obs.MDeltaFallbacks],
+	}
+	if after.TaskErrors != before.TaskErrors {
+		fail(fmt.Errorf("delta bench: %s mode had %d task errors", mode, after.TaskErrors-before.TaskErrors))
+	}
+	if run.TasksRun > 0 {
+		run.MicrosPerTask = run.WorkMicros / float64(run.TasksRun)
+	}
+	return run
+}
+
+// viewSnapshot reads the maintained view's groups.
+func viewSnapshot(db *strip.DB) map[string]float64 {
+	out := db.MustExec(`select comp, price from comp_prices`)
+	got := make(map[string]float64, len(out.Rows))
+	for _, r := range out.Rows {
+		got[r[0].Str()] = r[1].Float()
+	}
+	return got
+}
+
+func runDeltaBench(metricsPath, scale string, progress func(string)) {
+	sizes := []int{2000, 6000, 20000}
+	groups, batches, updates := 40, 12, 8
+	if scale == "small" {
+		sizes = []int{500, 1500, 5000}
+		batches = 8
+	}
+	res := deltaResult{Experiment: "delta", Scale: scale, BaseSizes: sizes}
+
+	perTask := map[string]map[int]float64{"delta": {}, "full": {}}
+	for _, baseRows := range sizes {
+		snaps := map[string]map[string]float64{}
+		for _, mode := range []string{"delta", "full"} {
+			vm := strip.ViewModeDelta
+			if mode == "full" {
+				vm = strip.ViewModeFull
+			}
+			db, dimRows := deltaLoad(vm, baseRows, groups)
+			run := deltaWorkload(db, mode, baseRows, dimRows, groups, batches, updates)
+			snaps[mode] = viewSnapshot(db)
+			db.Close() //nolint:errcheck
+			res.Runs = append(res.Runs, run)
+			perTask[mode][baseRows] = run.MicrosPerTask
+			if progress != nil {
+				progress(fmt.Sprintf("delta base=%-6d mode=%-5s tasks=%-3d µs/task=%.0f fallbacks=%d",
+					baseRows, mode, run.TasksRun, run.MicrosPerTask, run.Fallbacks))
+			}
+		}
+		// Equivalence gate: both modes must agree on every group.
+		d, f := snaps["delta"], snaps["full"]
+		if len(d) != len(f) {
+			fail(fmt.Errorf("delta bench base=%d: delta view has %d groups, full has %d", baseRows, len(d), len(f)))
+		}
+		for k, fv := range f {
+			dv, ok := d[k]
+			if !ok || math.Abs(dv-fv) > 1e-6*(1+math.Abs(fv)) {
+				fail(fmt.Errorf("delta bench base=%d group %s: delta=%v full=%v", baseRows, k, dv, fv))
+			}
+		}
+	}
+
+	small, large := sizes[0], sizes[len(sizes)-1]
+	if perTask["delta"][large] > 0 {
+		res.Speedup = perTask["full"][large] / perTask["delta"][large]
+		res.DeltaGrowth = perTask["delta"][large] / perTask["delta"][small]
+	}
+	if perTask["full"][small] > 0 {
+		res.FullGrowth = perTask["full"][large] / perTask["full"][small]
+	}
+
+	fmt.Printf("%-8s %10s %8s %14s %14s %10s\n", "mode", "base", "tasks", "work_µs", "µs/task", "fallbacks")
+	for _, r := range res.Runs {
+		fmt.Printf("%-8s %10d %8d %14.0f %14.0f %10d\n",
+			r.Mode, r.BaseRows, r.TasksRun, r.WorkMicros, r.MicrosPerTask, r.Fallbacks)
+	}
+	fmt.Printf("speedup at base=%d (full/delta µs per recompute): %.1fx\n", large, res.Speedup)
+	fmt.Printf("cost growth across %dx base sweep: delta %.2fx, full %.2fx\n",
+		large/small, res.DeltaGrowth, res.FullGrowth)
+
+	if metricsPath == "" {
+		return
+	}
+	f, err := os.Create(metricsPath)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&res); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", metricsPath)
+}

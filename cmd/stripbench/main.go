@@ -11,7 +11,10 @@
 //	stripbench -exp fig13 -include-option-symbol
 //	stripbench -exp contention -workers 1,2,4,8   # lock-scaling sweep
 //	stripbench -exp mvcc                # snapshot-read scan-vs-writer sweep
+//	stripbench -exp overload            # feed-rate ramp vs shedding policy
+//	stripbench -exp join                # planner join-order comparison
 //	stripbench -exp serve               # stripd open-loop client sweep
+//	stripbench -exp delta               # delta vs full view maintenance sweep
 //
 // Paper-scale runs replay ≈60,000 updates per (variant, delay) point and
 // take a few minutes in total; -scale small completes in seconds.
@@ -27,7 +30,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, comps, options, fig9..fig14, table1, sched, locality, taper, wal, contention, mvcc, overload, join, serve")
+	exp := flag.String("exp", "all", "experiment: all, comps, options, fig9..fig14, table1, sched, locality, taper, wal, contention, mvcc, overload, join, serve, delta")
 	scale := flag.String("scale", "paper", "workload scale: paper or small")
 	includeOptSym := flag.Bool("include-option-symbol", false,
 		"also run the unique-on-option_symbol configuration (the paper found it unmanageable)")
@@ -87,6 +90,12 @@ func main() {
 			path = "BENCH_serve.json"
 		}
 		runServeBench(path, *scale, progress)
+	case "delta":
+		path := *metricsPath
+		if path == "BENCH_metrics.json" {
+			path = "BENCH_delta.json"
+		}
+		runDeltaBench(path, *scale, progress)
 	case "sched":
 		if err := ptabench.RunSchedAblation(os.Stdout, wcfg, progress); err != nil {
 			fail(err)

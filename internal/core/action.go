@@ -83,6 +83,20 @@ func (c *ActionContext) QueryLocked(q *query.Select) (*storage.TempTable, error)
 	return tt, err
 }
 
+// QueryLockedWith is QueryLocked with extra temp tables visible to the
+// query under their given names, shadowing both bound and database tables.
+// Delta maintenance uses it to join an action-built working set (e.g. the
+// affected base keys of a batch) against base tables read under S locks.
+func (c *ActionContext) QueryLockedWith(q *query.Select, extra map[string]*storage.TempTable) (*storage.TempTable, error) {
+	var tt *storage.TempTable
+	err := c.tx.LockedReads(func() error {
+		var err error
+		tt, err = q.Run(c.tx, boundResolver{bound: c.bound, extra: extra})
+		return err
+	})
+	return tt, err
+}
+
 // ExecUpdate runs an UPDATE statement inside the action's transaction.
 func (c *ActionContext) ExecUpdate(s *query.UpdateStmt) (int, error) { return s.Run(c.tx) }
 
@@ -101,13 +115,18 @@ func (c *ActionContext) Model() cost.Model { return c.engine.model }
 // Now returns the engine time.
 func (c *ActionContext) Now() clock.Micros { return c.engine.clk.Now() }
 
-// boundResolver resolves bound tables first, then the database.
+// boundResolver resolves action-supplied extra tables first, then bound
+// tables, then the database.
 type boundResolver struct {
 	bound map[string]*storage.TempTable
+	extra map[string]*storage.TempTable
 }
 
 // Resolve implements query.Resolver.
 func (r boundResolver) Resolve(tx *txn.Txn, name string) (*storage.Table, *storage.TempTable, error) {
+	if tt, ok := r.extra[name]; ok {
+		return nil, tt, nil
+	}
 	if tt, ok := r.bound[name]; ok {
 		return nil, tt, nil
 	}
@@ -229,6 +248,11 @@ func (e *Engine) newActionTask(trig *txn.Txn, rule *Rule, fn ActionFunc, stats *
 		task.Firm = true
 		task.ShedKey = shedKey{fn: rule.Action, key: key}
 		task.ShedCost = shedCost(stats, rule)
+		// Re-price at shed time from the live profile: a maintenance
+		// function that switched to cheap delta recomputes (or got faster
+		// for any reason) sheds earlier than its stale enqueue-time cost
+		// would suggest. Reads only atomics — safe under the scheduler lock.
+		task.CostFn = func() float64 { return shedCost(stats, rule) }
 	}
 	task.OnShed = func(t *sched.Task) {
 		t.Payload.(*actionPayload).discard()
@@ -352,6 +376,7 @@ func (e *Engine) runAction(task *sched.Task) error {
 			Firm:     task.Firm,
 			ShedKey:  task.ShedKey,
 			ShedCost: task.ShedCost,
+			CostFn:   task.CostFn,
 			OnShed:   task.OnShed,
 			Payload:  p,
 			Fn:       e.runAction,

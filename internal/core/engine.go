@@ -293,6 +293,29 @@ func (e *Engine) RuleHealth() []RuleHealth {
 	return out
 }
 
+// MaintenanceMode describes how one rule maintains its derived data.
+type MaintenanceMode struct {
+	Rule     string `json:"rule"`
+	Function string `json:"function"`
+	Mode     string `json:"mode"`
+}
+
+// RuleModes reports the maintenance mode of every rule that declares one
+// (Rule.Maintenance non-empty — viewgen-generated maintenance rules),
+// sorted by rule name. Rules that are not view maintainers are absent.
+func (e *Engine) RuleModes() []MaintenanceMode {
+	e.mu.RLock()
+	out := make([]MaintenanceMode, 0, len(e.rules))
+	for name, r := range e.rules {
+		if r.Maintenance != "" {
+			out = append(out, MaintenanceMode{Rule: name, Function: r.Action, Mode: r.Maintenance})
+		}
+	}
+	e.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Rule < out[j].Rule })
+	return out
+}
+
 // DropRule removes a rule.
 func (e *Engine) DropRule(name string) error {
 	e.mu.Lock()
@@ -589,6 +612,26 @@ func (e *Engine) evaluateRule(tx *txn.Txn, rule *Rule, trans *transitions) error
 		} else {
 			out.Retire()
 		}
+	}
+
+	// Copy requested transition tables into the bound set — copies, not
+	// the originals: the transitions retire when the commit hook returns,
+	// while bound tables must live until the action runs, and unique
+	// batching appends later firings' transition rows into the queued copy
+	// (the merged rows are the batch's delta).
+	for _, name := range rule.BindTransitions {
+		src, ok := trans.lookup(name)
+		if !ok {
+			retireAll()
+			return fmt.Errorf("core: rule %s: no transition table %q", rule.Name, name)
+		}
+		cp := src.Clone()
+		if err := cp.AppendFrom(src, nil); err != nil {
+			cp.Retire()
+			retireAll()
+			return fmt.Errorf("core: rule %s: bind transition %q: %w", rule.Name, name, err)
+		}
+		bound[name] = cp
 	}
 
 	// Bind-time commit_time instantiation. The hook runs just before the

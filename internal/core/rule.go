@@ -91,6 +91,20 @@ type Rule struct {
 	// commit time, so actions can order changes across transactions.
 	BindCommitTime bool
 
+	// BindTransitions names transition tables ("inserted", "deleted",
+	// "new", "old") whose rows are copied into the firing's bound tables,
+	// so the action receives the raw delta instead of (or in addition to)
+	// condition-query results. Unique batching merges the transition rows
+	// of every firing that coalesced into the queued task — the merged
+	// rows ARE the batch's delta, which is what makes O(|delta|)
+	// maintenance plans possible.
+	BindTransitions []string
+
+	// Maintenance labels how the action maintains its derived data
+	// ("delta", "full", or empty for rules that are not view maintainers).
+	// Informational: surfaced through Engine.RuleModes and /debug/rules.
+	Maintenance string
+
 	// LockedReads opts the action transaction out of snapshot reads: its
 	// queries take S locks held to commit, as in plain transactions. Set it
 	// for actions that incrementally read-modify-write database tables
@@ -145,6 +159,15 @@ func (r *Rule) validate() error {
 			return fmt.Errorf("core: rule %s binds %q twice", r.Name, q.Bind)
 		}
 		seen[q.Bind] = true
+	}
+	for _, n := range r.BindTransitions {
+		if !isTransitionName(n) {
+			return fmt.Errorf("core: rule %s binds unknown transition table %q", r.Name, n)
+		}
+		if seen[n] {
+			return fmt.Errorf("core: rule %s binds %q twice", r.Name, n)
+		}
+		seen[n] = true
 	}
 	if r.Unique && len(r.UniqueOn) > 0 && len(seen) == 0 {
 		return fmt.Errorf("core: rule %s is unique on columns but binds no tables", r.Name)

@@ -35,6 +35,9 @@ type Server struct {
 	ln     net.Listener
 	srv    *http.Server
 
+	maintMu sync.RWMutex
+	maint   func() any // /debug/rules maintenance-mode payload
+
 	extraMu sync.RWMutex
 	extra   map[string]http.Handler // post-Start mounts (e.g. /debug/sessions)
 }
@@ -73,6 +76,15 @@ func (s *Server) Handle(path string, h http.Handler) {
 	s.extraMu.Lock()
 	s.extra[path] = h
 	s.extraMu.Unlock()
+}
+
+// SetMaintenance registers the /debug/rules maintenance-mode payload
+// supplier (how each view-maintenance rule keeps its derived table fresh:
+// "delta" or "full"). Like Handle, it may be called after Start.
+func (s *Server) SetMaintenance(fn func() any) {
+	s.maintMu.Lock()
+	s.maint = fn
+	s.maintMu.Unlock()
 }
 
 // handleExtra dispatches paths the static mux does not own to the dynamic
@@ -156,9 +168,14 @@ type rulesDump struct {
 	AtMicros int64                 `json:"at_micros"`
 	Profiles []obs.ProfileSnapshot `json:"profiles"`
 	Health   any                   `json:"health,omitempty"`
+	// Maintenance reports each view-maintenance rule's mode ("delta" or
+	// "full"), so operators can see at a glance which derived tables are
+	// kept fresh incrementally and which pay full rebuilds.
+	Maintenance any `json:"maintenance,omitempty"`
 }
 
-// handleRules serves per-rule cost profiles plus breaker health.
+// handleRules serves per-rule cost profiles plus breaker health and
+// view-maintenance modes.
 func (s *Server) handleRules(w http.ResponseWriter, _ *http.Request) {
 	now := s.now()
 	dump := rulesDump{AtMicros: now, Profiles: s.reg.Profiles(now)}
@@ -167,6 +184,12 @@ func (s *Server) handleRules(w http.ResponseWriter, _ *http.Request) {
 	}
 	if s.health != nil {
 		dump.Health = s.health()
+	}
+	s.maintMu.RLock()
+	maint := s.maint
+	s.maintMu.RUnlock()
+	if maint != nil {
+		dump.Maintenance = maint()
 	}
 	writeJSON(w, dump)
 }

@@ -59,6 +59,21 @@ const (
 	// all hits.
 	MQueryPlanBuilds = "query.plan_builds"
 	MQueryPlanHits   = "query.plan_hits"
+	// MQueryPlanFeedbackRebuilds counts cached plans invalidated by
+	// selectivity feedback: the executor's actual row counts drifted far
+	// enough from the planner's estimate, repeatedly, that the next run
+	// re-planned from fresh statistics.
+	MQueryPlanFeedbackRebuilds = "query.plan_feedback_rebuilds"
+
+	// delta.* instruments incremental (delta-plan) view maintenance.
+	// MDeltaApplied counts action runs that maintained their derived
+	// table from transition-table deltas; MDeltaRows counts the
+	// transition rows those runs consumed; MDeltaFallbacks counts runs
+	// that fell back to a full recompute because a consistency check
+	// tripped while applying deltas.
+	MDeltaApplied   = "delta.applied"
+	MDeltaRows      = "delta.rows"
+	MDeltaFallbacks = "delta.fallbacks"
 	// MSchedRetryBudgetExhausted counts transient-failure retries denied
 	// by the global retry budget (the task fails permanently instead of
 	// resubmitting, damping retry storms).

@@ -3,6 +3,7 @@ package query
 import (
 	"fmt"
 	"math/bits"
+	"sync/atomic"
 
 	"github.com/stripdb/strip/internal/catalog"
 	"github.com/stripdb/strip/internal/obs"
@@ -26,6 +27,56 @@ type compiled struct {
 	estRows float64
 	estCost float64
 	sig     []srcSig
+
+	// Selectivity feedback. Every run reports its actual matched-row
+	// count through noteActual; when the act/est ratio drifts past
+	// driftThreshold for driftLimit consecutive runs the plan marks
+	// itself stale, and the next ensureCompiled re-plans from fresh
+	// statistics (query.plan_feedback_rebuilds). driftLimit is larger on
+	// plans that were themselves feedback rebuilds, bounding thrash when
+	// the data is simply skewed beyond what the stats can express.
+	drift      atomic.Int32
+	stale      atomic.Bool
+	driftLimit int32
+}
+
+// Feedback tuning: a plan is considered drifted when actual rows differ
+// from the estimate by more than driftThreshold× in either direction
+// (ignoring runs where both are below driftFloor rows, which a single
+// probe could flip), and goes stale after driftLimit consecutive
+// drifted runs.
+const (
+	driftThreshold       = 4.0
+	driftFloor           = 8
+	defaultDriftLimit    = 3
+	rebuiltPlanDriftBias = 8 // rebuilt plans tolerate 8× more drift runs
+)
+
+// noteActual folds one run's actual matched-row count into the plan's
+// drift state.
+func (c *compiled) noteActual(act int64) {
+	if c.stale.Load() {
+		return
+	}
+	est := c.estRows
+	if act < driftFloor && est < driftFloor {
+		c.drift.Store(0)
+		return
+	}
+	a, e := float64(act), est
+	if a < 1 {
+		a = 1
+	}
+	if e < 1 {
+		e = 1
+	}
+	if r := a / e; r < driftThreshold && r > 1/driftThreshold {
+		c.drift.Store(0)
+		return
+	}
+	if c.drift.Add(1) >= c.driftLimit {
+		c.stale.Store(true)
+	}
 }
 
 // levelPlan is one level of the physical pipeline: which FROM source it
@@ -110,13 +161,25 @@ func sigMatch(sig []srcSig, srcs []*source) bool {
 func (q *Select) ensureCompiled(tx *txn.Txn, srcs []*source) (*compiled, error) {
 	mgr := tx.Manager()
 	fixed := mgr.PlanFixedOrder
+	feedback := false
 	if c := q.cache.Load(); c != nil && c.fixed == fixed && sigMatch(c.sig, srcs) {
-		mgr.Obs.Counter(obs.MQueryPlanHits).Inc()
-		return c, nil
+		if !c.stale.Load() {
+			mgr.Obs.Counter(obs.MQueryPlanHits).Inc()
+			return c, nil
+		}
+		// The signature still holds but selectivity feedback marked the
+		// plan stale: re-plan, and give the replacement a longer drift
+		// leash so persistent skew doesn't rebuild every few runs.
+		feedback = true
 	}
 	c, err := compile(q, tx, srcs, fixed)
 	if err != nil {
 		return nil, err
+	}
+	c.driftLimit = defaultDriftLimit
+	if feedback {
+		c.driftLimit = defaultDriftLimit * rebuiltPlanDriftBias
+		mgr.Obs.Counter(obs.MQueryPlanFeedbackRebuilds).Inc()
 	}
 	q.cache.Store(c)
 	mgr.Obs.Counter(obs.MQueryPlanBuilds).Inc()

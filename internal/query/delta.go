@@ -1,0 +1,153 @@
+package query
+
+import (
+	"errors"
+
+	"github.com/stripdb/strip/internal/txn"
+	"github.com/stripdb/strip/internal/types"
+)
+
+// ErrDeltaInconsistent reports that applying a maintenance delta found the
+// derived table in a state the delta cannot have produced — a group row
+// missing where the delta expects one, a duplicate group row, or a support
+// count driven negative. The caller (the generated maintenance action)
+// falls back to a full recompute inside the same transaction, so the
+// derived table self-heals.
+var ErrDeltaInconsistent = errors.New("query: derived table inconsistent with delta")
+
+// AggDelta is the net change to one group of an aggregation view: the
+// signed sum delta for the value column and the signed row-support delta
+// for the count column (inserted/new rows contribute +1, deleted/old rows
+// contribute −1).
+type AggDelta struct {
+	Key   types.Value
+	Sum   float64
+	Count int64
+}
+
+// ApplyAggDeltas applies per-group deltas to an aggregation view in
+// O(deltas): each group is add-updated through the view's key index; a
+// group that vanishes (support count reaches zero) is deleted, and a group
+// that appears is inserted. Blind `+=` updates commute under the record X
+// locks the update path takes, so concurrent maintenance tasks interleave
+// safely. Returns the number of groups touched.
+//
+// Consistency checks (any failure returns ErrDeltaInconsistent and leaves
+// the remaining deltas unapplied, so the caller can rebuild wholesale):
+//
+//   - a delta whose group row is missing must be a pure insertion
+//     (Count > 0) — a sum-only delta against a missing row means the view
+//     lost state;
+//   - more than one row per group key means the view gained state;
+//   - a group driven to negative support means the view and the delta
+//     disagree about the group's history.
+func ApplyAggDeltas(tx *txn.Txn, table, keyCol, valCol, cntCol string, deltas []AggDelta) (int, error) {
+	applied := 0
+	for _, d := range deltas {
+		if d.Sum == 0 && d.Count == 0 {
+			continue
+		}
+		matched, err := (&UpdateStmt{
+			Table: table,
+			Set: []SetClause{
+				{Col: valCol, Expr: Const(types.Float(d.Sum)), AddTo: true},
+				{Col: cntCol, Expr: Const(types.Int(d.Count)), AddTo: true},
+			},
+			Where: []Pred{Eq(Col(keyCol), Const(d.Key))},
+		}).Run(tx)
+		if err != nil {
+			return applied, err
+		}
+		switch {
+		case matched > 1:
+			return applied, ErrDeltaInconsistent
+		case matched == 0:
+			if d.Count <= 0 {
+				return applied, ErrDeltaInconsistent
+			}
+			if _, err := (&InsertStmt{
+				Table: table,
+				Rows:  [][]types.Value{{d.Key, types.Float(d.Sum), types.Int(d.Count)}},
+			}).Run(tx); err != nil {
+				return applied, err
+			}
+		case d.Count < 0:
+			// The group lost support; drop it if the count reached zero.
+			// The count guard rides in the WHERE so the decision is made
+			// under the same X lock as the delete — no locked re-read.
+			if _, err := (&DeleteStmt{
+				Table: table,
+				Where: []Pred{
+					Eq(Col(keyCol), Const(d.Key)),
+					Cmp(Col(cntCol), LE, Const(types.Int(0))),
+				},
+			}).Run(tx); err != nil {
+				return applied, err
+			}
+		}
+		applied++
+	}
+	return applied, nil
+}
+
+// RowDelta is the fresh value of one per-row-function view row.
+type RowDelta struct {
+	Key types.Value
+	Val types.Value
+}
+
+// ApplyRowDeltas applies per-row recompute results to a per-row-function
+// view in O(deltas): each fresh (key, value) pair rewrites its view row
+// through the key index (insert on miss — a base row joined a new view
+// key), and each stale key — a key whose base row was deleted or re-keyed
+// and which no fresh result re-covers — is deleted. Duplicate fresh keys
+// resolve last-write-wins, matching the batched-update semantics of the
+// seed maintenance rule. Returns the number of view rows touched.
+//
+// A key matching more than one view row trips ErrDeltaInconsistent (the
+// view's key column is unique by construction).
+func ApplyRowDeltas(tx *txn.Txn, table, keyCol, valCol string, fresh []RowDelta, stale []types.Value) (int, error) {
+	applied := 0
+	covered := make(map[types.Value]bool, len(fresh))
+	for _, d := range fresh {
+		matched, err := (&UpdateStmt{
+			Table: table,
+			Set:   []SetClause{{Col: valCol, Expr: Const(d.Val)}},
+			Where: []Pred{Eq(Col(keyCol), Const(d.Key))},
+		}).Run(tx)
+		if err != nil {
+			return applied, err
+		}
+		switch {
+		case matched > 1:
+			return applied, ErrDeltaInconsistent
+		case matched == 0:
+			if _, err := (&InsertStmt{
+				Table: table,
+				Rows:  [][]types.Value{{d.Key, d.Val}},
+			}).Run(tx); err != nil {
+				return applied, err
+			}
+		}
+		covered[d.Key] = true
+		applied++
+	}
+	for _, k := range stale {
+		if covered[k] {
+			continue
+		}
+		covered[k] = true
+		n, err := (&DeleteStmt{
+			Table: table,
+			Where: []Pred{Eq(Col(keyCol), Const(k))},
+		}).Run(tx)
+		if err != nil {
+			return applied, err
+		}
+		if n > 1 {
+			return applied, ErrDeltaInconsistent
+		}
+		applied += n
+	}
+	return applied, nil
+}

@@ -1,0 +1,107 @@
+package query
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/stripdb/strip/internal/obs"
+	"github.com/stripdb/strip/internal/types"
+)
+
+// Selectivity feedback: a cached plan whose actual output repeatedly
+// drifts ≥4x from the planner's estimate is invalidated and rebuilt from
+// fresh statistics, counted in query.plan_feedback_rebuilds.
+func TestPlanFeedbackRebuildOnDrift(t *testing.T) {
+	mgr := env(t)
+	builds := mgr.Obs.Counter(obs.MQueryPlanBuilds)
+	feedback := mgr.Obs.Counter(obs.MQueryPlanFeedbackRebuilds)
+
+	// 97 more stocks, every one priced 7: an equality on the unindexed
+	// price column matches ~everything while the planner's default
+	// equality selectivity estimates 10% — a 10x drift each run.
+	tx := mgr.Begin()
+	for i := 0; i < 97; i++ {
+		if _, err := tx.Insert("stocks", []types.Value{
+			types.Str(fmt.Sprintf("F%03d", i)), types.Float(7)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	q := &Select{
+		Items: []SelectItem{Item(Col("symbol"), "")},
+		From:  []string{"stocks"},
+		Where: []Pred{Eq(Col("price"), Const(types.Float(7)))},
+	}
+	run := func() {
+		t.Helper()
+		tx := mgr.Begin()
+		res, err := q.Run(tx, TxnResolver{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Len() != 97 {
+			t.Fatalf("rows = %d", res.Len())
+		}
+		res.Retire()
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	b0, f0 := builds.Load(), feedback.Load()
+	// Three drifting runs arm invalidation; the fourth replans.
+	for i := 0; i < 3; i++ {
+		run()
+	}
+	if got := builds.Load() - b0; got != 1 {
+		t.Fatalf("builds before trip = %d, want 1", got)
+	}
+	run()
+	if got := builds.Load() - b0; got != 2 {
+		t.Fatalf("builds after trip = %d, want 2 (feedback rebuild)", got)
+	}
+	if got := feedback.Load() - f0; got != 1 {
+		t.Fatalf("feedback rebuilds = %d, want 1", got)
+	}
+
+	// The rebuilt plan runs with a wider drift allowance, so the same
+	// drift does not thrash the cache: ten more runs, zero rebuilds.
+	b1 := builds.Load()
+	for i := 0; i < 10; i++ {
+		run()
+	}
+	if got := builds.Load() - b1; got != 0 {
+		t.Fatalf("rebuilt plan thrashed: %d extra builds", got)
+	}
+}
+
+// Plans whose estimates hold (or whose outputs are too small to judge)
+// never trigger feedback rebuilds.
+func TestPlanFeedbackQuietWhenAccurate(t *testing.T) {
+	mgr := env(t)
+	builds := mgr.Obs.Counter(obs.MQueryPlanBuilds)
+
+	q := &Select{
+		Items: []SelectItem{Item(Col("price"), "")},
+		From:  []string{"stocks"},
+		Where: []Pred{Eq(Col("symbol"), Const(types.Str("S1")))},
+	}
+	b0 := builds.Load()
+	for i := 0; i < 10; i++ {
+		tx := mgr.Begin()
+		res, err := q.Run(tx, TxnResolver{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Retire()
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := builds.Load() - b0; got != 1 {
+		t.Fatalf("builds = %d, want 1 (no feedback churn)", got)
+	}
+}

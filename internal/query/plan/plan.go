@@ -186,11 +186,20 @@ func probeCandAt(tables []Table, p Pred, src, bound int) int {
 	return -1
 }
 
-// costOrder greedily builds the pipeline: at each position it prices
-// every unplaced source's best access path (probe if some unused
-// equality predicate's key side is fully bound by the placed set,
-// otherwise a scan) and commits the cheapest, breaking ties toward the
-// smaller output estimate and then FROM order.
+// costOrder greedily builds the pipeline with one level of lookahead: at
+// each position it prices every unplaced source's best access path
+// (probe if some unused equality predicate's key side is fully bound by
+// the placed set, otherwise a scan) plus the cheapest access the
+// remaining sources would have once this candidate is placed, and
+// commits the cheapest total, breaking ties toward the smaller output
+// estimate and then FROM order.
+//
+// The lookahead term is what makes delta plans cheap: a large transition
+// table joined to a small indexed dimension must be scanned first (one
+// pass, then index probes into the dimension). A purely immediate-cost
+// greedy would place the smaller dimension first — its level-0 scan is
+// cheaper — and then have no probe into the unindexed transition leaf,
+// turning an O(|delta|) plan into O(|dim|·|delta|).
 func costOrder(tables []Table, preds []Pred, c Costs) []Access {
 	n := len(tables)
 	placed := make([]bool, n)
@@ -210,24 +219,45 @@ func costOrder(tables []Table, preds []Pred, c Costs) []Access {
 				continue
 			}
 			acc := Access{Src: s, ProbePred: -1, ProbeCand: -1}
-			rows := float64(tables[s].Rows)
-			var cost, perLoop float64
-			if pi, ci, keys := bestProbe(tables, preds, used, placed, s); pi >= 0 {
-				matches := rows / float64(keys)
-				acc.ProbePred, acc.ProbeCand = pi, ci
-				cost = loops * (c.IndexProbe + matches*joinRow)
-				perLoop = matches
-			} else {
-				cost = loops * rows * (c.ScanRow + joinRow)
-				perLoop = rows
-			}
-			out := loops * perLoop
+			var pi, ci int
+			var cost, out float64
+			pi, ci, cost, out = accessCost(tables, preds, used, placed, -1, s, loops, joinRow, c)
+			acc.ProbePred, acc.ProbeCand = pi, ci
 			for qi, q := range preds {
 				if used[qi] || qi == acc.ProbePred || len(q.Srcs) == 0 {
 					continue
 				}
 				if boundWith(q.Srcs, placed, s) {
 					out *= selectivity(tables, q)
+				}
+			}
+			// One-level lookahead: the cheapest next access given s is
+			// placed, driven by s's output cardinality. The predicate s
+			// probed on is consumed for the duration so the next level
+			// can't claim it twice.
+			if pos < n-1 {
+				nextLoops := out
+				if nextLoops < 1 {
+					nextLoops = 1
+				}
+				if pi >= 0 {
+					used[pi] = true
+				}
+				nextBest := -1.0
+				for t := 0; t < n; t++ {
+					if placed[t] || t == s {
+						continue
+					}
+					_, _, tc, _ := accessCost(tables, preds, used, placed, s, t, nextLoops, c.JoinRow, c)
+					if nextBest < 0 || tc < nextBest {
+						nextBest = tc
+					}
+				}
+				if pi >= 0 {
+					used[pi] = false
+				}
+				if nextBest > 0 {
+					cost += nextBest
 				}
 			}
 			if best < 0 || cost < bestCost ||
@@ -257,18 +287,39 @@ func costOrder(tables []Table, preds []Pred, c Costs) []Access {
 	return levels
 }
 
+// accessCost prices source s's best access path given the placed set
+// (optionally extended by extra ≥ 0): the probe/scan choice, its virtual
+// cost over loops iterations, and the raw rows it yields. Returns the
+// chosen probe predicate/candidate (-1 for a scan).
+func accessCost(tables []Table, preds []Pred, used, placed []bool, extra, s int, loops, joinRow float64, c Costs) (pi, ci int, cost, out float64) {
+	rows := float64(tables[s].Rows)
+	pi, ci, keys := bestProbeWith(tables, preds, used, placed, extra, s)
+	if pi >= 0 {
+		matches := rows / float64(keys)
+		return pi, ci, loops * (c.IndexProbe + matches*joinRow), loops * matches
+	}
+	return -1, -1, loops * rows * (c.ScanRow + joinRow), loops * rows
+}
+
 // bestProbe finds the most selective usable probe into s: an unused
 // equality predicate with an indexed candidate on s whose other side is
 // fully bound by the placed set. Returns the candidate with the most
 // distinct keys (fewest expected matches).
 func bestProbe(tables []Table, preds []Pred, used, placed []bool, s int) (pred, cand, keys int) {
+	return bestProbeWith(tables, preds, used, placed, -1, s)
+}
+
+// bestProbeWith is bestProbe with the placed set extended by source extra
+// (pass extra < 0 for the plain placed set); costOrder's lookahead uses it
+// to price the next level as if the current candidate were committed.
+func bestProbeWith(tables []Table, preds []Pred, used, placed []bool, extra, s int) (pred, cand, keys int) {
 	pred, cand, keys = -1, -1, 0
 	for pi, p := range preds {
 		if used[pi] || p.Class != Eq {
 			continue
 		}
 		for ci, c := range p.Probes {
-			if c.Src != s || !allPlaced(c.OtherSrcs, placed) {
+			if c.Src != s || !boundWith(c.OtherSrcs, placed, extra) {
 				continue
 			}
 			k, ok := tables[s].IndexKeys[c.Col]

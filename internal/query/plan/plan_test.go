@@ -184,3 +184,27 @@ func TestRandomizedCoverage(t *testing.T) {
 		}
 	}
 }
+
+// The delta-maintenance trap: a large unindexed transition leaf joined to
+// a small indexed dimension. Immediate-cost greedy would start from the
+// cheaper dimension scan and then have nothing to probe into the leaf,
+// costing |dim|·|leaf|; the one-level lookahead sees that starting from
+// the leaf buys |leaf| index probes into the dimension instead.
+func TestCostOrderLookaheadScansDeltaLeafFirst(t *testing.T) {
+	tables := []Table{
+		{Name: "dim", Rows: 50, IndexKeys: map[string]int{"jc": 50}},
+		{Name: "leaf", Rows: 5000}, // transition temp table: no indexes
+	}
+	preds := []Pred{
+		{Srcs: []int{0, 1}, Class: Eq, Probes: []Probe{
+			{Src: 0, Col: "jc", OtherSrcs: []int{1}},
+		}},
+	}
+	res := Choose(tables, preds, Options{Costs: testCosts})
+	if got := res.Order(); !reflect.DeepEqual(got, []int{1, 0}) {
+		t.Fatalf("order = %v, want leaf first", got)
+	}
+	if res.Levels[1].ProbePred != 0 {
+		t.Fatalf("level 1 should probe dim.jc, got %+v", res.Levels[1])
+	}
+}

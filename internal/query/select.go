@@ -249,6 +249,12 @@ func (c *compiled) execute(tx *txn.Txn, srcs []*source, shared []*storage.Record
 	if err != nil {
 		return nil, nil, err
 	}
+	// Selectivity feedback: only full per-query runs report — a LIMIT may
+	// stop the drive early and shared-scan batches stream a subset, so
+	// either would undercount against the estimate.
+	if shared == nil && c.q.Limit == 0 {
+		c.noteActual(ex.matched)
+	}
 	if len(c.q.OrderBy) > 0 {
 		if err := sortResult(out, c.q.OrderBy, c.q.Desc); err != nil {
 			out.Retire()
@@ -310,6 +316,9 @@ type exec struct {
 	// prof receives row accounting (rows visited/matched) when the
 	// transaction carries a cost profile; nil otherwise.
 	prof *txn.TxnProfile
+	// matched counts joint rows emitted (pre-aggregation), always on:
+	// it feeds selectivity feedback against the plan's estimate.
+	matched int64
 
 	// Output construction.
 	out      *storage.TempTable
@@ -442,6 +451,7 @@ type groupState struct {
 // plain projections, accumulate for aggregates.
 func (ex *exec) emit() error {
 	cur := ex.cur
+	ex.matched++
 	if ex.prof != nil {
 		ex.prof.RowsMatched++
 	}

@@ -355,6 +355,13 @@ func (s *Scheduler) costShedLocked(now clock.Micros) {
 	}
 	var victims []*Task
 	for _, t := range s.ready.items {
+		if t.CostFn != nil {
+			// Refresh from the live profile: tasks enqueued before their
+			// function's cost changed (e.g. maintenance that switched to
+			// cheap delta recomputes) are ordered by what a drop reclaims
+			// NOW, not by a stale enqueue-time estimate.
+			t.ShedCost = t.CostFn()
+		}
 		if !t.Firm || t.ShedCost <= 0 {
 			continue
 		}

@@ -41,6 +41,13 @@ type Task struct {
 	// it can still be shed in pop order like the seed scheduler.
 	ShedCost float64
 
+	// CostFn, when set, refreshes ShedCost at shed-decision time so the
+	// ordering reflects the task's current cost profile rather than its
+	// enqueue-time estimate (a maintenance function may have gotten much
+	// cheaper since). It runs under the scheduler lock and must not call
+	// back into the scheduler.
+	CostFn func() float64
+
 	// Firm marks the deadline as a firm shedding deadline: under overload
 	// (see Overload) a firm task past its Deadline is dropped instead of
 	// run — its result would describe state already superseded. Without

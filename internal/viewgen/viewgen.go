@@ -9,10 +9,18 @@
 // classes:
 //
 //   - aggregation views  SELECT g, sum(expr) FROM base, dim WHERE
-//     dim.k = base.k GROUP BY g  (comp_prices-like; maintained
-//     incrementally from per-row deltas), and
+//     dim.k = base.k GROUP BY g  (comp_prices-like), and
 //   - per-row function views  SELECT d, f(args...) FROM base, dim WHERE
-//     dim.k = base.k  (option_prices-like; recomputed per affected row).
+//     dim.k = base.k  (option_prices-like).
+//
+// Each shape is maintainable in one of two modes. Delta maintenance (the
+// default when the needed indexes exist) compiles the rule action into
+// delta plans: operator trees whose leaves are the firing's transition
+// tables joined against the dimension via index probes, producing
+// per-group (or per-row) delta rows applied to the derived table in
+// O(|delta|). Full maintenance rebuilds the derived table from its
+// defining query in O(|base|) — it remains available as an explicit mode
+// and as the per-rule fallback when a delta consistency check trips.
 //
 // Given the view definition and workload statistics, Advise picks the unit
 // of batching and delay window by the paper's two rules of thumb (§8):
@@ -22,12 +30,15 @@
 package viewgen
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/stripdb/strip/internal/catalog"
 	"github.com/stripdb/strip/internal/clock"
 	"github.com/stripdb/strip/internal/core"
+	"github.com/stripdb/strip/internal/obs"
 	"github.com/stripdb/strip/internal/query"
+	"github.com/stripdb/strip/internal/storage"
 	"github.com/stripdb/strip/internal/types"
 )
 
@@ -36,12 +47,47 @@ type Kind uint8
 
 // View shapes.
 const (
-	// Aggregation is a grouped sum over a join (incremental maintenance).
+	// Aggregation is a grouped sum over a join.
 	Aggregation Kind = iota
-	// PerRowFunction computes a scalar function per join row
-	// (non-incremental maintenance).
+	// PerRowFunction computes a scalar function per join row.
 	PerRowFunction
 )
+
+// Mode selects how the generated rule maintains the materialized table.
+type Mode uint8
+
+// Maintenance modes.
+const (
+	// ModeAuto picks delta maintenance when DeltaRequirements are met and
+	// silently falls back to full recomputation otherwise.
+	ModeAuto Mode = iota
+	// ModeDelta requires O(|delta|) maintenance; rule generation fails if
+	// the needed indexes are missing.
+	ModeDelta
+	// ModeFull always rebuilds the view from its defining query — the
+	// O(|base|) baseline the delta experiments compare against.
+	ModeFull
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeAuto:
+		return "auto"
+	case ModeDelta:
+		return "delta"
+	case ModeFull:
+		return "full"
+	default:
+		return "unknown"
+	}
+}
+
+// CountColumn is the support-count column delta maintenance adds to
+// aggregation view schemas: the number of base rows contributing to the
+// group, so group death (count reaching zero) is detectable from deltas
+// alone.
+const CountColumn = "vg_count"
 
 // Spec is an analyzed view definition ready for materialization and rule
 // generation.
@@ -60,9 +106,12 @@ type Spec struct {
 	// call (PerRowFunction), referencing base and dim columns.
 	valueExpr query.Expr
 	valueName string
-	// baseCols are base columns the value expression reads (the rule's
-	// update-event column filter).
+	// baseCols are base columns the value expression reads (part of the
+	// rule's update-event column filter).
 	baseCols []string
+	// baseJoinKind is the base join column's type, needed to build the
+	// per-row delta working-set table.
+	baseJoinKind types.Kind
 
 	def *query.Select
 }
@@ -161,6 +210,15 @@ func Analyze(cat Catalog, name string, def *query.Select) (*Spec, error) {
 	} else {
 		sp.baseJoinCol, sp.dimJoinCol = rref.Col, lref.Col
 	}
+	baseSchema := schemas[0]
+	if sp.base == def.From[1] {
+		baseSchema = schemas[1]
+	}
+	bj := baseSchema.ColIndex(sp.baseJoinCol)
+	if bj < 0 {
+		return nil, fmt.Errorf("viewgen: view %s: join column %q not in table %q", name, sp.baseJoinCol, sp.base)
+	}
+	sp.baseJoinKind = baseSchema.Col(bj).Kind
 
 	// Canonicalize the value expression to fully qualified references and
 	// collect the base columns it reads (the rule's update-event filter).
@@ -229,17 +287,71 @@ func (sp *Spec) KeyColumn() string { return sp.keyCol.Col }
 // ValueColumn returns the view's value column name.
 func (sp *Spec) ValueColumn() string { return sp.valueName }
 
-// ViewSchema returns the schema of the materialized table.
+// ViewSchema returns the schema of the materialized table. Aggregation
+// views carry a third support-count column (CountColumn) so delta
+// maintenance can detect group death without consulting the base table.
 func (sp *Spec) ViewSchema(cat Catalog) (*catalog.Schema, error) {
 	dimSchema, ok := cat.Lookup(sp.dim)
 	if !ok {
 		return nil, fmt.Errorf("viewgen: dimension %q vanished", sp.dim)
 	}
 	keyKind := dimSchema.Col(dimSchema.ColIndex(sp.keyCol.Col)).Kind
-	return catalog.NewSchema(sp.Name, []catalog.Column{
+	cols := []catalog.Column{
 		{Name: sp.keyCol.Col, Kind: keyKind},
 		{Name: sp.valueName, Kind: types.KindFloat},
-	})
+	}
+	if sp.Kind == Aggregation {
+		cols = append(cols, catalog.Column{Name: CountColumn, Kind: types.KindInt})
+	}
+	return catalog.NewSchema(sp.Name, cols)
+}
+
+// LoadQuery returns the query that computes the view's full contents from
+// the base tables: the canonicalized definition, extended (for aggregation
+// views) with the support count. It feeds both initial materialization and
+// the full-recompute maintenance path, so the two always agree on shape.
+func (sp *Spec) LoadQuery() *query.Select {
+	join := query.Eq(query.QCol(sp.base, sp.baseJoinCol), query.QCol(sp.dim, sp.dimJoinCol))
+	key := query.QCol(sp.dim, sp.keyCol.Col)
+	if sp.Kind == Aggregation {
+		return &query.Select{
+			Items: []query.SelectItem{
+				query.Item(key, sp.keyCol.Col),
+				query.AggItem(query.AggSum, sp.valueExpr, sp.valueName),
+				query.AggItem(query.AggCount, query.Const(types.Int(1)), CountColumn),
+			},
+			From:    []string{sp.base, sp.dim},
+			Where:   []query.Pred{join},
+			GroupBy: []*query.ColRef{query.QCol(sp.dim, sp.keyCol.Col)},
+		}
+	}
+	return &query.Select{
+		Items: []query.SelectItem{
+			query.Item(key, sp.keyCol.Col),
+			query.Item(sp.valueExpr, sp.valueName),
+		},
+		From:  []string{sp.base, sp.dim},
+		Where: []query.Pred{join},
+	}
+}
+
+// Requirement names an index delta maintenance needs: the delta plans
+// probe Table through an index on Col at every firing, so without it the
+// per-firing cost degrades to a scan of Table.
+type Requirement struct {
+	Table, Col string
+}
+
+// DeltaRequirements lists the indexes delta maintenance needs for this
+// view: the dimension's join column always (every transition leaf joins
+// through it), plus — for per-row views — the base table's join column
+// (the recompute joins the affected-key working set back to base rows).
+func (sp *Spec) DeltaRequirements() []Requirement {
+	reqs := []Requirement{{Table: sp.dim, Col: sp.dimJoinCol}}
+	if sp.Kind == PerRowFunction {
+		reqs = append(reqs, Requirement{Table: sp.base, Col: sp.baseJoinCol})
+	}
+	return reqs
 }
 
 // Stats carries the workload statistics the advisor consumes (the paper's
@@ -321,147 +433,342 @@ func (sp *Spec) Advise(s Stats) Advice {
 	return adv
 }
 
+// transition table names (mirroring core's reserved bind names).
+const (
+	transInserted = "inserted"
+	transDeleted  = "deleted"
+	transNew      = "new"
+	transOld      = "old"
+)
+
 // MaintenanceRule generates the rule definition and the action function
-// maintaining the materialized table, under the given advice. actionName
-// must be unique per view.
-func (sp *Spec) MaintenanceRule(actionName string, adv Advice) (*core.Rule, core.ActionFunc, error) {
+// maintaining the materialized table, under the given advice and a
+// *resolved* maintenance mode (ModeDelta or ModeFull — the caller resolves
+// ModeAuto against DeltaRequirements before calling). actionName must be
+// unique per view.
+//
+// Both modes trigger on inserts, deletes, and updates of the columns the
+// view reads (value columns plus the join key, so re-keyed base rows
+// re-maintain both their old and new groups). Both batch view-wide
+// (Unique without UniqueOn): the delta rule binds raw transition tables,
+// which carry the base join key in every leaf and therefore cannot be
+// partitioned by the engine's unique-on splitter, and the full rule binds
+// nothing at all. Coalesced firings merge their transition rows into the
+// queued task; the merged rows are exactly the batch's delta.
+func (sp *Spec) MaintenanceRule(actionName string, adv Advice, mode Mode) (*core.Rule, core.ActionFunc, error) {
+	updateCols := append(append([]string{}, sp.baseCols...), sp.baseJoinCol)
 	rule := &core.Rule{
-		Name:   "maintain_" + sp.Name,
-		Table:  sp.base,
-		Events: []core.EventSpec{{Kind: core.Updated, Columns: sp.baseCols}},
-		Action: actionName,
-		Unique: adv.Unique,
-		Delay:  adv.Delay,
-	}
-	// Advice names logical columns; the bound table aliases them.
-	for _, col := range adv.UniqueOn {
-		switch col {
-		case sp.keyCol.Col:
-			rule.UniqueOn = append(rule.UniqueOn, "vg_key")
-		case sp.dimJoinCol:
-			rule.UniqueOn = append(rule.UniqueOn, "vg_base")
-		default:
-			return nil, nil, fmt.Errorf("viewgen: advice names unknown column %q", col)
-		}
-	}
-	cond, err := sp.conditionQuery()
-	if err != nil {
-		return nil, nil, err
-	}
-	rule.Condition = []*query.Select{cond}
-	var fn core.ActionFunc
-	if sp.Kind == Aggregation {
-		fn = sp.incrementalAction()
-	} else {
-		fn = sp.perRowAction()
-	}
-	return rule, fn, nil
-}
-
-// conditionQuery builds the bind-as query joining the transition tables
-// with the dimension. For aggregation views it emits (key, delta) rows with
-// delta = expr(new) − expr(old); for per-row views it emits
-// (key, new-value) rows.
-func (sp *Spec) conditionQuery() (*query.Select, error) {
-	// The value expression is fully qualified (Analyze canonicalized it);
-	// retarget base references to the requested transition table.
-	renameTo := func(trans string) func(*query.ColRef) *query.ColRef {
-		return func(c *query.ColRef) *query.ColRef {
-			if c.Table == sp.base {
-				return query.QCol(trans, c.Col)
-			}
-			return c
-		}
-	}
-	newExpr := query.RewriteRefs(sp.valueExpr, renameTo("new"))
-	key := query.QCol(sp.dim, sp.keyCol.Col)
-
-	q := &query.Select{
-		From: []string{"new", "old", sp.dim},
-		Where: []query.Pred{
-			query.Eq(query.QCol(sp.dim, sp.dimJoinCol), query.QCol("new", sp.baseJoinCol)),
-			query.Eq(query.QCol("new", "execute_order"), query.QCol("old", "execute_order")),
+		Name:  "maintain_" + sp.Name,
+		Table: sp.base,
+		Events: []core.EventSpec{
+			{Kind: core.Inserted},
+			{Kind: core.Deleted},
+			{Kind: core.Updated, Columns: updateCols},
 		},
-		Bind: "vg_changes",
+		Action:      actionName,
+		Unique:      adv.Unique,
+		Delay:       adv.Delay,
+		Maintenance: mode.String(),
 	}
-	if sp.Kind == Aggregation {
-		oldExpr := query.RewriteRefs(sp.valueExpr, renameTo("old"))
-		q.Items = []query.SelectItem{
-			query.Item(key, "vg_key"),
-			query.Item(query.Arith(newExpr, '-', oldExpr), "vg_delta"),
+	switch mode {
+	case ModeDelta:
+		rule.BindTransitions = []string{transInserted, transDeleted, transNew, transOld}
+		if sp.Kind == Aggregation {
+			return rule, sp.deltaAggAction(), nil
 		}
-		return q, nil
+		return rule, sp.deltaPerRowAction(), nil
+	case ModeFull:
+		return rule, sp.fullRebuildAction(), nil
+	default:
+		return nil, nil, fmt.Errorf("viewgen: view %s: maintenance mode %s not resolved", sp.Name, mode)
 	}
-	q.Items = []query.SelectItem{
-		query.Item(key, "vg_key"),
-		query.Item(newExpr, "vg_value"),
-		// The base join key, bound so `unique on` can batch per base row.
-		query.Item(query.QCol("new", sp.baseJoinCol), "vg_base"),
-	}
-	return q, nil
 }
 
-// incrementalAction folds per-row deltas per key and applies each with one
-// incremental update (the generated analogue of compute_comps3/2).
-func (sp *Spec) incrementalAction() core.ActionFunc {
+// retargetBase rewrites the canonicalized value expression's base-table
+// references onto a transition table.
+func (sp *Spec) retargetBase(trans string) query.Expr {
+	return query.RewriteRefs(sp.valueExpr, func(c *query.ColRef) *query.ColRef {
+		if c.Table == sp.base {
+			return query.QCol(trans, c.Col)
+		}
+		return c
+	})
+}
+
+// deltaLeaf is one transition table's contribution to an aggregation
+// delta: inserted/new rows add support, deleted/old rows subtract it.
+// Deletion of the old image plus insertion of the new one handles every
+// update uniformly — including join-key churn, which moves support from
+// one group to another.
+type deltaLeaf struct {
+	name string
+	sign float64
+	q    *query.Select
+}
+
+// aggLeaves builds the four per-leaf delta queries once, at rule
+// generation time, so every firing reuses their cached plans: each scans
+// one transition leaf and index-probes the dimension, grouping by view
+// key — an O(|leaf|) operator tree.
+func (sp *Spec) aggLeaves() []deltaLeaf {
+	leaves := []deltaLeaf{
+		{name: transInserted, sign: +1},
+		{name: transNew, sign: +1},
+		{name: transDeleted, sign: -1},
+		{name: transOld, sign: -1},
+	}
+	for i := range leaves {
+		l := &leaves[i]
+		l.q = &query.Select{
+			Items: []query.SelectItem{
+				query.Item(query.QCol(sp.dim, sp.keyCol.Col), "vg_key"),
+				query.AggItem(query.AggSum, sp.retargetBase(l.name), "vg_sum"),
+				query.AggItem(query.AggCount, query.Const(types.Int(1)), "vg_n"),
+			},
+			From:    []string{l.name, sp.dim},
+			Where:   []query.Pred{query.Eq(query.QCol(sp.dim, sp.dimJoinCol), query.QCol(l.name, sp.baseJoinCol))},
+			GroupBy: []*query.ColRef{query.QCol(sp.dim, sp.keyCol.Col)},
+		}
+	}
+	return leaves
+}
+
+// deltaAggAction maintains an aggregation view from its transition-table
+// deltas: each leaf query yields per-group (sum, count) contributions,
+// folded with sign into net group deltas and applied through the view's
+// key index — O(|delta|) total, however large the base table is. Any
+// consistency check tripping falls back to a full rebuild in the same
+// transaction, so the view self-heals at the cost of one O(|base|) run.
+func (sp *Spec) deltaAggAction() core.ActionFunc {
 	view, keyCol, valCol := sp.Name, sp.keyCol.Col, sp.valueName
+	leaves := sp.aggLeaves()
+	rebuild := sp.rebuildFn()
 	return func(ctx *core.ActionContext) error {
-		rows, ok := ctx.Bound("vg_changes")
-		if !ok {
-			return fmt.Errorf("viewgen: bound table vg_changes missing")
-		}
 		model := ctx.Model()
-		deltas := map[types.Value]float64{}
+		acc := map[types.Value]*query.AggDelta{}
 		var order []types.Value
-		for i := 0; i < rows.Len(); i++ {
-			ctx.Charge(model.UserGroupRow)
-			k := rows.Value(i, 0)
-			if _, seen := deltas[k]; !seen {
-				order = append(order, k)
+		var consumed int64
+		for _, l := range leaves {
+			tt, ok := ctx.Bound(l.name)
+			if !ok {
+				return fmt.Errorf("viewgen: view %s: transition table %q not bound", view, l.name)
 			}
-			deltas[k] += rows.Value(i, 1).Float()
-		}
-		for _, k := range order {
-			if _, err := ctx.ExecUpdate(&query.UpdateStmt{
-				Table: view,
-				Set:   []query.SetClause{{Col: valCol, Expr: query.Const(types.Float(deltas[k])), AddTo: true}},
-				Where: []query.Pred{query.Eq(query.Col(keyCol), query.Const(k))},
-			}); err != nil {
+			if tt.Len() == 0 {
+				continue
+			}
+			consumed += int64(tt.Len())
+			out, err := ctx.Query(l.q)
+			if err != nil {
 				return err
 			}
+			for i := 0; i < out.Len(); i++ {
+				ctx.Charge(model.UserGroupRow)
+				k := out.Value(i, 0)
+				d := acc[k]
+				if d == nil {
+					d = &query.AggDelta{Key: k}
+					acc[k] = d
+					order = append(order, k)
+				}
+				d.Sum += l.sign * out.Value(i, 1).Float()
+				d.Count += int64(l.sign) * out.Value(i, 2).Int()
+			}
+			out.Retire()
+		}
+		deltas := make([]query.AggDelta, 0, len(order))
+		for _, k := range order {
+			deltas = append(deltas, *acc[k])
+		}
+		reg := ctx.Txn().Manager().Obs
+		if _, err := query.ApplyAggDeltas(ctx.Txn(), view, keyCol, valCol, CountColumn, deltas); err != nil {
+			if errors.Is(err, query.ErrDeltaInconsistent) {
+				if reg != nil {
+					reg.Counter(obs.MDeltaFallbacks).Inc()
+				}
+				return rebuild(ctx)
+			}
+			return err
+		}
+		if reg != nil {
+			reg.Counter(obs.MDeltaApplied).Inc()
+			reg.Counter(obs.MDeltaRows).Add(consumed)
 		}
 		return nil
 	}
 }
 
-// perRowAction rewrites each affected view row from its last batched value.
-func (sp *Spec) perRowAction() core.ActionFunc {
+// affTable is the name the per-row recompute query knows the firing's
+// affected-key working set by.
+const affTable = "vg_aff"
+
+// deltaPerRowAction maintains a per-row-function view from its transition
+// tables: the affected base join keys (from every leaf) are projected into
+// a working-set table, the view rows they produce are recomputed through
+// index probes on base and dim, and keys whose base rows vanished or moved
+// are deleted — O(|delta|) view rows touched per firing.
+//
+// The recompute assumes the base join key functionally determines the view
+// row (one base row per key), which holds for the paper's option_prices
+// workload; duplicate fresh keys resolve last-write-wins like the seed
+// maintenance rule. Base rows are read under S locks (QueryLockedWith) so
+// the recompute serializes with concurrent base writers instead of
+// overwriting their updates from a stale snapshot.
+func (sp *Spec) deltaPerRowAction() core.ActionFunc {
 	view, keyCol, valCol := sp.Name, sp.keyCol.Col, sp.valueName
+	names := []string{transInserted, transNew, transDeleted, transOld}
+	// Keys of view rows that may have gone stale: groups the deleted/old
+	// images pointed at. If the base row was merely updated in place the
+	// recompute re-covers the key; if it was deleted or re-keyed, nothing
+	// does, and the view row is removed.
+	staleQs := make([]*query.Select, 0, 2)
+	for _, n := range []string{transDeleted, transOld} {
+		staleQs = append(staleQs, &query.Select{
+			Items: []query.SelectItem{query.Item(query.QCol(sp.dim, sp.keyCol.Col), "vg_key")},
+			From:  []string{n, sp.dim},
+			Where: []query.Pred{query.Eq(query.QCol(sp.dim, sp.dimJoinCol), query.QCol(n, sp.baseJoinCol))},
+		})
+	}
+	recompute := &query.Select{
+		Items: []query.SelectItem{
+			query.Item(query.QCol(sp.dim, sp.keyCol.Col), "vg_key"),
+			query.Item(sp.valueExpr, "vg_val"),
+		},
+		From: []string{affTable, sp.base, sp.dim},
+		Where: []query.Pred{
+			query.Eq(query.QCol(sp.base, sp.baseJoinCol), query.QCol(affTable, "vg_base")),
+			query.Eq(query.QCol(sp.dim, sp.dimJoinCol), query.QCol(sp.base, sp.baseJoinCol)),
+		},
+	}
+	affSchema, affErr := catalog.NewSchema(affTable, []catalog.Column{{Name: "vg_base", Kind: sp.baseJoinKind}})
+	rebuild := sp.rebuildFn()
 	return func(ctx *core.ActionContext) error {
-		rows, ok := ctx.Bound("vg_changes")
-		if !ok {
-			return fmt.Errorf("viewgen: bound table vg_changes missing")
+		if affErr != nil {
+			return affErr
 		}
 		model := ctx.Model()
-		last := map[types.Value]types.Value{}
-		var order []types.Value
-		for i := 0; i < rows.Len(); i++ {
-			ctx.Charge(model.UserGroupRow)
-			k := rows.Value(i, 0)
-			if _, seen := last[k]; !seen {
-				order = append(order, k)
+		aff := storage.NewValueTempTable(affSchema)
+		defer aff.Retire()
+		seen := map[types.Value]bool{}
+		var consumed int64
+		for _, n := range names {
+			tt, ok := ctx.Bound(n)
+			if !ok {
+				return fmt.Errorf("viewgen: view %s: transition table %q not bound", view, n)
 			}
-			last[k] = rows.Value(i, 1)
+			consumed += int64(tt.Len())
+			ci := tt.Schema().ColIndex(sp.baseJoinCol)
+			for i := 0; i < tt.Len(); i++ {
+				ctx.Charge(model.UserGroupRow)
+				k := tt.Value(i, ci)
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				if err := aff.AppendValues(k); err != nil {
+					return err
+				}
+			}
 		}
-		for _, k := range order {
-			if _, err := ctx.ExecUpdate(&query.UpdateStmt{
-				Table: view,
-				Set:   []query.SetClause{{Col: valCol, Expr: query.Const(last[k])}},
-				Where: []query.Pred{query.Eq(query.Col(keyCol), query.Const(k))},
-			}); err != nil {
+		if aff.Len() == 0 {
+			return nil
+		}
+		var stale []types.Value
+		staleSeen := map[types.Value]bool{}
+		for _, q := range staleQs {
+			out, err := ctx.Query(q)
+			if err != nil {
 				return err
 			}
+			for i := 0; i < out.Len(); i++ {
+				k := out.Value(i, 0)
+				if !staleSeen[k] {
+					staleSeen[k] = true
+					stale = append(stale, k)
+				}
+			}
+			out.Retire()
+		}
+		out, err := ctx.QueryLockedWith(recompute, map[string]*storage.TempTable{affTable: aff})
+		if err != nil {
+			return err
+		}
+		last := map[types.Value]int{}
+		var fresh []query.RowDelta
+		for i := 0; i < out.Len(); i++ {
+			ctx.Charge(model.UserGroupRow)
+			k := out.Value(i, 0)
+			if j, ok := last[k]; ok {
+				fresh[j].Val = out.Value(i, 1)
+				continue
+			}
+			last[k] = len(fresh)
+			fresh = append(fresh, query.RowDelta{Key: k, Val: out.Value(i, 1)})
+		}
+		out.Retire()
+		live := stale[:0]
+		for _, k := range stale {
+			if _, ok := last[k]; !ok {
+				live = append(live, k)
+			}
+		}
+		reg := ctx.Txn().Manager().Obs
+		if _, err := query.ApplyRowDeltas(ctx.Txn(), view, keyCol, valCol, fresh, live); err != nil {
+			if errors.Is(err, query.ErrDeltaInconsistent) {
+				if reg != nil {
+					reg.Counter(obs.MDeltaFallbacks).Inc()
+				}
+				return rebuild(ctx)
+			}
+			return err
+		}
+		if reg != nil {
+			reg.Counter(obs.MDeltaApplied).Inc()
+			reg.Counter(obs.MDeltaRows).Add(consumed)
 		}
 		return nil
 	}
+}
+
+// rebuildFn returns the full-recompute body shared by the ModeFull action
+// and the delta actions' consistency fallback: empty the view (the
+// whole-table delete takes the table X lock first, serializing concurrent
+// rebuilds), re-run the defining query under S locks so committed base
+// state — not the action's begin snapshot — is what gets materialized,
+// and reload the rows.
+func (sp *Spec) rebuildFn() func(ctx *core.ActionContext) error {
+	view := sp.Name
+	load := sp.LoadQuery()
+	return func(ctx *core.ActionContext) error {
+		if _, err := ctx.ExecDelete(&query.DeleteStmt{Table: view}); err != nil {
+			return err
+		}
+		out, err := ctx.QueryLocked(load)
+		if err != nil {
+			return err
+		}
+		defer out.Retire()
+		model := ctx.Model()
+		n := out.Schema().NumCols()
+		rows := make([][]types.Value, 0, out.Len())
+		for i := 0; i < out.Len(); i++ {
+			ctx.Charge(model.UserGroupRow)
+			row := make([]types.Value, n)
+			for c := 0; c < n; c++ {
+				row[c] = out.Value(i, c)
+			}
+			rows = append(rows, row)
+		}
+		if len(rows) == 0 {
+			return nil
+		}
+		_, err = ctx.ExecInsert(&query.InsertStmt{Table: view, Rows: rows})
+		return err
+	}
+}
+
+// fullRebuildAction is the ModeFull maintenance action: every firing
+// rebuilds the view wholesale — the O(|base|) baseline.
+func (sp *Spec) fullRebuildAction() core.ActionFunc {
+	rebuild := sp.rebuildFn()
+	return func(ctx *core.ActionContext) error { return rebuild(ctx) }
 }

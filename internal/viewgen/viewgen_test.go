@@ -87,8 +87,11 @@ func TestAnalyzeAggregation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if schema.NumCols() != 2 || schema.Col(0).Name != "comp" || schema.Col(1).Kind != types.KindFloat {
+	if schema.NumCols() != 3 || schema.Col(0).Name != "comp" || schema.Col(1).Kind != types.KindFloat {
 		t.Errorf("view schema wrong: %v", schema.Columns())
+	}
+	if schema.Col(2).Name != CountColumn || schema.Col(2).Kind != types.KindInt {
+		t.Errorf("support-count column wrong: %v", schema.Columns())
 	}
 }
 
@@ -201,7 +204,8 @@ func TestMaintenanceRuleShape(t *testing.T) {
 		t.Fatal(err)
 	}
 	adv := sp.Advise(Stats{UpdateRate: 33, FanOut: 12, Groups: 400, MaxStaleness: clock.FromSeconds(3)})
-	rule, fn, err := sp.MaintenanceRule("maintain_cp", adv)
+
+	rule, fn, err := sp.MaintenanceRule("maintain_cp", adv, ModeDelta)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,14 +215,94 @@ func TestMaintenanceRuleShape(t *testing.T) {
 	if rule.Table != "stocks" || rule.Name != "maintain_comp_prices" {
 		t.Errorf("rule = %+v", rule)
 	}
-	if len(rule.Events) != 1 || rule.Events[0].Kind.String() != "updated" ||
-		len(rule.Events[0].Columns) != 1 || rule.Events[0].Columns[0] != "price" {
-		t.Errorf("events = %+v", rule.Events)
+	// Delta maintenance must see inserts, deletes, and updates of the value
+	// columns plus the join key (re-keyed rows move group support).
+	if len(rule.Events) != 3 {
+		t.Fatalf("events = %+v", rule.Events)
 	}
-	if len(rule.Condition) != 1 || rule.Condition[0].Bind != "vg_changes" {
-		t.Errorf("condition = %+v", rule.Condition)
+	kinds := map[string][]string{}
+	for _, e := range rule.Events {
+		kinds[e.Kind.String()] = e.Columns
 	}
-	if !rule.Unique || rule.UniqueOn[0] != "vg_key" {
-		t.Errorf("unique = %v %v", rule.Unique, rule.UniqueOn)
+	if _, ok := kinds["inserted"]; !ok {
+		t.Errorf("no inserted event: %+v", rule.Events)
+	}
+	if _, ok := kinds["deleted"]; !ok {
+		t.Errorf("no deleted event: %+v", rule.Events)
+	}
+	upd := kinds["updated"]
+	if len(upd) != 2 || upd[0] != "price" || upd[1] != "symbol" {
+		t.Errorf("updated columns = %v, want [price symbol]", upd)
+	}
+	if len(rule.BindTransitions) != 4 {
+		t.Errorf("bind transitions = %v", rule.BindTransitions)
+	}
+	if !rule.Unique || len(rule.UniqueOn) != 0 {
+		t.Errorf("unique = %v %v (want view-wide batching)", rule.Unique, rule.UniqueOn)
+	}
+	if rule.Maintenance != "delta" {
+		t.Errorf("maintenance = %q", rule.Maintenance)
+	}
+
+	full, ffn, err := sp.MaintenanceRule("maintain_cp", adv, ModeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ffn == nil {
+		t.Fatal("nil full action")
+	}
+	if len(full.BindTransitions) != 0 || len(full.Condition) != 0 {
+		t.Errorf("full rule binds data it never reads: %+v", full)
+	}
+	if full.Maintenance != "full" {
+		t.Errorf("maintenance = %q", full.Maintenance)
+	}
+
+	if _, _, err := sp.MaintenanceRule("maintain_cp", adv, ModeAuto); err == nil {
+		t.Error("unresolved ModeAuto accepted")
+	}
+}
+
+func TestDeltaRequirements(t *testing.T) {
+	cat := testCatalog(t)
+	agg, err := Analyze(cat, "comp_prices", compPricesDef())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := agg.DeltaRequirements()
+	if len(reqs) != 1 || reqs[0] != (Requirement{Table: "comps_list", Col: "symbol"}) {
+		t.Errorf("aggregation requirements = %v", reqs)
+	}
+	pr, err := Analyze(cat, "option_prices", optionPricesDef())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs = pr.DeltaRequirements()
+	if len(reqs) != 2 || reqs[0] != (Requirement{Table: "options_list", Col: "stock_symbol"}) ||
+		reqs[1] != (Requirement{Table: "stocks", Col: "symbol"}) {
+		t.Errorf("per-row requirements = %v", reqs)
+	}
+}
+
+func TestLoadQueryShape(t *testing.T) {
+	cat := testCatalog(t)
+	sp, err := Analyze(cat, "comp_prices", compPricesDef())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := sp.LoadQuery()
+	if len(q.Items) != 3 || q.Items[2].As != CountColumn || q.Items[2].Agg != query.AggCount {
+		t.Errorf("aggregation load query items = %+v", q.Items)
+	}
+	if len(q.GroupBy) != 1 {
+		t.Errorf("load query GroupBy = %v", q.GroupBy)
+	}
+	pr, err := Analyze(cat, "option_prices", optionPricesDef())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q = pr.LoadQuery()
+	if len(q.Items) != 2 || len(q.GroupBy) != 0 {
+		t.Errorf("per-row load query = %+v", q)
 	}
 }

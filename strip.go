@@ -384,6 +384,7 @@ func Open(cfg Config) (*DB, error) {
 			}
 			return nil, err
 		}
+		m.SetMaintenance(func() any { return db.engine.RuleModes() })
 		db.mon = m
 	}
 	if !cfg.Virtual {

@@ -7,6 +7,22 @@ import (
 	"github.com/stripdb/strip/internal/viewgen"
 )
 
+// ViewMode selects how a materialized view is maintained.
+type ViewMode = viewgen.Mode
+
+// View maintenance modes.
+const (
+	// ViewModeAuto maintains the view from transition-table deltas when
+	// the needed indexes exist, else falls back to full recomputation.
+	ViewModeAuto = viewgen.ModeAuto
+	// ViewModeDelta requires O(|delta|) maintenance; creation fails if a
+	// needed index is missing.
+	ViewModeDelta = viewgen.ModeDelta
+	// ViewModeFull rebuilds the view from its defining query on every
+	// maintenance run — the O(|base|) baseline.
+	ViewModeFull = viewgen.ModeFull
+)
+
 // ViewOptions tunes materialized-view creation. Zero values get estimates.
 type ViewOptions struct {
 	// UpdateRate is the expected base-table update rate (updates/second);
@@ -16,6 +32,9 @@ type ViewOptions struct {
 	// MaxStaleness bounds the advised delay window (micros). Defaults to
 	// 3 s, the knee of the paper's delay sweep.
 	MaxStaleness int64
+	// Mode selects delta vs full maintenance; the zero value is
+	// ViewModeAuto.
+	Mode ViewMode
 }
 
 // ViewInfo reports what CreateMaterializedView generated.
@@ -25,6 +44,8 @@ type ViewInfo struct {
 	RuleName string
 	// Action is the generated user function's name.
 	Action string
+	// Maintenance is the resolved maintenance mode ("delta" or "full").
+	Maintenance string
 	// UniqueOn and DelayMicros are the advisor's batching choices.
 	UniqueOn    []string
 	DelayMicros int64
@@ -35,11 +56,17 @@ type ViewInfo struct {
 }
 
 // CreateMaterializedView materializes a view definition and generates its
-// maintenance rule automatically — including the unit of batching and the
-// delay window — implementing the paper's §8 future-work proposal. The
-// definition must be one of the two supported shapes (see package viewgen):
-// a grouped sum over a two-table equi-join, or a per-row scalar function
-// over one.
+// maintenance rule automatically — including the unit of batching, the
+// delay window, and the maintenance mode — implementing the paper's §8
+// future-work proposal. The definition must be one of the two supported
+// shapes (see package viewgen): a grouped sum over a two-table equi-join,
+// or a per-row scalar function over one.
+//
+// Under ViewModeAuto (the default) the maintenance rule applies
+// transition-table deltas to the view in O(|delta|) per firing when every
+// index in spec.DeltaRequirements exists, and rebuilds the view wholesale
+// otherwise. Aggregation views maintained this way carry an extra
+// support-count column (viewgen.CountColumn).
 func (db *DB) CreateMaterializedView(name string, def *Select, opts ViewOptions) (*ViewInfo, error) {
 	spec, err := viewgen.Analyze(db.txns.Catalog, name, def)
 	if err != nil {
@@ -50,9 +77,32 @@ func (db *DB) CreateMaterializedView(name string, def *Select, opts ViewOptions)
 		return nil, err
 	}
 
-	// Materialize: run the definition and load the result.
+	// Resolve the maintenance mode against the indexes that exist now.
+	mode := opts.Mode
+	if mode != viewgen.ModeFull {
+		missing := ""
+		for _, req := range spec.DeltaRequirements() {
+			tbl, ok := db.txns.Store.Get(req.Table)
+			if !ok || !tbl.HasIndex(req.Col) {
+				missing = fmt.Sprintf("%s(%s)", req.Table, req.Col)
+				break
+			}
+		}
+		switch {
+		case missing == "":
+			mode = viewgen.ModeDelta
+		case mode == viewgen.ModeDelta:
+			return nil, fmt.Errorf("strip: view %s: delta maintenance needs an index on %s", name, missing)
+		default: // ModeAuto without the indexes: fall back silently.
+			mode = viewgen.ModeFull
+		}
+	}
+
+	// Materialize from the canonical load query — the same query the full
+	// maintenance path replays — so the initial contents and every rebuild
+	// agree on shape (including the aggregation support count).
 	tx := db.Begin()
-	res, err := def.Run(tx, query.TxnResolver{})
+	res, err := spec.LoadQuery().Run(tx, query.TxnResolver{})
 	if err != nil {
 		tx.Abort() //nolint:errcheck
 		return nil, err
@@ -104,7 +154,7 @@ func (db *DB) CreateMaterializedView(name string, def *Select, opts ViewOptions)
 	})
 
 	action := "maintain_" + name + "_fn"
-	rule, fn, err := spec.MaintenanceRule(action, adv)
+	rule, fn, err := spec.MaintenanceRule(action, adv, mode)
 	if err != nil {
 		return nil, err
 	}
@@ -118,6 +168,7 @@ func (db *DB) CreateMaterializedView(name string, def *Select, opts ViewOptions)
 		Name:        name,
 		RuleName:    rule.Name,
 		Action:      action,
+		Maintenance: rule.Maintenance,
 		UniqueOn:    adv.UniqueOn,
 		DelayMicros: adv.Delay,
 		Reason:      adv.Reason,
@@ -127,6 +178,6 @@ func (db *DB) CreateMaterializedView(name string, def *Select, opts ViewOptions)
 
 // viewInfoString renders ViewInfo for logs.
 func (vi *ViewInfo) String() string {
-	return fmt.Sprintf("view %s: %d rows, rule %s unique on %v after %.1fs (%s)",
-		vi.Name, vi.Rows, vi.RuleName, vi.UniqueOn, float64(vi.DelayMicros)/1e6, vi.Reason)
+	return fmt.Sprintf("view %s: %d rows, %s maintenance, rule %s after %.1fs (%s)",
+		vi.Name, vi.Rows, vi.Maintenance, vi.RuleName, float64(vi.DelayMicros)/1e6, vi.Reason)
 }

@@ -63,6 +63,9 @@ func TestCreateMaterializedViewAdvice(t *testing.T) {
 	if len(vi.UniqueOn) != 1 || vi.UniqueOn[0] != "comp" {
 		t.Errorf("advice unique on %v, want comp", vi.UniqueOn)
 	}
+	if vi.Maintenance != "delta" {
+		t.Errorf("maintenance = %q, want delta (indexes exist)", vi.Maintenance)
+	}
 	if vi.DelayMicros <= 0 || vi.DelayMicros > 3_000_000 {
 		t.Errorf("delay = %d", vi.DelayMicros)
 	}
