@@ -49,8 +49,15 @@ type Options struct {
 	BusyRetries int
 	// RetryInterval paces busy retries: a token bucket mints one retry
 	// token per interval, so shed clients back off instead of hammering.
-	// Default 50ms.
+	// The bucket is shared by every Client this process dials to the same
+	// address — the first Dial's interval wins for that address. Default
+	// 50ms.
 	RetryInterval time.Duration
+	// MaxLag bounds replica staleness: when connecting to a replica, reads
+	// are refused with a retryable ErrLagging while the replica's
+	// replication lag exceeds this. Zero accepts any lag. Ignored by
+	// primaries.
+	MaxLag time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -83,6 +90,29 @@ type Client struct {
 	retry *ratelimit.Bucket // paces busy retries on wall-time micros
 }
 
+// Busy-retry pacing is shared per server address, not per Client: when one
+// saturated server sheds a fleet of sessions from this process, they must
+// trickle back as a group — per-Client buckets would multiply the retry
+// rate by the session count and re-stampede the server.
+var (
+	retryMu      sync.Mutex
+	retryBuckets = make(map[string]*ratelimit.Bucket)
+)
+
+// retryBucket returns the process-wide retry bucket for addr, creating it
+// with interval on first use (later intervals for the same address are
+// ignored).
+func retryBucket(addr string, interval time.Duration) *ratelimit.Bucket {
+	retryMu.Lock()
+	defer retryMu.Unlock()
+	b, ok := retryBuckets[addr]
+	if !ok {
+		b = ratelimit.New(1, interval.Microseconds())
+		retryBuckets[addr] = b
+	}
+	return b
+}
+
 // Dial connects to a stripd server and completes the handshake.
 func Dial(addr string, opts Options) (*Client, error) {
 	opts = opts.withDefaults()
@@ -90,8 +120,12 @@ func Dial(addr string, opts Options) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
 	}
+	hello := server.EncodeHello(opts.Token, opts.Tenant)
+	if opts.MaxLag > 0 {
+		hello = server.EncodeHelloLag(opts.Token, opts.Tenant, uint64(opts.MaxLag.Microseconds()))
+	}
 	conn.SetDeadline(time.Now().Add(opts.DialTimeout)) //nolint:errcheck
-	if err := server.WriteFrame(conn, server.FrameHello, server.EncodeHello(opts.Token, opts.Tenant)); err != nil {
+	if err := server.WriteFrame(conn, server.FrameHello, hello); err != nil {
 		conn.Close() //nolint:errcheck
 		return nil, fmt.Errorf("client: handshake: %w", err)
 	}
@@ -122,7 +156,7 @@ func Dial(addr string, opts Options) (*Client, error) {
 		opts:      opts,
 		sessionID: sid,
 		conn:      conn,
-		retry:     ratelimit.New(1, opts.RetryInterval.Microseconds()),
+		retry:     retryBucket(addr, opts.RetryInterval),
 	}, nil
 }
 

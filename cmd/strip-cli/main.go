@@ -47,8 +47,9 @@ func main() {
 	dataDir := flag.String("data", "", "durable data directory (WAL + snapshots); empty keeps the session in-memory")
 	monitor := flag.String("monitor", "", "stripmon HTTP listen address (e.g. :9620); empty disables")
 	connect := flag.String("connect", "", "remote stripd address (host:port); empty runs an in-process engine")
-	token := flag.String("token", "", "auth token for -connect")
-	tenant := flag.String("tenant", "", "tenant name for -connect")
+	token := flag.String("token", "", "auth token for -connect (and -replica-of)")
+	tenant := flag.String("tenant", "", "tenant name for -connect (and -replica-of)")
+	replicaOf := flag.String("replica-of", "", "replicate the in-process engine from the primary stripd at this address (read-only; requires -data)")
 	flag.Parse()
 
 	if *connect != "" {
@@ -56,7 +57,13 @@ func main() {
 		return
 	}
 
-	db, err := strip.Open(strip.Config{Workers: 2, DataDir: *dataDir, MonitorAddr: *monitor})
+	db, err := strip.Open(strip.Config{
+		Workers:     2,
+		DataDir:     *dataDir,
+		MonitorAddr: *monitor,
+		ReplicaOf:   *replicaOf,
+		Repl:        strip.ReplOptions{AuthToken: *token, Tenant: *tenant},
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "strip-cli:", err)
 		os.Exit(1)
@@ -111,7 +118,37 @@ func main() {
   \span <traceID>    causal chain for one triggering transaction id
   \checkpoint        force a snapshot and truncate the write-ahead log
   \wal               write-ahead log status (size, fsyncs, last recovery)
+  \repl              replication status (replica engines; see -replica-of)
+  \promote           promote this replica to a writable primary (failover)
   \quit`)
+			continue
+		case line == `\repl`:
+			st, ok := db.ReplStatus()
+			if !ok {
+				fmt.Println("not a replica (start with -replica-of <addr>)")
+				continue
+			}
+			fmt.Printf("  primary       %s (connected=%v resyncing=%v fenced=%v promoted=%v)\n",
+				st.Primary, st.Connected, st.Resyncing, st.Fenced, st.Promoted)
+			fmt.Printf("  epoch         %d\n", st.Epoch)
+			fmt.Printf("  applied lsn   %d (primary %d, lag %d records)\n", st.AppliedLSN, st.PrimaryLSN, st.LagLSN)
+			if st.LagMicros >= 0 {
+				fmt.Printf("  lag           %d µs\n", st.LagMicros)
+			} else {
+				fmt.Println("  lag           unknown (no batch received yet)")
+			}
+			fmt.Printf("  reconnects    %d, resyncs %d\n", st.Reconnects, st.Resyncs)
+			if st.LastError != "" {
+				fmt.Printf("  last error    %s\n", st.LastError)
+			}
+			continue
+		case line == `\promote`:
+			epoch, err := db.Promote()
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("promoted to primary at fencing epoch %d; writes accepted\n", epoch)
 			continue
 		case line == `\checkpoint`:
 			if err := db.Checkpoint(); err != nil {

@@ -15,6 +15,7 @@
 //	stripbench -exp join                # planner join-order comparison
 //	stripbench -exp serve               # stripd open-loop client sweep
 //	stripbench -exp delta               # delta vs full view maintenance sweep
+//	stripbench -exp repl                # read scale-out across WAL-shipping replicas
 //
 // Paper-scale runs replay ≈60,000 updates per (variant, delay) point and
 // take a few minutes in total; -scale small completes in seconds.
@@ -30,7 +31,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, comps, options, fig9..fig14, table1, sched, locality, taper, wal, contention, mvcc, overload, join, serve, delta")
+	exp := flag.String("exp", "all", "experiment: all, comps, options, fig9..fig14, table1, sched, locality, taper, wal, contention, mvcc, overload, join, serve, delta, repl")
 	scale := flag.String("scale", "paper", "workload scale: paper or small")
 	includeOptSym := flag.Bool("include-option-symbol", false,
 		"also run the unique-on-option_symbol configuration (the paper found it unmanageable)")
@@ -96,6 +97,12 @@ func main() {
 			path = "BENCH_delta.json"
 		}
 		runDeltaBench(path, *scale, progress)
+	case "repl":
+		path := *metricsPath
+		if path == "BENCH_metrics.json" {
+			path = "BENCH_repl.json"
+		}
+		runReplBench(path, *scale, progress)
 	case "sched":
 		if err := ptabench.RunSchedAblation(os.Stdout, wcfg, progress); err != nil {
 			fail(err)

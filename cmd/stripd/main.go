@@ -11,6 +11,12 @@
 // query execution: compatible read-only queries arriving within the gather
 // window run as one snapshot scan at a single LSN.
 //
+// With -replica-of the engine instead runs as a warm-standby replica: it
+// streams the primary's WAL, replays it continuously, and serves read-only
+// queries at its applied LSN (writes are refused with the replica code).
+// SIGUSR1 promotes it to a standalone writable primary, stamping a fencing
+// epoch that rejects the deposed primary.
+//
 // SIGINT/SIGTERM drain gracefully: new work is rejected with the
 // shutting-down code while in-flight session transactions commit or abort,
 // then the engine closes (flushing the WAL when -data is set).
@@ -40,14 +46,22 @@ func main() {
 	shareWindow := flag.Duration("share-window", 2*time.Millisecond, "gather window for shared snapshot query execution; 0 disables sharing")
 	shedDepth := flag.Int("shed-depth", 0, "engine ready-queue depth past which admission control sheds (0 disables)")
 	drain := flag.Duration("drain", 5*time.Second, "shutdown drain window for in-flight session transactions")
+	replicaOf := flag.String("replica-of", "", "run as a read-only replica of the primary stripd at this address (requires -data); SIGUSR1 promotes")
+	replicaToken := flag.String("replica-token", "", "auth token presented to the primary (default: the -auth token)")
 	flag.Parse()
 
+	replToken := *replicaToken
+	if replToken == "" {
+		replToken = *auth
+	}
 	db, err := strip.Open(strip.Config{
 		Workers:     *workers,
 		DataDir:     *dataDir,
 		MonitorAddr: *monitor,
 		ListenAddr:  *listen,
 		Overload:    strip.OverloadPolicy{ShedDepth: *shedDepth},
+		ReplicaOf:   *replicaOf,
+		Repl:        strip.ReplOptions{AuthToken: replToken},
 		Serve: strip.ServeOptions{
 			AuthToken:      *auth,
 			MaxConns:       *maxConns,
@@ -86,9 +100,27 @@ func main() {
 			*dataDir, r.SnapshotTables, r.SnapshotRows, r.ReplayedTxns)
 	}
 
+	if *replicaOf != "" {
+		fmt.Printf("replicating from %s (read-only; SIGUSR1 promotes)\n", *replicaOf)
+	}
+
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	s := <-sig
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM, syscall.SIGUSR1)
+	var s os.Signal
+	for s = range sig {
+		if s != syscall.SIGUSR1 {
+			break
+		}
+		// Failover: promote this replica to a standalone writable primary.
+		// The bumped fencing epoch rejects the deposed primary if it comes
+		// back.
+		epoch, err := db.Promote()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stripd: promote:", err)
+			continue
+		}
+		fmt.Printf("stripd: promoted to primary at fencing epoch %d\n", epoch)
+	}
 	fmt.Printf("stripd: %v — draining sessions and closing\n", s)
 	if err := db.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "stripd: close:", err)

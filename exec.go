@@ -119,6 +119,9 @@ func (db *DB) runDML(run func(*Txn) (int, error)) (*Result, error) {
 	if db.closing.Load() {
 		return nil, fmt.Errorf("strip: exec: %w", ErrShuttingDown)
 	}
+	if err := db.writable("exec"); err != nil {
+		return nil, err
+	}
 	attempts := db.cfg.ExecRetry.MaxAttempts
 	if attempts < 1 {
 		attempts = 1

@@ -44,6 +44,15 @@ const (
 	// transient: the batch rolls back (truncate) and later batches proceed,
 	// unlike a real fsync error which permanently fails the log.
 	WalSyncFail Point = "wal.sync_fail"
+	// IndexCorruptRow makes an index probe return a wrong row: storage's
+	// index lookups swap a random other record into the result. Probe
+	// self-validation detects the mismatch, drops the bad row, and counts
+	// it (storage.index_corruptions).
+	IndexCorruptRow Point = "storage.index_corrupt"
+	// ClockSkew offsets an engine's replication wall-clock reads by
+	// Spec.Delay (arm with Every: 1 for a constant offset), simulating
+	// cross-node clock skew in lag_ms measurement.
+	ClockSkew Point = "repl.clock_skew"
 )
 
 // ErrInjected is the default error delivered by error-kind points.
@@ -179,6 +188,21 @@ func (in *Injector) Stall(p Point) {
 	}
 }
 
+// Skew returns the point's Delay as an additive offset when the point
+// fires, 0 otherwise. Clock-skew sites add it to wall-clock reads instead
+// of sleeping.
+func (in *Injector) Skew(p Point) time.Duration {
+	if !in.Should(p) {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if st := in.points[p]; st != nil {
+		return st.spec.Delay
+	}
+	return 0
+}
+
 // ErrorAt returns the point's error if the point fires, nil otherwise.
 func (in *Injector) ErrorAt(p Point) error {
 	if !in.Should(p) {
@@ -240,6 +264,9 @@ func Should(p Point) bool { return std.Should(p) }
 
 // Stall sleeps the point's configured delay if the point fires.
 func Stall(p Point) { std.Stall(p) }
+
+// Skew returns the point's Delay as an additive clock offset if it fires.
+func Skew(p Point) time.Duration { return std.Skew(p) }
 
 // ErrorAt returns the point's error if it fires, nil otherwise.
 func ErrorAt(p Point) error { return std.ErrorAt(p) }

@@ -148,6 +148,30 @@ const (
 	MSharedFallbacks = "shared.fallbacks"
 	MSharedGroupSize = "shared.group_size"
 	MSharedScanRows  = "shared.rows_scanned"
+
+	// repl.* instruments WAL-shipping replication. On a follower,
+	// MReplLagLSN gauges primary-LSN minus applied-LSN and MReplLagMs
+	// gauges wall-clock staleness of the last received batch; both feed
+	// db.Staleness("repl"). Shipper-side counters account frames/bytes
+	// shipped to followers.
+	MReplLagLSN       = "repl.lag_lsn"
+	MReplLagMs        = "repl.lag_ms"
+	MReplBatches      = "repl.batches"
+	MReplHeartbeats   = "repl.heartbeats"
+	MReplApplied      = "repl.applied_records"
+	MReplBytes        = "repl.bytes_applied"
+	MReplReconnects   = "repl.reconnects"
+	MReplResyncs      = "repl.resyncs"
+	MReplFenced       = "repl.fenced"
+	MReplLagRejects   = "repl.lag_rejects"
+	MReplStreams      = "repl.streams"
+	MReplShippedBytes = "repl.shipped_bytes"
+	MReplShippedSnaps = "repl.shipped_snapshots"
+
+	// storage.* self-validation: MStorageIndexCorrupt counts index probes
+	// whose returned row failed key re-verification (see the
+	// IndexCorruptRow fault point).
+	MStorageIndexCorrupt = "storage.index_corruptions"
 )
 
 // ForFunc scopes a per-function metric name: ForFunc(MActionFired, "f") ==

@@ -48,11 +48,21 @@ const (
 	FrameAbort  byte = 0x06 // abort it
 	FramePing   byte = 0x07 // liveness probe
 
+	// FrameReplStream converts the connection into a WAL-shipping stream: a
+	// follower sends its last applied LSN and fencing epoch; the server
+	// answers with REPL_HDR, then (on resync) REPL_SNAP chunks, then a
+	// continuous sequence of REPL_BATCH frames until either side closes.
+	FrameReplStream byte = 0x08
+
 	FrameWelcome byte = 0x81 // version, session id
 	FrameRows    byte = 0x82 // column names + value rows
 	FrameOK      byte = 0x83 // affected-row count
 	FrameErr     byte = 0x84 // code + message
 	FramePong    byte = 0x85
+
+	FrameReplHdr   byte = 0x86 // epoch, snapshot LSN, primary last LSN, resync flag
+	FrameReplSnap  byte = 0x87 // one chunk of checkpoint bytes (resync only)
+	FrameReplBatch byte = 0x88 // primary last LSN, wall clock, raw WAL frames (empty = heartbeat)
 )
 
 // Code classifies an ERR frame so clients can branch (and retry) without
@@ -63,16 +73,19 @@ type Code uint8
 // maps them back to the same sentinels, so errors.Is works end to end.
 const (
 	CodeOK           Code = 0
-	CodeAuth         Code = 1 // handshake rejected (bad token)
-	CodeBusy         Code = 2 // admission control shed the request; retryable
-	CodeDeadlock     Code = 3 // transaction chosen as deadlock victim; retryable
-	CodeWaitTimeout  Code = 4 // lock wait exceeded the cap; retryable
-	CodeReadOnly     Code = 5 // write inside a read-only transaction
-	CodeShuttingDown Code = 6 // server is draining; reconnect elsewhere/later
-	CodeTxnState     Code = 7 // BEGIN inside a txn, COMMIT outside one, or txn reaped
-	CodeBadRequest   Code = 8 // malformed frame, unparsable SQL, protocol misuse
-	CodeInternal     Code = 9 // everything else
+	CodeAuth         Code = 1  // handshake rejected (bad token)
+	CodeBusy         Code = 2  // admission control shed the request; retryable
+	CodeDeadlock     Code = 3  // transaction chosen as deadlock victim; retryable
+	CodeWaitTimeout  Code = 4  // lock wait exceeded the cap; retryable
+	CodeReadOnly     Code = 5  // write inside a read-only transaction
+	CodeShuttingDown Code = 6  // server is draining; reconnect elsewhere/later
+	CodeTxnState     Code = 7  // BEGIN inside a txn, COMMIT outside one, or txn reaped
+	CodeBadRequest   Code = 8  // malformed frame, unparsable SQL, protocol misuse
+	CodeInternal     Code = 9  // everything else
 	CodeTooLarge     Code = 10 // result exceeds MaxFrame; narrow the query
+	CodeReplica      Code = 11 // write sent to a read-only replica; redirect to the primary
+	CodeLagging      Code = 12 // replica lag exceeds the session's MaxLag; retryable
+	CodeFenced       Code = 13 // replication request from a fenced (stale-epoch) peer
 )
 
 // String names the code.
@@ -98,6 +111,12 @@ func (c Code) String() string {
 		return "bad-request"
 	case CodeTooLarge:
 		return "too-large"
+	case CodeReplica:
+		return "replica"
+	case CodeLagging:
+		return "lagging"
+	case CodeFenced:
+		return "fenced"
 	default:
 		return "internal"
 	}
@@ -116,6 +135,15 @@ var (
 	// ErrTooLarge marks a result set that does not fit one wire frame; the
 	// query succeeded but must be narrowed (e.g. with LIMIT) to be served.
 	ErrTooLarge = errors.New("server: result too large for one frame")
+	// ErrReplica marks a write (or interactive transaction) sent to a
+	// read-only replica; the client should redirect to the primary.
+	ErrReplica = errors.New("server: replica is read-only, redirect writes to the primary")
+	// ErrLagging marks a read rejected because replication lag exceeded the
+	// session's MaxLag bound. It is retryable: the replica is catching up.
+	ErrLagging = errors.New("server: replica lag exceeds the session's bound, retry")
+	// ErrFenced marks a replication request carrying a stale fencing epoch —
+	// the peer was promoted past, and must resync or step down.
+	ErrFenced = errors.New("server: replication peer fenced by a newer epoch")
 )
 
 // CodeFor classifies err as a wire code.
@@ -139,6 +167,12 @@ func CodeFor(err error) Code {
 		return CodeTxnState
 	case errors.Is(err, ErrTooLarge):
 		return CodeTooLarge
+	case errors.Is(err, ErrReplica):
+		return CodeReplica
+	case errors.Is(err, ErrLagging):
+		return CodeLagging
+	case errors.Is(err, ErrFenced):
+		return CodeFenced
 	}
 	return CodeInternal
 }
@@ -174,6 +208,12 @@ func (e *WireError) Unwrap() error {
 		return ErrTxnState
 	case CodeTooLarge:
 		return ErrTooLarge
+	case CodeReplica:
+		return ErrReplica
+	case CodeLagging:
+		return ErrLagging
+	case CodeFenced:
+		return ErrFenced
 	default:
 		return nil
 	}
@@ -350,17 +390,35 @@ func EncodeHello(token, tenant string) []byte {
 	return appendStr(b, tenant)
 }
 
+// EncodeHelloLag builds a HELLO payload carrying a lag bound: reads on a
+// replica fail with CodeLagging while replication lag exceeds maxLagMicros.
+// The field is a backward-compatible trailer — old servers that stop
+// decoding after the tenant simply ignore it.
+func EncodeHelloLag(token, tenant string, maxLagMicros uint64) []byte {
+	return binary.AppendUvarint(EncodeHello(token, tenant), maxLagMicros)
+}
+
 // DecodeHello parses a HELLO payload.
 func DecodeHello(p []byte) (token, tenant string, err error) {
+	token, tenant, _, err = DecodeHelloLag(p)
+	return token, tenant, err
+}
+
+// DecodeHelloLag parses a HELLO payload including the optional lag-bound
+// trailer (0 when absent: no bound).
+func DecodeHelloLag(p []byte) (token, tenant string, maxLagMicros uint64, err error) {
 	if len(p) < len(protoMagic)+1 || string(p[:len(protoMagic)]) != protoMagic {
-		return "", "", fmt.Errorf("server: bad protocol magic")
+		return "", "", 0, fmt.Errorf("server: bad protocol magic")
 	}
 	if v := p[len(protoMagic)]; v != ProtoVersion {
-		return "", "", fmt.Errorf("server: unsupported protocol version %d", v)
+		return "", "", 0, fmt.Errorf("server: unsupported protocol version %d", v)
 	}
 	d := &decoder{b: p[len(protoMagic)+1:]}
 	token, tenant = d.str(), d.str()
-	return token, tenant, d.err
+	if d.err == nil && len(d.b) > 0 {
+		maxLagMicros = d.uvarint()
+	}
+	return token, tenant, maxLagMicros, d.err
 }
 
 // EncodeWelcome builds a WELCOME payload.

@@ -1,0 +1,98 @@
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Replication frame payloads. A follower opens a normal authenticated
+// session, then sends REPL_STREAM to convert the connection into a one-way
+// WAL ship:
+//
+//	follower: REPL_STREAM{fromLSN, epoch}
+//	primary:  REPL_HDR{epoch, snapLSN, lastLSN, resync}
+//	primary:  REPL_SNAP{chunk, last}...          (only when resync is set)
+//	primary:  REPL_BATCH{lastLSN, wall, frames}  (forever; empty = heartbeat)
+//
+// or an ERR frame (CodeFenced when the follower's epoch is newer than the
+// primary's — the primary itself is the stale peer and must step down).
+
+// ReplSnapChunk caps one REPL_SNAP chunk's snapshot bytes, comfortably
+// under MaxFrame.
+const ReplSnapChunk = 1 << 20
+
+// EncodeReplStream builds a REPL_STREAM payload: the follower's last
+// applied LSN and the newest fencing epoch it has observed.
+func EncodeReplStream(fromLSN, epoch uint64) []byte {
+	b := binary.AppendUvarint(nil, fromLSN)
+	return binary.AppendUvarint(b, epoch)
+}
+
+// DecodeReplStream parses a REPL_STREAM payload.
+func DecodeReplStream(p []byte) (fromLSN, epoch uint64, err error) {
+	d := &decoder{b: p}
+	fromLSN, epoch = d.uvarint(), d.uvarint()
+	return fromLSN, epoch, d.err
+}
+
+// EncodeReplHdr builds a REPL_HDR payload: the primary's fencing epoch,
+// its checkpoint LSN, its newest durable LSN, and whether a full resync
+// (snapshot shipping) precedes the batch stream.
+func EncodeReplHdr(epoch, snapLSN, lastLSN uint64, resync bool) []byte {
+	b := binary.AppendUvarint(nil, epoch)
+	b = binary.AppendUvarint(b, snapLSN)
+	b = binary.AppendUvarint(b, lastLSN)
+	if resync {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// DecodeReplHdr parses a REPL_HDR payload.
+func DecodeReplHdr(p []byte) (epoch, snapLSN, lastLSN uint64, resync bool, err error) {
+	d := &decoder{b: p}
+	epoch, snapLSN, lastLSN = d.uvarint(), d.uvarint(), d.uvarint()
+	flag := d.byte()
+	if d.err == nil && flag > 1 {
+		d.err = fmt.Errorf("server: bad resync flag %d", flag)
+	}
+	return epoch, snapLSN, lastLSN, flag == 1, d.err
+}
+
+// EncodeReplSnap builds one REPL_SNAP payload: a chunk of checkpoint-file
+// bytes and a last-chunk flag.
+func EncodeReplSnap(chunk []byte, last bool) []byte {
+	b := make([]byte, 0, 1+len(chunk))
+	if last {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	return append(b, chunk...)
+}
+
+// DecodeReplSnap parses a REPL_SNAP payload. The chunk aliases p.
+func DecodeReplSnap(p []byte) (chunk []byte, last bool, err error) {
+	if len(p) < 1 || p[0] > 1 {
+		return nil, false, fmt.Errorf("server: bad snapshot chunk frame")
+	}
+	return p[1:], p[0] == 1, nil
+}
+
+// EncodeReplBatch builds a REPL_BATCH payload: the primary's newest durable
+// LSN, its wall clock in unix microseconds (the follower derives lag_ms
+// from it), and zero or more raw WAL frames exactly as they appear in the
+// primary's log. An empty frames slice is a heartbeat.
+func EncodeReplBatch(lastLSN uint64, wallMicros int64, frames []byte) []byte {
+	b := binary.AppendUvarint(nil, lastLSN)
+	b = binary.AppendVarint(b, wallMicros)
+	return append(b, frames...)
+}
+
+// DecodeReplBatch parses a REPL_BATCH payload. frames aliases p.
+func DecodeReplBatch(p []byte) (lastLSN uint64, wallMicros int64, frames []byte, err error) {
+	d := &decoder{b: p}
+	lastLSN = d.uvarint()
+	wallMicros = d.varint()
+	return lastLSN, wallMicros, d.b, d.err
+}

@@ -43,6 +43,21 @@ type Backend interface {
 	// Saturated reports whether the engine's overload machinery considers
 	// the scheduler saturated; admission control sheds new work while true.
 	Saturated() bool
+	// Repl returns the engine's WAL-stream server, or nil when this engine
+	// cannot ship WAL (no durable log).
+	Repl() ReplStreamer
+	// ReplicaInfo reports whether the engine is a read-only replica,
+	// whether it can serve reads right now (false mid-resync), and its
+	// replication lag in wall-clock microseconds.
+	ReplicaInfo() (replica, ready bool, lagMicros int64)
+}
+
+// ReplStreamer serves one follower's WAL-shipping stream over conn,
+// blocking until the stream ends or stop closes. Implemented by
+// internal/repl.Shipper; an interface here keeps the dependency pointing
+// from repl to server.
+type ReplStreamer interface {
+	ServeStream(conn net.Conn, fromLSN, epoch uint64, stop <-chan struct{}) error
 }
 
 // Config tunes one Server.
@@ -280,7 +295,9 @@ func (s *Server) reapLoop() {
 		s.mu.Unlock()
 		for _, sess := range sessions {
 			sess.reapIfIdle(now, s.cfg.IdleTxnTimeout)
-			if s.cfg.SessionLifetime > 0 && now.Sub(sess.openedAt) > s.cfg.SessionLifetime {
+			// Replication streams are long-lived by design; the session
+			// lifetime cap applies to interactive sessions only.
+			if s.cfg.SessionLifetime > 0 && !sess.streaming.Load() && now.Sub(sess.openedAt) > s.cfg.SessionLifetime {
 				sess.conn.Close() //nolint:errcheck
 			}
 		}

@@ -36,6 +36,10 @@ func (b *testBackend) Obs() *obs.Registry      { return b.mgr.Obs }
 func (b *testBackend) Now() int64              { return b.mgr.Clock.Now() }
 func (b *testBackend) Saturated() bool         { return b.saturated.Load() }
 
+func (b *testBackend) Repl() ReplStreamer { return nil }
+
+func (b *testBackend) ReplicaInfo() (bool, bool, int64) { return false, false, 0 }
+
 func (b *testBackend) Exec(sql string) (*Result, error) {
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {

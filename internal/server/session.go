@@ -41,6 +41,15 @@ type session struct {
 
 	tenant string
 
+	// maxLagMicros is the session's staleness bound from HELLO: on a replica,
+	// reads are refused (retryable) while replication lag exceeds it. 0 means
+	// the client accepts any lag.
+	maxLagMicros int64
+
+	// streaming marks a session converted into a replication WAL stream by
+	// REPL_STREAM; such sessions are exempt from the SessionLifetime cap.
+	streaming atomic.Bool
+
 	mu       sync.Mutex
 	tx       *txn.Txn  // open interactive transaction, if any
 	reaped   bool      // tx was aborted by the idle reaper
@@ -131,7 +140,7 @@ func (s *session) handshake() bool {
 		s.sendErr(CodeBadRequest, "expected HELLO")
 		return false
 	}
-	token, tenant, err := DecodeHello(payload)
+	token, tenant, maxLag, err := DecodeHelloLag(payload)
 	if err != nil {
 		reg.Counter(obs.MServerBadFrames).Inc()
 		s.sendErr(CodeBadRequest, err.Error())
@@ -143,6 +152,7 @@ func (s *session) handshake() bool {
 		return false
 	}
 	s.tenant = tenant
+	s.maxLagMicros = int64(maxLag)
 	return s.send(FrameWelcome, EncodeWelcome(s.id))
 }
 
@@ -167,6 +177,8 @@ func (s *session) dispatch(typ byte, payload []byte) bool {
 		return s.handleSQL(payload, true)
 	case FrameExec:
 		return s.handleSQL(payload, false)
+	case FrameReplStream:
+		return s.handleReplStream(payload)
 	default:
 		s.srv.be.Obs().Counter(obs.MServerBadFrames).Inc()
 		// Framing is intact — an unknown type is an application-level
@@ -175,10 +187,46 @@ func (s *session) dispatch(typ byte, payload []byte) bool {
 	}
 }
 
+// handleReplStream converts the session into a one-way WAL ship: the
+// engine's shipper takes over the connection and streams frames until the
+// follower disconnects or the server drains. The frame loop never resumes
+// afterwards — a replication stream is the connection's final state.
+func (s *session) handleReplStream(payload []byte) bool {
+	if s.inTxn() {
+		s.sendErr(CodeTxnState, "REPL_STREAM inside a transaction")
+		return false
+	}
+	if s.srv.Draining() {
+		s.srv.be.Obs().Counter(obs.MServerDrainRejects).Inc()
+		s.sendErr(CodeShuttingDown, "server is draining")
+		return false
+	}
+	streamer := s.srv.be.Repl()
+	if streamer == nil {
+		s.sendErr(CodeBadRequest, "this server does not ship WAL (no durable log)")
+		return false
+	}
+	fromLSN, epoch, err := DecodeReplStream(payload)
+	if err != nil {
+		s.srv.be.Obs().Counter(obs.MServerBadFrames).Inc()
+		s.sendErr(CodeBadRequest, err.Error())
+		return false
+	}
+	s.streaming.Store(true)
+	// The shipper owns pacing from here; clear the poll deadline so it
+	// doesn't fire mid-stream.
+	s.conn.SetReadDeadline(time.Time{})                          //nolint:errcheck
+	streamer.ServeStream(s.conn, fromLSN, epoch, s.srv.closedCh) //nolint:errcheck
+	return false
+}
+
 func (s *session) handleBegin() bool {
 	if s.srv.Draining() {
 		s.srv.be.Obs().Counter(obs.MServerDrainRejects).Inc()
 		return s.sendErr(CodeShuttingDown, "server is draining")
+	}
+	if replica, _, _ := s.srv.be.ReplicaInfo(); replica {
+		return s.sendErr(CodeReplica, "replica is read-only; interactive transactions must run on the primary")
 	}
 	s.mu.Lock()
 	if s.tx != nil {
@@ -242,6 +290,19 @@ func (s *session) handleSQL(payload []byte, isQuery bool) bool {
 	sel, isSelect := stmt.(*sqlparse.SelectStmt)
 	if isQuery && !isSelect {
 		return s.sendErr(CodeBadRequest, "QUERY frames carry SELECT only; use EXEC")
+	}
+	if replica, ready, lag := s.srv.be.ReplicaInfo(); replica {
+		if !isSelect {
+			return s.sendErr(CodeReplica, "replica is read-only; send writes to the primary")
+		}
+		if !ready {
+			return s.sendErr(CodeLagging, "replica is resyncing from the primary; retry")
+		}
+		if s.maxLagMicros > 0 && lag > s.maxLagMicros {
+			reg.Counter(obs.MReplLagRejects).Inc()
+			return s.sendErr(CodeLagging,
+				fmt.Sprintf("replica lag %dus exceeds the session bound %dus; retry", lag, s.maxLagMicros))
+		}
 	}
 
 	release, ok := s.srv.admit(s.tenant)

@@ -1,0 +1,31 @@
+package storage
+
+import "sync/atomic"
+
+// Index probes self-validate: every record an index hands back is checked
+// against the probed key, and entries that do not match — corrupt index
+// state, modeled by the storage.index_corrupt fault point — are discarded
+// and counted here instead of surfacing as wrong query results. The
+// counter is process-wide, mirroring the fault injector's global arming
+// model; the engine bridges discards into its per-instance metrics
+// registry through the hook.
+var (
+	indexCorruptions atomic.Int64
+	corruptionHook   atomic.Value // func()
+)
+
+// IndexCorruptions reports how many corrupt index probe entries
+// self-validation has discarded, process-wide.
+func IndexCorruptions() int64 { return indexCorruptions.Load() }
+
+// SetCorruptionHook registers a callback invoked once per discarded probe
+// entry (the engine points it at its storage.index_corruptions counter).
+// The last registration wins.
+func SetCorruptionHook(fn func()) { corruptionHook.Store(fn) }
+
+func noteIndexCorruption() {
+	indexCorruptions.Add(1)
+	if fn, ok := corruptionHook.Load().(func()); ok && fn != nil {
+		fn()
+	}
+}

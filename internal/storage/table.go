@@ -394,7 +394,50 @@ func (t *Table) IndexLookup(column string, v types.Value) (recs []*Record, ok bo
 	for _, ref := range refs {
 		recs = append(recs, ref.(*Record))
 	}
-	return recs, true
+	recs = t.corruptProbeLocked(column, v, recs)
+	return t.validateProbeLocked(column, v, recs), true
+}
+
+// corruptProbeLocked models a corrupted index bucket when the
+// storage.index_corrupt fault point is armed: the probe result gains one
+// live record whose key does not match the probe — the kind of dangling
+// entry a torn index update would leave. Self-validation catches it.
+// Caller holds t.mu.
+func (t *Table) corruptProbeLocked(column string, key types.Value, recs []*Record) []*Record {
+	if !fault.Armed() || !fault.Should(fault.IndexCorruptRow) {
+		return recs
+	}
+	ci := t.schema.ColIndex(column)
+	if ci < 0 {
+		return recs
+	}
+	for r := t.head; r != nil; r = r.next {
+		if len(r.vals) > ci && !r.vals[ci].Equal(key) {
+			return append(recs, r)
+		}
+	}
+	return recs
+}
+
+// validateProbeLocked discards probe results whose indexed column does not
+// hold the probed key — a corrupt index entry. The check always runs (one
+// value compare per returned record): it is the detection side of the
+// storage.index_corrupt fault point, turning silent wrong-row results into
+// a counted, self-healed event. Caller holds t.mu.
+func (t *Table) validateProbeLocked(column string, key types.Value, recs []*Record) []*Record {
+	ci := t.schema.ColIndex(column)
+	if ci < 0 {
+		return recs
+	}
+	out := recs[:0]
+	for _, r := range recs {
+		if len(r.vals) > ci && r.vals[ci].Equal(key) {
+			out = append(out, r)
+			continue
+		}
+		noteIndexCorruption()
+	}
+	return out
 }
 
 // Stats returns a snapshot of the table's statistics.
@@ -472,7 +515,11 @@ func (t *Table) LookupSnapshot(column string, key types.Value, snap uint64, me i
 			recs = append(recs, v)
 		}
 	}
-	return recs, true
+	// Versions never change indexed columns while keyChurn is zero (the
+	// guard above), so validating the returned versions against the probed
+	// key is exact here too.
+	recs = t.corruptProbeLocked(column, key, recs)
+	return t.validateProbeLocked(column, key, recs), true
 }
 
 // KeyChurn reports how many updates changed an indexed column's value.

@@ -12,12 +12,14 @@ import (
 )
 
 // Log record kinds. Commit records carry a transaction's redo images; DDL
-// records capture schema changes made outside transactions.
+// records capture schema changes made outside transactions; epoch records
+// carry the replication fencing epoch (see BumpEpoch).
 const (
 	recCommit byte = iota + 1
 	recCreateTable
 	recCreateIndex
 	recDropTable
+	recEpoch
 )
 
 // Redo-op kinds inside a commit record (mirrors txn.Op, but the wire format
@@ -306,5 +308,11 @@ func encodeCreateIndex(table, column string, kind index.Kind) []byte {
 func encodeDropTable(name string) []byte {
 	e := &enc{}
 	e.str(name)
+	return e.b
+}
+
+func encodeEpoch(epoch uint64) []byte {
+	e := &enc{}
+	e.u64(epoch)
 	return e.b
 }

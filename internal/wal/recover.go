@@ -27,6 +27,10 @@ type RecoveryStats struct {
 	TornTail       bool   `json:"torn_tail"`
 	LogBytes       int64  `json:"log_bytes"`
 	DurationMicros int64  `json:"duration_micros"`
+	// Epoch is the replication fencing epoch carried by the newest epoch
+	// record in the log (0 when none); EpochLSN is that record's LSN.
+	Epoch    uint64 `json:"epoch,omitempty"`
+	EpochLSN uint64 `json:"epoch_lsn,omitempty"`
 }
 
 // Open recovers a data directory into the given (empty) catalog and store,
@@ -99,6 +103,9 @@ func Open(dir string, opts Options, cat *catalog.Catalog, store *storage.Store) 
 	l.file = f
 	l.size = validLen
 	l.nextLSN = maxU64(snapLSN, maxLSN) + 1
+	l.snapLSN = snapLSN
+	l.epoch = stats.Epoch
+	l.epochLSN = stats.EpochLSN
 
 	stats.LogBytes = validLen
 	stats.DurationMicros = time.Since(start).Microseconds()
@@ -135,6 +142,13 @@ func loadSnapshot(dir string, cat *catalog.Catalog, store *storage.Store, stats 
 	if err != nil {
 		return 0, fmt.Errorf("wal: read snapshot: %w", err)
 	}
+	return loadSnapshotRaw(raw, cat, store, stats)
+}
+
+// loadSnapshotRaw restores serialized snapshot-file bytes (magic + body +
+// CRC) into cat and store; shipped resync snapshots load through the same
+// path as local ones.
+func loadSnapshotRaw(raw []byte, cat *catalog.Catalog, store *storage.Store, stats *RecoveryStats) (uint64, error) {
 	if len(raw) < len(snapMagic)+12 || !bytes.Equal(raw[:len(snapMagic)], snapMagic) {
 		return 0, fmt.Errorf("wal: snapshot file is not a STRIP snapshot")
 	}
@@ -168,13 +182,14 @@ func loadSnapshot(dir string, cat *catalog.Catalog, store *storage.Store, stats 
 		}
 		nRows := int(d.u32())
 		for j := 0; j < nRows && d.err == nil; j++ {
-			rec, err := tbl.Insert(d.row())
+			// Insert unstamped, then stamp with the checkpoint LSN: rows stay
+			// invisible to snapshots below it — which is every concurrent
+			// reader during a replica resync — and become visible the moment
+			// the manager's LSN sequence is seeded past it.
+			rec, err := tbl.InsertReserved(tbl.ReserveID(), d.row())
 			if err != nil {
 				return 0, fmt.Errorf("wal: snapshot row %s[%d]: %w", schema.Name(), j, err)
 			}
-			// Snapshot rows were committed at or before the checkpoint LSN;
-			// stamping with it keeps them visible to every post-recovery
-			// snapshot (the manager's LSN sequence is seeded past it).
 			rec.StampCreate(snapLSN)
 			stats.SnapshotRows++
 		}
@@ -290,6 +305,19 @@ func applyRecord(kind byte, lsn uint64, body []byte, cat *catalog.Catalog, store
 		}
 		stats.ReplayedDDL++
 		return tbl.CreateIndex(column, ixKind)
+	case recEpoch:
+		d := &dec{b: body}
+		epoch := d.u64()
+		if d.err != nil {
+			return d.err
+		}
+		// Newest record wins: checkpoints re-append the current epoch, so
+		// the same epoch can recur at a later LSN.
+		if epoch >= stats.Epoch {
+			stats.Epoch = epoch
+			stats.EpochLSN = lsn
+		}
+		return nil
 	case recDropTable:
 		d := &dec{b: body}
 		name := d.str()
@@ -322,7 +350,11 @@ func applyOp(op redoOp, lsn uint64, store *storage.Store) error {
 	}
 	switch op.kind {
 	case opInsert:
-		rec, err := tbl.Insert(op.new)
+		// Insert unstamped, then stamp: Insert's bootstrap stamp would make
+		// the row instantly visible to every snapshot, but on a live replica
+		// concurrent readers must not see a batch mid-apply — rows become
+		// visible only when the applied LSN is published past lsn.
+		rec, err := tbl.InsertReserved(tbl.ReserveID(), op.new)
 		if err == nil {
 			rec.StampCreate(lsn)
 		}
@@ -354,6 +386,28 @@ func applyOp(op redoOp, lsn uint64, store *storage.Store) error {
 }
 
 func findRow(tbl *storage.Table, vals []types.Value) *storage.Record {
+	// Index-assisted fast path: probe any index whose column is present in
+	// the row, then verify full-row equality among the (few) matches. This
+	// keeps follower replay O(matches) instead of O(table) per delete or
+	// update — the dominant cost of continuous redo application.
+	schema := tbl.Schema()
+	for _, def := range tbl.IndexDefs() {
+		ci := schema.ColIndex(def.Column)
+		if ci < 0 || ci >= len(vals) {
+			continue
+		}
+		recs, ok := tbl.IndexLookup(def.Column, vals[ci])
+		if !ok {
+			continue
+		}
+		for _, r := range recs {
+			if rowEqual(r, vals) {
+				return r
+			}
+		}
+		// The index covers every live row; no match there is no match.
+		return nil
+	}
 	var found *storage.Record
 	tbl.Scan(func(r *storage.Record) bool {
 		if rowEqual(r, vals) {

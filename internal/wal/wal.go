@@ -108,6 +108,18 @@ type Log struct {
 	size    int64
 	failed  error // sticky: after an append/sync error the log refuses work
 
+	// Replication state (all guarded by mu). snapLSN is the LSN the on-disk
+	// checkpoint covers: the log holds only frames with higher LSNs, so a
+	// subscriber below it needs a full resync. pending accumulates framed
+	// bytes appended but not yet fsynced; taps receive them only after a
+	// successful sync, so subscribers never see frames the primary may roll
+	// back. epoch/epochLSN track the newest fencing-epoch record.
+	snapLSN  uint64
+	epoch    uint64
+	epochLSN uint64
+	pending  []byte
+	taps     []*Tap
+
 	reqCh      chan *commitReq
 	stopCh     chan struct{}
 	stopOnce   sync.Once
@@ -312,6 +324,9 @@ func (l *Log) flush(batch []*commitReq) {
 				l.size = startSize
 				l.nextLSN = startLSN
 			}
+			l.pending = nil
+		} else {
+			l.publishLocked(l.takePendingLocked())
 		}
 	}
 	l.mu.Unlock()
@@ -333,9 +348,18 @@ func (l *Log) appendLocked(kind byte, body []byte) error {
 	}
 	l.nextLSN++
 	l.size += int64(len(f))
+	l.pending = append(l.pending, f...)
 	l.appends.Inc()
 	l.bytesTotal.Add(int64(len(f)))
 	return nil
+}
+
+// takePendingLocked hands ownership of the not-yet-published durable bytes
+// to the caller; call with l.mu held, after a successful sync.
+func (l *Log) takePendingLocked() []byte {
+	chunk := l.pending
+	l.pending = nil
+	return chunk
 }
 
 // syncLocked fsyncs the log file per policy; call with l.mu held.
@@ -376,8 +400,10 @@ func (l *Log) appendDDL(kind byte, body []byte) error {
 			l.size = startSize
 			l.nextLSN = startLSN
 		}
+		l.pending = nil
 		return err
 	}
+	l.publishLocked(l.takePendingLocked())
 	return nil
 }
 
@@ -448,6 +474,22 @@ func (l *Log) Checkpoint(tx *txn.Txn, cat *catalog.Catalog, store *storage.Store
 	if err := l.syncLocked(); err != nil {
 		return err
 	}
+	l.snapLSN = snapLSN
+	l.pending = nil
+	// The truncation just dropped any epoch record; re-append it so the
+	// fencing epoch survives checkpoints (recovery learns it from the log).
+	if l.epoch > 0 {
+		epochAt := l.nextLSN
+		if err := l.appendLocked(recEpoch, encodeEpoch(l.epoch)); err != nil {
+			return err
+		}
+		if err := l.syncLocked(); err != nil {
+			l.pending = nil
+			return err
+		}
+		l.epochLSN = epochAt
+		l.publishLocked(l.takePendingLocked())
+	}
 	l.checkpoints.Inc()
 	l.ckptHist.Record(time.Since(start).Microseconds())
 	return nil
@@ -465,6 +507,7 @@ func (l *Log) Close() error {
 	}
 	l.closed = true
 	l.mu.Lock()
+	l.closeTapsLocked()
 	err := l.syncLocked()
 	cerr := l.file.Close()
 	l.mu.Unlock()
@@ -519,6 +562,16 @@ func putU32(b []byte, v uint32) {
 // writeSnapshotFile durably replaces the snapshot: write to a temp file,
 // fsync, rename over SnapshotName, fsync the directory.
 func writeSnapshotFile(dir string, body []byte) error {
+	raw := make([]byte, 0, len(snapMagic)+len(body)+4)
+	raw = append(raw, snapMagic...)
+	raw = append(raw, body...)
+	raw = append(raw, crcOf(body)...)
+	return writeSnapshotRaw(dir, raw)
+}
+
+// writeSnapshotRaw durably installs complete snapshot-file bytes (magic +
+// body + CRC), as produced locally or shipped by a primary.
+func writeSnapshotRaw(dir string, raw []byte) error {
 	tmp, err := os.CreateTemp(dir, "snapshot-*.tmp")
 	if err != nil {
 		return fmt.Errorf("wal: snapshot temp: %w", err)
@@ -528,12 +581,9 @@ func writeSnapshotFile(dir string, body []byte) error {
 		tmp.Close()
 		os.Remove(tmpName)
 	}
-	sum := crcOf(body)
-	for _, chunk := range [][]byte{snapMagic, body, sum} {
-		if _, err := tmp.Write(chunk); err != nil {
-			cleanup()
-			return fmt.Errorf("wal: snapshot write: %w", err)
-		}
+	if _, err := tmp.Write(raw); err != nil {
+		cleanup()
+		return fmt.Errorf("wal: snapshot write: %w", err)
 	}
 	if err := tmp.Sync(); err != nil {
 		cleanup()

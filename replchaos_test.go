@@ -1,0 +1,181 @@
+package strip
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/stripdb/strip/internal/fault"
+	"github.com/stripdb/strip/internal/storage"
+)
+
+// replicaPrefix reads the replica's seq column and asserts it is a
+// contiguous committed prefix 1..m: replication must never show a gap, a
+// duplicate, or a row from an uncommitted suffix.
+func replicaPrefix(t *testing.T, db *DB, where string) int {
+	t.Helper()
+	res, err := db.Exec(`select v from kv`)
+	if err != nil {
+		// Before the schema has replicated (or while a resync is wiping
+		// and reloading state) the table may not exist yet: an empty
+		// prefix, not a violation.
+		return 0
+	}
+	seqs := make([]int, 0, len(res.Rows))
+	for _, r := range res.Rows {
+		seqs = append(seqs, int(r[0].Float()))
+	}
+	sort.Ints(seqs)
+	for i, s := range seqs {
+		if s != i+1 {
+			t.Fatalf("%s: replica holds a non-prefix row set at position %d: %v", where, i, seqs)
+		}
+	}
+	return len(seqs)
+}
+
+// TestReplChaosTorture drives continuous primary writes while replicas are
+// repeatedly started, converged, verified, and torn down — with the primary
+// checkpointing underneath them (forcing full resyncs on stale rejoins),
+// the index-corruption fault swapping wrong rows into every few index
+// probes, and the clock-skew fault offsetting the replica's lag clock.
+//
+// Invariants:
+//   - every replica observation is a committed prefix (no gaps, dups, or
+//     uncommitted rows), even mid-stream and mid-resync;
+//   - indexed point reads stay correct on both sides while the corruption
+//     fault fires (probe self-validation drops the bad rows and counts
+//     them);
+//   - at least one churn round crosses a checkpoint gap and resyncs;
+//   - the final replica converges to exactly the primary's committed state.
+//
+// Run under -race this is the replication half of the robustness suite.
+func TestReplChaosTorture(t *testing.T) {
+	p := serveOpen(t, Config{DataDir: t.TempDir(), Workers: 2})
+	p.MustExec(`create table kv (k text, v int)`)
+	p.MustExec(`create index on kv (k)`)
+
+	corruptBase := storage.IndexCorruptions()
+	fault.Seed(7)
+	t.Cleanup(fault.Reset)
+	fault.Enable(fault.IndexCorruptRow, fault.Spec{Every: 3})
+	fault.Enable(fault.ClockSkew, fault.Spec{Every: 1, Delay: 2 * time.Millisecond})
+
+	// Writer: sequential committed inserts, checkpointing every 25 commits
+	// so a replica that rejoins from before the checkpoint needs a full
+	// resync, not just a tail.
+	var committed atomic.Int64
+	stopWriter := make(chan struct{})
+	writerDone := make(chan error, 1)
+	go func() {
+		for {
+			select {
+			case <-stopWriter:
+				writerDone <- nil
+				return
+			default:
+			}
+			n := committed.Load() + 1
+			if _, err := p.Exec(fmt.Sprintf(`insert into kv values ('k%d', %d)`, n, n)); err != nil {
+				writerDone <- fmt.Errorf("insert %d: %w", n, err)
+				return
+			}
+			committed.Store(n)
+			if n%25 == 0 {
+				if err := p.Checkpoint(); err != nil {
+					writerDone <- fmt.Errorf("checkpoint at %d: %w", n, err)
+					return
+				}
+			}
+		}
+	}()
+
+	// Replica churn: the same data directory is opened, converged, spot-
+	// checked, and closed over and over while the writer runs. Later rounds
+	// rejoin from LSNs the primary has checkpointed away and must resync.
+	waitUntil(t, 15*time.Second, "first commit", func() bool {
+		return committed.Load() >= 1
+	})
+	rdir := t.TempDir()
+	var resyncs, reconnects int64
+	for round := 0; round < 5; round++ {
+		r, err := Open(Config{DataDir: rdir, ReplicaOf: p.ServerAddr(),
+			Repl: ReplOptions{Heartbeat: 5 * time.Millisecond}})
+		if err != nil {
+			t.Fatalf("round %d: open replica: %v", round, err)
+		}
+		target := committed.Load()
+		deadline := time.Now().Add(15 * time.Second)
+		for int64(replicaPrefix(t, r, fmt.Sprintf("round %d", round))) < target {
+			if time.Now().After(deadline) {
+				t.Fatalf("round %d: replica never caught up to %d", round, target)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		// Indexed point reads on both sides stay exact while the
+		// corruption fault is swapping wrong rows into probes.
+		probe := fmt.Sprintf(`select v from kv where k = 'k%d'`, target)
+		for _, side := range []*DB{p, r} {
+			res, err := side.Exec(probe)
+			if err != nil {
+				t.Fatalf("round %d: probe: %v", round, err)
+			}
+			if len(res.Rows) != 1 || int64(res.Rows[0][0].Float()) != target {
+				t.Fatalf("round %d: probe for k%d returned %v", round, target, res.Rows)
+			}
+		}
+		st, _ := r.ReplStatus()
+		resyncs += st.Resyncs
+		reconnects += st.Reconnects
+		if err := r.Close(); err != nil {
+			t.Fatalf("round %d: close replica: %v", round, err)
+		}
+		// Let the writer put a checkpoint between this LSN and the next
+		// rejoin on most rounds.
+		waitUntil(t, 15*time.Second, "writer progress", func() bool {
+			return committed.Load() >= target+30
+		})
+	}
+
+	close(stopWriter)
+	if err := <-writerDone; err != nil {
+		t.Fatal(err)
+	}
+
+	if resyncs == 0 {
+		t.Errorf("no churn round resynced — checkpoints never forced a gap (reconnects=%d)", reconnects)
+	}
+	corruptFired := fault.Fired(fault.IndexCorruptRow)
+	corruptDetected := storage.IndexCorruptions() - corruptBase
+	skewFired := fault.Fired(fault.ClockSkew)
+	if corruptFired == 0 {
+		t.Error("index-corruption fault never fired — probes bypassed the injection point")
+	} else if corruptDetected < corruptFired {
+		t.Errorf("index corruption detected %d of %d injected wrong rows", corruptDetected, corruptFired)
+	}
+	if skewFired == 0 {
+		t.Error("clock-skew fault never fired — the replica lag clock was never read")
+	}
+	fault.Reset()
+
+	// Final convergence: a fresh rejoin must reproduce the primary's
+	// committed state exactly.
+	total := committed.Load()
+	r, err := Open(Config{DataDir: rdir, ReplicaOf: p.ServerAddr(),
+		Repl: ReplOptions{Heartbeat: 5 * time.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close() //nolint:errcheck
+	waitUntil(t, 15*time.Second, "final convergence", func() bool {
+		return int64(replicaPrefix(t, r, "final")) >= total
+	})
+	if got := int64(replicaPrefix(t, r, "final")); got != total {
+		t.Fatalf("final replica rows = %d, want %d", got, total)
+	}
+	st, _ := r.ReplStatus()
+	t.Logf("chaos: committed=%d resyncs=%d reconnects=%d corrupt-injected=%d corrupt-detected=%d lag_us=%d",
+		total, resyncs, reconnects, corruptFired, corruptDetected, st.LagMicros)
+}

@@ -75,6 +75,30 @@ func (b dbBackend) Saturated() bool {
 	return ready >= depth
 }
 
+// Repl exposes the primary's WAL shipper to the session layer. A typed-nil
+// guard matters here: returning a nil *repl.Shipper inside the interface
+// would read as non-nil to the server.
+func (b dbBackend) Repl() server.ReplStreamer {
+	if b.db.shipper == nil {
+		return nil
+	}
+	return b.db.shipper
+}
+
+// ReplicaInfo reports replica mode for session-layer read gating.
+func (b dbBackend) ReplicaInfo() (replica, ready bool, lagMicros int64) {
+	// Gate on the replica flag, not the follower pointer: after Promote the
+	// follower object survives (fenced, closed) but the engine is writable.
+	if !b.db.replica.Load() {
+		return false, false, 0
+	}
+	f := b.db.follower
+	if f == nil {
+		return false, false, 0
+	}
+	return true, !f.Resyncing(), f.LagMicros()
+}
+
 // startServer binds Config.ListenAddr and mounts /debug/sessions on
 // stripmon when monitoring is enabled.
 func (db *DB) startServer() error {

@@ -42,6 +42,7 @@ import (
 	"github.com/stripdb/strip/internal/mon"
 	"github.com/stripdb/strip/internal/obs"
 	"github.com/stripdb/strip/internal/query"
+	"github.com/stripdb/strip/internal/repl"
 	"github.com/stripdb/strip/internal/sched"
 	"github.com/stripdb/strip/internal/server"
 	"github.com/stripdb/strip/internal/storage"
@@ -120,10 +121,11 @@ var (
 )
 
 // IsRetryable reports whether err is a transient abort worth retrying: a
-// concurrency abort (deadlock victim, lock-wait timeout) or an
-// admission-control busy shed — embedded or decoded from the wire.
+// concurrency abort (deadlock victim, lock-wait timeout), an
+// admission-control busy shed, or a replica lag-bound refusal — embedded or
+// decoded from the wire.
 func IsRetryable(err error) bool {
-	return core.IsRetryable(err) || errors.Is(err, server.ErrBusy)
+	return core.IsRetryable(err) || errors.Is(err, server.ErrBusy) || errors.Is(err, server.ErrLagging)
 }
 
 // Policy names the scheduler policy.
@@ -208,6 +210,18 @@ type Config struct {
 	// dump), /debug/rules (per-rule cost profiles + breaker health), and
 	// /debug/pprof. Empty (the default) disables the listener.
 	MonitorAddr string
+	// ReplicaOf turns this engine into a warm-standby replica of the
+	// primary stripd server at this address (host:port): the primary's
+	// write-ahead log streams in continuously and is replayed through the
+	// recovery path, so read-only transactions (and served QUERY frames) see
+	// the primary's committed state at the replica's applied LSN. Writes and
+	// interactive transactions are refused with ErrReplica. Requires
+	// DataDir — received frames are persisted locally before they apply,
+	// which is what makes replica crash/restart resume cleanly. See
+	// DB.Promote for failover.
+	ReplicaOf string
+	// Repl tunes replication when ReplicaOf is set.
+	Repl ReplOptions
 	// ListenAddr starts the stripd network server on this address
 	// (host:port; ":0" picks a free port — see DB.ServerAddr). Clients
 	// speak the binary wire protocol (package client); Serve tunes auth,
@@ -290,6 +304,13 @@ type DB struct {
 	server *server.Server
 	live   bool
 
+	// shipper serves WAL streams to followers (set whenever the engine has
+	// a durable log); follower replays a primary's stream when ReplicaOf is
+	// set. replica gates writes: true from Open until Promote.
+	shipper  *repl.Shipper
+	follower *repl.Follower
+	replica  atomic.Bool
+
 	// ddlMu serializes DDL against checkpoints: a checkpoint must see the
 	// catalog and the log agree on which tables exist.
 	ddlMu sync.Mutex
@@ -309,6 +330,9 @@ type DB struct {
 // acknowledged. Rules and action functions are code, not data: re-register
 // them after Open and they arm over the recovered tables.
 func Open(cfg Config) (*DB, error) {
+	if cfg.ReplicaOf != "" && cfg.DataDir == "" {
+		return nil, errors.New("strip: ReplicaOf requires DataDir (received frames persist locally before they apply)")
+	}
 	db := &DB{cfg: cfg}
 	if cfg.Virtual {
 		db.vclk = clock.NewVirtual()
@@ -328,6 +352,11 @@ func Open(cfg Config) (*DB, error) {
 	if cfg.TraceCap > 0 {
 		db.obs.SetTraceCap(cfg.TraceCap)
 	}
+	// Bridge index-probe self-validation discards into this engine's
+	// metrics (process-global hook, like the fault injector's arming model;
+	// the most recently opened engine wins).
+	reg := db.obs
+	storage.SetCorruptionHook(func() { reg.Counter(obs.MStorageIndexCorrupt).Inc() })
 	if cfg.LockShards > 0 {
 		db.locks = lock.NewSharded(cfg.LockShards)
 	} else {
@@ -375,6 +404,19 @@ func Open(cfg Config) (*DB, error) {
 		// the first post-recovery snapshot sees exactly the committed
 		// prefix.
 		db.txns.SeedLSN(w.NextLSN() - 1)
+		// Any durable engine can ship its WAL to followers.
+		db.shipper = repl.NewShipper(w, db.obs, cfg.Repl.Heartbeat)
+	}
+	if cfg.ReplicaOf != "" {
+		db.replica.Store(true)
+		db.follower = repl.NewFollower(repl.Config{
+			Primary:     cfg.ReplicaOf,
+			Token:       cfg.Repl.AuthToken,
+			Tenant:      cfg.Repl.Tenant,
+			Heartbeat:   cfg.Repl.Heartbeat,
+			MaxBackoff:  cfg.Repl.MaxBackoff,
+			DialTimeout: cfg.Repl.DialTimeout,
+		}, db.wal, db.txns.Catalog, db.txns.Store, db.txns, db.obs)
 	}
 	if cfg.MonitorAddr != "" {
 		m, err := mon.Start(cfg.MonitorAddr, db.obs, db.clk.Now, func() any { return db.engine.RuleHealth() })
@@ -385,7 +427,13 @@ func Open(cfg Config) (*DB, error) {
 			return nil, err
 		}
 		m.SetMaintenance(func() any { return db.engine.RuleModes() })
+		if db.follower != nil {
+			m.Handle("/debug/repl", db.replHandler())
+		}
 		db.mon = m
+	}
+	if db.follower != nil {
+		db.follower.Start()
 	}
 	if !cfg.Virtual {
 		workers := cfg.Workers
@@ -442,6 +490,12 @@ func (db *DB) Close() error {
 		db.server.Close() //nolint:errcheck
 		db.server = nil
 	}
+	if db.follower != nil {
+		// Stop replication before the WAL's final fsync: the replay loop is
+		// the only writer on a replica, and a batch mid-apply must finish or
+		// abort before the log closes underneath it.
+		db.follower.Close()
+	}
 	if db.live {
 		timeout := db.cfg.CloseTimeout
 		if timeout <= 0 {
@@ -477,8 +531,15 @@ func (db *DB) MonitorAddr() string {
 	return db.mon.Addr()
 }
 
-// Begin starts a transaction.
-func (db *DB) Begin() *Txn { return db.txns.Begin() }
+// Begin starts a transaction. On a replica it degrades to a read-only
+// snapshot transaction (writes inside it fail with ErrReadOnly); use the
+// primary for read-write work.
+func (db *DB) Begin() *Txn {
+	if db.replica.Load() {
+		return db.txns.BeginReadOnly()
+	}
+	return db.txns.Begin()
+}
 
 // BeginReadOnly starts a read-only transaction whose reads run lock-free
 // against a consistent snapshot (the newest committed state at first read).
@@ -492,7 +553,12 @@ func (db *DB) RegisterFunc(name string, fn ActionFunc) error {
 }
 
 // CreateRule installs a programmatic rule definition.
-func (db *DB) CreateRule(r *Rule) error { return db.engine.CreateRule(r) }
+func (db *DB) CreateRule(r *Rule) error {
+	if err := db.writable("create rule"); err != nil {
+		return err
+	}
+	return db.engine.CreateRule(r)
+}
 
 // DropRule removes a rule.
 func (db *DB) DropRule(name string) error { return db.engine.DropRule(name) }
@@ -509,6 +575,9 @@ func (db *DB) CreateTable(name string, cols ...Column) error {
 	}
 	schema, err := catalog.NewSchema(name, cc)
 	if err != nil {
+		return err
+	}
+	if err := db.writable("create table"); err != nil {
 		return err
 	}
 	db.ddlMu.Lock()
@@ -532,6 +601,9 @@ func (db *DB) CreateTable(name string, cols ...Column) error {
 
 // DropTable removes a table's schema and data (and logs the drop).
 func (db *DB) DropTable(name string) error {
+	if err := db.writable("drop table"); err != nil {
+		return err
+	}
 	db.ddlMu.Lock()
 	defer db.ddlMu.Unlock()
 	if err := db.txns.Catalog.Drop(name); err != nil {
@@ -554,6 +626,9 @@ type Column struct {
 
 // CreateIndex builds a hash ("hash") or red-black tree ("rbtree") index.
 func (db *DB) CreateIndex(table, column, kind string) error {
+	if err := db.writable("create index"); err != nil {
+		return err
+	}
 	tbl, ok := db.txns.Store.Get(table)
 	if !ok {
 		return fmt.Errorf("strip: table %q does not exist", table)
@@ -590,6 +665,11 @@ var ErrNoWAL = errors.New("strip: engine has no DataDir (durability disabled)")
 func (db *DB) Checkpoint() error {
 	if db.wal == nil {
 		return ErrNoWAL
+	}
+	// A replica's log is managed by the replay loop (and resync); a local
+	// checkpoint would race it and desynchronize the applied-LSN horizon.
+	if err := db.writable("checkpoint"); err != nil {
+		return err
 	}
 	db.ddlMu.Lock()
 	defer db.ddlMu.Unlock()
@@ -650,6 +730,9 @@ func (db *DB) LastRecovery() RecoveryStats {
 func (db *DB) Insert(table string, vals ...Value) error {
 	if db.closing.Load() {
 		return fmt.Errorf("strip: insert: %w", ErrShuttingDown)
+	}
+	if err := db.writable("insert"); err != nil {
+		return err
 	}
 	tx := db.Begin()
 	if _, err := tx.Insert(table, vals); err != nil {

@@ -68,6 +68,9 @@ type ViewInfo struct {
 // otherwise. Aggregation views maintained this way carry an extra
 // support-count column (viewgen.CountColumn).
 func (db *DB) CreateMaterializedView(name string, def *Select, opts ViewOptions) (*ViewInfo, error) {
+	if err := db.writable("create view"); err != nil {
+		return nil, err
+	}
 	spec, err := viewgen.Analyze(db.txns.Catalog, name, def)
 	if err != nil {
 		return nil, err
